@@ -1,0 +1,92 @@
+// Ablation: domain-validation reuse (§4.4 "Limitations"). The Baseline
+// Requirements let a CA skip re-validation for up to 398 days, so a
+// certificate can be stale FROM THE MOMENT OF ISSUANCE: the subscriber
+// proved control once, lost the domain, and the CA keeps issuing. The
+// paper explicitly does NOT measure this; this ablation quantifies it in
+// the simulator by sweeping the reuse window.
+#include <iostream>
+
+#include "bench_world.hpp"
+#include "stalecert/ca/authority.hpp"
+#include "stalecert/util/strings.hpp"
+#include "stalecert/util/table.hpp"
+
+using namespace stalecert;
+using util::Date;
+
+namespace {
+
+/// Control flips from the original account to nobody partway through.
+class FlippingEnv : public ca::ValidationEnvironment {
+ public:
+  Date lose_control_at;
+  mutable Date now;  // the environment is queried "at" the request date
+
+  bool controls_dns(const std::string&, ca::ActorId actor) const override {
+    return actor == 1 && now < lose_control_at;
+  }
+  bool controls_web(const std::string& domain, ca::ActorId actor) const override {
+    return controls_dns(domain, actor);
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — domain-validation reuse window",
+      "the BRs allow validation reuse for 398 days; certificates issued on "
+      "cached validations after domain control changed are stale at birth "
+      "(a staleness class the paper's measurement does not cover)");
+
+  // Scenario: account 1 validates control on day 0, loses the domain on
+  // day 60, and an unattended ACME client keeps requesting certificates
+  // every 60 days for two years. Count how many issue on cached
+  // validation after control was lost, per reuse-window policy.
+  const Date start = Date::parse("2022-01-01");
+  const Date lost = start + 60;
+
+  util::TextTable table({"Reuse window", "Issued total", "Issued after control lost",
+                         "Stale-at-issuance share"});
+  for (const std::int64_t window : {0LL, 90LL, 180LL, 398LL}) {
+    FlippingEnv env;
+    env.lose_control_at = lost;
+
+    ca::DvValidator::Options options;
+    options.allow_reuse = window > 0;
+    options.reuse_window_days = window;
+    ca::CertificateAuthority authority(
+        {.name = "Reuse CA", .organization = "Reuse", .self_imposed_max_days = 90,
+         .default_days = 90, .automated = true},
+        7);
+    // Swap in a validator with the ablated options.
+    authority.attach_validation(&env);
+    ca::DvValidator validator(7, options);
+
+    std::uint64_t issued = 0;
+    std::uint64_t stale_at_birth = 0;
+    for (Date d = start; d < start + 730; d += 60) {
+      env.now = d;
+      const auto result = validator.validate(env, "flip.example.com", 1,
+                                             ca::ChallengeType::kHttp01, d);
+      if (!result.ok) continue;
+      ++issued;
+      if (d >= lost) ++stale_at_birth;
+    }
+    table.add_row({window == 0 ? "disabled" : std::to_string(window) + "d",
+                   std::to_string(issued), std::to_string(stale_at_birth),
+                   issued ? util::percent(static_cast<double>(stale_at_birth) /
+                                              static_cast<double>(issued),
+                                          1)
+                          : "-"});
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nReading: with the full 398-day window, an unattended client keeps\n"
+      "obtaining certificates for ~11 months after losing the domain; with\n"
+      "reuse disabled, issuance stops at the first post-loss validation.\n"
+      "Shorter reuse windows bound staleness-at-issuance exactly like\n"
+      "shorter lifetimes bound post-issuance staleness (§6).\n";
+  return 0;
+}

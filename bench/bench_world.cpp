@@ -1,0 +1,75 @@
+#include "bench_world.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+namespace stalecert::bench {
+
+sim::WorldConfig bench_config() {
+  sim::WorldConfig config;  // defaults carry the paper's measurement windows
+  config.seed = 20230512;
+  config.initial_domains = 2500;
+  config.daily_new_domains_start = 3.0;
+  config.daily_new_domains_end = 10.0;
+  config.daily_key_compromise_2021 = 0.15;
+  config.key_compromise_growth = 3.0;
+  config.daily_other_revocations = 3.5;
+  config.godaddy_breach_revocations = 120;
+  return config;
+}
+
+const BenchWorld& bench_world() {
+  static const BenchWorld instance = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    BenchWorld bw;
+    const sim::WorldConfig config = bench_config();
+    bw.world = std::make_unique<sim::World>(config);
+    bw.world->run();
+
+    ct::CollectStats collect_stats;
+    bw.corpus = core::CertificateCorpus(bw.world->ct_logs().collect({}, &collect_stats));
+
+    revocation::JoinFilters filters;
+    filters.min_revocation_date = config.revocation_cutoff;
+    bw.revocations = core::analyze_revocations(
+        bw.corpus, bw.world->crl_collection().store(), filters);
+
+    bw.registrant_change = core::detect_registrant_change(
+        bw.corpus, bw.world->whois().re_registrations());
+
+    core::ManagedTlsOptions options;
+    options.delegation_patterns = bw.world->cloudflare_delegation_patterns();
+    options.managed_san_pattern = bw.world->cloudflare_san_pattern();
+    bw.managed_departure =
+        core::detect_managed_tls_departure(bw.corpus, bw.world->adns(), options);
+
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    std::cout << "[bench-world] simulated " << config.start << " .. " << config.end
+              << " | corpus=" << bw.corpus.size()
+              << " certs (raw CT entries=" << collect_stats.raw_entries << ")"
+              << " | revoked=" << bw.revocations.all_revoked.size()
+              << " (keyCompromise=" << bw.revocations.key_compromise.size() << ")"
+              << " | registrant-change stale=" << bw.registrant_change.size()
+              << " | managed-TLS stale=" << bw.managed_departure.size() << " | "
+              << elapsed.count() << " ms\n\n";
+    return bw;
+  }();
+  return instance;
+}
+
+void print_header(const std::string& title, const std::string& paper_claim) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Paper: " << paper_claim << "\n"
+            << "==============================================================\n";
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace stalecert::bench

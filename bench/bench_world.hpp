@@ -1,0 +1,39 @@
+#pragma once
+
+// Shared benchmark world: one paper-scale simulation (2013-2023) reused by
+// every table/figure reproduction binary. Absolute counts are laptop-scale
+// (~10^4 domains, ~10^5 certificates); the *shapes* — who wins, ratios,
+// medians, crossovers — are what each bench compares against the paper.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stalecert/core/analyzer.hpp"
+#include "stalecert/core/corpus.hpp"
+#include "stalecert/core/detectors.hpp"
+#include "stalecert/sim/world.hpp"
+
+namespace stalecert::bench {
+
+sim::WorldConfig bench_config();
+
+struct BenchWorld {
+  std::unique_ptr<sim::World> world;
+  core::CertificateCorpus corpus;
+  core::RevocationAnalysisResult revocations;          // with paper cutoff
+  std::vector<core::StaleCertificate> registrant_change;
+  std::vector<core::StaleCertificate> managed_departure;
+};
+
+/// Builds and runs the world once per process (cached thereafter), then
+/// runs all three detectors with the paper's filters.
+const BenchWorld& bench_world();
+
+/// Prints a standard header naming the table/figure being reproduced.
+void print_header(const std::string& title, const std::string& paper_claim);
+
+/// Formats a double with fixed precision.
+std::string fmt(double value, int decimals = 1);
+
+}  // namespace stalecert::bench

@@ -1,0 +1,86 @@
+// Reproduces Figure 9 (and the Section 6 headline numbers): simulated
+// maximum-lifetime reduction. Every stale certificate longer than the cap
+// has its expiry pulled in to notBefore+cap; staleness-days are recomputed.
+// Paper staleness-days reductions:
+//   registrant change: 96.7% (45d), 86.7% (90d), 35.8% (215d)
+//   managed TLS dept.: 97.7% (45d), 75.3% (90d), 45.3% (215d)
+//   key compromise:    89.6% (45d), 75.2% (90d), 44.3% (215d)
+#include <iostream>
+
+#include "bench_world.hpp"
+#include "stalecert/core/lifetime.hpp"
+#include "stalecert/util/strings.hpp"
+#include "stalecert/util/table.hpp"
+
+using namespace stalecert;
+
+int main() {
+  bench::print_header(
+      "Figure 9 — Staleness-days reduction under max-lifetime caps",
+      "90-day cap removes ~75-87% of staleness-days per class "
+      "(45d: 90-98%, 215d: 36-45%); reductions shrink as caps grow");
+
+  const auto& bw = bench::bench_world();
+  struct Class {
+    std::string name;
+    const std::vector<core::StaleCertificate>* stale;
+    double paper[3];  // 45 / 90 / 215
+  };
+  const Class classes[] = {
+      {"Domain registrant change", &bw.registrant_change, {0.967, 0.867, 0.358}},
+      {"Managed TLS departure", &bw.managed_departure, {0.977, 0.753, 0.453}},
+      {"Key compromise", &bw.revocations.key_compromise, {0.896, 0.752, 0.443}},
+  };
+  const std::vector<std::int64_t> caps = {45, 90, 215, 398};
+
+  for (const auto& cls : classes) {
+    std::cout << "\n" << cls.name << " (" << cls.stale->size()
+              << " stale certificates, "
+              << bench::fmt(core::simulate_cap(bw.corpus, *cls.stale, 100000)
+                                .original_staleness_days,
+                            0)
+              << " staleness-days):\n";
+    util::TextTable table({"Max lifetime", "Surviving stale certs",
+                           "Staleness-days", "Reduction", "Paper reduction"});
+    const auto results = core::simulate_caps(bw.corpus, *cls.stale, caps);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      table.add_row({std::to_string(r.cap_days) + "d",
+                     std::to_string(r.surviving_count),
+                     bench::fmt(r.capped_staleness_days, 0),
+                     util::percent(r.staleness_days_reduction(), 1),
+                     i < 3 ? util::percent(cls.paper[i], 1) : std::string("-")});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nShape checks:\n";
+  bool monotone = true, ninety_band = true;
+  for (const auto& cls : classes) {
+    const auto results = core::simulate_caps(bw.corpus, *cls.stale, caps);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      monotone &= results[i].staleness_days_reduction() <=
+                  results[i - 1].staleness_days_reduction() + 1e-9;
+    }
+    if (!cls.stale->empty()) {
+      const double r90 = results[1].staleness_days_reduction();
+      ninety_band &= r90 > 0.4 && r90 < 0.99;
+    }
+  }
+  std::cout << "  reduction monotone decreasing in cap: "
+            << (monotone ? "PASS" : "FAIL") << "\n";
+  std::cout << "  90-day cap removes a large majority band (paper 75-87%): "
+            << (ninety_band ? "PASS" : "FAIL") << "\n";
+
+  // Overall staleness reduction at 90 days across all classes combined
+  // (the paper's abstract claims ~75%).
+  std::vector<core::StaleCertificate> all;
+  for (const auto& cls : classes) {
+    all.insert(all.end(), cls.stale->begin(), cls.stale->end());
+  }
+  const auto overall = core::simulate_cap(bw.corpus, all, 90);
+  std::cout << "  overall staleness-days reduction at 90d: "
+            << util::percent(overall.staleness_days_reduction(), 1)
+            << " (paper: ~75%)\n";
+  return 0;
+}

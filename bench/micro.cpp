@@ -1,0 +1,240 @@
+// Microbenchmarks (google-benchmark) for the performance-critical pieces
+// of the pipeline: hashing, DER codec, Merkle proofs, corpus indexing and
+// the three detectors. These quantify the cost of processing a CT-scale
+// certificate stream, the operational concern behind the paper's
+// "operational burden" tradeoff discussion (§6, §7.2).
+#include <benchmark/benchmark.h>
+
+#include "stalecert/core/corpus.hpp"
+#include "stalecert/core/detectors.hpp"
+#include "stalecert/core/lifetime.hpp"
+#include "stalecert/ca/acme.hpp"
+#include "stalecert/crypto/sha256.hpp"
+#include "stalecert/ct/merkle.hpp"
+#include "stalecert/revocation/crlite.hpp"
+#include "stalecert/dns/name.hpp"
+#include "stalecert/util/rng.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace {
+
+using namespace stalecert;
+using util::Date;
+
+x509::Certificate make_cert(std::uint64_t serial) {
+  const std::string domain = "bench" + std::to_string(serial) + ".example.com";
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .issuer({"Bench CA", "Bench Org", "US"})
+      .subject_cn(domain)
+      .validity(Date::parse("2022-01-01") + static_cast<std::int64_t>(serial % 300),
+                Date::parse("2022-01-01") + static_cast<std::int64_t>(serial % 300) +
+                    365)
+      .key(crypto::KeyPair::derive("bk" + std::to_string(serial),
+                                   crypto::KeyAlgorithm::kEcdsaP256))
+      .dns_names({domain, "*." + domain})
+      .authority_key_id(crypto::Sha256::hash("bench-issuer"))
+      .server_auth_profile()
+      .build();
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                       0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CertificateEncode(benchmark::State& state) {
+  const auto cert = make_cert(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.to_der());
+  }
+}
+BENCHMARK(BM_CertificateEncode);
+
+void BM_CertificateDecode(benchmark::State& state) {
+  const auto der = make_cert(1).to_der();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x509::Certificate::from_der(der));
+  }
+}
+BENCHMARK(BM_CertificateDecode);
+
+void BM_MerkleAppend(benchmark::State& state) {
+  const auto der = make_cert(1).to_der();
+  for (auto _ : state) {
+    state.PauseTiming();
+    ct::MerkleTree tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) tree.append(der);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleAppend)->Arg(1024);
+
+void BM_MerkleInclusionProof(benchmark::State& state) {
+  ct::MerkleTree tree;
+  const auto der = make_cert(1).to_der();
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) tree.append(der);
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.inclusion_proof(index, n));
+    index = (index + 97) % n;
+  }
+}
+BENCHMARK(BM_MerkleInclusionProof)->Arg(1024)->Arg(8192);
+
+void BM_E2ldExtraction(benchmark::State& state) {
+  const std::vector<std::string> names = {
+      "www.example.com", "a.b.c.example.co.uk", "deep.sub.domain.example.org",
+      "example.net", "x.anything.ck"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::e2ld(names[i % names.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_E2ldExtraction);
+
+void BM_CorpusIndexBuild(benchmark::State& state) {
+  std::vector<x509::Certificate> certs;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(0)); ++i) {
+    certs.push_back(make_cert(i));
+  }
+  for (auto _ : state) {
+    core::CertificateCorpus corpus(certs);
+    benchmark::DoNotOptimize(corpus.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CorpusIndexBuild)->Arg(1000)->Arg(10000);
+
+void BM_RegistrantChangeDetection(benchmark::State& state) {
+  std::vector<x509::Certificate> certs;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) certs.push_back(make_cert(i));
+  const core::CertificateCorpus corpus(std::move(certs));
+  std::vector<whois::NewRegistration> events;
+  util::Rng rng(4);
+  for (std::uint64_t i = 0; i < n / 4; ++i) {
+    events.push_back({"bench" + std::to_string(rng.below(n)) + ".example.com",
+                      Date::parse("2022-06-01") +
+                          static_cast<std::int64_t>(rng.below(200)),
+                      Date::parse("2020-01-01")});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_registrant_change(corpus, events));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_RegistrantChangeDetection)->Arg(4000);
+
+void BM_LifetimeCapSimulation(benchmark::State& state) {
+  std::vector<x509::Certificate> certs;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) certs.push_back(make_cert(i));
+  const core::CertificateCorpus corpus(std::move(certs));
+  std::vector<core::StaleCertificate> stale;
+  util::Rng rng(9);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    core::StaleCertificate record;
+    record.corpus_index = i;
+    record.cls = core::StaleClass::kRegistrantChange;
+    record.event_date =
+        corpus.at(i).not_before() + static_cast<std::int64_t>(rng.below(300));
+    record.staleness =
+        util::DateInterval{record.event_date, corpus.at(i).not_after()};
+    stale.push_back(record);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simulate_cap(corpus, stale, 90));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LifetimeCapSimulation)->Arg(10000);
+
+void BM_CrliteBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> revoked;
+  std::vector<std::string> valid;
+  for (std::size_t i = 0; i < n; ++i) revoked.push_back("r" + std::to_string(i));
+  for (std::size_t i = 0; i < n * 10; ++i) valid.push_back("v" + std::to_string(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(revocation::CrliteFilter::build(revoked, valid));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * 11));
+}
+BENCHMARK(BM_CrliteBuild)->Arg(1000);
+
+void BM_CrliteQuery(benchmark::State& state) {
+  std::vector<std::string> revoked;
+  std::vector<std::string> valid;
+  for (int i = 0; i < 2000; ++i) revoked.push_back("r" + std::to_string(i));
+  for (int i = 0; i < 20000; ++i) valid.push_back("v" + std::to_string(i));
+  const auto filter = revocation::CrliteFilter::build(revoked, valid);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.is_revoked(valid[i % valid.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CrliteQuery);
+
+void BM_AcmeFullFlow(benchmark::State& state) {
+  // Account -> order -> challenge -> finalize, the per-certificate cost of
+  // issuance automation (the §6 operational-burden side).
+  ca::CertificateAuthority authority(
+      {.name = "Bench ACME", .organization = "Bench", .self_imposed_max_days = 90,
+       .default_days = 90, .automated = true},
+      3);
+  ca::AcmeServer server(&authority, 9);
+  const auto account =
+      server.new_account(1, "mailto:x@example.com", Date::parse("2022-01-01"));
+  const auto key = crypto::KeyPair::derive("acme", crypto::KeyAlgorithm::kEcdsaP256);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    const auto order = server.new_order(
+        account, {"bench" + std::to_string(n++) + ".example.com"},
+        Date::parse("2022-01-02"));
+    server.respond_challenge(order,
+                             "bench" + std::to_string(n - 1) + ".example.com",
+                             ca::ChallengeType::kHttp01, 1,
+                             Date::parse("2022-01-02"));
+    benchmark::DoNotOptimize(server.finalize(order, key, Date::parse("2022-01-03")));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AcmeFullFlow);
+
+void BM_OverlapSweepLine(benchmark::State& state) {
+  std::vector<x509::Certificate> certs;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    certs.push_back(x509::CertificateBuilder{}
+                        .serial(i + 1)
+                        .subject_cn("crowded.example.com")
+                        .validity(Date::parse("2022-01-01") +
+                                      static_cast<std::int64_t>(i % 200),
+                                  Date::parse("2022-01-01") +
+                                      static_cast<std::int64_t>(i % 200) + 365)
+                        .key(crypto::KeyPair::derive(
+                            "o" + std::to_string(i), crypto::KeyAlgorithm::kEcdsaP256))
+                        .add_dns_name("crowded.example.com")
+                        .build());
+  }
+  const core::CertificateCorpus corpus(std::move(certs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus.overlap_stats("crowded.example.com"));
+  }
+}
+BENCHMARK(BM_OverlapSweepLine);
+
+}  // namespace
+
+BENCHMARK_MAIN();

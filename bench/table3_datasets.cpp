@@ -1,0 +1,82 @@
+// Reproduces Table 3: the dataset inventory. Prints the simulated
+// analogues of the paper's four collections — CT, CRL, WHOIS, active DNS —
+// with their sizes and measurement windows, next to the paper's.
+#include <iostream>
+
+#include "bench_world.hpp"
+#include "stalecert/util/strings.hpp"
+#include "stalecert/util/table.hpp"
+
+using namespace stalecert;
+
+int main() {
+  bench::print_header(
+      "Table 3 — Datasets",
+      "CT 2013/03-2023/05 (5B certs) ; CRL 2022/11-2023/05 (31M, 92 CAs) ; "
+      "WHOIS 2016/01-2021/07 (4B records, 301M domains) ; aDNS "
+      "2022/08-2022/10 (daily scans of all public e2LDs)");
+
+  const auto& bw = bench::bench_world();
+  const auto config = bench::bench_config();
+
+  ct::CollectStats ct_stats;
+  (void)bw.world->ct_logs().collect({}, &ct_stats);
+  const auto crl_total = bw.world->crl_collection().total_coverage();
+
+  // Average records per aDNS snapshot (the retained Cloudflare slice).
+  std::uint64_t adns_records = 0;
+  for (const auto& snapshot : bw.world->adns().all()) {
+    adns_records += snapshot.records.size();
+  }
+  const double adns_daily =
+      bw.world->adns().days() == 0
+          ? 0
+          : static_cast<double>(adns_records) /
+                static_cast<double>(bw.world->adns().days());
+
+  util::TextTable table({"Dataset", "Used for", "Window", "Size (measured)",
+                         "Size (paper)"});
+  table.add_row({"CT", "revocations, managed TLS, registrant change",
+                 config.start.to_string() + " .. " + config.end.to_string(),
+                 util::with_commas(bw.corpus.size()) + " certs (dedup of " +
+                     util::with_commas(ct_stats.raw_entries) + " entries)",
+                 "5B certs (deduplicated)"});
+  table.add_row({"CRL", "revocations",
+                 config.crl_start.to_string() + " .. " + config.crl_end.to_string(),
+                 util::with_commas(crl_total.succeeded) + " CRL downloads, " +
+                     util::with_commas(bw.world->crl_collection().store().size()) +
+                     " revocations, " +
+                     std::to_string(bw.world->cas().size()) + " CAs",
+                 "31M total CRLs from 92 CAs"});
+  table.add_row({"WHOIS", "registrant change",
+                 config.whois_start.to_string() + " .. " +
+                     config.whois_end.to_string(),
+                 util::with_commas(bw.world->whois().record_count()) +
+                     " records (" +
+                     util::with_commas(bw.world->whois().domain_count()) +
+                     " domains)",
+                 "4B records (301M domains)"});
+  table.add_row({"aDNS", "managed TLS",
+                 config.adns_start.to_string() + " .. " +
+                     config.adns_end.to_string(),
+                 bench::fmt(adns_daily, 0) + " delegated-domain records/day over " +
+                     std::to_string(bw.world->adns().days()) + " daily scans",
+                 "300M A/AAAA, 274M NS, 10M CNAME per day"});
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n";
+  std::cout << "  every dataset non-empty and windowed as in the paper: "
+            << ((bw.corpus.size() > 0 && crl_total.succeeded > 0 &&
+                 bw.world->whois().record_count() > 0 &&
+                 bw.world->adns().days() == static_cast<std::size_t>(
+                     (config.adns_end - config.adns_start) + 1))
+                    ? "PASS"
+                    : "FAIL")
+            << "\n";
+  std::cout << "  CT is the largest collection (as in the paper): "
+            << (bw.corpus.size() > bw.world->crl_collection().store().size()
+                    ? "PASS"
+                    : "FAIL")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Table 7 (Appendix B): daily CRL download coverage per CA.
+// The paper downloads Mozilla-disclosed CRLs daily from 2022-11 to 2023-05
+// and achieves 98.4% overall coverage, with a few CAs behind scrape
+// protection. Our collector models per-endpoint failure probabilities.
+#include <iostream>
+
+#include "bench_world.hpp"
+#include "stalecert/util/strings.hpp"
+#include "stalecert/util/table.hpp"
+
+using namespace stalecert;
+
+int main() {
+  bench::print_header(
+      "Table 7 — CRL download coverage per CA",
+      "98.40% of daily CRLs downloaded and parsed overall; most CAs at 100%, "
+      "a few (scrape-protected) below");
+
+  const auto& bw = bench::bench_world();
+  const auto& collector = bw.world->crl_collection();
+
+  util::TextTable table({"CA", "CRL coverage", "Ratio"});
+  std::uint64_t at_full = 0;
+  for (const auto& [ca, stats] : collector.coverage()) {
+    table.add_row({ca,
+                   util::with_commas(stats.succeeded) + " / " +
+                       util::with_commas(stats.attempted),
+                   util::percent(stats.ratio(), 2)});
+    if (stats.succeeded == stats.attempted) ++at_full;
+  }
+  const auto total = collector.total_coverage();
+  table.add_rule();
+  table.add_row({"Total coverage",
+                 util::with_commas(total.succeeded) + " / " +
+                     util::with_commas(total.attempted),
+                 util::percent(total.ratio(), 2)});
+  table.print(std::cout);
+
+  std::cout << "\nPaper: total 4,963 / 5,044 (98.40%); 70 of 92 CAs at 100%\n";
+  std::cout << "Parse failures: " << collector.parse_failures() << "\n";
+
+  std::cout << "\nShape checks:\n";
+  std::cout << "  overall coverage > 95%: "
+            << (total.ratio() > 0.95 ? "PASS" : "FAIL") << " ("
+            << util::percent(total.ratio(), 2) << ")\n";
+  std::cout << "  majority of CAs at 100%: "
+            << (at_full * 2 > collector.coverage().size() ? "PASS" : "FAIL")
+            << " (" << at_full << " of " << collector.coverage().size() << ")\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Lifetime-policy analysis (paper §6): given a simulated world's stale
+// certificates, sweep hypothetical maximum certificate lifetimes and print
+// the security/operational tradeoff: staleness-days eliminated vs extra
+// issuance load on CAs and CT logs.
+//
+//   $ ./lifetime_policy [max_days...]     (defaults: 45 90 215 398 825)
+#include <cstdlib>
+#include <iostream>
+
+#include "stalecert/core/analyzer.hpp"
+#include "stalecert/core/corpus.hpp"
+#include "stalecert/core/detectors.hpp"
+#include "stalecert/core/lifetime.hpp"
+#include "stalecert/sim/world.hpp"
+#include "stalecert/util/strings.hpp"
+#include "stalecert/util/table.hpp"
+
+using namespace stalecert;
+
+int main(int argc, char** argv) {
+  std::vector<std::int64_t> caps = {45, 90, 215, 398, 825};
+  if (argc > 1) {
+    caps.clear();
+    for (int i = 1; i < argc; ++i) caps.push_back(std::atol(argv[i]));
+  }
+
+  sim::World world(sim::small_test_config());
+  world.run();
+  core::CertificateCorpus corpus(world.ct_logs().collect());
+
+  // Gather every third-party stale certificate.
+  const auto revocations =
+      core::analyze_revocations(corpus, world.crl_collection().store(), {});
+  auto stale = core::detect_registrant_change(
+      corpus, world.whois().re_registrations());
+  core::ManagedTlsOptions options;
+  options.delegation_patterns = world.cloudflare_delegation_patterns();
+  options.managed_san_pattern = world.cloudflare_san_pattern();
+  const auto managed =
+      core::detect_managed_tls_departure(corpus, world.adns(), options);
+  stale.insert(stale.end(), revocations.key_compromise.begin(),
+               revocations.key_compromise.end());
+  stale.insert(stale.end(), managed.begin(), managed.end());
+
+  std::cout << "corpus: " << corpus.size() << " certificates, " << stale.size()
+            << " third-party stale\n\n";
+
+  // Operational-cost proxy: issuance multiplier. A cert that would have
+  // lived L days needs ceil(L / cap) issuances under the cap.
+  double base_issuances = 0;
+  std::vector<double> capped_issuances(caps.size(), 0);
+  for (const auto& cert : corpus.certificates()) {
+    base_issuances += 1;
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      const double lifetime = static_cast<double>(cert.lifetime_days());
+      capped_issuances[i] +=
+          std::max(1.0, std::ceil(lifetime / static_cast<double>(caps[i])));
+    }
+  }
+
+  util::TextTable table({"Max lifetime", "Stale certs left", "Staleness-days cut",
+                         "Elimination upper bound", "Issuance multiplier"});
+  const auto results = core::simulate_caps(corpus, stale, caps);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({std::to_string(r.cap_days) + "d",
+                   std::to_string(r.surviving_count) + " / " +
+                       std::to_string(r.original_count),
+                   util::percent(r.staleness_days_reduction(), 1),
+                   util::percent(
+                       core::elimination_upper_bound(corpus, stale, r.cap_days), 1),
+                   base_issuances > 0
+                       ? std::to_string(capped_issuances[i] / base_issuances)
+                                 .substr(0, 4) +
+                             "x"
+                       : "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: shorter lifetimes cut staleness sharply but multiply\n"
+               "issuance volume — the operational tradeoff the CA/Browser Forum\n"
+               "debates (paper §6/§7.2). 90 days is the paper's sweet spot:\n"
+               "~75% staleness reduction for a ~4x issuance multiplier.\n";
+  return 0;
+}

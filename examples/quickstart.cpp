@@ -1,0 +1,74 @@
+// Quickstart: simulate a small web-PKI world, run all three stale
+// certificate detectors, and print a summary — the paper's whole pipeline
+// in ~60 lines of user code.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "stalecert/core/analyzer.hpp"
+#include "stalecert/core/corpus.hpp"
+#include "stalecert/core/detectors.hpp"
+#include "stalecert/core/lifetime.hpp"
+#include "stalecert/sim/world.hpp"
+#include "stalecert/util/strings.hpp"
+
+using namespace stalecert;
+
+int main() {
+  // 1. Build a two-year synthetic world (domains, CAs, CT logs, a CDN,
+  //    WHOIS feeds, daily DNS scans, CRL collection).
+  sim::World world(sim::small_test_config());
+  world.run();
+  std::cout << "Simulated " << world.stats().domains_registered
+            << " domain registrations, " << world.stats().certificates_issued
+            << " certificates, " << world.stats().cdn_enrollments
+            << " CDN enrollments\n";
+
+  // 2. Download the deduplicated CT corpus and index it.
+  core::CertificateCorpus corpus(world.ct_logs().collect());
+  std::cout << "CT corpus: " << corpus.size() << " unique certificates\n\n";
+
+  // 3. Run the three third-party stale-certificate detectors.
+  const auto revocations =
+      core::analyze_revocations(corpus, world.crl_collection().store(), {});
+
+  const auto registrant =
+      core::detect_registrant_change(corpus, world.whois().re_registrations());
+
+  core::ManagedTlsOptions options;
+  options.delegation_patterns = world.cloudflare_delegation_patterns();
+  options.managed_san_pattern = world.cloudflare_san_pattern();
+  const auto managed =
+      core::detect_managed_tls_departure(corpus, world.adns(), options);
+
+  std::cout << "Third-party stale certificates found:\n";
+  std::cout << "  key compromise:          " << revocations.key_compromise.size()
+            << " (of " << revocations.all_revoked.size() << " revoked)\n";
+  std::cout << "  registrant change:       " << registrant.size() << "\n";
+  std::cout << "  managed TLS departure:   " << managed.size() << "\n\n";
+
+  // 4. How long do they stay abusable, and what would a 90-day maximum
+  //    certificate lifetime fix?
+  std::vector<core::StaleCertificate> all = revocations.key_compromise;
+  all.insert(all.end(), registrant.begin(), registrant.end());
+  all.insert(all.end(), managed.begin(), managed.end());
+  if (all.empty()) {
+    std::cout << "No stale certificates in this run.\n";
+    return 0;
+  }
+
+  core::StalenessAnalyzer analyzer(corpus, all);
+  const auto dist = analyzer.staleness_distribution();
+  std::cout << "Staleness period: median " << dist.median() << " days, max "
+            << dist.max() << " days\n";
+
+  for (const std::int64_t cap : {45, 90, 215}) {
+    const auto result = core::simulate_cap(corpus, all, cap);
+    std::cout << "  with a " << cap << "-day max lifetime: "
+              << util::percent(result.staleness_days_reduction(), 1)
+              << " of staleness-days eliminated ("
+              << result.original_count - result.surviving_count << " of "
+              << result.original_count << " certs no longer stale)\n";
+  }
+  return 0;
+}

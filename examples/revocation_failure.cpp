@@ -1,0 +1,89 @@
+// Why revocation doesn't save you from stale certificates (paper §2.4):
+// runs the interception experiment — a third party holding a stale
+// certificate's key, positioned on-path — against the browser policies the
+// paper characterizes, across four scenarios.
+//
+//   $ ./revocation_failure
+#include <iostream>
+
+#include "stalecert/tls/interception.hpp"
+#include "stalecert/util/table.hpp"
+
+using namespace stalecert;
+using util::Date;
+
+int main() {
+  const crypto::KeyPair issuer_key =
+      crypto::KeyPair::derive("demo-issuer", crypto::KeyAlgorithm::kEcdsaP384);
+  tls::TrustStore trust;
+  trust.trust(issuer_key.key_id());
+
+  auto make_cert = [&](bool must_staple) {
+    x509::CertificateBuilder builder;
+    builder.serial(77)
+        .issuer({"Demo CA", "Demo", "US"})
+        .subject_cn("victim.com")
+        .validity(Date::parse("2022-01-01"), Date::parse("2022-12-31"))
+        .key(crypto::KeyPair::derive("stale", crypto::KeyAlgorithm::kEcdsaP256))
+        .dns_names({"victim.com", "www.victim.com"})
+        .authority_key_id(issuer_key.key_id())
+        .sct_log_ids({1});
+    if (must_staple) builder.ocsp_must_staple();
+    return builder.build();
+  };
+
+  // OCSP responder that knows the certificate is revoked.
+  revocation::OcspResponder responder(issuer_key.key_id());
+  {
+    revocation::Crl crl({"Demo CA", "Demo", "US"}, issuer_key.key_id(),
+                        Date::parse("2022-05-01"), Date::parse("2022-05-08"));
+    crl.add({make_cert(false).serial(), Date::parse("2022-04-20"),
+             revocation::ReasonCode::kKeyCompromise});
+    responder.update_from_crl(crl);
+  }
+
+  struct Case {
+    const char* label;
+    bool revoked;
+    bool blocked;
+    bool must_staple;
+  };
+  const Case cases[] = {
+      {"not revoked (registrant change / CDN departure)", false, true, false},
+      {"revoked, attacker drops OCSP traffic", true, true, false},
+      {"revoked, revocation reachable", true, false, false},
+      {"revoked + Must-Staple, OCSP dropped", true, true, true},
+  };
+
+  util::TextTable table({"Scenario", "Chrome", "Edge", "Firefox", "Safari",
+                         "curl", "hardened"});
+  for (const auto& c : cases) {
+    tls::InterceptionScenario scenario;
+    scenario.description = c.label;
+    scenario.hostname = "victim.com";
+    scenario.stale_certificate = make_cert(c.must_staple);
+    scenario.when = Date::parse("2022-06-15");
+    scenario.attacker_blocks_revocation = c.blocked;
+    scenario.responder = c.revoked ? &responder : nullptr;
+
+    const auto outcomes =
+        tls::run_interception(scenario, tls::all_profiles(), trust);
+    std::vector<std::string> row = {c.label};
+    for (const auto& outcome : outcomes) {
+      row.push_back(outcome.intercepted ? "INTERCEPTED" : "safe");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nTakeaways (matching paper §2.4):\n"
+      " * Without revocation, every mainstream client is interceptable —\n"
+      "   and two of the three stale-cert classes are never revoked.\n"
+      " * Even WITH revocation, an on-path attacker defeats soft-fail\n"
+      "   checking by dropping OCSP/CRL traffic; Chrome and Edge never ask.\n"
+      " * OCSP Must-Staple closes the loophole, but only Firefox enforces\n"
+      "   it. Expiration remains the only reliable backstop — which is why\n"
+      "   the paper turns to shorter certificate lifetimes.\n";
+  return 0;
+}

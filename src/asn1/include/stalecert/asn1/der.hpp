@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stalecert/asn1/oid.hpp"
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::asn1 {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// ASN.1 universal tag numbers supported by this DER subset.
+enum class Tag : std::uint8_t {
+  kBoolean = 0x01,
+  kInteger = 0x02,
+  kBitString = 0x03,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kUtf8String = 0x0c,
+  kPrintableString = 0x13,
+  kIa5String = 0x16,
+  kUtcTime = 0x17,
+  kGeneralizedTime = 0x18,
+  kSequence = 0x30,
+  kSet = 0x31,
+};
+
+/// Builds a context-specific tag byte ([n] constructed/primitive).
+constexpr std::uint8_t context_tag(unsigned n, bool constructed) {
+  return static_cast<std::uint8_t>(0x80u | (constructed ? 0x20u : 0u) | n);
+}
+
+/// DER encoder. Primitive write_* calls append full TLVs; nested structures
+/// are built via begin_sequence()/end_sequence() (lengths are backfilled in
+/// definite form, as DER requires).
+class Encoder {
+ public:
+  void write_boolean(bool value);
+  void write_integer(std::int64_t value);
+  /// Arbitrary-width non-negative INTEGER from big-endian magnitude bytes.
+  void write_integer_bytes(std::span<const std::uint8_t> magnitude);
+  void write_bit_string(std::span<const std::uint8_t> bytes, unsigned unused_bits = 0);
+  void write_octet_string(std::span<const std::uint8_t> bytes);
+  void write_null();
+  void write_oid(const Oid& oid);
+  void write_utf8_string(std::string_view text);
+  void write_printable_string(std::string_view text);
+  void write_ia5_string(std::string_view text);
+  /// Encodes a Date as UTCTime (YYMMDD000000Z) when 1950<=year<2050,
+  /// otherwise GeneralizedTime, matching the X.509 convention.
+  void write_time(util::Date date);
+
+  void begin_sequence();
+  void end_sequence();
+  void begin_set();
+  void end_set();
+  /// Explicit context tag wrapper, e.g. [3] around the extensions block.
+  void begin_context(unsigned tag_number);
+  void end_context();
+  /// Primitive context-tagged string, e.g. SAN dNSName is [2] IA5String.
+  void write_context_string(unsigned tag_number, std::string_view text);
+
+  /// Appends a pre-encoded TLV verbatim.
+  void write_raw(std::span<const std::uint8_t> tlv);
+
+  [[nodiscard]] const Bytes& bytes() const;
+  [[nodiscard]] Bytes take();
+
+ private:
+  void write_header(std::uint8_t tag, std::size_t length);
+  void open_constructed(std::uint8_t tag);
+  void close_constructed();
+
+  Bytes out_;
+  std::vector<std::size_t> open_offsets_;  // offsets of constructed headers
+};
+
+/// A decoded TLV. `content` aliases the decoder's input buffer.
+struct Tlv {
+  std::uint8_t tag = 0;
+  std::span<const std::uint8_t> content;
+
+  [[nodiscard]] bool is_constructed() const { return (tag & 0x20) != 0; }
+  [[nodiscard]] bool is_context(unsigned n) const {
+    return (tag & 0xc0) == 0x80 && (tag & 0x1f) == n;
+  }
+};
+
+/// DER decoder over a borrowed byte buffer. The buffer must outlive the
+/// decoder and any Tlv spans read from it.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ >= data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Peeks the next tag byte without consuming. Throws at end of input.
+  [[nodiscard]] std::uint8_t peek_tag() const;
+
+  /// Reads the next TLV of any tag.
+  Tlv read_any();
+  /// Reads the next TLV and checks its tag. Throws ParseError on mismatch.
+  Tlv read_expected(std::uint8_t tag);
+  Tlv read_expected(Tag tag) { return read_expected(static_cast<std::uint8_t>(tag)); }
+
+  bool read_boolean();
+  std::int64_t read_integer();
+  Bytes read_integer_bytes();
+  Bytes read_bit_string(unsigned* unused_bits = nullptr);
+  Bytes read_octet_string();
+  void read_null();
+  Oid read_oid();
+  std::string read_string();  // accepts UTF8/Printable/IA5
+  util::Date read_time();     // accepts UTCTime / GeneralizedTime
+
+  /// Enters a SEQUENCE/SET/constructed context tag; returns a sub-decoder
+  /// over its content.
+  Decoder enter_sequence() { return Decoder{read_expected(Tag::kSequence).content}; }
+  Decoder enter_set() { return Decoder{read_expected(Tag::kSet).content}; }
+  Decoder enter(const Tlv& tlv) { return Decoder{tlv.content}; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Decodes OID content bytes (without header) — shared with the decoder.
+Oid decode_oid_content(std::span<const std::uint8_t> content);
+/// Encodes OID content bytes (without header).
+Bytes encode_oid_content(const Oid& oid);
+
+}  // namespace stalecert::asn1

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stalecert::asn1 {
+
+/// An ASN.1 OBJECT IDENTIFIER (dotted arc sequence, e.g. 2.5.29.17).
+class Oid {
+ public:
+  Oid() = default;
+  Oid(std::initializer_list<std::uint32_t> arcs) : arcs_(arcs) {}
+  explicit Oid(std::vector<std::uint32_t> arcs) : arcs_(std::move(arcs)) {}
+
+  /// Parses dotted notation "1.2.840.113549". Throws ParseError.
+  static Oid parse(std::string_view dotted);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& arcs() const { return arcs_; }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool empty() const { return arcs_.empty(); }
+
+  auto operator<=>(const Oid&) const = default;
+
+ private:
+  std::vector<std::uint32_t> arcs_;
+};
+
+/// Well-known OIDs used by the X.509 layer.
+namespace oids {
+const Oid& common_name();            // 2.5.4.3
+const Oid& organization();           // 2.5.4.10
+const Oid& country();                // 2.5.4.6
+const Oid& subject_alt_name();       // 2.5.29.17
+const Oid& basic_constraints();      // 2.5.29.19
+const Oid& key_usage();              // 2.5.29.15
+const Oid& ext_key_usage();          // 2.5.29.37
+const Oid& subject_key_id();         // 2.5.29.14
+const Oid& authority_key_id();       // 2.5.29.35
+const Oid& crl_distribution_points();// 2.5.29.31
+const Oid& authority_info_access();  // 1.3.6.1.5.5.7.1.1
+const Oid& certificate_policies();   // 2.5.29.32
+const Oid& crl_reason();             // 2.5.29.21
+const Oid& tls_feature();            // 1.3.6.1.5.5.7.1.24 (RFC 7633)
+const Oid& ct_precert_poison();      // 1.3.6.1.4.1.11129.2.4.3
+const Oid& ct_sct_list();            // 1.3.6.1.4.1.11129.2.4.2
+const Oid& server_auth();            // 1.3.6.1.5.5.7.3.1
+const Oid& client_auth();            // 1.3.6.1.5.5.7.3.2
+const Oid& code_signing();           // 1.3.6.1.5.5.7.3.3
+const Oid& email_protection();       // 1.3.6.1.5.5.7.3.4
+const Oid& ocsp_signing();           // 1.3.6.1.5.5.7.3.9
+const Oid& sha256_with_rsa();        // 1.2.840.113549.1.1.11
+const Oid& ecdsa_with_sha256();      // 1.2.840.10045.4.3.2
+}  // namespace oids
+
+}  // namespace stalecert::asn1

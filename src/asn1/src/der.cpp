@@ -1,0 +1,357 @@
+#include "stalecert/asn1/der.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::asn1 {
+namespace {
+
+Bytes encode_length(std::size_t length) {
+  Bytes out;
+  if (length < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(length));
+    return out;
+  }
+  Bytes digits;
+  std::size_t remaining = length;
+  while (remaining > 0) {
+    digits.push_back(static_cast<std::uint8_t>(remaining & 0xff));
+    remaining >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | digits.size()));
+  out.insert(out.end(), digits.rbegin(), digits.rend());
+  return out;
+}
+
+int two_digits(std::span<const std::uint8_t> s, std::size_t offset) {
+  const char hi = static_cast<char>(s[offset]);
+  const char lo = static_cast<char>(s[offset + 1]);
+  if (hi < '0' || hi > '9' || lo < '0' || lo > '9') {
+    throw ParseError("non-digit in ASN.1 time");
+  }
+  return (hi - '0') * 10 + (lo - '0');
+}
+
+}  // namespace
+
+void Encoder::write_header(std::uint8_t tag, std::size_t length) {
+  out_.push_back(tag);
+  const Bytes len = encode_length(length);
+  out_.insert(out_.end(), len.begin(), len.end());
+}
+
+void Encoder::write_boolean(bool value) {
+  write_header(static_cast<std::uint8_t>(Tag::kBoolean), 1);
+  out_.push_back(value ? 0xff : 0x00);
+}
+
+void Encoder::write_integer(std::int64_t value) {
+  // Minimal two's-complement big-endian encoding.
+  Bytes digits;
+  std::uint64_t bits = static_cast<std::uint64_t>(value);
+  for (int i = 0; i < 8; ++i) {
+    digits.push_back(static_cast<std::uint8_t>(bits >> ((7 - i) * 8)));
+  }
+  std::size_t start = 0;
+  while (start + 1 < digits.size()) {
+    const bool redundant_zero = digits[start] == 0x00 && (digits[start + 1] & 0x80) == 0;
+    const bool redundant_ff = digits[start] == 0xff && (digits[start + 1] & 0x80) != 0;
+    if (!redundant_zero && !redundant_ff) break;
+    ++start;
+  }
+  write_header(static_cast<std::uint8_t>(Tag::kInteger), digits.size() - start);
+  out_.insert(out_.end(), digits.begin() + static_cast<std::ptrdiff_t>(start),
+              digits.end());
+}
+
+void Encoder::write_integer_bytes(std::span<const std::uint8_t> magnitude) {
+  if (magnitude.empty()) {
+    // Canonical zero.
+    write_header(static_cast<std::uint8_t>(Tag::kInteger), 1);
+    out_.push_back(0x00);
+    return;
+  }
+  std::size_t start = 0;
+  while (start + 1 < magnitude.size() && magnitude[start] == 0) ++start;
+  const bool needs_pad = (magnitude[start] & 0x80) != 0;
+  const std::size_t body = (magnitude.size() - start) + (needs_pad ? 1 : 0);
+  write_header(static_cast<std::uint8_t>(Tag::kInteger), body);
+  if (needs_pad) out_.push_back(0x00);
+  out_.insert(out_.end(), magnitude.begin() + static_cast<std::ptrdiff_t>(start),
+              magnitude.end());
+}
+
+void Encoder::write_bit_string(std::span<const std::uint8_t> bytes,
+                               unsigned unused_bits) {
+  if (unused_bits > 7) throw LogicError("bit string unused_bits > 7");
+  write_header(static_cast<std::uint8_t>(Tag::kBitString), bytes.size() + 1);
+  out_.push_back(static_cast<std::uint8_t>(unused_bits));
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void Encoder::write_octet_string(std::span<const std::uint8_t> bytes) {
+  write_header(static_cast<std::uint8_t>(Tag::kOctetString), bytes.size());
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void Encoder::write_null() { write_header(static_cast<std::uint8_t>(Tag::kNull), 0); }
+
+void Encoder::write_oid(const Oid& oid) {
+  const Bytes content = encode_oid_content(oid);
+  write_header(static_cast<std::uint8_t>(Tag::kOid), content.size());
+  out_.insert(out_.end(), content.begin(), content.end());
+}
+
+void Encoder::write_utf8_string(std::string_view text) {
+  write_header(static_cast<std::uint8_t>(Tag::kUtf8String), text.size());
+  out_.insert(out_.end(), text.begin(), text.end());
+}
+
+void Encoder::write_printable_string(std::string_view text) {
+  write_header(static_cast<std::uint8_t>(Tag::kPrintableString), text.size());
+  out_.insert(out_.end(), text.begin(), text.end());
+}
+
+void Encoder::write_ia5_string(std::string_view text) {
+  write_header(static_cast<std::uint8_t>(Tag::kIa5String), text.size());
+  out_.insert(out_.end(), text.begin(), text.end());
+}
+
+void Encoder::write_time(util::Date date) {
+  const auto ymd = date.to_ymd();
+  char buf[20];
+  if (ymd.year >= 1950 && ymd.year < 2050) {
+    std::snprintf(buf, sizeof buf, "%02d%02u%02u000000Z", ymd.year % 100, ymd.month,
+                  ymd.day);
+    write_header(static_cast<std::uint8_t>(Tag::kUtcTime), 13);
+  } else {
+    std::snprintf(buf, sizeof buf, "%04d%02u%02u000000Z", ymd.year, ymd.month,
+                  ymd.day);
+    write_header(static_cast<std::uint8_t>(Tag::kGeneralizedTime), 15);
+  }
+  out_.insert(out_.end(), buf, buf + std::strlen(buf));
+}
+
+void Encoder::open_constructed(std::uint8_t tag) {
+  open_offsets_.push_back(out_.size());
+  out_.push_back(tag);
+  out_.push_back(0);  // placeholder single-byte length, fixed on close
+}
+
+void Encoder::close_constructed() {
+  if (open_offsets_.empty()) throw LogicError("end without matching begin");
+  const std::size_t header = open_offsets_.back();
+  open_offsets_.pop_back();
+  const std::size_t content_len = out_.size() - header - 2;
+  const Bytes len = encode_length(content_len);
+  if (len.size() == 1) {
+    out_[header + 1] = len[0];
+  } else {
+    // Widen the placeholder to the real multi-byte length.
+    out_.insert(out_.begin() + static_cast<std::ptrdiff_t>(header) + 2,
+                len.begin() + 1, len.end());
+    out_[header + 1] = len[0];
+  }
+}
+
+void Encoder::begin_sequence() { open_constructed(static_cast<std::uint8_t>(Tag::kSequence)); }
+void Encoder::end_sequence() { close_constructed(); }
+void Encoder::begin_set() { open_constructed(static_cast<std::uint8_t>(Tag::kSet)); }
+void Encoder::end_set() { close_constructed(); }
+void Encoder::begin_context(unsigned tag_number) {
+  open_constructed(context_tag(tag_number, /*constructed=*/true));
+}
+void Encoder::end_context() { close_constructed(); }
+
+void Encoder::write_context_string(unsigned tag_number, std::string_view text) {
+  write_header(context_tag(tag_number, /*constructed=*/false), text.size());
+  out_.insert(out_.end(), text.begin(), text.end());
+}
+
+void Encoder::write_raw(std::span<const std::uint8_t> tlv) {
+  out_.insert(out_.end(), tlv.begin(), tlv.end());
+}
+
+const Bytes& Encoder::bytes() const {
+  if (!open_offsets_.empty()) throw LogicError("unterminated constructed type");
+  return out_;
+}
+
+Bytes Encoder::take() {
+  if (!open_offsets_.empty()) throw LogicError("unterminated constructed type");
+  return std::move(out_);
+}
+
+std::uint8_t Decoder::peek_tag() const {
+  if (at_end()) throw ParseError("DER: unexpected end of input");
+  return data_[pos_];
+}
+
+Tlv Decoder::read_any() {
+  if (remaining() < 2) throw ParseError("DER: truncated TLV header");
+  const std::uint8_t tag = data_[pos_++];
+  if ((tag & 0x1f) == 0x1f) throw ParseError("DER: multi-byte tags unsupported");
+  std::size_t length = data_[pos_++];
+  if (length & 0x80) {
+    const std::size_t num_bytes = length & 0x7f;
+    if (num_bytes == 0) throw ParseError("DER: indefinite length not allowed");
+    if (num_bytes > sizeof(std::size_t)) throw ParseError("DER: length too large");
+    if (remaining() < num_bytes) throw ParseError("DER: truncated length");
+    length = 0;
+    for (std::size_t i = 0; i < num_bytes; ++i) {
+      length = length << 8 | data_[pos_++];
+    }
+    if (length < 0x80) throw ParseError("DER: non-minimal length encoding");
+  }
+  if (remaining() < length) throw ParseError("DER: truncated content");
+  const Tlv tlv{tag, data_.subspan(pos_, length)};
+  pos_ += length;
+  return tlv;
+}
+
+Tlv Decoder::read_expected(std::uint8_t tag) {
+  const std::uint8_t actual = peek_tag();
+  if (actual != tag) {
+    throw ParseError("DER: expected tag " + std::to_string(tag) + ", got " +
+                     std::to_string(actual));
+  }
+  return read_any();
+}
+
+bool Decoder::read_boolean() {
+  const Tlv tlv = read_expected(Tag::kBoolean);
+  if (tlv.content.size() != 1) throw ParseError("DER: BOOLEAN length != 1");
+  if (tlv.content[0] != 0x00 && tlv.content[0] != 0xff) {
+    throw ParseError("DER: non-canonical BOOLEAN");
+  }
+  return tlv.content[0] == 0xff;
+}
+
+std::int64_t Decoder::read_integer() {
+  const Tlv tlv = read_expected(Tag::kInteger);
+  if (tlv.content.empty() || tlv.content.size() > 8) {
+    throw ParseError("DER: INTEGER does not fit int64");
+  }
+  std::int64_t value = (tlv.content[0] & 0x80) ? -1 : 0;
+  for (const std::uint8_t byte : tlv.content) {
+    value = static_cast<std::int64_t>(static_cast<std::uint64_t>(value) << 8) |
+            byte;
+  }
+  return value;
+}
+
+Bytes Decoder::read_integer_bytes() {
+  const Tlv tlv = read_expected(Tag::kInteger);
+  if (tlv.content.empty()) throw ParseError("DER: empty INTEGER");
+  std::span<const std::uint8_t> magnitude = tlv.content;
+  if (magnitude.size() > 1 && magnitude[0] == 0x00) magnitude = magnitude.subspan(1);
+  return Bytes(magnitude.begin(), magnitude.end());
+}
+
+Bytes Decoder::read_bit_string(unsigned* unused_bits) {
+  const Tlv tlv = read_expected(Tag::kBitString);
+  if (tlv.content.empty()) throw ParseError("DER: empty BIT STRING");
+  if (unused_bits) *unused_bits = tlv.content[0];
+  return Bytes(tlv.content.begin() + 1, tlv.content.end());
+}
+
+Bytes Decoder::read_octet_string() {
+  const Tlv tlv = read_expected(Tag::kOctetString);
+  return Bytes(tlv.content.begin(), tlv.content.end());
+}
+
+void Decoder::read_null() {
+  const Tlv tlv = read_expected(Tag::kNull);
+  if (!tlv.content.empty()) throw ParseError("DER: NULL with content");
+}
+
+Oid Decoder::read_oid() {
+  const Tlv tlv = read_expected(Tag::kOid);
+  return decode_oid_content(tlv.content);
+}
+
+std::string Decoder::read_string() {
+  const std::uint8_t tag = peek_tag();
+  if (tag != static_cast<std::uint8_t>(Tag::kUtf8String) &&
+      tag != static_cast<std::uint8_t>(Tag::kPrintableString) &&
+      tag != static_cast<std::uint8_t>(Tag::kIa5String)) {
+    throw ParseError("DER: expected a string type");
+  }
+  const Tlv tlv = read_any();
+  return std::string(tlv.content.begin(), tlv.content.end());
+}
+
+util::Date Decoder::read_time() {
+  const std::uint8_t tag = peek_tag();
+  const Tlv tlv = read_any();
+  int year = 0;
+  std::size_t offset = 0;
+  if (tag == static_cast<std::uint8_t>(Tag::kUtcTime)) {
+    if (tlv.content.size() != 13) throw ParseError("DER: bad UTCTime length");
+    const int yy = two_digits(tlv.content, 0);
+    year = yy >= 50 ? 1900 + yy : 2000 + yy;
+    offset = 2;
+  } else if (tag == static_cast<std::uint8_t>(Tag::kGeneralizedTime)) {
+    if (tlv.content.size() != 15) throw ParseError("DER: bad GeneralizedTime length");
+    year = two_digits(tlv.content, 0) * 100 + two_digits(tlv.content, 2);
+    offset = 4;
+  } else {
+    throw ParseError("DER: expected a time type");
+  }
+  const int month = two_digits(tlv.content, offset);
+  const int day = two_digits(tlv.content, offset + 2);
+  if (tlv.content.back() != 'Z') throw ParseError("DER: time must be Zulu");
+  return util::Date::from_ymd(year, static_cast<unsigned>(month),
+                              static_cast<unsigned>(day));
+}
+
+Bytes encode_oid_content(const Oid& oid) {
+  const auto& arcs = oid.arcs();
+  if (arcs.size() < 2 || arcs[0] > 2 || (arcs[0] < 2 && arcs[1] >= 40)) {
+    throw LogicError("invalid OID arcs for encoding");
+  }
+  Bytes out;
+  auto push_base128 = [&out](std::uint32_t value) {
+    std::uint8_t chunks[5];
+    int n = 0;
+    do {
+      chunks[n++] = static_cast<std::uint8_t>(value & 0x7f);
+      value >>= 7;
+    } while (value > 0);
+    for (int i = n - 1; i >= 0; --i) {
+      out.push_back(static_cast<std::uint8_t>(chunks[i] | (i > 0 ? 0x80 : 0x00)));
+    }
+  };
+  push_base128(arcs[0] * 40 + arcs[1]);
+  for (std::size_t i = 2; i < arcs.size(); ++i) push_base128(arcs[i]);
+  return out;
+}
+
+Oid decode_oid_content(std::span<const std::uint8_t> content) {
+  if (content.empty()) throw ParseError("DER: empty OID");
+  std::vector<std::uint32_t> arcs;
+  std::uint64_t value = 0;
+  bool in_arc = false;
+  for (const std::uint8_t byte : content) {
+    value = value << 7 | (byte & 0x7f);
+    if (value > 0xffffffffULL) throw ParseError("DER: OID arc overflow");
+    in_arc = (byte & 0x80) != 0;
+    if (!in_arc) {
+      if (arcs.empty()) {
+        const std::uint32_t first = value >= 80 ? 2 : static_cast<std::uint32_t>(value / 40);
+        arcs.push_back(first);
+        arcs.push_back(static_cast<std::uint32_t>(value - first * 40));
+      } else {
+        arcs.push_back(static_cast<std::uint32_t>(value));
+      }
+      value = 0;
+    }
+  }
+  if (in_arc) throw ParseError("DER: truncated OID arc");
+  return Oid{std::move(arcs)};
+}
+
+}  // namespace stalecert::asn1

@@ -1,0 +1,70 @@
+#include "stalecert/asn1/oid.hpp"
+
+#include <charconv>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::asn1 {
+
+Oid Oid::parse(std::string_view dotted) {
+  if (dotted.empty()) throw ParseError("empty OID");
+  std::vector<std::uint32_t> arcs;
+  for (const auto& part : util::split(dotted, '.')) {
+    std::uint32_t arc = 0;
+    const auto* first = part.data();
+    const auto* last = part.data() + part.size();
+    auto [ptr, ec] = std::from_chars(first, last, arc);
+    if (ec != std::errc{} || ptr != last || part.empty()) {
+      throw ParseError("invalid OID arc '" + part + "'");
+    }
+    arcs.push_back(arc);
+  }
+  if (arcs.size() < 2) throw ParseError("OID needs at least two arcs");
+  return Oid{std::move(arcs)};
+}
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (i) out += '.';
+    out += std::to_string(arcs_[i]);
+  }
+  return out;
+}
+
+namespace oids {
+#define STALECERT_DEFINE_OID(name, ...)      \
+  const Oid& name() {                        \
+    static const Oid oid{__VA_ARGS__};       \
+    return oid;                              \
+  }
+
+STALECERT_DEFINE_OID(common_name, 2, 5, 4, 3)
+STALECERT_DEFINE_OID(organization, 2, 5, 4, 10)
+STALECERT_DEFINE_OID(country, 2, 5, 4, 6)
+STALECERT_DEFINE_OID(subject_alt_name, 2, 5, 29, 17)
+STALECERT_DEFINE_OID(basic_constraints, 2, 5, 29, 19)
+STALECERT_DEFINE_OID(key_usage, 2, 5, 29, 15)
+STALECERT_DEFINE_OID(ext_key_usage, 2, 5, 29, 37)
+STALECERT_DEFINE_OID(subject_key_id, 2, 5, 29, 14)
+STALECERT_DEFINE_OID(authority_key_id, 2, 5, 29, 35)
+STALECERT_DEFINE_OID(crl_distribution_points, 2, 5, 29, 31)
+STALECERT_DEFINE_OID(authority_info_access, 1, 3, 6, 1, 5, 5, 7, 1, 1)
+STALECERT_DEFINE_OID(certificate_policies, 2, 5, 29, 32)
+STALECERT_DEFINE_OID(crl_reason, 2, 5, 29, 21)
+STALECERT_DEFINE_OID(tls_feature, 1, 3, 6, 1, 5, 5, 7, 1, 24)
+STALECERT_DEFINE_OID(ct_precert_poison, 1, 3, 6, 1, 4, 1, 11129, 2, 4, 3)
+STALECERT_DEFINE_OID(ct_sct_list, 1, 3, 6, 1, 4, 1, 11129, 2, 4, 2)
+STALECERT_DEFINE_OID(server_auth, 1, 3, 6, 1, 5, 5, 7, 3, 1)
+STALECERT_DEFINE_OID(client_auth, 1, 3, 6, 1, 5, 5, 7, 3, 2)
+STALECERT_DEFINE_OID(code_signing, 1, 3, 6, 1, 5, 5, 7, 3, 3)
+STALECERT_DEFINE_OID(email_protection, 1, 3, 6, 1, 5, 5, 7, 3, 4)
+STALECERT_DEFINE_OID(ocsp_signing, 1, 3, 6, 1, 5, 5, 7, 3, 9)
+STALECERT_DEFINE_OID(sha256_with_rsa, 1, 2, 840, 113549, 1, 1, 11)
+STALECERT_DEFINE_OID(ecdsa_with_sha256, 1, 2, 840, 10045, 4, 3, 2)
+
+#undef STALECERT_DEFINE_OID
+}  // namespace oids
+
+}  // namespace stalecert::asn1

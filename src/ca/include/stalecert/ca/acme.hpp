@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/ca/authority.hpp"
+
+namespace stalecert::ca {
+
+using AccountId = std::uint64_t;
+using OrderId = std::uint64_t;
+
+/// RFC 8555 order states (simplified: "processing" is instantaneous here).
+enum class OrderStatus : std::uint8_t { kPending, kReady, kValid, kInvalid };
+enum class AuthzStatus : std::uint8_t { kPending, kValid, kInvalid };
+
+std::string to_string(OrderStatus status);
+std::string to_string(AuthzStatus status);
+
+/// One challenge offered for an authorization.
+struct AcmeChallenge {
+  ChallengeType type = ChallengeType::kHttp01;
+  std::uint64_t token = 0;
+  bool completed = false;
+};
+
+/// Authorization for one identifier.
+struct AcmeAuthorization {
+  std::string domain;   // base domain (wildcard stripped)
+  bool wildcard = false;
+  AuthzStatus status = AuthzStatus::kPending;
+  std::vector<AcmeChallenge> challenges;
+};
+
+/// An ACME order.
+struct AcmeOrder {
+  OrderId id = 0;
+  AccountId account = 0;
+  std::vector<std::string> identifiers;  // as requested (may include "*.")
+  OrderStatus status = OrderStatus::kPending;
+  std::vector<AcmeAuthorization> authorizations;
+  std::optional<x509::Certificate> certificate;
+  util::Date created;
+  util::Date expires;  // unfinalized orders lapse
+};
+
+/// An RFC 8555-style ACME front end over a CertificateAuthority: account
+/// registration, orders, per-identifier authorizations with HTTP-01 /
+/// DNS-01 / TLS-ALPN-01 challenges (wildcards restricted to DNS-01), and
+/// finalization into an issued, CT-logged certificate. This is the
+/// automation layer (§2.2) that enables 90-day lifetimes — and the
+/// unattended reissuance hazard of §7.1.
+class AcmeServer {
+ public:
+  AcmeServer(CertificateAuthority* ca, std::uint64_t seed,
+             std::int64_t order_lifetime_days = 7);
+
+  /// Registers an account bound to a world actor (key thumbprint analog).
+  AccountId new_account(ActorId actor, std::string contact, util::Date now);
+  [[nodiscard]] bool account_exists(AccountId account) const;
+
+  /// Creates an order; one authorization per unique base identifier.
+  /// Throws LogicError for unknown accounts or empty identifier lists.
+  OrderId new_order(AccountId account, std::vector<std::string> identifiers,
+                    util::Date now);
+
+  [[nodiscard]] const AcmeOrder& order(OrderId id) const;
+
+  /// The client signals it has provisioned the challenge response; the
+  /// server verifies control through the CA's validation environment.
+  /// Returns true when the challenge validates. Wildcard authorizations
+  /// only accept DNS-01.
+  bool respond_challenge(OrderId id, const std::string& domain, ChallengeType type,
+                         ActorId actor, util::Date now);
+
+  /// Finalizes a ready order with the subscriber's key ("CSR"): issues and
+  /// returns the certificate. Fails (nullopt, order -> invalid) if the
+  /// order is not ready or expired.
+  std::optional<x509::Certificate> finalize(OrderId id, const crypto::KeyPair& key,
+                                            util::Date now);
+
+  [[nodiscard]] std::uint64_t issued_count() const { return issued_; }
+
+ private:
+  AcmeOrder& require_order(OrderId id);
+  void refresh_order_status(AcmeOrder& order, util::Date now);
+
+  CertificateAuthority* ca_;
+  util::Rng rng_;
+  std::int64_t order_lifetime_days_;
+  std::map<AccountId, std::pair<ActorId, std::string>> accounts_;
+  std::map<OrderId, AcmeOrder> orders_;
+  AccountId next_account_ = 1;
+  OrderId next_order_ = 1;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace stalecert::ca

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/ca/dv.hpp"
+#include "stalecert/ct/logset.hpp"
+#include "stalecert/revocation/crl.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::ca {
+
+/// CA/Browser Forum maximum DV certificate lifetime in effect on a given
+/// date: 39 months before Ballot 193 (March 2018), 825 days until the
+/// browser-enforced 398-day limit of September 1, 2020.
+std::int64_t cab_forum_max_lifetime(util::Date date);
+
+/// Static description of a CA brand (market profiles are instantiated in
+/// sim/ to mirror the paper's issuer mix).
+struct CaProfile {
+  std::string name;          // issuer CN, e.g. "Let's Encrypt X3"
+  std::string organization;  // e.g. "ISRG (Let's Encrypt)"
+  std::string country = "US";
+  /// Self-imposed cap below the CA/B Forum limit (Let's Encrypt, GTS and
+  /// cPanel enforce 90 days).
+  std::optional<std::int64_t> self_imposed_max_days;
+  /// Lifetime this CA issues by default when the subscriber doesn't ask.
+  std::int64_t default_days = 365;
+  bool automated = false;  // ACME pipeline
+  std::string crl_url;
+};
+
+struct IssuanceRequest {
+  std::vector<std::string> domains;     // SAN list, first entry becomes CN
+  crypto::KeyPair subscriber_key;
+  ActorId account = 0;
+  util::Date date;
+  std::optional<std::int64_t> requested_days;
+  ChallengeType challenge = ChallengeType::kHttp01;
+};
+
+struct IssuanceError {
+  enum class Kind { kValidationFailed, kNoDomains } kind;
+  std::string detail;
+};
+
+struct IssuanceOutcome {
+  std::optional<x509::Certificate> certificate;
+  std::optional<IssuanceError> error;
+  bool validation_reused = false;
+  [[nodiscard]] bool ok() const { return certificate.has_value(); }
+};
+
+/// A certificate authority: verifies domain control, enforces the lifetime
+/// policy in effect at issuance, logs precertificate + certificate to CT,
+/// and maintains its revocation list.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(CaProfile profile, std::uint64_t seed);
+
+  [[nodiscard]] const CaProfile& profile() const { return profile_; }
+  [[nodiscard]] const crypto::KeyPair& issuing_key() const { return issuing_key_; }
+  [[nodiscard]] x509::DistinguishedName issuer_dn() const;
+
+  /// Attaches the CT log set that issued certificates are submitted to.
+  void attach_ct(ct::LogSet* logs) { logs_ = logs; }
+  void attach_validation(const ValidationEnvironment* env) { validation_env_ = env; }
+  [[nodiscard]] const ValidationEnvironment* validation_environment() const {
+    return validation_env_;
+  }
+
+  /// Effective maximum lifetime on a date: min(CA/B rule, self-imposed).
+  [[nodiscard]] std::int64_t max_lifetime_at(util::Date date) const;
+
+  /// Full issuance pipeline: DV validation (when an environment is
+  /// attached), lifetime clamping, precert + cert CT submission.
+  IssuanceOutcome issue(const IssuanceRequest& request);
+
+  /// Issues without validation — used by managed-TLS providers issuing for
+  /// enrolled customers through their own CA, and by tests.
+  x509::Certificate issue_unchecked(const IssuanceRequest& request);
+
+  /// Revokes a certificate; returns false if it was already revoked
+  /// (revocation reasons are first-write-wins, as on real CRLs).
+  bool revoke(const x509::Certificate& cert, util::Date date,
+              revocation::ReasonCode reason);
+  [[nodiscard]] bool is_revoked(const x509::Certificate& cert) const;
+
+  /// The CRL this CA would publish on `date` (entries revoked up to then).
+  [[nodiscard]] revocation::Crl crl_at(util::Date date) const;
+
+  [[nodiscard]] std::uint64_t issued_count() const { return issued_count_; }
+  [[nodiscard]] std::uint64_t revoked_count() const { return revoked_.size(); }
+  [[nodiscard]] DvValidator& validator() { return validator_; }
+
+ private:
+  struct RevokedRecord {
+    asn1::Bytes serial;
+    util::Date date;
+    revocation::ReasonCode reason;
+  };
+
+  CaProfile profile_;
+  crypto::KeyPair issuing_key_;
+  DvValidator validator_;
+  ct::LogSet* logs_ = nullptr;
+  const ValidationEnvironment* validation_env_ = nullptr;
+  std::uint64_t next_serial_ = 1;
+  std::uint64_t issued_count_ = 0;
+  std::vector<RevokedRecord> revoked_;
+};
+
+}  // namespace stalecert::ca

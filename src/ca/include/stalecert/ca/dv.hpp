@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "stalecert/util/date.hpp"
+#include "stalecert/util/rng.hpp"
+
+namespace stalecert::ca {
+
+/// ACME-style domain-control challenge types (§2.2, Figure 1).
+enum class ChallengeType : std::uint8_t {
+  kHttp01,    // nonce served from a well-known HTTP path
+  kDns01,     // nonce placed in a TXT record
+  kTlsAlpn01, // nonce presented in a TLS ALPN handshake
+  kEmail,     // nonce mailed to a WHOIS/SOA contact
+};
+
+std::string to_string(ChallengeType type);
+
+/// An opaque actor in the simulation (registrant, CDN, attacker). Control
+/// predicates are evaluated against the world's current state.
+using ActorId = std::uint64_t;
+
+/// Who currently controls what, from the CA's observable vantage point.
+/// Implemented by the world simulator; tests use simple fakes.
+class ValidationEnvironment {
+ public:
+  virtual ~ValidationEnvironment() = default;
+
+  /// Can the actor publish DNS records under the domain (DNS-01, and the
+  /// contact-based methods that rely on SOA/TXT/CAA)?
+  [[nodiscard]] virtual bool controls_dns(const std::string& domain,
+                                          ActorId actor) const = 0;
+  /// Does the actor operate the web server that external HTTP(S)
+  /// connections for the domain reach (HTTP-01 / TLS-ALPN-01)?
+  [[nodiscard]] virtual bool controls_web(const std::string& domain,
+                                          ActorId actor) const = 0;
+};
+
+/// Result of a validation attempt.
+struct ValidationResult {
+  bool ok = false;
+  bool reused = false;            // satisfied from the reuse cache
+  std::uint64_t nonce = 0;        // the challenge token that was exchanged
+};
+
+/// Performs DV identity verification with the per-(account, domain) reuse
+/// cache the Baseline Requirements allow: evidence of control may be
+/// reused for up to 398 days, which can make certificates stale from the
+/// moment of issuance (§4.4 "Domain validation reuse").
+class DvValidator {
+ public:
+  struct Options {
+    std::int64_t reuse_window_days = 398;
+    bool allow_reuse = true;
+  };
+
+  explicit DvValidator(std::uint64_t seed) : rng_(seed) {}
+  DvValidator(std::uint64_t seed, Options options) : rng_(seed), options_(options) {}
+
+  ValidationResult validate(const ValidationEnvironment& env,
+                            const std::string& domain, ActorId account,
+                            ChallengeType challenge, util::Date date);
+
+  [[nodiscard]] std::uint64_t fresh_validations() const { return fresh_; }
+  [[nodiscard]] std::uint64_t reused_validations() const { return reused_; }
+
+ private:
+  util::Rng rng_;
+  Options options_;
+  // (account, domain) -> date of last successful fresh validation
+  std::map<std::pair<ActorId, std::string>, util::Date> cache_;
+  std::uint64_t fresh_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+}  // namespace stalecert::ca

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stalecert/ca/authority.hpp"
+
+namespace stalecert::ca {
+
+/// RFC 8739 STAR: Short-Term, Automatically Renewed certificates (the
+/// paper cites this as the issuance-automation path that makes very short
+/// lifetimes operationally viable, §6/§7.2). One recurring-order
+/// authorization covers a whole series of short-lived certificates that
+/// the CA pre-issues on a fixed cadence; the subscriber just fetches the
+/// current one. Because each certificate lives only days, a stale one is
+/// abusable for days at most — and there is no revocation to get right.
+class StarIssuer {
+ public:
+  struct Options {
+    std::int64_t cert_lifetime_days = 7;
+    /// New certificate every `renewal_interval_days` (< lifetime so
+    /// consecutive certs overlap and rollover is seamless).
+    std::int64_t renewal_interval_days = 3;
+    /// The recurring order itself expires (re-authorization required),
+    /// bounding how long unattended issuance can continue.
+    std::int64_t order_lifetime_days = 365;
+  };
+
+  /// Starts a recurring order. The CA's validation environment is
+  /// consulted once at order time (like ACME pre-authorization).
+  StarIssuer(CertificateAuthority* ca, std::vector<std::string> domains,
+             crypto::KeyPair subscriber_key, ActorId account, util::Date start,
+             Options options);
+
+  /// Advances pre-issuance up to `now`; returns newly issued certificates.
+  std::vector<x509::Certificate> advance_to(util::Date now);
+
+  /// The certificate the subscriber should currently serve (latest issued
+  /// covering `now`), if the order is still live.
+  [[nodiscard]] std::optional<x509::Certificate> current(util::Date now) const;
+
+  /// Subscriber cancels the recurring order (e.g. before migrating away):
+  /// pre-issuance stops immediately. Already-issued certificates keep
+  /// their (short) remaining validity — the residual exposure window.
+  void terminate(util::Date now);
+
+  [[nodiscard]] bool terminated() const { return terminated_; }
+  [[nodiscard]] util::Date order_expiry() const { return order_expiry_; }
+  [[nodiscard]] const std::vector<x509::Certificate>& issued() const {
+    return issued_;
+  }
+
+ private:
+  CertificateAuthority* ca_;
+  std::vector<std::string> domains_;
+  crypto::KeyPair key_;
+  ActorId account_;
+  Options options_;
+  util::Date next_issue_;
+  util::Date order_expiry_;
+  bool terminated_ = false;
+  std::vector<x509::Certificate> issued_;
+};
+
+}  // namespace stalecert::ca

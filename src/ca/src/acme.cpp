@@ -1,0 +1,199 @@
+#include "stalecert/ca/acme.hpp"
+
+#include <algorithm>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::ca {
+
+std::string to_string(OrderStatus status) {
+  switch (status) {
+    case OrderStatus::kPending: return "pending";
+    case OrderStatus::kReady: return "ready";
+    case OrderStatus::kValid: return "valid";
+    case OrderStatus::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+std::string to_string(AuthzStatus status) {
+  switch (status) {
+    case AuthzStatus::kPending: return "pending";
+    case AuthzStatus::kValid: return "valid";
+    case AuthzStatus::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+AcmeServer::AcmeServer(CertificateAuthority* ca, std::uint64_t seed,
+                       std::int64_t order_lifetime_days)
+    : ca_(ca), rng_(seed), order_lifetime_days_(order_lifetime_days) {
+  if (!ca_) throw LogicError("AcmeServer: null CA");
+}
+
+AccountId AcmeServer::new_account(ActorId actor, std::string contact,
+                                  util::Date) {
+  const AccountId id = next_account_++;
+  accounts_.emplace(id, std::make_pair(actor, std::move(contact)));
+  return id;
+}
+
+bool AcmeServer::account_exists(AccountId account) const {
+  return accounts_.contains(account);
+}
+
+OrderId AcmeServer::new_order(AccountId account,
+                              std::vector<std::string> identifiers,
+                              util::Date now) {
+  if (!accounts_.contains(account)) throw LogicError("ACME: unknown account");
+  if (identifiers.empty()) throw LogicError("ACME: order without identifiers");
+
+  AcmeOrder order;
+  order.id = next_order_++;
+  order.account = account;
+  order.created = now;
+  order.expires = now + order_lifetime_days_;
+  for (auto& raw : identifiers) {
+    order.identifiers.push_back(util::to_lower(raw));
+  }
+
+  // One authorization per unique base domain; wildcard identifiers force a
+  // DNS-01-only authorization (RFC 8555 §7.4.1 + CA policy).
+  for (const auto& identifier : order.identifiers) {
+    const bool wildcard = util::starts_with(identifier, "*.");
+    const std::string base = wildcard ? identifier.substr(2) : identifier;
+    auto existing = std::find_if(
+        order.authorizations.begin(), order.authorizations.end(),
+        [&](const AcmeAuthorization& a) { return a.domain == base; });
+    if (existing != order.authorizations.end()) {
+      existing->wildcard = existing->wildcard || wildcard;
+      if (existing->wildcard) {
+        std::erase_if(existing->challenges, [](const AcmeChallenge& c) {
+          return c.type != ChallengeType::kDns01;
+        });
+      }
+      continue;
+    }
+    AcmeAuthorization authz;
+    authz.domain = base;
+    authz.wildcard = wildcard;
+    if (wildcard) {
+      authz.challenges.push_back({ChallengeType::kDns01, rng_.next(), false});
+    } else {
+      authz.challenges.push_back({ChallengeType::kHttp01, rng_.next(), false});
+      authz.challenges.push_back({ChallengeType::kDns01, rng_.next(), false});
+      authz.challenges.push_back({ChallengeType::kTlsAlpn01, rng_.next(), false});
+    }
+    order.authorizations.push_back(std::move(authz));
+  }
+
+  const OrderId id = order.id;
+  orders_.emplace(id, std::move(order));
+  return id;
+}
+
+AcmeOrder& AcmeServer::require_order(OrderId id) {
+  const auto it = orders_.find(id);
+  if (it == orders_.end()) throw LogicError("ACME: unknown order");
+  return it->second;
+}
+
+const AcmeOrder& AcmeServer::order(OrderId id) const {
+  const auto it = orders_.find(id);
+  if (it == orders_.end()) throw LogicError("ACME: unknown order");
+  return it->second;
+}
+
+void AcmeServer::refresh_order_status(AcmeOrder& order, util::Date now) {
+  if (order.status == OrderStatus::kValid || order.status == OrderStatus::kInvalid) {
+    return;
+  }
+  if (now >= order.expires) {
+    order.status = OrderStatus::kInvalid;
+    return;
+  }
+  const bool all_valid = std::all_of(
+      order.authorizations.begin(), order.authorizations.end(),
+      [](const AcmeAuthorization& a) { return a.status == AuthzStatus::kValid; });
+  const bool any_invalid = std::any_of(
+      order.authorizations.begin(), order.authorizations.end(),
+      [](const AcmeAuthorization& a) { return a.status == AuthzStatus::kInvalid; });
+  if (any_invalid) {
+    order.status = OrderStatus::kInvalid;
+  } else if (all_valid) {
+    order.status = OrderStatus::kReady;
+  }
+}
+
+bool AcmeServer::respond_challenge(OrderId id, const std::string& domain,
+                                   ChallengeType type, ActorId actor,
+                                   util::Date now) {
+  AcmeOrder& order = require_order(id);
+  refresh_order_status(order, now);
+  if (order.status == OrderStatus::kInvalid) return false;
+
+  const auto& account = accounts_.at(order.account);
+  // The responding actor must be the account holder (key authorization
+  // string binds challenge responses to the account key).
+  if (account.first != actor) return false;
+
+  const std::string base = util::to_lower(domain);
+  const auto authz_it = std::find_if(
+      order.authorizations.begin(), order.authorizations.end(),
+      [&](const AcmeAuthorization& a) { return a.domain == base; });
+  if (authz_it == order.authorizations.end()) return false;
+  if (authz_it->status == AuthzStatus::kValid) return true;
+
+  const auto challenge_it =
+      std::find_if(authz_it->challenges.begin(), authz_it->challenges.end(),
+                   [&](const AcmeChallenge& c) { return c.type == type; });
+  if (challenge_it == authz_it->challenges.end()) return false;  // e.g. wildcard+http
+
+  const auto* env = ca_->validation_environment();
+  bool controlled = false;
+  if (env) {
+    switch (type) {
+      case ChallengeType::kDns01:
+      case ChallengeType::kEmail:
+        controlled = env->controls_dns(base, actor);
+        break;
+      case ChallengeType::kHttp01:
+      case ChallengeType::kTlsAlpn01:
+        controlled = env->controls_web(base, actor);
+        break;
+    }
+  } else {
+    controlled = true;  // no environment attached: open CA (tests)
+  }
+
+  challenge_it->completed = controlled;
+  authz_it->status = controlled ? AuthzStatus::kValid : AuthzStatus::kInvalid;
+  refresh_order_status(order, now);
+  return controlled;
+}
+
+std::optional<x509::Certificate> AcmeServer::finalize(OrderId id,
+                                                      const crypto::KeyPair& key,
+                                                      util::Date now) {
+  AcmeOrder& order = require_order(id);
+  refresh_order_status(order, now);
+  if (order.status != OrderStatus::kReady) {
+    if (order.status == OrderStatus::kPending) order.status = OrderStatus::kInvalid;
+    return std::nullopt;
+  }
+
+  IssuanceRequest request;
+  request.domains = order.identifiers;
+  request.subscriber_key = key;
+  request.account = accounts_.at(order.account).first;
+  request.date = now;
+  // Validation already happened through the challenges above.
+  const x509::Certificate cert = ca_->issue_unchecked(request);
+  order.certificate = cert;
+  order.status = OrderStatus::kValid;
+  ++issued_;
+  return cert;
+}
+
+}  // namespace stalecert::ca

@@ -1,0 +1,126 @@
+#include "stalecert/ca/authority.hpp"
+
+#include <algorithm>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::ca {
+
+std::int64_t cab_forum_max_lifetime(util::Date date) {
+  static const util::Date kBallot193 = util::Date::from_ymd(2018, 3, 1);
+  static const util::Date kBrowser398 = util::Date::from_ymd(2020, 9, 1);
+  if (date < kBallot193) return 39 * 31;  // ~39 months
+  if (date < kBrowser398) return 825;
+  return 398;
+}
+
+CertificateAuthority::CertificateAuthority(CaProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)),
+      issuing_key_(crypto::KeyPair::derive("ca/" + profile_.name,
+                                           crypto::KeyAlgorithm::kEcdsaP384)),
+      validator_(seed) {}
+
+x509::DistinguishedName CertificateAuthority::issuer_dn() const {
+  return {profile_.name, profile_.organization, profile_.country};
+}
+
+std::int64_t CertificateAuthority::max_lifetime_at(util::Date date) const {
+  const std::int64_t forum = cab_forum_max_lifetime(date);
+  if (profile_.self_imposed_max_days) {
+    return std::min(forum, *profile_.self_imposed_max_days);
+  }
+  return forum;
+}
+
+IssuanceOutcome CertificateAuthority::issue(const IssuanceRequest& request) {
+  IssuanceOutcome outcome;
+  if (request.domains.empty()) {
+    outcome.error = {IssuanceError::Kind::kNoDomains, "no domains requested"};
+    return outcome;
+  }
+  if (validation_env_) {
+    for (const auto& domain : request.domains) {
+      // Wildcard names are validated against their base domain via DNS-01
+      // (ACME policy: wildcards require DNS challenges).
+      std::string target = domain;
+      ChallengeType challenge = request.challenge;
+      if (target.starts_with("*.")) {
+        target = target.substr(2);
+        challenge = ChallengeType::kDns01;
+      }
+      const ValidationResult result = validator_.validate(
+          *validation_env_, target, request.account, challenge, request.date);
+      if (!result.ok) {
+        outcome.error = {IssuanceError::Kind::kValidationFailed,
+                         "failed " + to_string(challenge) + " for " + domain};
+        return outcome;
+      }
+      outcome.validation_reused = outcome.validation_reused || result.reused;
+    }
+  }
+  outcome.certificate = issue_unchecked(request);
+  return outcome;
+}
+
+x509::Certificate CertificateAuthority::issue_unchecked(const IssuanceRequest& request) {
+  if (request.domains.empty()) throw LogicError("issue_unchecked: no domains");
+  const std::int64_t days =
+      std::min(request.requested_days.value_or(profile_.default_days),
+               max_lifetime_at(request.date));
+
+  x509::CertificateBuilder builder;
+  builder.serial(next_serial_++)
+      .issuer(issuer_dn())
+      .subject_cn(request.domains.front())
+      .validity(request.date, request.date + days)
+      .key(request.subscriber_key)
+      .dns_names(request.domains)
+      .authority_key_id(issuing_key_.key_id())
+      .server_auth_profile()
+      .policy(asn1::Oid{2, 23, 140, 1, 2, 1});  // CA/B DV policy OID
+  if (!profile_.crl_url.empty()) {
+    builder.crl_url(profile_.crl_url);
+    builder.ocsp_url("http://ocsp." + profile_.name);
+  }
+
+  if (logs_) {
+    // Submit the precertificate, then embed the returned SCT log ids.
+    x509::CertificateBuilder precert_builder = builder;
+    const x509::Certificate precert =
+        precert_builder.precert_poison(true).build();
+    const auto scts = logs_->submit(precert, request.date);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(scts.size());
+    for (const auto& sct : scts) ids.push_back(sct.log_id);
+    builder.sct_log_ids(std::move(ids));
+  }
+  const x509::Certificate cert = builder.build();
+  if (logs_) logs_->submit(cert, request.date);
+  ++issued_count_;
+  return cert;
+}
+
+bool CertificateAuthority::revoke(const x509::Certificate& cert, util::Date date,
+                                  revocation::ReasonCode reason) {
+  if (is_revoked(cert)) return false;
+  revoked_.push_back({cert.serial(), date, reason});
+  return true;
+}
+
+bool CertificateAuthority::is_revoked(const x509::Certificate& cert) const {
+  return std::any_of(revoked_.begin(), revoked_.end(), [&](const auto& r) {
+    return r.serial == cert.serial();
+  });
+}
+
+revocation::Crl CertificateAuthority::crl_at(util::Date date) const {
+  revocation::Crl crl(issuer_dn(), issuing_key_.key_id(), date, date + 7);
+  for (const auto& record : revoked_) {
+    if (record.date <= date) {
+      crl.add({record.serial, record.date, record.reason});
+    }
+  }
+  return crl;
+}
+
+}  // namespace stalecert::ca

@@ -1,0 +1,54 @@
+#include "stalecert/ca/dv.hpp"
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::ca {
+
+std::string to_string(ChallengeType type) {
+  switch (type) {
+    case ChallengeType::kHttp01: return "http-01";
+    case ChallengeType::kDns01: return "dns-01";
+    case ChallengeType::kTlsAlpn01: return "tls-alpn-01";
+    case ChallengeType::kEmail: return "email";
+  }
+  return "?";
+}
+
+ValidationResult DvValidator::validate(const ValidationEnvironment& env,
+                                       const std::string& domain, ActorId account,
+                                       ChallengeType challenge, util::Date date) {
+  const std::string lowered = util::to_lower(domain);
+  ValidationResult result;
+  result.nonce = rng_.next();
+
+  if (options_.allow_reuse) {
+    const auto it = cache_.find({account, lowered});
+    if (it != cache_.end() && date - it->second <= options_.reuse_window_days &&
+        date >= it->second) {
+      ++reused_;
+      result.ok = true;
+      result.reused = true;
+      return result;
+    }
+  }
+
+  bool controlled = false;
+  switch (challenge) {
+    case ChallengeType::kDns01:
+    case ChallengeType::kEmail:
+      controlled = env.controls_dns(lowered, account);
+      break;
+    case ChallengeType::kHttp01:
+    case ChallengeType::kTlsAlpn01:
+      controlled = env.controls_web(lowered, account);
+      break;
+  }
+  if (!controlled) return result;
+
+  ++fresh_;
+  cache_[{account, lowered}] = date;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace stalecert::ca

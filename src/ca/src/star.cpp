@@ -1,0 +1,55 @@
+#include "stalecert/ca/star.hpp"
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::ca {
+
+StarIssuer::StarIssuer(CertificateAuthority* ca, std::vector<std::string> domains,
+                       crypto::KeyPair subscriber_key, ActorId account,
+                       util::Date start, Options options)
+    : ca_(ca),
+      domains_(std::move(domains)),
+      key_(subscriber_key),
+      account_(account),
+      options_(options),
+      next_issue_(start),
+      order_expiry_(start + options.order_lifetime_days) {
+  if (!ca_) throw LogicError("StarIssuer: null CA");
+  if (domains_.empty()) throw LogicError("StarIssuer: no domains");
+  if (options_.renewal_interval_days < 1 ||
+      options_.renewal_interval_days > options_.cert_lifetime_days) {
+    throw LogicError("StarIssuer: renewal interval must be in [1, lifetime]");
+  }
+}
+
+std::vector<x509::Certificate> StarIssuer::advance_to(util::Date now) {
+  std::vector<x509::Certificate> fresh;
+  while (!terminated_ && next_issue_ <= now && next_issue_ < order_expiry_) {
+    IssuanceRequest request;
+    request.domains = domains_;
+    request.subscriber_key = key_;
+    request.account = account_;
+    request.date = next_issue_;
+    request.requested_days = options_.cert_lifetime_days;
+    fresh.push_back(ca_->issue_unchecked(request));
+    next_issue_ += options_.renewal_interval_days;
+  }
+  issued_.insert(issued_.end(), fresh.begin(), fresh.end());
+  return fresh;
+}
+
+std::optional<x509::Certificate> StarIssuer::current(util::Date now) const {
+  std::optional<x509::Certificate> best;
+  for (const auto& cert : issued_) {
+    if (!cert.valid_at(now)) continue;
+    if (!best || cert.not_after() > best->not_after()) best = cert;
+  }
+  return best;
+}
+
+void StarIssuer::terminate(util::Date now) {
+  terminated_ = true;
+  order_expiry_ = std::min(order_expiry_, now);
+}
+
+}  // namespace stalecert::ca

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stalecert/ca/authority.hpp"
+#include "stalecert/dns/zone.hpp"
+#include "stalecert/util/rng.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::cdn {
+
+/// How a customer delegates traffic to the provider (§2.3 / Figure 3):
+/// a CNAME to the provider's edge, or full NS delegation.
+enum class DelegationKind : std::uint8_t { kCname, kNs };
+
+std::string to_string(DelegationKind kind);
+
+/// Static description of a managed-TLS provider.
+struct ProviderConfig {
+  std::string name;                 // "Cloudflare"
+  std::string ns_suffix;            // "ns.cloudflare.com" -> ns1.ns..., ns2.ns...
+  std::string cname_suffix;         // "cdn.cloudflare.com"
+  /// SAN label pattern of managed certificates (e.g. "sni*.cloudflaressl.com").
+  /// Empty for providers whose managed certs are indistinguishable from
+  /// self-managed ones (they use DigiCert / Let's Encrypt).
+  std::string managed_san_pattern;
+  /// >0: pack up to this many customers into one "cruise-liner"
+  /// certificate (Cloudflare pre-2019). 0: one certificate per customer.
+  std::size_t cruiseliner_capacity = 0;
+  /// Date after which the provider switches from cruise-liners to
+  /// per-domain certificates from its own CA (Cloudflare mid-2019).
+  std::optional<util::Date> per_domain_switch;
+  std::int64_t managed_cert_days = 365;
+  ca::ActorId actor = 0;  // the provider's identity in validation checks
+  /// Keyless-SSL mode (§7.2 mitigation, Cloudflare's "Keyless SSL" /
+  /// keyless-CDN conclaves): the customer's key server holds the private
+  /// key; the provider terminates TLS by remote signing and retains NO
+  /// usable key material after departure. Managed certificates still
+  /// exist (and still look stale to a CT-based detector), but the
+  /// third-party impersonation capability is gone.
+  bool keyless_ssl = false;
+};
+
+/// A key custody fact: the provider holds the private key for a
+/// certificate covering `domain` during [acquired, forever). Custody is
+/// never relinquished — that is precisely the staleness hazard.
+struct KeyCustody {
+  std::string domain;
+  crypto::KeyPair key;
+  util::Date acquired;
+};
+
+/// Ground-truth enrollment span for a customer domain.
+struct Enrollment {
+  std::string domain;
+  DelegationKind kind = DelegationKind::kCname;
+  util::Date start;
+  std::optional<util::Date> end;  // departure date, if departed
+};
+
+/// A managed-TLS provider (CDN / shared web host). Owns DNS delegation
+/// records for enrolled customers, obtains certificates on their behalf
+/// (controlling the private keys), and — crucially — retains those keys
+/// after a customer departs.
+class ManagedTlsProvider {
+ public:
+  ManagedTlsProvider(ProviderConfig config, ca::CertificateAuthority* pack_ca,
+                     ca::CertificateAuthority* direct_ca, dns::DnsDatabase* dnsdb,
+                     std::uint64_t seed);
+
+  [[nodiscard]] const ProviderConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+
+  /// Enrolls a customer: delegates DNS and issues/extends managed certs.
+  /// Returns the certificates newly issued on behalf of the customer.
+  std::vector<x509::Certificate> enroll(const std::string& domain,
+                                        DelegationKind kind, util::Date date);
+
+  /// Customer departs to new infrastructure: the delegation records are
+  /// replaced, the cruise-liner (if any) is re-issued without the domain —
+  /// but the provider keeps every key it ever held. Returns the newly
+  /// issued replacement certificates (the SAN-shuffled cruise-liner).
+  std::vector<x509::Certificate> depart(const std::string& domain, util::Date date);
+
+  /// Periodic renewal pass: re-issues managed certificates that expire
+  /// within `horizon_days`. Mirrors unattended automatic reissuance (§7.1).
+  std::vector<x509::Certificate> renew_expiring(util::Date date,
+                                                std::int64_t horizon_days = 30);
+
+  [[nodiscard]] bool is_enrolled(const std::string& domain) const;
+  [[nodiscard]] std::size_t enrolled_count() const;
+  [[nodiscard]] const std::vector<Enrollment>& enrollment_history() const {
+    return history_;
+  }
+  /// All custody facts (the provider-side key ledger).
+  [[nodiscard]] const std::vector<KeyCustody>& custody_ledger() const {
+    return custody_;
+  }
+  /// Does the provider hold the private key of this certificate?
+  [[nodiscard]] bool holds_key(const x509::Certificate& cert) const;
+
+  /// Nameserver host names assigned to a domain under NS delegation.
+  [[nodiscard]] std::vector<std::string> assigned_nameservers(
+      const std::string& domain) const;
+
+ private:
+  struct Shell {  // one cruise-liner certificate group
+    std::string sni_label;            // sni12345.cloudflaressl.com
+    crypto::KeyPair key;
+    std::set<std::string> domains;
+    std::optional<x509::Certificate> current;
+  };
+
+  [[nodiscard]] bool per_domain_mode(util::Date date) const;
+  x509::Certificate issue_shell(Shell& shell, util::Date date);
+  x509::Certificate issue_per_domain(const std::string& domain, util::Date date);
+  void record_custody(const std::string& domain, const crypto::KeyPair& key,
+                      util::Date date);
+  void apply_delegation(const std::string& domain, DelegationKind kind);
+
+  ProviderConfig config_;
+  ca::CertificateAuthority* pack_ca_;
+  ca::CertificateAuthority* direct_ca_;
+  dns::DnsDatabase* dnsdb_;
+  util::Rng rng_;
+  std::vector<Shell> shells_;
+  std::map<std::string, std::size_t> domain_shell_;   // domain -> shell index
+  std::map<std::string, x509::Certificate> per_domain_certs_;
+  std::map<std::string, std::size_t> active_enrollment_;  // domain -> history idx
+  std::vector<Enrollment> history_;
+  std::vector<KeyCustody> custody_;
+  std::set<std::string> held_key_ids_;  // hex fingerprints for holds_key()
+};
+
+}  // namespace stalecert::cdn

@@ -1,0 +1,220 @@
+#include "stalecert/cdn/provider.hpp"
+
+#include <algorithm>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::cdn {
+
+std::string to_string(DelegationKind kind) {
+  switch (kind) {
+    case DelegationKind::kCname: return "CNAME";
+    case DelegationKind::kNs: return "NS";
+  }
+  return "?";
+}
+
+ManagedTlsProvider::ManagedTlsProvider(ProviderConfig config,
+                                       ca::CertificateAuthority* pack_ca,
+                                       ca::CertificateAuthority* direct_ca,
+                                       dns::DnsDatabase* dnsdb, std::uint64_t seed)
+    : config_(std::move(config)),
+      pack_ca_(pack_ca),
+      direct_ca_(direct_ca),
+      dnsdb_(dnsdb),
+      rng_(seed) {
+  if (!pack_ca_ || !direct_ca_ || !dnsdb_) {
+    throw LogicError("ManagedTlsProvider: null dependency");
+  }
+}
+
+bool ManagedTlsProvider::per_domain_mode(util::Date date) const {
+  if (config_.cruiseliner_capacity == 0) return true;
+  return config_.per_domain_switch && date >= *config_.per_domain_switch;
+}
+
+void ManagedTlsProvider::record_custody(const std::string& domain,
+                                        const crypto::KeyPair& key, util::Date date) {
+  // Under Keyless SSL the provider only ever signs via the customer's key
+  // server; there is nothing to retain when the customer leaves.
+  if (config_.keyless_ssl) return;
+  custody_.push_back({domain, key, date});
+  held_key_ids_.insert(key.fingerprint_hex());
+}
+
+void ManagedTlsProvider::apply_delegation(const std::string& domain,
+                                          DelegationKind kind) {
+  switch (kind) {
+    case DelegationKind::kCname:
+      dnsdb_->set_cname(domain, domain + "." + config_.cname_suffix);
+      dnsdb_->set_a(domain + "." + config_.cname_suffix, {"198.51.100.7"});
+      break;
+    case DelegationKind::kNs:
+      dnsdb_->set_cname(domain, std::nullopt);
+      dnsdb_->set_ns(domain, assigned_nameservers(domain));
+      dnsdb_->set_a(domain, {"198.51.100.8"});
+      break;
+  }
+}
+
+std::vector<std::string> ManagedTlsProvider::assigned_nameservers(
+    const std::string& domain) const {
+  // Deterministic pair of vanity nameservers per domain.
+  const auto digest = crypto::Sha256::hash("ns-assign/" + config_.name + "/" + domain);
+  const char first = static_cast<char>('a' + digest[0] % 26);
+  const char second = static_cast<char>('a' + digest[1] % 26);
+  return {std::string(1, first) + "1." + config_.ns_suffix,
+          std::string(1, second) + "2." + config_.ns_suffix};
+}
+
+x509::Certificate ManagedTlsProvider::issue_shell(Shell& shell, util::Date date) {
+  std::vector<std::string> sans;
+  sans.push_back(shell.sni_label);
+  for (const auto& d : shell.domains) {
+    sans.push_back(d);
+    sans.push_back("*." + d);
+  }
+  ca::IssuanceRequest request;
+  request.domains = std::move(sans);
+  request.subscriber_key = shell.key;
+  request.account = config_.actor;
+  request.date = date;
+  request.requested_days = config_.managed_cert_days;
+  const x509::Certificate cert = pack_ca_->issue_unchecked(request);
+  shell.current = cert;
+  for (const auto& d : shell.domains) record_custody(d, shell.key, date);
+  return cert;
+}
+
+x509::Certificate ManagedTlsProvider::issue_per_domain(const std::string& domain,
+                                                       util::Date date) {
+  const crypto::KeyPair key = crypto::KeyPair::derive(
+      config_.name + "/per-domain/" + domain + "/" + date.to_string(),
+      crypto::KeyAlgorithm::kEcdsaP256);
+  // Per-domain managed certificates still carry the provider's sni marker
+  // (all Cloudflare-managed certificates include a *.cloudflaressl.com
+  // SAN), which is what makes them attributable in the CT corpus.
+  const auto digest = crypto::Sha256::hash("sni/" + config_.name + "/" + domain);
+  const std::string sni_label =
+      "sni" + std::to_string(100000 + crypto::digest_prefix64(digest) % 900000) +
+      config_.managed_san_pattern.substr(config_.managed_san_pattern.find('.'));
+  ca::IssuanceRequest request;
+  request.domains = {sni_label, domain, "*." + domain};
+  request.subscriber_key = key;
+  request.account = config_.actor;
+  request.date = date;
+  request.requested_days = config_.managed_cert_days;
+  const x509::Certificate cert = direct_ca_->issue_unchecked(request);
+  per_domain_certs_[domain] = cert;
+  record_custody(domain, key, date);
+  return cert;
+}
+
+std::vector<x509::Certificate> ManagedTlsProvider::enroll(const std::string& domain,
+                                                          DelegationKind kind,
+                                                          util::Date date) {
+  if (is_enrolled(domain)) throw LogicError("enroll: '" + domain + "' already enrolled");
+  apply_delegation(domain, kind);
+  active_enrollment_[domain] = history_.size();
+  history_.push_back({domain, kind, date, std::nullopt});
+
+  std::vector<x509::Certificate> issued;
+  if (per_domain_mode(date)) {
+    issued.push_back(issue_per_domain(domain, date));
+    return issued;
+  }
+
+  // Cruise-liner packing: find a shell with room, else open a new one.
+  auto it = std::find_if(shells_.begin(), shells_.end(), [&](const Shell& s) {
+    return s.domains.size() < config_.cruiseliner_capacity;
+  });
+  if (it == shells_.end()) {
+    Shell shell;
+    shell.sni_label = "sni" + std::to_string(100000 + rng_.below(900000)) +
+                      "." + config_.managed_san_pattern.substr(
+                                config_.managed_san_pattern.find('.') + 1);
+    shell.key = crypto::KeyPair::derive(
+        config_.name + "/shell/" + shell.sni_label, crypto::KeyAlgorithm::kEcdsaP256);
+    shells_.push_back(std::move(shell));
+    it = std::prev(shells_.end());
+  }
+  it->domains.insert(domain);
+  domain_shell_[domain] = static_cast<std::size_t>(std::distance(shells_.begin(), it));
+  issued.push_back(issue_shell(*it, date));
+  return issued;
+}
+
+std::vector<x509::Certificate> ManagedTlsProvider::depart(const std::string& domain,
+                                                          util::Date date) {
+  const auto active = active_enrollment_.find(domain);
+  if (active == active_enrollment_.end()) {
+    throw LogicError("depart: '" + domain + "' not enrolled");
+  }
+  history_[active->second].end = date;
+  active_enrollment_.erase(active);
+
+  // Replace delegation with generic new infrastructure (self-hosting or a
+  // competitor): fresh NS + A records, no CNAME to this provider.
+  dnsdb_->set_cname(domain, std::nullopt);
+  dnsdb_->set_ns(domain, {"ns1.newhost-" + std::to_string(rng_.below(1000)) + ".example",
+                          "ns2.newhost.example"});
+  dnsdb_->set_a(domain, {"203.0.113." + std::to_string(1 + rng_.below(250))});
+
+  std::vector<x509::Certificate> issued;
+  const auto shell_it = domain_shell_.find(domain);
+  if (shell_it != domain_shell_.end()) {
+    Shell& shell = shells_[shell_it->second];
+    shell.domains.erase(domain);
+    domain_shell_.erase(shell_it);
+    // Cloudflare re-issues the cruise-liner without the departed customer;
+    // the *old* certificate (still covering the domain) remains valid and
+    // key-held — the staleness the paper measures. After the per-domain
+    // switch, shells are no longer re-issued (they dissolve at renewal).
+    if (!shell.domains.empty() && !per_domain_mode(date)) {
+      issued.push_back(issue_shell(shell, date));
+    }
+  }
+  per_domain_certs_.erase(domain);
+  return issued;
+}
+
+std::vector<x509::Certificate> ManagedTlsProvider::renew_expiring(
+    util::Date date, std::int64_t horizon_days) {
+  std::vector<x509::Certificate> issued;
+  for (auto& shell : shells_) {
+    if (shell.domains.empty() || !shell.current) continue;
+    if (shell.current->not_after() - date > horizon_days) continue;
+    if (per_domain_mode(date)) {
+      // The provider has switched to per-domain certificates: dissolve the
+      // cruise-liner, migrating each customer to its own certificate.
+      for (const auto& domain : shell.domains) {
+        issued.push_back(issue_per_domain(domain, date));
+        domain_shell_.erase(domain);
+      }
+      shell.domains.clear();
+      shell.current.reset();
+    } else {
+      issued.push_back(issue_shell(shell, date));
+    }
+  }
+  for (auto& [domain, cert] : per_domain_certs_) {
+    if (cert.not_after() - date <= horizon_days) {
+      issued.push_back(issue_per_domain(domain, date));
+    }
+  }
+  return issued;
+}
+
+bool ManagedTlsProvider::is_enrolled(const std::string& domain) const {
+  return active_enrollment_.contains(domain);
+}
+
+std::size_t ManagedTlsProvider::enrolled_count() const {
+  return active_enrollment_.size();
+}
+
+bool ManagedTlsProvider::holds_key(const x509::Certificate& cert) const {
+  return held_key_ids_.contains(cert.subject_key().fingerprint_hex());
+}
+
+}  // namespace stalecert::cdn

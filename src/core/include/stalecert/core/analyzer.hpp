@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stalecert/core/detectors.hpp"
+#include "stalecert/util/date.hpp"
+#include "stalecert/util/stats.hpp"
+
+namespace stalecert::core {
+
+/// Aggregate counts for one stale class over a measurement window —
+/// one row of Table 4.
+struct StaleSummary {
+  std::uint64_t stale_certs = 0;
+  std::uint64_t stale_fqdns = 0;
+  std::uint64_t stale_e2lds = 0;
+  std::int64_t window_days = 0;
+
+  [[nodiscard]] double daily_certs() const;
+  [[nodiscard]] double daily_fqdns() const;
+  [[nodiscard]] double daily_e2lds() const;
+};
+
+/// Analysis over a set of detected stale certificates, referencing the
+/// corpus they were detected in.
+class StalenessAnalyzer {
+ public:
+  StalenessAnalyzer(const CertificateCorpus& corpus,
+                    std::vector<StaleCertificate> stale);
+
+  [[nodiscard]] const std::vector<StaleCertificate>& stale() const { return stale_; }
+  [[nodiscard]] std::size_t count() const { return stale_.size(); }
+
+  /// Table 4 row over [first, last] inclusive.
+  [[nodiscard]] StaleSummary summarize(util::Date first, util::Date last) const;
+
+  /// Monthly count of stale certificates keyed by event month (Figures 4
+  /// and 5a).
+  [[nodiscard]] std::map<util::YearMonth, std::uint64_t> monthly_counts() const;
+  /// Monthly count of distinct affected e2LDs (Figure 5a's second series).
+  [[nodiscard]] std::map<util::YearMonth, std::uint64_t> monthly_e2lds() const;
+  /// Monthly counts split by an attribution label (issuer CN for Figure
+  /// 5b; issuing CA organization for Figure 4).
+  [[nodiscard]] std::map<util::YearMonth, util::LabelCounter> monthly_by_label(
+      bool use_organization) const;
+
+  /// Distribution of staleness periods in days (Figure 6 / Figure 7).
+  [[nodiscard]] util::EmpiricalDistribution staleness_distribution() const;
+  /// Distribution restricted to events in one calendar year (Figure 7).
+  [[nodiscard]] util::EmpiricalDistribution staleness_distribution_for_year(
+      int year) const;
+
+  /// Distribution of days from issuance (notBefore) to the invalidation
+  /// event — the survival analysis input for Figure 8.
+  [[nodiscard]] util::EmpiricalDistribution time_to_invalidation() const;
+
+  /// Distinct affected e2LDs across the whole set.
+  [[nodiscard]] std::vector<std::string> affected_e2lds() const;
+  /// Total staleness-days across the set (Figure 9's denominator).
+  [[nodiscard]] double total_staleness_days() const;
+
+ private:
+  /// FQDNs a stale record puts at risk: for registrant change and managed
+  /// TLS, the certificate names under the trigger e2LD; for key
+  /// compromise, every name on the certificate.
+  [[nodiscard]] std::vector<std::string> at_risk_fqdns(
+      const StaleCertificate& record) const;
+
+  const CertificateCorpus* corpus_;
+  std::vector<StaleCertificate> stale_;
+};
+
+}  // namespace stalecert::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stalecert/core/corpus.hpp"
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::core {
+
+/// BygoneSSL-style defender check (Foster & Ayrey, DEF CON'18 — the work
+/// this paper generalizes): when you acquire a domain, query CT for
+/// certificates that were issued BEFORE your acquisition and are still
+/// valid AFTER it. Whoever requested them (the prior owner, their CDN)
+/// may still hold the keys and can impersonate you until expiry.
+struct BygoneCertificate {
+  std::size_t corpus_index = 0;
+  /// Days the certificate remains valid past the acquisition date.
+  std::int64_t residual_days = 0;
+  /// Names on the certificate under the acquired domain.
+  std::vector<std::string> covered_names;
+};
+
+struct BygoneReport {
+  std::string domain;
+  util::Date acquisition_date;
+  std::vector<BygoneCertificate> certificates;
+
+  [[nodiscard]] bool clean() const { return certificates.empty(); }
+  /// Latest expiry among bygone certificates — the date after which the
+  /// new owner is safe without further action.
+  [[nodiscard]] util::Date safe_after() const;
+};
+
+/// Scans the corpus for bygone certificates of `domain` (an e2LD) acquired
+/// on `acquisition_date`. Results are sorted by descending residual days.
+BygoneReport check_bygone(const CertificateCorpus& corpus, const std::string& domain,
+                          util::Date acquisition_date);
+
+}  // namespace stalecert::core

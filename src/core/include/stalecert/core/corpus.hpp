@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::core {
+
+/// An indexed certificate corpus (the deduplicated CT download). Builds
+/// e2LD and FQDN inverted indexes once so the detectors' joins are O(1)
+/// per event instead of scanning 5B certificates per lookup.
+class CertificateCorpus {
+ public:
+  CertificateCorpus() = default;
+  explicit CertificateCorpus(std::vector<x509::Certificate> certificates);
+
+  [[nodiscard]] std::size_t size() const { return certificates_.size(); }
+  [[nodiscard]] const std::vector<x509::Certificate>& certificates() const {
+    return certificates_;
+  }
+  [[nodiscard]] const x509::Certificate& at(std::size_t index) const;
+
+  /// Indices of certificates containing any name under the given e2LD.
+  [[nodiscard]] std::vector<std::size_t> by_e2ld(const std::string& e2ld) const;
+  /// Indices of certificates containing the exact FQDN.
+  [[nodiscard]] std::vector<std::size_t> by_fqdn(const std::string& fqdn) const;
+
+  /// All distinct e2LDs present in the corpus.
+  [[nodiscard]] std::vector<std::string> e2lds() const;
+
+  /// Temporal-overlap statistics for one e2LD's certificates — §5.2's
+  /// cruise-liner observation: "hundreds of temporally-overlapping
+  /// certificates per Cloudflare customer domain".
+  struct OverlapStats {
+    std::size_t certificates = 0;
+    /// Maximum number of certificates simultaneously valid for the e2LD.
+    std::size_t max_concurrent = 0;
+    /// The day the maximum occurs (first such day).
+    util::Date peak_date;
+  };
+  [[nodiscard]] OverlapStats overlap_stats(const std::string& e2ld) const;
+
+ private:
+  std::vector<x509::Certificate> certificates_;
+  std::unordered_map<std::string, std::vector<std::size_t>> e2ld_index_;
+  std::unordered_map<std::string, std::vector<std::size_t>> fqdn_index_;
+};
+
+/// Strips a single leading wildcard label ("*.foo.com" -> "foo.com") for
+/// FQDN accounting.
+std::string strip_wildcard(const std::string& name);
+
+}  // namespace stalecert::core

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/core/corpus.hpp"
+#include "stalecert/core/taxonomy.hpp"
+#include "stalecert/dns/scan.hpp"
+#include "stalecert/revocation/join.hpp"
+#include "stalecert/util/interval.hpp"
+#include "stalecert/whois/database.hpp"
+
+namespace stalecert::core {
+
+/// A detected third-party stale certificate: a still-valid certificate
+/// whose key a third party controls after an invalidation event.
+struct StaleCertificate {
+  std::size_t corpus_index = 0;  // into the detecting corpus
+  StaleClass cls = StaleClass::kKeyCompromise;
+  util::Date event_date;            // when the invalidation occurred
+  util::DateInterval staleness;     // [event, notAfter)
+  std::string trigger_domain;       // e2LD whose change triggered detection
+  /// For key compromise: the reported revocation reason.
+  std::optional<revocation::ReasonCode> reason;
+
+  [[nodiscard]] std::int64_t staleness_days() const { return staleness.days(); }
+};
+
+/// ---------- Key compromise via revocation (§4.1 / §5.1) ----------
+
+struct RevocationAnalysisResult {
+  std::vector<StaleCertificate> all_revoked;      // Table 4 "Revoked: all"
+  std::vector<StaleCertificate> key_compromise;   // Table 4 "Revoked: key compromise"
+  revocation::JoinStats join_stats;
+};
+
+/// Joins a revocation store against the corpus, applies the paper's
+/// outlier filters, and splits out the key-compromise subset. Staleness is
+/// conservatively measured from the revocation timestamp (the paper
+/// assumes revocation is issued as soon as the event occurs).
+RevocationAnalysisResult analyze_revocations(
+    const CertificateCorpus& corpus, const revocation::RevocationStore& store,
+    const revocation::JoinFilters& filters);
+
+/// ---------- Domain registrant change (§4.2 / §5.2) ----------
+
+struct RegistrantChangeOptions {
+  /// Only count re-registrations (a previous creation date was observed):
+  /// the paper's conservative precision-over-recall posture. Disabling
+  /// this counts first sightings too (an ablation).
+  bool require_previous_observation = true;
+};
+
+/// For each WHOIS re-registration, finds certificates for that e2LD whose
+/// validity spans the new registry creation date:
+/// notBefore < creationDate < notAfter.
+std::vector<StaleCertificate> detect_registrant_change(
+    const CertificateCorpus& corpus,
+    const std::vector<whois::NewRegistration>& registrations,
+    const RegistrantChangeOptions& options = {});
+
+/// ---------- Managed TLS departure (§4.3 / §5.3) ----------
+
+struct ManagedTlsOptions {
+  /// Delegation patterns that identify the provider in NS/CNAME records,
+  /// e.g. {"*.ns.cloudflare.com", "*.cdn.cloudflare.com"}.
+  std::vector<std::string> delegation_patterns;
+  /// SAN pattern identifying the provider's managed certificates,
+  /// e.g. "sni*.cloudflaressl.com".
+  std::string managed_san_pattern;
+};
+
+/// A day-over-day delegation disappearance.
+struct DepartureEvent {
+  std::string domain;
+  util::Date date;  // the first day the delegation was absent
+};
+
+/// Scans consecutive snapshots for domains whose provider delegation was
+/// present one day and absent the next.
+std::vector<DepartureEvent> detect_departures(const dns::SnapshotStore& snapshots,
+                                              const ManagedTlsOptions& options);
+
+/// Joins departure events against the corpus: managed certificates
+/// (matching the SAN pattern) covering the departed domain and valid on
+/// the departure date.
+std::vector<StaleCertificate> detect_managed_tls_departure(
+    const CertificateCorpus& corpus, const dns::SnapshotStore& snapshots,
+    const ManagedTlsOptions& options);
+
+/// ---------- First-party staleness: key rotation (§3.1, Table 2) ----------
+
+/// A superseded certificate: a newer certificate for the same name(s) with
+/// a DIFFERENT key was issued while this one was still valid. First-party
+/// (the owner holds both keys), minimal security impact — but exactly the
+/// population that "superseded" revocations under-report.
+struct KeyRotationStale {
+  std::size_t corpus_index = 0;     // the superseded certificate
+  std::size_t successor_index = 0;  // the replacement carrying a new key
+  util::Date rotation_date;         // successor's notBefore
+  util::DateInterval staleness;     // [rotation, superseded notAfter)
+  std::string e2ld;
+
+  [[nodiscard]] std::int64_t staleness_days() const { return staleness.days(); }
+};
+
+/// Scans the corpus for key rotations. Renewals that KEEP the key are not
+/// invalidation events and are not reported.
+std::vector<KeyRotationStale> detect_key_rotation(const CertificateCorpus& corpus);
+
+}  // namespace stalecert::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stalecert/core/analyzer.hpp"
+#include "stalecert/core/detectors.hpp"
+
+namespace stalecert::core {
+
+/// Result of replaying a stale-certificate set under a hypothetical maximum
+/// lifetime of `cap_days` (§6 / Figure 9): certificates longer than the cap
+/// have their expiration pulled in to notBefore + cap; shorter certificates
+/// are untouched. A certificate stops being stale when its invalidation
+/// event now falls at or after the (new) expiry.
+struct CapResult {
+  std::int64_t cap_days = 0;
+  std::uint64_t original_count = 0;
+  std::uint64_t surviving_count = 0;       // still stale under the cap
+  double original_staleness_days = 0.0;
+  double capped_staleness_days = 0.0;
+
+  /// Fraction of stale certificates eliminated outright.
+  [[nodiscard]] double cert_reduction() const;
+  /// Fraction of total staleness-days eliminated (the Figure 9 metric).
+  [[nodiscard]] double staleness_days_reduction() const;
+};
+
+/// Simulates one lifetime cap over a detected stale set.
+CapResult simulate_cap(const CertificateCorpus& corpus,
+                       const std::vector<StaleCertificate>& stale,
+                       std::int64_t cap_days);
+
+/// Sweeps several caps (the paper uses 45, 90, 215 and the status-quo 398).
+std::vector<CapResult> simulate_caps(const CertificateCorpus& corpus,
+                                     const std::vector<StaleCertificate>& stale,
+                                     const std::vector<std::int64_t>& caps);
+
+/// One point of the Figure 8 survival curve.
+struct SurvivalPoint {
+  std::int64_t days = 0;
+  double surviving_fraction = 0.0;  // P(time-to-invalidation > days)
+};
+
+/// Survival analysis over time-from-issuance-to-invalidation: the
+/// proportion of (eventually stale) certificates that had not yet become
+/// stale n days after issuance. Under a max lifetime of n days, `1 -
+/// surviving_fraction(n)`... inverted: the fraction with event offset > n
+/// could be eliminated entirely (upper bound; assumes no renewal).
+std::vector<SurvivalPoint> survival_curve(const CertificateCorpus& corpus,
+                                          const std::vector<StaleCertificate>& stale,
+                                          const std::vector<std::int64_t>& days);
+
+/// Upper-bound fraction of stale certificates eliminated by a max lifetime
+/// of n days: P(time-to-invalidation >= n).
+double elimination_upper_bound(const CertificateCorpus& corpus,
+                               const std::vector<StaleCertificate>& stale,
+                               std::int64_t cap_days);
+
+}  // namespace stalecert::core

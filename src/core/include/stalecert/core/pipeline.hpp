@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/core/analyzer.hpp"
+#include "stalecert/core/detectors.hpp"
+#include "stalecert/core/lifetime.hpp"
+#include "stalecert/ct/logset.hpp"
+
+namespace stalecert::core {
+
+/// Configuration for the end-to-end measurement pipeline (§4).
+struct PipelineConfig {
+  /// CT collection: precert dedup is always on; this is the anomalous-FQDN
+  /// threshold (paper: 3000).
+  std::uint64_t max_certs_per_fqdn = 3000;
+  /// Revocation cutoff: drop revocations before this date (paper:
+  /// 2021-10-01, 13 months before CRL collection start). nullopt = keep all.
+  std::optional<util::Date> revocation_cutoff;
+  /// Conservative registrant-change posture (paper default: true).
+  bool require_previous_whois_observation = true;
+  /// Managed-TLS provider identification.
+  std::vector<std::string> delegation_patterns;
+  std::string managed_san_pattern;
+};
+
+/// Everything the pipeline produces in one pass.
+struct PipelineResult {
+  CertificateCorpus corpus;
+  ct::CollectStats collect_stats;
+  RevocationAnalysisResult revocations;
+  std::vector<StaleCertificate> registrant_change;
+  std::vector<StaleCertificate> managed_departure;
+
+  /// All third-party stale certificates (KC + registrant + managed).
+  [[nodiscard]] std::vector<StaleCertificate> all_third_party() const;
+  [[nodiscard]] const std::vector<StaleCertificate>& of(StaleClass cls) const;
+};
+
+/// Runs the full measurement pipeline: CT download + dedup + anomaly
+/// filter, CRL join with outlier filters, WHOIS re-registration join, and
+/// aDNS departure detection. This is the one-call public API a downstream
+/// monitor would embed.
+PipelineResult run_pipeline(const ct::LogSet& logs,
+                            const revocation::RevocationStore& revocations,
+                            const std::vector<whois::NewRegistration>& registrations,
+                            const dns::SnapshotStore& adns,
+                            const PipelineConfig& config);
+
+}  // namespace stalecert::core

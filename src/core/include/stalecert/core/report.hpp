@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "stalecert/core/pipeline.hpp"
+
+namespace stalecert::core {
+
+/// Options for rendering a measurement report.
+struct ReportOptions {
+  std::string title = "Stale TLS certificate survey";
+  /// Lifetime caps to include in the what-if section.
+  std::vector<std::int64_t> caps = {45, 90, 215};
+  /// Survival checkpoints.
+  std::vector<std::int64_t> survival_days = {30, 90, 215, 398};
+};
+
+/// Renders a PipelineResult as a self-contained Markdown report: corpus
+/// statistics, per-class detection counts, staleness distributions,
+/// survival checkpoints and the lifetime-cap what-if — the artifact a
+/// monitoring deployment would publish from each pipeline run.
+std::string render_markdown_report(const PipelineResult& result,
+                                   const ReportOptions& options = {});
+
+}  // namespace stalecert::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stalecert/revocation/reasons.hpp"
+
+namespace stalecert::core {
+
+/// Table 1: the four roles certificate information plays.
+enum class InfoCategory : std::uint8_t {
+  kSubscriberAuthentication,  // Subject Name, SAN, SPKI, Subject Key ID
+  kKeyAuthorization,          // Basic Constraints, Key Usage, EKU
+  kIssuerInformation,         // Issuer Name, AKI, Signature, CRL DP, AIA, Policy
+  kCertificateMetadata,       // Serial, Precert Poison, SCTs
+};
+
+std::string to_string(InfoCategory category);
+/// The certificate fields associated with a category (Table 1 column 3).
+std::vector<std::string> related_fields(InfoCategory category);
+
+/// Table 2: certificate invalidation events.
+enum class InvalidationEvent : std::uint8_t {
+  kDomainOwnershipChange,   // registrant change
+  kDomainUseChange,         // domain expiration, no new owner
+  kKeyOwnershipChange,      // key compromise
+  kKeyUseChange,            // key rotation / disuse
+  kManagedTlsDeparture,     // key disuse where a third party holds the key
+  kKeyAuthorizationChange,  // key scope reduction
+  kRevocationInfoChange,    // CA infrastructure change
+};
+
+std::string to_string(InvalidationEvent event);
+
+/// Which party ends up controlling the stale certificate's key.
+enum class ControllingParty : std::uint8_t { kFirstParty, kThirdParty };
+
+/// Security classification of an invalidation event (Table 2 column 4).
+struct SecurityImplication {
+  ControllingParty party = ControllingParty::kFirstParty;
+  bool enables_impersonation = false;  // TLS domain impersonation possible
+  std::string description;
+};
+
+/// Maps an invalidation event to its Table 2 classification.
+SecurityImplication classify(InvalidationEvent event);
+/// The information category an invalidation event belongs to.
+InfoCategory category_of(InvalidationEvent event);
+
+/// The three third-party stale certificate classes the paper measures.
+enum class StaleClass : std::uint8_t {
+  kKeyCompromise,
+  kRegistrantChange,
+  kManagedTlsDeparture,
+};
+
+std::string to_string(StaleClass cls);
+InvalidationEvent event_of(StaleClass cls);
+
+/// Best-effort mapping of an RFC 5280 revocation reason onto the taxonomy.
+/// Demonstrates the paper's point: the mapping is lossy and ambiguous
+/// (e.g. cessationOfOperation conflates benign shutdown with squatted
+/// domains), so several reasons map to kDomainUseChange by default.
+InvalidationEvent event_from_reason(revocation::ReasonCode reason);
+
+}  // namespace stalecert::core

@@ -1,0 +1,129 @@
+#include "stalecert/core/analyzer.hpp"
+
+#include <set>
+
+#include "stalecert/dns/name.hpp"
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::core {
+namespace {
+
+double per_day(std::uint64_t total, std::int64_t days) {
+  return days <= 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(days);
+}
+
+}  // namespace
+
+double StaleSummary::daily_certs() const { return per_day(stale_certs, window_days); }
+double StaleSummary::daily_fqdns() const { return per_day(stale_fqdns, window_days); }
+double StaleSummary::daily_e2lds() const { return per_day(stale_e2lds, window_days); }
+
+StalenessAnalyzer::StalenessAnalyzer(const CertificateCorpus& corpus,
+                                     std::vector<StaleCertificate> stale)
+    : corpus_(&corpus), stale_(std::move(stale)) {}
+
+std::vector<std::string> StalenessAnalyzer::at_risk_fqdns(
+    const StaleCertificate& record) const {
+  const auto& cert = corpus_->at(record.corpus_index);
+  std::vector<std::string> out;
+  for (const auto& raw : cert.dns_names()) {
+    const std::string name = strip_wildcard(raw);
+    if (record.cls == StaleClass::kKeyCompromise) {
+      out.push_back(name);
+      continue;
+    }
+    const auto e2 = dns::e2ld(name);
+    if (e2 && *e2 == record.trigger_domain) out.push_back(name);
+  }
+  return out;
+}
+
+StaleSummary StalenessAnalyzer::summarize(util::Date first, util::Date last) const {
+  if (last < first) throw LogicError("summarize: last < first");
+  StaleSummary summary;
+  summary.window_days = (last - first) + 1;
+  std::set<std::string> fqdns;
+  std::set<std::string> e2lds;
+  for (const auto& record : stale_) {
+    if (record.event_date < first || record.event_date > last) continue;
+    ++summary.stale_certs;
+    for (auto& name : at_risk_fqdns(record)) fqdns.insert(std::move(name));
+    e2lds.insert(record.trigger_domain);
+  }
+  summary.stale_fqdns = fqdns.size();
+  summary.stale_e2lds = e2lds.size();
+  return summary;
+}
+
+std::map<util::YearMonth, std::uint64_t> StalenessAnalyzer::monthly_counts() const {
+  std::map<util::YearMonth, std::uint64_t> out;
+  for (const auto& record : stale_) ++out[util::YearMonth::of(record.event_date)];
+  return out;
+}
+
+std::map<util::YearMonth, std::uint64_t> StalenessAnalyzer::monthly_e2lds() const {
+  std::map<util::YearMonth, std::set<std::string>> sets;
+  for (const auto& record : stale_) {
+    sets[util::YearMonth::of(record.event_date)].insert(record.trigger_domain);
+  }
+  std::map<util::YearMonth, std::uint64_t> out;
+  for (const auto& [month, domains] : sets) out[month] = domains.size();
+  return out;
+}
+
+std::map<util::YearMonth, util::LabelCounter> StalenessAnalyzer::monthly_by_label(
+    bool use_organization) const {
+  std::map<util::YearMonth, util::LabelCounter> out;
+  for (const auto& record : stale_) {
+    const auto& issuer = corpus_->at(record.corpus_index).issuer();
+    const std::string label =
+        use_organization ? issuer.organization : issuer.common_name;
+    out[util::YearMonth::of(record.event_date)].add(
+        label.empty() ? "(unknown)" : label);
+  }
+  return out;
+}
+
+util::EmpiricalDistribution StalenessAnalyzer::staleness_distribution() const {
+  util::EmpiricalDistribution dist;
+  for (const auto& record : stale_) {
+    dist.add(static_cast<double>(record.staleness_days()));
+  }
+  return dist;
+}
+
+util::EmpiricalDistribution StalenessAnalyzer::staleness_distribution_for_year(
+    int year) const {
+  util::EmpiricalDistribution dist;
+  for (const auto& record : stale_) {
+    if (record.event_date.year() == year) {
+      dist.add(static_cast<double>(record.staleness_days()));
+    }
+  }
+  return dist;
+}
+
+util::EmpiricalDistribution StalenessAnalyzer::time_to_invalidation() const {
+  util::EmpiricalDistribution dist;
+  for (const auto& record : stale_) {
+    const auto& cert = corpus_->at(record.corpus_index);
+    dist.add(static_cast<double>(record.event_date - cert.not_before()));
+  }
+  return dist;
+}
+
+std::vector<std::string> StalenessAnalyzer::affected_e2lds() const {
+  std::set<std::string> unique;
+  for (const auto& record : stale_) unique.insert(record.trigger_domain);
+  return std::vector<std::string>(unique.begin(), unique.end());
+}
+
+double StalenessAnalyzer::total_staleness_days() const {
+  double total = 0;
+  for (const auto& record : stale_) {
+    total += static_cast<double>(record.staleness_days());
+  }
+  return total;
+}
+
+}  // namespace stalecert::core

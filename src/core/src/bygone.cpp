@@ -1,0 +1,48 @@
+#include "stalecert/core/bygone.hpp"
+
+#include <algorithm>
+
+#include "stalecert/dns/name.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::core {
+
+util::Date BygoneReport::safe_after() const {
+  util::Date latest = acquisition_date;
+  for (const auto& bygone : certificates) {
+    latest = std::max(latest, acquisition_date + bygone.residual_days);
+  }
+  return latest;
+}
+
+BygoneReport check_bygone(const CertificateCorpus& corpus, const std::string& domain,
+                          util::Date acquisition_date) {
+  BygoneReport report;
+  report.domain = util::to_lower(domain);
+  report.acquisition_date = acquisition_date;
+
+  for (const std::size_t index : corpus.by_e2ld(report.domain)) {
+    const auto& cert = corpus.at(index);
+    // Issued before the acquisition (so requested by someone else), and
+    // still valid strictly after it.
+    if (!(cert.not_before() < acquisition_date &&
+          acquisition_date < cert.not_after())) {
+      continue;
+    }
+    BygoneCertificate bygone;
+    bygone.corpus_index = index;
+    bygone.residual_days = cert.not_after() - acquisition_date;
+    for (const auto& raw : cert.dns_names()) {
+      const std::string name = strip_wildcard(raw);
+      if (dns::e2ld(name) == report.domain) bygone.covered_names.push_back(raw);
+    }
+    report.certificates.push_back(std::move(bygone));
+  }
+  std::sort(report.certificates.begin(), report.certificates.end(),
+            [](const auto& a, const auto& b) {
+              return a.residual_days > b.residual_days;
+            });
+  return report;
+}
+
+}  // namespace stalecert::core

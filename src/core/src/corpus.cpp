@@ -1,0 +1,89 @@
+#include "stalecert/core/corpus.hpp"
+
+#include <algorithm>
+
+#include "stalecert/dns/name.hpp"
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::core {
+
+std::string strip_wildcard(const std::string& name) {
+  return util::starts_with(name, "*.") ? name.substr(2) : name;
+}
+
+CertificateCorpus::CertificateCorpus(std::vector<x509::Certificate> certificates)
+    : certificates_(std::move(certificates)) {
+  for (std::size_t i = 0; i < certificates_.size(); ++i) {
+    std::vector<std::string> seen_e2lds;
+    for (const auto& raw : certificates_[i].dns_names()) {
+      const std::string name = strip_wildcard(raw);
+      auto& fqdn_list = fqdn_index_[name];
+      if (fqdn_list.empty() || fqdn_list.back() != i) fqdn_list.push_back(i);
+      if (const auto e2 = dns::e2ld(name)) {
+        if (std::find(seen_e2lds.begin(), seen_e2lds.end(), *e2) ==
+            seen_e2lds.end()) {
+          seen_e2lds.push_back(*e2);
+          e2ld_index_[*e2].push_back(i);
+        }
+      }
+    }
+  }
+}
+
+const x509::Certificate& CertificateCorpus::at(std::size_t index) const {
+  if (index >= certificates_.size()) {
+    throw LogicError("CertificateCorpus: index out of range");
+  }
+  return certificates_[index];
+}
+
+std::vector<std::size_t> CertificateCorpus::by_e2ld(const std::string& e2ld) const {
+  const auto it = e2ld_index_.find(util::to_lower(e2ld));
+  return it == e2ld_index_.end() ? std::vector<std::size_t>{} : it->second;
+}
+
+std::vector<std::size_t> CertificateCorpus::by_fqdn(const std::string& fqdn) const {
+  const auto it = fqdn_index_.find(util::to_lower(fqdn));
+  return it == fqdn_index_.end() ? std::vector<std::size_t>{} : it->second;
+}
+
+CertificateCorpus::OverlapStats CertificateCorpus::overlap_stats(
+    const std::string& e2ld) const {
+  OverlapStats stats;
+  // Sweep line over validity begin/end events.
+  std::vector<std::pair<util::Date, int>> events;
+  for (const std::size_t index : by_e2ld(e2ld)) {
+    const auto& cert = certificates_[index];
+    ++stats.certificates;
+    events.emplace_back(cert.not_before(), +1);
+    events.emplace_back(cert.not_after(), -1);
+  }
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    // Ends sort before begins on the same day (half-open intervals).
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  });
+  std::size_t current = 0;
+  for (const auto& [date, delta] : events) {
+    if (delta > 0) {
+      ++current;
+      if (current > stats.max_concurrent) {
+        stats.max_concurrent = current;
+        stats.peak_date = date;
+      }
+    } else {
+      --current;
+    }
+  }
+  return stats;
+}
+
+std::vector<std::string> CertificateCorpus::e2lds() const {
+  std::vector<std::string> out;
+  out.reserve(e2ld_index_.size());
+  for (const auto& [e2ld, indices] : e2ld_index_) out.push_back(e2ld);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace stalecert::core

@@ -1,0 +1,193 @@
+#include "stalecert/core/detectors.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "stalecert/dns/name.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::core {
+namespace {
+
+/// First e2LD found among a certificate's names (attribution label).
+std::string primary_e2ld(const x509::Certificate& cert) {
+  for (const auto& name : cert.dns_names()) {
+    if (const auto e2 = dns::e2ld(strip_wildcard(name))) return *e2;
+  }
+  return cert.dns_names().empty() ? std::string{} : cert.dns_names().front();
+}
+
+}  // namespace
+
+RevocationAnalysisResult analyze_revocations(
+    const CertificateCorpus& corpus, const revocation::RevocationStore& store,
+    const revocation::JoinFilters& filters) {
+  RevocationAnalysisResult result;
+  // Re-run the join per corpus index so StaleCertificate can reference the
+  // corpus rather than copying certificates.
+  revocation::JoinStats stats;
+  stats.corpus_size = corpus.size();
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto& cert = corpus.at(i);
+    const auto issuer_serial = cert.issuer_serial();
+    if (!issuer_serial) continue;
+    const auto* obs =
+        store.lookup(issuer_serial->authority_key_id, issuer_serial->serial);
+    if (!obs) continue;
+    ++stats.matched;
+    if (obs->revocation_date < cert.not_before()) {
+      ++stats.dropped_before_valid;
+      continue;
+    }
+    if (obs->revocation_date >= cert.not_after()) {
+      ++stats.dropped_after_expiry;
+      continue;
+    }
+    if (filters.min_revocation_date &&
+        obs->revocation_date < *filters.min_revocation_date) {
+      ++stats.dropped_before_cutoff;
+      continue;
+    }
+    ++stats.kept;
+
+    StaleCertificate stale;
+    stale.corpus_index = i;
+    stale.cls = StaleClass::kKeyCompromise;
+    stale.event_date = obs->revocation_date;
+    stale.staleness = util::DateInterval{obs->revocation_date, cert.not_after()};
+    stale.trigger_domain = primary_e2ld(cert);
+    stale.reason = obs->reason;
+    if (obs->reason == revocation::ReasonCode::kKeyCompromise) {
+      result.key_compromise.push_back(stale);
+    }
+    result.all_revoked.push_back(std::move(stale));
+  }
+  result.join_stats = stats;
+  return result;
+}
+
+std::vector<StaleCertificate> detect_registrant_change(
+    const CertificateCorpus& corpus,
+    const std::vector<whois::NewRegistration>& registrations,
+    const RegistrantChangeOptions& options) {
+  std::vector<StaleCertificate> out;
+  for (const auto& event : registrations) {
+    if (options.require_previous_observation && !event.previous_creation_date) {
+      continue;
+    }
+    for (const std::size_t index : corpus.by_e2ld(event.domain)) {
+      const auto& cert = corpus.at(index);
+      // notBefore < creationDate < notAfter (strict, per §4.2).
+      if (!(cert.not_before() < event.creation_date &&
+            event.creation_date < cert.not_after())) {
+        continue;
+      }
+      StaleCertificate stale;
+      stale.corpus_index = index;
+      stale.cls = StaleClass::kRegistrantChange;
+      stale.event_date = event.creation_date;
+      stale.staleness = util::DateInterval{event.creation_date, cert.not_after()};
+      stale.trigger_domain = event.domain;
+      out.push_back(std::move(stale));
+    }
+  }
+  return out;
+}
+
+std::vector<DepartureEvent> detect_departures(const dns::SnapshotStore& snapshots,
+                                              const ManagedTlsOptions& options) {
+  std::vector<DepartureEvent> events;
+  auto delegated = [&](const dns::DomainRecords& records) {
+    return std::any_of(options.delegation_patterns.begin(),
+                       options.delegation_patterns.end(),
+                       [&](const std::string& pattern) {
+                         return records.delegates_to(pattern);
+                       });
+  };
+  for (std::size_t day = 1; day < snapshots.days(); ++day) {
+    const auto& prev = snapshots.day(day - 1);
+    const auto& curr = snapshots.day(day);
+    for (const auto& [domain, prev_records] : prev.records) {
+      if (!delegated(prev_records)) continue;
+      const dns::DomainRecords* curr_records = curr.find(domain);
+      if (curr_records && delegated(*curr_records)) continue;
+      events.push_back({domain, curr.date});
+    }
+  }
+  return events;
+}
+
+std::vector<StaleCertificate> detect_managed_tls_departure(
+    const CertificateCorpus& corpus, const dns::SnapshotStore& snapshots,
+    const ManagedTlsOptions& options) {
+  const std::vector<DepartureEvent> departures =
+      detect_departures(snapshots, options);
+
+  std::vector<StaleCertificate> out;
+  std::set<std::pair<std::size_t, std::string>> reported;  // (cert, domain) dedup
+  for (const auto& event : departures) {
+    const auto e2 = dns::e2ld(event.domain);
+    for (const std::size_t index : corpus.by_e2ld(e2.value_or(event.domain))) {
+      const auto& cert = corpus.at(index);
+      if (!cert.valid_at(event.date)) continue;
+      if (!cert.matches_domain(event.domain)) continue;
+      // Managed certificate check: the provider's SAN marker is present.
+      const auto names = cert.dns_names();
+      const bool managed = std::any_of(names.begin(), names.end(), [&](const auto& n) {
+        return util::wildcard_match(options.managed_san_pattern, n);
+      });
+      if (!managed) continue;
+      if (!reported.insert({index, event.domain}).second) continue;
+
+      StaleCertificate stale;
+      stale.corpus_index = index;
+      stale.cls = StaleClass::kManagedTlsDeparture;
+      stale.event_date = event.date;
+      stale.staleness = util::DateInterval{event.date, cert.not_after()};
+      stale.trigger_domain = e2.value_or(event.domain);
+      out.push_back(std::move(stale));
+    }
+  }
+  return out;
+}
+
+std::vector<KeyRotationStale> detect_key_rotation(const CertificateCorpus& corpus) {
+  std::vector<KeyRotationStale> out;
+  for (const auto& e2ld : corpus.e2lds()) {
+    std::vector<std::size_t> indices = corpus.by_e2ld(e2ld);
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      return corpus.at(a).not_before() < corpus.at(b).not_before();
+    });
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const auto& old_cert = corpus.at(indices[i]);
+      // Earliest later certificate with a different key, overlapping
+      // validity, sharing at least one name.
+      for (std::size_t j = i + 1; j < indices.size(); ++j) {
+        const auto& new_cert = corpus.at(indices[j]);
+        if (new_cert.not_before() <= old_cert.not_before()) continue;
+        if (new_cert.not_before() >= old_cert.not_after()) break;  // sorted
+        if (new_cert.subject_key() == old_cert.subject_key()) continue;
+        const auto old_names = old_cert.dns_names();
+        const bool shares_name =
+            std::any_of(old_names.begin(), old_names.end(), [&](const auto& n) {
+              return new_cert.matches_domain(strip_wildcard(n));
+            });
+        if (!shares_name) continue;
+
+        KeyRotationStale stale;
+        stale.corpus_index = indices[i];
+        stale.successor_index = indices[j];
+        stale.rotation_date = new_cert.not_before();
+        stale.staleness =
+            util::DateInterval{new_cert.not_before(), old_cert.not_after()};
+        stale.e2ld = e2ld;
+        out.push_back(std::move(stale));
+        break;  // one rotation record per superseded certificate
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stalecert::core

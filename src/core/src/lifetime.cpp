@@ -1,0 +1,83 @@
+#include "stalecert/core/lifetime.hpp"
+
+#include <algorithm>
+
+namespace stalecert::core {
+
+double CapResult::cert_reduction() const {
+  if (original_count == 0) return 0.0;
+  return 1.0 - static_cast<double>(surviving_count) /
+                   static_cast<double>(original_count);
+}
+
+double CapResult::staleness_days_reduction() const {
+  if (original_staleness_days <= 0.0) return 0.0;
+  return 1.0 - capped_staleness_days / original_staleness_days;
+}
+
+CapResult simulate_cap(const CertificateCorpus& corpus,
+                       const std::vector<StaleCertificate>& stale,
+                       std::int64_t cap_days) {
+  CapResult result;
+  result.cap_days = cap_days;
+  result.original_count = stale.size();
+  for (const auto& record : stale) {
+    const auto& cert = corpus.at(record.corpus_index);
+    result.original_staleness_days += static_cast<double>(record.staleness_days());
+
+    const util::DateInterval capped = cert.validity().clamp_duration(cap_days);
+    if (record.event_date >= capped.end()) continue;  // no longer stale
+    ++result.surviving_count;
+    const util::Date begin = std::max(record.event_date, capped.begin());
+    result.capped_staleness_days += static_cast<double>(capped.end() - begin);
+  }
+  return result;
+}
+
+std::vector<CapResult> simulate_caps(const CertificateCorpus& corpus,
+                                     const std::vector<StaleCertificate>& stale,
+                                     const std::vector<std::int64_t>& caps) {
+  std::vector<CapResult> out;
+  out.reserve(caps.size());
+  for (const auto cap : caps) out.push_back(simulate_cap(corpus, stale, cap));
+  return out;
+}
+
+std::vector<SurvivalPoint> survival_curve(const CertificateCorpus& corpus,
+                                          const std::vector<StaleCertificate>& stale,
+                                          const std::vector<std::int64_t>& days) {
+  std::vector<double> offsets;
+  offsets.reserve(stale.size());
+  for (const auto& record : stale) {
+    const auto& cert = corpus.at(record.corpus_index);
+    offsets.push_back(static_cast<double>(record.event_date - cert.not_before()));
+  }
+  std::sort(offsets.begin(), offsets.end());
+
+  std::vector<SurvivalPoint> out;
+  out.reserve(days.size());
+  for (const auto n : days) {
+    const auto it = std::upper_bound(offsets.begin(), offsets.end(),
+                                     static_cast<double>(n));
+    const double cdf = offsets.empty()
+                           ? 0.0
+                           : static_cast<double>(std::distance(offsets.begin(), it)) /
+                                 static_cast<double>(offsets.size());
+    out.push_back({n, 1.0 - cdf});
+  }
+  return out;
+}
+
+double elimination_upper_bound(const CertificateCorpus& corpus,
+                               const std::vector<StaleCertificate>& stale,
+                               std::int64_t cap_days) {
+  if (stale.empty()) return 0.0;
+  std::uint64_t eliminated = 0;
+  for (const auto& record : stale) {
+    const auto& cert = corpus.at(record.corpus_index);
+    if (record.event_date - cert.not_before() >= cap_days) ++eliminated;
+  }
+  return static_cast<double>(eliminated) / static_cast<double>(stale.size());
+}
+
+}  // namespace stalecert::core

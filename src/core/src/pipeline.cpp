@@ -1,0 +1,58 @@
+#include "stalecert/core/pipeline.hpp"
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::core {
+
+std::vector<StaleCertificate> PipelineResult::all_third_party() const {
+  std::vector<StaleCertificate> all;
+  all.reserve(revocations.key_compromise.size() + registrant_change.size() +
+              managed_departure.size());
+  all.insert(all.end(), revocations.key_compromise.begin(),
+             revocations.key_compromise.end());
+  all.insert(all.end(), registrant_change.begin(), registrant_change.end());
+  all.insert(all.end(), managed_departure.begin(), managed_departure.end());
+  return all;
+}
+
+const std::vector<StaleCertificate>& PipelineResult::of(StaleClass cls) const {
+  switch (cls) {
+    case StaleClass::kKeyCompromise: return revocations.key_compromise;
+    case StaleClass::kRegistrantChange: return registrant_change;
+    case StaleClass::kManagedTlsDeparture: return managed_departure;
+  }
+  throw LogicError("PipelineResult::of: unknown class");
+}
+
+PipelineResult run_pipeline(const ct::LogSet& logs,
+                            const revocation::RevocationStore& revocations,
+                            const std::vector<whois::NewRegistration>& registrations,
+                            const dns::SnapshotStore& adns,
+                            const PipelineConfig& config) {
+  PipelineResult result;
+
+  ct::CollectOptions collect;
+  collect.max_certs_per_fqdn = config.max_certs_per_fqdn;
+  result.corpus =
+      CertificateCorpus(logs.collect(collect, &result.collect_stats));
+
+  revocation::JoinFilters filters;
+  filters.min_revocation_date = config.revocation_cutoff;
+  result.revocations = analyze_revocations(result.corpus, revocations, filters);
+
+  RegistrantChangeOptions posture;
+  posture.require_previous_observation = config.require_previous_whois_observation;
+  result.registrant_change =
+      detect_registrant_change(result.corpus, registrations, posture);
+
+  if (!config.delegation_patterns.empty() && !config.managed_san_pattern.empty()) {
+    ManagedTlsOptions options;
+    options.delegation_patterns = config.delegation_patterns;
+    options.managed_san_pattern = config.managed_san_pattern;
+    result.managed_departure =
+        detect_managed_tls_departure(result.corpus, adns, options);
+  }
+  return result;
+}
+
+}  // namespace stalecert::core

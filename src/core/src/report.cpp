@@ -1,0 +1,90 @@
+#include "stalecert/core/report.hpp"
+
+#include <sstream>
+
+#include "stalecert/core/lifetime.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::core {
+namespace {
+
+void render_class_section(std::ostringstream& os, const PipelineResult& result,
+                          StaleClass cls, const ReportOptions& options) {
+  const auto& stale = result.of(cls);
+  StalenessAnalyzer analyzer(result.corpus, stale);
+
+  os << "### " << to_string(cls) << "\n\n";
+  os << "* stale certificates: **" << stale.size() << "**\n";
+  os << "* affected e2LDs: **" << analyzer.affected_e2lds().size() << "**\n";
+  if (stale.empty()) {
+    os << "\n_No detections._\n\n";
+    return;
+  }
+  const auto dist = analyzer.staleness_distribution();
+  os << "* staleness days (p25 / median / p75 / max): " << dist.quantile(0.25)
+     << " / " << dist.median() << " / " << dist.quantile(0.75) << " / "
+     << dist.max() << "\n";
+  os << "* total staleness-days: " << analyzer.total_staleness_days() << "\n\n";
+
+  os << "| survival after n days |";
+  for (const auto n : options.survival_days) os << " " << n << "d |";
+  os << "\n|---|";
+  for (std::size_t i = 0; i < options.survival_days.size(); ++i) os << "---|";
+  os << "\n| fraction not yet stale |";
+  for (const auto& point :
+       survival_curve(result.corpus, stale, options.survival_days)) {
+    os << " " << util::percent(point.surviving_fraction, 1) << " |";
+  }
+  os << "\n\n";
+
+  os << "| max lifetime | certs still stale | staleness-days reduction |\n";
+  os << "|---|---|---|\n";
+  for (const auto& cap : simulate_caps(result.corpus, stale, options.caps)) {
+    os << "| " << cap.cap_days << "d | " << cap.surviving_count << " / "
+       << cap.original_count << " | "
+       << util::percent(cap.staleness_days_reduction(), 1) << " |\n";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string render_markdown_report(const PipelineResult& result,
+                                   const ReportOptions& options) {
+  std::ostringstream os;
+  os << "# " << options.title << "\n\n";
+
+  os << "## Corpus\n\n";
+  os << "* unique certificates: **" << result.corpus.size() << "** (from "
+     << result.collect_stats.raw_entries << " CT entries, "
+     << result.collect_stats.dropped_anomalous_fqdns
+     << " anomalous FQDNs dropped)\n";
+  os << "* distinct e2LDs: " << result.corpus.e2lds().size() << "\n\n";
+
+  os << "## Revocation join\n\n";
+  const auto& join = result.revocations.join_stats;
+  os << "* matched: " << join.matched << ", kept: " << join.kept
+     << " (dropped: " << join.dropped_before_valid << " before-valid, "
+     << join.dropped_after_expiry << " after-expiry, "
+     << join.dropped_before_cutoff << " before-cutoff)\n\n";
+
+  os << "## Third-party stale certificates\n\n";
+  for (const auto cls :
+       {StaleClass::kKeyCompromise, StaleClass::kRegistrantChange,
+        StaleClass::kManagedTlsDeparture}) {
+    render_class_section(os, result, cls, options);
+  }
+
+  const auto all = result.all_third_party();
+  os << "## Combined what-if\n\n";
+  os << "All classes together: **" << all.size() << "** stale certificates.\n\n";
+  os << "| max lifetime | staleness-days reduction |\n|---|---|\n";
+  for (const auto& cap : simulate_caps(result.corpus, all, options.caps)) {
+    os << "| " << cap.cap_days << "d | "
+       << util::percent(cap.staleness_days_reduction(), 1) << " |\n";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace stalecert::core

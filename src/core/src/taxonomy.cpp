@@ -1,0 +1,128 @@
+#include "stalecert/core/taxonomy.hpp"
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::core {
+
+std::string to_string(InfoCategory category) {
+  switch (category) {
+    case InfoCategory::kSubscriberAuthentication: return "Subscriber authentication";
+    case InfoCategory::kKeyAuthorization: return "Key authorization";
+    case InfoCategory::kIssuerInformation: return "Issuer information";
+    case InfoCategory::kCertificateMetadata: return "Certificate metadata";
+  }
+  return "?";
+}
+
+std::vector<std::string> related_fields(InfoCategory category) {
+  switch (category) {
+    case InfoCategory::kSubscriberAuthentication:
+      return {"Subject Name", "SAN", "Subject Public Key", "Subject Key ID"};
+    case InfoCategory::kKeyAuthorization:
+      return {"Basic Constraints", "Key Usage", "Extended Key Usage"};
+    case InfoCategory::kIssuerInformation:
+      return {"Issuer Name", "Authority Key ID", "Signature",
+              "CRL Distribution Points", "Authority Info Access",
+              "Certificate Policy"};
+    case InfoCategory::kCertificateMetadata:
+      return {"Serial #", "Precert Poison", "Signed Cert Timestamps"};
+  }
+  return {};
+}
+
+std::string to_string(InvalidationEvent event) {
+  switch (event) {
+    case InvalidationEvent::kDomainOwnershipChange: return "domain ownership change";
+    case InvalidationEvent::kDomainUseChange: return "domain use change";
+    case InvalidationEvent::kKeyOwnershipChange: return "key ownership change";
+    case InvalidationEvent::kKeyUseChange: return "key use change";
+    case InvalidationEvent::kManagedTlsDeparture: return "managed TLS departure";
+    case InvalidationEvent::kKeyAuthorizationChange: return "key authorization change";
+    case InvalidationEvent::kRevocationInfoChange: return "revocation info change";
+  }
+  return "?";
+}
+
+SecurityImplication classify(InvalidationEvent event) {
+  switch (event) {
+    case InvalidationEvent::kDomainOwnershipChange:
+      return {ControllingParty::kThirdParty, true,
+              "prior registrant can impersonate the domain"};
+    case InvalidationEvent::kDomainUseChange:
+      return {ControllingParty::kFirstParty, false, "minimal"};
+    case InvalidationEvent::kKeyOwnershipChange:
+      return {ControllingParty::kThirdParty, true,
+              "key holder can impersonate all covered domains"};
+    case InvalidationEvent::kKeyUseChange:
+      return {ControllingParty::kFirstParty, false, "minimal (rotation/disuse)"};
+    case InvalidationEvent::kManagedTlsDeparture:
+      return {ControllingParty::kThirdParty, true,
+              "prior CDN / host retains valid keys for departed customer"};
+    case InvalidationEvent::kKeyAuthorizationChange:
+      return {ControllingParty::kFirstParty, false,
+              "over-permissioned authentication / signing"};
+    case InvalidationEvent::kRevocationInfoChange:
+      return {ControllingParty::kFirstParty, false,
+              "minimal; revocation already unreliable"};
+  }
+  throw LogicError("classify: unknown event");
+}
+
+InfoCategory category_of(InvalidationEvent event) {
+  switch (event) {
+    case InvalidationEvent::kDomainOwnershipChange:
+    case InvalidationEvent::kDomainUseChange:
+    case InvalidationEvent::kKeyOwnershipChange:
+    case InvalidationEvent::kKeyUseChange:
+    case InvalidationEvent::kManagedTlsDeparture:
+      return InfoCategory::kSubscriberAuthentication;
+    case InvalidationEvent::kKeyAuthorizationChange:
+      return InfoCategory::kKeyAuthorization;
+    case InvalidationEvent::kRevocationInfoChange:
+      return InfoCategory::kIssuerInformation;
+  }
+  throw LogicError("category_of: unknown event");
+}
+
+std::string to_string(StaleClass cls) {
+  switch (cls) {
+    case StaleClass::kKeyCompromise: return "key compromise";
+    case StaleClass::kRegistrantChange: return "domain registrant change";
+    case StaleClass::kManagedTlsDeparture: return "managed TLS departure";
+  }
+  return "?";
+}
+
+InvalidationEvent event_of(StaleClass cls) {
+  switch (cls) {
+    case StaleClass::kKeyCompromise: return InvalidationEvent::kKeyOwnershipChange;
+    case StaleClass::kRegistrantChange:
+      return InvalidationEvent::kDomainOwnershipChange;
+    case StaleClass::kManagedTlsDeparture:
+      return InvalidationEvent::kManagedTlsDeparture;
+  }
+  throw LogicError("event_of: unknown class");
+}
+
+InvalidationEvent event_from_reason(revocation::ReasonCode reason) {
+  using revocation::ReasonCode;
+  switch (reason) {
+    case ReasonCode::kKeyCompromise:
+    case ReasonCode::kCaCompromise:
+    case ReasonCode::kAaCompromise:
+      return InvalidationEvent::kKeyOwnershipChange;
+    case ReasonCode::kSuperseded:
+      return InvalidationEvent::kKeyUseChange;
+    case ReasonCode::kAffiliationChanged:
+    case ReasonCode::kPrivilegeWithdrawn:
+      return InvalidationEvent::kDomainOwnershipChange;
+    case ReasonCode::kCessationOfOperation:
+      // Ambiguous by design (see §3): conflates benign shutdown with
+      // squatted/transferred domains. We default to the benign reading.
+      return InvalidationEvent::kDomainUseChange;
+    default:
+      return InvalidationEvent::kKeyUseChange;
+  }
+}
+
+}  // namespace stalecert::core

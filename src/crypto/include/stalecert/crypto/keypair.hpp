@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stalecert/crypto/sha256.hpp"
+
+namespace stalecert::crypto {
+
+/// Public-key algorithm families seen in the paper's certificate corpus.
+enum class KeyAlgorithm : std::uint8_t {
+  kRsa2048,
+  kRsa4096,
+  kEcdsaP256,
+  kEcdsaP384,
+  kEd25519,
+};
+
+std::string to_string(KeyAlgorithm algorithm);
+
+/// A modelled keypair. What the stale-certificate study cares about is
+/// *custody* of private keys, not the key mathematics, so a keypair here is
+/// a stable identity: the SPKI fingerprint (Subject Public Key Info hash)
+/// plus the algorithm. Two certificates that embed the same KeyPair share a
+/// private key — exactly the property the managed-TLS and key-compromise
+/// analyses depend on.
+class KeyPair {
+ public:
+  KeyPair() = default;
+  KeyPair(std::uint64_t seed, KeyAlgorithm algorithm);
+
+  /// Derives a fresh keypair deterministically from a label (e.g.
+  /// "cloudflare/customer-123/rotation-2").
+  static KeyPair derive(std::string_view label, KeyAlgorithm algorithm);
+
+  /// Reconstructs a keypair identity from serialized parts (DER parsing).
+  static KeyPair from_parts(const Digest& spki_fingerprint, KeyAlgorithm algorithm);
+
+  [[nodiscard]] const Digest& spki_fingerprint() const { return spki_fingerprint_; }
+  [[nodiscard]] KeyAlgorithm algorithm() const { return algorithm_; }
+  /// Subject Key Identifier bytes (RFC 5280 method 1: SHA hash of SPKI).
+  [[nodiscard]] const Digest& key_id() const { return spki_fingerprint_; }
+  [[nodiscard]] std::string fingerprint_hex() const {
+    return digest_hex(spki_fingerprint_);
+  }
+  /// Compact 64-bit id used for hash-map joins in the detectors.
+  [[nodiscard]] std::uint64_t id64() const {
+    return digest_prefix64(spki_fingerprint_);
+  }
+
+  bool operator==(const KeyPair& other) const {
+    return spki_fingerprint_ == other.spki_fingerprint_;
+  }
+
+ private:
+  Digest spki_fingerprint_{};
+  KeyAlgorithm algorithm_ = KeyAlgorithm::kEcdsaP256;
+};
+
+}  // namespace stalecert::crypto

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace stalecert::crypto {
+
+/// A 256-bit digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Streaming SHA-256 (FIPS 180-4), implemented from scratch and verified
+/// against the NIST test vectors in tests/crypto. Used for Merkle tree
+/// hashing in the CT substrate, certificate fingerprints, and key IDs.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view data);
+
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// further updates.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot helpers.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finished_ = false;
+};
+
+/// HMAC-SHA256 (RFC 2104); used to derive deterministic per-entity secrets
+/// in the simulator.
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message);
+Digest hmac_sha256(std::string_view key, std::string_view message);
+
+/// Lowercase hex string of a digest.
+std::string digest_hex(const Digest& digest);
+
+/// First 8 bytes of a digest interpreted big-endian, handy as a compact id.
+std::uint64_t digest_prefix64(const Digest& digest);
+
+}  // namespace stalecert::crypto

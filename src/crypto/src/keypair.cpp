@@ -1,0 +1,45 @@
+#include "stalecert/crypto/keypair.hpp"
+
+#include <cstring>
+
+namespace stalecert::crypto {
+
+std::string to_string(KeyAlgorithm algorithm) {
+  switch (algorithm) {
+    case KeyAlgorithm::kRsa2048: return "RSA-2048";
+    case KeyAlgorithm::kRsa4096: return "RSA-4096";
+    case KeyAlgorithm::kEcdsaP256: return "ECDSA-P256";
+    case KeyAlgorithm::kEcdsaP384: return "ECDSA-P384";
+    case KeyAlgorithm::kEd25519: return "Ed25519";
+  }
+  return "unknown";
+}
+
+KeyPair::KeyPair(std::uint64_t seed, KeyAlgorithm algorithm)
+    : algorithm_(algorithm) {
+  std::uint8_t material[9];
+  for (int i = 0; i < 8; ++i) material[i] = static_cast<std::uint8_t>(seed >> (i * 8));
+  material[8] = static_cast<std::uint8_t>(algorithm);
+  spki_fingerprint_ = Sha256::hash(std::span<const std::uint8_t>(material, sizeof material));
+}
+
+KeyPair KeyPair::from_parts(const Digest& spki_fingerprint, KeyAlgorithm algorithm) {
+  KeyPair kp;
+  kp.algorithm_ = algorithm;
+  kp.spki_fingerprint_ = spki_fingerprint;
+  return kp;
+}
+
+KeyPair KeyPair::derive(std::string_view label, KeyAlgorithm algorithm) {
+  KeyPair kp;
+  kp.algorithm_ = algorithm;
+  Sha256 h;
+  h.update("stalecert/keypair/v1:");
+  h.update(label);
+  const std::uint8_t alg = static_cast<std::uint8_t>(algorithm);
+  h.update(std::span<const std::uint8_t>(&alg, 1));
+  kp.spki_fingerprint_ = h.finish();
+  return kp;
+}
+
+}  // namespace stalecert::crypto

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stalecert/ct/log.hpp"
+
+namespace stalecert::ct {
+
+/// Options for the monitor-side certificate collection (Section 4 of the
+/// paper): deduplicate precertificates against issued certificates on their
+/// non-CT components, and drop anomalous FQDNs with more than
+/// `max_certs_per_fqdn` certificates (test domains like
+/// flowers-to-the-world.com).
+struct CollectOptions {
+  bool chrome_or_apple_only = true;
+  std::uint64_t max_certs_per_fqdn = 3000;
+};
+
+struct CollectStats {
+  std::uint64_t raw_entries = 0;
+  std::uint64_t after_dedup = 0;
+  std::uint64_t dropped_anomalous_fqdns = 0;
+  std::uint64_t dropped_certificates = 0;
+};
+
+/// A fleet of CT logs plus the monitor logic that aggregates them into the
+/// deduplicated certificate corpus the detectors consume.
+class LogSet {
+ public:
+  /// Adds a log and returns a stable reference index.
+  std::size_t add_log(CtLog log);
+
+  [[nodiscard]] std::size_t log_count() const { return logs_.size(); }
+  [[nodiscard]] CtLog& log(std::size_t i);
+  [[nodiscard]] const CtLog& log(std::size_t i) const;
+  [[nodiscard]] std::vector<CtLog>& logs() { return logs_; }
+  [[nodiscard]] const std::vector<CtLog>& logs() const { return logs_; }
+
+  /// Submits to every accepting log; returns the SCTs obtained. CAs are
+  /// expected to embed the returned log ids in the final certificate.
+  std::vector<SignedCertificateTimestamp> submit(const x509::Certificate& cert,
+                                                 util::Date now);
+
+  /// Monitor-side aggregate download: all entries across logs, precert/cert
+  /// deduplicated, anomalous FQDNs removed.
+  [[nodiscard]] std::vector<x509::Certificate> collect(
+      const CollectOptions& options = {}, CollectStats* stats = nullptr) const;
+
+  /// Total number of raw entries across all logs.
+  [[nodiscard]] std::uint64_t total_entries() const;
+
+ private:
+  std::vector<CtLog> logs_;
+};
+
+/// Builds the 2013-2023 log ecosystem used by the benchmarks: a handful of
+/// unsharded logs plus yearly temporal shards per operator, mirroring the
+/// 117-log corpus described in the paper at reduced cardinality.
+LogSet make_historical_log_ecosystem();
+
+}  // namespace stalecert::ct

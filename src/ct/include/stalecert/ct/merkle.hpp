@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stalecert/crypto/sha256.hpp"
+
+namespace stalecert::ct {
+
+using crypto::Digest;
+
+/// RFC 6962 Merkle hashes: leaves are domain-separated with 0x00, interior
+/// nodes with 0x01, and the empty tree hashes to SHA-256 of the empty
+/// string.
+Digest leaf_hash(std::span<const std::uint8_t> entry);
+Digest node_hash(const Digest& left, const Digest& right);
+Digest empty_tree_hash();
+
+/// An append-only RFC 6962 Merkle tree over opaque leaf blobs. Stores all
+/// node levels so root/inclusion/consistency queries at any historical tree
+/// size are O(log n) without rebuilding.
+class MerkleTree {
+ public:
+  /// Appends a leaf; returns its index.
+  std::uint64_t append(std::span<const std::uint8_t> entry);
+
+  [[nodiscard]] std::uint64_t size() const { return leaves_.size(); }
+
+  /// Merkle Tree Hash of the first `tree_size` leaves (tree_size <= size()).
+  [[nodiscard]] Digest root_at(std::uint64_t tree_size) const;
+  [[nodiscard]] Digest root() const { return root_at(size()); }
+
+  /// RFC 6962 §2.1.1 audit path for leaf `index` in the tree of
+  /// `tree_size` leaves.
+  [[nodiscard]] std::vector<Digest> inclusion_proof(std::uint64_t index,
+                                                    std::uint64_t tree_size) const;
+
+  /// RFC 6962 §2.1.2 consistency proof between two tree sizes.
+  [[nodiscard]] std::vector<Digest> consistency_proof(std::uint64_t old_size,
+                                                      std::uint64_t new_size) const;
+
+  [[nodiscard]] const Digest& leaf(std::uint64_t index) const;
+
+ private:
+  [[nodiscard]] Digest subtree_root(std::uint64_t begin, std::uint64_t end) const;
+  void subtree_inclusion(std::uint64_t index, std::uint64_t begin, std::uint64_t end,
+                         std::vector<Digest>& path) const;
+  void subtree_consistency(std::uint64_t old_size, std::uint64_t begin,
+                           std::uint64_t end, bool old_is_complete,
+                           std::vector<Digest>& proof) const;
+
+  std::vector<Digest> leaves_;
+};
+
+/// Verifies an RFC 6962 inclusion proof.
+bool verify_inclusion(const Digest& leaf, std::uint64_t index,
+                      std::uint64_t tree_size, std::span<const Digest> proof,
+                      const Digest& root);
+
+/// Verifies an RFC 6962 consistency proof between two signed tree heads.
+bool verify_consistency(std::uint64_t old_size, std::uint64_t new_size,
+                        const Digest& old_root, const Digest& new_root,
+                        std::span<const Digest> proof);
+
+}  // namespace stalecert::ct

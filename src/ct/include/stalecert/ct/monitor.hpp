@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stalecert/ct/log.hpp"
+
+namespace stalecert::ct {
+
+/// A verifying, incremental CT monitor for one log: fetches new entries in
+/// batches, checks every new signed tree head for append-only consistency
+/// against the previously verified one, spot-checks entry inclusion, and
+/// maintains a per-domain watchlist (the mechanism a domain owner would
+/// use to spot certificates they did not request — though, as the paper
+/// notes, CT cannot reveal *stale* certificates, which were legitimate at
+/// issuance).
+class LogMonitor {
+ public:
+  explicit LogMonitor(const CtLog* log, std::uint64_t batch_size = 256);
+
+  /// Adds a domain (exact match or parent of logged names) to watch.
+  void watch(const std::string& domain);
+
+  struct SyncResult {
+    std::uint64_t new_entries = 0;
+    bool consistency_verified = false;  // old STH -> new STH proof checked
+    std::uint64_t inclusion_checks = 0;
+    std::uint64_t inclusion_failures = 0;
+    /// Watched-domain hits among the new entries.
+    std::vector<LogEntry> watch_hits;
+  };
+
+  /// Catches up with the log. Throws LogicError if the log ever presents
+  /// an inconsistent tree (equivocation).
+  SyncResult sync(util::Date now);
+
+  [[nodiscard]] std::uint64_t verified_size() const { return verified_size_; }
+  [[nodiscard]] const std::optional<SignedTreeHead>& last_sth() const {
+    return last_sth_;
+  }
+  /// All watch hits observed since construction.
+  [[nodiscard]] const std::vector<LogEntry>& all_watch_hits() const {
+    return all_hits_;
+  }
+
+ private:
+  [[nodiscard]] bool matches_watchlist(const x509::Certificate& cert) const;
+
+  const CtLog* log_;
+  std::uint64_t batch_size_;
+  std::uint64_t verified_size_ = 0;
+  std::optional<SignedTreeHead> last_sth_;
+  std::set<std::string> watchlist_;
+  std::vector<LogEntry> all_hits_;
+};
+
+}  // namespace stalecert::ct

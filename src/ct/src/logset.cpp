@@ -1,0 +1,127 @@
+#include "stalecert/ct/logset.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::ct {
+namespace {
+
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+      out = out << 8 | d[i];
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::size_t LogSet::add_log(CtLog log) {
+  logs_.push_back(std::move(log));
+  return logs_.size() - 1;
+}
+
+CtLog& LogSet::log(std::size_t i) {
+  if (i >= logs_.size()) throw LogicError("LogSet: log index out of range");
+  return logs_[i];
+}
+
+const CtLog& LogSet::log(std::size_t i) const {
+  if (i >= logs_.size()) throw LogicError("LogSet: log index out of range");
+  return logs_[i];
+}
+
+std::vector<SignedCertificateTimestamp> LogSet::submit(const x509::Certificate& cert,
+                                                       util::Date now) {
+  std::vector<SignedCertificateTimestamp> scts;
+  for (auto& log : logs_) {
+    if (auto sct = log.submit(cert, now)) scts.push_back(*sct);
+  }
+  return scts;
+}
+
+std::uint64_t LogSet::total_entries() const {
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) total += log.size();
+  return total;
+}
+
+std::vector<x509::Certificate> LogSet::collect(const CollectOptions& options,
+                                               CollectStats* stats) const {
+  CollectStats local;
+  // Deduplicate on the non-CT fingerprint. When both a precertificate and
+  // the corresponding issued certificate are logged, keep the issued one
+  // (it carries the SCT list).
+  std::unordered_map<Digest, x509::Certificate, DigestHash> dedup;
+  for (const auto& log : logs_) {
+    if (options.chrome_or_apple_only && !log.trust().chrome && !log.trust().apple) {
+      continue;
+    }
+    for (const auto& entry : log.entries()) {
+      ++local.raw_entries;
+      const Digest key = entry.certificate.dedup_fingerprint();
+      auto [it, inserted] = dedup.try_emplace(key, entry.certificate);
+      if (!inserted && it->second.is_precertificate() &&
+          !entry.certificate.is_precertificate()) {
+        it->second = entry.certificate;
+      }
+    }
+  }
+  local.after_dedup = dedup.size();
+
+  // Count certificates per FQDN and mark anomalous names.
+  std::unordered_map<std::string, std::uint64_t> fqdn_counts;
+  for (const auto& [key, cert] : dedup) {
+    for (const auto& name : cert.dns_names()) ++fqdn_counts[name];
+  }
+  std::unordered_set<std::string> anomalous;
+  for (const auto& [name, count] : fqdn_counts) {
+    if (count > options.max_certs_per_fqdn) anomalous.insert(name);
+  }
+  local.dropped_anomalous_fqdns = anomalous.size();
+
+  std::vector<x509::Certificate> out;
+  out.reserve(dedup.size());
+  for (auto& [key, cert] : dedup) {
+    const auto names = cert.dns_names();
+    const bool drop = std::any_of(names.begin(), names.end(), [&](const auto& n) {
+      return anomalous.contains(n);
+    });
+    if (drop) {
+      ++local.dropped_certificates;
+      continue;
+    }
+    out.push_back(std::move(cert));
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+LogSet make_historical_log_ecosystem() {
+  LogSet set;
+  std::uint64_t next_id = 1;
+  // Long-lived unsharded logs (pre-2020 era).
+  set.add_log(CtLog{next_id++, "pilot", "Google", {.chrome = true, .apple = true}});
+  set.add_log(CtLog{next_id++, "rocketeer", "Google", {.chrome = true, .apple = true}});
+  set.add_log(CtLog{next_id++, "mammoth", "DigiCert", {.chrome = true, .apple = true}});
+  set.add_log(CtLog{next_id++, "sabre", "Sectigo", {.chrome = true, .apple = false}});
+  set.add_log(CtLog{next_id++, "untrusted-lab", "Example Labs", {.chrome = false, .apple = false}});
+  // Yearly temporal shards 2019-2025 for two operators.
+  for (int year = 2019; year <= 2025; ++year) {
+    const util::DateInterval window{
+        util::Date::from_ymd(year, 1, 1),
+        util::Date::from_ymd(year + 1, 1, 1)};
+    set.add_log(CtLog{next_id++, "argon" + std::to_string(year), "Google",
+                      {.chrome = true, .apple = true}, window});
+    set.add_log(CtLog{next_id++, "nimbus" + std::to_string(year), "Cloudflare",
+                      {.chrome = true, .apple = true}, window});
+  }
+  return set;
+}
+
+}  // namespace stalecert::ct

@@ -1,0 +1,179 @@
+#include "stalecert/ct/merkle.hpp"
+
+#include <bit>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::ct {
+namespace {
+
+/// Largest power of two strictly less than n (n >= 2), RFC 6962's k.
+std::uint64_t split_point(std::uint64_t n) { return std::bit_floor(n - 1); }
+
+}  // namespace
+
+Digest leaf_hash(std::span<const std::uint8_t> entry) {
+  crypto::Sha256 h;
+  const std::uint8_t prefix = 0x00;
+  h.update(std::span<const std::uint8_t>(&prefix, 1));
+  h.update(entry);
+  return h.finish();
+}
+
+Digest node_hash(const Digest& left, const Digest& right) {
+  crypto::Sha256 h;
+  const std::uint8_t prefix = 0x01;
+  h.update(std::span<const std::uint8_t>(&prefix, 1));
+  h.update(left);
+  h.update(right);
+  return h.finish();
+}
+
+Digest empty_tree_hash() { return crypto::Sha256::hash(std::string_view{}); }
+
+std::uint64_t MerkleTree::append(std::span<const std::uint8_t> entry) {
+  leaves_.push_back(leaf_hash(entry));
+  return leaves_.size() - 1;
+}
+
+const Digest& MerkleTree::leaf(std::uint64_t index) const {
+  if (index >= leaves_.size()) throw LogicError("MerkleTree: leaf out of range");
+  return leaves_[index];
+}
+
+Digest MerkleTree::subtree_root(std::uint64_t begin, std::uint64_t end) const {
+  const std::uint64_t n = end - begin;
+  if (n == 0) return empty_tree_hash();
+  if (n == 1) return leaves_[begin];
+  const std::uint64_t k = split_point(n);
+  return node_hash(subtree_root(begin, begin + k), subtree_root(begin + k, end));
+}
+
+Digest MerkleTree::root_at(std::uint64_t tree_size) const {
+  if (tree_size > leaves_.size()) throw LogicError("MerkleTree: tree_size too large");
+  return subtree_root(0, tree_size);
+}
+
+void MerkleTree::subtree_inclusion(std::uint64_t index, std::uint64_t begin,
+                                   std::uint64_t end,
+                                   std::vector<Digest>& path) const {
+  const std::uint64_t n = end - begin;
+  if (n == 1) return;
+  const std::uint64_t k = split_point(n);
+  if (index - begin < k) {
+    subtree_inclusion(index, begin, begin + k, path);
+    path.push_back(subtree_root(begin + k, end));
+  } else {
+    subtree_inclusion(index, begin + k, end, path);
+    path.push_back(subtree_root(begin, begin + k));
+  }
+}
+
+std::vector<Digest> MerkleTree::inclusion_proof(std::uint64_t index,
+                                                std::uint64_t tree_size) const {
+  if (tree_size > leaves_.size()) throw LogicError("MerkleTree: tree_size too large");
+  if (index >= tree_size) throw LogicError("MerkleTree: index outside tree");
+  std::vector<Digest> path;
+  subtree_inclusion(index, 0, tree_size, path);
+  return path;
+}
+
+void MerkleTree::subtree_consistency(std::uint64_t old_size, std::uint64_t begin,
+                                     std::uint64_t end, bool old_is_complete,
+                                     std::vector<Digest>& proof) const {
+  const std::uint64_t n = end - begin;
+  if (old_size == n) {
+    if (!old_is_complete) proof.push_back(subtree_root(begin, end));
+    return;
+  }
+  const std::uint64_t k = split_point(n);
+  if (old_size <= k) {
+    subtree_consistency(old_size, begin, begin + k, old_is_complete, proof);
+    proof.push_back(subtree_root(begin + k, end));
+  } else {
+    subtree_consistency(old_size - k, begin + k, end, false, proof);
+    proof.push_back(subtree_root(begin, begin + k));
+  }
+}
+
+std::vector<Digest> MerkleTree::consistency_proof(std::uint64_t old_size,
+                                                  std::uint64_t new_size) const {
+  if (new_size > leaves_.size()) throw LogicError("MerkleTree: new_size too large");
+  if (old_size > new_size) throw LogicError("MerkleTree: old_size > new_size");
+  if (old_size == 0 || old_size == new_size) return {};
+  std::vector<Digest> proof;
+  subtree_consistency(old_size, 0, new_size, true, proof);
+  return proof;
+}
+
+bool verify_inclusion(const Digest& leaf, std::uint64_t index,
+                      std::uint64_t tree_size, std::span<const Digest> proof,
+                      const Digest& root) {
+  if (index >= tree_size) return false;
+  std::uint64_t fn = index;
+  std::uint64_t sn = tree_size - 1;
+  Digest r = leaf;
+  for (const Digest& p : proof) {
+    if (sn == 0) return false;
+    if ((fn & 1) == 1 || fn == sn) {
+      r = node_hash(p, r);
+      if ((fn & 1) == 0) {
+        while (fn != 0 && (fn & 1) == 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      r = node_hash(r, p);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && r == root;
+}
+
+bool verify_consistency(std::uint64_t old_size, std::uint64_t new_size,
+                        const Digest& old_root, const Digest& new_root,
+                        std::span<const Digest> proof) {
+  if (old_size > new_size) return false;
+  if (old_size == new_size) return proof.empty() && old_root == new_root;
+  if (old_size == 0) return proof.empty();
+
+  std::vector<Digest> working(proof.begin(), proof.end());
+  // If the old tree was a complete subtree, its root is implied rather
+  // than carried in the proof.
+  if (std::has_single_bit(old_size)) {
+    working.insert(working.begin(), old_root);
+  }
+  if (working.empty()) return false;
+
+  std::uint64_t fn = old_size - 1;
+  std::uint64_t sn = new_size - 1;
+  while ((fn & 1) == 1) {
+    fn >>= 1;
+    sn >>= 1;
+  }
+  Digest fr = working.front();
+  Digest sr = working.front();
+  for (std::size_t i = 1; i < working.size(); ++i) {
+    const Digest& p = working[i];
+    if (sn == 0) return false;
+    if ((fn & 1) == 1 || fn == sn) {
+      fr = node_hash(p, fr);
+      sr = node_hash(p, sr);
+      if ((fn & 1) == 0) {
+        while (fn != 0 && (fn & 1) == 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      sr = node_hash(sr, p);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && fr == old_root && sr == new_root;
+}
+
+}  // namespace stalecert::ct

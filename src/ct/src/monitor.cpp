@@ -1,0 +1,78 @@
+#include "stalecert/ct/monitor.hpp"
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::ct {
+
+LogMonitor::LogMonitor(const CtLog* log, std::uint64_t batch_size)
+    : log_(log), batch_size_(batch_size) {
+  if (!log_) throw LogicError("LogMonitor: null log");
+  if (batch_size_ == 0) throw LogicError("LogMonitor: zero batch size");
+}
+
+void LogMonitor::watch(const std::string& domain) {
+  watchlist_.insert(util::to_lower(domain));
+}
+
+bool LogMonitor::matches_watchlist(const x509::Certificate& cert) const {
+  for (const auto& raw : cert.dns_names()) {
+    std::string name = util::to_lower(raw);
+    if (util::starts_with(name, "*.")) name = name.substr(2);
+    // Match the name itself and every parent domain.
+    while (!name.empty()) {
+      if (watchlist_.contains(name)) return true;
+      const auto dot = name.find('.');
+      if (dot == std::string::npos) break;
+      name = name.substr(dot + 1);
+    }
+  }
+  return false;
+}
+
+LogMonitor::SyncResult LogMonitor::sync(util::Date now) {
+  SyncResult result;
+  const SignedTreeHead sth = log_->sth(now);
+  if (sth.tree_size < verified_size_) {
+    throw LogicError("LogMonitor: log shrank — tree is not append-only");
+  }
+
+  // Verify consistency of the new head against our last verified one.
+  if (last_sth_ && sth.tree_size > verified_size_) {
+    const auto proof = log_->consistency_proof(verified_size_, sth.tree_size);
+    if (!verify_consistency(verified_size_, sth.tree_size, last_sth_->root_hash,
+                            sth.root_hash, proof)) {
+      throw LogicError("LogMonitor: consistency proof failed — equivocation");
+    }
+    result.consistency_verified = true;
+  }
+
+  // Download and process the new entries in batches.
+  std::uint64_t cursor = verified_size_;
+  while (cursor < sth.tree_size) {
+    const std::uint64_t end = std::min(cursor + batch_size_, sth.tree_size);
+    for (const auto& entry : log_->get_entries(cursor, end)) {
+      ++result.new_entries;
+      // Spot-check inclusion of the first entry of each batch.
+      if (entry.index == cursor) {
+        const auto proof = log_->inclusion_proof(entry.index, sth.tree_size);
+        ++result.inclusion_checks;
+        if (!verify_inclusion(log_->leaf_hash_at(entry.index), entry.index,
+                              sth.tree_size, proof, sth.root_hash)) {
+          ++result.inclusion_failures;
+        }
+      }
+      if (!watchlist_.empty() && matches_watchlist(entry.certificate)) {
+        result.watch_hits.push_back(entry);
+        all_hits_.push_back(entry);
+      }
+    }
+    cursor = end;
+  }
+
+  verified_size_ = sth.tree_size;
+  last_sth_ = sth;
+  return result;
+}
+
+}  // namespace stalecert::ct

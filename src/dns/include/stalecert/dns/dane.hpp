@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/util/date.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::dns {
+
+/// RFC 6698 TLSA certificate usages.
+enum class TlsaUsage : std::uint8_t {
+  kPkixTa = 0,  // CA constraint (still requires PKIX validation)
+  kPkixEe = 1,  // service certificate constraint
+  kDaneTa = 2,  // trust anchor assertion
+  kDaneEe = 3,  // domain-issued certificate (no CA involved at all)
+};
+
+enum class TlsaSelector : std::uint8_t {
+  kFullCertificate = 0,
+  kSubjectPublicKeyInfo = 1,
+};
+
+enum class TlsaMatching : std::uint8_t {
+  kExact = 0,
+  kSha256 = 1,
+};
+
+std::string to_string(TlsaUsage usage);
+
+/// A TLSA resource record published at _443._tcp.<name>. The TTL is the
+/// paper's point (§7.2/§8): DANE bindings live in DNS caches for *hours*,
+/// versus the *months-to-years* of certificate lifetimes — so ownership
+/// changes propagate almost immediately.
+struct TlsaRecord {
+  TlsaUsage usage = TlsaUsage::kDaneEe;
+  TlsaSelector selector = TlsaSelector::kSubjectPublicKeyInfo;
+  TlsaMatching matching = TlsaMatching::kSha256;
+  std::vector<std::uint8_t> association;
+  std::uint32_t ttl_seconds = 3600;
+
+  bool operator==(const TlsaRecord&) const = default;
+};
+
+/// Builds the TLSA record that pins a given certificate.
+TlsaRecord tlsa_for_certificate(const x509::Certificate& cert, TlsaUsage usage,
+                                TlsaSelector selector, TlsaMatching matching);
+
+/// Does the record match the presented certificate?
+bool tlsa_matches(const TlsaRecord& record, const x509::Certificate& cert);
+
+/// The authoritative publication side: TLSA records keyed by domain, with
+/// publication history so a resolver cache can be modelled on top.
+class DaneRegistry {
+ public:
+  /// Publishes (replacing any previous record) at `when`.
+  void publish(const std::string& domain, TlsaRecord record, util::Date when);
+  /// Removes the record (domain abandoned / DANE disabled).
+  void remove(const std::string& domain, util::Date when);
+
+  /// The authoritative record at `when` (publication-time semantics).
+  [[nodiscard]] std::optional<TlsaRecord> lookup(const std::string& domain,
+                                                 util::Date when) const;
+
+  /// Worst-case staleness of a cached answer in days: a resolver that
+  /// fetched just before a change serves the old binding for at most one
+  /// TTL. (Sub-day TTLs round up to 1 day at our simulation granularity.)
+  [[nodiscard]] static std::int64_t max_cache_staleness_days(const TlsaRecord& r) {
+    return std::max<std::int64_t>(1, r.ttl_seconds / 86400);
+  }
+
+ private:
+  struct Publication {
+    util::Date when;
+    std::optional<TlsaRecord> record;  // nullopt = removal
+  };
+  std::map<std::string, std::vector<Publication>> history_;
+};
+
+}  // namespace stalecert::dns

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stalecert::dns {
+
+/// Splits a domain name into labels ("www.foo.co.uk" -> {www,foo,co,uk}).
+/// Names are normalized to lowercase; a trailing root dot is dropped.
+std::vector<std::string> labels(std::string_view domain);
+
+/// Joins labels back into a domain name.
+std::string join_labels(const std::vector<std::string>& parts);
+
+/// True if the string is a plausible DNS name (non-empty labels, LDH).
+bool is_valid_domain(std::string_view domain);
+
+/// Public suffix list: the set of effective TLDs (eTLDs) under which the
+/// public can register names. Supports exact rules ("com", "co.uk") and
+/// wildcard rules ("*.ck"). Mirrors the publicsuffix.org semantics the
+/// paper relies on for e2LD aggregation.
+class PublicSuffixList {
+ public:
+  PublicSuffixList() = default;
+
+  /// A small built-in list sufficient for the simulated zones: generic
+  /// TLDs + common country second-level registries.
+  static const PublicSuffixList& builtin();
+
+  void add_rule(std::string_view rule);      // e.g. "co.uk" or "*.ck"
+  void add_exception(std::string_view rule); // e.g. "!www.ck"
+
+  /// Effective TLD of a domain ("foo.co.uk" -> "co.uk"); nullopt when the
+  /// domain itself is a public suffix or empty.
+  [[nodiscard]] std::optional<std::string> etld(std::string_view domain) const;
+
+  /// Effective second-level domain ("a.b.foo.co.uk" -> "foo.co.uk").
+  /// nullopt when no registrable parent exists.
+  [[nodiscard]] std::optional<std::string> e2ld(std::string_view domain) const;
+
+  /// True if the name is exactly a public suffix.
+  [[nodiscard]] bool is_public_suffix(std::string_view domain) const;
+
+ private:
+  std::set<std::string> rules_;
+  std::set<std::string> wildcard_parents_;  // "ck" for rule "*.ck"
+  std::set<std::string> exceptions_;
+};
+
+/// Convenience wrapper over the builtin list.
+std::optional<std::string> e2ld(std::string_view domain);
+
+}  // namespace stalecert::dns

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stalecert::dns {
+
+/// The record types collected by the paper's active-DNS dataset (Table 3).
+enum class RecordType : std::uint8_t { kA, kAaaa, kNs, kCname };
+
+std::string to_string(RecordType type);
+
+/// One resource record.
+struct ResourceRecord {
+  std::string name;   // owner, lowercase, no trailing dot
+  RecordType type = RecordType::kA;
+  std::string value;  // address text or target name
+  std::uint32_t ttl = 300;
+
+  bool operator==(const ResourceRecord&) const = default;
+};
+
+/// All records for one domain as seen by a single resolution pass — the
+/// unit stored per (domain, day) in the scan snapshots.
+struct DomainRecords {
+  std::vector<std::string> a;       // IPv4 addresses
+  std::vector<std::string> aaaa;    // IPv6 addresses
+  std::vector<std::string> ns;      // nameserver host names
+  std::vector<std::string> cname;   // canonical-name chain in order
+
+  [[nodiscard]] bool empty() const {
+    return a.empty() && aaaa.empty() && ns.empty() && cname.empty();
+  }
+
+  /// True if any NS or CNAME value matches a wildcard pattern like
+  /// "*.ns.cloudflare.com" — the paper's managed-TLS delegation test.
+  [[nodiscard]] bool delegates_to(const std::string& pattern) const;
+
+  bool operator==(const DomainRecords&) const = default;
+};
+
+}  // namespace stalecert::dns

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/dns/records.hpp"
+#include "stalecert/dns/zone.hpp"
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::dns {
+
+/// One day's resolution results for all scanned domains — the aDNS dataset
+/// unit in Table 3 of the paper.
+struct DailySnapshot {
+  util::Date date;
+  std::map<std::string, DomainRecords> records;
+
+  [[nodiscard]] const DomainRecords* find(const std::string& domain) const;
+};
+
+/// Stores consecutive daily snapshots and answers day-over-day diff
+/// queries — the substrate for the managed-TLS departure detector (§4.3).
+class SnapshotStore {
+ public:
+  void add(DailySnapshot snapshot);
+
+  [[nodiscard]] std::size_t days() const { return snapshots_.size(); }
+  [[nodiscard]] const DailySnapshot& day(std::size_t i) const;
+  [[nodiscard]] const std::vector<DailySnapshot>& all() const { return snapshots_; }
+  [[nodiscard]] std::optional<util::Date> first_date() const;
+  [[nodiscard]] std::optional<util::Date> last_date() const;
+
+ private:
+  std::vector<DailySnapshot> snapshots_;
+};
+
+/// Active-DNS scan engine: enumerates every domain in the public zones of a
+/// DnsDatabase and resolves it, producing one DailySnapshot per call. The
+/// paper ran this daily over CZDS-derived zones for three months.
+class ScanEngine {
+ public:
+  explicit ScanEngine(const DnsDatabase& database) : database_(&database) {}
+
+  [[nodiscard]] DailySnapshot scan(util::Date date) const;
+
+ private:
+  const DnsDatabase* database_;
+};
+
+}  // namespace stalecert::dns

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stalecert/dns/records.hpp"
+
+namespace stalecert::dns {
+
+/// The authoritative DNS state of the simulated Internet at an instant:
+/// per-domain NS delegation, CNAME and address records. The simulator
+/// mutates this as registrants change hosting; the ScanEngine reads it
+/// daily.
+class DnsDatabase {
+ public:
+  /// Registers a domain into a zone (CZDS-visible). Idempotent.
+  void add_to_zone(const std::string& tld, const std::string& domain);
+  void remove_from_zone(const std::string& tld, const std::string& domain);
+
+  /// All zone names ("com", "net", "org", ...).
+  [[nodiscard]] std::vector<std::string> zones() const;
+  /// All domains in a zone — the CZDS zone-file enumeration.
+  [[nodiscard]] std::vector<std::string> zone_domains(const std::string& tld) const;
+  /// All domains across all public zones.
+  [[nodiscard]] std::vector<std::string> all_domains() const;
+
+  void set_ns(const std::string& domain, std::vector<std::string> nameservers);
+  void set_cname(const std::string& domain, std::optional<std::string> target);
+  void set_a(const std::string& domain, std::vector<std::string> addresses);
+  void set_aaaa(const std::string& domain, std::vector<std::string> addresses);
+  /// Removes every record for the domain (expired / deleted).
+  void clear_records(const std::string& domain);
+
+  [[nodiscard]] std::vector<std::string> ns(const std::string& domain) const;
+  [[nodiscard]] std::optional<std::string> cname(const std::string& domain) const;
+
+  /// Resolves a domain the way the paper's scanner records it: direct NS,
+  /// the CNAME chain (followed up to `max_chain` hops), and the terminal
+  /// A/AAAA records.
+  [[nodiscard]] DomainRecords resolve(const std::string& domain,
+                                      int max_chain = 8) const;
+
+  [[nodiscard]] std::size_t domain_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<std::string> ns;
+    std::optional<std::string> cname;
+    std::vector<std::string> a;
+    std::vector<std::string> aaaa;
+  };
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::set<std::string>> zones_;
+};
+
+}  // namespace stalecert::dns

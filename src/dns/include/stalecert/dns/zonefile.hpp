@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stalecert/dns/records.hpp"
+#include "stalecert/dns/zone.hpp"
+
+namespace stalecert::dns {
+
+/// Zone-file text I/O — the CZDS artifact (§4.3): registries publish their
+/// zones as master files; the paper extracts the domain universe from
+/// them. We emit/parse the minimal master-file dialect those dumps use:
+///   name TTL IN TYPE rdata
+/// with '$ORIGIN'/comment lines tolerated on input.
+
+/// Renders one zone of a DnsDatabase (delegations only, as CZDS dumps
+/// carry NS/A records for the zone cut).
+std::string emit_zone_file(const DnsDatabase& db, const std::string& tld);
+
+/// Parses master-file text into resource records. Unknown record types
+/// and malformed lines are skipped (counted via `skipped` when provided).
+std::vector<ResourceRecord> parse_zone_file(const std::string& text,
+                                            std::size_t* skipped = nullptr);
+
+/// Loads parsed records into a DnsDatabase zone (the consumer side of a
+/// CZDS download): every owner name is added to the zone and its
+/// NS/A/AAAA/CNAME records installed.
+void load_zone(DnsDatabase& db, const std::string& tld,
+               const std::vector<ResourceRecord>& records);
+
+}  // namespace stalecert::dns

@@ -1,0 +1,73 @@
+#include "stalecert/dns/dane.hpp"
+
+#include <algorithm>
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::dns {
+
+std::string to_string(TlsaUsage usage) {
+  switch (usage) {
+    case TlsaUsage::kPkixTa: return "PKIX-TA";
+    case TlsaUsage::kPkixEe: return "PKIX-EE";
+    case TlsaUsage::kDaneTa: return "DANE-TA";
+    case TlsaUsage::kDaneEe: return "DANE-EE";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::uint8_t> selected_data(const x509::Certificate& cert,
+                                        TlsaSelector selector) {
+  if (selector == TlsaSelector::kFullCertificate) return cert.to_der();
+  const auto& fp = cert.subject_key().spki_fingerprint();
+  return std::vector<std::uint8_t>(fp.begin(), fp.end());
+}
+
+std::vector<std::uint8_t> matched_data(std::vector<std::uint8_t> data,
+                                       TlsaMatching matching) {
+  if (matching == TlsaMatching::kExact) return data;
+  const auto digest = crypto::Sha256::hash(data);
+  return std::vector<std::uint8_t>(digest.begin(), digest.end());
+}
+
+}  // namespace
+
+TlsaRecord tlsa_for_certificate(const x509::Certificate& cert, TlsaUsage usage,
+                                TlsaSelector selector, TlsaMatching matching) {
+  TlsaRecord record;
+  record.usage = usage;
+  record.selector = selector;
+  record.matching = matching;
+  record.association = matched_data(selected_data(cert, selector), matching);
+  return record;
+}
+
+bool tlsa_matches(const TlsaRecord& record, const x509::Certificate& cert) {
+  return matched_data(selected_data(cert, record.selector), record.matching) ==
+         record.association;
+}
+
+void DaneRegistry::publish(const std::string& domain, TlsaRecord record,
+                           util::Date when) {
+  history_[util::to_lower(domain)].push_back({when, std::move(record)});
+}
+
+void DaneRegistry::remove(const std::string& domain, util::Date when) {
+  history_[util::to_lower(domain)].push_back({when, std::nullopt});
+}
+
+std::optional<TlsaRecord> DaneRegistry::lookup(const std::string& domain,
+                                               util::Date when) const {
+  const auto it = history_.find(util::to_lower(domain));
+  if (it == history_.end()) return std::nullopt;
+  std::optional<TlsaRecord> current;
+  for (const auto& publication : it->second) {
+    if (publication.when > when) break;
+    current = publication.record;
+  }
+  return current;
+}
+
+}  // namespace stalecert::dns

@@ -1,0 +1,108 @@
+#include "stalecert/dns/name.hpp"
+
+#include <cctype>
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::dns {
+
+std::vector<std::string> labels(std::string_view domain) {
+  std::string lowered = util::to_lower(domain);
+  if (!lowered.empty() && lowered.back() == '.') lowered.pop_back();
+  if (lowered.empty()) return {};
+  return util::split(lowered, '.');
+}
+
+std::string join_labels(const std::vector<std::string>& parts) {
+  return util::join(parts, ".");
+}
+
+bool is_valid_domain(std::string_view domain) {
+  const auto parts = labels(domain);
+  if (parts.empty()) return false;
+  for (const auto& label : parts) {
+    if (label.empty() || label.size() > 63) return false;
+    for (std::size_t i = 0; i < label.size(); ++i) {
+      const char c = label[i];
+      const bool alnum = std::isalnum(static_cast<unsigned char>(c)) != 0;
+      const bool wildcard_head = c == '*' && i == 0 && label.size() == 1;
+      if (!alnum && c != '-' && !wildcard_head) return false;
+    }
+    if (label.front() == '-' || label.back() == '-') return false;
+  }
+  return true;
+}
+
+void PublicSuffixList::add_rule(std::string_view rule) {
+  const std::string lowered = util::to_lower(rule);
+  if (util::starts_with(lowered, "*.")) {
+    wildcard_parents_.insert(lowered.substr(2));
+  } else {
+    rules_.insert(lowered);
+  }
+}
+
+void PublicSuffixList::add_exception(std::string_view rule) {
+  std::string lowered = util::to_lower(rule);
+  if (!lowered.empty() && lowered.front() == '!') lowered.erase(lowered.begin());
+  exceptions_.insert(lowered);
+}
+
+bool PublicSuffixList::is_public_suffix(std::string_view domain) const {
+  const auto parts = labels(domain);
+  if (parts.empty()) return false;
+  const std::string name = join_labels(parts);
+  if (exceptions_.contains(name)) return false;
+  if (rules_.contains(name)) return true;
+  if (parts.size() >= 2) {
+    const std::string parent = join_labels({parts.begin() + 1, parts.end()});
+    if (wildcard_parents_.contains(parent)) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> PublicSuffixList::etld(std::string_view domain) const {
+  auto parts = labels(domain);
+  // Find the longest suffix that is a public suffix.
+  for (std::size_t drop = 0; drop < parts.size(); ++drop) {
+    const std::string candidate = join_labels({parts.begin() + static_cast<std::ptrdiff_t>(drop), parts.end()});
+    if (is_public_suffix(candidate)) {
+      return drop == 0 ? std::nullopt : std::optional<std::string>{candidate};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> PublicSuffixList::e2ld(std::string_view domain) const {
+  const auto parts = labels(domain);
+  const auto suffix = etld(domain);
+  if (!suffix) return std::nullopt;
+  const std::size_t suffix_labels = labels(*suffix).size();
+  if (parts.size() < suffix_labels + 1) return std::nullopt;
+  return join_labels({parts.end() - static_cast<std::ptrdiff_t>(suffix_labels) - 1,
+                      parts.end()});
+}
+
+const PublicSuffixList& PublicSuffixList::builtin() {
+  static const PublicSuffixList list = [] {
+    PublicSuffixList psl;
+    for (const char* rule :
+         {"com", "net", "org", "io", "info", "biz", "dev", "app", "xyz",
+          "online", "shop", "site", "store", "edu", "gov", "mil", "us", "de",
+          "fr", "nl", "jp", "cn", "ru", "br", "in", "uk", "co.uk", "org.uk",
+          "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp", "ne.jp",
+          "com.br", "com.cn", "co.in", "co.nz"}) {
+      psl.add_rule(rule);
+    }
+    psl.add_rule("*.ck");
+    psl.add_exception("!www.ck");
+    return psl;
+  }();
+  return list;
+}
+
+std::optional<std::string> e2ld(std::string_view domain) {
+  return PublicSuffixList::builtin().e2ld(domain);
+}
+
+}  // namespace stalecert::dns

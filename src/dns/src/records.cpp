@@ -1,0 +1,27 @@
+#include "stalecert/dns/records.hpp"
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::dns {
+
+std::string to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kA: return "A";
+    case RecordType::kAaaa: return "AAAA";
+    case RecordType::kNs: return "NS";
+    case RecordType::kCname: return "CNAME";
+  }
+  return "?";
+}
+
+bool DomainRecords::delegates_to(const std::string& pattern) const {
+  for (const auto& host : ns) {
+    if (util::wildcard_match(pattern, host)) return true;
+  }
+  for (const auto& host : cname) {
+    if (util::wildcard_match(pattern, host)) return true;
+  }
+  return false;
+}
+
+}  // namespace stalecert::dns

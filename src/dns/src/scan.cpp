@@ -1,0 +1,44 @@
+#include "stalecert/dns/scan.hpp"
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::dns {
+
+const DomainRecords* DailySnapshot::find(const std::string& domain) const {
+  const auto it = records.find(domain);
+  return it == records.end() ? nullptr : &it->second;
+}
+
+void SnapshotStore::add(DailySnapshot snapshot) {
+  if (!snapshots_.empty() && snapshot.date <= snapshots_.back().date) {
+    throw LogicError("SnapshotStore: snapshots must be added in date order");
+  }
+  snapshots_.push_back(std::move(snapshot));
+}
+
+const DailySnapshot& SnapshotStore::day(std::size_t i) const {
+  if (i >= snapshots_.size()) throw LogicError("SnapshotStore: day out of range");
+  return snapshots_[i];
+}
+
+std::optional<util::Date> SnapshotStore::first_date() const {
+  if (snapshots_.empty()) return std::nullopt;
+  return snapshots_.front().date;
+}
+
+std::optional<util::Date> SnapshotStore::last_date() const {
+  if (snapshots_.empty()) return std::nullopt;
+  return snapshots_.back().date;
+}
+
+DailySnapshot ScanEngine::scan(util::Date date) const {
+  DailySnapshot snapshot;
+  snapshot.date = date;
+  for (const auto& domain : database_->all_domains()) {
+    DomainRecords records = database_->resolve(domain);
+    if (!records.empty()) snapshot.records.emplace(domain, std::move(records));
+  }
+  return snapshot;
+}
+
+}  // namespace stalecert::dns

@@ -1,0 +1,96 @@
+#include "stalecert/dns/zone.hpp"
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::dns {
+
+void DnsDatabase::add_to_zone(const std::string& tld, const std::string& domain) {
+  zones_[util::to_lower(tld)].insert(util::to_lower(domain));
+  entries_.try_emplace(util::to_lower(domain));
+}
+
+void DnsDatabase::remove_from_zone(const std::string& tld, const std::string& domain) {
+  const auto it = zones_.find(util::to_lower(tld));
+  if (it != zones_.end()) it->second.erase(util::to_lower(domain));
+}
+
+std::vector<std::string> DnsDatabase::zones() const {
+  std::vector<std::string> out;
+  out.reserve(zones_.size());
+  for (const auto& [tld, domains] : zones_) out.push_back(tld);
+  return out;
+}
+
+std::vector<std::string> DnsDatabase::zone_domains(const std::string& tld) const {
+  const auto it = zones_.find(util::to_lower(tld));
+  if (it == zones_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::string> DnsDatabase::all_domains() const {
+  std::vector<std::string> out;
+  for (const auto& [tld, domains] : zones_) {
+    out.insert(out.end(), domains.begin(), domains.end());
+  }
+  return out;
+}
+
+void DnsDatabase::set_ns(const std::string& domain,
+                         std::vector<std::string> nameservers) {
+  auto& entry = entries_[util::to_lower(domain)];
+  entry.ns.clear();
+  for (auto& host : nameservers) entry.ns.push_back(util::to_lower(host));
+}
+
+void DnsDatabase::set_cname(const std::string& domain,
+                            std::optional<std::string> target) {
+  auto& entry = entries_[util::to_lower(domain)];
+  entry.cname = target ? std::optional<std::string>{util::to_lower(*target)}
+                       : std::nullopt;
+}
+
+void DnsDatabase::set_a(const std::string& domain, std::vector<std::string> addresses) {
+  entries_[util::to_lower(domain)].a = std::move(addresses);
+}
+
+void DnsDatabase::set_aaaa(const std::string& domain,
+                           std::vector<std::string> addresses) {
+  entries_[util::to_lower(domain)].aaaa = std::move(addresses);
+}
+
+void DnsDatabase::clear_records(const std::string& domain) {
+  const auto it = entries_.find(util::to_lower(domain));
+  if (it != entries_.end()) it->second = Entry{};
+}
+
+std::vector<std::string> DnsDatabase::ns(const std::string& domain) const {
+  const auto it = entries_.find(util::to_lower(domain));
+  return it == entries_.end() ? std::vector<std::string>{} : it->second.ns;
+}
+
+std::optional<std::string> DnsDatabase::cname(const std::string& domain) const {
+  const auto it = entries_.find(util::to_lower(domain));
+  return it == entries_.end() ? std::nullopt : it->second.cname;
+}
+
+DomainRecords DnsDatabase::resolve(const std::string& domain, int max_chain) const {
+  DomainRecords out;
+  std::string current = util::to_lower(domain);
+  for (int hop = 0; hop <= max_chain; ++hop) {
+    const auto it = entries_.find(current);
+    if (it == entries_.end()) break;
+    const Entry& entry = it->second;
+    if (hop == 0) out.ns = entry.ns;
+    if (entry.cname) {
+      out.cname.push_back(*entry.cname);
+      current = *entry.cname;
+      continue;
+    }
+    out.a = entry.a;
+    out.aaaa = entry.aaaa;
+    break;
+  }
+  return out;
+}
+
+}  // namespace stalecert::dns

@@ -1,0 +1,131 @@
+#include "stalecert/dns/zonefile.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::dns {
+namespace {
+
+std::optional<RecordType> type_from_token(std::string_view token) {
+  if (token == "A") return RecordType::kA;
+  if (token == "AAAA") return RecordType::kAaaa;
+  if (token == "NS") return RecordType::kNs;
+  if (token == "CNAME") return RecordType::kCname;
+  return std::nullopt;
+}
+
+std::string strip_trailing_dot(std::string name) {
+  if (!name.empty() && name.back() == '.') name.pop_back();
+  return name;
+}
+
+}  // namespace
+
+std::string emit_zone_file(const DnsDatabase& db, const std::string& tld) {
+  std::ostringstream os;
+  os << "$ORIGIN " << tld << ".\n";
+  os << "; zone file for ." << tld << " (simulated CZDS dump)\n";
+  for (const auto& domain : db.zone_domains(tld)) {
+    for (const auto& host : db.ns(domain)) {
+      os << domain << ". 172800 IN NS " << host << ".\n";
+    }
+    if (const auto target = db.cname(domain)) {
+      os << domain << ". 300 IN CNAME " << *target << ".\n";
+    }
+    const DomainRecords resolved = db.resolve(domain);
+    // Only direct A records (no CNAME chase) appear at the zone cut.
+    if (resolved.cname.empty()) {
+      for (const auto& address : resolved.a) {
+        os << domain << ". 300 IN A " << address << "\n";
+      }
+      for (const auto& address : resolved.aaaa) {
+        os << domain << ". 300 IN AAAA " << address << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+std::vector<ResourceRecord> parse_zone_file(const std::string& text,
+                                            std::size_t* skipped) {
+  std::vector<ResourceRecord> records;
+  std::size_t dropped = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == ';' || trimmed.front() == '$') {
+      continue;
+    }
+    // Tokenize on whitespace.
+    std::vector<std::string> tokens;
+    std::istringstream ls{std::string(trimmed)};
+    std::string token;
+    while (ls >> token) tokens.push_back(token);
+    // name [ttl] [IN] TYPE rdata
+    if (tokens.size() < 3) {
+      ++dropped;
+      continue;
+    }
+    std::size_t cursor = 1;
+    std::uint32_t ttl = 300;
+    {
+      std::uint32_t parsed_ttl = 0;
+      const auto& maybe_ttl = tokens[cursor];
+      const auto [ptr, ec] = std::from_chars(
+          maybe_ttl.data(), maybe_ttl.data() + maybe_ttl.size(), parsed_ttl);
+      if (ec == std::errc{} && ptr == maybe_ttl.data() + maybe_ttl.size()) {
+        ttl = parsed_ttl;
+        ++cursor;
+      }
+    }
+    if (cursor < tokens.size() && (tokens[cursor] == "IN" || tokens[cursor] == "in")) {
+      ++cursor;
+    }
+    if (cursor + 1 >= tokens.size()) {
+      ++dropped;
+      continue;
+    }
+    const auto type = type_from_token(tokens[cursor]);
+    if (!type) {
+      ++dropped;
+      continue;
+    }
+    ResourceRecord record;
+    record.name = util::to_lower(strip_trailing_dot(tokens[0]));
+    record.ttl = ttl;
+    record.type = *type;
+    record.value = *type == RecordType::kA || *type == RecordType::kAaaa
+                       ? tokens[cursor + 1]
+                       : util::to_lower(strip_trailing_dot(tokens[cursor + 1]));
+    records.push_back(std::move(record));
+  }
+  if (skipped) *skipped = dropped;
+  return records;
+}
+
+void load_zone(DnsDatabase& db, const std::string& tld,
+               const std::vector<ResourceRecord>& records) {
+  // Group by owner so multi-valued record sets install together.
+  std::map<std::string, DomainRecords> grouped;
+  for (const auto& record : records) {
+    auto& slot = grouped[record.name];
+    switch (record.type) {
+      case RecordType::kA: slot.a.push_back(record.value); break;
+      case RecordType::kAaaa: slot.aaaa.push_back(record.value); break;
+      case RecordType::kNs: slot.ns.push_back(record.value); break;
+      case RecordType::kCname: slot.cname.push_back(record.value); break;
+    }
+  }
+  for (auto& [name, slot] : grouped) {
+    db.add_to_zone(tld, name);
+    if (!slot.ns.empty()) db.set_ns(name, slot.ns);
+    if (!slot.cname.empty()) db.set_cname(name, slot.cname.front());
+    if (!slot.a.empty()) db.set_a(name, slot.a);
+    if (!slot.aaaa.empty()) db.set_aaaa(name, slot.aaaa);
+  }
+}
+
+}  // namespace stalecert::dns

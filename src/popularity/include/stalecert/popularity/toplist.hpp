@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/util/date.hpp"
+#include "stalecert/util/rng.hpp"
+
+namespace stalecert::popularity {
+
+/// One Alexa-style ranked sample: rank 1 is the most popular e2LD.
+struct TopListSample {
+  util::Date date;
+  std::vector<std::string> ranked_e2lds;  // index 0 = rank 1
+};
+
+/// Archive of biannual top-list samples (the paper samples Alexa Top 1M
+/// every six months from 2014 to 2022) with min-rank lookup by e2LD.
+class TopListArchive {
+ public:
+  void add_sample(TopListSample sample);
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<TopListSample>& samples() const { return samples_; }
+
+  /// The best (lowest) rank the e2LD ever achieved across all samples.
+  [[nodiscard]] std::optional<std::uint64_t> min_rank(const std::string& e2ld) const;
+
+  /// Counts how many of `e2lds` have min-rank <= each bucket bound —
+  /// the Table 6 rows (Top 1K / 10K / 100K / 1M).
+  [[nodiscard]] std::map<std::uint64_t, std::uint64_t> bucket_counts(
+      const std::vector<std::string>& e2lds,
+      const std::vector<std::uint64_t>& bounds) const;
+
+ private:
+  std::vector<TopListSample> samples_;
+  std::map<std::string, std::uint64_t> min_rank_;
+};
+
+/// Generates a biannual archive over a domain universe with Zipf-ish
+/// popularity and per-sample churn (domains rise, fall, enter, exit) —
+/// enough structure to exercise min-rank matching.
+TopListArchive generate_biannual_archive(const std::vector<std::string>& universe,
+                                         util::Date first, util::Date last,
+                                         std::size_t list_size, util::Rng& rng);
+
+}  // namespace stalecert::popularity

@@ -1,0 +1,72 @@
+#include "stalecert/popularity/toplist.hpp"
+
+#include <algorithm>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::popularity {
+
+void TopListArchive::add_sample(TopListSample sample) {
+  for (std::size_t i = 0; i < sample.ranked_e2lds.size(); ++i) {
+    const std::string domain = util::to_lower(sample.ranked_e2lds[i]);
+    const std::uint64_t rank = i + 1;
+    const auto it = min_rank_.find(domain);
+    if (it == min_rank_.end() || rank < it->second) min_rank_[domain] = rank;
+  }
+  samples_.push_back(std::move(sample));
+}
+
+std::optional<std::uint64_t> TopListArchive::min_rank(const std::string& e2ld) const {
+  const auto it = min_rank_.find(util::to_lower(e2ld));
+  return it == min_rank_.end() ? std::nullopt : std::optional{it->second};
+}
+
+std::map<std::uint64_t, std::uint64_t> TopListArchive::bucket_counts(
+    const std::vector<std::string>& e2lds,
+    const std::vector<std::uint64_t>& bounds) const {
+  std::map<std::uint64_t, std::uint64_t> out;
+  for (const auto bound : bounds) out[bound] = 0;
+  for (const auto& domain : e2lds) {
+    const auto rank = min_rank(domain);
+    if (!rank) continue;
+    for (const auto bound : bounds) {
+      if (*rank <= bound) ++out[bound];
+    }
+  }
+  return out;
+}
+
+TopListArchive generate_biannual_archive(const std::vector<std::string>& universe,
+                                         util::Date first, util::Date last,
+                                         std::size_t list_size, util::Rng& rng) {
+  if (universe.empty()) throw LogicError("toplist: empty universe");
+  list_size = std::min(list_size, universe.size());
+
+  // Assign each domain a base popularity weight (heavy-tailed) and evolve
+  // it multiplicatively between samples to create churn.
+  std::vector<double> weight(universe.size());
+  for (auto& w : weight) w = rng.lognormal(0.0, 2.0);
+
+  TopListArchive archive;
+  for (util::Date d = first; d <= last; d += 182) {
+    std::vector<std::size_t> order(universe.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(list_size),
+                      order.end(),
+                      [&](std::size_t a, std::size_t b) { return weight[a] > weight[b]; });
+    TopListSample sample;
+    sample.date = d;
+    sample.ranked_e2lds.reserve(list_size);
+    for (std::size_t i = 0; i < list_size; ++i) {
+      sample.ranked_e2lds.push_back(universe[order[i]]);
+    }
+    archive.add_sample(std::move(sample));
+    // Churn for the next sample.
+    for (auto& w : weight) w *= rng.lognormal(0.0, 0.35);
+  }
+  return archive;
+}
+
+}  // namespace stalecert::popularity

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::registrar {
+
+/// gTLD domain lifecycle states (RGP model, cf. paper §2.1 and [50, 53]).
+enum class DomainState : std::uint8_t {
+  kAvailable,      // never registered or fully released
+  kActive,         // registered, before expiration
+  kAutoRenewGrace, // expired, registrar may still renew/transfer (45 days)
+  kRedemption,     // registrant can redeem at a fee (30 days)
+  kPendingDelete,  // scheduled for deletion (5 days), then released
+};
+
+std::string to_string(DomainState state);
+
+/// Registrant identity. Stable per real-world owner, so registrant-change
+/// ground truth is available to tests even though detectors may not see it.
+using RegistrantId = std::uint64_t;
+
+/// How a domain acquired its current registrant — the three change
+/// scenarios in §2.1 of the paper.
+enum class AcquisitionKind : std::uint8_t {
+  kNewRegistration,    // fresh registration of an available name
+  kTransfer,           // scenario 1: transfer between registrants (no new creation date)
+  kPreReleaseTransfer, // scenario 2: sold during grace, before release
+  kReRegistration,     // scenario 3: public re-registration / drop-catch
+};
+
+std::string to_string(AcquisitionKind kind);
+
+/// Registry-side record for one domain.
+struct Registration {
+  std::string domain;
+  RegistrantId registrant = 0;
+  std::string registrar;
+  util::Date creation_date;    // registry "Creation Date" — only resets on re-registration
+  util::Date expiration_date;
+  DomainState state = DomainState::kActive;
+  AcquisitionKind acquired_by = AcquisitionKind::kNewRegistration;
+};
+
+/// Every ownership change, with ground truth the detectors don't get.
+struct OwnershipChange {
+  std::string domain;
+  util::Date date;
+  RegistrantId old_registrant = 0;
+  RegistrantId new_registrant = 0;
+  AcquisitionKind kind = AcquisitionKind::kNewRegistration;
+  /// True iff the registry creation date changed — the only signal the
+  /// paper's conservative WHOIS methodology can observe.
+  bool creation_date_reset = false;
+};
+
+/// The registry: owns all Registration records and enforces legal lifecycle
+/// transitions. Grace/redemption/pending-delete windows follow the gTLD
+/// defaults the paper cites (45 / 30 / 5 days).
+class Registry {
+ public:
+  struct Policy {
+    std::int64_t auto_renew_grace_days = 45;
+    std::int64_t redemption_days = 30;
+    std::int64_t pending_delete_days = 5;
+  };
+
+  Registry();
+  explicit Registry(Policy policy) : policy_(policy) {}
+
+  /// Registers an available domain. Throws LogicError if not available.
+  const Registration& register_domain(const std::string& domain,
+                                      RegistrantId registrant,
+                                      const std::string& registrar,
+                                      util::Date date, int years = 1);
+
+  /// Renews an active (or grace-period) domain for `years` more.
+  void renew(const std::string& domain, util::Date date, int years = 1);
+
+  /// Scenario 1: registrant-to-registrant transfer. Creation date kept.
+  void transfer(const std::string& domain, RegistrantId new_registrant,
+                const std::string& new_registrar, util::Date date);
+
+  /// Scenario 2: registrar sells an expired-but-unreleased domain.
+  /// Only legal in the auto-renew grace period. Creation date kept.
+  void pre_release_transfer(const std::string& domain, RegistrantId new_registrant,
+                            util::Date date);
+
+  /// Voluntary deletion (e.g. registrar refund-window abuse): the domain is
+  /// released immediately and becomes available.
+  void delete_domain(const std::string& domain, util::Date date);
+
+  /// Advances lifecycle state for all domains up to `date`; releases those
+  /// whose pending-delete completed. Returns the domains released that day.
+  std::vector<std::string> advance(util::Date date);
+
+  [[nodiscard]] DomainState state(const std::string& domain) const;
+  [[nodiscard]] const Registration* find(const std::string& domain) const;
+  [[nodiscard]] std::vector<const Registration*> registered_domains() const;
+  [[nodiscard]] const std::vector<OwnershipChange>& ownership_changes() const {
+    return changes_;
+  }
+
+ private:
+  Registration& require_active(const std::string& domain, const char* op);
+
+  Policy policy_;
+  std::map<std::string, Registration> registrations_;
+  std::vector<OwnershipChange> changes_;
+};
+
+}  // namespace stalecert::registrar

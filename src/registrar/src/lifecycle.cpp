@@ -1,0 +1,178 @@
+#include "stalecert/registrar/lifecycle.hpp"
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::registrar {
+
+std::string to_string(DomainState state) {
+  switch (state) {
+    case DomainState::kAvailable: return "available";
+    case DomainState::kActive: return "active";
+    case DomainState::kAutoRenewGrace: return "auto-renew-grace";
+    case DomainState::kRedemption: return "redemption";
+    case DomainState::kPendingDelete: return "pending-delete";
+  }
+  return "?";
+}
+
+std::string to_string(AcquisitionKind kind) {
+  switch (kind) {
+    case AcquisitionKind::kNewRegistration: return "new-registration";
+    case AcquisitionKind::kTransfer: return "transfer";
+    case AcquisitionKind::kPreReleaseTransfer: return "pre-release-transfer";
+    case AcquisitionKind::kReRegistration: return "re-registration";
+  }
+  return "?";
+}
+
+Registry::Registry() : Registry(Policy{}) {}
+
+const Registration& Registry::register_domain(const std::string& domain,
+                                              RegistrantId registrant,
+                                              const std::string& registrar,
+                                              util::Date date, int years) {
+  if (years < 1 || years > 10) throw LogicError("register_domain: years out of 1..10");
+  const auto it = registrations_.find(domain);
+  const bool existed = it != registrations_.end();
+  if (existed && it->second.state != DomainState::kAvailable) {
+    throw LogicError("register_domain: '" + domain + "' is not available");
+  }
+
+  Registration reg;
+  reg.domain = domain;
+  reg.registrant = registrant;
+  reg.registrar = registrar;
+  reg.creation_date = date;
+  reg.expiration_date = date + years * 365;
+  reg.state = DomainState::kActive;
+  reg.acquired_by =
+      existed ? AcquisitionKind::kReRegistration : AcquisitionKind::kNewRegistration;
+
+  OwnershipChange change;
+  change.domain = domain;
+  change.date = date;
+  change.old_registrant = existed ? it->second.registrant : 0;
+  change.new_registrant = registrant;
+  change.kind = reg.acquired_by;
+  change.creation_date_reset = true;  // registration always sets a fresh creation date
+  changes_.push_back(change);
+
+  auto [pos, inserted] = registrations_.insert_or_assign(domain, std::move(reg));
+  return pos->second;
+}
+
+Registration& Registry::require_active(const std::string& domain, const char* op) {
+  const auto it = registrations_.find(domain);
+  if (it == registrations_.end() || it->second.state == DomainState::kAvailable) {
+    throw LogicError(std::string(op) + ": '" + domain + "' is not registered");
+  }
+  return it->second;
+}
+
+void Registry::renew(const std::string& domain, util::Date /*date*/, int years) {
+  Registration& reg = require_active(domain, "renew");
+  if (reg.state != DomainState::kActive && reg.state != DomainState::kAutoRenewGrace &&
+      reg.state != DomainState::kRedemption) {
+    throw LogicError("renew: '" + domain + "' is " + to_string(reg.state));
+  }
+  if (years < 1 || years > 10) throw LogicError("renew: years out of 1..10");
+  // Renewal always extends from the current expiration date (registry
+  // convention), including grace/redemption restores.
+  reg.expiration_date = reg.expiration_date + years * 365;
+  reg.state = DomainState::kActive;
+}
+
+void Registry::transfer(const std::string& domain, RegistrantId new_registrant,
+                        const std::string& new_registrar, util::Date date) {
+  Registration& reg = require_active(domain, "transfer");
+  if (reg.state != DomainState::kActive) {
+    throw LogicError("transfer: '" + domain + "' is " + to_string(reg.state));
+  }
+  OwnershipChange change;
+  change.domain = domain;
+  change.date = date;
+  change.old_registrant = reg.registrant;
+  change.new_registrant = new_registrant;
+  change.kind = AcquisitionKind::kTransfer;
+  change.creation_date_reset = false;  // registry creation date survives transfers
+  changes_.push_back(change);
+
+  reg.registrant = new_registrant;
+  reg.registrar = new_registrar;
+  reg.acquired_by = AcquisitionKind::kTransfer;
+}
+
+void Registry::pre_release_transfer(const std::string& domain,
+                                    RegistrantId new_registrant, util::Date date) {
+  Registration& reg = require_active(domain, "pre_release_transfer");
+  if (reg.state != DomainState::kAutoRenewGrace) {
+    throw LogicError("pre_release_transfer: '" + domain + "' is " +
+                     to_string(reg.state));
+  }
+  OwnershipChange change;
+  change.domain = domain;
+  change.date = date;
+  change.old_registrant = reg.registrant;
+  change.new_registrant = new_registrant;
+  change.kind = AcquisitionKind::kPreReleaseTransfer;
+  change.creation_date_reset = false;
+  changes_.push_back(change);
+
+  reg.registrant = new_registrant;
+  reg.acquired_by = AcquisitionKind::kPreReleaseTransfer;
+  reg.expiration_date = date + 365;
+  reg.state = DomainState::kActive;
+}
+
+void Registry::delete_domain(const std::string& domain, util::Date) {
+  Registration& reg = require_active(domain, "delete_domain");
+  reg.state = DomainState::kAvailable;
+}
+
+std::vector<std::string> Registry::advance(util::Date date) {
+  std::vector<std::string> released;
+  for (auto& [domain, reg] : registrations_) {
+    if (reg.state == DomainState::kAvailable) continue;
+    const util::Date grace_end = reg.expiration_date + policy_.auto_renew_grace_days;
+    const util::Date redemption_end = grace_end + policy_.redemption_days;
+    const util::Date delete_end = redemption_end + policy_.pending_delete_days;
+    DomainState next = reg.state;
+    if (date < reg.expiration_date) {
+      next = DomainState::kActive;
+    } else if (date < grace_end) {
+      next = DomainState::kAutoRenewGrace;
+    } else if (date < redemption_end) {
+      next = DomainState::kRedemption;
+    } else if (date < delete_end) {
+      next = DomainState::kPendingDelete;
+    } else {
+      next = DomainState::kAvailable;
+      released.push_back(domain);
+    }
+    reg.state = next;
+  }
+  return released;
+}
+
+DomainState Registry::state(const std::string& domain) const {
+  const auto it = registrations_.find(domain);
+  return it == registrations_.end() ? DomainState::kAvailable : it->second.state;
+}
+
+const Registration* Registry::find(const std::string& domain) const {
+  const auto it = registrations_.find(domain);
+  if (it == registrations_.end() || it->second.state == DomainState::kAvailable) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+std::vector<const Registration*> Registry::registered_domains() const {
+  std::vector<const Registration*> out;
+  for (const auto& [domain, reg] : registrations_) {
+    if (reg.state != DomainState::kAvailable) out.push_back(&reg);
+  }
+  return out;
+}
+
+}  // namespace stalecert::registrar

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::reputation {
+
+/// Categories a security vendor can assign to a URL verdict (the paper
+/// tallies malware / phishing / malicious, Table 5).
+enum class UrlCategory : std::uint8_t { kPhishing, kMalicious, kMalware };
+
+std::string to_string(UrlCategory category);
+
+/// One vendor's verdict on a URL associated with a domain.
+struct UrlVerdict {
+  std::string vendor;
+  UrlCategory category = UrlCategory::kMalicious;
+  util::Date first_labeled;
+};
+
+/// A malicious file associated with a domain, with per-vendor AV labels.
+struct FileReport {
+  std::string sha256;
+  util::Date first_submission;
+  std::vector<std::string> av_labels;  // raw vendor label strings
+};
+
+/// Everything the reputation service knows about one domain.
+struct DomainReport {
+  std::string domain;
+  std::vector<UrlVerdict> url_verdicts;
+  std::vector<FileReport> files;
+
+  [[nodiscard]] bool empty() const { return url_verdicts.empty() && files.empty(); }
+
+  /// Count of distinct vendors flagging the domain's URLs in a category.
+  [[nodiscard]] std::size_t url_vendor_count(UrlCategory category) const;
+  /// Earliest first_submission across associated malicious files.
+  [[nodiscard]] std::optional<util::Date> earliest_file_submission() const;
+  /// Earliest date at which >= min_vendors labeled a URL (any category).
+  [[nodiscard]] std::optional<util::Date> url_flag_date(std::size_t min_vendors) const;
+};
+
+/// AVClass2-style malware family extraction: normalizes raw AV label
+/// strings, resolves family aliases (Malpedia-style), and returns the
+/// plurality family or "Unknown".
+class FamilyLabeler {
+ public:
+  FamilyLabeler();
+
+  /// Adds an alias ("zeusvm" -> "zeus").
+  void add_alias(const std::string& alias, const std::string& family);
+
+  /// Extracts the plurality family from raw AV labels; "Unknown" if no
+  /// token appears at least `min_count` times.
+  [[nodiscard]] std::string label(const std::vector<std::string>& av_labels,
+                                  std::size_t min_count = 2) const;
+
+ private:
+  [[nodiscard]] std::string normalize(const std::string& token) const;
+  std::map<std::string, std::string> aliases_;
+};
+
+/// The VirusTotal-like query service. The world simulator seeds malicious
+/// activity; analysis code queries per domain, mirroring the paper's
+/// 100K-domain sampling workflow (§5.2).
+class ReputationService {
+ public:
+  /// Threshold used throughout the paper: flagged by >= 5 vendors.
+  static constexpr std::size_t kDetectionThreshold = 5;
+
+  void seed_url_verdicts(const std::string& domain, std::vector<UrlVerdict> verdicts);
+  void seed_file(const std::string& domain, FileReport file);
+
+  [[nodiscard]] DomainReport query(const std::string& domain) const;
+  [[nodiscard]] std::uint64_t query_count() const { return query_count_; }
+  [[nodiscard]] std::size_t seeded_domains() const { return reports_.size(); }
+
+ private:
+  std::map<std::string, DomainReport> reports_;
+  mutable std::uint64_t query_count_ = 0;
+};
+
+}  // namespace stalecert::reputation

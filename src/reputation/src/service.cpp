@@ -1,0 +1,132 @@
+#include "stalecert/reputation/service.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::reputation {
+
+std::string to_string(UrlCategory category) {
+  switch (category) {
+    case UrlCategory::kPhishing: return "phishing";
+    case UrlCategory::kMalicious: return "malicious";
+    case UrlCategory::kMalware: return "malware";
+  }
+  return "?";
+}
+
+std::size_t DomainReport::url_vendor_count(UrlCategory category) const {
+  std::set<std::string> vendors;
+  for (const auto& verdict : url_verdicts) {
+    if (verdict.category == category) vendors.insert(verdict.vendor);
+  }
+  return vendors.size();
+}
+
+std::optional<util::Date> DomainReport::earliest_file_submission() const {
+  std::optional<util::Date> earliest;
+  for (const auto& file : files) {
+    if (!earliest || file.first_submission < *earliest) {
+      earliest = file.first_submission;
+    }
+  }
+  return earliest;
+}
+
+std::optional<util::Date> DomainReport::url_flag_date(std::size_t min_vendors) const {
+  // Walk verdicts in date order; return the date the distinct-vendor count
+  // first reaches the threshold.
+  std::vector<const UrlVerdict*> ordered;
+  ordered.reserve(url_verdicts.size());
+  for (const auto& v : url_verdicts) ordered.push_back(&v);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    return a->first_labeled < b->first_labeled;
+  });
+  std::set<std::string> vendors;
+  for (const auto* verdict : ordered) {
+    vendors.insert(verdict->vendor);
+    if (vendors.size() >= min_vendors) return verdict->first_labeled;
+  }
+  return std::nullopt;
+}
+
+FamilyLabeler::FamilyLabeler() {
+  // A few canonical alias resolutions in the spirit of Malpedia.
+  add_alias("zeusvm", "zeus");
+  add_alias("zbot", "zeus");
+  add_alias("wannacrypt", "wannacry");
+  add_alias("wcry", "wannacry");
+  add_alias("emotetcrypt", "emotet");
+  add_alias("heodo", "emotet");
+}
+
+void FamilyLabeler::add_alias(const std::string& alias, const std::string& family) {
+  aliases_[util::to_lower(alias)] = util::to_lower(family);
+}
+
+std::string FamilyLabeler::normalize(const std::string& token) const {
+  const std::string lowered = util::to_lower(token);
+  const auto it = aliases_.find(lowered);
+  return it == aliases_.end() ? lowered : it->second;
+}
+
+std::string FamilyLabeler::label(const std::vector<std::string>& av_labels,
+                                 std::size_t min_count) const {
+  // Tokenize labels on common AV separators, drop generic tokens, count.
+  static const std::set<std::string> kGeneric = {
+      "trojan", "generic", "win32", "win64", "malware", "agent",
+      "variant", "application", "riskware", "heur", "gen", "a", "b", "c"};
+  std::map<std::string, std::size_t> counts;
+  for (const auto& raw : av_labels) {
+    std::string cleaned = raw;
+    for (auto& c : cleaned) {
+      if (c == '/' || c == '.' || c == ':' || c == '!' || c == '-') c = ' ';
+    }
+    std::set<std::string> seen_in_label;  // count each token once per label
+    for (const auto& token : util::split(cleaned, ' ')) {
+      if (token.size() < 3) continue;
+      const std::string normalized = normalize(token);
+      if (kGeneric.contains(normalized)) continue;
+      if (seen_in_label.insert(normalized).second) ++counts[normalized];
+    }
+  }
+  std::string best = "Unknown";
+  std::size_t best_count = 0;
+  for (const auto& [family, count] : counts) {
+    if (count > best_count) {
+      best = family;
+      best_count = count;
+    }
+  }
+  return best_count >= min_count ? best : "Unknown";
+}
+
+void ReputationService::seed_url_verdicts(const std::string& domain,
+                                          std::vector<UrlVerdict> verdicts) {
+  auto& report = reports_[util::to_lower(domain)];
+  report.domain = util::to_lower(domain);
+  report.url_verdicts.insert(report.url_verdicts.end(),
+                             std::make_move_iterator(verdicts.begin()),
+                             std::make_move_iterator(verdicts.end()));
+}
+
+void ReputationService::seed_file(const std::string& domain, FileReport file) {
+  auto& report = reports_[util::to_lower(domain)];
+  report.domain = util::to_lower(domain);
+  report.files.push_back(std::move(file));
+}
+
+DomainReport ReputationService::query(const std::string& domain) const {
+  ++query_count_;
+  const auto it = reports_.find(util::to_lower(domain));
+  if (it == reports_.end()) {
+    DomainReport empty;
+    empty.domain = util::to_lower(domain);
+    return empty;
+  }
+  return it->second;
+}
+
+}  // namespace stalecert::reputation

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/revocation/crl.hpp"
+#include "stalecert/util/rng.hpp"
+
+namespace stalecert::revocation {
+
+/// A CRL endpoint on the Mozilla CCADB disclosure list: which CA operates
+/// it, where it lives, how to fetch today's DER bytes, and how likely a
+/// fetch is to fail (some CRL servers have scrape protection — Appendix B
+/// reports per-CA download coverage).
+struct DisclosedCrl {
+  std::string ca_name;
+  std::string url;
+  std::function<std::optional<asn1::Bytes>(util::Date)> fetch;
+  double failure_probability = 0.0;
+};
+
+/// Per-CA download coverage, the content of Table 7.
+struct CoverageStats {
+  std::uint64_t attempted = 0;
+  std::uint64_t succeeded = 0;
+  [[nodiscard]] double ratio() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(succeeded) / static_cast<double>(attempted);
+  }
+};
+
+/// Aggregated revocation observations keyed by (authority key id, serial) —
+/// the join key back into CT. Keeps the earliest observed revocation.
+class RevocationStore {
+ public:
+  struct Observation {
+    util::Date revocation_date;
+    ReasonCode reason = ReasonCode::kUnspecified;
+  };
+
+  void add(const crypto::Digest& authority_key_id, const asn1::Bytes& serial,
+           const Observation& obs);
+
+  [[nodiscard]] const Observation* lookup(const crypto::Digest& authority_key_id,
+                                          const asn1::Bytes& serial) const;
+  [[nodiscard]] std::size_t size() const { return observations_.size(); }
+
+ private:
+  static std::string key(const crypto::Digest& aki, const asn1::Bytes& serial);
+  std::map<std::string, Observation> observations_;
+};
+
+/// Daily CRL collection pipeline (§4.1): walks the disclosure list,
+/// simulates fetch failures, parses DER, and accumulates revocations.
+class CrlCollector {
+ public:
+  explicit CrlCollector(std::uint64_t seed) : rng_(seed) {}
+
+  void add_endpoint(DisclosedCrl endpoint);
+
+  /// Runs one daily pass over every disclosed endpoint.
+  void collect_daily(util::Date date);
+  /// Runs daily passes over an inclusive date range.
+  void collect_range(util::Date first, util::Date last);
+
+  [[nodiscard]] const RevocationStore& store() const { return store_; }
+  [[nodiscard]] const std::map<std::string, CoverageStats>& coverage() const {
+    return coverage_;
+  }
+  [[nodiscard]] CoverageStats total_coverage() const;
+  [[nodiscard]] std::uint64_t parse_failures() const { return parse_failures_; }
+
+ private:
+  util::Rng rng_;
+  std::vector<DisclosedCrl> endpoints_;
+  RevocationStore store_;
+  std::map<std::string, CoverageStats> coverage_;
+  std::uint64_t parse_failures_ = 0;
+};
+
+}  // namespace stalecert::revocation

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stalecert/asn1/der.hpp"
+#include "stalecert/crypto/sha256.hpp"
+#include "stalecert/revocation/reasons.hpp"
+#include "stalecert/util/date.hpp"
+#include "stalecert/x509/name.hpp"
+
+namespace stalecert::revocation {
+
+/// One revoked certificate as it appears on a CRL: serial + revocation
+/// date + reason. CRLs do NOT carry the certificate body — the paper must
+/// join these against CT via (authority key id, serial), see §4.1.
+struct RevokedEntry {
+  asn1::Bytes serial;
+  util::Date revocation_date;
+  ReasonCode reason = ReasonCode::kUnspecified;
+
+  bool operator==(const RevokedEntry&) const = default;
+};
+
+/// A certificate revocation list for one issuing key.
+class Crl {
+ public:
+  Crl() = default;
+  Crl(x509::DistinguishedName issuer, crypto::Digest authority_key_id,
+      util::Date this_update, util::Date next_update);
+
+  void add(RevokedEntry entry);
+
+  [[nodiscard]] const x509::DistinguishedName& issuer() const { return issuer_; }
+  [[nodiscard]] const crypto::Digest& authority_key_id() const { return aki_; }
+  [[nodiscard]] util::Date this_update() const { return this_update_; }
+  [[nodiscard]] util::Date next_update() const { return next_update_; }
+  [[nodiscard]] const std::vector<RevokedEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// True if the serial appears on this CRL.
+  [[nodiscard]] bool is_revoked(std::span<const std::uint8_t> serial) const;
+  [[nodiscard]] const RevokedEntry* find(std::span<const std::uint8_t> serial) const;
+
+  /// Serializes as DER (CertificateList with a reasonCode CRL entry
+  /// extension per revoked certificate).
+  [[nodiscard]] asn1::Bytes to_der() const;
+  static Crl from_der(std::span<const std::uint8_t> der);
+
+  bool operator==(const Crl&) const = default;
+
+ private:
+  x509::DistinguishedName issuer_;
+  crypto::Digest aki_{};
+  util::Date this_update_;
+  util::Date next_update_;
+  std::vector<RevokedEntry> entries_;
+};
+
+}  // namespace stalecert::revocation

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stalecert/revocation/collector.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::revocation {
+
+/// A revocation observation joined back to its full certificate.
+struct RevokedCertificate {
+  x509::Certificate certificate;
+  util::Date revocation_date;
+  ReasonCode reason = ReasonCode::kUnspecified;
+};
+
+/// Outlier filters from §4.1 of the paper: drop revocations issued before
+/// the certificate was valid, after it expired, or before the analysis
+/// cutoff (13 months prior to CRL collection start).
+struct JoinFilters {
+  std::optional<util::Date> min_revocation_date;  // paper: 2021-10-01
+};
+
+struct JoinStats {
+  std::uint64_t corpus_size = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t dropped_before_valid = 0;
+  std::uint64_t dropped_after_expiry = 0;
+  std::uint64_t dropped_before_cutoff = 0;
+  std::uint64_t kept = 0;
+};
+
+/// Cross-references a RevocationStore against a CT certificate corpus via
+/// (authority key id, serial).
+std::vector<RevokedCertificate> join_revocations(
+    const std::vector<x509::Certificate>& corpus, const RevocationStore& store,
+    const JoinFilters& filters, JoinStats* stats = nullptr);
+
+}  // namespace stalecert::revocation

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "stalecert/revocation/crl.hpp"
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::revocation {
+
+/// RFC 6960 certificate status values.
+enum class CertStatus : std::uint8_t { kGood, kRevoked, kUnknown };
+
+std::string to_string(CertStatus status);
+
+/// A (signed) OCSP response for one certificate.
+struct OcspResponse {
+  CertStatus status = CertStatus::kUnknown;
+  util::Date produced_at;
+  util::Date this_update;
+  util::Date next_update;  // staple/response freshness horizon
+  std::optional<util::Date> revocation_time;
+  std::optional<ReasonCode> reason;
+
+  /// A response (or staple) is acceptable while it is fresh.
+  [[nodiscard]] bool fresh_at(util::Date now) const {
+    return this_update <= now && now < next_update;
+  }
+};
+
+/// An OCSP responder for one issuing key. Fed from the issuer's CRL state
+/// (real deployments generate OCSP from the same revocation database).
+/// Response validity defaults to 7 days, the common production value that
+/// bounds how long a revoked-but-cached staple stays usable.
+class OcspResponder {
+ public:
+  OcspResponder(crypto::Digest issuer_key_id, std::int64_t response_validity_days = 7);
+
+  [[nodiscard]] const crypto::Digest& issuer_key_id() const { return issuer_key_id_; }
+
+  /// Refreshes the responder's view from a CRL published by the issuer.
+  /// CRLs for other issuers are rejected (returns false).
+  bool update_from_crl(const Crl& crl);
+
+  /// Answers a status query at `now`. Serials the responder has never seen
+  /// in any CRL are kGood (standard OCSP behaviour for issued certs);
+  /// queries against a responder that was never fed any CRL return
+  /// kUnknown.
+  [[nodiscard]] OcspResponse query(const asn1::Bytes& serial, util::Date now) const;
+
+  [[nodiscard]] std::uint64_t revoked_count() const { return revoked_.size(); }
+
+ private:
+  crypto::Digest issuer_key_id_;
+  std::int64_t response_validity_days_;
+  bool initialized_ = false;
+  util::Date last_update_;
+  std::map<std::string, RevokedEntry> revoked_;  // hex serial -> entry
+};
+
+}  // namespace stalecert::revocation

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace stalecert::revocation {
+
+/// RFC 5280 CRLReason codes. The paper (§3) critiques these as a taxonomy;
+/// we keep them verbatim as the wire format and map them onto the paper's
+/// invalidation-event taxonomy in core/.
+enum class ReasonCode : std::uint8_t {
+  kUnspecified = 0,
+  kKeyCompromise = 1,
+  kCaCompromise = 2,
+  kAffiliationChanged = 3,
+  kSuperseded = 4,
+  kCessationOfOperation = 5,
+  kCertificateHold = 6,
+  // 7 is unused in RFC 5280
+  kRemoveFromCrl = 8,
+  kPrivilegeWithdrawn = 9,
+  kAaCompromise = 10,
+};
+
+std::string to_string(ReasonCode reason);
+std::optional<ReasonCode> reason_from_string(std::string_view name);
+
+/// Mozilla policy permits six of the ten RFC 5280 reasons for subscriber
+/// certificates (the paper cites this as evidence the codes are outdated).
+bool mozilla_permitted(ReasonCode reason);
+
+}  // namespace stalecert::revocation

@@ -1,0 +1,65 @@
+#include "stalecert/revocation/collector.hpp"
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/hex.hpp"
+
+namespace stalecert::revocation {
+
+std::string RevocationStore::key(const crypto::Digest& aki, const asn1::Bytes& serial) {
+  return util::hex_encode(aki) + ":" + util::hex_encode(serial);
+}
+
+void RevocationStore::add(const crypto::Digest& authority_key_id,
+                          const asn1::Bytes& serial, const Observation& obs) {
+  const std::string k = key(authority_key_id, serial);
+  const auto it = observations_.find(k);
+  if (it == observations_.end() || obs.revocation_date < it->second.revocation_date) {
+    observations_[k] = obs;
+  }
+}
+
+const RevocationStore::Observation* RevocationStore::lookup(
+    const crypto::Digest& authority_key_id, const asn1::Bytes& serial) const {
+  const auto it = observations_.find(key(authority_key_id, serial));
+  return it == observations_.end() ? nullptr : &it->second;
+}
+
+void CrlCollector::add_endpoint(DisclosedCrl endpoint) {
+  if (!endpoint.fetch) throw LogicError("CrlCollector: endpoint without fetch fn");
+  endpoints_.push_back(std::move(endpoint));
+}
+
+void CrlCollector::collect_daily(util::Date date) {
+  for (const auto& endpoint : endpoints_) {
+    auto& stats = coverage_[endpoint.ca_name];
+    ++stats.attempted;
+    if (rng_.chance(endpoint.failure_probability)) continue;  // scrape-blocked
+    const auto bytes = endpoint.fetch(date);
+    if (!bytes) continue;
+    try {
+      const Crl crl = Crl::from_der(*bytes);
+      ++stats.succeeded;
+      for (const auto& entry : crl.entries()) {
+        store_.add(crl.authority_key_id(), entry.serial,
+                   {entry.revocation_date, entry.reason});
+      }
+    } catch (const ParseError&) {
+      ++parse_failures_;
+    }
+  }
+}
+
+void CrlCollector::collect_range(util::Date first, util::Date last) {
+  for (util::Date d = first; d <= last; ++d) collect_daily(d);
+}
+
+CoverageStats CrlCollector::total_coverage() const {
+  CoverageStats total;
+  for (const auto& [ca, stats] : coverage_) {
+    total.attempted += stats.attempted;
+    total.succeeded += stats.succeeded;
+  }
+  return total;
+}
+
+}  // namespace stalecert::revocation

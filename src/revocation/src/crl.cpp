@@ -1,0 +1,142 @@
+#include "stalecert/revocation/crl.hpp"
+
+#include <algorithm>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::revocation {
+
+Crl::Crl(x509::DistinguishedName issuer, crypto::Digest authority_key_id,
+         util::Date this_update, util::Date next_update)
+    : issuer_(std::move(issuer)),
+      aki_(authority_key_id),
+      this_update_(this_update),
+      next_update_(next_update) {
+  if (next_update_ < this_update_) {
+    throw LogicError("Crl: nextUpdate before thisUpdate");
+  }
+}
+
+void Crl::add(RevokedEntry entry) {
+  // Canonicalize the serial magnitude (DER INTEGER cannot carry leading
+  // zero octets), so round-trips through to_der/from_der are identities.
+  while (entry.serial.size() > 1 && entry.serial.front() == 0x00) {
+    entry.serial.erase(entry.serial.begin());
+  }
+  entries_.push_back(std::move(entry));
+}
+
+bool Crl::is_revoked(std::span<const std::uint8_t> serial) const {
+  return find(serial) != nullptr;
+}
+
+const RevokedEntry* Crl::find(std::span<const std::uint8_t> serial) const {
+  const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const auto& e) {
+    return std::equal(e.serial.begin(), e.serial.end(), serial.begin(), serial.end());
+  });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+asn1::Bytes Crl::to_der() const {
+  asn1::Encoder enc;
+  enc.begin_sequence();  // CertificateList
+  enc.begin_sequence();  // TBSCertList
+  enc.write_integer(1);  // version v2
+  enc.begin_sequence();  // signature algorithm
+  enc.write_oid(asn1::oids::ecdsa_with_sha256());
+  enc.end_sequence();
+  issuer_.encode(enc);
+  enc.write_time(this_update_);
+  enc.write_time(next_update_);
+  enc.begin_sequence();  // revokedCertificates
+  for (const auto& entry : entries_) {
+    enc.begin_sequence();
+    enc.write_integer_bytes(entry.serial);
+    enc.write_time(entry.revocation_date);
+    enc.begin_sequence();  // crlEntryExtensions
+    enc.begin_sequence();  // reasonCode extension
+    enc.write_oid(asn1::oids::crl_reason());
+    asn1::Encoder reason;
+    reason.write_integer(static_cast<std::int64_t>(entry.reason));
+    enc.write_octet_string(reason.bytes());
+    enc.end_sequence();
+    enc.end_sequence();
+    enc.end_sequence();
+  }
+  enc.end_sequence();
+  enc.begin_context(0);  // crlExtensions [0]: authority key id carrier
+  enc.begin_sequence();
+  enc.write_oid(asn1::oids::authority_key_id());
+  asn1::Encoder aki;
+  aki.write_octet_string(aki_);
+  enc.write_octet_string(aki.bytes());
+  enc.end_sequence();
+  enc.end_context();
+  enc.end_sequence();  // end TBSCertList
+
+  enc.begin_sequence();  // signatureAlgorithm
+  enc.write_oid(asn1::oids::ecdsa_with_sha256());
+  enc.end_sequence();
+  // Modelled signature: hash over issuer DN + thisUpdate.
+  const crypto::Digest signature =
+      crypto::Sha256::hash(issuer_.to_string() + "/" + this_update_.to_string());
+  enc.write_bit_string(signature);
+  enc.end_sequence();
+  return enc.take();
+}
+
+Crl Crl::from_der(std::span<const std::uint8_t> der) {
+  asn1::Decoder outer(der);
+  asn1::Decoder list = outer.enter_sequence();
+  asn1::Decoder tbs = list.enter_sequence();
+  if (tbs.read_integer() != 1) throw ParseError("CRL: expected v2");
+  {
+    asn1::Decoder alg = tbs.enter_sequence();
+    (void)alg.read_oid();
+  }
+  Crl crl;
+  crl.issuer_ = x509::DistinguishedName::decode(tbs);
+  crl.this_update_ = tbs.read_time();
+  crl.next_update_ = tbs.read_time();
+  {
+    asn1::Decoder revoked = tbs.enter_sequence();
+    while (!revoked.at_end()) {
+      asn1::Decoder one = revoked.enter_sequence();
+      RevokedEntry entry;
+      entry.serial = one.read_integer_bytes();
+      entry.revocation_date = one.read_time();
+      if (!one.at_end()) {
+        asn1::Decoder exts = one.enter_sequence();
+        while (!exts.at_end()) {
+          asn1::Decoder ext = exts.enter_sequence();
+          const asn1::Oid oid = ext.read_oid();
+          const asn1::Bytes value = ext.read_octet_string();
+          if (oid == asn1::oids::crl_reason()) {
+            asn1::Decoder body(value);
+            entry.reason = static_cast<ReasonCode>(body.read_integer());
+          }
+        }
+      }
+      crl.entries_.push_back(std::move(entry));
+    }
+  }
+  if (!tbs.at_end()) {
+    const asn1::Tlv exts = tbs.read_any();
+    if (exts.is_context(0)) {
+      asn1::Decoder body(exts.content);
+      while (!body.at_end()) {
+        asn1::Decoder ext = body.enter_sequence();
+        const asn1::Oid oid = ext.read_oid();
+        const asn1::Bytes value = ext.read_octet_string();
+        if (oid == asn1::oids::authority_key_id()) {
+          asn1::Decoder inner(value);
+          const asn1::Bytes id = inner.read_octet_string();
+          if (id.size() == 32) std::copy(id.begin(), id.end(), crl.aki_.begin());
+        }
+      }
+    }
+  }
+  return crl;
+}
+
+}  // namespace stalecert::revocation

@@ -1,0 +1,97 @@
+#include "stalecert/revocation/crlite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/hex.hpp"
+
+namespace stalecert::revocation {
+
+BloomFilter::BloomFilter(std::size_t bits, unsigned hash_count, std::uint64_t salt)
+    : bits_(std::max<std::size_t>(bits, 8), false),
+      hash_count_(std::max(1u, hash_count)),
+      salt_(salt) {}
+
+std::size_t BloomFilter::position(const std::string& key, unsigned index) const {
+  crypto::Sha256 h;
+  std::uint8_t header[12];
+  for (int i = 0; i < 8; ++i) header[i] = static_cast<std::uint8_t>(salt_ >> (i * 8));
+  for (int i = 0; i < 4; ++i) {
+    header[8 + i] = static_cast<std::uint8_t>(index >> (i * 8));
+  }
+  h.update(std::span<const std::uint8_t>(header, sizeof header));
+  h.update(key);
+  return static_cast<std::size_t>(crypto::digest_prefix64(h.finish()) %
+                                  bits_.size());
+}
+
+void BloomFilter::insert(const std::string& key) {
+  for (unsigned i = 0; i < hash_count_; ++i) bits_[position(key, i)] = true;
+}
+
+bool BloomFilter::maybe_contains(const std::string& key) const {
+  for (unsigned i = 0; i < hash_count_; ++i) {
+    if (!bits_[position(key, i)]) return false;
+  }
+  return true;
+}
+
+CrliteFilter CrliteFilter::build(const std::vector<std::string>& revoked,
+                                 const std::vector<std::string>& valid,
+                                 double bits_per_entry) {
+  if (bits_per_entry < 2.0) throw LogicError("CrliteFilter: bits_per_entry too small");
+  CrliteFilter filter;
+  filter.revoked_count_ = revoked.size();
+  filter.valid_count_ = valid.size();
+  if (revoked.empty()) return filter;  // zero levels: nothing is revoked
+
+  std::vector<std::string> include = revoked;
+  std::vector<std::string> exclude = valid;
+  std::uint64_t salt = 0x17e5'ca50ULL;
+  while (!include.empty()) {
+    if (filter.levels_.size() > 64) {
+      throw LogicError("CrliteFilter: cascade failed to converge");
+    }
+    const auto bits = static_cast<std::size_t>(
+        std::ceil(bits_per_entry * static_cast<double>(include.size())));
+    const auto hashes =
+        std::max(1u, static_cast<unsigned>(std::lround(0.69 * bits_per_entry)));
+    BloomFilter level(bits, hashes, salt++);
+    for (const auto& key : include) level.insert(key);
+
+    std::vector<std::string> false_positives;
+    for (const auto& key : exclude) {
+      if (level.maybe_contains(key)) false_positives.push_back(key);
+    }
+    filter.levels_.push_back(std::move(level));
+    exclude = std::move(include);
+    include = std::move(false_positives);
+  }
+  return filter;
+}
+
+bool CrliteFilter::is_revoked(const std::string& key) const {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (!levels_[i].maybe_contains(key)) {
+      // A miss at an even level (0-based) clears the key; at an odd level
+      // it confirms revocation.
+      return i % 2 == 1;
+    }
+  }
+  // Hit every level: the key sits in the deepest include set.
+  return levels_.size() % 2 == 1;
+}
+
+std::size_t CrliteFilter::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& level : levels_) total += level.byte_size();
+  return total;
+}
+
+std::string crlite_key(const crypto::Digest& issuer_key_id,
+                       const std::vector<std::uint8_t>& serial) {
+  return util::hex_encode(issuer_key_id) + ":" + util::hex_encode(serial);
+}
+
+}  // namespace stalecert::revocation

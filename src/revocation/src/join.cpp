@@ -1,0 +1,40 @@
+#include "stalecert/revocation/join.hpp"
+
+namespace stalecert::revocation {
+
+std::vector<RevokedCertificate> join_revocations(
+    const std::vector<x509::Certificate>& corpus, const RevocationStore& store,
+    const JoinFilters& filters, JoinStats* stats) {
+  JoinStats local;
+  local.corpus_size = corpus.size();
+  std::vector<RevokedCertificate> out;
+
+  for (const auto& cert : corpus) {
+    const auto issuer_serial = cert.issuer_serial();
+    if (!issuer_serial) continue;
+    const auto* obs = store.lookup(issuer_serial->authority_key_id,
+                                   issuer_serial->serial);
+    if (!obs) continue;
+    ++local.matched;
+
+    if (obs->revocation_date < cert.not_before()) {
+      ++local.dropped_before_valid;
+      continue;
+    }
+    if (obs->revocation_date >= cert.not_after()) {
+      ++local.dropped_after_expiry;
+      continue;
+    }
+    if (filters.min_revocation_date &&
+        obs->revocation_date < *filters.min_revocation_date) {
+      ++local.dropped_before_cutoff;
+      continue;
+    }
+    ++local.kept;
+    out.push_back({cert, obs->revocation_date, obs->reason});
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace stalecert::revocation

@@ -1,0 +1,51 @@
+#include "stalecert/revocation/ocsp.hpp"
+
+#include "stalecert/util/hex.hpp"
+
+namespace stalecert::revocation {
+
+std::string to_string(CertStatus status) {
+  switch (status) {
+    case CertStatus::kGood: return "good";
+    case CertStatus::kRevoked: return "revoked";
+    case CertStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+OcspResponder::OcspResponder(crypto::Digest issuer_key_id,
+                             std::int64_t response_validity_days)
+    : issuer_key_id_(issuer_key_id),
+      response_validity_days_(response_validity_days) {}
+
+bool OcspResponder::update_from_crl(const Crl& crl) {
+  if (crl.authority_key_id() != issuer_key_id_) return false;
+  for (const auto& entry : crl.entries()) {
+    revoked_.insert_or_assign(util::hex_encode(entry.serial), entry);
+  }
+  initialized_ = true;
+  last_update_ = std::max(last_update_, crl.this_update());
+  return true;
+}
+
+OcspResponse OcspResponder::query(const asn1::Bytes& serial, util::Date now) const {
+  OcspResponse response;
+  response.produced_at = now;
+  response.this_update = now;
+  response.next_update = now + response_validity_days_;
+  if (!initialized_) {
+    response.status = CertStatus::kUnknown;
+    return response;
+  }
+  const auto it = revoked_.find(util::hex_encode(serial));
+  if (it == revoked_.end()) {
+    response.status = CertStatus::kGood;
+    return response;
+  }
+  response.status = CertStatus::kRevoked;
+  response.revocation_time = it->second.revocation_date;
+  response.reason = it->second.reason;
+  return response;
+}
+
+}  // namespace stalecert::revocation

@@ -1,0 +1,47 @@
+#include "stalecert/revocation/reasons.hpp"
+
+namespace stalecert::revocation {
+
+std::string to_string(ReasonCode reason) {
+  switch (reason) {
+    case ReasonCode::kUnspecified: return "unspecified";
+    case ReasonCode::kKeyCompromise: return "keyCompromise";
+    case ReasonCode::kCaCompromise: return "cACompromise";
+    case ReasonCode::kAffiliationChanged: return "affiliationChanged";
+    case ReasonCode::kSuperseded: return "superseded";
+    case ReasonCode::kCessationOfOperation: return "cessationOfOperation";
+    case ReasonCode::kCertificateHold: return "certificateHold";
+    case ReasonCode::kRemoveFromCrl: return "removeFromCRL";
+    case ReasonCode::kPrivilegeWithdrawn: return "privilegeWithdrawn";
+    case ReasonCode::kAaCompromise: return "aACompromise";
+  }
+  return "unknown";
+}
+
+std::optional<ReasonCode> reason_from_string(std::string_view name) {
+  for (const auto reason :
+       {ReasonCode::kUnspecified, ReasonCode::kKeyCompromise, ReasonCode::kCaCompromise,
+        ReasonCode::kAffiliationChanged, ReasonCode::kSuperseded,
+        ReasonCode::kCessationOfOperation, ReasonCode::kCertificateHold,
+        ReasonCode::kRemoveFromCrl, ReasonCode::kPrivilegeWithdrawn,
+        ReasonCode::kAaCompromise}) {
+    if (to_string(reason) == name) return reason;
+  }
+  return std::nullopt;
+}
+
+bool mozilla_permitted(ReasonCode reason) {
+  switch (reason) {
+    case ReasonCode::kUnspecified:
+    case ReasonCode::kKeyCompromise:
+    case ReasonCode::kAffiliationChanged:
+    case ReasonCode::kSuperseded:
+    case ReasonCode::kCessationOfOperation:
+    case ReasonCode::kPrivilegeWithdrawn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace stalecert::revocation

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::sim {
+
+/// Configuration for the synthetic web-PKI world. Defaults reproduce the
+/// qualitative dynamics reported in the paper at laptop scale:
+/// HTTPS adoption ramps through the 2010s, Let's Encrypt launches in 2016
+/// and dominates post-2018, Cloudflare packs customers into COMODO
+/// cruise-liner certificates until mid-2019, GoDaddy suffers its
+/// November-2021 key-exposure breach, and Let's Encrypt starts publishing
+/// keyCompromise revocations in July 2022.
+struct WorldConfig {
+  std::uint64_t seed = 42;
+
+  util::Date start = util::Date::from_ymd(2013, 1, 1);
+  util::Date end = util::Date::from_ymd(2023, 5, 12);
+
+  // --- Domain population ---
+  std::size_t initial_domains = 3000;
+  double daily_new_domains_start = 4.0;   // arrivals/day at `start`
+  double daily_new_domains_end = 14.0;    // arrivals/day at `end` (linear ramp)
+  /// Probability the registrant renews at expiry (per expiration).
+  double renewal_probability = 0.62;
+  /// Probability a released domain is re-registered (drop-catch et al.).
+  double reregistration_probability = 0.50;
+  /// Max days after release until re-registration (uniform).
+  std::int64_t max_reregistration_delay_days = 45;
+  /// Rate of registrar refund-window abuse registrations per day.
+  double daily_refund_abuse = 0.05;
+  /// Rate of scenario-1 registrant transfers per day (domain sold without
+  /// expiring). These do NOT reset the registry creation date and are
+  /// therefore invisible to the paper's WHOIS methodology (§4.4) — the
+  /// simulator keeps ground truth so tests can verify the lower-bound
+  /// property.
+  double daily_domain_transfers = 0.05;
+
+  // --- HTTPS / certificate adoption ---
+  double https_adoption_start = 0.25;  // fraction of new domains w/ TLS, 2013
+  double https_adoption_end = 0.85;    // 2023
+  /// Of TLS domains, the fraction using managed TLS (CDN), ramping up.
+  double cdn_share_start = 0.10;
+  double cdn_share_end = 0.45;
+  /// Monthly probability an enrolled customer departs the CDN.
+  double cdn_monthly_attrition = 0.012;
+  /// Manual (non-ACME) subscribers fail to renew on time with this prob.
+  double manual_renewal_lapse = 0.25;
+
+  // --- Key compromise & revocation ---
+  /// Expected baseline key-compromise revocations per day in 2021, ramping
+  /// to 3x by 2023 (the paper observes gradual growth).
+  double daily_key_compromise_2021 = 0.12;
+  double key_compromise_growth = 3.0;
+  /// Expected non-compromise revocations per day (superseded, cessation...).
+  double daily_other_revocations = 2.0;
+  bool godaddy_breach = true;
+  util::Date godaddy_breach_start = util::Date::from_ymd(2021, 11, 15);
+  util::Date godaddy_breach_end = util::Date::from_ymd(2021, 12, 31);
+  /// Number of certificates revoked in the breach window.
+  std::size_t godaddy_breach_revocations = 400;
+  util::Date le_kc_publication_start = util::Date::from_ymd(2022, 7, 1);
+
+  // --- Cloudflare managed-TLS model ---
+  std::size_t cruiseliner_capacity = 30;
+  util::Date cloudflare_per_domain_switch = util::Date::from_ymd(2019, 7, 1);
+  /// §7.2 mitigation experiment: run the provider in Keyless-SSL mode.
+  bool cloudflare_keyless = false;
+
+  // --- Measurement windows (paper Table 3/4) ---
+  util::Date whois_start = util::Date::from_ymd(2016, 1, 1);
+  util::Date whois_end = util::Date::from_ymd(2021, 7, 8);
+  util::Date adns_start = util::Date::from_ymd(2022, 8, 1);
+  util::Date adns_end = util::Date::from_ymd(2022, 10, 30);
+  util::Date crl_start = util::Date::from_ymd(2022, 11, 1);
+  util::Date crl_end = util::Date::from_ymd(2023, 5, 5);
+  util::Date revocation_cutoff = util::Date::from_ymd(2021, 10, 1);
+
+  // --- Reputation ---
+  /// Probability a departing/abandoning registrant was malicious.
+  double malicious_owner_probability = 0.02;
+
+  /// Use a single CT log instead of the full sharded ecosystem (smaller
+  /// memory footprint for large runs; collection results are identical
+  /// after dedup).
+  bool lean_ct = true;
+};
+
+/// A scaled-down config for unit tests: two simulated years, small rates.
+WorldConfig small_test_config();
+
+}  // namespace stalecert::sim

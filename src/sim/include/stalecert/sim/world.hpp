@@ -1,0 +1,151 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/ca/authority.hpp"
+#include "stalecert/cdn/provider.hpp"
+#include "stalecert/ct/logset.hpp"
+#include "stalecert/dns/scan.hpp"
+#include "stalecert/dns/zone.hpp"
+#include "stalecert/registrar/lifecycle.hpp"
+#include "stalecert/reputation/service.hpp"
+#include "stalecert/revocation/collector.hpp"
+#include "stalecert/sim/config.hpp"
+#include "stalecert/util/rng.hpp"
+#include "stalecert/whois/database.hpp"
+
+namespace stalecert::sim {
+
+/// The synthetic web-PKI world: domains, registrants, CAs, CT logs, a
+/// Cloudflare-style managed-TLS provider, WHOIS feeds, daily DNS scans and
+/// CRL collection, advanced one simulated day at a time. After run(), the
+/// accessors expose exactly the datasets of the paper's Table 3.
+class World : public ca::ValidationEnvironment {
+ public:
+  explicit World(WorldConfig config);
+  ~World() override;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Simulates from config.start to config.end.
+  void run();
+  /// Advances a single day (exposed for incremental tests).
+  void step();
+  [[nodiscard]] util::Date today() const { return today_; }
+
+  // --- Dataset accessors (Table 3) ---
+  [[nodiscard]] ct::LogSet& ct_logs() { return ct_logs_; }
+  [[nodiscard]] const ct::LogSet& ct_logs() const { return ct_logs_; }
+  [[nodiscard]] const whois::WhoisDatabase& whois() const { return whois_; }
+  [[nodiscard]] const dns::SnapshotStore& adns() const { return adns_; }
+  [[nodiscard]] const revocation::CrlCollector& crl_collection() const;
+  [[nodiscard]] const dns::DnsDatabase& dns_db() const { return dns_; }
+  [[nodiscard]] const registrar::Registry& registry() const { return registry_; }
+  [[nodiscard]] const reputation::ReputationService& reputation() const {
+    return reputation_;
+  }
+  [[nodiscard]] const cdn::ManagedTlsProvider& cloudflare() const;
+  [[nodiscard]] const std::vector<std::unique_ptr<ca::CertificateAuthority>>& cas()
+      const {
+    return cas_;
+  }
+
+  /// Every e2LD that ever existed (popularity universe).
+  [[nodiscard]] std::vector<std::string> domain_universe() const;
+
+  /// Managed-TLS delegation / SAN patterns for the Cloudflare model —
+  /// feed these to core::detect_managed_tls_departure.
+  [[nodiscard]] std::vector<std::string> cloudflare_delegation_patterns() const;
+  [[nodiscard]] std::string cloudflare_san_pattern() const;
+
+  // --- ValidationEnvironment (what a CA can observe) ---
+  [[nodiscard]] bool controls_dns(const std::string& domain,
+                                  ca::ActorId actor) const override;
+  [[nodiscard]] bool controls_web(const std::string& domain,
+                                  ca::ActorId actor) const override;
+
+  // --- Ground truth for tests ---
+  struct Stats {
+    std::uint64_t domains_registered = 0;
+    std::uint64_t domains_reregistered = 0;
+    std::uint64_t domains_transferred = 0;  // scenario 1: WHOIS-invisible
+    std::uint64_t certificates_issued = 0;
+    std::uint64_t cdn_enrollments = 0;
+    std::uint64_t cdn_departures = 0;
+    std::uint64_t key_compromises = 0;
+    std::uint64_t other_revocations = 0;
+    std::uint64_t refund_abuses = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum class TlsPath : std::uint8_t { kNone, kSelfManaged, kManagedCdn };
+
+  struct Site {
+    registrar::RegistrantId owner = 0;
+    TlsPath path = TlsPath::kNone;
+    std::size_t ca_index = 0;
+    crypto::KeyPair key;
+    std::optional<util::DateInterval> cert_validity;
+    std::optional<std::int64_t> requested_days;  // multi-year manual certs
+    bool automated = false;  // ACME auto-renewal
+    bool owner_active = true;
+    bool renewal_decided = false;  // registration-renewal roll already made
+    util::Date tenure_start;
+  };
+
+  void setup_cas();
+  void setup_cloudflare();
+  std::string fresh_domain_name();
+  void register_new_domain(util::Date date, bool is_rereg,
+                           std::optional<std::string> name = std::nullopt);
+  void adopt_https(const std::string& domain, Site& site, util::Date date);
+  void issue_self_managed(const std::string& domain, Site& site, util::Date date);
+  void record_whois(const std::string& domain, util::Date date);
+  void process_renewals(util::Date date);
+  void process_domain_expiries(util::Date date);
+  void process_cdn_attrition(util::Date date);
+  void inject_key_compromises(util::Date date);
+  void inject_other_revocations(util::Date date);
+  void run_godaddy_breach(util::Date date);
+  void maybe_seed_malicious(const std::string& domain, util::Date tenure_start,
+                            util::Date tenure_end);
+  [[nodiscard]] double interp(double a, double b) const;  // progress start->end
+  [[nodiscard]] std::size_t pick_ca(util::Date date);
+
+  WorldConfig config_;
+  util::Rng rng_;
+  util::Date today_;
+  registrar::RegistrantId next_registrant_ = 1;
+  std::uint64_t name_counter_ = 0;
+
+  ct::LogSet ct_logs_;
+  dns::DnsDatabase dns_;
+  registrar::Registry registry_;
+  whois::WhoisDatabase whois_;
+  dns::SnapshotStore adns_;
+  reputation::ReputationService reputation_;
+  std::vector<std::unique_ptr<ca::CertificateAuthority>> cas_;
+  std::size_t godaddy_ca_ = 0;
+  std::size_t letsencrypt_ca_ = 0;
+  std::size_t comodo_ca_ = 0;
+  std::size_t cloudflare_ca_ = 0;
+  std::unique_ptr<cdn::ManagedTlsProvider> cloudflare_;
+  std::unique_ptr<revocation::CrlCollector> crl_collector_;
+
+  std::map<std::string, Site> sites_;
+  /// Self-managed certificates eligible for compromise/revocation:
+  /// (domain, ca index, serial snapshot).
+  std::vector<std::pair<std::string, x509::Certificate>> revocable_;
+  std::vector<std::string> universe_;
+  /// Scheduled re-registrations: date -> domains to re-register that day.
+  std::map<util::Date, std::vector<std::string>> rereg_schedule_;
+  Stats stats_;
+};
+
+}  // namespace stalecert::sim

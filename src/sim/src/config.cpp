@@ -1,0 +1,27 @@
+#include "stalecert/sim/config.hpp"
+
+namespace stalecert::sim {
+
+WorldConfig small_test_config() {
+  WorldConfig config;
+  config.seed = 7;
+  config.start = util::Date::from_ymd(2021, 1, 1);
+  config.end = util::Date::from_ymd(2022, 12, 31);
+  config.initial_domains = 700;
+  config.daily_new_domains_start = 1.5;
+  config.daily_new_domains_end = 3.0;
+  config.daily_key_compromise_2021 = 0.06;
+  config.daily_other_revocations = 0.25;
+  config.godaddy_breach_revocations = 25;
+  config.whois_start = util::Date::from_ymd(2021, 1, 1);
+  config.whois_end = util::Date::from_ymd(2022, 12, 31);
+  config.adns_start = util::Date::from_ymd(2022, 3, 1);
+  config.adns_end = util::Date::from_ymd(2022, 5, 30);
+  config.crl_start = util::Date::from_ymd(2022, 6, 1);
+  config.crl_end = util::Date::from_ymd(2022, 12, 31);
+  config.revocation_cutoff = util::Date::from_ymd(2021, 1, 1);
+  config.cdn_monthly_attrition = 0.03;
+  return config;
+}
+
+}  // namespace stalecert::sim

@@ -1,0 +1,619 @@
+#include "stalecert/sim/world.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "stalecert/dns/name.hpp"
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::sim {
+namespace {
+
+constexpr ca::ActorId kCloudflareActor = 0xC10D'F1A2'0000'0001ULL;
+
+const std::array<std::pair<const char*, double>, 7> kTldWeights = {{
+    {"com", 0.60},
+    {"net", 0.12},
+    {"org", 0.12},
+    {"io", 0.04},
+    {"info", 0.04},
+    {"co.uk", 0.04},
+    {"de", 0.04},
+}};
+
+}  // namespace
+
+World::World(WorldConfig config)
+    : config_(config), rng_(config.seed), today_(config.start) {
+  if (config_.end < config_.start) throw LogicError("World: end before start");
+  setup_cas();
+  setup_cloudflare();
+  crl_collector_ =
+      std::make_unique<revocation::CrlCollector>(config_.seed ^ 0xC011EC70ULL);
+  // Seed the initial domain population, staggered over the preceding year
+  // so certificates and expirations don't all align on day one.
+  for (std::size_t i = 0; i < config_.initial_domains; ++i) {
+    register_new_domain(config_.start - rng_.between(0, 364), /*is_rereg=*/false);
+  }
+}
+
+World::~World() = default;
+
+void World::setup_cas() {
+  auto add = [this](ca::CaProfile profile) {
+    profile.crl_url = "http://crl." + profile.organization + ".example/latest.crl";
+    auto ca = std::make_unique<ca::CertificateAuthority>(std::move(profile),
+                                                         rng_.next());
+    ca->attach_ct(&ct_logs_);
+    ca->attach_validation(this);
+    cas_.push_back(std::move(ca));
+    return cas_.size() - 1;
+  };
+
+  if (config_.lean_ct) {
+    ct_logs_.add_log(ct::CtLog{1, "omnibus", "Example Trust",
+                               {.chrome = true, .apple = true}});
+  } else {
+    ct_logs_ = ct::make_historical_log_ecosystem();
+  }
+
+  letsencrypt_ca_ = add({.name = "Let's Encrypt X3",
+                         .organization = "ISRG (Let's Encrypt)",
+                         .self_imposed_max_days = 90,
+                         .default_days = 90,
+                         .automated = true});
+  add({.name = "DigiCert SHA2 Secure Server CA",
+       .organization = "DigiCert",
+       .default_days = 365});
+  add({.name = "Sectigo RSA DV CA",
+       .organization = "Sectigo",
+       .default_days = 365});
+  godaddy_ca_ = add({.name = "Go Daddy Secure CA - G2",
+                     .organization = "GoDaddy",
+                     .default_days = 398});
+  add({.name = "Entrust Certification Authority - L1K",
+       .organization = "Entrust",
+       .default_days = 365});
+  add({.name = "cPanel, Inc. CA",
+       .organization = "cPanel",
+       .self_imposed_max_days = 90,
+       .default_days = 90,
+       .automated = true});
+  comodo_ca_ = add({.name = "COMODO ECC DV Secure Server CA 2",
+                    .organization = "COMODO",
+                    .default_days = 365});
+  cloudflare_ca_ = add({.name = "CloudFlare ECC CA-2",
+                        .organization = "Cloudflare",
+                        .default_days = 365});
+}
+
+void World::setup_cloudflare() {
+  cdn::ProviderConfig provider;
+  provider.name = "Cloudflare";
+  provider.ns_suffix = "ns.cloudflare.com";
+  provider.cname_suffix = "cdn.cloudflare.com";
+  provider.managed_san_pattern = "sni*.cloudflaressl.com";
+  provider.cruiseliner_capacity = config_.cruiseliner_capacity;
+  provider.per_domain_switch = config_.cloudflare_per_domain_switch;
+  provider.managed_cert_days = 365;
+  provider.actor = kCloudflareActor;
+  provider.keyless_ssl = config_.cloudflare_keyless;
+  cloudflare_ = std::make_unique<cdn::ManagedTlsProvider>(
+      provider, cas_[comodo_ca_].get(), cas_[cloudflare_ca_].get(), &dns_,
+      rng_.next());
+}
+
+const cdn::ManagedTlsProvider& World::cloudflare() const { return *cloudflare_; }
+
+const revocation::CrlCollector& World::crl_collection() const {
+  return *crl_collector_;
+}
+
+std::vector<std::string> World::cloudflare_delegation_patterns() const {
+  return {"*." + cloudflare_->config().ns_suffix,
+          "*." + cloudflare_->config().cname_suffix};
+}
+
+std::string World::cloudflare_san_pattern() const {
+  return cloudflare_->config().managed_san_pattern;
+}
+
+double World::interp(double a, double b) const {
+  const double span = static_cast<double>(config_.end - config_.start);
+  if (span <= 0) return b;
+  const double progress =
+      std::clamp(static_cast<double>(today_ - config_.start) / span, 0.0, 1.0);
+  return a + (b - a) * progress;
+}
+
+std::string World::fresh_domain_name() {
+  std::vector<double> weights;
+  weights.reserve(kTldWeights.size());
+  for (const auto& [tld, w] : kTldWeights) weights.push_back(w);
+  const auto& [tld, weight] = kTldWeights[rng_.weighted_pick(weights)];
+  return rng_.alpha_label(4) + std::to_string(name_counter_++) + "." + tld;
+}
+
+std::size_t World::pick_ca(util::Date date) {
+  // Market shares: Let's Encrypt launches in 2016 and grows to dominate;
+  // legacy commercial CAs shrink proportionally.
+  const bool le_available = date >= util::Date::from_ymd(2016, 1, 1);
+  const double le_share = le_available ? interp(0.05, 0.55) : 0.0;
+  const double rest = 1.0 - le_share;
+  // Order: LE, DigiCert, Sectigo, GoDaddy, Entrust, cPanel (COMODO and the
+  // Cloudflare CA only issue through the managed-TLS provider).
+  const std::vector<double> weights = {le_share,     rest * 0.28, rest * 0.22,
+                                       rest * 0.26,  rest * 0.10, rest * 0.14};
+  return rng_.weighted_pick(weights);
+}
+
+void World::register_new_domain(util::Date date, bool is_rereg,
+                                std::optional<std::string> name) {
+  const std::string domain = name ? *name : fresh_domain_name();
+  const auto dot = domain.find('.');
+  const std::string tld = domain.substr(dot + 1);
+
+  const registrar::RegistrantId owner = next_registrant_++;
+  registry_.register_domain(domain, owner, "Registrar-" + std::to_string(owner % 7),
+                            date, static_cast<int>(rng_.between(1, 2)));
+  dns_.add_to_zone(tld, domain);
+  dns_.set_ns(domain, {"ns1.hosting" + std::to_string(owner % 50) + ".example",
+                       "ns2.hosting.example"});
+  dns_.set_a(domain, {"192.0.2." + std::to_string(1 + rng_.below(250))});
+
+  Site site;
+  site.owner = owner;
+  site.tenure_start = date;
+  record_whois(domain, date);
+  if (is_rereg) {
+    ++stats_.domains_reregistered;
+  } else {
+    ++stats_.domains_registered;
+    universe_.push_back(domain);
+  }
+
+  // Insert before HTTPS adoption: DV validation consults sites_ to decide
+  // who controls the domain.
+  Site& stored = (sites_[domain] = std::move(site));
+  const double https_share = interp(config_.https_adoption_start,
+                                    config_.https_adoption_end);
+  if (rng_.chance(https_share)) adopt_https(domain, stored, date);
+}
+
+void World::adopt_https(const std::string& domain, Site& site, util::Date date) {
+  const double cdn_share = interp(config_.cdn_share_start, config_.cdn_share_end);
+  if (rng_.chance(cdn_share)) {
+    const auto kind = rng_.chance(0.5) ? cdn::DelegationKind::kCname
+                                       : cdn::DelegationKind::kNs;
+    cloudflare_->enroll(domain, kind, date);
+    site.path = TlsPath::kManagedCdn;
+    ++stats_.cdn_enrollments;
+    stats_.certificates_issued += 1;
+    return;
+  }
+  site.path = TlsPath::kSelfManaged;
+  site.ca_index = pick_ca(date);
+  site.automated = cas_[site.ca_index]->profile().automated;
+  site.key = crypto::KeyPair::derive(domain + "/" + date.to_string(),
+                                     crypto::KeyAlgorithm::kEcdsaP256);
+  // Manual subscribers historically bought multi-year certificates (up to
+  // 39 months before Ballot 193); the CA clamps to the era's maximum.
+  site.requested_days =
+      site.automated ? std::optional<std::int64_t>{}
+                     : std::optional<std::int64_t>{365 * rng_.between(1, 3)};
+  issue_self_managed(domain, site, date);
+}
+
+void World::issue_self_managed(const std::string& domain, Site& site,
+                               util::Date date) {
+  ca::IssuanceRequest request;
+  request.domains = {domain, "www." + domain};
+  request.subscriber_key = site.key;
+  request.account = site.owner;
+  request.date = date;
+  request.requested_days = site.requested_days;
+  request.challenge =
+      site.automated ? ca::ChallengeType::kHttp01 : ca::ChallengeType::kDns01;
+  const auto outcome = cas_[site.ca_index]->issue(request);
+  if (!outcome.ok()) return;  // lost control (e.g. domain lapsed) — no cert
+  site.cert_validity = outcome.certificate->validity();
+  revocable_.emplace_back(domain, *outcome.certificate);
+  ++stats_.certificates_issued;
+}
+
+void World::record_whois(const std::string& domain, util::Date date) {
+  if (date < config_.whois_start || date > config_.whois_end) return;
+  const auto* reg = registry_.find(domain);
+  if (!reg) return;
+  whois::ThinRecord record;
+  record.domain = domain;
+  record.registrar = reg->registrar;
+  record.creation_date = reg->creation_date;
+  record.updated_date = date;
+  record.expiration_date = reg->expiration_date;
+  record.name_servers = dns_.ns(domain);
+  record.status = {"clientTransferProhibited"};
+  // Round-trip through WHOIS text in a random format family, exercising
+  // the tolerant parser exactly as a bulk collection pipeline would.
+  const auto format = static_cast<whois::TextFormat>(rng_.below(3));
+  whois_.ingest_text(whois::emit_text(record, format));
+}
+
+void World::process_renewals(util::Date date) {
+  for (auto& [domain, site] : sites_) {
+    if (!site.owner_active || site.path != TlsPath::kSelfManaged) continue;
+    if (!site.cert_validity) continue;
+    const std::int64_t remaining = site.cert_validity->end() - date;
+    if (remaining > 30) continue;
+    if (registry_.state(domain) != registrar::DomainState::kActive) continue;
+    if (!site.automated && rng_.chance(config_.manual_renewal_lapse)) continue;
+    issue_self_managed(domain, site, date);
+  }
+  cloudflare_->renew_expiring(date);
+}
+
+void World::process_domain_expiries(util::Date date) {
+  // Renewal decisions for registrations entering the grace period.
+  for (const auto* reg : registry_.registered_domains()) {
+    if (reg->state != registrar::DomainState::kAutoRenewGrace) continue;
+    auto site_it = sites_.find(reg->domain);
+    if (site_it == sites_.end()) continue;
+    Site& site = site_it->second;
+    if (site.renewal_decided) continue;
+    site.renewal_decided = true;
+    if (rng_.chance(config_.renewal_probability)) {
+      registry_.renew(reg->domain, date, 1);
+      record_whois(reg->domain, date);
+      site.renewal_decided = false;  // fresh decision at next expiry
+    } else {
+      site.owner_active = false;  // letting the domain lapse
+    }
+  }
+
+  const std::vector<std::string> released = registry_.advance(date);
+  for (const auto& domain : released) {
+    auto site_it = sites_.find(domain);
+    if (site_it != sites_.end()) {
+      const Site& site = site_it->second;
+      maybe_seed_malicious(domain, site.tenure_start, date);
+      if (cloudflare_->is_enrolled(domain)) {
+        cloudflare_->depart(domain, date);
+        ++stats_.cdn_departures;
+      }
+      sites_.erase(site_it);
+    }
+    dns_.clear_records(domain);
+    if (rng_.chance(config_.reregistration_probability)) {
+      const util::Date when =
+          date + rng_.between(1, config_.max_reregistration_delay_days);
+      rereg_schedule_[when].push_back(domain);
+    }
+  }
+}
+
+void World::process_cdn_attrition(util::Date date) {
+  std::vector<std::string> departing;
+  for (const auto& enrollment : cloudflare_->enrollment_history()) {
+    if (enrollment.end) continue;
+    if (rng_.chance(config_.cdn_monthly_attrition)) {
+      departing.push_back(enrollment.domain);
+    }
+  }
+  for (const auto& domain : departing) {
+    cloudflare_->depart(domain, date);
+    ++stats_.cdn_departures;
+    // The migrating customer typically stands up TLS elsewhere.
+    auto site_it = sites_.find(domain);
+    if (site_it != sites_.end() && site_it->second.owner_active) {
+      Site& site = site_it->second;
+      site.path = TlsPath::kSelfManaged;
+      site.ca_index = pick_ca(date);
+      site.automated = cas_[site.ca_index]->profile().automated;
+      site.key = crypto::KeyPair::derive(domain + "/migrated/" + date.to_string(),
+                                         crypto::KeyAlgorithm::kEcdsaP256);
+      issue_self_managed(domain, site, date);
+    }
+  }
+}
+
+void World::inject_key_compromises(util::Date date) {
+  // Baseline rate: small before 2021, then the paper's observed ramp.
+  const util::Date ramp_start = util::Date::from_ymd(2021, 1, 1);
+  double rate = 0.05;
+  if (date >= ramp_start) {
+    const double progress =
+        std::clamp(static_cast<double>(date - ramp_start) /
+                       static_cast<double>(config_.end - ramp_start),
+                   0.0, 1.0);
+    rate = config_.daily_key_compromise_2021 *
+           (1.0 + (config_.key_compromise_growth - 1.0) * progress);
+  }
+  const std::uint64_t events = rng_.poisson(rate);
+  for (std::uint64_t i = 0; i < events && !revocable_.empty(); ++i) {
+    const auto& [domain, cert] = revocable_[rng_.below(revocable_.size())];
+    if (!cert.valid_at(date)) continue;
+    // Key-compromise revocations overwhelmingly hit recently issued
+    // certificates (leaked keys are spotted fast by key scanners and the
+    // subscriber re-keys) — the paper's Figure 8 shows ~99% of compromise
+    // events within 90 days of issuance. Bias accordingly.
+    const std::int64_t age = date - cert.not_before();
+    if (age > 90 && !rng_.chance(0.03)) continue;
+    // Which CA issued it?
+    for (auto& ca : cas_) {
+      if (ca->issuing_key().key_id() ==
+          cert.extensions().authority_key_id.value_or(crypto::Digest{})) {
+        const bool le = ca.get() == cas_[letsencrypt_ca_].get();
+        const auto reason = (le && date < config_.le_kc_publication_start)
+                                ? revocation::ReasonCode::kUnspecified
+                                : revocation::ReasonCode::kKeyCompromise;
+        if (ca->revoke(cert, date, reason)) ++stats_.key_compromises;
+        break;
+      }
+    }
+  }
+}
+
+void World::inject_other_revocations(util::Date date) {
+  const std::uint64_t events = rng_.poisson(config_.daily_other_revocations);
+  static const std::vector<double> kReasonWeights = {0.55, 0.30, 0.08, 0.07};
+  static const std::vector<revocation::ReasonCode> kReasons = {
+      revocation::ReasonCode::kSuperseded,
+      revocation::ReasonCode::kCessationOfOperation,
+      revocation::ReasonCode::kAffiliationChanged,
+      revocation::ReasonCode::kPrivilegeWithdrawn};
+  for (std::uint64_t i = 0; i < events && !revocable_.empty(); ++i) {
+    const auto& [domain, cert] = revocable_[rng_.below(revocable_.size())];
+    if (!cert.valid_at(date)) continue;
+    const auto reason = kReasons[rng_.weighted_pick(kReasonWeights)];
+    for (auto& ca : cas_) {
+      if (ca->issuing_key().key_id() ==
+          cert.extensions().authority_key_id.value_or(crypto::Digest{})) {
+        if (ca->revoke(cert, date, reason)) ++stats_.other_revocations;
+        break;
+      }
+    }
+  }
+}
+
+void World::run_godaddy_breach(util::Date date) {
+  if (!config_.godaddy_breach) return;
+  if (date < config_.godaddy_breach_start || date > config_.godaddy_breach_end) {
+    return;
+  }
+  const std::int64_t window_days =
+      (config_.godaddy_breach_end - config_.godaddy_breach_start) + 1;
+  const double per_day = static_cast<double>(config_.godaddy_breach_revocations) /
+                         static_cast<double>(window_days);
+  auto& godaddy = *cas_[godaddy_ca_];
+
+  // Candidate pools: the breached Managed WordPress certificates were
+  // auto-issued and recently renewed, so revocations overwhelmingly hit
+  // young certificates (cf. the paper's Figure 8: ~99% of key-compromise
+  // events fall within 90 days of issuance).
+  std::vector<const x509::Certificate*> young;
+  std::vector<const x509::Certificate*> older;
+  for (const auto& [domain, cert] : revocable_) {
+    if (!cert.valid_at(date)) continue;
+    if (cert.extensions().authority_key_id.value_or(crypto::Digest{}) !=
+        godaddy.issuing_key().key_id()) {
+      continue;
+    }
+    if (godaddy.is_revoked(cert)) continue;
+    (date - cert.not_before() <= 90 ? young : older).push_back(&cert);
+  }
+
+  const std::uint64_t quota = rng_.poisson(per_day);
+  for (std::uint64_t i = 0; i < quota; ++i) {
+    auto& pool =
+        (!young.empty() && (older.empty() || !rng_.chance(0.02))) ? young : older;
+    if (pool.empty()) break;
+    const std::size_t index = rng_.below(pool.size());
+    if (godaddy.revoke(*pool[index], date, revocation::ReasonCode::kKeyCompromise)) {
+      ++stats_.key_compromises;
+    }
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+}
+
+void World::maybe_seed_malicious(const std::string& domain, util::Date tenure_start,
+                                 util::Date tenure_end) {
+  if (!rng_.chance(config_.malicious_owner_probability)) return;
+  const util::Date active = tenure_start + rng_.between(
+      0, std::max<std::int64_t>(1, tenure_end - tenure_start));
+
+  // Table 5 mix: URL-only dominates (661), malware-only second (328),
+  // overlap rare (24).
+  const double roll = rng_.uniform();
+  const bool seed_urls = roll < 0.69;
+  const bool seed_files = roll >= 0.66;
+
+  if (seed_urls) {
+    static const std::vector<double> kCatWeights = {0.54, 0.28, 0.18};
+    static const std::vector<reputation::UrlCategory> kCats = {
+        reputation::UrlCategory::kPhishing, reputation::UrlCategory::kMalicious,
+        reputation::UrlCategory::kMalware};
+    const auto category = kCats[rng_.weighted_pick(kCatWeights)];
+    std::vector<reputation::UrlVerdict> verdicts;
+    const std::uint64_t vendors = 5 + rng_.below(8);
+    for (std::uint64_t v = 0; v < vendors; ++v) {
+      verdicts.push_back({"vendor" + std::to_string(v), category,
+                          active + static_cast<std::int64_t>(rng_.below(30))});
+    }
+    reputation_.seed_url_verdicts(domain, std::move(verdicts));
+  }
+  if (seed_files) {
+    static const std::vector<double> kFamWeights = {82, 74, 53, 51, 29, 27, 18, 18};
+    static const std::vector<std::string> kFamilies = {
+        "grayware", "backdoor", "unknownfam", "downloader",
+        "virus",    "spyware",  "ransomware", "otherfam"};
+    const std::string family = kFamilies[rng_.weighted_pick(kFamWeights)];
+    reputation::FileReport file;
+    file.sha256 = crypto::digest_hex(crypto::Sha256::hash("mw/" + domain));
+    file.first_submission = active;
+    for (int v = 0; v < 6; ++v) {
+      file.av_labels.push_back("Trojan." + family + "!gen" + std::to_string(v));
+    }
+    reputation_.seed_file(domain, std::move(file));
+  }
+}
+
+void World::step() {
+  const util::Date date = today_;
+
+  // 0. First day of WHOIS collection: bulk snapshot of every existing
+  //    registration (the industry feed starts with a full dump, which is
+  //    what lets later creation-date changes be recognized as
+  //    re-registrations).
+  if (date == config_.whois_start) {
+    for (const auto* reg : registry_.registered_domains()) {
+      record_whois(reg->domain, date);
+    }
+  }
+
+  // 1. New domain arrivals.
+  const double arrival_rate =
+      interp(config_.daily_new_domains_start, config_.daily_new_domains_end);
+  const std::uint64_t arrivals = rng_.poisson(arrival_rate);
+  for (std::uint64_t i = 0; i < arrivals; ++i) {
+    register_new_domain(date, /*is_rereg=*/false);
+  }
+
+  // 1b. Refund-window abuse: register, certify for 13 months, delete.
+  if (rng_.chance(config_.daily_refund_abuse)) {
+    const std::string domain = fresh_domain_name();
+    register_new_domain(date, /*is_rereg=*/false, domain);
+    auto& site = sites_[domain];
+    if (site.path == TlsPath::kNone) {
+      site.path = TlsPath::kSelfManaged;
+      site.ca_index = godaddy_ca_;
+      site.key = crypto::KeyPair::derive(domain + "/abuse", crypto::KeyAlgorithm::kRsa2048);
+      issue_self_managed(domain, site, date);
+    }
+    if (cloudflare_->is_enrolled(domain)) cloudflare_->depart(domain, date);
+    registry_.delete_domain(domain, date);
+    maybe_seed_malicious(domain, date, date);
+    sites_.erase(domain);
+    dns_.clear_records(domain);
+    ++stats_.refund_abuses;
+    // The victim (or a squatter) picks it up shortly after.
+    if (rng_.chance(0.8)) {
+      rereg_schedule_[date + rng_.between(3, 45)].push_back(domain);
+    }
+  }
+
+  // 1c. Scenario-1 registrant transfers: the domain is sold while active.
+  //     The registry creation date survives, so the WHOIS detector cannot
+  //     see these — ground truth for the lower-bound property (§4.4).
+  if (rng_.chance(config_.daily_domain_transfers) && !sites_.empty()) {
+    // Pick a pseudo-random active site via the ordered map.
+    auto it = sites_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rng_.below(sites_.size())));
+    const std::string& domain = it->first;
+    if (registry_.state(domain) == registrar::DomainState::kActive) {
+      const registrar::RegistrantId buyer = next_registrant_++;
+      registry_.transfer(domain, buyer,
+                         "Registrar-" + std::to_string(buyer % 7), date);
+      it->second.owner = buyer;  // buyer now controls DNS/web
+      it->second.tenure_start = date;
+      record_whois(domain, date);  // updated record, creation date unchanged
+      ++stats_.domains_transferred;
+    }
+  }
+
+  // 2. Scheduled re-registrations.
+  if (const auto it = rereg_schedule_.find(date); it != rereg_schedule_.end()) {
+    for (const auto& domain : it->second) {
+      if (registry_.state(domain) == registrar::DomainState::kAvailable) {
+        register_new_domain(date, /*is_rereg=*/true, domain);
+      }
+    }
+    rereg_schedule_.erase(it);
+  }
+
+  // 3. Weekly lifecycle sweep + monthly renewals/attrition.
+  const std::int64_t day_index = date - config_.start;
+  if (day_index % 7 == 0) process_domain_expiries(date);
+  if (day_index % 28 == 0) {
+    process_renewals(date);
+    process_cdn_attrition(date);
+    // Compact the revocable pool: drop long-expired certificates.
+    std::erase_if(revocable_, [&](const auto& entry) {
+      return entry.second.not_after() + 30 < date;
+    });
+  }
+
+  // 4. Revocation activity.
+  inject_key_compromises(date);
+  inject_other_revocations(date);
+  run_godaddy_breach(date);
+
+  // 5. Measurement pipelines.
+  if (date >= config_.adns_start && date <= config_.adns_end) {
+    dns::ScanEngine engine(dns_);
+    dns::DailySnapshot full = engine.scan(date);
+    // Retain the Cloudflare-relevant slice (the detectors' working set).
+    dns::DailySnapshot slice;
+    slice.date = full.date;
+    const auto patterns = cloudflare_delegation_patterns();
+    for (auto& [domain, records] : full.records) {
+      const bool relevant =
+          std::any_of(patterns.begin(), patterns.end(), [&](const auto& p) {
+            return records.delegates_to(p);
+          });
+      if (relevant) slice.records.emplace(domain, std::move(records));
+    }
+    adns_.add(slice);
+  }
+  if (date >= config_.crl_start && date <= config_.crl_end) {
+    if (crl_collector_->coverage().empty()) {
+      // First collection day: build the CCADB-style disclosure list.
+      for (const auto& ca : cas_) {
+        revocation::DisclosedCrl endpoint;
+        endpoint.ca_name = ca->profile().organization;
+        endpoint.url = ca->profile().crl_url;
+        const auto* authority = ca.get();
+        endpoint.fetch = [authority](util::Date d) {
+          return std::optional<asn1::Bytes>(authority->crl_at(d).to_der());
+        };
+        // A couple of CAs have scrape protection (Appendix B / Table 7).
+        if (ca->profile().organization == "Entrust") {
+          endpoint.failure_probability = 0.015;
+        } else if (ca->profile().organization == "Sectigo") {
+          endpoint.failure_probability = 0.004;
+        } else if (ca->profile().organization == "GoDaddy") {
+          endpoint.failure_probability = 0.02;
+        }
+        crl_collector_->add_endpoint(std::move(endpoint));
+      }
+    }
+    crl_collector_->collect_daily(date);
+  }
+
+  ++today_;
+}
+
+void World::run() {
+  while (today_ <= config_.end) step();
+}
+
+std::vector<std::string> World::domain_universe() const { return universe_; }
+
+bool World::controls_dns(const std::string& domain, ca::ActorId actor) const {
+  const auto base = dns::e2ld(domain).value_or(domain);
+  if (actor == kCloudflareActor) return cloudflare_->is_enrolled(base);
+  const auto it = sites_.find(base);
+  if (it == sites_.end()) return false;
+  return it->second.owner == actor &&
+         registry_.state(base) != registrar::DomainState::kAvailable;
+}
+
+bool World::controls_web(const std::string& domain, ca::ActorId actor) const {
+  const auto base = dns::e2ld(domain).value_or(domain);
+  if (cloudflare_->is_enrolled(base)) {
+    // External HTTP reaches the CDN edge while enrolled.
+    return actor == kCloudflareActor;
+  }
+  return controls_dns(domain, actor);
+}
+
+}  // namespace stalecert::sim

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "stalecert/revocation/crlite.hpp"
+#include "stalecert/revocation/ocsp.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::tls {
+
+/// How a TLS client treats revocation information (§2.4 of the paper).
+enum class RevocationPolicy : std::uint8_t {
+  kNone,      // Chrome, Edge, curl: no subscriber revocation checking
+  kSoftFail,  // Firefox, Safari: check, but accept when unreachable
+  kHardFail,  // strict: reject when status cannot be obtained
+};
+
+std::string to_string(RevocationPolicy policy);
+
+/// A client's validation behaviour.
+struct ClientProfile {
+  std::string name;
+  RevocationPolicy revocation = RevocationPolicy::kNone;
+  /// Hard-fail when the certificate carries OCSP Must-Staple and no fresh
+  /// staple is presented (Firefox is the one mainstream client doing this).
+  bool enforce_must_staple = false;
+  /// CT policy: require embedded SCTs (Chrome/Apple require CT logging for
+  /// publicly-trusted certificates — which is why the paper's CT corpus is
+  /// complete for their trust stores).
+  bool require_sct = false;
+};
+
+/// Browser / user-agent presets as characterized in the paper.
+ClientProfile chrome();
+ClientProfile edge();
+ClientProfile firefox();
+ClientProfile safari();
+ClientProfile curl_client();
+ClientProfile hardened_client();  // hard-fail everything
+/// All of the above, for matrix experiments.
+std::vector<ClientProfile> all_profiles();
+
+/// Root store: which issuing keys the client trusts.
+class TrustStore {
+ public:
+  void trust(const crypto::Digest& issuer_key_id);
+  [[nodiscard]] bool trusts(const crypto::Digest& issuer_key_id) const;
+  [[nodiscard]] std::size_t size() const { return trusted_.size(); }
+
+ private:
+  std::set<std::string> trusted_;  // hex key ids
+};
+
+/// What the server side of a handshake presents.
+struct ServerContext {
+  x509::Certificate certificate;
+  /// Can the presenter complete CertificateVerify? A third party holding a
+  /// stale certificate's private key CAN; one without the key cannot.
+  bool holds_private_key = true;
+  /// Optional stapled OCSP response.
+  std::optional<revocation::OcspResponse> staple;
+};
+
+/// Network view during the handshake. An on-path interceptor can drop
+/// revocation traffic — the soft-fail bypass the paper describes.
+struct Network {
+  bool revocation_reachable = true;
+  /// Issuer key id (hex) -> responder, as reachable via the cert's AIA.
+  std::map<std::string, const revocation::OcspResponder*> responders;
+
+  [[nodiscard]] const revocation::OcspResponder* responder_for(
+      const crypto::Digest& issuer_key_id) const;
+};
+
+/// Result of one authentication attempt.
+struct HandshakeResult {
+  bool accepted = false;
+  std::string reason;               // "ok" or the first failure
+  bool revocation_checked = false;  // a status was actually consulted
+  bool revocation_unavailable = false;
+};
+
+/// A TLS client performing server authentication: key possession, name
+/// match, validity window, chain trust, then revocation according to the
+/// profile's policy. Deliberately models the checks that matter for stale
+/// certificates; see DESIGN.md for what is simplified.
+class TlsClient {
+ public:
+  TlsClient(ClientProfile profile, TrustStore trust);
+
+  [[nodiscard]] const ClientProfile& profile() const { return profile_; }
+
+  /// Installs a CRLite-style pushed revocation filter (§7.2). The lookup
+  /// is local, so an on-path attacker cannot block it — the property that
+  /// would make revocation effective against stale-certificate abuse.
+  void install_crlite(const revocation::CrliteFilter* filter) { crlite_ = filter; }
+
+  [[nodiscard]] HandshakeResult connect(const std::string& hostname,
+                                        util::Date now, const ServerContext& server,
+                                        const Network& network) const;
+
+ private:
+  ClientProfile profile_;
+  TrustStore trust_;
+  const revocation::CrliteFilter* crlite_ = nullptr;
+};
+
+}  // namespace stalecert::tls

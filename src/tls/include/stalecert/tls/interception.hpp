@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stalecert/tls/client.hpp"
+
+namespace stalecert::tls {
+
+/// An interception attempt by a third party holding a stale certificate's
+/// private key (§3.4): the attacker sits on-path (ARP spoofing, malicious
+/// ISP, DNS poisoning...) and answers the victim's TLS connection with the
+/// stale certificate.
+struct InterceptionScenario {
+  std::string description;
+  std::string hostname;             // domain the victim intended to reach
+  x509::Certificate stale_certificate;
+  util::Date when;
+  bool attacker_holds_key = true;   // third-party stale certs: yes
+  /// On-path attackers can drop CRL/OCSP traffic (the soft-fail bypass).
+  bool attacker_blocks_revocation = true;
+  /// Whether the CA has actually revoked the certificate by `when`.
+  const revocation::OcspResponder* responder = nullptr;
+  /// Optional pushed CRLite filter installed in EVERY client — models the
+  /// §7.2 "what if CRLite shipped" mitigation.
+  const revocation::CrliteFilter* crlite = nullptr;
+};
+
+/// Per-client outcome of the attempt.
+struct InterceptionOutcome {
+  std::string client;
+  RevocationPolicy policy = RevocationPolicy::kNone;
+  bool intercepted = false;  // client accepted the attacker's handshake
+  std::string reason;
+};
+
+/// Runs the scenario against a set of client profiles sharing one trust
+/// store and reports who gets intercepted — the experiment behind the
+/// paper's claim that revocation "is absent or easily circumvented in
+/// modern browsers".
+std::vector<InterceptionOutcome> run_interception(
+    const InterceptionScenario& scenario, const std::vector<ClientProfile>& clients,
+    const TrustStore& trust);
+
+}  // namespace stalecert::tls

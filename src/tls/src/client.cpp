@@ -1,0 +1,174 @@
+#include "stalecert/tls/client.hpp"
+
+#include "stalecert/util/hex.hpp"
+
+namespace stalecert::tls {
+
+std::string to_string(RevocationPolicy policy) {
+  switch (policy) {
+    case RevocationPolicy::kNone: return "none";
+    case RevocationPolicy::kSoftFail: return "soft-fail";
+    case RevocationPolicy::kHardFail: return "hard-fail";
+  }
+  return "?";
+}
+
+ClientProfile chrome() {
+  return {.name = "Chrome", .revocation = RevocationPolicy::kNone,
+          .enforce_must_staple = false, .require_sct = true};
+}
+ClientProfile edge() {
+  return {.name = "Edge", .revocation = RevocationPolicy::kNone,
+          .enforce_must_staple = false, .require_sct = true};
+}
+ClientProfile firefox() {
+  return {.name = "Firefox", .revocation = RevocationPolicy::kSoftFail,
+          .enforce_must_staple = true, .require_sct = false};
+}
+ClientProfile safari() {
+  return {.name = "Safari", .revocation = RevocationPolicy::kSoftFail,
+          .enforce_must_staple = false, .require_sct = true};
+}
+ClientProfile curl_client() {
+  return {.name = "curl", .revocation = RevocationPolicy::kNone,
+          .enforce_must_staple = false, .require_sct = false};
+}
+ClientProfile hardened_client() {
+  return {.name = "hardened", .revocation = RevocationPolicy::kHardFail,
+          .enforce_must_staple = true, .require_sct = true};
+}
+
+std::vector<ClientProfile> all_profiles() {
+  return {chrome(), edge(), firefox(), safari(), curl_client(), hardened_client()};
+}
+
+void TrustStore::trust(const crypto::Digest& issuer_key_id) {
+  trusted_.insert(util::hex_encode(issuer_key_id));
+}
+
+bool TrustStore::trusts(const crypto::Digest& issuer_key_id) const {
+  return trusted_.contains(util::hex_encode(issuer_key_id));
+}
+
+const revocation::OcspResponder* Network::responder_for(
+    const crypto::Digest& issuer_key_id) const {
+  const auto it = responders.find(util::hex_encode(issuer_key_id));
+  return it == responders.end() ? nullptr : it->second;
+}
+
+TlsClient::TlsClient(ClientProfile profile, TrustStore trust)
+    : profile_(std::move(profile)), trust_(std::move(trust)) {}
+
+HandshakeResult TlsClient::connect(const std::string& hostname, util::Date now,
+                                   const ServerContext& server,
+                                   const Network& network) const {
+  HandshakeResult result;
+  const auto& cert = server.certificate;
+
+  // 1. CertificateVerify: without the private key the handshake dies here,
+  //    no matter how good the certificate looks.
+  if (!server.holds_private_key) {
+    result.reason = "server cannot prove possession of the private key";
+    return result;
+  }
+  // 2. Name match.
+  if (!cert.matches_domain(hostname)) {
+    result.reason = "certificate does not cover '" + hostname + "'";
+    return result;
+  }
+  // 3. Validity window.
+  if (!cert.valid_at(now)) {
+    result.reason = now < cert.not_before() ? "certificate not yet valid"
+                                            : "certificate expired";
+    return result;
+  }
+  // 4. Chain trust (modelled: issuer key must be in the root store).
+  const auto& aki = cert.extensions().authority_key_id;
+  if (!aki || !trust_.trusts(*aki)) {
+    result.reason = "issuer not trusted";
+    return result;
+  }
+  // 5. Precertificates are never valid server certificates.
+  if (cert.is_precertificate()) {
+    result.reason = "precertificate (poisoned) presented as leaf";
+    return result;
+  }
+  // 5b. CT policy: Chrome-family clients require SCTs. Note this does NOT
+  //     stop stale-certificate abuse — stale certificates were logged
+  //     legitimately at issuance (§3.4).
+  if (profile_.require_sct && cert.extensions().sct_log_ids.empty()) {
+    result.reason = "CT policy: no SCTs embedded";
+    return result;
+  }
+
+  // 6a. CRLite: a pushed, locally-queried revocation filter. Cannot be
+  //     dropped by an on-path attacker, unlike OCSP/CRL fetches.
+  if (crlite_ && aki) {
+    result.revocation_checked = true;
+    if (crlite_->is_revoked(revocation::crlite_key(*aki, cert.serial()))) {
+      result.reason = "CRLite: certificate revoked";
+      return result;
+    }
+  }
+
+  // 6. Must-Staple (RFC 7633): clients that enforce it hard-fail without a
+  //    fresh staple, closing the drop-the-OCSP-traffic loophole.
+  const bool staple_fresh = server.staple && server.staple->fresh_at(now);
+  if (cert.extensions().ocsp_must_staple && profile_.enforce_must_staple) {
+    if (!staple_fresh) {
+      result.reason = "OCSP Must-Staple: no fresh staple presented";
+      return result;
+    }
+  }
+  // A fresh staple that says "revoked" is fatal for any client that looks
+  // at staples at all (everyone except pure no-revocation clients).
+  if (staple_fresh && server.staple->status == revocation::CertStatus::kRevoked &&
+      (profile_.revocation != RevocationPolicy::kNone ||
+       profile_.enforce_must_staple)) {
+    result.revocation_checked = true;
+    result.reason = "stapled OCSP response: revoked";
+    return result;
+  }
+
+  // 7. Active revocation checking per policy.
+  if (profile_.revocation != RevocationPolicy::kNone) {
+    if (staple_fresh) {
+      result.revocation_checked = true;
+      // status was kGood (revoked handled above): accept below.
+    } else if (!network.revocation_reachable) {
+      result.revocation_unavailable = true;
+      if (profile_.revocation == RevocationPolicy::kHardFail) {
+        result.reason = "revocation status unavailable (hard-fail)";
+        return result;
+      }
+      // soft-fail: proceed without a status — the interception loophole.
+    } else {
+      const auto* responder = aki ? network.responder_for(*aki) : nullptr;
+      if (!responder) {
+        result.revocation_unavailable = true;
+        if (profile_.revocation == RevocationPolicy::kHardFail) {
+          result.reason = "no OCSP responder for issuer (hard-fail)";
+          return result;
+        }
+      } else {
+        const auto response = responder->query(cert.serial(), now);
+        result.revocation_checked = true;
+        if (response.status == revocation::CertStatus::kRevoked) {
+          result.reason = "OCSP: certificate revoked";
+          return result;
+        }
+        if (response.status == revocation::CertStatus::kUnknown &&
+            profile_.revocation == RevocationPolicy::kHardFail) {
+          result.reason = "OCSP: status unknown (hard-fail)";
+          return result;
+        }
+      }
+    }
+  }
+
+  result.accepted = true;
+  result.reason = "ok";
+  return result;
+}
+
+}  // namespace stalecert::tls

@@ -1,0 +1,39 @@
+#include "stalecert/tls/interception.hpp"
+
+#include "stalecert/util/hex.hpp"
+
+namespace stalecert::tls {
+
+std::vector<InterceptionOutcome> run_interception(
+    const InterceptionScenario& scenario, const std::vector<ClientProfile>& clients,
+    const TrustStore& trust) {
+  ServerContext attacker;
+  attacker.certificate = scenario.stale_certificate;
+  attacker.holds_private_key = scenario.attacker_holds_key;
+  // An attacker never staples a response that would reveal revocation; if
+  // the certificate requires stapling they simply omit it (and rely on
+  // clients not enforcing Must-Staple).
+
+  Network network;
+  network.revocation_reachable = !scenario.attacker_blocks_revocation;
+  if (scenario.responder) {
+    const auto& aki = scenario.stale_certificate.extensions().authority_key_id;
+    if (aki) {
+      network.responders[util::hex_encode(*aki)] = scenario.responder;
+    }
+  }
+
+  std::vector<InterceptionOutcome> outcomes;
+  outcomes.reserve(clients.size());
+  for (const auto& profile : clients) {
+    TlsClient client(profile, trust);
+    if (scenario.crlite) client.install_crlite(scenario.crlite);
+    const HandshakeResult result =
+        client.connect(scenario.hostname, scenario.when, attacker, network);
+    outcomes.push_back({profile.name, profile.revocation, result.accepted,
+                        result.reason});
+  }
+  return outcomes;
+}
+
+}  // namespace stalecert::tls

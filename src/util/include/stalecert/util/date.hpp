@@ -1,0 +1,97 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace stalecert::util {
+
+/// A calendar day, stored as a count of days since the civil epoch
+/// 1970-01-01 (proleptic Gregorian). Negative values are days before the
+/// epoch. This is the primary time type for the measurement pipeline: all
+/// of the paper's datasets (CT validity windows, WHOIS creation dates,
+/// daily DNS snapshots, CRL revocation dates) have day granularity.
+class Date {
+ public:
+  constexpr Date() = default;
+  constexpr explicit Date(std::int64_t days_since_epoch)
+      : days_(days_since_epoch) {}
+
+  /// Builds a Date from a civil (year, month, day) triple.
+  /// Throws ParseError if the triple does not name a real calendar day.
+  static Date from_ymd(int year, unsigned month, unsigned day);
+
+  /// Parses "YYYY-MM-DD". Throws ParseError on malformed input.
+  static Date parse(std::string_view iso8601);
+
+  [[nodiscard]] constexpr std::int64_t days_since_epoch() const { return days_; }
+
+  struct Ymd {
+    int year;
+    unsigned month;  // 1..12
+    unsigned day;    // 1..31
+  };
+  /// Converts back to a civil (year, month, day) triple.
+  [[nodiscard]] Ymd to_ymd() const;
+
+  [[nodiscard]] int year() const { return to_ymd().year; }
+  [[nodiscard]] unsigned month() const { return to_ymd().month; }
+  [[nodiscard]] unsigned day() const { return to_ymd().day; }
+
+  /// ISO-8601 "YYYY-MM-DD".
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr Date operator+(std::int64_t days) const { return Date{days_ + days}; }
+  constexpr Date operator-(std::int64_t days) const { return Date{days_ - days}; }
+  constexpr std::int64_t operator-(Date other) const { return days_ - other.days_; }
+  constexpr Date& operator+=(std::int64_t days) {
+    days_ += days;
+    return *this;
+  }
+  constexpr Date& operator-=(std::int64_t days) {
+    days_ -= days;
+    return *this;
+  }
+  Date& operator++() {
+    ++days_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Date&) const = default;
+
+ private:
+  std::int64_t days_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Date d);
+
+/// A (year, month) pair used for monthly aggregation (Figures 4 and 5).
+struct YearMonth {
+  int year = 1970;
+  unsigned month = 1;  // 1..12
+
+  static YearMonth of(Date d);
+
+  /// First day of the month.
+  [[nodiscard]] Date first_day() const;
+  /// Number of months since year 0, for arithmetic and ordering.
+  [[nodiscard]] constexpr int index() const {
+    return year * 12 + static_cast<int>(month) - 1;
+  }
+  [[nodiscard]] YearMonth next() const;
+  /// "YYYY-MM".
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const YearMonth&) const = default;
+};
+
+/// Number of days in the given civil month.
+unsigned days_in_month(int year, unsigned month);
+/// True for proleptic-Gregorian leap years.
+constexpr bool is_leap_year(int year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+}  // namespace stalecert::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stalecert {
+
+/// Base class for all errors thrown by the stalecert libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input encountered while parsing an external format
+/// (DER, WHOIS text, zone files, dates, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A caller violated an API precondition (invalid argument, out-of-range
+/// index, illegal state transition, ...).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error("logic error: " + what) {}
+};
+
+}  // namespace stalecert

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stalecert::util {
+
+/// Lowercase hex encoding of a byte span.
+std::string hex_encode(std::span<const std::uint8_t> bytes);
+
+/// Decodes a hex string (even length, [0-9a-fA-F]). Throws ParseError.
+std::vector<std::uint8_t> hex_decode(std::string_view hex);
+
+}  // namespace stalecert::util

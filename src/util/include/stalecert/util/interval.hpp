@@ -1,0 +1,71 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::util {
+
+/// A half-open day interval [begin, end). Used for certificate validity
+/// windows, registration lifespans and staleness periods.
+///
+/// Invariant: begin <= end (an empty interval has begin == end).
+class DateInterval {
+ public:
+  constexpr DateInterval() = default;
+  constexpr DateInterval(Date begin, Date end) : begin_(begin), end_(end) {
+    if (end_ < begin_) end_ = begin_;
+  }
+
+  [[nodiscard]] constexpr Date begin() const { return begin_; }
+  [[nodiscard]] constexpr Date end() const { return end_; }
+  [[nodiscard]] constexpr std::int64_t days() const { return end_ - begin_; }
+  [[nodiscard]] constexpr bool empty() const { return begin_ == end_; }
+
+  [[nodiscard]] constexpr bool contains(Date d) const {
+    return begin_ <= d && d < end_;
+  }
+  [[nodiscard]] constexpr bool overlaps(const DateInterval& other) const {
+    return begin_ < other.end_ && other.begin_ < end_;
+  }
+
+  /// Intersection with another interval; empty result anchored at the later
+  /// begin when they do not overlap.
+  [[nodiscard]] constexpr DateInterval intersect(const DateInterval& other) const {
+    const Date b = std::max(begin_, other.begin_);
+    const Date e = std::min(end_, other.end_);
+    return e < b ? DateInterval{b, b} : DateInterval{b, e};
+  }
+
+  /// Clamps the interval to at most `max_days` from its begin. This is the
+  /// paper's lifetime-cap transformation (Section 6): certificates longer
+  /// than the cap get their expiration pulled in; shorter ones are untouched.
+  [[nodiscard]] constexpr DateInterval clamp_duration(std::int64_t max_days) const {
+    if (days() <= max_days) return *this;
+    return DateInterval{begin_, begin_ + max_days};
+  }
+
+  constexpr bool operator==(const DateInterval&) const = default;
+
+ private:
+  Date begin_;
+  Date end_;
+};
+
+/// Staleness period of a certificate: from the invalidation event until the
+/// certificate's expiration, empty if the event falls outside the validity
+/// window. Returns nullopt when the event happens at-or-after expiry (the
+/// certificate never becomes a usable stale certificate).
+[[nodiscard]] constexpr std::optional<DateInterval> staleness_period(
+    const DateInterval& validity, Date invalidation_event) {
+  if (invalidation_event < validity.begin()) {
+    // Event precedes issuance: the whole validity window is stale.
+    return validity;
+  }
+  if (invalidation_event >= validity.end()) return std::nullopt;
+  return DateInterval{invalidation_event, validity.end()};
+}
+
+}  // namespace stalecert::util

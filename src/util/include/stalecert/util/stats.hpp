@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stalecert::util {
+
+/// Empirical distribution over observed values (e.g. staleness days).
+/// Supports CDF evaluation, quantiles and summary statistics — the
+/// machinery behind Figures 6, 7 and 8 of the paper.
+class EmpiricalDistribution {
+ public:
+  void add(double value) { values_.push_back(value); sorted_ = false; }
+  void add_all(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// P(X <= x). Returns 0 for an empty distribution.
+  [[nodiscard]] double cdf(double x) const;
+  /// q-quantile for q in [0, 1] (nearest-rank). Throws on empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double sum() const;
+
+  /// Survival function S(x) = P(X > x) = 1 - CDF(x). Figure 8's
+  /// "proportion not yet stale after n days" is exactly this applied to
+  /// time-from-issuance-to-invalidation.
+  [[nodiscard]] double survival(double x) const { return 1.0 - cdf(x); }
+
+  /// Evaluates the CDF at each point, producing a plottable series.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_series(
+      const std::vector<double>& xs) const;
+
+  [[nodiscard]] const std::vector<double>& sorted_values() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range clamping.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Counter keyed by string label (issuer names, CA names, malware families).
+class LabelCounter {
+ public:
+  void add(const std::string& label, std::uint64_t n = 1) { counts_[label] += n; }
+  [[nodiscard]] std::uint64_t count(const std::string& label) const;
+  [[nodiscard]] std::uint64_t total() const;
+  /// Labels sorted by descending count.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& raw() const {
+    return counts_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace stalecert::util

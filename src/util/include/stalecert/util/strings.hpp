@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stalecert::util {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII lowercase copy (domain names are case-insensitive).
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Glob-style match supporting a single '*' wildcard segment, as used by
+/// certificate names (e.g. "*.example.com", "sni*.cloudflaressl.com").
+bool wildcard_match(std::string_view pattern, std::string_view value);
+
+/// Formats n with thousands separators ("1,234,567") for table output.
+std::string with_commas(std::uint64_t n);
+
+/// Formats a ratio as a percentage string with the given precision.
+std::string percent(double ratio, int decimals = 1);
+
+}  // namespace stalecert::util

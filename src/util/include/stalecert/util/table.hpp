@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stalecert::util {
+
+/// Aligned plain-text table used by every benchmark binary to print the
+/// paper's tables/figure series side-by-side with measured values.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add_row(std::vector<std::string> cells);
+  /// Horizontal separator after the most recently added row.
+  TextTable& add_rule();
+
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  /// Writes comma-separated values (header + rows, rules skipped).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_after = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace stalecert::util

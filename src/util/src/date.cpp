@@ -1,0 +1,105 @@
+#include "stalecert/util/date.hpp"
+
+#include <array>
+#include <charconv>
+#include <ostream>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::util {
+namespace {
+
+// Howard Hinnant's civil-date algorithms (chrono-compatible, public domain).
+constexpr std::int64_t days_from_civil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;   // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+constexpr Date::Ymd civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);               // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);               // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                    // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                            // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                                 // [1, 12]
+  return {static_cast<int>(y + (m <= 2)), m, d};
+}
+
+int parse_int(std::string_view s) {
+  int value = 0;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    throw ParseError("invalid number in date: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+unsigned days_in_month(int year, unsigned month) {
+  static constexpr std::array<unsigned, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                     31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) {
+    throw LogicError("month out of range: " + std::to_string(month));
+  }
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDays[month - 1];
+}
+
+Date Date::from_ymd(int year, unsigned month, unsigned day) {
+  if (month < 1 || month > 12 || day < 1 || day > days_in_month(year, month)) {
+    throw ParseError("invalid civil date " + std::to_string(year) + "-" +
+                     std::to_string(month) + "-" + std::to_string(day));
+  }
+  return Date{days_from_civil(year, month, day)};
+}
+
+Date Date::parse(std::string_view iso8601) {
+  if (iso8601.size() != 10 || iso8601[4] != '-' || iso8601[7] != '-') {
+    throw ParseError("expected YYYY-MM-DD, got '" + std::string(iso8601) + "'");
+  }
+  const int y = parse_int(iso8601.substr(0, 4));
+  const int m = parse_int(iso8601.substr(5, 2));
+  const int d = parse_int(iso8601.substr(8, 2));
+  return from_ymd(y, static_cast<unsigned>(m), static_cast<unsigned>(d));
+}
+
+Date::Ymd Date::to_ymd() const { return civil_from_days(days_); }
+
+std::string Date::to_string() const {
+  const Ymd ymd = to_ymd();
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u", ymd.year, ymd.month, ymd.day);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Date d) { return os << d.to_string(); }
+
+YearMonth YearMonth::of(Date d) {
+  const auto ymd = d.to_ymd();
+  return {ymd.year, ymd.month};
+}
+
+Date YearMonth::first_day() const { return Date::from_ymd(year, month, 1); }
+
+YearMonth YearMonth::next() const {
+  if (month == 12) return {year + 1, 1};
+  return {year, month + 1};
+}
+
+std::string YearMonth::to_string() const {
+  char buf[12];
+  std::snprintf(buf, sizeof buf, "%04d-%02u", year, month);
+  return buf;
+}
+
+}  // namespace stalecert::util

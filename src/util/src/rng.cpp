@@ -1,0 +1,89 @@
+#include "stalecert/util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace stalecert::util {
+
+std::uint64_t Rng::poisson(double lambda) {
+  if (lambda < 0) throw LogicError("poisson: negative lambda");
+  if (lambda == 0) return 0;
+  if (lambda < 60.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-lambda);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction.
+  const double value = normal(lambda, std::sqrt(lambda)) + 0.5;
+  return value <= 0 ? 0 : static_cast<std::uint64_t>(value);
+}
+
+std::uint64_t Rng::geometric(double p) {
+  if (p <= 0.0 || p > 1.0) throw LogicError("geometric: p out of (0,1]");
+  if (p == 1.0) return 0;
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  spare_normal_ = radius * std::sin(angle);
+  have_spare_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+std::size_t Rng::weighted_pick(std::span<const double> weights) {
+  if (weights.empty()) throw LogicError("weighted_pick: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0) throw LogicError("weighted_pick: non-positive total weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::string Rng::alpha_label(std::size_t length) {
+  std::string out(length, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + below(26));
+  return out;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw LogicError("ZipfSampler: n must be positive");
+  cdf_.resize(n);
+  double cumulative = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    cumulative += 1.0 / std::pow(static_cast<double>(rank), exponent);
+    cdf_[rank - 1] = cumulative;
+  }
+  for (auto& value : cdf_) value /= cumulative;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it)) + 1;
+}
+
+}  // namespace stalecert::util

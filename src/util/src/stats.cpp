@@ -1,0 +1,120 @@
+#include "stalecert/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::util {
+
+void EmpiricalDistribution::add_all(const std::vector<double>& values) {
+  values_.insert(values_.end(), values.begin(), values.end());
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(std::distance(values_.begin(), it)) /
+         static_cast<double>(values_.size());
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (values_.empty()) throw LogicError("quantile of empty distribution");
+  if (q < 0.0 || q > 1.0) throw LogicError("quantile q out of [0,1]");
+  ensure_sorted();
+  if (q == 0.0) return values_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values_.size())));
+  return values_[std::min(rank, values_.size()) - 1];
+}
+
+double EmpiricalDistribution::min() const {
+  if (values_.empty()) throw LogicError("min of empty distribution");
+  ensure_sorted();
+  return values_.front();
+}
+
+double EmpiricalDistribution::max() const {
+  if (values_.empty()) throw LogicError("max of empty distribution");
+  ensure_sorted();
+  return values_.back();
+}
+
+double EmpiricalDistribution::mean() const {
+  if (values_.empty()) throw LogicError("mean of empty distribution");
+  return sum() / static_cast<double>(values_.size());
+}
+
+double EmpiricalDistribution::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_series(
+    const std::vector<double>& xs) const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.emplace_back(x, cdf(x));
+  return out;
+}
+
+const std::vector<double>& EmpiricalDistribution::sorted_values() const {
+  ensure_sorted();
+  return values_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) throw LogicError("Histogram: bad bounds/bins");
+}
+
+void Histogram::add(double value) {
+  const double clamped = std::clamp(value, lo_, std::nexttoward(hi_, lo_));
+  const auto bin = static_cast<std::size_t>(
+      (clamped - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  counts_[std::min(bin, counts_.size() - 1)]++;
+  ++total_;
+}
+
+std::uint64_t Histogram::bin_count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw LogicError("Histogram: bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const { return bin_low(bin + 1); }
+
+std::uint64_t LabelCounter::count(const std::string& label) const {
+  const auto it = counts_.find(label);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t LabelCounter::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [label, n] : counts_) sum += n;
+  return sum;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> LabelCounter::sorted() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out(counts_.begin(),
+                                                         counts_.end());
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+}  // namespace stalecert::util

@@ -1,0 +1,90 @@
+#include "stalecert/util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw LogicError("TextTable: empty header");
+}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back({std::move(cells), false});
+  return *this;
+}
+
+TextTable& TextTable::add_rule() {
+  if (!rows_.empty()) rows_.back().rule_after = true;
+  return *this;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto emit_line = [&](const std::vector<std::string>& cells, std::ostringstream& os) {
+    os << "| ";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i] << std::string(widths[i] - cells[i].size(), ' ');
+      os << (i + 1 == cells.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&](std::ostringstream& os) {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  emit_line(header_, os);
+  emit_rule(os);
+  for (const auto& row : rows_) {
+    emit_line(row.cells, os);
+    if (row.rule_after) emit_rule(os);
+  }
+  if (rows_.empty() || !rows_.back().rule_after) emit_rule(os);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string TextTable::to_csv() const {
+  auto csv_escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row.cells[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace stalecert::util

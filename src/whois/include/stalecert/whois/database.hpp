@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/util/date.hpp"
+#include "stalecert/whois/record.hpp"
+
+namespace stalecert::whois {
+
+/// A new registration observed via a changed registry creation date — the
+/// detector's signal for registrant change (§4.2).
+struct NewRegistration {
+  std::string domain;
+  util::Date creation_date;
+  /// Creation date of the previous registration of the same name, if we
+  /// observed one (i.e., this is a re-registration, not a first sighting).
+  std::optional<util::Date> previous_creation_date;
+};
+
+/// Bulk historical WHOIS collection: ingests ThinRecords over time (as an
+/// industry-partner feed would deliver them) and exposes the
+/// (domain, creation-date) re-registration stream. Restricting by TLD
+/// mirrors the paper's .com/.net scope.
+class WhoisDatabase {
+ public:
+  explicit WhoisDatabase(std::vector<std::string> allowed_tlds = {"com", "net"});
+
+  /// Ingests one observed record. Out-of-scope TLDs are dropped. Returns
+  /// true if the record was in scope.
+  bool ingest(const ThinRecord& record);
+  /// Parses and ingests raw WHOIS response text; malformed responses are
+  /// counted and skipped (returns false), matching the tolerant collection
+  /// posture of real WHOIS pipelines.
+  bool ingest_text(const std::string& text);
+
+  [[nodiscard]] std::size_t domain_count() const { return history_.size(); }
+  [[nodiscard]] std::uint64_t record_count() const { return record_count_; }
+  [[nodiscard]] std::uint64_t malformed_count() const { return malformed_count_; }
+
+  /// All distinct creation dates ever observed for a domain, ascending.
+  [[nodiscard]] std::vector<util::Date> creation_dates(const std::string& domain) const;
+
+  /// The re-registration event stream: every (domain, creation date) where
+  /// the creation date moved strictly forward relative to an earlier
+  /// observation. First sightings are included with no previous date so
+  /// callers can choose the conservative subset.
+  [[nodiscard]] std::vector<NewRegistration> new_registrations() const;
+
+  /// Only events where a previous creation date was observed — the
+  /// conservative, precision-first subset used by the paper's detector.
+  [[nodiscard]] std::vector<NewRegistration> re_registrations() const;
+
+ private:
+  [[nodiscard]] bool in_scope(const std::string& domain) const;
+
+  std::vector<std::string> allowed_tlds_;
+  // domain -> ascending list of distinct creation dates observed
+  std::map<std::string, std::vector<util::Date>> history_;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t malformed_count_ = 0;
+};
+
+}  // namespace stalecert::whois

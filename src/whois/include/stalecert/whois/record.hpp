@@ -1,0 +1,48 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::whois {
+
+/// A "thin" WHOIS record: only the registry-controlled fields (the paper
+/// restricts itself to these because they are reliable for .com/.net where
+/// Verisign is the registry, §4.2).
+struct ThinRecord {
+  std::string domain;
+  std::string registrar;
+  util::Date creation_date;
+  util::Date updated_date;
+  util::Date expiration_date;
+  std::vector<std::string> name_servers;
+  std::vector<std::string> status;  // EPP status codes, e.g. "clientTransferProhibited"
+  /// Registrant fields are registrar-controlled and GDPR-redacted in modern
+  /// records; carried for realism but never used by the detectors.
+  std::optional<std::string> registrant_name;
+
+  bool operator==(const ThinRecord&) const = default;
+};
+
+/// WHOIS response text-format families. Real WHOIS is notoriously
+/// inconsistent across registrars; we model three common shapes so the
+/// parser has to earn its keep.
+enum class TextFormat {
+  kVerisign,   // "   Domain Name: FOO.COM" key-colon-value with indentation
+  kLegacyKv,   // "domain: foo.com" lowercase keys, different labels
+  kDense,      // "Domain Name:foo.com" no spaces, mixed ordering
+};
+
+/// Renders a record as WHOIS response text in the given format, optionally
+/// applying GDPR-style redaction of registrant fields.
+std::string emit_text(const ThinRecord& record, TextFormat format,
+                      bool gdpr_redacted = true);
+
+/// Tolerant WHOIS text parser: accepts any of the emitted formats (and
+/// reasonable variations). Throws ParseError when required registry fields
+/// (domain, creation date) cannot be recovered.
+ThinRecord parse_text(const std::string& text);
+
+}  // namespace stalecert::whois

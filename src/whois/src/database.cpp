@@ -1,0 +1,69 @@
+#include "stalecert/whois/database.hpp"
+
+#include <algorithm>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::whois {
+
+WhoisDatabase::WhoisDatabase(std::vector<std::string> allowed_tlds)
+    : allowed_tlds_(std::move(allowed_tlds)) {}
+
+bool WhoisDatabase::in_scope(const std::string& domain) const {
+  if (allowed_tlds_.empty()) return true;
+  for (const auto& tld : allowed_tlds_) {
+    if (util::ends_with(domain, "." + tld)) return true;
+  }
+  return false;
+}
+
+bool WhoisDatabase::ingest(const ThinRecord& record) {
+  const std::string domain = util::to_lower(record.domain);
+  if (!in_scope(domain)) return false;
+  ++record_count_;
+  auto& dates = history_[domain];
+  const auto it = std::lower_bound(dates.begin(), dates.end(), record.creation_date);
+  if (it == dates.end() || *it != record.creation_date) {
+    dates.insert(it, record.creation_date);
+  }
+  return true;
+}
+
+bool WhoisDatabase::ingest_text(const std::string& text) {
+  try {
+    return ingest(parse_text(text));
+  } catch (const ParseError&) {
+    ++malformed_count_;
+    return false;
+  }
+}
+
+std::vector<util::Date> WhoisDatabase::creation_dates(const std::string& domain) const {
+  const auto it = history_.find(util::to_lower(domain));
+  return it == history_.end() ? std::vector<util::Date>{} : it->second;
+}
+
+std::vector<NewRegistration> WhoisDatabase::new_registrations() const {
+  std::vector<NewRegistration> out;
+  for (const auto& [domain, dates] : history_) {
+    for (std::size_t i = 0; i < dates.size(); ++i) {
+      NewRegistration event;
+      event.domain = domain;
+      event.creation_date = dates[i];
+      if (i > 0) event.previous_creation_date = dates[i - 1];
+      out.push_back(std::move(event));
+    }
+  }
+  return out;
+}
+
+std::vector<NewRegistration> WhoisDatabase::re_registrations() const {
+  std::vector<NewRegistration> out;
+  for (auto& event : new_registrations()) {
+    if (event.previous_creation_date) out.push_back(std::move(event));
+  }
+  return out;
+}
+
+}  // namespace stalecert::whois

@@ -1,0 +1,120 @@
+#include "stalecert/whois/record.hpp"
+
+#include <sstream>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::whois {
+namespace {
+
+std::string upper(std::string_view text) {
+  std::string out(text);
+  for (auto& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+std::string emit_text(const ThinRecord& record, TextFormat format,
+                      bool gdpr_redacted) {
+  std::ostringstream os;
+  const std::string registrant =
+      gdpr_redacted ? "REDACTED FOR PRIVACY"
+                    : record.registrant_name.value_or("(unknown)");
+  switch (format) {
+    case TextFormat::kVerisign:
+      os << "   Domain Name: " << upper(record.domain) << "\n";
+      os << "   Registrar: " << record.registrar << "\n";
+      os << "   Updated Date: " << record.updated_date << "T00:00:00Z\n";
+      os << "   Creation Date: " << record.creation_date << "T00:00:00Z\n";
+      os << "   Registry Expiry Date: " << record.expiration_date << "T00:00:00Z\n";
+      for (const auto& s : record.status) os << "   Domain Status: " << s << "\n";
+      for (const auto& host : record.name_servers) {
+        os << "   Name Server: " << upper(host) << "\n";
+      }
+      os << "   Registrant Name: " << registrant << "\n";
+      os << ">>> Last update of whois database: " << record.updated_date
+         << "T00:00:00Z <<<\n";
+      break;
+    case TextFormat::kLegacyKv:
+      os << "domain: " << record.domain << "\n";
+      os << "registrar: " << record.registrar << "\n";
+      os << "created: " << record.creation_date << "\n";
+      os << "changed: " << record.updated_date << "\n";
+      os << "expires: " << record.expiration_date << "\n";
+      for (const auto& host : record.name_servers) os << "nserver: " << host << "\n";
+      for (const auto& s : record.status) os << "status: " << s << "\n";
+      os << "registrant-name: " << registrant << "\n";
+      break;
+    case TextFormat::kDense:
+      os << "Domain Name:" << record.domain << "\n";
+      os << "Registrar:" << record.registrar << "\n";
+      os << "Creation Date:" << record.creation_date << "\n";
+      os << "Expiration Date:" << record.expiration_date << "\n";
+      os << "Updated Date:" << record.updated_date << "\n";
+      for (const auto& host : record.name_servers) os << "Name Server:" << host << "\n";
+      for (const auto& s : record.status) os << "Status:" << s << "\n";
+      os << "Registrant:" << registrant << "\n";
+      break;
+  }
+  return os.str();
+}
+
+ThinRecord parse_text(const std::string& text) {
+  ThinRecord record;
+  bool have_domain = false;
+  bool have_created = false;
+  bool have_expires = false;
+
+  auto parse_date_field = [](std::string_view value) {
+    // Accept "YYYY-MM-DD" optionally followed by a time suffix.
+    const std::string_view date_part =
+        value.size() >= 10 ? value.substr(0, 10) : value;
+    return util::Date::parse(date_part);
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || util::starts_with(trimmed, ">>>")) continue;
+    const auto colon = trimmed.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string key = util::to_lower(util::trim(trimmed.substr(0, colon)));
+    const std::string_view value = util::trim(trimmed.substr(colon + 1));
+    if (value.empty()) continue;
+
+    if (key == "domain name" || key == "domain") {
+      record.domain = util::to_lower(value);
+      have_domain = true;
+    } else if (key == "registrar") {
+      record.registrar = std::string(value);
+    } else if (key == "creation date" || key == "created") {
+      record.creation_date = parse_date_field(value);
+      have_created = true;
+    } else if (key == "updated date" || key == "changed") {
+      record.updated_date = parse_date_field(value);
+    } else if (key == "registry expiry date" || key == "expires" ||
+               key == "expiration date") {
+      record.expiration_date = parse_date_field(value);
+      have_expires = true;
+    } else if (key == "name server" || key == "nserver") {
+      record.name_servers.push_back(util::to_lower(value));
+    } else if (key == "domain status" || key == "status") {
+      record.status.emplace_back(value);
+    } else if (key == "registrant name" || key == "registrant-name" ||
+               key == "registrant") {
+      if (value != "REDACTED FOR PRIVACY" && value != "(unknown)") {
+        record.registrant_name = std::string(value);
+      }
+    }
+  }
+
+  if (!have_domain) throw ParseError("WHOIS: no domain name field");
+  if (!have_created) throw ParseError("WHOIS: no creation date field");
+  if (!have_expires) record.expiration_date = record.creation_date + 365;
+  return record;
+}
+
+}  // namespace stalecert::whois

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stalecert/asn1/der.hpp"
+#include "stalecert/crypto/keypair.hpp"
+#include "stalecert/crypto/sha256.hpp"
+#include "stalecert/util/interval.hpp"
+#include "stalecert/x509/extensions.hpp"
+#include "stalecert/x509/name.hpp"
+
+namespace stalecert::x509 {
+
+/// A TLS server certificate, covering every field in the paper's Table 1
+/// taxonomy (subscriber authentication, key authorization, issuer
+/// information, certificate metadata). Certificates are immutable values:
+/// build one with CertificateBuilder, serialize/parse with to_der()/
+/// from_der().
+class Certificate {
+ public:
+  Certificate() = default;
+
+  // --- Certificate metadata ---
+  [[nodiscard]] const asn1::Bytes& serial() const { return serial_; }
+  [[nodiscard]] std::string serial_hex() const;
+
+  // --- Issuer information ---
+  [[nodiscard]] const DistinguishedName& issuer() const { return issuer_; }
+
+  // --- Subscriber authentication ---
+  [[nodiscard]] const DistinguishedName& subject() const { return subject_; }
+  [[nodiscard]] const crypto::KeyPair& subject_key() const { return key_; }
+  /// All DNS names: SAN entries plus subject CN if it looks like a name.
+  [[nodiscard]] std::vector<std::string> dns_names() const;
+  /// Does the certificate cover a hostname (exact or single-level
+  /// wildcard match)?
+  [[nodiscard]] bool matches_domain(std::string_view hostname) const;
+
+  // --- Validity ---
+  [[nodiscard]] util::Date not_before() const { return validity_.begin(); }
+  /// Exclusive end of validity (the day after the certificate's notAfter).
+  [[nodiscard]] util::Date not_after() const { return validity_.end(); }
+  [[nodiscard]] const util::DateInterval& validity() const { return validity_; }
+  [[nodiscard]] std::int64_t lifetime_days() const { return validity_.days(); }
+  [[nodiscard]] bool valid_at(util::Date d) const { return validity_.contains(d); }
+
+  [[nodiscard]] const Extensions& extensions() const { return extensions_; }
+  [[nodiscard]] bool is_precertificate() const { return extensions_.precert_poison; }
+
+  /// SHA-256 over the DER encoding (the usual certificate fingerprint).
+  [[nodiscard]] crypto::Digest fingerprint() const;
+  /// Fingerprint over the certificate *without* CT-specific components
+  /// (poison + SCTs). The paper deduplicates precertificates against their
+  /// issued certificates "based on their non-CT components" — this is that
+  /// key.
+  [[nodiscard]] crypto::Digest dedup_fingerprint() const;
+
+  /// (issuer key id, serial) pair — the join key used to match CRL entries
+  /// back to CT certificates (Section 4.1).
+  struct IssuerSerial {
+    crypto::Digest authority_key_id{};
+    asn1::Bytes serial;
+    bool operator==(const IssuerSerial&) const = default;
+  };
+  [[nodiscard]] std::optional<IssuerSerial> issuer_serial() const;
+
+  /// Serializes to DER (Certificate ::= SEQUENCE { tbs, sigAlg, sig }).
+  [[nodiscard]] asn1::Bytes to_der() const;
+  /// Parses DER produced by to_der(). Throws ParseError on malformed input.
+  static Certificate from_der(std::span<const std::uint8_t> der);
+
+  bool operator==(const Certificate&) const = default;
+
+ private:
+  friend class CertificateBuilder;
+
+  [[nodiscard]] asn1::Bytes tbs_der(bool strip_ct_components) const;
+
+  asn1::Bytes serial_;
+  DistinguishedName issuer_;
+  DistinguishedName subject_;
+  util::DateInterval validity_;
+  crypto::KeyPair key_;
+  Extensions extensions_;
+};
+
+/// Fluent builder for certificates.
+class CertificateBuilder {
+ public:
+  CertificateBuilder& serial(std::uint64_t serial);
+  CertificateBuilder& serial_bytes(asn1::Bytes serial);
+  CertificateBuilder& issuer(DistinguishedName dn);
+  CertificateBuilder& subject(DistinguishedName dn);
+  CertificateBuilder& subject_cn(std::string common_name);
+  CertificateBuilder& validity(util::Date not_before, util::Date not_after);
+  CertificateBuilder& key(crypto::KeyPair key);
+  CertificateBuilder& add_dns_name(std::string name);
+  CertificateBuilder& dns_names(std::vector<std::string> names);
+  CertificateBuilder& authority_key_id(crypto::Digest id);
+  CertificateBuilder& server_auth_profile();  // DV leaf defaults
+  CertificateBuilder& crl_url(std::string url);
+  CertificateBuilder& ocsp_url(std::string url);
+  CertificateBuilder& policy(asn1::Oid oid);
+  CertificateBuilder& ocsp_must_staple(bool enabled = true);
+  CertificateBuilder& precert_poison(bool poison = true);
+  CertificateBuilder& sct_log_ids(std::vector<std::uint64_t> ids);
+
+  /// Finalizes. Throws LogicError if serial, validity or key are unset.
+  [[nodiscard]] Certificate build() const;
+
+ private:
+  Certificate cert_;
+  bool have_serial_ = false;
+  bool have_validity_ = false;
+  bool have_key_ = false;
+};
+
+}  // namespace stalecert::x509

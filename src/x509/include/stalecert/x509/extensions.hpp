@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/asn1/der.hpp"
+#include "stalecert/crypto/sha256.hpp"
+
+namespace stalecert::x509 {
+
+/// RFC 5280 KeyUsage bits. The paper's taxonomy (Table 1) places these in
+/// the "key authorization" category; a scope reduction of these bits is an
+/// invalidation event (Table 2).
+enum class KeyUsage : std::uint16_t {
+  kDigitalSignature = 1 << 0,
+  kNonRepudiation = 1 << 1,
+  kKeyEncipherment = 1 << 2,
+  kDataEncipherment = 1 << 3,
+  kKeyAgreement = 1 << 4,
+  kKeyCertSign = 1 << 5,
+  kCrlSign = 1 << 6,
+};
+
+constexpr std::uint16_t operator|(KeyUsage a, KeyUsage b) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(a) |
+                                    static_cast<std::uint16_t>(b));
+}
+
+/// Extended key usage purposes (subset relevant to the study).
+enum class ExtendedKeyUsage : std::uint8_t {
+  kServerAuth,
+  kClientAuth,
+  kCodeSigning,
+  kEmailProtection,
+  kOcspSigning,
+};
+
+std::string to_string(ExtendedKeyUsage eku);
+
+/// The decoded extension block of a certificate, covering every Table 1
+/// field the paper names. Unknown extensions survive round-trips as raw
+/// (oid, critical, der) triples.
+struct Extensions {
+  // --- Subscriber authentication ---
+  std::vector<std::string> subject_alt_names;  // dNSName entries
+  std::optional<crypto::Digest> subject_key_id;
+
+  // --- Key authorization ---
+  std::optional<bool> basic_constraints_ca;
+  std::uint16_t key_usage = 0;  // OR of KeyUsage bits; 0 = extension absent
+  std::vector<ExtendedKeyUsage> ext_key_usage;
+
+  // --- Issuer information ---
+  std::optional<crypto::Digest> authority_key_id;
+  std::vector<std::string> crl_distribution_points;  // URLs
+  std::vector<std::string> ocsp_urls;                // AIA id-ad-ocsp
+  std::vector<asn1::Oid> certificate_policies;
+  /// RFC 7633 TLS Feature extension carrying status_request (5):
+  /// "OCSP Must-Staple". Hard-fails in Firefox even under soft-fail policy.
+  bool ocsp_must_staple = false;
+
+  // --- Certificate metadata ---
+  bool precert_poison = false;
+  /// Signed certificate timestamps: ids of the CT logs that logged it.
+  std::vector<std::uint64_t> sct_log_ids;
+
+  struct RawExtension {
+    asn1::Oid oid;
+    bool critical = false;
+    asn1::Bytes der;
+    bool operator==(const RawExtension&) const = default;
+  };
+  std::vector<RawExtension> unknown;
+
+  [[nodiscard]] bool has_key_usage(KeyUsage bit) const {
+    return (key_usage & static_cast<std::uint16_t>(bit)) != 0;
+  }
+  [[nodiscard]] bool has_eku(ExtendedKeyUsage purpose) const;
+
+  void encode(asn1::Encoder& enc) const;
+  static Extensions decode(asn1::Decoder& dec);
+
+  bool operator==(const Extensions&) const = default;
+};
+
+}  // namespace stalecert::x509

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "stalecert/asn1/der.hpp"
+
+namespace stalecert::x509 {
+
+/// A (reduced) X.501 distinguished name: the three attributes that matter
+/// for issuer attribution in the paper's analysis (Figure 5b groups stale
+/// certificates by issuer common name).
+struct DistinguishedName {
+  std::string common_name;
+  std::string organization;
+  std::string country;
+
+  [[nodiscard]] bool empty() const {
+    return common_name.empty() && organization.empty() && country.empty();
+  }
+
+  /// "CN=..., O=..., C=..." display form (empty attributes omitted).
+  [[nodiscard]] std::string to_string() const;
+
+  void encode(asn1::Encoder& enc) const;
+  static DistinguishedName decode(asn1::Decoder& dec);
+
+  bool operator==(const DistinguishedName&) const = default;
+};
+
+}  // namespace stalecert::x509

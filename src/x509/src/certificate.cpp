@@ -1,0 +1,286 @@
+#include "stalecert/x509/certificate.hpp"
+
+#include <algorithm>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/hex.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::x509 {
+namespace {
+
+// Signature algorithm OID for our modelled signatures. The study tracks key
+// custody, not signature math, so every certificate carries
+// ecdsa-with-SHA256 and a SHA-256-over-TBS "signature" value.
+void encode_sig_alg(asn1::Encoder& enc) {
+  enc.begin_sequence();
+  enc.write_oid(asn1::oids::ecdsa_with_sha256());
+  enc.end_sequence();
+}
+
+void encode_spki(asn1::Encoder& enc, const crypto::KeyPair& key) {
+  enc.begin_sequence();
+  enc.begin_sequence();
+  enc.write_oid(key.algorithm() == crypto::KeyAlgorithm::kRsa2048 ||
+                        key.algorithm() == crypto::KeyAlgorithm::kRsa4096
+                    ? asn1::oids::sha256_with_rsa()
+                    : asn1::oids::ecdsa_with_sha256());
+  // Algorithm discriminator kept exactly (OIDs alone cannot distinguish
+  // key sizes in this model).
+  enc.write_integer(static_cast<std::int64_t>(key.algorithm()));
+  enc.end_sequence();
+  enc.write_bit_string(key.spki_fingerprint());
+  enc.end_sequence();
+}
+
+crypto::KeyPair decode_spki(asn1::Decoder& dec) {
+  asn1::Decoder spki = dec.enter_sequence();
+  asn1::Decoder alg = spki.enter_sequence();
+  (void)alg.read_oid();
+  const auto algorithm = static_cast<crypto::KeyAlgorithm>(alg.read_integer());
+  const asn1::Bytes bits = spki.read_bit_string();
+  if (bits.size() != 32) throw ParseError("SPKI fingerprint must be 32 bytes");
+  crypto::Digest digest;
+  std::copy(bits.begin(), bits.end(), digest.begin());
+  return crypto::KeyPair::from_parts(digest, algorithm);
+}
+
+}  // namespace
+
+std::string Certificate::serial_hex() const { return util::hex_encode(serial_); }
+
+std::vector<std::string> Certificate::dns_names() const {
+  std::vector<std::string> names = extensions_.subject_alt_names;
+  const std::string& cn = subject_.common_name;
+  if (!cn.empty() && cn.find('.') != std::string::npos &&
+      std::find(names.begin(), names.end(), cn) == names.end()) {
+    names.push_back(cn);
+  }
+  return names;
+}
+
+bool Certificate::matches_domain(std::string_view hostname) const {
+  const std::string lowered = util::to_lower(hostname);
+  for (const auto& name : dns_names()) {
+    const std::string pattern = util::to_lower(name);
+    if (pattern == lowered) return true;
+    if (util::starts_with(pattern, "*.")) {
+      // Wildcard covers exactly one label.
+      const std::string_view rest = std::string_view(lowered);
+      const auto dot = rest.find('.');
+      if (dot != std::string_view::npos && rest.substr(dot + 1) == pattern.substr(2) &&
+          dot > 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+asn1::Bytes Certificate::tbs_der(bool strip_ct_components) const {
+  asn1::Encoder enc;
+  enc.begin_sequence();
+  enc.begin_context(0);  // version [0]
+  enc.write_integer(2);  // v3
+  enc.end_context();
+  enc.write_integer_bytes(serial_);
+  encode_sig_alg(enc);
+  issuer_.encode(enc);
+  enc.begin_sequence();  // Validity
+  enc.write_time(validity_.begin());
+  enc.write_time(validity_.end());
+  enc.end_sequence();
+  subject_.encode(enc);
+  encode_spki(enc, key_);
+  enc.begin_context(3);  // extensions [3]
+  if (strip_ct_components) {
+    Extensions stripped = extensions_;
+    stripped.precert_poison = false;
+    stripped.sct_log_ids.clear();
+    stripped.encode(enc);
+  } else {
+    extensions_.encode(enc);
+  }
+  enc.end_context();
+  enc.end_sequence();
+  return enc.take();
+}
+
+crypto::Digest Certificate::fingerprint() const {
+  const asn1::Bytes der = to_der();
+  return crypto::Sha256::hash(der);
+}
+
+crypto::Digest Certificate::dedup_fingerprint() const {
+  const asn1::Bytes tbs = tbs_der(/*strip_ct_components=*/true);
+  return crypto::Sha256::hash(tbs);
+}
+
+std::optional<Certificate::IssuerSerial> Certificate::issuer_serial() const {
+  if (!extensions_.authority_key_id) return std::nullopt;
+  return IssuerSerial{*extensions_.authority_key_id, serial_};
+}
+
+asn1::Bytes Certificate::to_der() const {
+  const asn1::Bytes tbs = tbs_der(/*strip_ct_components=*/false);
+  const crypto::Digest signature = crypto::Sha256::hash(tbs);
+
+  asn1::Encoder enc;
+  enc.begin_sequence();
+  enc.write_raw(tbs);
+  encode_sig_alg(enc);
+  enc.write_bit_string(signature);
+  enc.end_sequence();
+  return enc.take();
+}
+
+Certificate Certificate::from_der(std::span<const std::uint8_t> der) {
+  asn1::Decoder outer(der);
+  asn1::Decoder cert_seq = outer.enter_sequence();
+
+  asn1::Decoder tbs = cert_seq.enter_sequence();
+  // version [0]
+  const asn1::Tlv version = tbs.read_any();
+  if (!version.is_context(0)) throw ParseError("certificate: missing version");
+  asn1::Decoder version_body(version.content);
+  if (version_body.read_integer() != 2) throw ParseError("certificate: not v3");
+
+  Certificate cert;
+  cert.serial_ = tbs.read_integer_bytes();
+  {
+    asn1::Decoder sig_alg = tbs.enter_sequence();
+    (void)sig_alg.read_oid();
+  }
+  cert.issuer_ = DistinguishedName::decode(tbs);
+  {
+    asn1::Decoder validity = tbs.enter_sequence();
+    const util::Date not_before = validity.read_time();
+    const util::Date not_after = validity.read_time();
+    if (not_after < not_before) throw ParseError("certificate: notAfter < notBefore");
+    cert.validity_ = util::DateInterval{not_before, not_after};
+  }
+  cert.subject_ = DistinguishedName::decode(tbs);
+  cert.key_ = decode_spki(tbs);
+  if (!tbs.at_end()) {
+    const asn1::Tlv ext_block = tbs.read_any();
+    if (!ext_block.is_context(3)) throw ParseError("certificate: expected extensions [3]");
+    asn1::Decoder ext_body(ext_block.content);
+    cert.extensions_ = Extensions::decode(ext_body);
+  }
+
+  {
+    asn1::Decoder sig_alg = cert_seq.enter_sequence();
+    (void)sig_alg.read_oid();
+  }
+  (void)cert_seq.read_bit_string();
+  return cert;
+}
+
+CertificateBuilder& CertificateBuilder::serial(std::uint64_t serial) {
+  asn1::Bytes bytes;
+  for (int i = 7; i >= 0; --i) {
+    bytes.push_back(static_cast<std::uint8_t>(serial >> (i * 8)));
+  }
+  while (bytes.size() > 1 && bytes.front() == 0) bytes.erase(bytes.begin());
+  return serial_bytes(std::move(bytes));
+}
+
+CertificateBuilder& CertificateBuilder::serial_bytes(asn1::Bytes serial) {
+  cert_.serial_ = std::move(serial);
+  have_serial_ = true;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::issuer(DistinguishedName dn) {
+  cert_.issuer_ = std::move(dn);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::subject(DistinguishedName dn) {
+  cert_.subject_ = std::move(dn);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::subject_cn(std::string common_name) {
+  cert_.subject_.common_name = std::move(common_name);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::validity(util::Date not_before,
+                                                 util::Date not_after) {
+  if (not_after < not_before) throw LogicError("validity: notAfter < notBefore");
+  cert_.validity_ = util::DateInterval{not_before, not_after};
+  have_validity_ = true;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::key(crypto::KeyPair key) {
+  cert_.key_ = key;
+  cert_.extensions_.subject_key_id = key.key_id();
+  have_key_ = true;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_dns_name(std::string name) {
+  cert_.extensions_.subject_alt_names.push_back(util::to_lower(name));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::dns_names(std::vector<std::string> names) {
+  cert_.extensions_.subject_alt_names.clear();
+  for (auto& name : names) add_dns_name(std::move(name));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::authority_key_id(crypto::Digest id) {
+  cert_.extensions_.authority_key_id = id;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::server_auth_profile() {
+  cert_.extensions_.basic_constraints_ca = false;
+  cert_.extensions_.key_usage =
+      KeyUsage::kDigitalSignature | KeyUsage::kKeyEncipherment;
+  cert_.extensions_.ext_key_usage = {ExtendedKeyUsage::kServerAuth,
+                                     ExtendedKeyUsage::kClientAuth};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::crl_url(std::string url) {
+  cert_.extensions_.crl_distribution_points.push_back(std::move(url));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::ocsp_url(std::string url) {
+  cert_.extensions_.ocsp_urls.push_back(std::move(url));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::policy(asn1::Oid oid) {
+  cert_.extensions_.certificate_policies.push_back(std::move(oid));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::ocsp_must_staple(bool enabled) {
+  cert_.extensions_.ocsp_must_staple = enabled;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::precert_poison(bool poison) {
+  cert_.extensions_.precert_poison = poison;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::sct_log_ids(std::vector<std::uint64_t> ids) {
+  cert_.extensions_.sct_log_ids = std::move(ids);
+  return *this;
+}
+
+Certificate CertificateBuilder::build() const {
+  if (!have_serial_) throw LogicError("CertificateBuilder: serial unset");
+  if (!have_validity_) throw LogicError("CertificateBuilder: validity unset");
+  if (!have_key_) throw LogicError("CertificateBuilder: key unset");
+  return cert_;
+}
+
+}  // namespace stalecert::x509

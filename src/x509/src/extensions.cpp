@@ -1,0 +1,308 @@
+#include "stalecert/x509/extensions.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::x509 {
+namespace {
+
+const asn1::Oid& eku_oid(ExtendedKeyUsage eku) {
+  switch (eku) {
+    case ExtendedKeyUsage::kServerAuth: return asn1::oids::server_auth();
+    case ExtendedKeyUsage::kClientAuth: return asn1::oids::client_auth();
+    case ExtendedKeyUsage::kCodeSigning: return asn1::oids::code_signing();
+    case ExtendedKeyUsage::kEmailProtection: return asn1::oids::email_protection();
+    case ExtendedKeyUsage::kOcspSigning: return asn1::oids::ocsp_signing();
+  }
+  throw LogicError("unknown EKU");
+}
+
+std::optional<ExtendedKeyUsage> eku_from_oid(const asn1::Oid& oid) {
+  for (const auto eku :
+       {ExtendedKeyUsage::kServerAuth, ExtendedKeyUsage::kClientAuth,
+        ExtendedKeyUsage::kCodeSigning, ExtendedKeyUsage::kEmailProtection,
+        ExtendedKeyUsage::kOcspSigning}) {
+    if (eku_oid(eku) == oid) return eku;
+  }
+  return std::nullopt;
+}
+
+// Encodes one extension: SEQUENCE { oid, [critical,] OCTET STRING { value } }
+void emit_extension(asn1::Encoder& enc, const asn1::Oid& oid, bool critical,
+                    const asn1::Bytes& value) {
+  enc.begin_sequence();
+  enc.write_oid(oid);
+  if (critical) enc.write_boolean(true);
+  enc.write_octet_string(value);
+  enc.end_sequence();
+}
+
+}  // namespace
+
+std::string to_string(ExtendedKeyUsage eku) {
+  switch (eku) {
+    case ExtendedKeyUsage::kServerAuth: return "serverAuth";
+    case ExtendedKeyUsage::kClientAuth: return "clientAuth";
+    case ExtendedKeyUsage::kCodeSigning: return "codeSigning";
+    case ExtendedKeyUsage::kEmailProtection: return "emailProtection";
+    case ExtendedKeyUsage::kOcspSigning: return "OCSPSigning";
+  }
+  return "unknown";
+}
+
+bool Extensions::has_eku(ExtendedKeyUsage purpose) const {
+  return std::find(ext_key_usage.begin(), ext_key_usage.end(), purpose) !=
+         ext_key_usage.end();
+}
+
+void Extensions::encode(asn1::Encoder& enc) const {
+  enc.begin_sequence();  // Extensions ::= SEQUENCE OF Extension
+
+  if (!subject_alt_names.empty()) {
+    asn1::Encoder value;
+    value.begin_sequence();  // GeneralNames
+    for (const auto& name : subject_alt_names) {
+      value.write_context_string(2, name);  // dNSName [2] IA5String
+    }
+    value.end_sequence();
+    emit_extension(enc, asn1::oids::subject_alt_name(), false, value.bytes());
+  }
+
+  if (subject_key_id) {
+    asn1::Encoder value;
+    value.write_octet_string(*subject_key_id);
+    emit_extension(enc, asn1::oids::subject_key_id(), false, value.bytes());
+  }
+
+  if (basic_constraints_ca) {
+    asn1::Encoder value;
+    value.begin_sequence();
+    if (*basic_constraints_ca) value.write_boolean(true);
+    value.end_sequence();
+    emit_extension(enc, asn1::oids::basic_constraints(), true, value.bytes());
+  }
+
+  if (key_usage != 0) {
+    // BIT STRING with bit 0 = most significant bit of the first byte.
+    std::uint8_t bits = 0;
+    for (int i = 0; i < 7; ++i) {
+      if (key_usage & (1u << i)) bits |= static_cast<std::uint8_t>(0x80 >> i);
+    }
+    asn1::Encoder value;
+    value.write_bit_string(std::span<const std::uint8_t>(&bits, 1));
+    emit_extension(enc, asn1::oids::key_usage(), true, value.bytes());
+  }
+
+  if (!ext_key_usage.empty()) {
+    asn1::Encoder value;
+    value.begin_sequence();
+    for (const auto eku : ext_key_usage) value.write_oid(eku_oid(eku));
+    value.end_sequence();
+    emit_extension(enc, asn1::oids::ext_key_usage(), false, value.bytes());
+  }
+
+  if (authority_key_id) {
+    asn1::Encoder value;
+    value.begin_sequence();
+    // keyIdentifier [0] IMPLICIT OCTET STRING — model as primitive ctx tag.
+    asn1::Encoder inner;
+    inner.write_octet_string(*authority_key_id);
+    const auto& raw = inner.bytes();
+    asn1::Bytes tagged(raw);
+    tagged[0] = asn1::context_tag(0, /*constructed=*/false);
+    value.write_raw(tagged);
+    value.end_sequence();
+    emit_extension(enc, asn1::oids::authority_key_id(), false, value.bytes());
+  }
+
+  if (!crl_distribution_points.empty()) {
+    asn1::Encoder value;
+    value.begin_sequence();
+    for (const auto& url : crl_distribution_points) {
+      value.begin_sequence();      // DistributionPoint
+      value.begin_context(0);      // distributionPoint [0]
+      value.begin_context(0);      // fullName [0]
+      value.write_context_string(6, url);  // uniformResourceIdentifier [6]
+      value.end_context();
+      value.end_context();
+      value.end_sequence();
+    }
+    value.end_sequence();
+    emit_extension(enc, asn1::oids::crl_distribution_points(), false, value.bytes());
+  }
+
+  if (!ocsp_urls.empty()) {
+    asn1::Encoder value;
+    value.begin_sequence();
+    for (const auto& url : ocsp_urls) {
+      value.begin_sequence();
+      value.write_oid(asn1::Oid{1, 3, 6, 1, 5, 5, 7, 48, 1});  // id-ad-ocsp
+      value.write_context_string(6, url);
+      value.end_sequence();
+    }
+    value.end_sequence();
+    emit_extension(enc, asn1::oids::authority_info_access(), false, value.bytes());
+  }
+
+  if (!certificate_policies.empty()) {
+    asn1::Encoder value;
+    value.begin_sequence();
+    for (const auto& policy : certificate_policies) {
+      value.begin_sequence();
+      value.write_oid(policy);
+      value.end_sequence();
+    }
+    value.end_sequence();
+    emit_extension(enc, asn1::oids::certificate_policies(), false, value.bytes());
+  }
+
+  if (ocsp_must_staple) {
+    asn1::Encoder value;
+    value.begin_sequence();
+    value.write_integer(5);  // status_request TLS feature
+    value.end_sequence();
+    emit_extension(enc, asn1::oids::tls_feature(), false, value.bytes());
+  }
+
+  if (precert_poison) {
+    asn1::Encoder value;
+    value.write_null();
+    emit_extension(enc, asn1::oids::ct_precert_poison(), true, value.bytes());
+  }
+
+  if (!sct_log_ids.empty()) {
+    asn1::Encoder value;
+    value.begin_sequence();
+    for (const auto log_id : sct_log_ids) {
+      value.write_integer(static_cast<std::int64_t>(log_id));
+    }
+    value.end_sequence();
+    emit_extension(enc, asn1::oids::ct_sct_list(), false, value.bytes());
+  }
+
+  for (const auto& raw : unknown) {
+    emit_extension(enc, raw.oid, raw.critical, raw.der);
+  }
+
+  enc.end_sequence();
+}
+
+Extensions Extensions::decode(asn1::Decoder& dec) {
+  Extensions ext;
+  asn1::Decoder list = dec.enter_sequence();
+  while (!list.at_end()) {
+    asn1::Decoder one = list.enter_sequence();
+    const asn1::Oid oid = one.read_oid();
+    bool critical = false;
+    if (!one.at_end() &&
+        one.peek_tag() == static_cast<std::uint8_t>(asn1::Tag::kBoolean)) {
+      critical = one.read_boolean();
+    }
+    const asn1::Bytes value = one.read_octet_string();
+    asn1::Decoder body(value);
+
+    if (oid == asn1::oids::subject_alt_name()) {
+      asn1::Decoder names = body.enter_sequence();
+      while (!names.at_end()) {
+        const asn1::Tlv tlv = names.read_any();
+        if (tlv.is_context(2)) {
+          ext.subject_alt_names.emplace_back(tlv.content.begin(), tlv.content.end());
+        }
+      }
+    } else if (oid == asn1::oids::subject_key_id()) {
+      const asn1::Bytes id = body.read_octet_string();
+      if (id.size() != 32) throw ParseError("subjectKeyId must be 32 bytes here");
+      crypto::Digest digest;
+      std::copy(id.begin(), id.end(), digest.begin());
+      ext.subject_key_id = digest;
+    } else if (oid == asn1::oids::basic_constraints()) {
+      asn1::Decoder bc = body.enter_sequence();
+      bool ca = false;
+      if (!bc.at_end() &&
+          bc.peek_tag() == static_cast<std::uint8_t>(asn1::Tag::kBoolean)) {
+        ca = bc.read_boolean();
+      }
+      ext.basic_constraints_ca = ca;
+    } else if (oid == asn1::oids::key_usage()) {
+      unsigned unused = 0;
+      const asn1::Bytes bits = body.read_bit_string(&unused);
+      std::uint16_t usage = 0;
+      if (!bits.empty()) {
+        for (int i = 0; i < 7; ++i) {
+          if (bits[0] & (0x80 >> i)) usage |= static_cast<std::uint16_t>(1u << i);
+        }
+      }
+      ext.key_usage = usage;
+    } else if (oid == asn1::oids::ext_key_usage()) {
+      asn1::Decoder ekus = body.enter_sequence();
+      while (!ekus.at_end()) {
+        const asn1::Oid purpose = ekus.read_oid();
+        if (const auto eku = eku_from_oid(purpose)) ext.ext_key_usage.push_back(*eku);
+      }
+    } else if (oid == asn1::oids::authority_key_id()) {
+      asn1::Decoder akid = body.enter_sequence();
+      if (!akid.at_end()) {
+        const asn1::Tlv tlv = akid.read_any();
+        if (tlv.is_context(0) && tlv.content.size() == 32) {
+          crypto::Digest digest;
+          std::copy(tlv.content.begin(), tlv.content.end(), digest.begin());
+          ext.authority_key_id = digest;
+        }
+      }
+    } else if (oid == asn1::oids::crl_distribution_points()) {
+      asn1::Decoder points = body.enter_sequence();
+      while (!points.at_end()) {
+        asn1::Decoder point = points.enter_sequence();
+        if (point.at_end()) continue;
+        const asn1::Tlv dp = point.read_any();  // [0] distributionPoint
+        asn1::Decoder full(dp.content);
+        if (full.at_end()) continue;
+        const asn1::Tlv fn = full.read_any();  // [0] fullName
+        asn1::Decoder uris(fn.content);
+        while (!uris.at_end()) {
+          const asn1::Tlv uri = uris.read_any();
+          if (uri.is_context(6)) {
+            ext.crl_distribution_points.emplace_back(uri.content.begin(),
+                                                     uri.content.end());
+          }
+        }
+      }
+    } else if (oid == asn1::oids::authority_info_access()) {
+      asn1::Decoder entries = body.enter_sequence();
+      while (!entries.at_end()) {
+        asn1::Decoder entry = entries.enter_sequence();
+        const asn1::Oid method = entry.read_oid();
+        const asn1::Tlv location = entry.read_any();
+        if (method == asn1::Oid{1, 3, 6, 1, 5, 5, 7, 48, 1} && location.is_context(6)) {
+          ext.ocsp_urls.emplace_back(location.content.begin(), location.content.end());
+        }
+      }
+    } else if (oid == asn1::oids::certificate_policies()) {
+      asn1::Decoder policies = body.enter_sequence();
+      while (!policies.at_end()) {
+        asn1::Decoder policy = policies.enter_sequence();
+        ext.certificate_policies.push_back(policy.read_oid());
+      }
+    } else if (oid == asn1::oids::tls_feature()) {
+      asn1::Decoder features = body.enter_sequence();
+      while (!features.at_end()) {
+        if (features.read_integer() == 5) ext.ocsp_must_staple = true;
+      }
+    } else if (oid == asn1::oids::ct_precert_poison()) {
+      ext.precert_poison = true;
+    } else if (oid == asn1::oids::ct_sct_list()) {
+      asn1::Decoder scts = body.enter_sequence();
+      while (!scts.at_end()) {
+        ext.sct_log_ids.push_back(
+            static_cast<std::uint64_t>(scts.read_integer()));
+      }
+    } else {
+      ext.unknown.push_back({oid, critical, value});
+    }
+  }
+  return ext;
+}
+
+}  // namespace stalecert::x509

@@ -1,0 +1,58 @@
+#include "stalecert/x509/name.hpp"
+
+namespace stalecert::x509 {
+
+std::string DistinguishedName::to_string() const {
+  std::string out;
+  auto append = [&out](const char* key, const std::string& value) {
+    if (value.empty()) return;
+    if (!out.empty()) out += ", ";
+    out += key;
+    out += '=';
+    out += value;
+  };
+  append("CN", common_name);
+  append("O", organization);
+  append("C", country);
+  return out;
+}
+
+void DistinguishedName::encode(asn1::Encoder& enc) const {
+  // RDNSequence ::= SEQUENCE OF SET OF AttributeTypeAndValue
+  enc.begin_sequence();
+  auto emit = [&enc](const asn1::Oid& oid, const std::string& value) {
+    if (value.empty()) return;
+    enc.begin_set();
+    enc.begin_sequence();
+    enc.write_oid(oid);
+    enc.write_utf8_string(value);
+    enc.end_sequence();
+    enc.end_set();
+  };
+  emit(asn1::oids::country(), country);
+  emit(asn1::oids::organization(), organization);
+  emit(asn1::oids::common_name(), common_name);
+  enc.end_sequence();
+}
+
+DistinguishedName DistinguishedName::decode(asn1::Decoder& dec) {
+  DistinguishedName dn;
+  asn1::Decoder rdns = dec.enter_sequence();
+  while (!rdns.at_end()) {
+    asn1::Decoder set = rdns.enter_set();
+    asn1::Decoder attr = set.enter_sequence();
+    const asn1::Oid oid = attr.read_oid();
+    const std::string value = attr.read_string();
+    if (oid == asn1::oids::common_name()) {
+      dn.common_name = value;
+    } else if (oid == asn1::oids::organization()) {
+      dn.organization = value;
+    } else if (oid == asn1::oids::country()) {
+      dn.country = value;
+    }
+    // Unknown attributes are tolerated and dropped.
+  }
+  return dn;
+}
+
+}  // namespace stalecert::x509

@@ -1,0 +1,220 @@
+#include "stalecert/asn1/der.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::asn1 {
+namespace {
+
+TEST(DerEncoderTest, Boolean) {
+  Encoder enc;
+  enc.write_boolean(true);
+  enc.write_boolean(false);
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.read_boolean());
+  EXPECT_FALSE(dec.read_boolean());
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(DerEncoderTest, IntegerMinimalEncoding) {
+  Encoder enc;
+  enc.write_integer(0);
+  const Bytes& bytes = enc.bytes();
+  ASSERT_EQ(bytes.size(), 3u);  // 02 01 00
+  EXPECT_EQ(bytes[0], 0x02);
+  EXPECT_EQ(bytes[1], 0x01);
+  EXPECT_EQ(bytes[2], 0x00);
+}
+
+class IntegerRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(IntegerRoundTrip, EncodeDecodeIdentity) {
+  Encoder enc;
+  enc.write_integer(GetParam());
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_integer(), GetParam());
+  EXPECT_TRUE(dec.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntegerRoundTrip,
+    ::testing::Values(0, 1, -1, 127, 128, 255, 256, -128, -129, 0x7fff, -0x8000,
+                      1'000'000'000LL, -1'000'000'000LL,
+                      0x7fffffffffffffffLL, INT64_MIN));
+
+TEST(DerEncoderTest, IntegerBytesStripsLeadingZeros) {
+  Encoder enc;
+  const std::uint8_t magnitude[] = {0x00, 0x00, 0x8f, 0x01};
+  enc.write_integer_bytes(magnitude);
+  Decoder dec(enc.bytes());
+  const Bytes out = dec.read_integer_bytes();
+  EXPECT_EQ(out, (Bytes{0x8f, 0x01}));
+}
+
+TEST(DerEncoderTest, IntegerBytesEdgeCases) {
+  // Empty magnitude encodes as canonical zero.
+  {
+    Encoder enc;
+    enc.write_integer_bytes({});
+    EXPECT_EQ(enc.bytes(), (Bytes{0x02, 0x01, 0x00}));
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.read_integer_bytes(), (Bytes{0x00}));
+  }
+  // All-zero magnitude collapses to canonical zero.
+  {
+    Encoder enc;
+    const std::uint8_t zeros[] = {0x00, 0x00, 0x00};
+    enc.write_integer_bytes(zeros);
+    EXPECT_EQ(enc.bytes(), (Bytes{0x02, 0x01, 0x00}));
+  }
+  // High-bit magnitude gets the sign pad.
+  {
+    Encoder enc;
+    const std::uint8_t high[] = {0xff};
+    enc.write_integer_bytes(high);
+    EXPECT_EQ(enc.bytes(), (Bytes{0x02, 0x02, 0x00, 0xff}));
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.read_integer_bytes(), (Bytes{0xff}));
+  }
+}
+
+TEST(DerEncoderTest, OctetAndBitStrings) {
+  Encoder enc;
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  enc.write_octet_string(data);
+  enc.write_bit_string(data, 3);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_octet_string(), Bytes(data, data + 5));
+  unsigned unused = 0;
+  EXPECT_EQ(dec.read_bit_string(&unused), Bytes(data, data + 5));
+  EXPECT_EQ(unused, 3u);
+}
+
+TEST(DerEncoderTest, NullRoundTrip) {
+  Encoder enc;
+  enc.write_null();
+  Decoder dec(enc.bytes());
+  EXPECT_NO_THROW(dec.read_null());
+}
+
+TEST(DerEncoderTest, Strings) {
+  Encoder enc;
+  enc.write_utf8_string("héllo");
+  enc.write_printable_string("Example CA");
+  enc.write_ia5_string("foo.example.com");
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_string(), "héllo");
+  EXPECT_EQ(dec.read_string(), "Example CA");
+  EXPECT_EQ(dec.read_string(), "foo.example.com");
+}
+
+TEST(DerEncoderTest, TimeUtcAndGeneralized) {
+  Encoder enc;
+  enc.write_time(util::Date::parse("2022-03-15"));  // UTCTime era
+  enc.write_time(util::Date::from_ymd(2055, 6, 1)); // GeneralizedTime era
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_time(), util::Date::parse("2022-03-15"));
+  EXPECT_EQ(dec.read_time(), util::Date::from_ymd(2055, 6, 1));
+}
+
+TEST(DerEncoderTest, NestedSequences) {
+  Encoder enc;
+  enc.begin_sequence();
+  enc.write_integer(7);
+  enc.begin_sequence();
+  enc.write_utf8_string("inner");
+  enc.end_sequence();
+  enc.end_sequence();
+
+  Decoder dec(enc.bytes());
+  Decoder outer = dec.enter_sequence();
+  EXPECT_EQ(outer.read_integer(), 7);
+  Decoder inner = outer.enter_sequence();
+  EXPECT_EQ(inner.read_string(), "inner");
+  EXPECT_TRUE(inner.at_end());
+  EXPECT_TRUE(outer.at_end());
+}
+
+TEST(DerEncoderTest, LongFormLength) {
+  // Content > 127 bytes forces multi-byte length that must be backfilled.
+  Encoder enc;
+  enc.begin_sequence();
+  for (int i = 0; i < 64; ++i) enc.write_integer(i * 1000);
+  enc.end_sequence();
+  Decoder dec(enc.bytes());
+  Decoder seq = dec.enter_sequence();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(seq.read_integer(), i * 1000);
+  EXPECT_TRUE(seq.at_end());
+}
+
+TEST(DerEncoderTest, VeryLongContent) {
+  Encoder enc;
+  Bytes big(70000, 0xab);
+  enc.write_octet_string(big);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_octet_string(), big);
+}
+
+TEST(DerEncoderTest, ContextTags) {
+  Encoder enc;
+  enc.begin_context(3);
+  enc.write_integer(5);
+  enc.end_context();
+  enc.write_context_string(2, "dns.example");
+
+  Decoder dec(enc.bytes());
+  const Tlv ctx = dec.read_any();
+  EXPECT_TRUE(ctx.is_context(3));
+  EXPECT_TRUE(ctx.is_constructed());
+  Decoder body(ctx.content);
+  EXPECT_EQ(body.read_integer(), 5);
+  const Tlv str = dec.read_any();
+  EXPECT_TRUE(str.is_context(2));
+  EXPECT_FALSE(str.is_constructed());
+  EXPECT_EQ(std::string(str.content.begin(), str.content.end()), "dns.example");
+}
+
+TEST(DerEncoderTest, UnterminatedSequenceThrows) {
+  Encoder enc;
+  enc.begin_sequence();
+  EXPECT_THROW((void)enc.bytes(), stalecert::LogicError);
+  enc.end_sequence();
+  EXPECT_NO_THROW((void)enc.bytes());
+  EXPECT_THROW(enc.end_sequence(), stalecert::LogicError);  // unmatched extra
+}
+
+TEST(DerDecoderTest, TruncatedInputThrows) {
+  const Bytes truncated = {0x30, 0x05, 0x02, 0x01};
+  Decoder dec(truncated);
+  EXPECT_THROW(dec.read_any(), stalecert::ParseError);
+}
+
+TEST(DerDecoderTest, NonMinimalLengthRejected) {
+  // 0x81 0x05 would be long form for a length that fits short form.
+  const Bytes bad = {0x04, 0x81, 0x05, 1, 2, 3, 4, 5};
+  Decoder dec(bad);
+  EXPECT_THROW(dec.read_octet_string(), stalecert::ParseError);
+}
+
+TEST(DerDecoderTest, TagMismatchThrows) {
+  Encoder enc;
+  enc.write_integer(1);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.read_octet_string(), stalecert::ParseError);
+}
+
+TEST(DerDecoderTest, NonCanonicalBooleanRejected) {
+  const Bytes bad = {0x01, 0x01, 0x42};
+  Decoder dec(bad);
+  EXPECT_THROW(dec.read_boolean(), stalecert::ParseError);
+}
+
+TEST(DerDecoderTest, EmptyInput) {
+  Decoder dec(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(dec.at_end());
+  EXPECT_THROW((void)dec.peek_tag(), stalecert::ParseError);
+}
+
+}  // namespace
+}  // namespace stalecert::asn1

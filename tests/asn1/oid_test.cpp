@@ -1,0 +1,77 @@
+#include "stalecert/asn1/oid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/asn1/der.hpp"
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::asn1 {
+namespace {
+
+TEST(OidTest, ParseAndToString) {
+  const Oid oid = Oid::parse("1.2.840.113549.1.1.11");
+  EXPECT_EQ(oid.to_string(), "1.2.840.113549.1.1.11");
+  EXPECT_EQ(oid.arcs().size(), 7u);
+}
+
+TEST(OidTest, ParseRejectsBadInput) {
+  EXPECT_THROW(Oid::parse(""), stalecert::ParseError);
+  EXPECT_THROW(Oid::parse("1"), stalecert::ParseError);
+  EXPECT_THROW(Oid::parse("1.a.3"), stalecert::ParseError);
+  EXPECT_THROW(Oid::parse("1..3"), stalecert::ParseError);
+}
+
+TEST(OidTest, Equality) {
+  EXPECT_EQ(Oid::parse("2.5.29.17"), oids::subject_alt_name());
+  EXPECT_NE(oids::key_usage(), oids::ext_key_usage());
+}
+
+class OidRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OidRoundTrip, DerEncodeDecodeIdentity) {
+  const Oid original = Oid::parse(GetParam());
+  Encoder enc;
+  enc.write_oid(original);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_oid(), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OidRoundTrip,
+    ::testing::Values("0.9.2342", "1.2.840.113549.1.1.11", "2.5.29.17",
+                      "2.5.4.3", "1.3.6.1.4.1.11129.2.4.3",
+                      "2.23.140.1.2.1", "2.999.4294967295",
+                      "1.3.6.1.5.5.7.48.1"));
+
+TEST(OidTest, KnownDerEncodings) {
+  // 1.2.840.113549 encodes as 2a 86 48 86 f7 0d.
+  Encoder enc;
+  enc.write_oid(Oid::parse("1.2.840.113549"));
+  const Bytes& b = enc.bytes();
+  const Bytes expected = {0x06, 0x06, 0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d};
+  EXPECT_EQ(b, expected);
+}
+
+TEST(OidTest, FirstArcTwoDecoding) {
+  // 2.999 -> first content byte >= 80: 2*40 + 999 = 1079.
+  Encoder enc;
+  enc.write_oid(Oid::parse("2.999"));
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_oid().to_string(), "2.999");
+}
+
+TEST(OidTest, WellKnownAccessors) {
+  EXPECT_EQ(oids::common_name().to_string(), "2.5.4.3");
+  EXPECT_EQ(oids::basic_constraints().to_string(), "2.5.29.19");
+  EXPECT_EQ(oids::ct_precert_poison().to_string(), "1.3.6.1.4.1.11129.2.4.3");
+  EXPECT_EQ(oids::authority_info_access().to_string(), "1.3.6.1.5.5.7.1.1");
+  EXPECT_EQ(oids::crl_reason().to_string(), "2.5.29.21");
+}
+
+TEST(OidTest, TruncatedArcRejected) {
+  const Bytes bad = {0x2a, 0x86};  // continuation bit set on final byte
+  EXPECT_THROW(decode_oid_content(bad), stalecert::ParseError);
+}
+
+}  // namespace
+}  // namespace stalecert::asn1

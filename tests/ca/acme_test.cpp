@@ -1,0 +1,191 @@
+#include "stalecert/ca/acme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::ca {
+namespace {
+
+using util::Date;
+
+class FakeEnv : public ValidationEnvironment {
+ public:
+  std::map<std::string, ActorId> dns;
+  std::map<std::string, ActorId> web;
+  bool controls_dns(const std::string& domain, ActorId actor) const override {
+    const auto it = dns.find(domain);
+    return it != dns.end() && it->second == actor;
+  }
+  bool controls_web(const std::string& domain, ActorId actor) const override {
+    const auto it = web.find(domain);
+    return it != web.end() && it->second == actor;
+  }
+};
+
+class AcmeFixture : public ::testing::Test {
+ protected:
+  AcmeFixture()
+      : ca_({.name = "ACME CA", .organization = "ACME", .self_imposed_max_days = 90,
+             .default_days = 90, .automated = true},
+            3),
+        server_(&ca_, 11) {
+    env_.dns["foo.com"] = 42;
+    env_.web["foo.com"] = 42;
+    ca_.attach_validation(&env_);
+  }
+
+  FakeEnv env_;
+  CertificateAuthority ca_;
+  AcmeServer server_;
+};
+
+TEST_F(AcmeFixture, FullHappyFlow) {
+  const AccountId account =
+      server_.new_account(42, "mailto:admin@foo.com", Date::parse("2022-01-01"));
+  const OrderId order = server_.new_order(account, {"foo.com", "www.foo.com"},
+                                          Date::parse("2022-01-02"));
+  EXPECT_EQ(server_.order(order).status, OrderStatus::kPending);
+  ASSERT_EQ(server_.order(order).authorizations.size(), 2u);
+
+  env_.web["www.foo.com"] = 42;
+  EXPECT_TRUE(server_.respond_challenge(order, "foo.com", ChallengeType::kHttp01,
+                                        42, Date::parse("2022-01-02")));
+  EXPECT_EQ(server_.order(order).status, OrderStatus::kPending);
+  EXPECT_TRUE(server_.respond_challenge(order, "www.foo.com",
+                                        ChallengeType::kHttp01, 42,
+                                        Date::parse("2022-01-02")));
+  EXPECT_EQ(server_.order(order).status, OrderStatus::kReady);
+
+  const auto cert = server_.finalize(
+      order, crypto::KeyPair::derive("csr", crypto::KeyAlgorithm::kEcdsaP256),
+      Date::parse("2022-01-03"));
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(server_.order(order).status, OrderStatus::kValid);
+  EXPECT_TRUE(cert->matches_domain("foo.com"));
+  EXPECT_TRUE(cert->matches_domain("www.foo.com"));
+  EXPECT_EQ(cert->lifetime_days(), 90);  // self-imposed ACME CA limit
+  EXPECT_EQ(server_.issued_count(), 1u);
+}
+
+TEST_F(AcmeFixture, ChallengeFailsWithoutControl) {
+  const AccountId account = server_.new_account(7, "x", Date::parse("2022-01-01"));
+  const OrderId order =
+      server_.new_order(account, {"foo.com"}, Date::parse("2022-01-02"));
+  // Actor 7 does not control foo.com.
+  EXPECT_FALSE(server_.respond_challenge(order, "foo.com", ChallengeType::kHttp01,
+                                         7, Date::parse("2022-01-02")));
+  EXPECT_EQ(server_.order(order).status, OrderStatus::kInvalid);
+  EXPECT_FALSE(server_
+                   .finalize(order, crypto::KeyPair::derive(
+                                        "csr", crypto::KeyAlgorithm::kEcdsaP256),
+                             Date::parse("2022-01-03"))
+                   .has_value());
+}
+
+TEST_F(AcmeFixture, ActorMustMatchAccount) {
+  const AccountId account = server_.new_account(42, "x", Date::parse("2022-01-01"));
+  const OrderId order =
+      server_.new_order(account, {"foo.com"}, Date::parse("2022-01-02"));
+  // A different actor cannot answer the account's challenges even if it
+  // controls the domain.
+  env_.web["foo.com"] = 99;
+  EXPECT_FALSE(server_.respond_challenge(order, "foo.com", ChallengeType::kHttp01,
+                                         99, Date::parse("2022-01-02")));
+}
+
+TEST_F(AcmeFixture, WildcardRequiresDns01) {
+  const AccountId account = server_.new_account(42, "x", Date::parse("2022-01-01"));
+  const OrderId order =
+      server_.new_order(account, {"*.foo.com"}, Date::parse("2022-01-02"));
+  const auto& authz = server_.order(order).authorizations;
+  ASSERT_EQ(authz.size(), 1u);
+  EXPECT_TRUE(authz[0].wildcard);
+  ASSERT_EQ(authz[0].challenges.size(), 1u);
+  EXPECT_EQ(authz[0].challenges[0].type, ChallengeType::kDns01);
+
+  EXPECT_FALSE(server_.respond_challenge(order, "foo.com", ChallengeType::kHttp01,
+                                         42, Date::parse("2022-01-02")));
+  EXPECT_TRUE(server_.respond_challenge(order, "foo.com", ChallengeType::kDns01,
+                                        42, Date::parse("2022-01-02")));
+  EXPECT_EQ(server_.order(order).status, OrderStatus::kReady);
+}
+
+TEST_F(AcmeFixture, WildcardAndBaseShareOneAuthorization) {
+  const AccountId account = server_.new_account(42, "x", Date::parse("2022-01-01"));
+  const OrderId order = server_.new_order(account, {"foo.com", "*.foo.com"},
+                                          Date::parse("2022-01-02"));
+  const auto& authz = server_.order(order).authorizations;
+  ASSERT_EQ(authz.size(), 1u);
+  EXPECT_TRUE(authz[0].wildcard);
+  // Wildcard restriction applies to the merged authorization.
+  for (const auto& challenge : authz[0].challenges) {
+    EXPECT_EQ(challenge.type, ChallengeType::kDns01);
+  }
+}
+
+TEST_F(AcmeFixture, OrderExpiry) {
+  const AccountId account = server_.new_account(42, "x", Date::parse("2022-01-01"));
+  const OrderId order =
+      server_.new_order(account, {"foo.com"}, Date::parse("2022-01-02"));
+  // 8 days later (order lifetime is 7): everything fails.
+  EXPECT_FALSE(server_.respond_challenge(order, "foo.com", ChallengeType::kHttp01,
+                                         42, Date::parse("2022-01-10")));
+  EXPECT_EQ(server_.order(order).status, OrderStatus::kInvalid);
+}
+
+TEST_F(AcmeFixture, FinalizeBeforeReadyInvalidatesOrder) {
+  const AccountId account = server_.new_account(42, "x", Date::parse("2022-01-01"));
+  const OrderId order =
+      server_.new_order(account, {"foo.com"}, Date::parse("2022-01-02"));
+  EXPECT_FALSE(server_
+                   .finalize(order, crypto::KeyPair::derive(
+                                        "csr", crypto::KeyAlgorithm::kEcdsaP256),
+                             Date::parse("2022-01-02"))
+                   .has_value());
+  EXPECT_EQ(server_.order(order).status, OrderStatus::kInvalid);
+}
+
+TEST_F(AcmeFixture, ApiErrors) {
+  EXPECT_THROW(server_.new_order(999, {"foo.com"}, Date::parse("2022-01-01")),
+               stalecert::LogicError);
+  const AccountId account = server_.new_account(42, "x", Date::parse("2022-01-01"));
+  EXPECT_THROW(server_.new_order(account, {}, Date::parse("2022-01-01")),
+               stalecert::LogicError);
+  EXPECT_THROW((void)server_.order(12345), stalecert::LogicError);
+  EXPECT_TRUE(server_.account_exists(account));
+  EXPECT_FALSE(server_.account_exists(999));
+}
+
+TEST_F(AcmeFixture, IssuedCertIsCtLogged) {
+  ct::LogSet logs;
+  logs.add_log(ct::CtLog{5, "log", "Op", {.chrome = true, .apple = true}});
+  ca_.attach_ct(&logs);
+
+  const AccountId account = server_.new_account(42, "x", Date::parse("2022-01-01"));
+  const OrderId order =
+      server_.new_order(account, {"foo.com"}, Date::parse("2022-01-02"));
+  server_.respond_challenge(order, "foo.com", ChallengeType::kDns01, 42,
+                            Date::parse("2022-01-02"));
+  const auto cert = server_.finalize(
+      order, crypto::KeyPair::derive("csr", crypto::KeyAlgorithm::kEcdsaP256),
+      Date::parse("2022-01-03"));
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->extensions().sct_log_ids, (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(logs.collect().size(), 1u);
+}
+
+TEST(AcmeStatusStrings, Names) {
+  EXPECT_EQ(to_string(OrderStatus::kPending), "pending");
+  EXPECT_EQ(to_string(OrderStatus::kReady), "ready");
+  EXPECT_EQ(to_string(OrderStatus::kValid), "valid");
+  EXPECT_EQ(to_string(OrderStatus::kInvalid), "invalid");
+  EXPECT_EQ(to_string(AuthzStatus::kPending), "pending");
+  EXPECT_EQ(to_string(AuthzStatus::kValid), "valid");
+  EXPECT_EQ(to_string(AuthzStatus::kInvalid), "invalid");
+}
+
+}  // namespace
+}  // namespace stalecert::ca

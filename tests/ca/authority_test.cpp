@@ -1,0 +1,185 @@
+#include "stalecert/ca/authority.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace stalecert::ca {
+namespace {
+
+using util::Date;
+
+class FakeEnv : public ValidationEnvironment {
+ public:
+  std::map<std::string, ActorId> owners;
+  bool controls_dns(const std::string& domain, ActorId actor) const override {
+    const auto it = owners.find(domain);
+    return it != owners.end() && it->second == actor;
+  }
+  bool controls_web(const std::string& domain, ActorId actor) const override {
+    return controls_dns(domain, actor);
+  }
+};
+
+CaProfile le_profile() {
+  return {.name = "Let's Encrypt X3",
+          .organization = "ISRG (Let's Encrypt)",
+          .self_imposed_max_days = 90,
+          .default_days = 90,
+          .automated = true,
+          .crl_url = "http://crl.le.example/x3.crl"};
+}
+
+CaProfile commercial_profile() {
+  return {.name = "Commercial CA", .organization = "Commercial", .default_days = 365,
+          .crl_url = "http://crl.commercial.example/ca.crl"};
+}
+
+TEST(CabForumTest, PolicyTimeline) {
+  EXPECT_EQ(cab_forum_max_lifetime(Date::parse("2015-06-01")), 39 * 31);
+  EXPECT_EQ(cab_forum_max_lifetime(Date::parse("2019-06-01")), 825);
+  EXPECT_EQ(cab_forum_max_lifetime(Date::parse("2020-08-31")), 825);
+  EXPECT_EQ(cab_forum_max_lifetime(Date::parse("2020-09-01")), 398);
+  EXPECT_EQ(cab_forum_max_lifetime(Date::parse("2023-01-01")), 398);
+}
+
+TEST(AuthorityTest, SelfImposedCapDominates) {
+  CertificateAuthority le(le_profile(), 1);
+  EXPECT_EQ(le.max_lifetime_at(Date::parse("2019-01-01")), 90);
+  CertificateAuthority commercial(commercial_profile(), 2);
+  EXPECT_EQ(commercial.max_lifetime_at(Date::parse("2019-01-01")), 825);
+  EXPECT_EQ(commercial.max_lifetime_at(Date::parse("2022-01-01")), 398);
+}
+
+TEST(AuthorityTest, IssueUncheckedBuildsCompleteLeaf) {
+  CertificateAuthority ca(commercial_profile(), 3);
+  IssuanceRequest request;
+  request.domains = {"foo.com", "www.foo.com"};
+  request.subscriber_key = crypto::KeyPair::derive("sub", crypto::KeyAlgorithm::kEcdsaP256);
+  request.date = Date::parse("2022-03-01");
+  const auto cert = ca.issue_unchecked(request);
+
+  EXPECT_EQ(cert.issuer().common_name, "Commercial CA");
+  EXPECT_EQ(cert.subject().common_name, "foo.com");
+  EXPECT_EQ(cert.lifetime_days(), 365);
+  EXPECT_EQ(cert.dns_names().size(), 2u);
+  EXPECT_EQ(cert.extensions().authority_key_id, ca.issuing_key().key_id());
+  EXPECT_FALSE(cert.extensions().crl_distribution_points.empty());
+  EXPECT_TRUE(cert.extensions().has_eku(x509::ExtendedKeyUsage::kServerAuth));
+  ASSERT_TRUE(cert.issuer_serial().has_value());
+  EXPECT_EQ(ca.issued_count(), 1u);
+}
+
+TEST(AuthorityTest, LifetimeClampedByPolicyEra) {
+  CertificateAuthority ca(commercial_profile(), 3);
+  IssuanceRequest request;
+  request.domains = {"foo.com"};
+  request.subscriber_key = crypto::KeyPair::derive("s", crypto::KeyAlgorithm::kEcdsaP256);
+  request.requested_days = 3000;
+
+  request.date = Date::parse("2019-01-01");
+  EXPECT_EQ(ca.issue_unchecked(request).lifetime_days(), 825);
+  request.date = Date::parse("2021-01-01");
+  EXPECT_EQ(ca.issue_unchecked(request).lifetime_days(), 398);
+}
+
+TEST(AuthorityTest, SerialsAreUnique) {
+  CertificateAuthority ca(commercial_profile(), 3);
+  IssuanceRequest request;
+  request.domains = {"foo.com"};
+  request.subscriber_key = crypto::KeyPair::derive("s", crypto::KeyAlgorithm::kEcdsaP256);
+  request.date = Date::parse("2022-01-01");
+  const auto a = ca.issue_unchecked(request);
+  const auto b = ca.issue_unchecked(request);
+  EXPECT_NE(a.serial(), b.serial());
+}
+
+TEST(AuthorityTest, ValidationGatesIssuance) {
+  FakeEnv env;
+  env.owners["foo.com"] = 42;
+  CertificateAuthority ca(le_profile(), 4);
+  ca.attach_validation(&env);
+
+  IssuanceRequest request;
+  request.domains = {"foo.com"};
+  request.subscriber_key = crypto::KeyPair::derive("s", crypto::KeyAlgorithm::kEcdsaP256);
+  request.date = Date::parse("2022-01-01");
+
+  request.account = 42;
+  EXPECT_TRUE(ca.issue(request).ok());
+  request.account = 7;  // attacker without control
+  const auto denied = ca.issue(request);
+  EXPECT_FALSE(denied.ok());
+  ASSERT_TRUE(denied.error.has_value());
+  EXPECT_EQ(denied.error->kind, IssuanceError::Kind::kValidationFailed);
+}
+
+TEST(AuthorityTest, WildcardForcesDnsChallengeOnBaseDomain) {
+  FakeEnv env;
+  env.owners["foo.com"] = 42;
+  CertificateAuthority ca(le_profile(), 4);
+  ca.attach_validation(&env);
+
+  IssuanceRequest request;
+  request.domains = {"*.foo.com"};
+  request.subscriber_key = crypto::KeyPair::derive("s", crypto::KeyAlgorithm::kEcdsaP256);
+  request.date = Date::parse("2022-01-01");
+  request.account = 42;
+  EXPECT_TRUE(ca.issue(request).ok());
+}
+
+TEST(AuthorityTest, EmptyDomainsRejected) {
+  CertificateAuthority ca(commercial_profile(), 3);
+  IssuanceRequest request;
+  request.date = Date::parse("2022-01-01");
+  const auto outcome = ca.issue(request);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, IssuanceError::Kind::kNoDomains);
+  EXPECT_THROW(ca.issue_unchecked(request), stalecert::LogicError);
+}
+
+TEST(AuthorityTest, CtSubmissionEmbedsScts) {
+  ct::LogSet logs;
+  logs.add_log(ct::CtLog{11, "log", "Op", {.chrome = true, .apple = true}});
+  CertificateAuthority ca(commercial_profile(), 3);
+  ca.attach_ct(&logs);
+
+  IssuanceRequest request;
+  request.domains = {"ct.foo.com"};
+  request.subscriber_key = crypto::KeyPair::derive("s", crypto::KeyAlgorithm::kEcdsaP256);
+  request.date = Date::parse("2022-01-01");
+  const auto cert = ca.issue_unchecked(request);
+
+  EXPECT_EQ(cert.extensions().sct_log_ids, (std::vector<std::uint64_t>{11}));
+  EXPECT_EQ(logs.total_entries(), 2u);  // precert + final
+  const auto corpus = logs.collect();
+  ASSERT_EQ(corpus.size(), 1u);        // deduplicated
+  EXPECT_FALSE(corpus[0].is_precertificate());
+}
+
+TEST(AuthorityTest, RevocationAndCrl) {
+  CertificateAuthority ca(commercial_profile(), 3);
+  IssuanceRequest request;
+  request.domains = {"r.foo.com"};
+  request.subscriber_key = crypto::KeyPair::derive("s", crypto::KeyAlgorithm::kEcdsaP256);
+  request.date = Date::parse("2022-01-01");
+  const auto cert = ca.issue_unchecked(request);
+
+  EXPECT_FALSE(ca.is_revoked(cert));
+  ca.revoke(cert, Date::parse("2022-02-01"), revocation::ReasonCode::kKeyCompromise);
+  EXPECT_TRUE(ca.is_revoked(cert));
+  ca.revoke(cert, Date::parse("2022-03-01"), revocation::ReasonCode::kSuperseded);
+  EXPECT_EQ(ca.revoked_count(), 1u);  // idempotent
+
+  // CRL before the revocation date is empty; after, it contains the entry.
+  EXPECT_EQ(ca.crl_at(Date::parse("2022-01-15")).size(), 0u);
+  const auto crl = ca.crl_at(Date::parse("2022-02-15"));
+  ASSERT_EQ(crl.size(), 1u);
+  const auto* entry = crl.find(cert.serial());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->reason, revocation::ReasonCode::kKeyCompromise);
+  EXPECT_EQ(crl.authority_key_id(), ca.issuing_key().key_id());
+}
+
+}  // namespace
+}  // namespace stalecert::ca

@@ -1,0 +1,138 @@
+#include "stalecert/ca/dv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace stalecert::ca {
+namespace {
+
+using util::Date;
+
+/// Fake environment: explicit (domain -> controlling actor) maps.
+class FakeEnv : public ValidationEnvironment {
+ public:
+  std::map<std::string, ActorId> dns;
+  std::map<std::string, ActorId> web;
+
+  bool controls_dns(const std::string& domain, ActorId actor) const override {
+    const auto it = dns.find(domain);
+    return it != dns.end() && it->second == actor;
+  }
+  bool controls_web(const std::string& domain, ActorId actor) const override {
+    const auto it = web.find(domain);
+    return it != web.end() && it->second == actor;
+  }
+};
+
+TEST(DvValidatorTest, ChallengeTypeSelectsControlPredicate) {
+  FakeEnv env;
+  env.dns["foo.com"] = 1;
+  env.web["foo.com"] = 2;
+  // Reuse disabled so each call exercises its control predicate afresh.
+  DvValidator validator(99, {.allow_reuse = false});
+
+  EXPECT_TRUE(validator
+                  .validate(env, "foo.com", 1, ChallengeType::kDns01,
+                            Date::parse("2022-01-01"))
+                  .ok);
+  EXPECT_FALSE(validator
+                   .validate(env, "foo.com", 1, ChallengeType::kHttp01,
+                             Date::parse("2022-01-01"))
+                   .ok);
+  EXPECT_TRUE(validator
+                  .validate(env, "foo.com", 2, ChallengeType::kHttp01,
+                            Date::parse("2022-01-01"))
+                  .ok);
+  EXPECT_TRUE(validator
+                  .validate(env, "foo.com", 2, ChallengeType::kTlsAlpn01,
+                            Date::parse("2022-01-01"))
+                  .ok);
+  EXPECT_TRUE(validator
+                  .validate(env, "foo.com", 1, ChallengeType::kEmail,
+                            Date::parse("2022-01-01"))
+                  .ok);
+}
+
+TEST(DvValidatorTest, ReuseWithinWindow) {
+  FakeEnv env;
+  env.web["foo.com"] = 1;
+  DvValidator validator(99);
+
+  const auto first = validator.validate(env, "foo.com", 1, ChallengeType::kHttp01,
+                                        Date::parse("2022-01-01"));
+  EXPECT_TRUE(first.ok);
+  EXPECT_FALSE(first.reused);
+
+  // Control is LOST — but the cached validation still passes (the paper's
+  // "domain validation reuse" staleness-at-issuance hazard).
+  env.web.clear();
+  const auto second = validator.validate(env, "foo.com", 1, ChallengeType::kHttp01,
+                                         Date::parse("2022-06-01"));
+  EXPECT_TRUE(second.ok);
+  EXPECT_TRUE(second.reused);
+  EXPECT_EQ(validator.fresh_validations(), 1u);
+  EXPECT_EQ(validator.reused_validations(), 1u);
+}
+
+TEST(DvValidatorTest, ReuseExpiresAfterWindow) {
+  FakeEnv env;
+  env.web["foo.com"] = 1;
+  DvValidator validator(99);
+  validator.validate(env, "foo.com", 1, ChallengeType::kHttp01,
+                     Date::parse("2020-01-01"));
+  env.web.clear();
+  const auto late = validator.validate(env, "foo.com", 1, ChallengeType::kHttp01,
+                                       Date::parse("2020-01-01") + 399);
+  EXPECT_FALSE(late.ok);
+}
+
+TEST(DvValidatorTest, ReuseIsPerAccount) {
+  FakeEnv env;
+  env.web["foo.com"] = 1;
+  DvValidator validator(99);
+  validator.validate(env, "foo.com", 1, ChallengeType::kHttp01,
+                     Date::parse("2022-01-01"));
+  // A different account cannot ride the cache.
+  const auto other = validator.validate(env, "foo.com", 2, ChallengeType::kHttp01,
+                                        Date::parse("2022-01-02"));
+  EXPECT_FALSE(other.ok);
+}
+
+TEST(DvValidatorTest, ReuseCanBeDisabled) {
+  FakeEnv env;
+  env.web["foo.com"] = 1;
+  DvValidator validator(99, {.allow_reuse = false});
+  validator.validate(env, "foo.com", 1, ChallengeType::kHttp01,
+                     Date::parse("2022-01-01"));
+  env.web.clear();
+  EXPECT_FALSE(validator
+                   .validate(env, "foo.com", 1, ChallengeType::kHttp01,
+                             Date::parse("2022-01-02"))
+                   .ok);
+}
+
+TEST(DvValidatorTest, NoncesAreUnique) {
+  FakeEnv env;
+  env.web["foo.com"] = 1;
+  DvValidator validator(99, {.allow_reuse = false});
+  std::set<std::uint64_t> nonces;
+  for (int i = 0; i < 50; ++i) {
+    const auto result = validator.validate(env, "foo.com", 1,
+                                           ChallengeType::kHttp01,
+                                           Date::parse("2022-01-01") + i);
+    nonces.insert(result.nonce);
+  }
+  EXPECT_EQ(nonces.size(), 50u);
+}
+
+TEST(ChallengeTypeTest, Names) {
+  EXPECT_EQ(to_string(ChallengeType::kHttp01), "http-01");
+  EXPECT_EQ(to_string(ChallengeType::kDns01), "dns-01");
+  EXPECT_EQ(to_string(ChallengeType::kTlsAlpn01), "tls-alpn-01");
+  EXPECT_EQ(to_string(ChallengeType::kEmail), "email");
+}
+
+}  // namespace
+}  // namespace stalecert::ca

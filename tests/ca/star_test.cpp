@@ -1,0 +1,128 @@
+#include "stalecert/ca/star.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::ca {
+namespace {
+
+using util::Date;
+
+class StarFixture : public ::testing::Test {
+ protected:
+  StarFixture()
+      : ca_({.name = "STAR CA", .organization = "STAR", .default_days = 90,
+             .automated = true},
+            5) {}
+
+  StarIssuer make_issuer(StarIssuer::Options options = {}) {
+    return StarIssuer(&ca_, {"star.example.com"},
+                      crypto::KeyPair::derive("star", crypto::KeyAlgorithm::kEcdsaP256),
+                      1, Date::parse("2022-01-01"), options);
+  }
+
+  CertificateAuthority ca_;
+};
+
+TEST_F(StarFixture, RollingIssuanceOnCadence) {
+  auto issuer = make_issuer({.cert_lifetime_days = 7, .renewal_interval_days = 3});
+  const auto first_batch = issuer.advance_to(Date::parse("2022-01-10"));
+  // Issues at day 0, 3, 6, 9 -> 4 certificates.
+  EXPECT_EQ(first_batch.size(), 4u);
+  for (const auto& cert : first_batch) {
+    EXPECT_EQ(cert.lifetime_days(), 7);
+  }
+  // Consecutive certificates overlap: rollover never leaves a gap.
+  for (std::size_t i = 1; i < first_batch.size(); ++i) {
+    EXPECT_LT(first_batch[i].not_before(), first_batch[i - 1].not_after());
+  }
+  // Advancing again issues only the increment.
+  EXPECT_EQ(issuer.advance_to(Date::parse("2022-01-13")).size(), 1u);
+}
+
+TEST_F(StarFixture, CurrentPicksTheFreshest) {
+  auto issuer = make_issuer({.cert_lifetime_days = 7, .renewal_interval_days = 3});
+  issuer.advance_to(Date::parse("2022-01-10"));
+  const auto current = issuer.current(Date::parse("2022-01-10"));
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(current->not_before(), Date::parse("2022-01-10"));  // day-9 cert
+  EXPECT_TRUE(current->valid_at(Date::parse("2022-01-10")));
+  // Before the order started: nothing.
+  EXPECT_FALSE(issuer.current(Date::parse("2021-12-01")).has_value());
+}
+
+TEST_F(StarFixture, TerminationBoundsResidualExposure) {
+  auto issuer = make_issuer({.cert_lifetime_days = 7, .renewal_interval_days = 3});
+  issuer.advance_to(Date::parse("2022-02-01"));
+  const std::size_t issued_before = issuer.issued().size();
+
+  // Subscriber departs (e.g. leaves the managed host) and terminates.
+  issuer.terminate(Date::parse("2022-02-01"));
+  EXPECT_TRUE(issuer.advance_to(Date::parse("2022-06-01")).empty());
+  EXPECT_EQ(issuer.issued().size(), issued_before);
+
+  // Residual exposure: at most one cert lifetime (7 days), vs 398 for a
+  // classic certificate. That's the STAR argument.
+  const auto last = issuer.current(Date::parse("2022-02-01"));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_LE(last->not_after() - Date::parse("2022-02-01"), 7);
+  EXPECT_FALSE(issuer.current(Date::parse("2022-02-20")).has_value());
+}
+
+TEST_F(StarFixture, OrderExpiryStopsUnattendedIssuance) {
+  auto issuer = make_issuer({.cert_lifetime_days = 7,
+                             .renewal_interval_days = 7,
+                             .order_lifetime_days = 30});
+  const auto issued = issuer.advance_to(Date::parse("2023-01-01"));
+  // Issues at days 0, 7, 14, 21, 28 only — the order expires at day 30,
+  // bounding how long a forgotten automation can keep extending the
+  // name-to-key binding (the §7.1 hazard, mitigated).
+  EXPECT_EQ(issued.size(), 5u);
+  EXPECT_LT(issued.back().not_after(), Date::parse("2022-03-01"));
+}
+
+TEST_F(StarFixture, ParameterValidation) {
+  EXPECT_THROW(make_issuer({.cert_lifetime_days = 7, .renewal_interval_days = 0}),
+               stalecert::LogicError);
+  EXPECT_THROW(make_issuer({.cert_lifetime_days = 7, .renewal_interval_days = 8}),
+               stalecert::LogicError);
+  EXPECT_THROW(StarIssuer(nullptr, {"x.com"},
+                          crypto::KeyPair::derive("k", crypto::KeyAlgorithm::kEcdsaP256),
+                          1, Date::parse("2022-01-01"), {}),
+               stalecert::LogicError);
+  EXPECT_THROW(StarIssuer(&ca_, {},
+                          crypto::KeyPair::derive("k", crypto::KeyAlgorithm::kEcdsaP256),
+                          1, Date::parse("2022-01-01"), {}),
+               stalecert::LogicError);
+}
+
+TEST_F(StarFixture, StaleExposureComparedToClassicCert) {
+  // A registrant change at day 40: classic 365-day cert stays stale for
+  // 325 days; the STAR series' last certificate dies within a week.
+  auto issuer = make_issuer({.cert_lifetime_days = 7, .renewal_interval_days = 3});
+  issuer.advance_to(Date::parse("2022-02-09"));  // day 39
+  issuer.terminate(Date::parse("2022-02-10"));   // owner stops at change
+
+  IssuanceRequest classic;
+  classic.domains = {"star.example.com"};
+  classic.subscriber_key =
+      crypto::KeyPair::derive("classic", crypto::KeyAlgorithm::kEcdsaP256);
+  classic.date = Date::parse("2022-01-01");
+  classic.requested_days = 365;
+  const auto classic_cert = ca_.issue_unchecked(classic);
+
+  const Date change = Date::parse("2022-02-10");
+  const std::int64_t classic_staleness = classic_cert.not_after() - change;
+  std::int64_t star_staleness = 0;
+  for (const auto& cert : issuer.issued()) {
+    if (cert.valid_at(change)) {
+      star_staleness = std::max(star_staleness, cert.not_after() - change);
+    }
+  }
+  EXPECT_GT(classic_staleness, 300);
+  EXPECT_LE(star_staleness, 7);
+}
+
+}  // namespace
+}  // namespace stalecert::ca

@@ -1,0 +1,208 @@
+#include "stalecert/cdn/provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::cdn {
+namespace {
+
+using util::Date;
+
+class ProviderFixture : public ::testing::Test {
+ protected:
+  ProviderFixture()
+      : pack_ca_({.name = "COMODO ECC DV Secure Server CA 2",
+                  .organization = "COMODO",
+                  .default_days = 365},
+                 1),
+        direct_ca_({.name = "CloudFlare ECC CA-2",
+                    .organization = "Cloudflare",
+                    .default_days = 365},
+                   2) {}
+
+  ManagedTlsProvider make_provider(std::size_t capacity = 3,
+                                   std::optional<Date> switch_date = std::nullopt) {
+    ProviderConfig config;
+    config.name = "Cloudflare";
+    config.ns_suffix = "ns.cloudflare.com";
+    config.cname_suffix = "cdn.cloudflare.com";
+    config.managed_san_pattern = "sni*.cloudflaressl.com";
+    config.cruiseliner_capacity = capacity;
+    config.per_domain_switch = switch_date;
+    config.actor = 999;
+    return ManagedTlsProvider(config, &pack_ca_, &direct_ca_, &dns_, 7);
+  }
+
+  ca::CertificateAuthority pack_ca_;
+  ca::CertificateAuthority direct_ca_;
+  dns::DnsDatabase dns_;
+};
+
+TEST_F(ProviderFixture, EnrollSetsDelegationAndIssuesCruiseliner) {
+  auto provider = make_provider();
+  const auto issued =
+      provider.enroll("cust1.com", DelegationKind::kCname, Date::parse("2018-03-01"));
+  ASSERT_EQ(issued.size(), 1u);
+  const auto& cert = issued[0];
+
+  // SAN carries the sni marker plus customer domain + wildcard.
+  const auto names = cert.dns_names();
+  EXPECT_TRUE(std::any_of(names.begin(), names.end(), [](const auto& n) {
+    return util::wildcard_match("sni*.cloudflaressl.com", n);
+  }));
+  EXPECT_TRUE(cert.matches_domain("cust1.com"));
+  EXPECT_TRUE(cert.matches_domain("www.cust1.com"));
+  EXPECT_EQ(cert.issuer().common_name, "COMODO ECC DV Secure Server CA 2");
+
+  // Delegation visible in DNS.
+  const auto records = dns_.resolve("cust1.com");
+  EXPECT_TRUE(records.delegates_to("*.cdn.cloudflare.com"));
+  EXPECT_TRUE(provider.is_enrolled("cust1.com"));
+  EXPECT_TRUE(provider.holds_key(cert));
+}
+
+TEST_F(ProviderFixture, NsDelegationUsesProviderNameservers) {
+  auto provider = make_provider();
+  provider.enroll("cust2.com", DelegationKind::kNs, Date::parse("2018-03-01"));
+  const auto records = dns_.resolve("cust2.com");
+  EXPECT_TRUE(records.delegates_to("*.ns.cloudflare.com"));
+  EXPECT_TRUE(records.cname.empty());
+}
+
+TEST_F(ProviderFixture, CruiselinerPacksUpToCapacity) {
+  auto provider = make_provider(3);
+  provider.enroll("a.com", DelegationKind::kCname, Date::parse("2018-01-01"));
+  provider.enroll("b.com", DelegationKind::kCname, Date::parse("2018-01-02"));
+  const auto third =
+      provider.enroll("c.com", DelegationKind::kCname, Date::parse("2018-01-03"));
+  // Three customers share one shell: the third issuance covers all three.
+  EXPECT_TRUE(third[0].matches_domain("a.com"));
+  EXPECT_TRUE(third[0].matches_domain("b.com"));
+  EXPECT_TRUE(third[0].matches_domain("c.com"));
+
+  // Capacity exceeded -> a second shell with a different key.
+  const auto fourth =
+      provider.enroll("d.com", DelegationKind::kCname, Date::parse("2018-01-04"));
+  EXPECT_FALSE(fourth[0].matches_domain("a.com"));
+  EXPECT_FALSE(fourth[0].subject_key() == third[0].subject_key());
+}
+
+TEST_F(ProviderFixture, DepartureReissuesWithoutDomainButKeepsKeys) {
+  auto provider = make_provider(3);
+  provider.enroll("a.com", DelegationKind::kCname, Date::parse("2018-01-01"));
+  const auto before =
+      provider.enroll("b.com", DelegationKind::kCname, Date::parse("2018-01-02"));
+  ASSERT_TRUE(before[0].matches_domain("a.com"));
+
+  const auto after = provider.depart("a.com", Date::parse("2018-06-01"));
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_FALSE(after[0].matches_domain("a.com"));
+  EXPECT_TRUE(after[0].matches_domain("b.com"));
+  EXPECT_FALSE(provider.is_enrolled("a.com"));
+
+  // DNS now points at new infrastructure.
+  EXPECT_FALSE(dns_.resolve("a.com").delegates_to("*.cdn.cloudflare.com"));
+  // The provider still holds the key of the OLD certificate covering a.com.
+  EXPECT_TRUE(provider.holds_key(before[0]));
+  // Enrollment history records the span.
+  const auto& history = provider.enrollment_history();
+  const auto it = std::find_if(history.begin(), history.end(),
+                               [](const auto& e) { return e.domain == "a.com"; });
+  ASSERT_NE(it, history.end());
+  EXPECT_EQ(it->start, Date::parse("2018-01-01"));
+  EXPECT_EQ(it->end, Date::parse("2018-06-01"));
+}
+
+TEST_F(ProviderFixture, DepartUnknownThrows) {
+  auto provider = make_provider();
+  EXPECT_THROW(provider.depart("never.com", Date::parse("2020-01-01")),
+               stalecert::LogicError);
+}
+
+TEST_F(ProviderFixture, DoubleEnrollThrows) {
+  auto provider = make_provider();
+  provider.enroll("a.com", DelegationKind::kCname, Date::parse("2020-01-01"));
+  EXPECT_THROW(provider.enroll("a.com", DelegationKind::kNs, Date::parse("2020-02-01")),
+               stalecert::LogicError);
+}
+
+TEST_F(ProviderFixture, PerDomainModeAfterSwitch) {
+  auto provider = make_provider(3, Date::parse("2019-07-01"));
+  const auto before =
+      provider.enroll("old.com", DelegationKind::kCname, Date::parse("2019-01-01"));
+  EXPECT_EQ(before[0].issuer().common_name, "COMODO ECC DV Secure Server CA 2");
+
+  const auto after =
+      provider.enroll("new.com", DelegationKind::kCname, Date::parse("2019-08-01"));
+  EXPECT_EQ(after[0].issuer().common_name, "CloudFlare ECC CA-2");
+  EXPECT_TRUE(after[0].matches_domain("new.com"));
+  EXPECT_FALSE(after[0].matches_domain("old.com"));  // no packing
+}
+
+TEST_F(ProviderFixture, RenewExpiringReissues) {
+  auto provider = make_provider(3);
+  const auto issued =
+      provider.enroll("a.com", DelegationKind::kCname, Date::parse("2018-01-01"));
+  const Date expiry = issued[0].not_after();
+  EXPECT_TRUE(provider.renew_expiring(expiry - 60, 30).empty());
+  const auto renewed = provider.renew_expiring(expiry - 10, 30);
+  ASSERT_EQ(renewed.size(), 1u);
+  EXPECT_GT(renewed[0].not_after(), expiry);
+}
+
+TEST_F(ProviderFixture, CustodyLedgerGrowsMonotonically) {
+  auto provider = make_provider(2);
+  provider.enroll("a.com", DelegationKind::kCname, Date::parse("2018-01-01"));
+  const std::size_t after_one = provider.custody_ledger().size();
+  provider.enroll("b.com", DelegationKind::kCname, Date::parse("2018-01-02"));
+  const std::size_t after_two = provider.custody_ledger().size();
+  EXPECT_GT(after_two, after_one);
+  provider.depart("a.com", Date::parse("2018-02-01"));
+  EXPECT_GE(provider.custody_ledger().size(), after_two);  // never shrinks
+}
+
+TEST_F(ProviderFixture, AssignedNameserversAreDeterministic) {
+  auto provider = make_provider();
+  const auto a = provider.assigned_nameservers("x.com");
+  const auto b = provider.assigned_nameservers("x.com");
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_TRUE(util::wildcard_match("*.ns.cloudflare.com", a[0]));
+}
+
+TEST_F(ProviderFixture, KeylessSslRetainsNoKeys) {
+  ProviderConfig config;
+  config.name = "Cloudflare";
+  config.ns_suffix = "ns.cloudflare.com";
+  config.cname_suffix = "cdn.cloudflare.com";
+  config.managed_san_pattern = "sni*.cloudflaressl.com";
+  config.cruiseliner_capacity = 4;
+  config.actor = 999;
+  config.keyless_ssl = true;
+  ManagedTlsProvider provider(config, &pack_ca_, &direct_ca_, &dns_, 7);
+
+  const auto issued =
+      provider.enroll("k.com", DelegationKind::kCname, Date::parse("2022-01-01"));
+  ASSERT_EQ(issued.size(), 1u);
+  // Certificates exist and still carry the managed SAN marker (so a
+  // CT-based detector still flags departures)...
+  EXPECT_TRUE(issued[0].matches_domain("k.com"));
+  // ...but the provider never holds the private key.
+  EXPECT_TRUE(provider.custody_ledger().empty());
+  EXPECT_FALSE(provider.holds_key(issued[0]));
+
+  provider.depart("k.com", Date::parse("2022-06-01"));
+  EXPECT_TRUE(provider.custody_ledger().empty());
+}
+
+TEST(DelegationKindTest, Names) {
+  EXPECT_EQ(to_string(DelegationKind::kCname), "CNAME");
+  EXPECT_EQ(to_string(DelegationKind::kNs), "NS");
+}
+
+}  // namespace
+}  // namespace stalecert::cdn

@@ -1,0 +1,174 @@
+#include "stalecert/core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::core {
+namespace {
+
+using util::Date;
+
+x509::Certificate make_cert(std::vector<std::string> sans, std::uint64_t serial,
+                            const char* nb, const char* na,
+                            const char* issuer_cn = "Issuer A",
+                            const char* issuer_org = "Org A") {
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .issuer({issuer_cn, issuer_org, "US"})
+      .subject_cn(sans.front())
+      .validity(Date::parse(nb), Date::parse(na))
+      .key(crypto::KeyPair::derive("k" + std::to_string(serial),
+                                   crypto::KeyAlgorithm::kEcdsaP256))
+      .dns_names(sans)
+      .build();
+}
+
+StaleCertificate stale_record(std::size_t index, StaleClass cls, const char* event,
+                              const char* expiry, const std::string& trigger) {
+  StaleCertificate record;
+  record.corpus_index = index;
+  record.cls = cls;
+  record.event_date = Date::parse(event);
+  record.staleness = util::DateInterval{Date::parse(event), Date::parse(expiry)};
+  record.trigger_domain = trigger;
+  return record;
+}
+
+class AnalyzerFixture : public ::testing::Test {
+ protected:
+  AnalyzerFixture()
+      : corpus_({
+            make_cert({"a.com", "www.a.com"}, 1, "2022-01-01", "2022-12-01"),
+            make_cert({"b.com"}, 2, "2022-02-01", "2022-11-01", "Issuer B", "Org B"),
+            make_cert({"c.com", "other.net"}, 3, "2022-03-01", "2022-10-01"),
+        }) {}
+
+  CertificateCorpus corpus_;
+};
+
+TEST_F(AnalyzerFixture, SummaryCountsCertsFqdnsE2lds) {
+  std::vector<StaleCertificate> stale = {
+      stale_record(0, StaleClass::kRegistrantChange, "2022-06-01", "2022-12-01",
+                   "a.com"),
+      stale_record(1, StaleClass::kRegistrantChange, "2022-06-10", "2022-11-01",
+                   "b.com"),
+      stale_record(2, StaleClass::kRegistrantChange, "2022-06-20", "2022-10-01",
+                   "c.com"),
+  };
+  StalenessAnalyzer analyzer(corpus_, stale);
+  const StaleSummary summary =
+      analyzer.summarize(Date::parse("2022-06-01"), Date::parse("2022-06-30"));
+  EXPECT_EQ(summary.stale_certs, 3u);
+  // a.com + www.a.com + b.com + c.com (other.net excluded: different e2LD).
+  EXPECT_EQ(summary.stale_fqdns, 4u);
+  EXPECT_EQ(summary.stale_e2lds, 3u);
+  EXPECT_EQ(summary.window_days, 30);
+  EXPECT_NEAR(summary.daily_certs(), 0.1, 1e-9);
+}
+
+TEST_F(AnalyzerFixture, SummaryWindowFiltersByEventDate) {
+  std::vector<StaleCertificate> stale = {
+      stale_record(0, StaleClass::kKeyCompromise, "2022-06-01", "2022-12-01", "a.com"),
+      stale_record(1, StaleClass::kKeyCompromise, "2022-09-01", "2022-11-01", "b.com"),
+  };
+  StalenessAnalyzer analyzer(corpus_, stale);
+  const StaleSummary summary =
+      analyzer.summarize(Date::parse("2022-05-01"), Date::parse("2022-07-01"));
+  EXPECT_EQ(summary.stale_certs, 1u);
+}
+
+TEST_F(AnalyzerFixture, KeyCompromiseCountsAllNamesOnCert) {
+  std::vector<StaleCertificate> stale = {
+      stale_record(2, StaleClass::kKeyCompromise, "2022-06-01", "2022-10-01",
+                   "c.com"),
+  };
+  StalenessAnalyzer analyzer(corpus_, stale);
+  const auto summary =
+      analyzer.summarize(Date::parse("2022-06-01"), Date::parse("2022-06-02"));
+  EXPECT_EQ(summary.stale_fqdns, 2u);  // c.com AND other.net
+}
+
+TEST_F(AnalyzerFixture, MonthlySeries) {
+  std::vector<StaleCertificate> stale = {
+      stale_record(0, StaleClass::kRegistrantChange, "2022-06-01", "2022-12-01",
+                   "a.com"),
+      stale_record(1, StaleClass::kRegistrantChange, "2022-06-15", "2022-11-01",
+                   "b.com"),
+      stale_record(2, StaleClass::kRegistrantChange, "2022-07-02", "2022-10-01",
+                   "c.com"),
+  };
+  StalenessAnalyzer analyzer(corpus_, stale);
+  const auto monthly = analyzer.monthly_counts();
+  EXPECT_EQ(monthly.at({2022, 6}), 2u);
+  EXPECT_EQ(monthly.at({2022, 7}), 1u);
+  const auto e2lds = analyzer.monthly_e2lds();
+  EXPECT_EQ(e2lds.at({2022, 6}), 2u);
+}
+
+TEST_F(AnalyzerFixture, MonthlyByIssuerLabel) {
+  std::vector<StaleCertificate> stale = {
+      stale_record(0, StaleClass::kRegistrantChange, "2022-06-01", "2022-12-01",
+                   "a.com"),
+      stale_record(1, StaleClass::kRegistrantChange, "2022-06-15", "2022-11-01",
+                   "b.com"),
+  };
+  StalenessAnalyzer analyzer(corpus_, stale);
+  const auto by_cn = analyzer.monthly_by_label(/*use_organization=*/false);
+  EXPECT_EQ(by_cn.at({2022, 6}).count("Issuer A"), 1u);
+  EXPECT_EQ(by_cn.at({2022, 6}).count("Issuer B"), 1u);
+  const auto by_org = analyzer.monthly_by_label(/*use_organization=*/true);
+  EXPECT_EQ(by_org.at({2022, 6}).count("Org B"), 1u);
+}
+
+TEST_F(AnalyzerFixture, StalenessDistributions) {
+  std::vector<StaleCertificate> stale = {
+      stale_record(0, StaleClass::kKeyCompromise, "2022-06-04", "2022-12-01",
+                   "a.com"),  // 180 days
+      stale_record(1, StaleClass::kKeyCompromise, "2022-10-02", "2022-11-01",
+                   "b.com"),  // 30 days
+  };
+  StalenessAnalyzer analyzer(corpus_, stale);
+  const auto dist = analyzer.staleness_distribution();
+  EXPECT_EQ(dist.count(), 2u);
+  EXPECT_DOUBLE_EQ(dist.min(), 30.0);
+  EXPECT_DOUBLE_EQ(dist.max(), 180.0);
+  EXPECT_DOUBLE_EQ(analyzer.total_staleness_days(), 210.0);
+
+  const auto y2022 = analyzer.staleness_distribution_for_year(2022);
+  EXPECT_EQ(y2022.count(), 2u);
+  EXPECT_EQ(analyzer.staleness_distribution_for_year(2021).count(), 0u);
+}
+
+TEST_F(AnalyzerFixture, TimeToInvalidation) {
+  std::vector<StaleCertificate> stale = {
+      // Cert 0 issued 2022-01-01, event 2022-06-01 -> offset 151 days.
+      stale_record(0, StaleClass::kKeyCompromise, "2022-06-01", "2022-12-01",
+                   "a.com"),
+  };
+  StalenessAnalyzer analyzer(corpus_, stale);
+  const auto ttf = analyzer.time_to_invalidation();
+  EXPECT_EQ(ttf.count(), 1u);
+  EXPECT_DOUBLE_EQ(ttf.min(),
+                   static_cast<double>(Date::parse("2022-06-01") -
+                                       Date::parse("2022-01-01")));
+}
+
+TEST_F(AnalyzerFixture, AffectedE2ldsDeduplicated) {
+  std::vector<StaleCertificate> stale = {
+      stale_record(0, StaleClass::kRegistrantChange, "2022-06-01", "2022-12-01",
+                   "a.com"),
+      stale_record(0, StaleClass::kRegistrantChange, "2022-07-01", "2022-12-01",
+                   "a.com"),
+  };
+  StalenessAnalyzer analyzer(corpus_, stale);
+  EXPECT_EQ(analyzer.affected_e2lds(), (std::vector<std::string>{"a.com"}));
+}
+
+TEST_F(AnalyzerFixture, SummarizeRejectsInvertedWindow) {
+  StalenessAnalyzer analyzer(corpus_, {});
+  EXPECT_THROW(
+      (void)analyzer.summarize(Date::parse("2022-06-30"), Date::parse("2022-06-01")),
+      stalecert::LogicError);
+}
+
+}  // namespace
+}  // namespace stalecert::core

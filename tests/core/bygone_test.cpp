@@ -1,0 +1,96 @@
+#include "stalecert/core/bygone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::core {
+namespace {
+
+using util::Date;
+
+x509::Certificate make_cert(std::vector<std::string> sans, std::uint64_t serial,
+                            const char* nb, const char* na) {
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .subject_cn(sans.front())
+      .validity(Date::parse(nb), Date::parse(na))
+      .key(crypto::KeyPair::derive("bk" + std::to_string(serial),
+                                   crypto::KeyAlgorithm::kEcdsaP256))
+      .dns_names(sans)
+      .build();
+}
+
+TEST(BygoneTest, FindsPriorOwnersLiveCertificates) {
+  CertificateCorpus corpus({
+      // Prior owner's cert spanning the acquisition: bygone.
+      make_cert({"sold.com", "www.sold.com"}, 1, "2022-01-01", "2022-12-01"),
+      // Expired before acquisition: harmless.
+      make_cert({"sold.com"}, 2, "2021-01-01", "2021-06-01"),
+      // Issued after acquisition (by the new owner): not bygone.
+      make_cert({"sold.com"}, 3, "2022-08-01", "2023-01-01"),
+      // Unrelated domain.
+      make_cert({"other.com"}, 4, "2022-01-01", "2022-12-01"),
+  });
+
+  const BygoneReport report =
+      check_bygone(corpus, "Sold.COM", Date::parse("2022-06-15"));
+  EXPECT_EQ(report.domain, "sold.com");
+  ASSERT_EQ(report.certificates.size(), 1u);
+  const auto& bygone = report.certificates[0];
+  EXPECT_EQ(bygone.corpus_index, 0u);
+  EXPECT_EQ(bygone.residual_days,
+            Date::parse("2022-12-01") - Date::parse("2022-06-15"));
+  EXPECT_EQ(bygone.covered_names,
+            (std::vector<std::string>{"sold.com", "www.sold.com"}));
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.safe_after(), Date::parse("2022-12-01"));
+}
+
+TEST(BygoneTest, CleanDomain) {
+  CertificateCorpus corpus({make_cert({"other.com"}, 1, "2022-01-01", "2022-12-01")});
+  const BygoneReport report =
+      check_bygone(corpus, "fresh.com", Date::parse("2022-06-15"));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.safe_after(), Date::parse("2022-06-15"));
+}
+
+TEST(BygoneTest, SortedByResidualDescending) {
+  CertificateCorpus corpus({
+      make_cert({"sold.com"}, 1, "2022-01-01", "2022-08-01"),
+      make_cert({"sold.com"}, 2, "2022-02-01", "2023-02-01"),
+      make_cert({"sold.com"}, 3, "2022-03-01", "2022-10-01"),
+  });
+  const BygoneReport report =
+      check_bygone(corpus, "sold.com", Date::parse("2022-06-15"));
+  ASSERT_EQ(report.certificates.size(), 3u);
+  EXPECT_GE(report.certificates[0].residual_days,
+            report.certificates[1].residual_days);
+  EXPECT_GE(report.certificates[1].residual_days,
+            report.certificates[2].residual_days);
+  EXPECT_EQ(report.safe_after(), Date::parse("2023-02-01"));
+}
+
+TEST(BygoneTest, SubdomainCertsOfTheE2ldAreCaught) {
+  // A cruise-liner cert containing a subdomain of the acquired e2LD.
+  CertificateCorpus corpus({
+      make_cert({"sni1.cloudflaressl.com", "shop.sold.com", "*.shop.sold.com"}, 1,
+                "2022-01-01", "2022-12-01"),
+  });
+  const BygoneReport report =
+      check_bygone(corpus, "sold.com", Date::parse("2022-06-15"));
+  ASSERT_EQ(report.certificates.size(), 1u);
+  // Only the acquired domain's names are listed, not the sni marker.
+  for (const auto& name : report.certificates[0].covered_names) {
+    EXPECT_NE(name.find("sold.com"), std::string::npos);
+  }
+}
+
+TEST(BygoneTest, BoundaryDatesExcluded) {
+  CertificateCorpus corpus({make_cert({"sold.com"}, 1, "2022-01-01", "2022-12-01")});
+  // Acquired exactly at notBefore: cert was not issued strictly before.
+  EXPECT_TRUE(check_bygone(corpus, "sold.com", Date::parse("2022-01-01")).clean());
+  // Acquired exactly at notAfter: no residual validity.
+  EXPECT_TRUE(check_bygone(corpus, "sold.com", Date::parse("2022-12-01")).clean());
+}
+
+}  // namespace
+}  // namespace stalecert::core

@@ -1,0 +1,125 @@
+#include "stalecert/core/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::core {
+namespace {
+
+using util::Date;
+
+x509::Certificate make_cert(std::vector<std::string> sans, std::uint64_t serial) {
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .subject_cn(sans.front())
+      .validity(Date::parse("2022-01-01"), Date::parse("2022-12-01"))
+      .key(crypto::KeyPair::derive("k" + std::to_string(serial),
+                                   crypto::KeyAlgorithm::kEcdsaP256))
+      .dns_names(sans)
+      .build();
+}
+
+TEST(StripWildcardTest, Basics) {
+  EXPECT_EQ(strip_wildcard("*.foo.com"), "foo.com");
+  EXPECT_EQ(strip_wildcard("foo.com"), "foo.com");
+  EXPECT_EQ(strip_wildcard("www.*.com"), "www.*.com");  // only leading
+}
+
+TEST(CorpusTest, E2ldIndex) {
+  CertificateCorpus corpus({
+      make_cert({"foo.com", "www.foo.com"}, 1),
+      make_cert({"bar.com"}, 2),
+      make_cert({"api.foo.com"}, 3),
+  });
+  EXPECT_EQ(corpus.size(), 3u);
+  const auto foo_hits = corpus.by_e2ld("foo.com");
+  EXPECT_EQ(foo_hits.size(), 2u);
+  EXPECT_EQ(corpus.by_e2ld("bar.com").size(), 1u);
+  EXPECT_TRUE(corpus.by_e2ld("missing.com").empty());
+}
+
+TEST(CorpusTest, FqdnIndexStripsWildcards) {
+  CertificateCorpus corpus({make_cert({"foo.com", "*.foo.com"}, 1)});
+  EXPECT_EQ(corpus.by_fqdn("foo.com").size(), 1u);
+  EXPECT_TRUE(corpus.by_fqdn("other.com").empty());
+}
+
+TEST(CorpusTest, CertWithManyNamesIndexedOncePerE2ld) {
+  // A cruise-liner-style cert: many names under one e2LD must appear once.
+  CertificateCorpus corpus({
+      make_cert({"a.foo.com", "b.foo.com", "c.foo.com", "foo.com"}, 1),
+  });
+  EXPECT_EQ(corpus.by_e2ld("foo.com").size(), 1u);
+}
+
+TEST(CorpusTest, E2ldsSortedUnique) {
+  CertificateCorpus corpus({
+      make_cert({"z.com"}, 1),
+      make_cert({"a.com"}, 2),
+      make_cert({"www.a.com"}, 3),
+  });
+  EXPECT_EQ(corpus.e2lds(), (std::vector<std::string>{"a.com", "z.com"}));
+}
+
+TEST(CorpusTest, AtRangeChecked) {
+  CertificateCorpus corpus({make_cert({"x.com"}, 1)});
+  EXPECT_NO_THROW((void)corpus.at(0));
+  EXPECT_THROW((void)corpus.at(1), stalecert::LogicError);
+}
+
+TEST(CorpusTest, CaseInsensitiveLookup) {
+  CertificateCorpus corpus({make_cert({"MiXeD.com"}, 1)});
+  EXPECT_EQ(corpus.by_e2ld("mixed.COM").size(), 1u);
+}
+
+x509::Certificate cert_with_validity(std::uint64_t serial, const char* nb,
+                                     const char* na) {
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .subject_cn("over.com")
+      .validity(Date::parse(nb), Date::parse(na))
+      .key(crypto::KeyPair::derive("ok" + std::to_string(serial),
+                                   crypto::KeyAlgorithm::kEcdsaP256))
+      .add_dns_name("over.com")
+      .build();
+}
+
+TEST(CorpusOverlapTest, SweepLineCountsConcurrent) {
+  // Three overlapping + one disjoint certificate for over.com.
+  CertificateCorpus corpus({
+      cert_with_validity(1, "2022-01-01", "2022-06-01"),
+      cert_with_validity(2, "2022-02-01", "2022-07-01"),
+      cert_with_validity(3, "2022-03-01", "2022-04-01"),
+      cert_with_validity(4, "2023-01-01", "2023-02-01"),
+  });
+  const auto stats = corpus.overlap_stats("over.com");
+  EXPECT_EQ(stats.certificates, 4u);
+  EXPECT_EQ(stats.max_concurrent, 3u);
+  EXPECT_EQ(stats.peak_date, Date::parse("2022-03-01"));
+}
+
+TEST(CorpusOverlapTest, TouchingIntervalsDoNotOverlap) {
+  // Half-open validity: one cert ends the day the next begins.
+  CertificateCorpus corpus({
+      cert_with_validity(1, "2022-01-01", "2022-03-01"),
+      cert_with_validity(2, "2022-03-01", "2022-06-01"),
+  });
+  EXPECT_EQ(corpus.overlap_stats("over.com").max_concurrent, 1u);
+}
+
+TEST(CorpusOverlapTest, UnknownDomainIsEmpty) {
+  CertificateCorpus corpus({cert_with_validity(1, "2022-01-01", "2022-03-01")});
+  const auto stats = corpus.overlap_stats("missing.com");
+  EXPECT_EQ(stats.certificates, 0u);
+  EXPECT_EQ(stats.max_concurrent, 0u);
+}
+
+TEST(CorpusTest, EmptyCorpus) {
+  CertificateCorpus corpus;
+  EXPECT_EQ(corpus.size(), 0u);
+  EXPECT_TRUE(corpus.e2lds().empty());
+}
+
+}  // namespace
+}  // namespace stalecert::core

@@ -1,0 +1,316 @@
+#include "stalecert/core/detectors.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::core {
+namespace {
+
+using util::Date;
+
+x509::Certificate make_cert(std::vector<std::string> sans, std::uint64_t serial,
+                            const char* nb, const char* na,
+                            const crypto::Digest* aki = nullptr) {
+  x509::CertificateBuilder builder;
+  builder.serial(serial)
+      .subject_cn(sans.front())
+      .validity(Date::parse(nb), Date::parse(na))
+      .key(crypto::KeyPair::derive("k" + std::to_string(serial),
+                                   crypto::KeyAlgorithm::kEcdsaP256))
+      .dns_names(sans);
+  if (aki) builder.authority_key_id(*aki);
+  return builder.build();
+}
+
+// ---------- Key compromise ----------
+
+TEST(RevocationAnalysisTest, SplitsKeyCompromiseSubset) {
+  const auto aki = crypto::Sha256::hash("issuer");
+  CertificateCorpus corpus({
+      make_cert({"kc.com"}, 1, "2022-01-01", "2022-12-01", &aki),
+      make_cert({"other.com"}, 2, "2022-01-01", "2022-12-01", &aki),
+      make_cert({"clean.com"}, 3, "2022-01-01", "2022-12-01", &aki),
+  });
+  revocation::RevocationStore store;
+  store.add(aki, corpus.at(0).serial(),
+            {Date::parse("2022-06-01"), revocation::ReasonCode::kKeyCompromise});
+  store.add(aki, corpus.at(1).serial(),
+            {Date::parse("2022-07-01"), revocation::ReasonCode::kSuperseded});
+
+  const auto result = analyze_revocations(corpus, store, {});
+  EXPECT_EQ(result.all_revoked.size(), 2u);
+  ASSERT_EQ(result.key_compromise.size(), 1u);
+  const auto& stale = result.key_compromise[0];
+  EXPECT_EQ(stale.cls, StaleClass::kKeyCompromise);
+  EXPECT_EQ(stale.event_date, Date::parse("2022-06-01"));
+  EXPECT_EQ(stale.staleness.end(), Date::parse("2022-12-01"));
+  EXPECT_EQ(stale.trigger_domain, "kc.com");
+  EXPECT_EQ(stale.reason, revocation::ReasonCode::kKeyCompromise);
+  EXPECT_EQ(result.join_stats.kept, 2u);
+}
+
+TEST(RevocationAnalysisTest, FiltersMirrorPaper) {
+  const auto aki = crypto::Sha256::hash("issuer");
+  CertificateCorpus corpus({
+      make_cert({"early.com"}, 1, "2022-01-01", "2022-12-01", &aki),
+      make_cert({"late.com"}, 2, "2022-01-01", "2022-12-01", &aki),
+      make_cert({"precut.com"}, 3, "2022-01-01", "2022-12-01", &aki),
+  });
+  revocation::RevocationStore store;
+  store.add(aki, corpus.at(0).serial(), {Date::parse("2021-06-01"), {}});  // before valid
+  store.add(aki, corpus.at(1).serial(), {Date::parse("2023-06-01"), {}});  // after expiry
+  store.add(aki, corpus.at(2).serial(), {Date::parse("2022-02-01"), {}});  // before cutoff
+
+  revocation::JoinFilters filters;
+  filters.min_revocation_date = Date::parse("2022-03-01");
+  const auto result = analyze_revocations(corpus, store, filters);
+  EXPECT_TRUE(result.all_revoked.empty());
+  EXPECT_EQ(result.join_stats.dropped_before_valid, 1u);
+  EXPECT_EQ(result.join_stats.dropped_after_expiry, 1u);
+  EXPECT_EQ(result.join_stats.dropped_before_cutoff, 1u);
+}
+
+// ---------- Registrant change ----------
+
+TEST(RegistrantChangeTest, ValiditySpanningCreationDateDetected) {
+  CertificateCorpus corpus({
+      make_cert({"sold.com", "www.sold.com"}, 1, "2022-01-01", "2022-12-01"),
+      make_cert({"kept.com"}, 2, "2022-01-01", "2022-12-01"),
+  });
+  std::vector<whois::NewRegistration> events;
+  events.push_back({"sold.com", Date::parse("2022-06-15"),
+                    Date::parse("2019-03-01")});
+
+  const auto stale = detect_registrant_change(corpus, events);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].cls, StaleClass::kRegistrantChange);
+  EXPECT_EQ(stale[0].trigger_domain, "sold.com");
+  EXPECT_EQ(stale[0].event_date, Date::parse("2022-06-15"));
+  EXPECT_EQ(stale[0].staleness_days(),
+            Date::parse("2022-12-01") - Date::parse("2022-06-15"));
+}
+
+TEST(RegistrantChangeTest, StrictBoundaryConditions) {
+  CertificateCorpus corpus({
+      make_cert({"edge.com"}, 1, "2022-01-01", "2022-12-01"),
+  });
+  // notBefore < creation < notAfter must be STRICT on both ends.
+  for (const char* date : {"2022-01-01", "2022-12-01"}) {
+    std::vector<whois::NewRegistration> events;
+    events.push_back({"edge.com", Date::parse(date), Date::parse("2020-01-01")});
+    EXPECT_TRUE(detect_registrant_change(corpus, events).empty()) << date;
+  }
+  std::vector<whois::NewRegistration> inside;
+  inside.push_back({"edge.com", Date::parse("2022-01-02"), Date::parse("2020-01-01")});
+  EXPECT_EQ(detect_registrant_change(corpus, inside).size(), 1u);
+}
+
+TEST(RegistrantChangeTest, FirstSightingsExcludedByDefault) {
+  CertificateCorpus corpus({
+      make_cert({"first.com"}, 1, "2022-01-01", "2022-12-01"),
+  });
+  std::vector<whois::NewRegistration> events;
+  events.push_back({"first.com", Date::parse("2022-06-15"), std::nullopt});
+
+  EXPECT_TRUE(detect_registrant_change(corpus, events).empty());
+  RegistrantChangeOptions loose;
+  loose.require_previous_observation = false;
+  EXPECT_EQ(detect_registrant_change(corpus, events, loose).size(), 1u);
+}
+
+TEST(RegistrantChangeTest, SubdomainCertsCaughtViaE2ld) {
+  CertificateCorpus corpus({
+      make_cert({"api.sold.com"}, 1, "2022-01-01", "2022-12-01"),
+  });
+  std::vector<whois::NewRegistration> events;
+  events.push_back({"sold.com", Date::parse("2022-06-15"), Date::parse("2019-01-01")});
+  EXPECT_EQ(detect_registrant_change(corpus, events).size(), 1u);
+}
+
+// ---------- Managed TLS departure ----------
+
+dns::DailySnapshot snapshot(const char* date,
+                            std::map<std::string, dns::DomainRecords> records) {
+  return {Date::parse(date), std::move(records)};
+}
+
+dns::DomainRecords cf_records() {
+  dns::DomainRecords records;
+  records.ns = {"amy1.ns.cloudflare.com", "bob2.ns.cloudflare.com"};
+  return records;
+}
+
+dns::DomainRecords self_records() {
+  dns::DomainRecords records;
+  records.ns = {"ns1.newhost.example"};
+  records.a = {"203.0.113.1"};
+  return records;
+}
+
+ManagedTlsOptions cf_options() {
+  ManagedTlsOptions options;
+  options.delegation_patterns = {"*.ns.cloudflare.com", "*.cdn.cloudflare.com"};
+  options.managed_san_pattern = "sni*.cloudflaressl.com";
+  return options;
+}
+
+TEST(DepartureDetectionTest, DayOverDayDiff) {
+  dns::SnapshotStore store;
+  store.add(snapshot("2022-08-01", {{"stay.com", cf_records()},
+                                    {"leave.com", cf_records()}}));
+  store.add(snapshot("2022-08-02", {{"stay.com", cf_records()},
+                                    {"leave.com", self_records()}}));
+
+  const auto departures = detect_departures(store, cf_options());
+  ASSERT_EQ(departures.size(), 1u);
+  EXPECT_EQ(departures[0].domain, "leave.com");
+  EXPECT_EQ(departures[0].date, Date::parse("2022-08-02"));
+}
+
+TEST(DepartureDetectionTest, DisappearanceFromSnapshotCounts) {
+  dns::SnapshotStore store;
+  store.add(snapshot("2022-08-01", {{"gone.com", cf_records()}}));
+  store.add(snapshot("2022-08-02", {}));
+  EXPECT_EQ(detect_departures(store, cf_options()).size(), 1u);
+}
+
+TEST(DepartureDetectionTest, NonDelegatedDomainsIgnored) {
+  dns::SnapshotStore store;
+  store.add(snapshot("2022-08-01", {{"independent.com", self_records()}}));
+  store.add(snapshot("2022-08-02", {}));
+  EXPECT_TRUE(detect_departures(store, cf_options()).empty());
+}
+
+TEST(ManagedTlsDepartureTest, OnlyManagedCertsCounted) {
+  CertificateCorpus corpus({
+      // Managed cruise-liner covering leave.com.
+      make_cert({"sni123.cloudflaressl.com", "leave.com", "*.leave.com"}, 1,
+                "2022-01-01", "2022-12-01"),
+      // Customer-uploaded cert for the same domain: NOT managed.
+      make_cert({"leave.com"}, 2, "2022-01-01", "2022-12-01"),
+  });
+  dns::SnapshotStore store;
+  store.add(snapshot("2022-08-01", {{"leave.com", cf_records()}}));
+  store.add(snapshot("2022-08-02", {{"leave.com", self_records()}}));
+
+  const auto stale = detect_managed_tls_departure(corpus, store, cf_options());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].corpus_index, 0u);
+  EXPECT_EQ(stale[0].cls, StaleClass::kManagedTlsDeparture);
+  EXPECT_EQ(stale[0].event_date, Date::parse("2022-08-02"));
+  EXPECT_EQ(stale[0].trigger_domain, "leave.com");
+}
+
+TEST(ManagedTlsDepartureTest, ExpiredManagedCertNotStale) {
+  CertificateCorpus corpus({
+      make_cert({"sni9.cloudflaressl.com", "leave.com"}, 1, "2021-01-01",
+                "2022-01-01"),
+  });
+  dns::SnapshotStore store;
+  store.add(snapshot("2022-08-01", {{"leave.com", cf_records()}}));
+  store.add(snapshot("2022-08-02", {}));
+  EXPECT_TRUE(detect_managed_tls_departure(corpus, store, cf_options()).empty());
+}
+
+TEST(ManagedTlsDepartureTest, ReenrollmentProducesOneEventPerDepartureDay) {
+  CertificateCorpus corpus({
+      make_cert({"sni9.cloudflaressl.com", "flap.com"}, 1, "2022-01-01",
+                "2022-12-01"),
+  });
+  dns::SnapshotStore store;
+  store.add(snapshot("2022-08-01", {{"flap.com", cf_records()}}));
+  store.add(snapshot("2022-08-02", {{"flap.com", self_records()}}));
+  store.add(snapshot("2022-08-03", {{"flap.com", cf_records()}}));
+  store.add(snapshot("2022-08-04", {{"flap.com", self_records()}}));
+
+  // Two departures, but (cert, domain) dedup keeps a single stale record.
+  EXPECT_EQ(detect_departures(store, cf_options()).size(), 2u);
+  EXPECT_EQ(detect_managed_tls_departure(corpus, store, cf_options()).size(), 1u);
+}
+
+// ---------- First-party key rotation ----------
+
+x509::Certificate make_keyed_cert(std::vector<std::string> sans,
+                                  std::uint64_t serial, const char* nb,
+                                  const char* na, const char* key_label) {
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .subject_cn(sans.front())
+      .validity(Date::parse(nb), Date::parse(na))
+      .key(crypto::KeyPair::derive(key_label, crypto::KeyAlgorithm::kEcdsaP256))
+      .dns_names(sans)
+      .build();
+}
+
+TEST(KeyRotationTest, RotationDetectedRenewalIgnored) {
+  CertificateCorpus corpus({
+      // Rotation: new key while the old cert is valid.
+      make_keyed_cert({"rot.com"}, 1, "2022-01-01", "2022-12-01", "key-old"),
+      make_keyed_cert({"rot.com"}, 2, "2022-06-01", "2023-06-01", "key-new"),
+      // Renewal with the SAME key: not an invalidation event.
+      make_keyed_cert({"renew.com"}, 3, "2022-01-01", "2022-12-01", "same-key"),
+      make_keyed_cert({"renew.com"}, 4, "2022-10-01", "2023-10-01", "same-key"),
+  });
+  const auto rotations = detect_key_rotation(corpus);
+  ASSERT_EQ(rotations.size(), 1u);
+  EXPECT_EQ(rotations[0].e2ld, "rot.com");
+  EXPECT_EQ(rotations[0].rotation_date, Date::parse("2022-06-01"));
+  EXPECT_EQ(rotations[0].staleness_days(),
+            Date::parse("2022-12-01") - Date::parse("2022-06-01"));
+  EXPECT_EQ(corpus.at(rotations[0].corpus_index).serial_hex(), "01");
+  EXPECT_EQ(corpus.at(rotations[0].successor_index).serial_hex(), "02");
+}
+
+TEST(KeyRotationTest, DisjointValidityIsNotRotation) {
+  CertificateCorpus corpus({
+      make_keyed_cert({"gap.com"}, 1, "2021-01-01", "2021-06-01", "k1"),
+      make_keyed_cert({"gap.com"}, 2, "2022-01-01", "2022-06-01", "k2"),
+  });
+  EXPECT_TRUE(detect_key_rotation(corpus).empty());
+}
+
+TEST(KeyRotationTest, DifferentNamesUnderSameE2ldNotConfused) {
+  // api.foo.com and web.foo.com have independent certs/keys: no rotation.
+  CertificateCorpus corpus({
+      make_keyed_cert({"api.foo.com"}, 1, "2022-01-01", "2022-12-01", "ka"),
+      make_keyed_cert({"web.foo.com"}, 2, "2022-06-01", "2023-06-01", "kb"),
+  });
+  EXPECT_TRUE(detect_key_rotation(corpus).empty());
+}
+
+TEST(KeyRotationTest, ChainOfRotations) {
+  CertificateCorpus corpus({
+      make_keyed_cert({"chain.com"}, 1, "2022-01-01", "2022-12-01", "k1"),
+      make_keyed_cert({"chain.com"}, 2, "2022-04-01", "2023-04-01", "k2"),
+      make_keyed_cert({"chain.com"}, 3, "2022-08-01", "2023-08-01", "k3"),
+  });
+  // Cert 1 superseded by 2; cert 2 superseded by 3.
+  const auto rotations = detect_key_rotation(corpus);
+  EXPECT_EQ(rotations.size(), 2u);
+}
+
+// Lower-bound (conservativeness) property: every detected record's validity
+// truly spans its event date.
+TEST(DetectorPropertyTest, EveryDetectionIntersectsEvent) {
+  const auto aki = crypto::Sha256::hash("issuer");
+  std::vector<x509::Certificate> certs;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    certs.push_back(make_cert({"d" + std::to_string(i) + ".com"}, i + 1,
+                              "2022-01-01", "2022-12-01", &aki));
+  }
+  CertificateCorpus corpus(std::move(certs));
+  std::vector<whois::NewRegistration> events;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    events.push_back({"d" + std::to_string(i) + ".com",
+                      Date::parse("2021-06-01") + static_cast<std::int64_t>(i * 14),
+                      Date::parse("2019-01-01")});
+  }
+  for (const auto& stale : detect_registrant_change(corpus, events)) {
+    const auto& cert = corpus.at(stale.corpus_index);
+    EXPECT_GT(stale.event_date, cert.not_before());
+    EXPECT_LT(stale.event_date, cert.not_after());
+    EXPECT_GT(stale.staleness_days(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace stalecert::core

@@ -1,0 +1,140 @@
+#include "stalecert/core/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::core {
+namespace {
+
+using util::Date;
+
+x509::Certificate make_cert(std::uint64_t serial, const char* nb, const char* na) {
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .subject_cn("d" + std::to_string(serial) + ".com")
+      .validity(Date::parse(nb), Date::parse(na))
+      .key(crypto::KeyPair::derive("k" + std::to_string(serial),
+                                   crypto::KeyAlgorithm::kEcdsaP256))
+      .add_dns_name("d" + std::to_string(serial) + ".com")
+      .build();
+}
+
+StaleCertificate stale_record(std::size_t index, const char* event,
+                              const CertificateCorpus& corpus) {
+  StaleCertificate record;
+  record.corpus_index = index;
+  record.cls = StaleClass::kRegistrantChange;
+  record.event_date = Date::parse(event);
+  record.staleness =
+      util::DateInterval{record.event_date, corpus.at(index).not_after()};
+  record.trigger_domain = "d" + std::to_string(index) + ".com";
+  return record;
+}
+
+class LifetimeFixture : public ::testing::Test {
+ protected:
+  LifetimeFixture()
+      : corpus_({
+            make_cert(0, "2022-01-01", "2023-01-01"),  // 365-day cert
+            make_cert(1, "2022-01-01", "2022-03-01"),  // 59-day cert
+        }) {}
+  CertificateCorpus corpus_;
+};
+
+TEST_F(LifetimeFixture, CapEliminatesLateEvents) {
+  // Event at day 180 of a 365-day cert: a 90-day cap removes it entirely.
+  const std::vector<StaleCertificate> stale = {
+      stale_record(0, "2022-06-30", corpus_)};
+  const CapResult result = simulate_cap(corpus_, stale, 90);
+  EXPECT_EQ(result.original_count, 1u);
+  EXPECT_EQ(result.surviving_count, 0u);
+  EXPECT_DOUBLE_EQ(result.cert_reduction(), 1.0);
+  EXPECT_DOUBLE_EQ(result.staleness_days_reduction(), 1.0);
+}
+
+TEST_F(LifetimeFixture, CapShortensEarlyEvents) {
+  // Event at day 30: under a 90-day cap the cert is stale for 60 days
+  // instead of 335.
+  const std::vector<StaleCertificate> stale = {
+      stale_record(0, "2022-01-31", corpus_)};
+  const CapResult result = simulate_cap(corpus_, stale, 90);
+  EXPECT_EQ(result.surviving_count, 1u);
+  EXPECT_DOUBLE_EQ(result.original_staleness_days, 335.0);
+  EXPECT_DOUBLE_EQ(result.capped_staleness_days, 60.0);
+  EXPECT_NEAR(result.staleness_days_reduction(), 1.0 - 60.0 / 335.0, 1e-9);
+}
+
+TEST_F(LifetimeFixture, ShortCertsUntouched) {
+  // The 59-day cert is shorter than the 90-day cap: nothing changes.
+  const std::vector<StaleCertificate> stale = {
+      stale_record(1, "2022-02-01", corpus_)};
+  const CapResult result = simulate_cap(corpus_, stale, 90);
+  EXPECT_EQ(result.surviving_count, 1u);
+  EXPECT_DOUBLE_EQ(result.capped_staleness_days, result.original_staleness_days);
+  EXPECT_DOUBLE_EQ(result.staleness_days_reduction(), 0.0);
+}
+
+TEST_F(LifetimeFixture, SweepIsMonotoneInCap) {
+  std::vector<StaleCertificate> stale;
+  for (int day = 10; day < 360; day += 25) {
+    StaleCertificate record = stale_record(0, "2022-01-01", corpus_);
+    record.event_date = Date::parse("2022-01-01") + day;
+    record.staleness =
+        util::DateInterval{record.event_date, corpus_.at(0).not_after()};
+    stale.push_back(record);
+  }
+  const auto results = simulate_caps(corpus_, stale, {45, 90, 215, 398});
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    // Longer caps keep MORE staleness (reduction decreases monotonically).
+    EXPECT_LE(results[i].staleness_days_reduction(),
+              results[i - 1].staleness_days_reduction());
+    EXPECT_GE(results[i].surviving_count, results[i - 1].surviving_count);
+  }
+  for (const auto& result : results) {
+    EXPECT_GE(result.staleness_days_reduction(), 0.0);
+    EXPECT_LE(result.staleness_days_reduction(), 1.0);
+    EXPECT_LE(result.capped_staleness_days, result.original_staleness_days);
+  }
+}
+
+TEST_F(LifetimeFixture, EmptySetIsSafe) {
+  const CapResult result = simulate_cap(corpus_, {}, 90);
+  EXPECT_EQ(result.original_count, 0u);
+  EXPECT_DOUBLE_EQ(result.cert_reduction(), 0.0);
+  EXPECT_DOUBLE_EQ(result.staleness_days_reduction(), 0.0);
+}
+
+TEST_F(LifetimeFixture, SurvivalCurveMonotoneNonIncreasing) {
+  std::vector<StaleCertificate> stale;
+  for (int day = 5; day < 360; day += 18) {
+    StaleCertificate record = stale_record(0, "2022-01-01", corpus_);
+    record.event_date = Date::parse("2022-01-01") + day;
+    record.staleness =
+        util::DateInterval{record.event_date, corpus_.at(0).not_after()};
+    stale.push_back(record);
+  }
+  std::vector<std::int64_t> days;
+  for (std::int64_t n = 0; n <= 400; n += 20) days.push_back(n);
+  const auto curve = survival_curve(corpus_, stale, days);
+  ASSERT_EQ(curve.size(), days.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].surviving_fraction, curve[i - 1].surviving_fraction);
+    EXPECT_GE(curve[i].surviving_fraction, 0.0);
+    EXPECT_LE(curve[i].surviving_fraction, 1.0);
+  }
+  // All events happen within 360 days -> survival at 400 is zero.
+  EXPECT_DOUBLE_EQ(curve.back().surviving_fraction, 0.0);
+}
+
+TEST_F(LifetimeFixture, EliminationUpperBound) {
+  std::vector<StaleCertificate> stale = {
+      stale_record(0, "2022-02-01", corpus_),  // offset 31
+      stale_record(0, "2022-07-01", corpus_),  // offset 181
+  };
+  EXPECT_DOUBLE_EQ(elimination_upper_bound(corpus_, stale, 90), 0.5);
+  EXPECT_DOUBLE_EQ(elimination_upper_bound(corpus_, stale, 10), 1.0);
+  EXPECT_DOUBLE_EQ(elimination_upper_bound(corpus_, stale, 365), 0.0);
+  EXPECT_DOUBLE_EQ(elimination_upper_bound(corpus_, {}, 90), 0.0);
+}
+
+}  // namespace
+}  // namespace stalecert::core

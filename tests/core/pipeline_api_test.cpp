@@ -1,0 +1,130 @@
+#include "stalecert/core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/sim/world.hpp"
+
+namespace stalecert::core {
+namespace {
+
+using util::Date;
+
+class PipelineApiFixture : public ::testing::Test {
+ protected:
+  static sim::World& world() {
+    static sim::World* instance = [] {
+      auto* w = new sim::World(sim::small_test_config());
+      w->run();
+      return w;
+    }();
+    return *instance;
+  }
+
+  static PipelineConfig default_config() {
+    PipelineConfig config;
+    config.delegation_patterns = world().cloudflare_delegation_patterns();
+    config.managed_san_pattern = world().cloudflare_san_pattern();
+    return config;
+  }
+
+  static PipelineResult run(const PipelineConfig& config) {
+    return run_pipeline(world().ct_logs(), world().crl_collection().store(),
+                        world().whois().re_registrations(), world().adns(),
+                        config);
+  }
+};
+
+TEST_F(PipelineApiFixture, OneCallMatchesManualSteps) {
+  const auto result = run(default_config());
+
+  // Manual steps for comparison.
+  CertificateCorpus corpus(world().ct_logs().collect());
+  const auto manual_revocations =
+      analyze_revocations(corpus, world().crl_collection().store(), {});
+  const auto manual_registrant =
+      detect_registrant_change(corpus, world().whois().re_registrations());
+
+  EXPECT_EQ(result.corpus.size(), corpus.size());
+  EXPECT_EQ(result.revocations.all_revoked.size(),
+            manual_revocations.all_revoked.size());
+  EXPECT_EQ(result.registrant_change.size(), manual_registrant.size());
+  EXPECT_GT(result.managed_departure.size(), 0u);
+}
+
+TEST_F(PipelineApiFixture, AllThirdPartyConcatenates) {
+  const auto result = run(default_config());
+  EXPECT_EQ(result.all_third_party().size(),
+            result.revocations.key_compromise.size() +
+                result.registrant_change.size() +
+                result.managed_departure.size());
+  EXPECT_EQ(&result.of(StaleClass::kKeyCompromise),
+            &result.revocations.key_compromise);
+  EXPECT_EQ(&result.of(StaleClass::kRegistrantChange), &result.registrant_change);
+  EXPECT_EQ(&result.of(StaleClass::kManagedTlsDeparture),
+            &result.managed_departure);
+}
+
+TEST_F(PipelineApiFixture, CutoffReducesRevocations) {
+  PipelineConfig with_cutoff = default_config();
+  with_cutoff.revocation_cutoff = Date::parse("2022-06-01");
+  const auto filtered = run(with_cutoff);
+  const auto unfiltered = run(default_config());
+  EXPECT_LE(filtered.revocations.all_revoked.size(),
+            unfiltered.revocations.all_revoked.size());
+  for (const auto& stale : filtered.revocations.all_revoked) {
+    EXPECT_GE(stale.event_date, Date::parse("2022-06-01"));
+  }
+}
+
+TEST_F(PipelineApiFixture, LoosePostureFindsAtLeastAsMuch) {
+  PipelineConfig loose = default_config();
+  loose.require_previous_whois_observation = false;
+  // Loose mode consumes new_registrations (first sightings included).
+  const auto loose_result = run_pipeline(
+      world().ct_logs(), world().crl_collection().store(),
+      world().whois().new_registrations(), world().adns(), loose);
+  const auto conservative = run(default_config());
+  EXPECT_GE(loose_result.registrant_change.size(),
+            conservative.registrant_change.size());
+}
+
+TEST_F(PipelineApiFixture, NoManagedPatternsSkipsDetection) {
+  PipelineConfig config;  // no delegation patterns
+  const auto result = run(config);
+  EXPECT_TRUE(result.managed_departure.empty());
+}
+
+TEST_F(PipelineApiFixture, LowerBoundMissesScenario1Transfers) {
+  // Ground truth: scenario-1 transfers happened in the world...
+  EXPECT_GT(world().stats().domains_transferred, 0u);
+
+  // ...and the registry recorded them without a creation-date reset...
+  std::uint64_t transfers = 0;
+  std::set<std::string> transferred_domains;
+  for (const auto& change : world().registry().ownership_changes()) {
+    if (change.kind == registrar::AcquisitionKind::kTransfer) {
+      ++transfers;
+      transferred_domains.insert(change.domain);
+      EXPECT_FALSE(change.creation_date_reset);
+    }
+  }
+  EXPECT_EQ(transfers, world().stats().domains_transferred);
+
+  // ...so the WHOIS-based detector reports NONE of them unless the same
+  // name was also independently re-registered (§4.4: the measurement is a
+  // lower bound).
+  const auto result = run(default_config());
+  std::set<std::string> rereg_domains;
+  for (const auto& change : world().registry().ownership_changes()) {
+    if (change.creation_date_reset) rereg_domains.insert(change.domain);
+  }
+  for (const auto& stale : result.registrant_change) {
+    const bool via_transfer_only = transferred_domains.contains(stale.trigger_domain) &&
+                                   !rereg_domains.contains(stale.trigger_domain);
+    EXPECT_FALSE(via_transfer_only)
+        << stale.trigger_domain << " detected without a creation-date reset";
+  }
+}
+
+}  // namespace
+}  // namespace stalecert::core

@@ -1,0 +1,68 @@
+#include "stalecert/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/sim/world.hpp"
+
+namespace stalecert::core {
+namespace {
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  static const PipelineResult& result() {
+    static const PipelineResult* instance = [] {
+      auto world = std::make_unique<sim::World>(sim::small_test_config());
+      world->run();
+      PipelineConfig config;
+      config.delegation_patterns = world->cloudflare_delegation_patterns();
+      config.managed_san_pattern = world->cloudflare_san_pattern();
+      auto* r = new PipelineResult(run_pipeline(
+          world->ct_logs(), world->crl_collection().store(),
+          world->whois().re_registrations(), world->adns(), config));
+      return r;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(ReportFixture, ContainsAllSections) {
+  const std::string report = render_markdown_report(result());
+  EXPECT_NE(report.find("# Stale TLS certificate survey"), std::string::npos);
+  EXPECT_NE(report.find("## Corpus"), std::string::npos);
+  EXPECT_NE(report.find("## Revocation join"), std::string::npos);
+  EXPECT_NE(report.find("### key compromise"), std::string::npos);
+  EXPECT_NE(report.find("### domain registrant change"), std::string::npos);
+  EXPECT_NE(report.find("### managed TLS departure"), std::string::npos);
+  EXPECT_NE(report.find("## Combined what-if"), std::string::npos);
+}
+
+TEST_F(ReportFixture, CustomTitleAndCaps) {
+  ReportOptions options;
+  options.title = "Nightly run #42";
+  options.caps = {7};
+  options.survival_days = {30};
+  const std::string report = render_markdown_report(result(), options);
+  EXPECT_NE(report.find("# Nightly run #42"), std::string::npos);
+  EXPECT_NE(report.find("| 7d |"), std::string::npos);
+  EXPECT_EQ(report.find("| 215d |"), std::string::npos);
+}
+
+TEST_F(ReportFixture, CorpusNumbersMatchPipeline) {
+  const std::string report = render_markdown_report(result());
+  EXPECT_NE(report.find("**" + std::to_string(result().corpus.size()) + "**"),
+            std::string::npos);
+  EXPECT_NE(report.find("**" + std::to_string(
+                            result().revocations.key_compromise.size()) +
+                        "**"),
+            std::string::npos);
+}
+
+TEST(ReportEmptyTest, EmptyPipelineRendersCleanly) {
+  PipelineResult empty;
+  const std::string report = render_markdown_report(empty);
+  EXPECT_NE(report.find("_No detections._"), std::string::npos);
+  EXPECT_NE(report.find("unique certificates: **0**"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stalecert::core

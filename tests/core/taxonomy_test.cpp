@@ -1,0 +1,94 @@
+#include "stalecert/core/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::core {
+namespace {
+
+TEST(TaxonomyTest, ThirdPartyEventsEnableImpersonation) {
+  // Table 2: exactly three event kinds hand keys to a third party.
+  for (const auto event :
+       {InvalidationEvent::kDomainOwnershipChange,
+        InvalidationEvent::kKeyOwnershipChange,
+        InvalidationEvent::kManagedTlsDeparture}) {
+    const SecurityImplication impl = classify(event);
+    EXPECT_EQ(impl.party, ControllingParty::kThirdParty) << to_string(event);
+    EXPECT_TRUE(impl.enables_impersonation) << to_string(event);
+  }
+}
+
+TEST(TaxonomyTest, FirstPartyEventsAreBenign) {
+  for (const auto event :
+       {InvalidationEvent::kDomainUseChange, InvalidationEvent::kKeyUseChange,
+        InvalidationEvent::kKeyAuthorizationChange,
+        InvalidationEvent::kRevocationInfoChange}) {
+    const SecurityImplication impl = classify(event);
+    EXPECT_EQ(impl.party, ControllingParty::kFirstParty) << to_string(event);
+    EXPECT_FALSE(impl.enables_impersonation) << to_string(event);
+  }
+}
+
+TEST(TaxonomyTest, CategoryAssignment) {
+  // Table 2 column 2.
+  EXPECT_EQ(category_of(InvalidationEvent::kDomainOwnershipChange),
+            InfoCategory::kSubscriberAuthentication);
+  EXPECT_EQ(category_of(InvalidationEvent::kKeyOwnershipChange),
+            InfoCategory::kSubscriberAuthentication);
+  EXPECT_EQ(category_of(InvalidationEvent::kManagedTlsDeparture),
+            InfoCategory::kSubscriberAuthentication);
+  EXPECT_EQ(category_of(InvalidationEvent::kKeyAuthorizationChange),
+            InfoCategory::kKeyAuthorization);
+  EXPECT_EQ(category_of(InvalidationEvent::kRevocationInfoChange),
+            InfoCategory::kIssuerInformation);
+}
+
+TEST(TaxonomyTest, RelatedFieldsMatchTable1) {
+  const auto sub = related_fields(InfoCategory::kSubscriberAuthentication);
+  EXPECT_NE(std::find(sub.begin(), sub.end(), "SAN"), sub.end());
+  EXPECT_NE(std::find(sub.begin(), sub.end(), "Subject Public Key"), sub.end());
+  const auto meta = related_fields(InfoCategory::kCertificateMetadata);
+  EXPECT_NE(std::find(meta.begin(), meta.end(), "Precert Poison"), meta.end());
+  EXPECT_EQ(related_fields(InfoCategory::kKeyAuthorization).size(), 3u);
+  EXPECT_EQ(related_fields(InfoCategory::kIssuerInformation).size(), 6u);
+}
+
+TEST(TaxonomyTest, StaleClassMapping) {
+  EXPECT_EQ(event_of(StaleClass::kKeyCompromise),
+            InvalidationEvent::kKeyOwnershipChange);
+  EXPECT_EQ(event_of(StaleClass::kRegistrantChange),
+            InvalidationEvent::kDomainOwnershipChange);
+  EXPECT_EQ(event_of(StaleClass::kManagedTlsDeparture),
+            InvalidationEvent::kManagedTlsDeparture);
+  // Every measured stale class is a third-party impersonation hazard.
+  for (const auto cls :
+       {StaleClass::kKeyCompromise, StaleClass::kRegistrantChange,
+        StaleClass::kManagedTlsDeparture}) {
+    EXPECT_TRUE(classify(event_of(cls)).enables_impersonation);
+  }
+}
+
+TEST(TaxonomyTest, ReasonCodeMappingIsLossy) {
+  using revocation::ReasonCode;
+  EXPECT_EQ(event_from_reason(ReasonCode::kKeyCompromise),
+            InvalidationEvent::kKeyOwnershipChange);
+  EXPECT_EQ(event_from_reason(ReasonCode::kSuperseded),
+            InvalidationEvent::kKeyUseChange);
+  EXPECT_EQ(event_from_reason(ReasonCode::kAffiliationChanged),
+            InvalidationEvent::kDomainOwnershipChange);
+  // The ambiguity the paper calls out: cessationOfOperation defaults to the
+  // benign reading even though it may hide a squatted domain.
+  EXPECT_EQ(event_from_reason(ReasonCode::kCessationOfOperation),
+            InvalidationEvent::kDomainUseChange);
+}
+
+TEST(TaxonomyTest, StringsAreHumanReadable) {
+  EXPECT_EQ(to_string(StaleClass::kKeyCompromise), "key compromise");
+  EXPECT_EQ(to_string(StaleClass::kManagedTlsDeparture), "managed TLS departure");
+  EXPECT_EQ(to_string(InfoCategory::kSubscriberAuthentication),
+            "Subscriber authentication");
+  EXPECT_EQ(to_string(InvalidationEvent::kDomainOwnershipChange),
+            "domain ownership change");
+}
+
+}  // namespace
+}  // namespace stalecert::core

@@ -1,0 +1,60 @@
+#include "stalecert/crypto/keypair.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::crypto {
+namespace {
+
+TEST(KeyPairTest, DeriveIsDeterministic) {
+  const KeyPair a = KeyPair::derive("customer-1/key-0", KeyAlgorithm::kEcdsaP256);
+  const KeyPair b = KeyPair::derive("customer-1/key-0", KeyAlgorithm::kEcdsaP256);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fingerprint_hex(), b.fingerprint_hex());
+  EXPECT_EQ(a.id64(), b.id64());
+}
+
+TEST(KeyPairTest, DistinctLabelsYieldDistinctKeys) {
+  const KeyPair a = KeyPair::derive("label-a", KeyAlgorithm::kEcdsaP256);
+  const KeyPair b = KeyPair::derive("label-b", KeyAlgorithm::kEcdsaP256);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(KeyPairTest, AlgorithmAffectsIdentity) {
+  const KeyPair rsa = KeyPair::derive("same", KeyAlgorithm::kRsa2048);
+  const KeyPair ec = KeyPair::derive("same", KeyAlgorithm::kEcdsaP256);
+  EXPECT_FALSE(rsa == ec);
+  EXPECT_EQ(rsa.algorithm(), KeyAlgorithm::kRsa2048);
+  EXPECT_EQ(ec.algorithm(), KeyAlgorithm::kEcdsaP256);
+}
+
+TEST(KeyPairTest, SeedConstructor) {
+  const KeyPair a(42, KeyAlgorithm::kEcdsaP384);
+  const KeyPair b(42, KeyAlgorithm::kEcdsaP384);
+  const KeyPair c(43, KeyAlgorithm::kEcdsaP384);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(KeyPairTest, FromPartsRoundTrip) {
+  const KeyPair original = KeyPair::derive("round", KeyAlgorithm::kEd25519);
+  const KeyPair rebuilt =
+      KeyPair::from_parts(original.spki_fingerprint(), original.algorithm());
+  EXPECT_EQ(original, rebuilt);
+  EXPECT_EQ(rebuilt.algorithm(), KeyAlgorithm::kEd25519);
+}
+
+TEST(KeyPairTest, KeyIdEqualsSpkiFingerprint) {
+  const KeyPair kp = KeyPair::derive("skid", KeyAlgorithm::kEcdsaP256);
+  EXPECT_EQ(kp.key_id(), kp.spki_fingerprint());
+}
+
+TEST(KeyAlgorithmTest, Names) {
+  EXPECT_EQ(to_string(KeyAlgorithm::kRsa2048), "RSA-2048");
+  EXPECT_EQ(to_string(KeyAlgorithm::kRsa4096), "RSA-4096");
+  EXPECT_EQ(to_string(KeyAlgorithm::kEcdsaP256), "ECDSA-P256");
+  EXPECT_EQ(to_string(KeyAlgorithm::kEcdsaP384), "ECDSA-P384");
+  EXPECT_EQ(to_string(KeyAlgorithm::kEd25519), "Ed25519");
+}
+
+}  // namespace
+}  // namespace stalecert::crypto

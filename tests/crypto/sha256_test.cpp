@@ -1,0 +1,113 @@
+#include "stalecert/crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/hex.hpp"
+
+namespace stalecert::crypto {
+namespace {
+
+std::string hex(const Digest& d) { return digest_hex(d); }
+
+// NIST / well-known SHA-256 test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64 bytes: padding must spill into a second block.
+  const std::string block(64, 'x');
+  const Digest once = Sha256::hash(block);
+  Sha256 streaming;
+  streaming.update(block.substr(0, 13));
+  streaming.update(block.substr(13));
+  EXPECT_EQ(once, streaming.finish());
+}
+
+TEST(Sha256Test, StreamingEqualsOneShotForManySplits) {
+  const std::string message =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to exercise "
+      "every buffer boundary in the streaming implementation of SHA-256.";
+  const Digest expected = Sha256::hash(message);
+  for (std::size_t split = 0; split <= message.size(); split += 7) {
+    Sha256 h;
+    h.update(message.substr(0, split));
+    h.update(message.substr(split));
+    EXPECT_EQ(h.finish(), expected) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, FinishTwiceThrows) {
+  Sha256 h;
+  h.update("x");
+  (void)h.finish();
+  EXPECT_THROW((void)h.finish(), stalecert::LogicError);
+  EXPECT_THROW(h.update("y"), stalecert::LogicError);
+  h.reset();
+  EXPECT_NO_THROW(h.update("fresh"));
+}
+
+TEST(Sha256Test, LengthSensitivity) {
+  // Messages of length 55/56/57 straddle the padding boundary.
+  const Digest a = Sha256::hash(std::string(55, 'q'));
+  const Digest b = Sha256::hash(std::string(56, 'q'));
+  const Digest c = Sha256::hash(std::string(57, 'q'));
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  // RFC 4231 test case 2: key "Jefe", data "what do ya want for nothing?".
+  const Digest mac = hmac_sha256("Jefe", "what do ya want for nothing?");
+  EXPECT_EQ(digest_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  const std::string long_key(131, '\xaa');
+  // RFC 4231 test case 6.
+  const Digest mac = hmac_sha256(
+      long_key, "Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(digest_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(DigestPrefixTest, BigEndianPrefix) {
+  Digest d{};
+  d[0] = 0x01;
+  d[7] = 0xff;
+  EXPECT_EQ(digest_prefix64(d), 0x01000000000000ffULL);
+}
+
+TEST(HexRoundTrip, EncodeDecode) {
+  const Digest d = Sha256::hash("round-trip");
+  const std::string encoded = util::hex_encode(d);
+  const auto decoded = util::hex_decode(encoded);
+  ASSERT_EQ(decoded.size(), d.size());
+  EXPECT_TRUE(std::equal(d.begin(), d.end(), decoded.begin()));
+  EXPECT_THROW(util::hex_decode("abc"), stalecert::ParseError);
+  EXPECT_THROW(util::hex_decode("zz"), stalecert::ParseError);
+}
+
+}  // namespace
+}  // namespace stalecert::crypto

@@ -1,0 +1,164 @@
+#include "stalecert/ct/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/ct/logset.hpp"
+#include "stalecert/util/error.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::ct {
+namespace {
+
+using util::Date;
+
+x509::Certificate make_cert(const std::string& domain, const char* nb,
+                            const char* na, bool precert = false,
+                            std::uint64_t serial = 1) {
+  x509::CertificateBuilder builder;
+  builder.serial(serial)
+      .subject_cn(domain)
+      .validity(Date::parse(nb), Date::parse(na))
+      .key(crypto::KeyPair::derive(domain + "/key", crypto::KeyAlgorithm::kEcdsaP256))
+      .add_dns_name(domain);
+  if (precert) builder.precert_poison();
+  return builder.build();
+}
+
+TEST(CtLogTest, SubmitReturnsSctAndGrowsTree) {
+  CtLog log(7, "test", "TestOp", {.chrome = true, .apple = false});
+  const auto cert = make_cert("a.example.com", "2022-01-01", "2022-04-01");
+  const auto sct = log.submit(cert, Date::parse("2022-01-01"));
+  ASSERT_TRUE(sct.has_value());
+  EXPECT_EQ(sct->log_id, 7u);
+  EXPECT_EQ(sct->index, 0u);
+  EXPECT_EQ(log.size(), 1u);
+  const auto sct2 = log.submit(make_cert("b.example.com", "2022-01-01", "2022-04-01"),
+                               Date::parse("2022-01-02"));
+  EXPECT_EQ(sct2->index, 1u);
+}
+
+TEST(CtLogTest, TemporalShardRejectsOutOfWindowExpiry) {
+  const util::DateInterval window{Date::parse("2022-01-01"), Date::parse("2023-01-01")};
+  CtLog log(1, "shard2022", "Op", {.chrome = true, .apple = true}, window);
+  EXPECT_TRUE(log.accepts(make_cert("in.example.com", "2022-01-01", "2022-06-01")));
+  EXPECT_FALSE(log.accepts(make_cert("out.example.com", "2022-10-01", "2023-02-01")));
+  EXPECT_FALSE(
+      log.submit(make_cert("out.example.com", "2022-10-01", "2023-02-01"),
+                 Date::parse("2022-10-01"))
+          .has_value());
+}
+
+TEST(CtLogTest, SthAndProofsAreConsistent) {
+  CtLog log(1, "log", "Op", {.chrome = true, .apple = true});
+  for (int i = 0; i < 20; ++i) {
+    log.submit(make_cert("d" + std::to_string(i) + ".example.com", "2022-01-01",
+                         "2022-06-01", false, static_cast<std::uint64_t>(i + 1)),
+               Date::parse("2022-01-01") + i);
+  }
+  const SignedTreeHead old_sth = log.sth_at(12, Date::parse("2022-02-01"));
+  const SignedTreeHead new_sth = log.sth(Date::parse("2022-02-01"));
+  EXPECT_EQ(new_sth.tree_size, 20u);
+  const auto consistency = log.consistency_proof(12, 20);
+  EXPECT_TRUE(verify_consistency(12, 20, old_sth.root_hash, new_sth.root_hash,
+                                 consistency));
+  const auto inclusion = log.inclusion_proof(5, 20);
+  EXPECT_TRUE(verify_inclusion(log.leaf_hash_at(5), 5, 20, inclusion,
+                               new_sth.root_hash));
+}
+
+TEST(CtLogTest, GetEntriesClamps) {
+  CtLog log(1, "log", "Op", {.chrome = true, .apple = true});
+  for (int i = 0; i < 5; ++i) {
+    log.submit(make_cert("e.example.com", "2022-01-01", "2022-06-01", false,
+                         static_cast<std::uint64_t>(i + 1)),
+               Date::parse("2022-01-01"));
+  }
+  EXPECT_EQ(log.get_entries(1, 3).size(), 2u);
+  EXPECT_EQ(log.get_entries(0, 100).size(), 5u);
+  EXPECT_EQ(log.get_entries(7, 9).size(), 0u);
+  EXPECT_THROW(log.get_entries(3, 1), stalecert::LogicError);
+}
+
+TEST(LogSetTest, SubmitFansOutToAcceptingLogs) {
+  LogSet set;
+  set.add_log(CtLog{1, "a", "Op", {.chrome = true, .apple = true}});
+  set.add_log(CtLog{2, "b", "Op", {.chrome = true, .apple = false}});
+  const util::DateInterval window{Date::parse("2030-01-01"), Date::parse("2031-01-01")};
+  set.add_log(CtLog{3, "future-shard", "Op", {.chrome = true, .apple = true}, window});
+
+  const auto scts = set.submit(make_cert("fan.example.com", "2022-01-01", "2022-06-01"),
+                               Date::parse("2022-01-01"));
+  EXPECT_EQ(scts.size(), 2u);  // the 2030 shard rejects
+  EXPECT_EQ(set.total_entries(), 2u);
+}
+
+TEST(LogSetTest, CollectDeduplicatesPrecertAgainstFinal) {
+  LogSet set;
+  set.add_log(CtLog{1, "a", "Op", {.chrome = true, .apple = true}});
+
+  x509::CertificateBuilder builder;
+  builder.serial(42)
+      .subject_cn("dedup.example.com")
+      .validity(Date::parse("2022-01-01"), Date::parse("2022-06-01"))
+      .key(crypto::KeyPair::derive("dk", crypto::KeyAlgorithm::kEcdsaP256))
+      .add_dns_name("dedup.example.com");
+  x509::CertificateBuilder precert_builder = builder;
+  const auto precert = precert_builder.precert_poison().build();
+  x509::CertificateBuilder final_builder = builder;
+  const auto final_cert = final_builder.sct_log_ids({1}).build();
+
+  set.submit(precert, Date::parse("2022-01-01"));
+  set.submit(final_cert, Date::parse("2022-01-01"));
+
+  CollectStats stats;
+  const auto corpus = set.collect({}, &stats);
+  EXPECT_EQ(stats.raw_entries, 2u);
+  ASSERT_EQ(corpus.size(), 1u);
+  EXPECT_FALSE(corpus[0].is_precertificate());  // final preferred
+}
+
+TEST(LogSetTest, CollectSkipsUntrustedLogs) {
+  LogSet set;
+  set.add_log(CtLog{1, "untrusted", "Op", {.chrome = false, .apple = false}});
+  set.log(0).submit(make_cert("u.example.com", "2022-01-01", "2022-06-01"),
+                    Date::parse("2022-01-01"));
+  EXPECT_TRUE(set.collect().empty());
+  CollectOptions include_all;
+  include_all.chrome_or_apple_only = false;
+  EXPECT_EQ(set.collect(include_all).size(), 1u);
+}
+
+TEST(LogSetTest, CollectDropsAnomalousFqdns) {
+  LogSet set;
+  set.add_log(CtLog{1, "a", "Op", {.chrome = true, .apple = true}});
+  // One FQDN with 5 certificates, another with 1; threshold 4.
+  for (int i = 0; i < 5; ++i) {
+    set.submit(make_cert("flowers-to-the-world.com", "2022-01-01", "2022-06-01",
+                         false, static_cast<std::uint64_t>(i + 1)),
+               Date::parse("2022-01-01"));
+  }
+  set.submit(make_cert("normal.example.com", "2022-01-01", "2022-06-01", false, 99),
+             Date::parse("2022-01-01"));
+
+  CollectOptions options;
+  options.max_certs_per_fqdn = 4;
+  CollectStats stats;
+  const auto corpus = set.collect(options, &stats);
+  ASSERT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(corpus[0].dns_names().front(), "normal.example.com");
+  EXPECT_EQ(stats.dropped_anomalous_fqdns, 1u);
+  EXPECT_EQ(stats.dropped_certificates, 5u);
+}
+
+TEST(LogSetTest, HistoricalEcosystemShape) {
+  const LogSet set = make_historical_log_ecosystem();
+  EXPECT_GT(set.log_count(), 10u);
+  std::size_t sharded = 0;
+  for (const auto& log : set.logs()) {
+    if (log.expiry_shard()) ++sharded;
+  }
+  EXPECT_GE(sharded, 14u);
+}
+
+}  // namespace
+}  // namespace stalecert::ct

@@ -1,0 +1,163 @@
+#include "stalecert/ct/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/hex.hpp"
+
+namespace stalecert::ct {
+namespace {
+
+std::span<const std::uint8_t> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+// RFC 6962 test vectors (section 2.1.1 examples use these leaf inputs).
+const std::vector<std::string> kRfcLeaves = {
+    std::string(""),
+    std::string("\x00", 1),
+    std::string("\x10", 1),
+    std::string("\x20\x21", 2),
+    std::string("\x30\x31", 2),
+    std::string("\x40\x41\x42\x43", 4),
+    std::string("\x50\x51\x52\x53\x54\x55\x56\x57", 8),
+    std::string("\x60\x61\x62\x63\x64\x65\x66\x67\x68\x69\x6a\x6b\x6c\x6d\x6e\x6f",
+                16),
+};
+
+MerkleTree rfc_tree() {
+  MerkleTree tree;
+  for (const auto& leaf : kRfcLeaves) tree.append(bytes(leaf));
+  return tree;
+}
+
+TEST(MerkleTest, EmptyTreeHash) {
+  EXPECT_EQ(util::hex_encode(empty_tree_hash()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  MerkleTree tree;
+  EXPECT_EQ(tree.root(), empty_tree_hash());
+}
+
+TEST(MerkleTest, Rfc6962RootOfOne) {
+  MerkleTree tree;
+  tree.append(bytes(""));
+  EXPECT_EQ(util::hex_encode(tree.root()),
+            "6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d");
+}
+
+TEST(MerkleTest, Rfc6962RootOfEight) {
+  const MerkleTree tree = rfc_tree();
+  EXPECT_EQ(util::hex_encode(tree.root()),
+            "5dc9da79a70659a9ad559cb701ded9a2ab9d823aad2f4960cfe370eff4604328");
+}
+
+TEST(MerkleTest, Rfc6962HistoricalRoots) {
+  const MerkleTree tree = rfc_tree();
+  EXPECT_EQ(util::hex_encode(tree.root_at(2)),
+            "fac54203e7cc696cf0dfcb42c92a1d9dbaf70ad9e621f4bd8d98662f00e3c125");
+  EXPECT_EQ(util::hex_encode(tree.root_at(3)),
+            "aeb6bcfe274b70a14fb067a5e5578264db0fa9b51af5e0ba159158f329e06e77");
+  EXPECT_EQ(util::hex_encode(tree.root_at(6)),
+            "76e67dadbcdf1e10e1b74ddc608abd2f98dfb16fbce75277b5232a127f2087ef");
+}
+
+TEST(MerkleTest, InclusionProofsVerifyForAllIndicesAndSizes) {
+  const MerkleTree tree = rfc_tree();
+  for (std::uint64_t size = 1; size <= tree.size(); ++size) {
+    const Digest root = tree.root_at(size);
+    for (std::uint64_t index = 0; index < size; ++index) {
+      const auto proof = tree.inclusion_proof(index, size);
+      EXPECT_TRUE(verify_inclusion(tree.leaf(index), index, size, proof, root))
+          << "index=" << index << " size=" << size;
+    }
+  }
+}
+
+TEST(MerkleTest, InclusionProofRejectsWrongLeaf) {
+  const MerkleTree tree = rfc_tree();
+  const auto proof = tree.inclusion_proof(3, 8);
+  const Digest wrong = leaf_hash(bytes("not-the-leaf"));
+  EXPECT_FALSE(verify_inclusion(wrong, 3, 8, proof, tree.root()));
+}
+
+TEST(MerkleTest, InclusionProofRejectsWrongIndex) {
+  const MerkleTree tree = rfc_tree();
+  const auto proof = tree.inclusion_proof(3, 8);
+  EXPECT_FALSE(verify_inclusion(tree.leaf(3), 4, 8, proof, tree.root()));
+  EXPECT_FALSE(verify_inclusion(tree.leaf(3), 9, 8, proof, tree.root()));
+}
+
+TEST(MerkleTest, ConsistencyProofsVerifyForAllSizePairs) {
+  const MerkleTree tree = rfc_tree();
+  for (std::uint64_t old_size = 0; old_size <= tree.size(); ++old_size) {
+    for (std::uint64_t new_size = old_size; new_size <= tree.size(); ++new_size) {
+      const auto proof = tree.consistency_proof(old_size, new_size);
+      EXPECT_TRUE(verify_consistency(old_size, new_size, tree.root_at(old_size),
+                                     tree.root_at(new_size), proof))
+          << "old=" << old_size << " new=" << new_size;
+    }
+  }
+}
+
+TEST(MerkleTest, ConsistencyProofRejectsForgedOldRoot) {
+  const MerkleTree tree = rfc_tree();
+  const auto proof = tree.consistency_proof(3, 8);
+  const Digest forged = leaf_hash(bytes("forged"));
+  EXPECT_FALSE(verify_consistency(3, 8, forged, tree.root(), proof));
+}
+
+TEST(MerkleTest, OutOfRangeThrows) {
+  const MerkleTree tree = rfc_tree();
+  EXPECT_THROW((void)tree.root_at(9), stalecert::LogicError);
+  EXPECT_THROW((void)tree.inclusion_proof(8, 8), stalecert::LogicError);
+  EXPECT_THROW((void)tree.inclusion_proof(0, 9), stalecert::LogicError);
+  EXPECT_THROW((void)tree.consistency_proof(5, 3), stalecert::LogicError);
+  EXPECT_THROW((void)tree.leaf(8), stalecert::LogicError);
+}
+
+// Property sweep across larger, irregular tree sizes.
+class MerkleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleProperty, ProofsVerifyAtScale) {
+  const int n = GetParam();
+  MerkleTree tree;
+  for (int i = 0; i < n; ++i) {
+    tree.append(bytes("leaf-" + std::to_string(i)));
+  }
+  const Digest root = tree.root();
+  // Spot-check a spread of indices.
+  for (std::uint64_t index = 0; index < static_cast<std::uint64_t>(n);
+       index += static_cast<std::uint64_t>(1 + n / 7)) {
+    const auto proof = tree.inclusion_proof(index, static_cast<std::uint64_t>(n));
+    EXPECT_TRUE(verify_inclusion(tree.leaf(index), index,
+                                 static_cast<std::uint64_t>(n), proof, root));
+  }
+  // Consistency from several historical sizes.
+  for (const std::uint64_t old_size :
+       {std::uint64_t{1}, static_cast<std::uint64_t>(n / 3),
+        static_cast<std::uint64_t>(n / 2), static_cast<std::uint64_t>(n - 1)}) {
+    if (old_size == 0 || old_size > static_cast<std::uint64_t>(n)) continue;
+    const auto proof =
+        tree.consistency_proof(old_size, static_cast<std::uint64_t>(n));
+    EXPECT_TRUE(verify_consistency(old_size, static_cast<std::uint64_t>(n),
+                                   tree.root_at(old_size), root, proof));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProperty,
+                         ::testing::Values(2, 3, 5, 15, 16, 17, 33, 64, 100, 255));
+
+TEST(MerkleTest, DomainSeparationPreventsSecondPreimage) {
+  // leaf_hash and node_hash of the same bytes must differ (0x00/0x01 prefix).
+  const Digest left = leaf_hash(bytes("a"));
+  const Digest right = leaf_hash(bytes("b"));
+  std::vector<std::uint8_t> concat;
+  concat.insert(concat.end(), left.begin(), left.end());
+  concat.insert(concat.end(), right.begin(), right.end());
+  EXPECT_NE(node_hash(left, right), leaf_hash(concat));
+}
+
+}  // namespace
+}  // namespace stalecert::ct

@@ -1,0 +1,93 @@
+#include "stalecert/ct/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::ct {
+namespace {
+
+using util::Date;
+
+x509::Certificate make_cert(const std::string& domain, std::uint64_t serial) {
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .subject_cn(domain)
+      .validity(Date::parse("2022-01-01"), Date::parse("2022-06-01"))
+      .key(crypto::KeyPair::derive(domain + std::to_string(serial),
+                                   crypto::KeyAlgorithm::kEcdsaP256))
+      .dns_names({domain, "*." + domain})
+      .build();
+}
+
+class MonitorFixture : public ::testing::Test {
+ protected:
+  MonitorFixture() : log_(1, "log", "Op", {.chrome = true, .apple = true}) {}
+
+  void submit(const std::string& domain, std::uint64_t serial) {
+    log_.submit(make_cert(domain, serial), Date::parse("2022-01-01"));
+  }
+
+  CtLog log_;
+};
+
+TEST_F(MonitorFixture, IncrementalSyncVerifiesConsistency) {
+  LogMonitor monitor(&log_, /*batch_size=*/4);
+  for (int i = 0; i < 10; ++i) submit("a" + std::to_string(i) + ".com", 100 + i);
+
+  auto first = monitor.sync(Date::parse("2022-01-02"));
+  EXPECT_EQ(first.new_entries, 10u);
+  EXPECT_FALSE(first.consistency_verified);  // no previous STH yet
+  EXPECT_GT(first.inclusion_checks, 0u);
+  EXPECT_EQ(first.inclusion_failures, 0u);
+  EXPECT_EQ(monitor.verified_size(), 10u);
+
+  for (int i = 0; i < 7; ++i) submit("b" + std::to_string(i) + ".com", 200 + i);
+  auto second = monitor.sync(Date::parse("2022-01-03"));
+  EXPECT_EQ(second.new_entries, 7u);
+  EXPECT_TRUE(second.consistency_verified);
+  EXPECT_EQ(monitor.verified_size(), 17u);
+
+  // Nothing new: no-op sync.
+  auto third = monitor.sync(Date::parse("2022-01-04"));
+  EXPECT_EQ(third.new_entries, 0u);
+}
+
+TEST_F(MonitorFixture, WatchlistMatchesDomainAndSubdomains) {
+  LogMonitor monitor(&log_);
+  monitor.watch("watched.com");
+  submit("other.com", 1);
+  submit("watched.com", 2);
+  submit("api.watched.com", 3);  // subdomain of a watched name
+  submit("notwatched.org", 4);
+
+  const auto result = monitor.sync(Date::parse("2022-01-02"));
+  EXPECT_EQ(result.watch_hits.size(), 2u);
+  EXPECT_EQ(monitor.all_watch_hits().size(), 2u);
+}
+
+TEST_F(MonitorFixture, WildcardSansMatchViaBaseName) {
+  LogMonitor monitor(&log_);
+  monitor.watch("wild.com");
+  // make_cert adds "*.domain"; a cert for exactly the watched base.
+  submit("wild.com", 9);
+  EXPECT_EQ(monitor.sync(Date::parse("2022-01-02")).watch_hits.size(), 1u);
+}
+
+TEST_F(MonitorFixture, ConstructorValidation) {
+  EXPECT_THROW(LogMonitor(nullptr), stalecert::LogicError);
+  EXPECT_THROW(LogMonitor(&log_, 0), stalecert::LogicError);
+}
+
+TEST_F(MonitorFixture, LargeBatchedCatchUp) {
+  LogMonitor monitor(&log_, /*batch_size=*/16);
+  for (int i = 0; i < 100; ++i) submit("bulk" + std::to_string(i) + ".com", 1000 + i);
+  const auto result = monitor.sync(Date::parse("2022-01-02"));
+  EXPECT_EQ(result.new_entries, 100u);
+  // One inclusion spot-check per batch.
+  EXPECT_EQ(result.inclusion_checks, 7u);  // ceil(100/16)
+  EXPECT_EQ(result.inclusion_failures, 0u);
+}
+
+}  // namespace
+}  // namespace stalecert::ct

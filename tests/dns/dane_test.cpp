@@ -1,0 +1,115 @@
+#include "stalecert/dns/dane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::dns {
+namespace {
+
+using util::Date;
+
+x509::Certificate make_cert(const char* key_label, std::uint64_t serial = 1) {
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .subject_cn("dane.example.com")
+      .validity(Date::parse("2022-01-01"), Date::parse("2022-12-31"))
+      .key(crypto::KeyPair::derive(key_label, crypto::KeyAlgorithm::kEcdsaP256))
+      .add_dns_name("dane.example.com")
+      .build();
+}
+
+class TlsaParams
+    : public ::testing::TestWithParam<std::pair<TlsaSelector, TlsaMatching>> {};
+
+TEST_P(TlsaParams, PinMatchesOnlyTheRightCert) {
+  const auto [selector, matching] = GetParam();
+  const auto cert = make_cert("owner-key");
+  const TlsaRecord record =
+      tlsa_for_certificate(cert, TlsaUsage::kDaneEe, selector, matching);
+  EXPECT_TRUE(tlsa_matches(record, cert));
+  // A different key never matches.
+  EXPECT_FALSE(tlsa_matches(record, make_cert("other-key", 2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, TlsaParams,
+    ::testing::Values(
+        std::make_pair(TlsaSelector::kFullCertificate, TlsaMatching::kExact),
+        std::make_pair(TlsaSelector::kFullCertificate, TlsaMatching::kSha256),
+        std::make_pair(TlsaSelector::kSubjectPublicKeyInfo, TlsaMatching::kExact),
+        std::make_pair(TlsaSelector::kSubjectPublicKeyInfo, TlsaMatching::kSha256)));
+
+TEST(TlsaTest, SpkiSelectorSurvivesReissuanceWithSameKey) {
+  // Pinning the SPKI (the common deployment) tolerates certificate renewal
+  // under the same key; pinning the full certificate does not.
+  const auto original = make_cert("stable-key", 1);
+  const auto renewed = make_cert("stable-key", 2);  // new serial, same key
+  const auto spki_pin =
+      tlsa_for_certificate(original, TlsaUsage::kDaneEe,
+                           TlsaSelector::kSubjectPublicKeyInfo, TlsaMatching::kSha256);
+  const auto cert_pin =
+      tlsa_for_certificate(original, TlsaUsage::kDaneEe,
+                           TlsaSelector::kFullCertificate, TlsaMatching::kSha256);
+  EXPECT_TRUE(tlsa_matches(spki_pin, renewed));
+  EXPECT_FALSE(tlsa_matches(cert_pin, renewed));
+}
+
+TEST(DaneRegistryTest, PublicationHistorySemantics) {
+  DaneRegistry registry;
+  const auto cert_a = make_cert("owner-a");
+  const auto cert_b = make_cert("owner-b", 2);
+  const auto pin_a = tlsa_for_certificate(cert_a, TlsaUsage::kDaneEe,
+                                          TlsaSelector::kSubjectPublicKeyInfo,
+                                          TlsaMatching::kSha256);
+  const auto pin_b = tlsa_for_certificate(cert_b, TlsaUsage::kDaneEe,
+                                          TlsaSelector::kSubjectPublicKeyInfo,
+                                          TlsaMatching::kSha256);
+
+  registry.publish("Foo.com", pin_a, Date::parse("2022-01-01"));
+  registry.publish("foo.com", pin_b, Date::parse("2022-06-01"));
+
+  EXPECT_EQ(registry.lookup("foo.com", Date::parse("2021-12-31")), std::nullopt);
+  EXPECT_EQ(registry.lookup("FOO.com", Date::parse("2022-03-01")), pin_a);
+  EXPECT_EQ(registry.lookup("foo.com", Date::parse("2022-06-01")), pin_b);
+
+  registry.remove("foo.com", Date::parse("2022-09-01"));
+  EXPECT_EQ(registry.lookup("foo.com", Date::parse("2022-10-01")), std::nullopt);
+  EXPECT_EQ(registry.lookup("never.com", Date::parse("2022-10-01")), std::nullopt);
+}
+
+TEST(DaneRegistryTest, OwnershipChangeKillsOldBindingWithinTtl) {
+  // The paper's §7.2 argument in miniature: when foo.com changes hands,
+  // the new owner publishes their own TLSA record; the previous owner's
+  // certificate stops validating within one TTL, not within 398 days.
+  DaneRegistry registry;
+  const auto old_owner_cert = make_cert("old-owner");
+  const auto new_owner_cert = make_cert("new-owner", 2);
+
+  registry.publish("foo.com",
+                   tlsa_for_certificate(old_owner_cert, TlsaUsage::kDaneEe,
+                                        TlsaSelector::kSubjectPublicKeyInfo,
+                                        TlsaMatching::kSha256),
+                   Date::parse("2022-01-01"));
+  const Date change = Date::parse("2022-05-01");
+  registry.publish("foo.com",
+                   tlsa_for_certificate(new_owner_cert, TlsaUsage::kDaneEe,
+                                        TlsaSelector::kSubjectPublicKeyInfo,
+                                        TlsaMatching::kSha256),
+                   change);
+
+  // After the change, authoritative answers no longer match the old cert.
+  const auto record = registry.lookup("foo.com", change + 1);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_FALSE(tlsa_matches(*record, old_owner_cert));
+  EXPECT_TRUE(tlsa_matches(*record, new_owner_cert));
+  // Worst-case cache staleness: one TTL, i.e. ~a day at our granularity —
+  // versus the months a stale PKI certificate stays valid.
+  EXPECT_EQ(DaneRegistry::max_cache_staleness_days(*record), 1);
+}
+
+TEST(TlsaUsageTest, Names) {
+  EXPECT_EQ(to_string(TlsaUsage::kPkixTa), "PKIX-TA");
+  EXPECT_EQ(to_string(TlsaUsage::kDaneEe), "DANE-EE");
+}
+
+}  // namespace
+}  // namespace stalecert::dns

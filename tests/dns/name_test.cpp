@@ -1,0 +1,68 @@
+#include "stalecert/dns/name.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::dns {
+namespace {
+
+TEST(LabelsTest, SplitAndNormalize) {
+  EXPECT_EQ(labels("WWW.Foo.COM"), (std::vector<std::string>{"www", "foo", "com"}));
+  EXPECT_EQ(labels("foo.com."), (std::vector<std::string>{"foo", "com"}));
+  EXPECT_TRUE(labels("").empty());
+  EXPECT_EQ(join_labels({"a", "b", "c"}), "a.b.c");
+}
+
+TEST(ValidDomainTest, AcceptsAndRejects) {
+  EXPECT_TRUE(is_valid_domain("example.com"));
+  EXPECT_TRUE(is_valid_domain("sub-domain.example.co.uk"));
+  EXPECT_TRUE(is_valid_domain("*.example.com"));  // wildcard head label
+  EXPECT_FALSE(is_valid_domain(""));
+  EXPECT_FALSE(is_valid_domain("-bad.example.com"));
+  EXPECT_FALSE(is_valid_domain("bad-.example.com"));
+  EXPECT_FALSE(is_valid_domain("under_score.example.com"));
+  EXPECT_FALSE(is_valid_domain(std::string(64, 'a') + ".com"));
+}
+
+TEST(PublicSuffixTest, BuiltinEtld) {
+  const auto& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.etld("foo.com"), "com");
+  EXPECT_EQ(psl.etld("a.b.foo.co.uk"), "co.uk");
+  EXPECT_EQ(psl.etld("com"), std::nullopt);      // itself a suffix
+  EXPECT_EQ(psl.etld("unknown.zz"), std::nullopt);
+}
+
+TEST(PublicSuffixTest, E2ld) {
+  EXPECT_EQ(e2ld("foo.com"), "foo.com");
+  EXPECT_EQ(e2ld("www.foo.com"), "foo.com");
+  EXPECT_EQ(e2ld("a.b.c.foo.co.uk"), "foo.co.uk");
+  EXPECT_EQ(e2ld("co.uk"), std::nullopt);
+  EXPECT_EQ(e2ld("com"), std::nullopt);
+  EXPECT_EQ(e2ld("FOO.Com"), "foo.com");  // case-insensitive
+}
+
+TEST(PublicSuffixTest, WildcardRule) {
+  const auto& psl = PublicSuffixList::builtin();
+  // "*.ck": every child of ck is a suffix, except the "!www.ck" exception.
+  EXPECT_TRUE(psl.is_public_suffix("anything.ck"));
+  EXPECT_FALSE(psl.is_public_suffix("www.ck"));
+  EXPECT_EQ(psl.e2ld("foo.anything.ck"), "foo.anything.ck");
+}
+
+TEST(PublicSuffixTest, CustomRules) {
+  PublicSuffixList psl;
+  psl.add_rule("test");
+  psl.add_rule("sub.test");
+  EXPECT_EQ(psl.e2ld("x.sub.test"), "x.sub.test");
+  EXPECT_EQ(psl.e2ld("x.y.test"), "y.test");
+  EXPECT_TRUE(psl.is_public_suffix("sub.test"));
+}
+
+TEST(PublicSuffixTest, IsPublicSuffixExactOnly) {
+  const auto& psl = PublicSuffixList::builtin();
+  EXPECT_TRUE(psl.is_public_suffix("com"));
+  EXPECT_TRUE(psl.is_public_suffix("co.uk"));
+  EXPECT_FALSE(psl.is_public_suffix("foo.com"));
+}
+
+}  // namespace
+}  // namespace stalecert::dns

@@ -1,0 +1,77 @@
+#include "stalecert/dns/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::dns {
+namespace {
+
+using util::Date;
+
+TEST(ScanEngineTest, SnapshotCapturesAllZoneDomains) {
+  DnsDatabase db;
+  db.add_to_zone("com", "one.com");
+  db.add_to_zone("com", "two.com");
+  db.set_a("one.com", {"192.0.2.1"});
+  db.set_ns("two.com", {"ns1.example"});
+
+  ScanEngine engine(db);
+  const DailySnapshot snap = engine.scan(Date::parse("2022-08-01"));
+  EXPECT_EQ(snap.date, Date::parse("2022-08-01"));
+  EXPECT_EQ(snap.records.size(), 2u);
+  ASSERT_NE(snap.find("one.com"), nullptr);
+  EXPECT_EQ(snap.find("one.com")->a, (std::vector<std::string>{"192.0.2.1"}));
+  EXPECT_EQ(snap.find("missing.com"), nullptr);
+}
+
+TEST(ScanEngineTest, DomainsWithoutRecordsOmitted) {
+  DnsDatabase db;
+  db.add_to_zone("com", "empty.com");
+  ScanEngine engine(db);
+  const DailySnapshot snap = engine.scan(Date::parse("2022-08-01"));
+  EXPECT_TRUE(snap.records.empty());
+}
+
+TEST(SnapshotStoreTest, OrderedInsertionEnforced) {
+  SnapshotStore store;
+  store.add({Date::parse("2022-08-01"), {}});
+  store.add({Date::parse("2022-08-02"), {}});
+  EXPECT_EQ(store.days(), 2u);
+  EXPECT_EQ(store.first_date(), Date::parse("2022-08-01"));
+  EXPECT_EQ(store.last_date(), Date::parse("2022-08-02"));
+  EXPECT_THROW(store.add({Date::parse("2022-08-02"), {}}), stalecert::LogicError);
+  EXPECT_THROW(store.add({Date::parse("2022-07-31"), {}}), stalecert::LogicError);
+  EXPECT_THROW((void)store.day(5), stalecert::LogicError);
+}
+
+TEST(SnapshotStoreTest, EmptyStore) {
+  const SnapshotStore store;
+  EXPECT_EQ(store.days(), 0u);
+  EXPECT_EQ(store.first_date(), std::nullopt);
+  EXPECT_EQ(store.last_date(), std::nullopt);
+}
+
+TEST(ScanEngineTest, DayOverDayChangeVisible) {
+  DnsDatabase db;
+  db.add_to_zone("com", "moving.com");
+  db.set_cname("moving.com", "moving.com.cdn.cloudflare.com");
+  ScanEngine engine(db);
+  SnapshotStore store;
+  store.add(engine.scan(Date::parse("2022-08-01")));
+
+  // Customer departs: CNAME replaced by direct hosting.
+  db.set_cname("moving.com", std::nullopt);
+  db.set_a("moving.com", {"203.0.113.5"});
+  store.add(engine.scan(Date::parse("2022-08-02")));
+
+  const auto* day0 = store.day(0).find("moving.com");
+  const auto* day1 = store.day(1).find("moving.com");
+  ASSERT_NE(day0, nullptr);
+  ASSERT_NE(day1, nullptr);
+  EXPECT_TRUE(day0->delegates_to("*.cdn.cloudflare.com"));
+  EXPECT_FALSE(day1->delegates_to("*.cdn.cloudflare.com"));
+}
+
+}  // namespace
+}  // namespace stalecert::dns

@@ -1,0 +1,82 @@
+#include "stalecert/dns/zone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::dns {
+namespace {
+
+TEST(DnsDatabaseTest, ZoneMembership) {
+  DnsDatabase db;
+  db.add_to_zone("com", "foo.com");
+  db.add_to_zone("com", "bar.com");
+  db.add_to_zone("net", "baz.net");
+  EXPECT_EQ(db.zones(), (std::vector<std::string>{"com", "net"}));
+  EXPECT_EQ(db.zone_domains("com").size(), 2u);
+  EXPECT_EQ(db.all_domains().size(), 3u);
+  db.remove_from_zone("com", "bar.com");
+  EXPECT_EQ(db.zone_domains("com"), (std::vector<std::string>{"foo.com"}));
+}
+
+TEST(DnsDatabaseTest, RecordSettersAndResolve) {
+  DnsDatabase db;
+  db.add_to_zone("com", "foo.com");
+  db.set_ns("foo.com", {"NS1.Host.example", "ns2.host.example"});
+  db.set_a("foo.com", {"192.0.2.1"});
+  db.set_aaaa("foo.com", {"2001:db8::1"});
+
+  const DomainRecords records = db.resolve("foo.com");
+  EXPECT_EQ(records.ns, (std::vector<std::string>{"ns1.host.example",
+                                                  "ns2.host.example"}));
+  EXPECT_EQ(records.a, (std::vector<std::string>{"192.0.2.1"}));
+  EXPECT_EQ(records.aaaa, (std::vector<std::string>{"2001:db8::1"}));
+  EXPECT_TRUE(records.cname.empty());
+}
+
+TEST(DnsDatabaseTest, CnameChainFollowed) {
+  DnsDatabase db;
+  db.add_to_zone("com", "foo.com");
+  db.set_cname("foo.com", "foo.com.cdn.cloudflare.com");
+  db.set_cname("foo.com.cdn.cloudflare.com", "edge.cloudflare.com");
+  db.set_a("edge.cloudflare.com", {"198.51.100.1"});
+
+  const DomainRecords records = db.resolve("foo.com");
+  EXPECT_EQ(records.cname,
+            (std::vector<std::string>{"foo.com.cdn.cloudflare.com",
+                                      "edge.cloudflare.com"}));
+  EXPECT_EQ(records.a, (std::vector<std::string>{"198.51.100.1"}));
+}
+
+TEST(DnsDatabaseTest, CnameLoopTerminates) {
+  DnsDatabase db;
+  db.set_cname("a.example", "b.example");
+  db.set_cname("b.example", "a.example");
+  const DomainRecords records = db.resolve("a.example", 8);
+  EXPECT_LE(records.cname.size(), 9u);
+  EXPECT_TRUE(records.a.empty());
+}
+
+TEST(DnsDatabaseTest, ClearRecords) {
+  DnsDatabase db;
+  db.set_a("gone.example", {"192.0.2.9"});
+  db.clear_records("gone.example");
+  EXPECT_TRUE(db.resolve("gone.example").empty());
+}
+
+TEST(DomainRecordsTest, DelegatesTo) {
+  DomainRecords records;
+  records.ns = {"amy1.ns.cloudflare.com", "bob2.ns.cloudflare.com"};
+  EXPECT_TRUE(records.delegates_to("*.ns.cloudflare.com"));
+  EXPECT_FALSE(records.delegates_to("*.cdn.cloudflare.com"));
+  records.cname = {"foo.com.cdn.cloudflare.com"};
+  EXPECT_TRUE(records.delegates_to("*.cdn.cloudflare.com"));
+}
+
+TEST(RecordTypeTest, Names) {
+  EXPECT_EQ(to_string(RecordType::kA), "A");
+  EXPECT_EQ(to_string(RecordType::kAaaa), "AAAA");
+  EXPECT_EQ(to_string(RecordType::kNs), "NS");
+  EXPECT_EQ(to_string(RecordType::kCname), "CNAME");
+}
+
+}  // namespace
+}  // namespace stalecert::dns

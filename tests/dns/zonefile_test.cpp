@@ -1,0 +1,78 @@
+#include "stalecert/dns/zonefile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::dns {
+namespace {
+
+TEST(ZoneFileTest, EmitParseRoundTrip) {
+  DnsDatabase db;
+  db.add_to_zone("com", "alpha.com");
+  db.add_to_zone("com", "beta.com");
+  db.set_ns("alpha.com", {"ns1.host.example", "ns2.host.example"});
+  db.set_a("alpha.com", {"192.0.2.1"});
+  db.set_cname("beta.com", "beta.com.cdn.cloudflare.com");
+
+  const std::string text = emit_zone_file(db, "com");
+  EXPECT_NE(text.find("$ORIGIN com."), std::string::npos);
+
+  std::size_t skipped = 0;
+  const auto records = parse_zone_file(text, &skipped);
+  EXPECT_EQ(skipped, 0u);
+
+  DnsDatabase loaded;
+  load_zone(loaded, "com", records);
+  EXPECT_EQ(loaded.ns("alpha.com"),
+            (std::vector<std::string>{"ns1.host.example", "ns2.host.example"}));
+  EXPECT_EQ(loaded.resolve("alpha.com").a, (std::vector<std::string>{"192.0.2.1"}));
+  EXPECT_EQ(loaded.cname("beta.com"), "beta.com.cdn.cloudflare.com");
+  EXPECT_EQ(loaded.zone_domains("com").size(), 2u);
+}
+
+TEST(ZoneFileTest, ParserToleratesNoise) {
+  const std::string text =
+      "; comment line\n"
+      "$ORIGIN com.\n"
+      "\n"
+      "foo.com. 172800 IN NS ns1.example.\n"
+      "bar.com. IN A 192.0.2.5\n"          // no TTL
+      "baz.com. 300 AAAA 2001:db8::1\n"    // no IN
+      "short.line\n"                        // malformed
+      "qux.com. 300 IN TXT \"ignored\"\n"  // unsupported type
+      "CASE.COM. 300 IN NS NS9.EXAMPLE.\n";
+  std::size_t skipped = 0;
+  const auto records = parse_zone_file(text, &skipped);
+  EXPECT_EQ(records.size(), 4u);
+  EXPECT_EQ(skipped, 2u);
+
+  EXPECT_EQ(records[0].name, "foo.com");
+  EXPECT_EQ(records[0].type, RecordType::kNs);
+  EXPECT_EQ(records[0].ttl, 172800u);
+  EXPECT_EQ(records[1].name, "bar.com");
+  EXPECT_EQ(records[1].type, RecordType::kA);
+  EXPECT_EQ(records[1].value, "192.0.2.5");
+  EXPECT_EQ(records[2].type, RecordType::kAaaa);
+  EXPECT_EQ(records[3].name, "case.com");     // lowercased
+  EXPECT_EQ(records[3].value, "ns9.example"); // trailing dot stripped
+}
+
+TEST(ZoneFileTest, EmptyZone) {
+  DnsDatabase db;
+  const std::string text = emit_zone_file(db, "net");
+  const auto records = parse_zone_file(text);
+  EXPECT_TRUE(records.empty());
+}
+
+TEST(ZoneFileTest, CnameOwnersOmitDirectAddresses) {
+  // A CNAME owner's chased A records must not be emitted at the zone cut.
+  DnsDatabase db;
+  db.add_to_zone("com", "chained.com");
+  db.set_cname("chained.com", "edge.cdn.example");
+  db.set_a("edge.cdn.example", {"198.51.100.9"});
+  const std::string text = emit_zone_file(db, "com");
+  EXPECT_NE(text.find("CNAME edge.cdn.example."), std::string::npos);
+  EXPECT_EQ(text.find("198.51.100.9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stalecert::dns

@@ -1,0 +1,151 @@
+// Attack replay: the final link in the paper's argument. Take stale
+// certificates DETECTED by the measurement pipeline on a simulated world,
+// arm an on-path attacker with the corresponding ground-truth keys, and
+// confirm that mainstream TLS clients actually accept the impersonation —
+// and that the non-holders cannot. Detection, custody ground truth, and
+// handshake semantics must all line up for this test to pass.
+#include <gtest/gtest.h>
+
+#include "stalecert/core/pipeline.hpp"
+#include "stalecert/sim/world.hpp"
+#include "stalecert/tls/interception.hpp"
+
+namespace stalecert {
+namespace {
+
+class AttackReplayFixture : public ::testing::Test {
+ protected:
+  static sim::World& world() {
+    static sim::World* instance = [] {
+      auto* w = new sim::World(sim::small_test_config());
+      w->run();
+      return w;
+    }();
+    return *instance;
+  }
+
+  static const core::PipelineResult& pipeline() {
+    static const core::PipelineResult* instance = [] {
+      core::PipelineConfig config;
+      config.delegation_patterns = world().cloudflare_delegation_patterns();
+      config.managed_san_pattern = world().cloudflare_san_pattern();
+      return new core::PipelineResult(core::run_pipeline(
+          world().ct_logs(), world().crl_collection().store(),
+          world().whois().re_registrations(), world().adns(), config));
+    }();
+    return *instance;
+  }
+
+  static tls::TrustStore world_roots() {
+    tls::TrustStore trust;
+    for (const auto& ca : world().cas()) trust.trust(ca->issuing_key().key_id());
+    return trust;
+  }
+};
+
+TEST_F(AttackReplayFixture, ManagedDepartureStaleCertsIntercept) {
+  const auto& stale = pipeline().managed_departure;
+  ASSERT_FALSE(stale.empty());
+  const tls::TrustStore trust = world_roots();
+
+  std::size_t replayed = 0;
+  for (const auto& record : stale) {
+    const auto& cert = pipeline().corpus.at(record.corpus_index);
+    // Ground truth: the provider really holds this key.
+    ASSERT_TRUE(world().cloudflare().holds_key(cert)) << record.trigger_domain;
+
+    tls::InterceptionScenario scenario;
+    scenario.description = "CDN impersonates departed customer";
+    scenario.hostname = record.trigger_domain;
+    scenario.stale_certificate = cert;
+    scenario.when = record.event_date + record.staleness_days() / 2;
+    scenario.attacker_holds_key = true;  // justified by the ledger check
+
+    for (const auto& outcome :
+         tls::run_interception(scenario, {tls::chrome(), tls::firefox()}, trust)) {
+      EXPECT_TRUE(outcome.intercepted)
+          << record.trigger_domain << " via " << outcome.client << ": "
+          << outcome.reason;
+    }
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 0u);
+}
+
+TEST_F(AttackReplayFixture, InterceptionDiesAtExpiry) {
+  const auto& stale = pipeline().managed_departure;
+  ASSERT_FALSE(stale.empty());
+  const auto& record = stale.front();
+  const auto& cert = pipeline().corpus.at(record.corpus_index);
+
+  tls::InterceptionScenario scenario;
+  scenario.description = "after expiry";
+  scenario.hostname = record.trigger_domain;
+  scenario.stale_certificate = cert;
+  scenario.when = cert.not_after();  // the backstop
+  const auto outcomes =
+      tls::run_interception(scenario, tls::all_profiles(), world_roots());
+  for (const auto& outcome : outcomes) {
+    EXPECT_FALSE(outcome.intercepted) << outcome.client;
+  }
+}
+
+TEST_F(AttackReplayFixture, KeyCompromiseStaleCertsInterceptUnderBlockedOcsp) {
+  const auto& stale = pipeline().revocations.key_compromise;
+  ASSERT_FALSE(stale.empty());
+  const tls::TrustStore trust = world_roots();
+
+  // Build per-issuer OCSP responders from the world's CRL state — the
+  // realistic network the attacker must defeat.
+  std::vector<std::unique_ptr<revocation::OcspResponder>> responders;
+  for (const auto& ca : world().cas()) {
+    auto responder =
+        std::make_unique<revocation::OcspResponder>(ca->issuing_key().key_id());
+    responder->update_from_crl(ca->crl_at(world().today()));
+    responders.push_back(std::move(responder));
+  }
+
+  const auto& record = stale.front();
+  const auto& cert = pipeline().corpus.at(record.corpus_index);
+  const revocation::OcspResponder* responder = nullptr;
+  for (const auto& r : responders) {
+    if (r->issuer_key_id() == *cert.extensions().authority_key_id) {
+      responder = r.get();
+    }
+  }
+  ASSERT_NE(responder, nullptr);
+  // Sanity: OCSP really says revoked.
+  EXPECT_EQ(responder->query(cert.serial(), record.event_date + 1).status,
+            revocation::CertStatus::kRevoked);
+
+  tls::InterceptionScenario scenario;
+  scenario.description = "compromised key, OCSP dropped";
+  scenario.hostname = record.trigger_domain;
+  scenario.stale_certificate = cert;
+  scenario.when = record.event_date + 1;
+  scenario.attacker_blocks_revocation = true;
+  scenario.responder = responder;
+
+  const auto outcomes =
+      tls::run_interception(scenario, tls::all_profiles(), trust);
+  std::size_t intercepted = 0;
+  for (const auto& outcome : outcomes) {
+    if (outcome.client == "hardened") {
+      EXPECT_FALSE(outcome.intercepted);
+    } else {
+      EXPECT_TRUE(outcome.intercepted) << outcome.client << ": " << outcome.reason;
+      ++intercepted;
+    }
+  }
+  EXPECT_EQ(intercepted, 5u);
+
+  // Flip: revocation reachable -> checking clients now refuse.
+  scenario.attacker_blocks_revocation = false;
+  for (const auto& outcome :
+       tls::run_interception(scenario, {tls::firefox(), tls::safari()}, trust)) {
+    EXPECT_FALSE(outcome.intercepted) << outcome.client;
+  }
+}
+
+}  // namespace
+}  // namespace stalecert

@@ -1,0 +1,83 @@
+#include "stalecert/popularity/toplist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::popularity {
+namespace {
+
+using util::Date;
+
+TEST(TopListArchiveTest, MinRankAcrossSamples) {
+  TopListArchive archive;
+  archive.add_sample({Date::parse("2020-01-01"), {"a.com", "b.com", "c.com"}});
+  archive.add_sample({Date::parse("2020-07-01"), {"b.com", "a.com", "d.com"}});
+
+  EXPECT_EQ(archive.min_rank("a.com"), 1u);
+  EXPECT_EQ(archive.min_rank("b.com"), 1u);
+  EXPECT_EQ(archive.min_rank("c.com"), 3u);
+  EXPECT_EQ(archive.min_rank("d.com"), 3u);
+  EXPECT_EQ(archive.min_rank("absent.com"), std::nullopt);
+  EXPECT_EQ(archive.min_rank("A.COM"), 1u);  // case-insensitive
+  EXPECT_EQ(archive.sample_count(), 2u);
+}
+
+TEST(TopListArchiveTest, BucketCounts) {
+  TopListArchive archive;
+  std::vector<std::string> ranked;
+  for (int i = 0; i < 100; ++i) ranked.push_back("d" + std::to_string(i) + ".com");
+  archive.add_sample({Date::parse("2020-01-01"), ranked});
+
+  const std::vector<std::string> probe = {"d0.com", "d5.com", "d50.com",
+                                          "unknown.com"};
+  const auto buckets = archive.bucket_counts(probe, {10, 100});
+  EXPECT_EQ(buckets.at(10), 2u);   // d0 (rank 1), d5 (rank 6)
+  EXPECT_EQ(buckets.at(100), 3u);  // + d50 (rank 51)
+}
+
+TEST(GenerateBiannualTest, SampleCadenceAndSize) {
+  util::Rng rng(3);
+  std::vector<std::string> universe;
+  for (int i = 0; i < 500; ++i) universe.push_back("u" + std::to_string(i) + ".com");
+
+  const TopListArchive archive = generate_biannual_archive(
+      universe, Date::parse("2014-01-01"), Date::parse("2022-01-01"), 100, rng);
+
+  // Biannual over 8 years -> 17 samples (inclusive endpoints).
+  EXPECT_EQ(archive.sample_count(), 17u);
+  for (const auto& sample : archive.samples()) {
+    EXPECT_EQ(sample.ranked_e2lds.size(), 100u);
+  }
+}
+
+TEST(GenerateBiannualTest, ChurnBetweenSamples) {
+  util::Rng rng(5);
+  std::vector<std::string> universe;
+  for (int i = 0; i < 1000; ++i) universe.push_back("u" + std::to_string(i) + ".com");
+  const TopListArchive archive = generate_biannual_archive(
+      universe, Date::parse("2018-01-01"), Date::parse("2022-01-01"), 200, rng);
+
+  // The top list must not be identical between consecutive samples.
+  const auto& first = archive.samples().front().ranked_e2lds;
+  const auto& last = archive.samples().back().ranked_e2lds;
+  EXPECT_NE(first, last);
+}
+
+TEST(GenerateBiannualTest, ListSizeClampedToUniverse) {
+  util::Rng rng(7);
+  const std::vector<std::string> universe = {"only.com"};
+  const TopListArchive archive = generate_biannual_archive(
+      universe, Date::parse("2020-01-01"), Date::parse("2020-06-01"), 100, rng);
+  EXPECT_EQ(archive.samples().front().ranked_e2lds.size(), 1u);
+}
+
+TEST(GenerateBiannualTest, EmptyUniverseRejected) {
+  util::Rng rng(9);
+  EXPECT_THROW(generate_biannual_archive({}, Date::parse("2020-01-01"),
+                                         Date::parse("2021-01-01"), 10, rng),
+               stalecert::LogicError);
+}
+
+}  // namespace
+}  // namespace stalecert::popularity

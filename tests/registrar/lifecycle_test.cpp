@@ -1,0 +1,155 @@
+#include "stalecert/registrar/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::registrar {
+namespace {
+
+using util::Date;
+
+TEST(RegistryTest, RegisterAndLookup) {
+  Registry registry;
+  const auto& reg = registry.register_domain("foo.com", 100, "R1",
+                                             Date::parse("2020-01-01"), 2);
+  EXPECT_EQ(reg.creation_date, Date::parse("2020-01-01"));
+  EXPECT_EQ(reg.expiration_date, Date::parse("2020-01-01") + 730);
+  EXPECT_EQ(registry.state("foo.com"), DomainState::kActive);
+  EXPECT_NE(registry.find("foo.com"), nullptr);
+  EXPECT_EQ(registry.find("missing.com"), nullptr);
+  EXPECT_EQ(registry.state("missing.com"), DomainState::kAvailable);
+}
+
+TEST(RegistryTest, DoubleRegistrationRejected) {
+  Registry registry;
+  registry.register_domain("foo.com", 1, "R", Date::parse("2020-01-01"));
+  EXPECT_THROW(registry.register_domain("foo.com", 2, "R", Date::parse("2020-06-01")),
+               stalecert::LogicError);
+}
+
+TEST(RegistryTest, YearsValidation) {
+  Registry registry;
+  EXPECT_THROW(registry.register_domain("a.com", 1, "R", Date::parse("2020-01-01"), 0),
+               stalecert::LogicError);
+  EXPECT_THROW(registry.register_domain("a.com", 1, "R", Date::parse("2020-01-01"), 11),
+               stalecert::LogicError);
+}
+
+TEST(RegistryTest, LifecycleWindows) {
+  Registry registry;
+  const Date start = Date::parse("2020-01-01");
+  registry.register_domain("foo.com", 1, "R", start, 1);
+  const Date expiry = start + 365;
+
+  EXPECT_TRUE(registry.advance(expiry - 1).empty());
+  EXPECT_EQ(registry.state("foo.com"), DomainState::kActive);
+
+  registry.advance(expiry);
+  EXPECT_EQ(registry.state("foo.com"), DomainState::kAutoRenewGrace);
+
+  registry.advance(expiry + 45);
+  EXPECT_EQ(registry.state("foo.com"), DomainState::kRedemption);
+
+  registry.advance(expiry + 45 + 30);
+  EXPECT_EQ(registry.state("foo.com"), DomainState::kPendingDelete);
+
+  const auto released = registry.advance(expiry + 45 + 30 + 5);
+  EXPECT_EQ(released, (std::vector<std::string>{"foo.com"}));
+  EXPECT_EQ(registry.state("foo.com"), DomainState::kAvailable);
+}
+
+TEST(RegistryTest, RenewDuringGraceRestoresActive) {
+  Registry registry;
+  const Date start = Date::parse("2020-01-01");
+  registry.register_domain("foo.com", 1, "R", start, 1);
+  registry.advance(start + 370);
+  ASSERT_EQ(registry.state("foo.com"), DomainState::kAutoRenewGrace);
+  registry.renew("foo.com", start + 370, 1);
+  EXPECT_EQ(registry.state("foo.com"), DomainState::kActive);
+  EXPECT_EQ(registry.find("foo.com")->expiration_date, start + 365 + 365);
+}
+
+TEST(RegistryTest, ReRegistrationResetsCreationDate) {
+  Registry registry;
+  const Date start = Date::parse("2020-01-01");
+  registry.register_domain("foo.com", 1, "R", start, 1);
+  registry.advance(start + 365 + 80);  // past full lifecycle -> released
+  ASSERT_EQ(registry.state("foo.com"), DomainState::kAvailable);
+
+  const Date rereg_date = start + 365 + 100;
+  const auto& reg = registry.register_domain("foo.com", 2, "R2", rereg_date, 1);
+  EXPECT_EQ(reg.creation_date, rereg_date);
+  EXPECT_EQ(reg.acquired_by, AcquisitionKind::kReRegistration);
+  EXPECT_GT(reg.creation_date, start);  // creation date strictly forward
+
+  // Ownership changes recorded with ground truth.
+  const auto& changes = registry.ownership_changes();
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_TRUE(changes[1].creation_date_reset);
+  EXPECT_EQ(changes[1].old_registrant, 1u);
+  EXPECT_EQ(changes[1].new_registrant, 2u);
+}
+
+TEST(RegistryTest, TransferKeepsCreationDate) {
+  Registry registry;
+  const Date start = Date::parse("2020-01-01");
+  registry.register_domain("foo.com", 1, "R", start, 2);
+  registry.transfer("foo.com", 2, "R2", start + 100);
+  const auto* reg = registry.find("foo.com");
+  EXPECT_EQ(reg->creation_date, start);  // unchanged — undetectable via WHOIS
+  EXPECT_EQ(reg->registrant, 2u);
+  EXPECT_EQ(reg->registrar, "R2");
+  EXPECT_FALSE(registry.ownership_changes().back().creation_date_reset);
+  EXPECT_EQ(registry.ownership_changes().back().kind, AcquisitionKind::kTransfer);
+}
+
+TEST(RegistryTest, PreReleaseTransferOnlyInGrace) {
+  Registry registry;
+  const Date start = Date::parse("2020-01-01");
+  registry.register_domain("foo.com", 1, "R", start, 1);
+  EXPECT_THROW(registry.pre_release_transfer("foo.com", 2, start + 10),
+               stalecert::LogicError);
+  registry.advance(start + 370);
+  registry.pre_release_transfer("foo.com", 2, start + 370);
+  EXPECT_EQ(registry.state("foo.com"), DomainState::kActive);
+  EXPECT_EQ(registry.find("foo.com")->creation_date, start);  // kept
+}
+
+TEST(RegistryTest, TransferRequiresActiveState) {
+  Registry registry;
+  const Date start = Date::parse("2020-01-01");
+  registry.register_domain("foo.com", 1, "R", start, 1);
+  registry.advance(start + 370);  // grace
+  EXPECT_THROW(registry.transfer("foo.com", 2, "R", start + 370),
+               stalecert::LogicError);
+}
+
+TEST(RegistryTest, VoluntaryDeleteReleasesImmediately) {
+  Registry registry;
+  registry.register_domain("abuse.com", 9, "R", Date::parse("2021-01-01"), 1);
+  registry.delete_domain("abuse.com", Date::parse("2021-01-03"));
+  EXPECT_EQ(registry.state("abuse.com"), DomainState::kAvailable);
+  // Can be re-registered at once (refund-abuse scenario).
+  EXPECT_NO_THROW(
+      registry.register_domain("abuse.com", 10, "R", Date::parse("2021-01-10"), 1));
+}
+
+TEST(RegistryTest, RegisteredDomainsExcludesAvailable) {
+  Registry registry;
+  registry.register_domain("a.com", 1, "R", Date::parse("2021-01-01"), 1);
+  registry.register_domain("b.com", 2, "R", Date::parse("2021-01-01"), 1);
+  registry.delete_domain("a.com", Date::parse("2021-01-02"));
+  const auto domains = registry.registered_domains();
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0]->domain, "b.com");
+}
+
+TEST(LifecycleEnums, Names) {
+  EXPECT_EQ(to_string(DomainState::kActive), "active");
+  EXPECT_EQ(to_string(DomainState::kPendingDelete), "pending-delete");
+  EXPECT_EQ(to_string(AcquisitionKind::kReRegistration), "re-registration");
+}
+
+}  // namespace
+}  // namespace stalecert::registrar

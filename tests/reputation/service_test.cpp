@@ -1,0 +1,96 @@
+#include "stalecert/reputation/service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::reputation {
+namespace {
+
+using util::Date;
+
+TEST(DomainReportTest, VendorCountsAreDistinctPerCategory) {
+  DomainReport report;
+  report.url_verdicts = {
+      {"v1", UrlCategory::kPhishing, Date::parse("2022-01-01")},
+      {"v1", UrlCategory::kPhishing, Date::parse("2022-01-05")},  // same vendor
+      {"v2", UrlCategory::kPhishing, Date::parse("2022-01-02")},
+      {"v3", UrlCategory::kMalware, Date::parse("2022-01-03")},
+  };
+  EXPECT_EQ(report.url_vendor_count(UrlCategory::kPhishing), 2u);
+  EXPECT_EQ(report.url_vendor_count(UrlCategory::kMalware), 1u);
+  EXPECT_EQ(report.url_vendor_count(UrlCategory::kMalicious), 0u);
+}
+
+TEST(DomainReportTest, UrlFlagDateThreshold) {
+  DomainReport report;
+  for (int v = 0; v < 6; ++v) {
+    report.url_verdicts.push_back({"v" + std::to_string(v), UrlCategory::kMalicious,
+                                   Date::parse("2022-01-01") + v});
+  }
+  // Fifth distinct vendor labels on day +4.
+  EXPECT_EQ(report.url_flag_date(5), Date::parse("2022-01-05"));
+  EXPECT_EQ(report.url_flag_date(7), std::nullopt);
+}
+
+TEST(DomainReportTest, EarliestFileSubmission) {
+  DomainReport report;
+  report.files = {{"h1", Date::parse("2022-03-01"), {}},
+                  {"h2", Date::parse("2022-01-15"), {}}};
+  EXPECT_EQ(report.earliest_file_submission(), Date::parse("2022-01-15"));
+  EXPECT_EQ(DomainReport{}.earliest_file_submission(), std::nullopt);
+}
+
+TEST(FamilyLabelerTest, PluralityFamilyExtracted) {
+  FamilyLabeler labeler;
+  const std::string family = labeler.label({
+      "Trojan.emotet!gen1",
+      "Win32/Emotet.A",
+      "generic.malware",
+      "Emotet-variant",
+  });
+  EXPECT_EQ(family, "emotet");
+}
+
+TEST(FamilyLabelerTest, AliasesResolve) {
+  FamilyLabeler labeler;
+  EXPECT_EQ(labeler.label({"Zbot.A", "zeusvm/variant", "trojan.generic"}), "zeus");
+}
+
+TEST(FamilyLabelerTest, UnknownWhenNoConsensus) {
+  FamilyLabeler labeler;
+  EXPECT_EQ(labeler.label({"foo.alpha", "bar.beta", "baz.gamma"}), "Unknown");
+  EXPECT_EQ(labeler.label({}), "Unknown");
+}
+
+TEST(FamilyLabelerTest, GenericTokensIgnored) {
+  FamilyLabeler labeler;
+  EXPECT_EQ(labeler.label({"Trojan.Generic!A", "trojan/generic.b"}), "Unknown");
+}
+
+TEST(ReputationServiceTest, QueryUnknownDomainIsEmpty) {
+  ReputationService service;
+  const DomainReport report = service.query("clean.example.com");
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(report.domain, "clean.example.com");
+  EXPECT_EQ(service.query_count(), 1u);
+}
+
+TEST(ReputationServiceTest, SeedAndQuery) {
+  ReputationService service;
+  service.seed_url_verdicts(
+      "Bad.Example.COM",
+      {{"v1", UrlCategory::kPhishing, Date::parse("2022-01-01")}});
+  service.seed_file("bad.example.com", {"hash", Date::parse("2022-02-01"), {"x.fam"}});
+
+  const DomainReport report = service.query("bad.example.com");
+  EXPECT_FALSE(report.empty());
+  EXPECT_EQ(report.url_verdicts.size(), 1u);
+  EXPECT_EQ(report.files.size(), 1u);
+  EXPECT_EQ(service.seeded_domains(), 1u);  // case-normalized to one domain
+}
+
+TEST(ReputationServiceTest, DetectionThresholdConstant) {
+  EXPECT_EQ(ReputationService::kDetectionThreshold, 5u);
+}
+
+}  // namespace
+}  // namespace stalecert::reputation

@@ -1,0 +1,144 @@
+#include "stalecert/revocation/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/revocation/join.hpp"
+#include "stalecert/util/error.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::revocation {
+namespace {
+
+using util::Date;
+
+TEST(RevocationStoreTest, KeepsEarliestObservation) {
+  RevocationStore store;
+  const auto aki = crypto::Sha256::hash("ca");
+  const asn1::Bytes serial = {0x01};
+  store.add(aki, serial, {Date::parse("2022-06-01"), ReasonCode::kSuperseded});
+  store.add(aki, serial, {Date::parse("2022-05-01"), ReasonCode::kKeyCompromise});
+  store.add(aki, serial, {Date::parse("2022-07-01"), ReasonCode::kUnspecified});
+
+  const auto* obs = store.lookup(aki, serial);
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->revocation_date, Date::parse("2022-05-01"));
+  EXPECT_EQ(obs->reason, ReasonCode::kKeyCompromise);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RevocationStoreTest, DistinctKeys) {
+  RevocationStore store;
+  store.add(crypto::Sha256::hash("ca1"), {0x01}, {Date::parse("2022-01-01"), {}});
+  store.add(crypto::Sha256::hash("ca2"), {0x01}, {Date::parse("2022-01-01"), {}});
+  store.add(crypto::Sha256::hash("ca1"), {0x02}, {Date::parse("2022-01-01"), {}});
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.lookup(crypto::Sha256::hash("ca3"), {0x01}), nullptr);
+}
+
+TEST(CrlCollectorTest, CollectsAndTracksCoverage) {
+  Crl crl({"CA A", "OrgA", "US"}, crypto::Sha256::hash("a"),
+          Date::parse("2022-11-01"), Date::parse("2022-11-08"));
+  crl.add({{0x11}, Date::parse("2022-10-01"), ReasonCode::kKeyCompromise});
+
+  CrlCollector collector(5);
+  collector.add_endpoint({"OrgA", "http://a/crl",
+                          [&crl](Date) { return std::optional(crl.to_der()); },
+                          0.0});
+  collector.add_endpoint({"OrgB", "http://b/crl",
+                          [](Date) { return std::optional<asn1::Bytes>{}; },
+                          0.0});  // always unavailable
+
+  collector.collect_range(Date::parse("2022-11-01"), Date::parse("2022-11-10"));
+
+  EXPECT_EQ(collector.coverage().at("OrgA").attempted, 10u);
+  EXPECT_EQ(collector.coverage().at("OrgA").succeeded, 10u);
+  EXPECT_EQ(collector.coverage().at("OrgB").succeeded, 0u);
+  EXPECT_DOUBLE_EQ(collector.total_coverage().ratio(), 0.5);
+  EXPECT_EQ(collector.store().size(), 1u);
+}
+
+TEST(CrlCollectorTest, FailureProbabilityReducesCoverage) {
+  Crl crl({"CA", "Org", "US"}, crypto::Sha256::hash("k"),
+          Date::parse("2022-11-01"), Date::parse("2022-11-08"));
+  CrlCollector collector(17);
+  collector.add_endpoint({"Flaky", "http://f/crl",
+                          [&crl](Date) { return std::optional(crl.to_der()); },
+                          0.5});
+  collector.collect_range(Date::parse("2022-11-01"), Date::parse("2023-02-01"));
+  const auto& stats = collector.coverage().at("Flaky");
+  EXPECT_GT(stats.succeeded, 0u);
+  EXPECT_LT(stats.succeeded, stats.attempted);
+  EXPECT_NEAR(stats.ratio(), 0.5, 0.15);
+}
+
+TEST(CrlCollectorTest, ParseFailuresCounted) {
+  CrlCollector collector(3);
+  collector.add_endpoint({"Broken", "http://broken/crl", [](Date) {
+                            return std::optional(asn1::Bytes{0xde, 0xad});
+                          }});
+  collector.collect_daily(Date::parse("2022-11-01"));
+  EXPECT_EQ(collector.parse_failures(), 1u);
+  EXPECT_EQ(collector.coverage().at("Broken").succeeded, 0u);
+}
+
+TEST(CrlCollectorTest, EndpointWithoutFetchRejected) {
+  CrlCollector collector(3);
+  EXPECT_THROW(collector.add_endpoint({"X", "http://x", nullptr}),
+               stalecert::LogicError);
+}
+
+x509::Certificate make_cert(std::uint64_t serial, const crypto::Digest& aki,
+                            const char* nb, const char* na) {
+  return x509::CertificateBuilder{}
+      .serial(serial)
+      .subject_cn("joined.example.com")
+      .validity(Date::parse(nb), Date::parse(na))
+      .key(crypto::KeyPair::derive("k" + std::to_string(serial),
+                                   crypto::KeyAlgorithm::kEcdsaP256))
+      .add_dns_name("joined.example.com")
+      .authority_key_id(aki)
+      .build();
+}
+
+TEST(JoinTest, FiltersApplyInOrder) {
+  const auto aki = crypto::Sha256::hash("issuer");
+  std::vector<x509::Certificate> corpus = {
+      make_cert(1, aki, "2022-01-01", "2022-12-01"),  // kept
+      make_cert(2, aki, "2022-01-01", "2022-12-01"),  // revoked before valid
+      make_cert(3, aki, "2022-01-01", "2022-12-01"),  // revoked after expiry
+      make_cert(4, aki, "2022-01-01", "2022-12-01"),  // before cutoff
+      make_cert(5, aki, "2022-01-01", "2022-12-01"),  // not revoked
+  };
+  RevocationStore store;
+  store.add(aki, corpus[0].serial(), {Date::parse("2022-06-01"), ReasonCode::kKeyCompromise});
+  store.add(aki, corpus[1].serial(), {Date::parse("2021-12-15"), ReasonCode::kUnspecified});
+  store.add(aki, corpus[2].serial(), {Date::parse("2022-12-15"), ReasonCode::kUnspecified});
+  store.add(aki, corpus[3].serial(), {Date::parse("2022-02-01"), ReasonCode::kUnspecified});
+
+  JoinFilters filters;
+  filters.min_revocation_date = Date::parse("2022-03-01");
+  JoinStats stats;
+  const auto joined = join_revocations(corpus, store, filters, &stats);
+
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0].certificate.serial(), corpus[0].serial());
+  EXPECT_EQ(joined[0].reason, ReasonCode::kKeyCompromise);
+  EXPECT_EQ(stats.matched, 4u);
+  EXPECT_EQ(stats.dropped_before_valid, 1u);
+  EXPECT_EQ(stats.dropped_after_expiry, 1u);
+  EXPECT_EQ(stats.dropped_before_cutoff, 1u);
+  EXPECT_EQ(stats.kept, 1u);
+}
+
+TEST(JoinTest, NoCutoffKeepsEarlyRevocations) {
+  const auto aki = crypto::Sha256::hash("issuer");
+  std::vector<x509::Certificate> corpus = {
+      make_cert(1, aki, "2022-01-01", "2022-12-01")};
+  RevocationStore store;
+  store.add(aki, corpus[0].serial(), {Date::parse("2022-01-15"), ReasonCode::kSuperseded});
+  const auto joined = join_revocations(corpus, store, {}, nullptr);
+  EXPECT_EQ(joined.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stalecert::revocation

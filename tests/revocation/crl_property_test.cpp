@@ -1,0 +1,75 @@
+// Property sweep: randomized CRLs must DER-round-trip exactly, and mutated
+// CRL bytes must never crash the parser.
+#include <gtest/gtest.h>
+
+#include "stalecert/revocation/crl.hpp"
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/rng.hpp"
+
+namespace stalecert::revocation {
+namespace {
+
+using util::Date;
+
+Crl random_crl(util::Rng& rng) {
+  const Date this_update = Date::parse("2020-01-01") + rng.between(0, 1500);
+  Crl crl({"CA " + rng.alpha_label(6), "Org " + rng.alpha_label(4), "US"},
+          crypto::Sha256::hash(rng.alpha_label(8)), this_update,
+          this_update + rng.between(1, 30));
+  const std::uint64_t entries = rng.below(40);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    RevokedEntry entry;
+    const std::uint64_t serial_len = 1 + rng.below(12);
+    for (std::uint64_t b = 0; b < serial_len; ++b) {
+      entry.serial.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    entry.revocation_date = this_update - rng.between(0, 400);
+    entry.reason = static_cast<ReasonCode>(rng.below(11) == 7 ? 0 : rng.below(11));
+    crl.add(entry);
+  }
+  return crl;
+}
+
+class CrlRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrlRoundTripSweep, RandomCrlsRoundTrip) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const Crl original = random_crl(rng);
+    const asn1::Bytes der = original.to_der();
+    const Crl parsed = Crl::from_der(der);
+    ASSERT_EQ(parsed, original) << "seed=" << GetParam() << " i=" << i;
+    ASSERT_EQ(parsed.to_der(), der);  // canonical re-encode
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrlRoundTripSweep,
+                         ::testing::Values(7, 77, 777));
+
+class CrlMutationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrlMutationSweep, MutatedBytesNeverCrash) {
+  util::Rng rng(GetParam());
+  const Crl crl = random_crl(rng);
+  const asn1::Bytes der = crl.to_der();
+  for (int trial = 0; trial < 200; ++trial) {
+    asn1::Bytes mutated = der;
+    const std::uint64_t flips = 1 + rng.below(3);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    if (rng.chance(0.25)) mutated.resize(1 + rng.below(mutated.size()));
+    try {
+      const Crl parsed = Crl::from_der(mutated);
+      (void)parsed.size();
+    } catch (const stalecert::Error&) {
+      // structured rejection is the expected outcome
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrlMutationSweep, ::testing::Values(13, 1313));
+
+}  // namespace
+}  // namespace stalecert::revocation

@@ -1,0 +1,104 @@
+#include "stalecert/revocation/crl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::revocation {
+namespace {
+
+using util::Date;
+
+Crl sample_crl() {
+  Crl crl({"Example CA", "Example Trust", "US"},
+          crypto::Sha256::hash("issuer-key"), Date::parse("2022-11-01"),
+          Date::parse("2022-11-08"));
+  crl.add({{0x01, 0x02}, Date::parse("2022-10-15"), ReasonCode::kKeyCompromise});
+  crl.add({{0x7f}, Date::parse("2022-10-20"), ReasonCode::kSuperseded});
+  crl.add({{0x00, 0xff, 0x10}, Date::parse("2022-10-25"),
+           ReasonCode::kCessationOfOperation});
+  return crl;
+}
+
+TEST(CrlTest, BasicAccessors) {
+  const Crl crl = sample_crl();
+  EXPECT_EQ(crl.size(), 3u);
+  EXPECT_EQ(crl.issuer().common_name, "Example CA");
+  EXPECT_EQ(crl.this_update(), Date::parse("2022-11-01"));
+  EXPECT_EQ(crl.next_update(), Date::parse("2022-11-08"));
+}
+
+TEST(CrlTest, NextUpdateBeforeThisUpdateRejected) {
+  EXPECT_THROW(Crl({}, {}, Date::parse("2022-11-08"), Date::parse("2022-11-01")),
+               stalecert::LogicError);
+}
+
+TEST(CrlTest, LookupBySerial) {
+  const Crl crl = sample_crl();
+  const asn1::Bytes hit = {0x01, 0x02};
+  const asn1::Bytes miss = {0x09};
+  EXPECT_TRUE(crl.is_revoked(hit));
+  EXPECT_FALSE(crl.is_revoked(miss));
+  const auto* entry = crl.find(hit);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->reason, ReasonCode::kKeyCompromise);
+  EXPECT_EQ(entry->revocation_date, Date::parse("2022-10-15"));
+}
+
+TEST(CrlTest, DerRoundTrip) {
+  const Crl original = sample_crl();
+  const asn1::Bytes der = original.to_der();
+  const Crl parsed = Crl::from_der(der);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(CrlTest, EmptyCrlRoundTrips) {
+  const Crl empty({"CA", "O", "US"}, crypto::Sha256::hash("k"),
+                  Date::parse("2022-01-01"), Date::parse("2022-01-08"));
+  EXPECT_EQ(Crl::from_der(empty.to_der()), empty);
+}
+
+TEST(CrlTest, SerialWithHighBitSurvivesRoundTrip) {
+  // 0xff-leading serials require the DER INTEGER zero-pad.
+  Crl crl({"CA", "O", "US"}, crypto::Sha256::hash("k"), Date::parse("2022-01-01"),
+          Date::parse("2022-01-08"));
+  crl.add({{0xff, 0xee, 0xdd}, Date::parse("2021-12-01"), ReasonCode::kUnspecified});
+  const Crl parsed = Crl::from_der(crl.to_der());
+  EXPECT_EQ(parsed.entries()[0].serial, (asn1::Bytes{0xff, 0xee, 0xdd}));
+}
+
+TEST(CrlTest, GarbageRejected) {
+  EXPECT_THROW(Crl::from_der(asn1::Bytes{0x01, 0x02, 0x03}), stalecert::ParseError);
+  EXPECT_THROW(Crl::from_der(asn1::Bytes{}), stalecert::ParseError);
+}
+
+TEST(ReasonCodeTest, RoundTripNames) {
+  for (const auto reason :
+       {ReasonCode::kUnspecified, ReasonCode::kKeyCompromise,
+        ReasonCode::kCaCompromise, ReasonCode::kAffiliationChanged,
+        ReasonCode::kSuperseded, ReasonCode::kCessationOfOperation,
+        ReasonCode::kCertificateHold, ReasonCode::kRemoveFromCrl,
+        ReasonCode::kPrivilegeWithdrawn, ReasonCode::kAaCompromise}) {
+    EXPECT_EQ(reason_from_string(to_string(reason)), reason);
+  }
+  EXPECT_EQ(reason_from_string("nonsense"), std::nullopt);
+}
+
+TEST(ReasonCodeTest, MozillaPermitsExactlySix) {
+  int permitted = 0;
+  for (const auto reason :
+       {ReasonCode::kUnspecified, ReasonCode::kKeyCompromise,
+        ReasonCode::kCaCompromise, ReasonCode::kAffiliationChanged,
+        ReasonCode::kSuperseded, ReasonCode::kCessationOfOperation,
+        ReasonCode::kCertificateHold, ReasonCode::kRemoveFromCrl,
+        ReasonCode::kPrivilegeWithdrawn, ReasonCode::kAaCompromise}) {
+    if (mozilla_permitted(reason)) ++permitted;
+  }
+  EXPECT_EQ(permitted, 6);
+  EXPECT_TRUE(mozilla_permitted(ReasonCode::kKeyCompromise));
+  EXPECT_FALSE(mozilla_permitted(ReasonCode::kCertificateHold));
+  EXPECT_FALSE(mozilla_permitted(ReasonCode::kCaCompromise));
+}
+
+}  // namespace
+}  // namespace stalecert::revocation

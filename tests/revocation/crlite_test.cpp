@@ -1,0 +1,116 @@
+#include "stalecert/revocation/crlite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/rng.hpp"
+
+namespace stalecert::revocation {
+namespace {
+
+std::vector<std::string> keys(const char* prefix, int n) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(std::string(prefix) + std::to_string(i));
+  return out;
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(4096, 7, 1);
+  const auto inserted = keys("in", 200);
+  for (const auto& key : inserted) filter.insert(key);
+  for (const auto& key : inserted) {
+    EXPECT_TRUE(filter.maybe_contains(key)) << key;
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter filter(4096, 7, 2);
+  for (const auto& key : keys("in", 200)) filter.insert(key);
+  int false_positives = 0;
+  for (const auto& key : keys("out", 2000)) {
+    if (filter.maybe_contains(key)) ++false_positives;
+  }
+  EXPECT_LT(false_positives, 100);  // ~20 bits/entry -> tiny FP rate
+}
+
+TEST(BloomFilterTest, SaltChangesPositions) {
+  BloomFilter a(1024, 4, 1);
+  BloomFilter b(1024, 4, 2);
+  a.insert("key");
+  // Different salt: "key" should (overwhelmingly likely) not fully match b.
+  EXPECT_FALSE(b.maybe_contains("key"));
+}
+
+TEST(CrliteTest, ExactOnEnrolledUniverse) {
+  const auto revoked = keys("revoked", 500);
+  const auto valid = keys("valid", 5000);
+  const CrliteFilter filter = CrliteFilter::build(revoked, valid);
+
+  for (const auto& key : revoked) {
+    EXPECT_TRUE(filter.is_revoked(key)) << key;
+  }
+  for (const auto& key : valid) {
+    EXPECT_FALSE(filter.is_revoked(key)) << key;
+  }
+  EXPECT_EQ(filter.enrolled_revoked(), 500u);
+  EXPECT_EQ(filter.enrolled_valid(), 5000u);
+  EXPECT_GE(filter.level_count(), 1u);
+}
+
+TEST(CrliteTest, EmptyRevokedSet) {
+  const CrliteFilter filter = CrliteFilter::build({}, keys("valid", 100));
+  EXPECT_EQ(filter.level_count(), 0u);
+  EXPECT_FALSE(filter.is_revoked("valid1"));
+  EXPECT_FALSE(filter.is_revoked("anything"));
+}
+
+TEST(CrliteTest, CompressionBeatsPlainList) {
+  // The whole point of CRLite: the cascade is far smaller than shipping
+  // the revoked serials outright.
+  const auto revoked = keys("revoked-certificate-serial-", 2000);
+  const auto valid = keys("valid-certificate-serial-", 20000);
+  const CrliteFilter filter = CrliteFilter::build(revoked, valid);
+
+  std::size_t plain_bytes = 0;
+  for (const auto& key : revoked) plain_bytes += key.size();
+  EXPECT_LT(filter.total_bytes(), plain_bytes);
+}
+
+TEST(CrliteTest, RejectsAbsurdParameters) {
+  EXPECT_THROW(CrliteFilter::build(keys("r", 10), keys("v", 10), 1.0),
+               stalecert::LogicError);
+}
+
+class CrliteSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrliteSweep, ExactAcrossSizes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int revoked_n = GetParam();
+  const int valid_n = GetParam() * 10;
+  std::vector<std::string> revoked;
+  std::vector<std::string> valid;
+  for (int i = 0; i < revoked_n; ++i) {
+    revoked.push_back("r" + std::to_string(rng.next()));
+  }
+  for (int i = 0; i < valid_n; ++i) {
+    valid.push_back("v" + std::to_string(rng.next()));
+  }
+  const CrliteFilter filter = CrliteFilter::build(revoked, valid);
+  for (const auto& key : revoked) EXPECT_TRUE(filter.is_revoked(key));
+  for (const auto& key : valid) EXPECT_FALSE(filter.is_revoked(key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrliteSweep, ::testing::Values(1, 17, 128, 1000));
+
+TEST(CrliteKeyTest, Format) {
+  crypto::Digest digest{};
+  digest[0] = 0xab;
+  const std::string key = crlite_key(digest, {0x01, 0x02});
+  EXPECT_EQ(key.size(), 64 + 1 + 4);
+  EXPECT_EQ(key.substr(0, 2), "ab");
+  EXPECT_EQ(key.substr(key.size() - 5), ":0102");
+}
+
+}  // namespace
+}  // namespace stalecert::revocation

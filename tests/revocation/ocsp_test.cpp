@@ -1,0 +1,82 @@
+#include "stalecert/revocation/ocsp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::revocation {
+namespace {
+
+using util::Date;
+
+Crl make_crl(const crypto::Digest& aki, const char* this_update) {
+  Crl crl({"CA", "Org", "US"}, aki, Date::parse(this_update),
+          Date::parse(this_update) + 7);
+  crl.add({{0x11}, Date::parse(this_update) - 10, ReasonCode::kKeyCompromise});
+  crl.add({{0x22}, Date::parse(this_update) - 3, ReasonCode::kSuperseded});
+  return crl;
+}
+
+TEST(OcspResponderTest, UnknownBeforeAnyCrl) {
+  OcspResponder responder(crypto::Sha256::hash("ca"));
+  const auto response = responder.query({0x11}, Date::parse("2022-01-01"));
+  EXPECT_EQ(response.status, CertStatus::kUnknown);
+}
+
+TEST(OcspResponderTest, GoodAndRevokedAfterCrl) {
+  const auto aki = crypto::Sha256::hash("ca");
+  OcspResponder responder(aki);
+  ASSERT_TRUE(responder.update_from_crl(make_crl(aki, "2022-06-01")));
+  EXPECT_EQ(responder.revoked_count(), 2u);
+
+  const auto revoked = responder.query({0x11}, Date::parse("2022-06-02"));
+  EXPECT_EQ(revoked.status, CertStatus::kRevoked);
+  EXPECT_EQ(revoked.revocation_time, Date::parse("2022-05-22"));
+  EXPECT_EQ(revoked.reason, ReasonCode::kKeyCompromise);
+
+  const auto good = responder.query({0x99}, Date::parse("2022-06-02"));
+  EXPECT_EQ(good.status, CertStatus::kGood);
+}
+
+TEST(OcspResponderTest, RejectsForeignCrl) {
+  OcspResponder responder(crypto::Sha256::hash("ca-a"));
+  EXPECT_FALSE(responder.update_from_crl(make_crl(crypto::Sha256::hash("ca-b"),
+                                                  "2022-06-01")));
+  // Still uninitialized.
+  EXPECT_EQ(responder.query({0x11}, Date::parse("2022-06-02")).status,
+            CertStatus::kUnknown);
+}
+
+TEST(OcspResponderTest, ResponseFreshnessWindow) {
+  const auto aki = crypto::Sha256::hash("ca");
+  OcspResponder responder(aki, /*response_validity_days=*/7);
+  responder.update_from_crl(make_crl(aki, "2022-06-01"));
+  const auto response = responder.query({0x99}, Date::parse("2022-06-02"));
+  EXPECT_TRUE(response.fresh_at(Date::parse("2022-06-02")));
+  EXPECT_TRUE(response.fresh_at(Date::parse("2022-06-08")));
+  EXPECT_FALSE(response.fresh_at(Date::parse("2022-06-09")));
+  EXPECT_FALSE(response.fresh_at(Date::parse("2022-06-01")));
+}
+
+TEST(OcspResponderTest, IncrementalCrlUpdates) {
+  const auto aki = crypto::Sha256::hash("ca");
+  OcspResponder responder(aki);
+  responder.update_from_crl(make_crl(aki, "2022-06-01"));
+  Crl later({"CA", "Org", "US"}, aki, Date::parse("2022-07-01"),
+            Date::parse("2022-07-08"));
+  later.add({{0x33}, Date::parse("2022-06-20"), ReasonCode::kUnspecified});
+  responder.update_from_crl(later);
+  EXPECT_EQ(responder.revoked_count(), 3u);
+  EXPECT_EQ(responder.query({0x33}, Date::parse("2022-07-02")).status,
+            CertStatus::kRevoked);
+  // Earlier entries persist across updates.
+  EXPECT_EQ(responder.query({0x11}, Date::parse("2022-07-02")).status,
+            CertStatus::kRevoked);
+}
+
+TEST(CertStatusTest, Names) {
+  EXPECT_EQ(to_string(CertStatus::kGood), "good");
+  EXPECT_EQ(to_string(CertStatus::kRevoked), "revoked");
+  EXPECT_EQ(to_string(CertStatus::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace stalecert::revocation

@@ -1,0 +1,125 @@
+// Edge-configuration worlds: detectors must degrade to zero cleanly when
+// the phenomenon they measure is configured away, and ground truth must
+// stay consistent under extreme mixes.
+#include <gtest/gtest.h>
+
+#include "stalecert/core/pipeline.hpp"
+#include "stalecert/sim/world.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::sim {
+namespace {
+
+core::PipelineResult run_pipeline_over(World& world) {
+  core::PipelineConfig config;
+  config.delegation_patterns = world.cloudflare_delegation_patterns();
+  config.managed_san_pattern = world.cloudflare_san_pattern();
+  return core::run_pipeline(world.ct_logs(), world.crl_collection().store(),
+                            world.whois().re_registrations(), world.adns(),
+                            config);
+}
+
+WorldConfig short_config() {
+  WorldConfig config = small_test_config();
+  config.end = config.start + 400;
+  config.adns_start = config.start + 200;
+  config.adns_end = config.start + 280;
+  config.crl_start = config.start + 300;
+  config.crl_end = config.start + 400;
+  return config;
+}
+
+TEST(WorldEdgeTest, NoHttpsMeansNoCertificatesAnywhere) {
+  WorldConfig config = short_config();
+  config.https_adoption_start = 0.0;
+  config.https_adoption_end = 0.0;
+  config.daily_refund_abuse = 0.0;  // abuse path forces certificates too
+  World world(config);
+  world.run();
+
+  EXPECT_EQ(world.stats().certificates_issued, 0u);
+  EXPECT_EQ(world.ct_logs().total_entries(), 0u);
+  const auto result = run_pipeline_over(world);
+  EXPECT_EQ(result.corpus.size(), 0u);
+  EXPECT_TRUE(result.all_third_party().empty());
+}
+
+TEST(WorldEdgeTest, NoCdnMeansNoManagedDepartures) {
+  WorldConfig config = short_config();
+  config.cdn_share_start = 0.0;
+  config.cdn_share_end = 0.0;
+  World world(config);
+  world.run();
+
+  EXPECT_EQ(world.stats().cdn_enrollments, 0u);
+  EXPECT_EQ(world.stats().cdn_departures, 0u);
+  const auto result = run_pipeline_over(world);
+  EXPECT_TRUE(result.managed_departure.empty());
+  // Other classes keep working.
+  EXPECT_GT(result.corpus.size(), 0u);
+}
+
+TEST(WorldEdgeTest, EveryoneRenewsMeansNoReRegistrations) {
+  WorldConfig config = short_config();
+  config.renewal_probability = 1.0;
+  config.daily_refund_abuse = 0.0;
+  World world(config);
+  world.run();
+
+  EXPECT_EQ(world.stats().domains_reregistered, 0u);
+  const auto result = run_pipeline_over(world);
+  EXPECT_TRUE(result.registrant_change.empty());
+}
+
+TEST(WorldEdgeTest, NoRevocationActivityMeansEmptyJoin) {
+  WorldConfig config = short_config();
+  config.daily_key_compromise_2021 = 0.0;
+  config.daily_other_revocations = 0.0;
+  config.godaddy_breach = false;
+  World world(config);
+  world.run();
+
+  EXPECT_EQ(world.stats().key_compromises, 0u);
+  EXPECT_EQ(world.stats().other_revocations, 0u);
+  const auto result = run_pipeline_over(world);
+  EXPECT_TRUE(result.revocations.all_revoked.empty());
+  // CRLs were still collected — they were just empty.
+  EXPECT_GT(world.crl_collection().total_coverage().succeeded, 0u);
+  EXPECT_EQ(world.crl_collection().store().size(), 0u);
+}
+
+TEST(WorldEdgeTest, AllCdnWorldStillConsistent) {
+  WorldConfig config = short_config();
+  config.cdn_share_start = 1.0;
+  config.cdn_share_end = 1.0;
+  config.https_adoption_start = 1.0;
+  config.https_adoption_end = 1.0;
+  World world(config);
+  world.run();
+
+  EXPECT_GT(world.stats().cdn_enrollments, 0u);
+  // Every HTTPS site is managed; the corpus is dominated by managed certs.
+  const auto result = run_pipeline_over(world);
+  std::uint64_t managed = 0;
+  for (const auto& cert : result.corpus.certificates()) {
+    for (const auto& name : cert.dns_names()) {
+      if (util::wildcard_match(world.cloudflare_san_pattern(), name)) {
+        ++managed;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(managed * 2, result.corpus.size());
+}
+
+TEST(WorldEdgeTest, KeylessWorldHasNoCustody) {
+  WorldConfig config = short_config();
+  config.cloudflare_keyless = true;
+  World world(config);
+  world.run();
+  EXPECT_GT(world.stats().cdn_enrollments, 0u);
+  EXPECT_TRUE(world.cloudflare().custody_ledger().empty());
+}
+
+}  // namespace
+}  // namespace stalecert::sim

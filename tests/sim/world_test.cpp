@@ -1,0 +1,141 @@
+#include "stalecert/sim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/core/analyzer.hpp"
+#include "stalecert/core/corpus.hpp"
+#include "stalecert/core/detectors.hpp"
+
+namespace stalecert::sim {
+namespace {
+
+class WorldFixture : public ::testing::Test {
+ protected:
+  static World& world() {
+    // Running the simulation once for the whole suite keeps the test fast.
+    static World* instance = [] {
+      auto* w = new World(small_test_config());
+      w->run();
+      return w;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(WorldFixture, PopulationsAreAlive) {
+  const auto& stats = world().stats();
+  EXPECT_GT(stats.domains_registered, 300u);
+  EXPECT_GT(stats.certificates_issued, 50u);
+  EXPECT_GT(stats.cdn_enrollments, 5u);
+  EXPECT_GT(stats.domains_reregistered, 0u);
+  EXPECT_GT(stats.key_compromises, 0u);
+  EXPECT_GT(stats.other_revocations, 0u);
+}
+
+TEST_F(WorldFixture, CtCorpusCollectable) {
+  ct::CollectStats stats;
+  const auto corpus = world().ct_logs().collect({}, &stats);
+  EXPECT_GT(corpus.size(), 50u);
+  EXPECT_GE(stats.raw_entries, 2 * corpus.size());  // precert + final
+  for (const auto& cert : corpus) {
+    EXPECT_FALSE(cert.dns_names().empty());
+    EXPECT_GT(cert.lifetime_days(), 0);
+  }
+}
+
+TEST_F(WorldFixture, WhoisObservationsRecorded) {
+  EXPECT_GT(world().whois().record_count(), 100u);
+  // Some re-registrations must be visible via creation-date changes.
+  EXPECT_GT(world().whois().re_registrations().size(), 0u);
+}
+
+TEST_F(WorldFixture, AdnsSnapshotsDaily) {
+  const auto& adns = world().adns();
+  const auto config = small_test_config();
+  const std::size_t expected_days =
+      static_cast<std::size_t>(config.adns_end - config.adns_start) + 1;
+  EXPECT_EQ(adns.days(), expected_days);
+}
+
+TEST_F(WorldFixture, CrlCollectionCoversAllCas) {
+  const auto& collector = world().crl_collection();
+  EXPECT_EQ(collector.coverage().size(), world().cas().size());
+  EXPECT_GT(collector.total_coverage().ratio(), 0.9);
+  EXPECT_GT(collector.store().size(), 0u);
+}
+
+TEST_F(WorldFixture, GodaddyBreachVisibleInRevocations) {
+  // Join revocations and check the breach spike lands in Nov/Dec 2021.
+  const auto corpus_certs = world().ct_logs().collect();
+  core::CertificateCorpus corpus(corpus_certs);
+  const auto result =
+      core::analyze_revocations(corpus, world().crl_collection().store(), {});
+  std::uint64_t godaddy_breach_window = 0;
+  for (const auto& stale : result.key_compromise) {
+    const auto& cert = corpus.at(stale.corpus_index);
+    if (cert.issuer().organization == "GoDaddy" &&
+        stale.event_date >= util::Date::parse("2021-11-01") &&
+        stale.event_date <= util::Date::parse("2021-12-31")) {
+      ++godaddy_breach_window;
+    }
+  }
+  EXPECT_GT(godaddy_breach_window, 2u);
+}
+
+TEST_F(WorldFixture, ManagedTlsDeparturesDetectable) {
+  const auto corpus_certs = world().ct_logs().collect();
+  core::CertificateCorpus corpus(corpus_certs);
+  core::ManagedTlsOptions options;
+  options.delegation_patterns = world().cloudflare_delegation_patterns();
+  options.managed_san_pattern = world().cloudflare_san_pattern();
+  const auto departures = core::detect_departures(world().adns(), options);
+  const auto stale =
+      core::detect_managed_tls_departure(corpus, world().adns(), options);
+  // Attrition is configured at 3%/month over 3 months of scanning with
+  // dozens of enrolled customers; some departures must surface.
+  EXPECT_GT(departures.size(), 0u);
+  EXPECT_GT(stale.size(), 0u);
+  for (const auto& record : stale) {
+    EXPECT_TRUE(corpus.at(record.corpus_index).valid_at(record.event_date));
+  }
+}
+
+TEST_F(WorldFixture, ValidationEnvironmentSemantics) {
+  // The Cloudflare actor controls web for enrolled customers only; random
+  // actors control nothing they don't own.
+  const auto& world_ref = world();
+  EXPECT_FALSE(world_ref.controls_dns("never-registered-domain.com", 12345));
+  EXPECT_FALSE(world_ref.controls_web("never-registered-domain.com", 12345));
+}
+
+TEST(WorldConfigTest, InvalidRangeRejected) {
+  WorldConfig config = small_test_config();
+  config.end = config.start - 1;
+  EXPECT_THROW(World{config}, stalecert::LogicError);
+}
+
+TEST(WorldDeterminismTest, SameSeedSameWorld) {
+  WorldConfig config = small_test_config();
+  config.end = config.start + 120;  // short run
+  World a(config);
+  a.run();
+  World b(config);
+  b.run();
+  EXPECT_EQ(a.stats().domains_registered, b.stats().domains_registered);
+  EXPECT_EQ(a.stats().certificates_issued, b.stats().certificates_issued);
+  EXPECT_EQ(a.ct_logs().total_entries(), b.ct_logs().total_entries());
+}
+
+TEST(WorldDeterminismTest, DifferentSeedsDiverge) {
+  WorldConfig config = small_test_config();
+  config.end = config.start + 120;
+  World a(config);
+  a.run();
+  config.seed = 12345;
+  World b(config);
+  b.run();
+  EXPECT_NE(a.ct_logs().total_entries(), b.ct_logs().total_entries());
+}
+
+}  // namespace
+}  // namespace stalecert::sim

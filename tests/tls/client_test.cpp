@@ -1,0 +1,269 @@
+#include "stalecert/tls/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/hex.hpp"
+
+namespace stalecert::tls {
+namespace {
+
+using util::Date;
+
+class TlsClientFixture : public ::testing::Test {
+ protected:
+  TlsClientFixture()
+      : issuer_key_(crypto::KeyPair::derive("issuer", crypto::KeyAlgorithm::kEcdsaP384)),
+        responder_(issuer_key_.key_id()) {
+    trust_.trust(issuer_key_.key_id());
+  }
+
+  x509::Certificate make_cert(bool must_staple = false) {
+    x509::CertificateBuilder builder;
+    builder.serial(7)
+        .issuer({"Test CA", "Test", "US"})
+        .subject_cn("site.example.com")
+        .validity(Date::parse("2022-01-01"), Date::parse("2022-12-31"))
+        .key(crypto::KeyPair::derive("leaf", crypto::KeyAlgorithm::kEcdsaP256))
+        .dns_names({"site.example.com", "*.site.example.com"})
+        .authority_key_id(issuer_key_.key_id())
+        .server_auth_profile()
+        .sct_log_ids({1});
+    if (must_staple) builder.ocsp_must_staple();
+    return builder.build();
+  }
+
+  Network network_with_responder(bool reachable = true) {
+    Network network;
+    network.revocation_reachable = reachable;
+    network.responders[util::hex_encode(issuer_key_.key_id())] = &responder_;
+    return network;
+  }
+
+  void revoke_leaf(const x509::Certificate& cert) {
+    revocation::Crl crl({"Test CA", "Test", "US"}, issuer_key_.key_id(),
+                        Date::parse("2022-06-01"), Date::parse("2022-06-08"));
+    crl.add({cert.serial(), Date::parse("2022-05-15"),
+             revocation::ReasonCode::kKeyCompromise});
+    responder_.update_from_crl(crl);
+  }
+
+  crypto::KeyPair issuer_key_;
+  revocation::OcspResponder responder_;
+  TrustStore trust_;
+};
+
+TEST_F(TlsClientFixture, HappyPath) {
+  const TlsClient client(chrome(), trust_);
+  const ServerContext server{make_cert(), true, std::nullopt};
+  const auto result = client.connect("site.example.com", Date::parse("2022-06-15"),
+                                     server, {});
+  EXPECT_TRUE(result.accepted) << result.reason;
+  EXPECT_EQ(result.reason, "ok");
+}
+
+TEST_F(TlsClientFixture, KeyPossessionRequired) {
+  const TlsClient client(chrome(), trust_);
+  const ServerContext server{make_cert(), /*holds_private_key=*/false, std::nullopt};
+  const auto result = client.connect("site.example.com", Date::parse("2022-06-15"),
+                                     server, {});
+  EXPECT_FALSE(result.accepted);
+  EXPECT_NE(result.reason.find("private key"), std::string::npos);
+}
+
+TEST_F(TlsClientFixture, NameMismatchRejected) {
+  const TlsClient client(chrome(), trust_);
+  const ServerContext server{make_cert(), true, std::nullopt};
+  EXPECT_FALSE(client.connect("other.example.org", Date::parse("2022-06-15"),
+                              server, {})
+                   .accepted);
+  // One-level wildcard works, deeper does not.
+  EXPECT_TRUE(client.connect("api.site.example.com", Date::parse("2022-06-15"),
+                             server, {})
+                  .accepted);
+  EXPECT_FALSE(client.connect("a.b.site.example.com", Date::parse("2022-06-15"),
+                              server, {})
+                   .accepted);
+}
+
+TEST_F(TlsClientFixture, ExpiryEnforced) {
+  const TlsClient client(chrome(), trust_);
+  const ServerContext server{make_cert(), true, std::nullopt};
+  EXPECT_FALSE(client.connect("site.example.com", Date::parse("2023-02-01"),
+                              server, {})
+                   .accepted);
+  EXPECT_FALSE(client.connect("site.example.com", Date::parse("2021-06-15"),
+                              server, {})
+                   .accepted);
+}
+
+TEST_F(TlsClientFixture, UntrustedIssuerRejected) {
+  TrustStore empty;
+  const TlsClient client(chrome(), empty);
+  const ServerContext server{make_cert(), true, std::nullopt};
+  const auto result = client.connect("site.example.com", Date::parse("2022-06-15"),
+                                     server, {});
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "issuer not trusted");
+}
+
+TEST_F(TlsClientFixture, NoRevocationPolicyAcceptsRevoked) {
+  // Chrome/Edge do not check subscriber revocation: a revoked certificate
+  // sails through (§2.4).
+  const auto cert = make_cert();
+  revoke_leaf(cert);
+  const TlsClient client(chrome(), trust_);
+  const auto result = client.connect("site.example.com", Date::parse("2022-06-15"),
+                                     ServerContext{cert, true, std::nullopt},
+                                     network_with_responder());
+  EXPECT_TRUE(result.accepted);
+  EXPECT_FALSE(result.revocation_checked);
+}
+
+TEST_F(TlsClientFixture, SoftFailRejectsWhenStatusObtainable) {
+  const auto cert = make_cert();
+  revoke_leaf(cert);
+  const TlsClient client(firefox(), trust_);
+  const auto result = client.connect("site.example.com", Date::parse("2022-06-15"),
+                                     ServerContext{cert, true, std::nullopt},
+                                     network_with_responder());
+  EXPECT_FALSE(result.accepted);
+  EXPECT_TRUE(result.revocation_checked);
+}
+
+TEST_F(TlsClientFixture, SoftFailBypassedWhenRevocationBlocked) {
+  // The interception loophole: drop OCSP traffic and soft-fail accepts.
+  const auto cert = make_cert();
+  revoke_leaf(cert);
+  const TlsClient client(firefox(), trust_);
+  const auto result = client.connect(
+      "site.example.com", Date::parse("2022-06-15"),
+      ServerContext{cert, true, std::nullopt},
+      network_with_responder(/*reachable=*/false));
+  EXPECT_TRUE(result.accepted);
+  EXPECT_TRUE(result.revocation_unavailable);
+}
+
+TEST_F(TlsClientFixture, HardFailRejectsWhenRevocationBlocked) {
+  const auto cert = make_cert();
+  const TlsClient client(hardened_client(), trust_);
+  const auto result = client.connect(
+      "site.example.com", Date::parse("2022-06-15"),
+      ServerContext{cert, true, std::nullopt},
+      network_with_responder(/*reachable=*/false));
+  EXPECT_FALSE(result.accepted);
+}
+
+TEST_F(TlsClientFixture, MustStapleClosesTheLoophole) {
+  // Firefox + Must-Staple hard-fails without a staple even though its
+  // general policy is soft-fail (the paper's footnote 2).
+  const auto cert = make_cert(/*must_staple=*/true);
+  revoke_leaf(cert);
+  const TlsClient ff(firefox(), trust_);
+  const auto result = ff.connect("site.example.com", Date::parse("2022-06-15"),
+                                 ServerContext{cert, true, std::nullopt},
+                                 network_with_responder(/*reachable=*/false));
+  EXPECT_FALSE(result.accepted);
+  EXPECT_NE(result.reason.find("Must-Staple"), std::string::npos);
+
+  // Safari does not enforce Must-Staple: the bypass still works there.
+  const TlsClient saf(safari(), trust_);
+  EXPECT_TRUE(saf.connect("site.example.com", Date::parse("2022-06-15"),
+                          ServerContext{cert, true, std::nullopt},
+                          network_with_responder(false))
+                  .accepted);
+}
+
+TEST_F(TlsClientFixture, FreshGoodStapleAccepted) {
+  const auto cert = make_cert(/*must_staple=*/true);
+  revocation::OcspResponse staple;
+  staple.status = revocation::CertStatus::kGood;
+  staple.this_update = Date::parse("2022-06-14");
+  staple.next_update = Date::parse("2022-06-21");
+  const TlsClient client(firefox(), trust_);
+  const auto result = client.connect("site.example.com", Date::parse("2022-06-15"),
+                                     ServerContext{cert, true, staple},
+                                     network_with_responder(false));
+  EXPECT_TRUE(result.accepted) << result.reason;
+  EXPECT_TRUE(result.revocation_checked);
+}
+
+TEST_F(TlsClientFixture, RevokedStapleRejected) {
+  const auto cert = make_cert();
+  revocation::OcspResponse staple;
+  staple.status = revocation::CertStatus::kRevoked;
+  staple.this_update = Date::parse("2022-06-14");
+  staple.next_update = Date::parse("2022-06-21");
+  const TlsClient client(safari(), trust_);
+  EXPECT_FALSE(client.connect("site.example.com", Date::parse("2022-06-15"),
+                              ServerContext{cert, true, staple}, {})
+                   .accepted);
+}
+
+TEST_F(TlsClientFixture, StaleStapleIgnored) {
+  // An expired staple is as good as none: Must-Staple enforcement fails.
+  const auto cert = make_cert(/*must_staple=*/true);
+  revocation::OcspResponse staple;
+  staple.status = revocation::CertStatus::kGood;
+  staple.this_update = Date::parse("2022-01-01");
+  staple.next_update = Date::parse("2022-01-08");
+  const TlsClient client(firefox(), trust_);
+  EXPECT_FALSE(client.connect("site.example.com", Date::parse("2022-06-15"),
+                              ServerContext{cert, true, staple},
+                              network_with_responder(false))
+                   .accepted);
+}
+
+TEST_F(TlsClientFixture, PrecertificateRejected) {
+  x509::CertificateBuilder builder;
+  builder.serial(9)
+      .subject_cn("site.example.com")
+      .validity(Date::parse("2022-01-01"), Date::parse("2022-12-31"))
+      .key(crypto::KeyPair::derive("leaf2", crypto::KeyAlgorithm::kEcdsaP256))
+      .add_dns_name("site.example.com")
+      .authority_key_id(issuer_key_.key_id())
+      .precert_poison();
+  const TlsClient client(chrome(), trust_);
+  EXPECT_FALSE(client.connect("site.example.com", Date::parse("2022-06-15"),
+                              ServerContext{builder.build(), true, std::nullopt},
+                              {})
+                   .accepted);
+}
+
+TEST_F(TlsClientFixture, CtPolicyRequiresScts) {
+  // A certificate without embedded SCTs: Chrome (CT-required) rejects,
+  // curl (no CT policy) accepts.
+  x509::CertificateBuilder builder;
+  builder.serial(55)
+      .subject_cn("noct.example.com")
+      .validity(Date::parse("2022-01-01"), Date::parse("2022-12-31"))
+      .key(crypto::KeyPair::derive("noct", crypto::KeyAlgorithm::kEcdsaP256))
+      .add_dns_name("noct.example.com")
+      .authority_key_id(issuer_key_.key_id());
+  const ServerContext server{builder.build(), true, std::nullopt};
+
+  const auto chrome_result = TlsClient(chrome(), trust_)
+                                 .connect("noct.example.com",
+                                          Date::parse("2022-06-15"), server, {});
+  EXPECT_FALSE(chrome_result.accepted);
+  EXPECT_NE(chrome_result.reason.find("SCT"), std::string::npos);
+
+  EXPECT_TRUE(TlsClient(curl_client(), trust_)
+                  .connect("noct.example.com", Date::parse("2022-06-15"), server, {})
+                  .accepted);
+}
+
+TEST(ClientProfilesTest, PaperCharacterization) {
+  // §2.4: Chrome and Edge don't check; Firefox/Safari soft-fail; only
+  // Firefox enforces Must-Staple.
+  EXPECT_EQ(chrome().revocation, RevocationPolicy::kNone);
+  EXPECT_EQ(edge().revocation, RevocationPolicy::kNone);
+  EXPECT_EQ(curl_client().revocation, RevocationPolicy::kNone);
+  EXPECT_EQ(firefox().revocation, RevocationPolicy::kSoftFail);
+  EXPECT_EQ(safari().revocation, RevocationPolicy::kSoftFail);
+  EXPECT_TRUE(firefox().enforce_must_staple);
+  EXPECT_FALSE(safari().enforce_must_staple);
+  EXPECT_EQ(all_profiles().size(), 6u);
+}
+
+}  // namespace
+}  // namespace stalecert::tls

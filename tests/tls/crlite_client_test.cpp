@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "stalecert/revocation/crlite.hpp"
+#include "stalecert/tls/client.hpp"
+
+namespace stalecert::tls {
+namespace {
+
+using util::Date;
+
+class CrliteClientFixture : public ::testing::Test {
+ protected:
+  CrliteClientFixture()
+      : issuer_key_(
+            crypto::KeyPair::derive("crlite-issuer", crypto::KeyAlgorithm::kEcdsaP384)) {
+    trust_.trust(issuer_key_.key_id());
+    revoked_cert_ = make_cert(1, "revoked-key");
+    valid_cert_ = make_cert(2, "valid-key");
+    filter_ = std::make_unique<revocation::CrliteFilter>(
+        revocation::CrliteFilter::build(
+            {key_of(revoked_cert_)}, {key_of(valid_cert_)}));
+  }
+
+  x509::Certificate make_cert(std::uint64_t serial, const char* key_label) {
+    return x509::CertificateBuilder{}
+        .serial(serial)
+        .subject_cn("site.example.com")
+        .validity(Date::parse("2022-01-01"), Date::parse("2022-12-31"))
+        .key(crypto::KeyPair::derive(key_label, crypto::KeyAlgorithm::kEcdsaP256))
+        .add_dns_name("site.example.com")
+        .authority_key_id(issuer_key_.key_id())
+        .sct_log_ids({1})
+        .build();
+  }
+
+  static std::string key_of(const x509::Certificate& cert) {
+    const auto issuer_serial = cert.issuer_serial();
+    return revocation::crlite_key(issuer_serial->authority_key_id,
+                                  issuer_serial->serial);
+  }
+
+  crypto::KeyPair issuer_key_;
+  TrustStore trust_;
+  x509::Certificate revoked_cert_;
+  x509::Certificate valid_cert_;
+  std::unique_ptr<revocation::CrliteFilter> filter_;
+};
+
+TEST_F(CrliteClientFixture, LocalFilterRejectsRevokedEvenWithNetworkBlocked) {
+  // Chrome normally never checks revocation; with a pushed CRLite filter
+  // it rejects the revoked certificate — and no network is involved, so
+  // the attacker's traffic dropping is useless.
+  TlsClient client(chrome(), trust_);
+  client.install_crlite(filter_.get());
+
+  Network hostile;
+  hostile.revocation_reachable = false;
+
+  const auto rejected = client.connect("site.example.com",
+                                       Date::parse("2022-06-15"),
+                                       {revoked_cert_, true, std::nullopt}, hostile);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.reason, "CRLite: certificate revoked");
+  EXPECT_TRUE(rejected.revocation_checked);
+
+  const auto accepted = client.connect("site.example.com",
+                                       Date::parse("2022-06-15"),
+                                       {valid_cert_, true, std::nullopt}, hostile);
+  EXPECT_TRUE(accepted.accepted) << accepted.reason;
+}
+
+TEST_F(CrliteClientFixture, WithoutFilterChromeAcceptsRevoked) {
+  const TlsClient client(chrome(), trust_);
+  const auto result = client.connect("site.example.com", Date::parse("2022-06-15"),
+                                     {revoked_cert_, true, std::nullopt}, {});
+  EXPECT_TRUE(result.accepted);
+}
+
+TEST_F(CrliteClientFixture, FilterChecksPrecedeOcspPolicy) {
+  // Even a hard-fail client with no responder reachable gets a definitive
+  // local answer for enrolled certificates.
+  TlsClient client(hardened_client(), trust_);
+  client.install_crlite(filter_.get());
+  Network hostile;
+  hostile.revocation_reachable = false;
+  const auto result = client.connect("site.example.com", Date::parse("2022-06-15"),
+                                     {revoked_cert_, true, std::nullopt}, hostile);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "CRLite: certificate revoked");
+}
+
+}  // namespace
+}  // namespace stalecert::tls

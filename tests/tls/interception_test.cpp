@@ -1,0 +1,157 @@
+#include "stalecert/tls/interception.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::tls {
+namespace {
+
+using util::Date;
+
+class InterceptionFixture : public ::testing::Test {
+ protected:
+  InterceptionFixture()
+      : issuer_key_(crypto::KeyPair::derive("icept-issuer",
+                                            crypto::KeyAlgorithm::kEcdsaP384)),
+        responder_(issuer_key_.key_id()) {
+    trust_.trust(issuer_key_.key_id());
+  }
+
+  x509::Certificate stale_cert(bool must_staple = false) {
+    x509::CertificateBuilder builder;
+    builder.serial(21)
+        .issuer({"Victim CA", "V", "US"})
+        .subject_cn("victim.com")
+        .validity(Date::parse("2022-01-01"), Date::parse("2022-12-31"))
+        .key(crypto::KeyPair::derive("stale-key", crypto::KeyAlgorithm::kEcdsaP256))
+        .dns_names({"victim.com", "www.victim.com"})
+        .authority_key_id(issuer_key_.key_id())
+        .sct_log_ids({1});
+    if (must_staple) builder.ocsp_must_staple();
+    return builder.build();
+  }
+
+  void revoke(const x509::Certificate& cert) {
+    revocation::Crl crl({"Victim CA", "V", "US"}, issuer_key_.key_id(),
+                        Date::parse("2022-05-01"), Date::parse("2022-05-08"));
+    crl.add({cert.serial(), Date::parse("2022-04-20"),
+             revocation::ReasonCode::kKeyCompromise});
+    responder_.update_from_crl(crl);
+  }
+
+  static const InterceptionOutcome& outcome_for(
+      const std::vector<InterceptionOutcome>& outcomes, const std::string& client) {
+    for (const auto& outcome : outcomes) {
+      if (outcome.client == client) return outcome;
+    }
+    throw std::runtime_error("missing client " + client);
+  }
+
+  crypto::KeyPair issuer_key_;
+  revocation::OcspResponder responder_;
+  TrustStore trust_;
+};
+
+TEST_F(InterceptionFixture, UnrevokedStaleCertInterceptsEveryone) {
+  // Registrant change / managed TLS departure without revocation: every
+  // client accepts — CT cannot help, revocation was never published.
+  InterceptionScenario scenario;
+  scenario.description = "registrant change, no revocation";
+  scenario.hostname = "victim.com";
+  scenario.stale_certificate = stale_cert();
+  scenario.when = Date::parse("2022-06-15");
+  scenario.responder = &responder_;
+
+  const auto outcomes = run_interception(scenario, all_profiles(), trust_);
+  for (const auto& outcome : outcomes) {
+    if (outcome.client == "hardened") continue;  // hard-fail needs a status
+    EXPECT_TRUE(outcome.intercepted) << outcome.client << ": " << outcome.reason;
+  }
+}
+
+TEST_F(InterceptionFixture, RevokedCertWithBlockedRevocationStillIntercepts) {
+  // Key compromise + revocation published, but the on-path attacker drops
+  // revocation traffic: only hard-fail clients resist (§2.4).
+  const auto cert = stale_cert();
+  revoke(cert);
+  InterceptionScenario scenario;
+  scenario.description = "key compromise, revocation blocked";
+  scenario.hostname = "victim.com";
+  scenario.stale_certificate = cert;
+  scenario.when = Date::parse("2022-06-15");
+  scenario.attacker_blocks_revocation = true;
+  scenario.responder = &responder_;
+
+  const auto outcomes = run_interception(scenario, all_profiles(), trust_);
+  EXPECT_TRUE(outcome_for(outcomes, "Chrome").intercepted);
+  EXPECT_TRUE(outcome_for(outcomes, "Edge").intercepted);
+  EXPECT_TRUE(outcome_for(outcomes, "Firefox").intercepted);  // soft-fail bypass
+  EXPECT_TRUE(outcome_for(outcomes, "Safari").intercepted);
+  EXPECT_TRUE(outcome_for(outcomes, "curl").intercepted);
+  EXPECT_FALSE(outcome_for(outcomes, "hardened").intercepted);
+}
+
+TEST_F(InterceptionFixture, RevokedCertWithReachableRevocation) {
+  // If the attacker cannot block revocation, checking clients reject.
+  const auto cert = stale_cert();
+  revoke(cert);
+  InterceptionScenario scenario;
+  scenario.description = "key compromise, revocation reachable";
+  scenario.hostname = "victim.com";
+  scenario.stale_certificate = cert;
+  scenario.when = Date::parse("2022-06-15");
+  scenario.attacker_blocks_revocation = false;
+  scenario.responder = &responder_;
+
+  const auto outcomes = run_interception(scenario, all_profiles(), trust_);
+  EXPECT_TRUE(outcome_for(outcomes, "Chrome").intercepted);   // never checks
+  EXPECT_FALSE(outcome_for(outcomes, "Firefox").intercepted); // checks, sees revoked
+  EXPECT_FALSE(outcome_for(outcomes, "Safari").intercepted);
+  EXPECT_FALSE(outcome_for(outcomes, "hardened").intercepted);
+}
+
+TEST_F(InterceptionFixture, MustStapleProtectsFirefoxOnly) {
+  const auto cert = stale_cert(/*must_staple=*/true);
+  revoke(cert);
+  InterceptionScenario scenario;
+  scenario.description = "must-staple cert, revocation blocked";
+  scenario.hostname = "victim.com";
+  scenario.stale_certificate = cert;
+  scenario.when = Date::parse("2022-06-15");
+  scenario.responder = &responder_;
+
+  const auto outcomes = run_interception(scenario, all_profiles(), trust_);
+  EXPECT_FALSE(outcome_for(outcomes, "Firefox").intercepted);  // hard-fails
+  EXPECT_TRUE(outcome_for(outcomes, "Safari").intercepted);    // no enforcement
+  EXPECT_TRUE(outcome_for(outcomes, "Chrome").intercepted);
+}
+
+TEST_F(InterceptionFixture, WithoutKeyNobodyIsIntercepted) {
+  // A party that merely SEES the certificate (e.g. from CT) cannot
+  // intercept — key custody is everything.
+  InterceptionScenario scenario;
+  scenario.description = "no key";
+  scenario.hostname = "victim.com";
+  scenario.stale_certificate = stale_cert();
+  scenario.when = Date::parse("2022-06-15");
+  scenario.attacker_holds_key = false;
+
+  for (const auto& outcome : run_interception(scenario, all_profiles(), trust_)) {
+    EXPECT_FALSE(outcome.intercepted) << outcome.client;
+  }
+}
+
+TEST_F(InterceptionFixture, ExpiredStaleCertFails) {
+  // Expiration is "the final backstop": after notAfter nothing accepts.
+  InterceptionScenario scenario;
+  scenario.description = "expired";
+  scenario.hostname = "victim.com";
+  scenario.stale_certificate = stale_cert();
+  scenario.when = Date::parse("2023-03-01");
+
+  for (const auto& outcome : run_interception(scenario, all_profiles(), trust_)) {
+    EXPECT_FALSE(outcome.intercepted) << outcome.client;
+  }
+}
+
+}  // namespace
+}  // namespace stalecert::tls

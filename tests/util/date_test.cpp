@@ -1,0 +1,107 @@
+#include "stalecert/util/date.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::util {
+namespace {
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(Date::from_ymd(1970, 1, 1).days_since_epoch(), 0);
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(Date::from_ymd(1970, 1, 2).days_since_epoch(), 1);
+  EXPECT_EQ(Date::from_ymd(2000, 1, 1).days_since_epoch(), 10957);
+  EXPECT_EQ(Date::from_ymd(2023, 5, 12).days_since_epoch(), 19489);
+  EXPECT_EQ(Date::from_ymd(1969, 12, 31).days_since_epoch(), -1);
+}
+
+TEST(DateTest, RoundTripYmd) {
+  const Date d = Date::from_ymd(2021, 11, 17);
+  const auto ymd = d.to_ymd();
+  EXPECT_EQ(ymd.year, 2021);
+  EXPECT_EQ(ymd.month, 11u);
+  EXPECT_EQ(ymd.day, 17u);
+}
+
+TEST(DateTest, ParseAndToString) {
+  const Date d = Date::parse("2022-08-01");
+  EXPECT_EQ(d.to_string(), "2022-08-01");
+  EXPECT_EQ(d.year(), 2022);
+  EXPECT_EQ(d.month(), 8u);
+  EXPECT_EQ(d.day(), 1u);
+}
+
+TEST(DateTest, ParseRejectsMalformed) {
+  EXPECT_THROW(Date::parse("2022/08/01"), ParseError);
+  EXPECT_THROW(Date::parse("2022-13-01"), ParseError);
+  EXPECT_THROW(Date::parse("2022-02-30"), ParseError);
+  EXPECT_THROW(Date::parse("22-02-03"), ParseError);
+  EXPECT_THROW(Date::parse(""), ParseError);
+  EXPECT_THROW(Date::parse("2022-0a-01"), ParseError);
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_NO_THROW(Date::from_ymd(2020, 2, 29));
+  EXPECT_THROW(Date::from_ymd(2021, 2, 29), ParseError);
+  EXPECT_NO_THROW(Date::from_ymd(2000, 2, 29));  // divisible by 400
+  EXPECT_THROW(Date::from_ymd(1900, 2, 29), ParseError);  // divisible by 100
+}
+
+TEST(DateTest, Arithmetic) {
+  const Date d = Date::parse("2020-02-28");
+  EXPECT_EQ((d + 1).to_string(), "2020-02-29");
+  EXPECT_EQ((d + 2).to_string(), "2020-03-01");
+  EXPECT_EQ((d + 366) - d, 366);
+  EXPECT_EQ((d - 59).to_string(), "2019-12-31");
+}
+
+TEST(DateTest, Comparisons) {
+  EXPECT_LT(Date::parse("2020-01-01"), Date::parse("2020-01-02"));
+  EXPECT_EQ(Date::parse("2020-01-01"), Date::from_ymd(2020, 1, 1));
+}
+
+// Property sweep: round-trip through ymd for a dense range of days.
+class DateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTrip, DaysToYmdAndBack) {
+  const std::int64_t base = GetParam() * 1000;
+  for (std::int64_t offset = 0; offset < 1000; offset += 13) {
+    const Date d{base + offset};
+    const auto ymd = d.to_ymd();
+    EXPECT_EQ(Date::from_ymd(ymd.year, ymd.month, ymd.day), d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DateRoundTrip,
+                         ::testing::Values(-20, -10, -1, 0, 5, 10, 15, 19, 25));
+
+TEST(YearMonthTest, OfAndNext) {
+  const YearMonth ym = YearMonth::of(Date::parse("2022-12-31"));
+  EXPECT_EQ(ym.year, 2022);
+  EXPECT_EQ(ym.month, 12u);
+  EXPECT_EQ(ym.next(), (YearMonth{2023, 1}));
+  EXPECT_EQ((YearMonth{2022, 5}).next(), (YearMonth{2022, 6}));
+  EXPECT_EQ(ym.to_string(), "2022-12");
+  EXPECT_EQ(ym.first_day(), Date::parse("2022-12-01"));
+}
+
+TEST(YearMonthTest, IndexOrdering) {
+  EXPECT_LT((YearMonth{2021, 12}).index(), (YearMonth{2022, 1}).index());
+  EXPECT_EQ((YearMonth{2022, 1}).index() - (YearMonth{2021, 12}).index(), 1);
+}
+
+TEST(DaysInMonthTest, AllMonths) {
+  EXPECT_EQ(days_in_month(2021, 1), 31u);
+  EXPECT_EQ(days_in_month(2021, 2), 28u);
+  EXPECT_EQ(days_in_month(2020, 2), 29u);
+  EXPECT_EQ(days_in_month(2021, 4), 30u);
+  EXPECT_EQ(days_in_month(2021, 12), 31u);
+  EXPECT_THROW(days_in_month(2021, 0), LogicError);
+  EXPECT_THROW(days_in_month(2021, 13), LogicError);
+}
+
+}  // namespace
+}  // namespace stalecert::util

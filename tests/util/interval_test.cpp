@@ -1,0 +1,99 @@
+#include "stalecert/util/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::util {
+namespace {
+
+Date d(const char* iso) { return Date::parse(iso); }
+
+TEST(DateIntervalTest, BasicAccessors) {
+  const DateInterval interval{d("2022-01-01"), d("2022-04-01")};
+  EXPECT_EQ(interval.days(), 90);
+  EXPECT_FALSE(interval.empty());
+  EXPECT_TRUE(interval.contains(d("2022-01-01")));
+  EXPECT_TRUE(interval.contains(d("2022-03-31")));
+  EXPECT_FALSE(interval.contains(d("2022-04-01")));  // half-open
+  EXPECT_FALSE(interval.contains(d("2021-12-31")));
+}
+
+TEST(DateIntervalTest, InvertedConstructionClampsToEmpty) {
+  const DateInterval interval{d("2022-04-01"), d("2022-01-01")};
+  EXPECT_TRUE(interval.empty());
+  EXPECT_EQ(interval.days(), 0);
+}
+
+TEST(DateIntervalTest, Overlaps) {
+  const DateInterval a{d("2022-01-01"), d("2022-02-01")};
+  const DateInterval b{d("2022-01-15"), d("2022-03-01")};
+  const DateInterval c{d("2022-02-01"), d("2022-03-01")};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));  // touching, half-open
+}
+
+TEST(DateIntervalTest, IntersectCommutes) {
+  const DateInterval a{d("2022-01-01"), d("2022-02-01")};
+  const DateInterval b{d("2022-01-15"), d("2022-03-01")};
+  EXPECT_EQ(a.intersect(b), b.intersect(a));
+  EXPECT_EQ(a.intersect(b), (DateInterval{d("2022-01-15"), d("2022-02-01")}));
+}
+
+TEST(DateIntervalTest, IntersectDisjointIsEmpty) {
+  const DateInterval a{d("2022-01-01"), d("2022-02-01")};
+  const DateInterval b{d("2022-06-01"), d("2022-07-01")};
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(DateIntervalTest, ClampDuration) {
+  const DateInterval year{d("2022-01-01"), d("2023-01-01")};
+  const DateInterval capped = year.clamp_duration(90);
+  EXPECT_EQ(capped.begin(), year.begin());
+  EXPECT_EQ(capped.days(), 90);
+  // Shorter-than-cap intervals are untouched.
+  EXPECT_EQ(year.clamp_duration(400), year);
+  EXPECT_EQ(capped.clamp_duration(90), capped);
+}
+
+TEST(StalenessPeriodTest, EventInsideWindow) {
+  const DateInterval validity{d("2022-01-01"), d("2022-12-31")};
+  const auto stale = staleness_period(validity, d("2022-06-01"));
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->begin(), d("2022-06-01"));
+  EXPECT_EQ(stale->end(), d("2022-12-31"));
+}
+
+TEST(StalenessPeriodTest, EventBeforeIssuanceCoversWholeWindow) {
+  const DateInterval validity{d("2022-01-01"), d("2022-12-31")};
+  const auto stale = staleness_period(validity, d("2021-06-01"));
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(*stale, validity);
+}
+
+TEST(StalenessPeriodTest, EventAtOrAfterExpiryIsNotStale) {
+  const DateInterval validity{d("2022-01-01"), d("2022-12-31")};
+  EXPECT_FALSE(staleness_period(validity, d("2022-12-31")).has_value());
+  EXPECT_FALSE(staleness_period(validity, d("2023-01-15")).has_value());
+}
+
+// Property: staleness is always non-negative and never exceeds validity.
+class StalenessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StalenessProperty, BoundedByValidity) {
+  const DateInterval validity{d("2022-01-01"), d("2022-12-31")};
+  const Date event = d("2022-01-01") + GetParam();
+  const auto stale = staleness_period(validity, event);
+  if (stale) {
+    EXPECT_GE(stale->days(), 0);
+    EXPECT_LE(stale->days(), validity.days());
+    EXPECT_EQ(stale->end(), validity.end());
+  } else {
+    EXPECT_GE(event, validity.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StalenessProperty,
+                         ::testing::Range(-100, 500, 37));
+
+}  // namespace
+}  // namespace stalecert::util

@@ -1,0 +1,107 @@
+#include "stalecert/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::util {
+namespace {
+
+TEST(EmpiricalDistributionTest, CdfBasics) {
+  EmpiricalDistribution dist;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) dist.add(v);
+  EXPECT_DOUBLE_EQ(dist.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(dist.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(dist.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.survival(2.5), 0.5);
+}
+
+TEST(EmpiricalDistributionTest, EmptyBehaviour) {
+  EmpiricalDistribution dist;
+  EXPECT_TRUE(dist.empty());
+  EXPECT_DOUBLE_EQ(dist.cdf(10), 0.0);
+  EXPECT_THROW((void)dist.quantile(0.5), LogicError);
+  EXPECT_THROW((void)dist.mean(), LogicError);
+}
+
+TEST(EmpiricalDistributionTest, Quantiles) {
+  EmpiricalDistribution dist;
+  for (int i = 1; i <= 100; ++i) dist.add(i);
+  EXPECT_DOUBLE_EQ(dist.median(), 50.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.0), 1.0);
+  EXPECT_THROW((void)dist.quantile(-0.1), LogicError);
+  EXPECT_THROW((void)dist.quantile(1.1), LogicError);
+}
+
+TEST(EmpiricalDistributionTest, SummaryStats) {
+  EmpiricalDistribution dist;
+  dist.add_all({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(dist.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(dist.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(dist.min(), 2.0);
+  EXPECT_DOUBLE_EQ(dist.max(), 6.0);
+  EXPECT_EQ(dist.count(), 3u);
+}
+
+TEST(EmpiricalDistributionTest, CdfSeriesMonotone) {
+  EmpiricalDistribution dist;
+  for (int i = 0; i < 50; ++i) dist.add(i * 3.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; i += 7) xs.push_back(i);
+  const auto series = dist.cdf_series(xs);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+}
+
+TEST(EmpiricalDistributionTest, AddAfterQueryResorts) {
+  EmpiricalDistribution dist;
+  dist.add(5.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(5.0), 1.0);
+  dist.add(1.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(dist.min(), 1.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram hist(0.0, 100.0, 10);
+  hist.add(5.0);    // bin 0
+  hist.add(15.0);   // bin 1
+  hist.add(99.9);   // bin 9
+  hist.add(150.0);  // clamped to bin 9
+  hist.add(-5.0);   // clamped to bin 0
+  EXPECT_EQ(hist.bin_count(0), 2u);
+  EXPECT_EQ(hist.bin_count(1), 1u);
+  EXPECT_EQ(hist.bin_count(9), 2u);
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_DOUBLE_EQ(hist.bin_low(1), 10.0);
+  EXPECT_DOUBLE_EQ(hist.bin_high(1), 20.0);
+  EXPECT_THROW((void)hist.bin_count(10), LogicError);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), LogicError);
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), LogicError);
+}
+
+TEST(LabelCounterTest, CountsAndSorting) {
+  LabelCounter counter;
+  counter.add("GoDaddy", 5);
+  counter.add("Sectigo");
+  counter.add("Sectigo");
+  counter.add("Entrust");
+  EXPECT_EQ(counter.count("GoDaddy"), 5u);
+  EXPECT_EQ(counter.count("Sectigo"), 2u);
+  EXPECT_EQ(counter.count("missing"), 0u);
+  EXPECT_EQ(counter.total(), 8u);
+  const auto sorted = counter.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, "GoDaddy");
+  EXPECT_EQ(sorted[1].first, "Sectigo");
+}
+
+}  // namespace
+}  // namespace stalecert::util

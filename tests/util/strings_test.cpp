@@ -1,0 +1,67 @@
+#include "stalecert/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::util {
+namespace {
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nvalue\r "), "value");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("FoO.CoM"), "foo.com");
+  EXPECT_EQ(to_lower("already"), "already");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("foo.com", "foo"));
+  EXPECT_FALSE(starts_with("foo", "foo.com"));
+  EXPECT_TRUE(ends_with("a.ns.cloudflare.com", ".cloudflare.com"));
+  EXPECT_FALSE(ends_with("cloudflare.com", "x.cloudflare.com"));
+}
+
+TEST(StringsTest, WildcardMatch) {
+  EXPECT_TRUE(wildcard_match("sni*.cloudflaressl.com", "sni12345.cloudflaressl.com"));
+  EXPECT_FALSE(wildcard_match("sni*.cloudflaressl.com", "www.example.com"));
+  EXPECT_TRUE(wildcard_match("*.ns.cloudflare.com", "amy1.ns.cloudflare.com"));
+  EXPECT_FALSE(wildcard_match("*.ns.cloudflare.com", "ns.cloudflare.com.evil.org"));
+  EXPECT_TRUE(wildcard_match("exact", "exact"));
+  EXPECT_FALSE(wildcard_match("exact", "exactX"));
+  // Overlap guard: value shorter than prefix+suffix must not match.
+  EXPECT_FALSE(wildcard_match("ab*ba", "aba"));
+}
+
+TEST(StringsTest, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(1000000000), "1,000,000,000");
+}
+
+TEST(StringsTest, Percent) {
+  EXPECT_EQ(percent(0.5), "50.0%");
+  EXPECT_EQ(percent(0.984, 2), "98.40%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace stalecert::util

@@ -1,0 +1,65 @@
+#include "stalecert/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::util {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"Name", "Count"});
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-name", "12345"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("| a-much-longer-name |"), std::string::npos);
+  // Every line has the same width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"only-one"});
+  EXPECT_NE(table.to_string().find("only-one"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), LogicError);
+}
+
+TEST(TextTableTest, CsvEscaping) {
+  TextTable table({"k", "v"});
+  table.add_row({"plain", "has,comma"});
+  table.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 4), "k,v\n");
+}
+
+TEST(TextTableTest, RuleAfterRow) {
+  TextTable table({"x"});
+  table.add_row({"1"}).add_rule();
+  table.add_row({"2"});
+  const std::string out = table.to_string();
+  // Header rule + mid rule + trailing rule = 3 '+--+' lines minimum.
+  int rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find('+', pos)) != std::string::npos) {
+    if (pos == 0 || out[pos - 1] == '\n') ++rules;
+    ++pos;
+  }
+  EXPECT_EQ(rules, 4);  // top, after header, after row 1, bottom
+}
+
+}  // namespace
+}  // namespace stalecert::util

@@ -1,0 +1,85 @@
+#include "stalecert/whois/database.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::whois {
+namespace {
+
+using util::Date;
+
+ThinRecord record_for(const std::string& domain, const char* created) {
+  ThinRecord record;
+  record.domain = domain;
+  record.registrar = "R";
+  record.creation_date = Date::parse(created);
+  record.updated_date = record.creation_date;
+  record.expiration_date = record.creation_date + 365;
+  return record;
+}
+
+TEST(WhoisDatabaseTest, TldScopeFilter) {
+  WhoisDatabase db({"com", "net"});
+  EXPECT_TRUE(db.ingest(record_for("a.com", "2019-01-01")));
+  EXPECT_TRUE(db.ingest(record_for("b.net", "2019-01-01")));
+  EXPECT_FALSE(db.ingest(record_for("c.org", "2019-01-01")));
+  EXPECT_EQ(db.domain_count(), 2u);
+  EXPECT_EQ(db.record_count(), 2u);
+}
+
+TEST(WhoisDatabaseTest, EmptyScopeAcceptsEverything) {
+  WhoisDatabase db(std::vector<std::string>{});
+  EXPECT_TRUE(db.ingest(record_for("c.org", "2019-01-01")));
+}
+
+TEST(WhoisDatabaseTest, CreationDateHistoryDeduplicated) {
+  WhoisDatabase db;
+  db.ingest(record_for("a.com", "2019-01-01"));
+  db.ingest(record_for("a.com", "2019-01-01"));  // repeated observation
+  db.ingest(record_for("a.com", "2021-06-15"));  // re-registration
+  EXPECT_EQ(db.creation_dates("a.com"),
+            (std::vector<Date>{Date::parse("2019-01-01"),
+                               Date::parse("2021-06-15")}));
+}
+
+TEST(WhoisDatabaseTest, ReRegistrationsRequirePriorObservation) {
+  WhoisDatabase db;
+  db.ingest(record_for("fresh.com", "2020-01-01"));
+  db.ingest(record_for("rereg.com", "2018-01-01"));
+  db.ingest(record_for("rereg.com", "2020-05-05"));
+
+  const auto all = db.new_registrations();
+  EXPECT_EQ(all.size(), 3u);
+
+  const auto reregs = db.re_registrations();
+  ASSERT_EQ(reregs.size(), 1u);
+  EXPECT_EQ(reregs[0].domain, "rereg.com");
+  EXPECT_EQ(reregs[0].creation_date, Date::parse("2020-05-05"));
+  EXPECT_EQ(reregs[0].previous_creation_date, Date::parse("2018-01-01"));
+}
+
+TEST(WhoisDatabaseTest, IngestTextCountsMalformed) {
+  WhoisDatabase db;
+  EXPECT_TRUE(db.ingest_text(emit_text(record_for("t.com", "2020-02-02"),
+                                       TextFormat::kLegacyKv)));
+  EXPECT_FALSE(db.ingest_text("total garbage, no fields"));
+  EXPECT_EQ(db.malformed_count(), 1u);
+  EXPECT_EQ(db.record_count(), 1u);
+}
+
+TEST(WhoisDatabaseTest, OutOfOrderObservationsStillSorted) {
+  WhoisDatabase db;
+  db.ingest(record_for("o.com", "2021-01-01"));
+  db.ingest(record_for("o.com", "2017-01-01"));  // older snapshot arrives late
+  const auto dates = db.creation_dates("o.com");
+  ASSERT_EQ(dates.size(), 2u);
+  EXPECT_LT(dates[0], dates[1]);
+}
+
+TEST(WhoisDatabaseTest, CaseInsensitiveDomains) {
+  WhoisDatabase db;
+  db.ingest(record_for("CASE.com", "2020-01-01"));
+  EXPECT_EQ(db.creation_dates("case.COM").size(), 1u);
+}
+
+}  // namespace
+}  // namespace stalecert::whois

@@ -1,0 +1,88 @@
+#include "stalecert/whois/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::whois {
+namespace {
+
+using util::Date;
+
+ThinRecord sample() {
+  ThinRecord record;
+  record.domain = "foo.com";
+  record.registrar = "Example Registrar LLC";
+  record.creation_date = Date::parse("2019-05-20");
+  record.updated_date = Date::parse("2021-02-14");
+  record.expiration_date = Date::parse("2022-05-20");
+  record.name_servers = {"ns1.host.example", "ns2.host.example"};
+  record.status = {"clientTransferProhibited"};
+  record.registrant_name = "Jane Doe";
+  return record;
+}
+
+class FormatRoundTrip : public ::testing::TestWithParam<TextFormat> {};
+
+TEST_P(FormatRoundTrip, EmitThenParseRecoversRegistryFields) {
+  const ThinRecord original = sample();
+  const std::string text = emit_text(original, GetParam(), /*gdpr_redacted=*/true);
+  const ThinRecord parsed = parse_text(text);
+  EXPECT_EQ(parsed.domain, original.domain);
+  EXPECT_EQ(parsed.registrar, original.registrar);
+  EXPECT_EQ(parsed.creation_date, original.creation_date);
+  EXPECT_EQ(parsed.expiration_date, original.expiration_date);
+  EXPECT_EQ(parsed.name_servers, original.name_servers);
+  // GDPR redaction removes the registrant.
+  EXPECT_FALSE(parsed.registrant_name.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FormatRoundTrip,
+                         ::testing::Values(TextFormat::kVerisign,
+                                           TextFormat::kLegacyKv,
+                                           TextFormat::kDense));
+
+TEST(WhoisTextTest, UnredactedRegistrantSurvives) {
+  const std::string text =
+      emit_text(sample(), TextFormat::kVerisign, /*gdpr_redacted=*/false);
+  const ThinRecord parsed = parse_text(text);
+  EXPECT_EQ(parsed.registrant_name, "Jane Doe");
+}
+
+TEST(WhoisTextTest, ParserToleratesNoiseAndOrdering) {
+  const std::string text =
+      "% NOTICE: access limited\n"
+      "\n"
+      "Registrar:Some Registrar\n"
+      "creation date: 2018-03-02T11:22:33Z\n"
+      "Domain Name: MIXED.COM\n"
+      "unknown-field: whatever\n"
+      "expires: 2020-03-02\n";
+  const ThinRecord parsed = parse_text(text);
+  EXPECT_EQ(parsed.domain, "mixed.com");
+  EXPECT_EQ(parsed.creation_date, Date::parse("2018-03-02"));
+  EXPECT_EQ(parsed.expiration_date, Date::parse("2020-03-02"));
+}
+
+TEST(WhoisTextTest, MissingDomainThrows) {
+  EXPECT_THROW(parse_text("Creation Date: 2020-01-01\n"), stalecert::ParseError);
+}
+
+TEST(WhoisTextTest, MissingCreationDateThrows) {
+  EXPECT_THROW(parse_text("Domain Name: foo.com\n"), stalecert::ParseError);
+}
+
+TEST(WhoisTextTest, MissingExpiryDefaultsToOneYear) {
+  const ThinRecord parsed = parse_text(
+      "Domain Name: foo.com\nCreation Date: 2020-01-01\n");
+  EXPECT_EQ(parsed.expiration_date, Date::parse("2020-12-31"));
+}
+
+TEST(WhoisTextTest, VerisignFormatUppercasesDomain) {
+  const std::string text = emit_text(sample(), TextFormat::kVerisign);
+  EXPECT_NE(text.find("Domain Name: FOO.COM"), std::string::npos);
+  EXPECT_NE(text.find(">>> Last update"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stalecert::whois

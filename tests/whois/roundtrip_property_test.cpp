@@ -1,0 +1,81 @@
+// Property sweep: randomized WHOIS records, all text formats, with and
+// without GDPR redaction — registry fields must always survive the
+// emit/parse round trip (the collection pipeline's core guarantee).
+#include <gtest/gtest.h>
+
+#include "stalecert/util/rng.hpp"
+#include "stalecert/whois/record.hpp"
+
+namespace stalecert::whois {
+namespace {
+
+using util::Date;
+
+ThinRecord random_record(util::Rng& rng) {
+  ThinRecord record;
+  record.domain = rng.alpha_label(3 + rng.below(10)) + "." +
+                  (rng.chance(0.5) ? "com" : "net");
+  record.registrar = "Registrar " + rng.alpha_label(5);
+  record.creation_date = Date::parse("2010-01-01") + rng.between(0, 4000);
+  record.updated_date = record.creation_date + rng.between(0, 300);
+  record.expiration_date = record.creation_date + rng.between(365, 3650);
+  const std::uint64_t ns = rng.below(4);
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    record.name_servers.push_back("ns" + std::to_string(i + 1) + "." +
+                                  rng.alpha_label(6) + ".example");
+  }
+  if (rng.chance(0.6)) record.status.push_back("clientTransferProhibited");
+  if (rng.chance(0.2)) record.status.push_back("serverDeleteProhibited");
+  if (rng.chance(0.5)) record.registrant_name = "Person " + rng.alpha_label(4);
+  return record;
+}
+
+struct Case {
+  std::uint64_t seed;
+  TextFormat format;
+  bool redacted;
+};
+
+class WhoisPropertySweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WhoisPropertySweep, RegistryFieldsSurvive) {
+  const Case& c = GetParam();
+  util::Rng rng(c.seed);
+  for (int i = 0; i < 40; ++i) {
+    const ThinRecord original = random_record(rng);
+    const std::string text = emit_text(original, c.format, c.redacted);
+    const ThinRecord parsed = parse_text(text);
+
+    ASSERT_EQ(parsed.domain, original.domain);
+    ASSERT_EQ(parsed.registrar, original.registrar);
+    ASSERT_EQ(parsed.creation_date, original.creation_date);
+    ASSERT_EQ(parsed.updated_date, original.updated_date);
+    ASSERT_EQ(parsed.expiration_date, original.expiration_date);
+    ASSERT_EQ(parsed.name_servers, original.name_servers);
+    ASSERT_EQ(parsed.status, original.status);
+    if (c.redacted) {
+      ASSERT_FALSE(parsed.registrant_name.has_value());
+    } else {
+      ASSERT_EQ(parsed.registrant_name.has_value(),
+                original.registrant_name.has_value());
+    }
+  }
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  std::uint64_t seed = 1;
+  for (const auto format :
+       {TextFormat::kVerisign, TextFormat::kLegacyKv, TextFormat::kDense}) {
+    for (const bool redacted : {true, false}) {
+      cases.push_back({seed++, format, redacted});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, WhoisPropertySweep,
+                         ::testing::ValuesIn(all_cases()));
+
+}  // namespace
+}  // namespace stalecert::whois

@@ -1,0 +1,166 @@
+#include "stalecert/x509/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::x509 {
+namespace {
+
+using util::Date;
+
+Certificate make_cert(std::vector<std::string> sans = {"example.com",
+                                                       "www.example.com"}) {
+  return CertificateBuilder{}
+      .serial(0x1234)
+      .issuer({"Example CA", "Example Trust", "US"})
+      .subject_cn(sans.front())
+      .validity(Date::parse("2022-01-01"), Date::parse("2022-12-31"))
+      .key(crypto::KeyPair::derive("subscriber-key", crypto::KeyAlgorithm::kEcdsaP256))
+      .dns_names(sans)
+      .authority_key_id(crypto::KeyPair::derive("ca-key", crypto::KeyAlgorithm::kEcdsaP384).key_id())
+      .server_auth_profile()
+      .crl_url("http://crl.example/ca.crl")
+      .ocsp_url("http://ocsp.example")
+      .policy(asn1::Oid{2, 23, 140, 1, 2, 1})
+      .build();
+}
+
+TEST(CertificateBuilderTest, RequiredFieldsEnforced) {
+  EXPECT_THROW(CertificateBuilder{}.build(), stalecert::LogicError);
+  EXPECT_THROW(CertificateBuilder{}.serial(1).build(), stalecert::LogicError);
+  EXPECT_THROW(
+      CertificateBuilder{}
+          .serial(1)
+          .validity(Date::parse("2022-01-01"), Date::parse("2022-02-01"))
+          .build(),
+      stalecert::LogicError);
+  EXPECT_THROW(CertificateBuilder{}.validity(Date::parse("2022-02-01"),
+                                             Date::parse("2022-01-01")),
+               stalecert::LogicError);
+}
+
+TEST(CertificateTest, BasicAccessors) {
+  const Certificate cert = make_cert();
+  EXPECT_EQ(cert.serial_hex(), "1234");
+  EXPECT_EQ(cert.issuer().common_name, "Example CA");
+  EXPECT_EQ(cert.subject().common_name, "example.com");
+  EXPECT_EQ(cert.lifetime_days(), 364);
+  EXPECT_TRUE(cert.valid_at(Date::parse("2022-06-15")));
+  EXPECT_FALSE(cert.valid_at(Date::parse("2023-01-01")));
+  EXPECT_FALSE(cert.valid_at(Date::parse("2021-12-31")));
+}
+
+TEST(CertificateTest, DnsNamesIncludesCnWhenMissingFromSan) {
+  const Certificate cert =
+      CertificateBuilder{}
+          .serial(1)
+          .subject_cn("cn-only.example.com")
+          .validity(Date::parse("2022-01-01"), Date::parse("2022-06-01"))
+          .key(crypto::KeyPair::derive("k", crypto::KeyAlgorithm::kEcdsaP256))
+          .add_dns_name("san.example.com")
+          .build();
+  const auto names = cert.dns_names();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "cn-only.example.com"),
+            names.end());
+}
+
+TEST(CertificateTest, MatchesDomainExactAndWildcard) {
+  const Certificate cert = make_cert({"example.com", "*.example.com"});
+  EXPECT_TRUE(cert.matches_domain("example.com"));
+  EXPECT_TRUE(cert.matches_domain("EXAMPLE.COM"));
+  EXPECT_TRUE(cert.matches_domain("www.example.com"));
+  EXPECT_TRUE(cert.matches_domain("api.example.com"));
+  // Wildcards cover exactly one label.
+  EXPECT_FALSE(cert.matches_domain("a.b.example.com"));
+  EXPECT_FALSE(cert.matches_domain("example.org"));
+  EXPECT_FALSE(cert.matches_domain("badexample.com"));
+}
+
+TEST(CertificateTest, DerRoundTrip) {
+  const Certificate original = make_cert();
+  const asn1::Bytes der = original.to_der();
+  const Certificate parsed = Certificate::from_der(der);
+  EXPECT_EQ(parsed, original);
+  EXPECT_EQ(parsed.fingerprint(), original.fingerprint());
+}
+
+TEST(CertificateTest, DerRoundTripWithCtComponents) {
+  Certificate precert = CertificateBuilder{}
+                            .serial(99)
+                            .subject_cn("ct.example.com")
+                            .validity(Date::parse("2022-01-01"),
+                                      Date::parse("2022-04-01"))
+                            .key(crypto::KeyPair::derive("k2", crypto::KeyAlgorithm::kRsa2048))
+                            .add_dns_name("ct.example.com")
+                            .precert_poison()
+                            .build();
+  EXPECT_TRUE(precert.is_precertificate());
+  const Certificate parsed = Certificate::from_der(precert.to_der());
+  EXPECT_TRUE(parsed.is_precertificate());
+  EXPECT_EQ(parsed, precert);
+
+  Certificate final_cert = CertificateBuilder{}
+                               .serial(99)
+                               .subject_cn("ct.example.com")
+                               .validity(Date::parse("2022-01-01"),
+                                         Date::parse("2022-04-01"))
+                               .key(crypto::KeyPair::derive("k2", crypto::KeyAlgorithm::kRsa2048))
+                               .add_dns_name("ct.example.com")
+                               .sct_log_ids({3, 17})
+                               .build();
+  EXPECT_EQ(Certificate::from_der(final_cert.to_der()).extensions().sct_log_ids,
+            (std::vector<std::uint64_t>{3, 17}));
+}
+
+TEST(CertificateTest, DedupFingerprintIgnoresCtComponents) {
+  auto base = [] {
+    return CertificateBuilder{}
+        .serial(7)
+        .subject_cn("dedup.example.com")
+        .validity(Date::parse("2022-01-01"), Date::parse("2022-04-01"))
+        .key(crypto::KeyPair::derive("k3", crypto::KeyAlgorithm::kEcdsaP256))
+        .add_dns_name("dedup.example.com");
+  };
+  const Certificate precert = base().precert_poison().build();
+  const Certificate final_cert = base().sct_log_ids({1, 2}).build();
+  EXPECT_NE(precert.fingerprint(), final_cert.fingerprint());
+  EXPECT_EQ(precert.dedup_fingerprint(), final_cert.dedup_fingerprint());
+}
+
+TEST(CertificateTest, IssuerSerialJoinKey) {
+  const Certificate cert = make_cert();
+  const auto key = cert.issuer_serial();
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->serial, cert.serial());
+  EXPECT_EQ(key->authority_key_id,
+            crypto::KeyPair::derive("ca-key", crypto::KeyAlgorithm::kEcdsaP384).key_id());
+}
+
+TEST(CertificateTest, NoAkidMeansNoJoinKey) {
+  const Certificate cert =
+      CertificateBuilder{}
+          .serial(5)
+          .subject_cn("x.example.com")
+          .validity(Date::parse("2022-01-01"), Date::parse("2022-02-01"))
+          .key(crypto::KeyPair::derive("k4", crypto::KeyAlgorithm::kEcdsaP256))
+          .build();
+  EXPECT_FALSE(cert.issuer_serial().has_value());
+}
+
+TEST(CertificateTest, FromDerRejectsGarbage) {
+  const asn1::Bytes garbage = {0x30, 0x03, 0x02, 0x01, 0x05};
+  EXPECT_THROW(Certificate::from_der(garbage), stalecert::ParseError);
+  EXPECT_THROW(Certificate::from_der(asn1::Bytes{}), stalecert::ParseError);
+}
+
+TEST(DistinguishedNameTest, ToStringFormat) {
+  const DistinguishedName dn{"Example CA", "Example Org", "DE"};
+  EXPECT_EQ(dn.to_string(), "CN=Example CA, O=Example Org, C=DE");
+  EXPECT_EQ((DistinguishedName{"OnlyCN", "", ""}).to_string(), "CN=OnlyCN");
+  EXPECT_TRUE(DistinguishedName{}.empty());
+}
+
+}  // namespace
+}  // namespace stalecert::x509

@@ -1,0 +1,121 @@
+#include "stalecert/x509/extensions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::x509 {
+namespace {
+
+Extensions round_trip(const Extensions& ext) {
+  asn1::Encoder enc;
+  ext.encode(enc);
+  asn1::Decoder dec(enc.bytes());
+  return Extensions::decode(dec);
+}
+
+TEST(ExtensionsTest, EmptyRoundTrip) {
+  const Extensions empty;
+  EXPECT_EQ(round_trip(empty), empty);
+}
+
+TEST(ExtensionsTest, SanRoundTrip) {
+  Extensions ext;
+  ext.subject_alt_names = {"a.example.com", "*.b.example.org", "c.example.net"};
+  EXPECT_EQ(round_trip(ext), ext);
+}
+
+TEST(ExtensionsTest, KeyIdsRoundTrip) {
+  Extensions ext;
+  ext.subject_key_id = crypto::Sha256::hash("subject");
+  ext.authority_key_id = crypto::Sha256::hash("authority");
+  EXPECT_EQ(round_trip(ext), ext);
+}
+
+TEST(ExtensionsTest, BasicConstraintsBothValues) {
+  Extensions leaf;
+  leaf.basic_constraints_ca = false;
+  EXPECT_EQ(round_trip(leaf), leaf);
+  Extensions ca;
+  ca.basic_constraints_ca = true;
+  EXPECT_EQ(round_trip(ca), ca);
+}
+
+TEST(ExtensionsTest, KeyUsageBits) {
+  Extensions ext;
+  ext.key_usage = KeyUsage::kDigitalSignature | KeyUsage::kKeyEncipherment;
+  const Extensions back = round_trip(ext);
+  EXPECT_EQ(back, ext);
+  EXPECT_TRUE(back.has_key_usage(KeyUsage::kDigitalSignature));
+  EXPECT_TRUE(back.has_key_usage(KeyUsage::kKeyEncipherment));
+  EXPECT_FALSE(back.has_key_usage(KeyUsage::kCrlSign));
+}
+
+class KeyUsageSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyUsageSweep, EveryBitRoundTrips) {
+  Extensions ext;
+  ext.key_usage = static_cast<std::uint16_t>(1u << GetParam());
+  EXPECT_EQ(round_trip(ext).key_usage, ext.key_usage);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, KeyUsageSweep, ::testing::Range(0, 7));
+
+TEST(ExtensionsTest, ExtendedKeyUsage) {
+  Extensions ext;
+  ext.ext_key_usage = {ExtendedKeyUsage::kServerAuth, ExtendedKeyUsage::kClientAuth,
+                       ExtendedKeyUsage::kOcspSigning};
+  const Extensions back = round_trip(ext);
+  EXPECT_EQ(back, ext);
+  EXPECT_TRUE(back.has_eku(ExtendedKeyUsage::kServerAuth));
+  EXPECT_FALSE(back.has_eku(ExtendedKeyUsage::kCodeSigning));
+}
+
+TEST(ExtensionsTest, RevocationPointers) {
+  Extensions ext;
+  ext.crl_distribution_points = {"http://crl1.example/a.crl",
+                                 "http://crl2.example/b.crl"};
+  ext.ocsp_urls = {"http://ocsp.example"};
+  EXPECT_EQ(round_trip(ext), ext);
+}
+
+TEST(ExtensionsTest, PoliciesAndCtMetadata) {
+  Extensions ext;
+  ext.certificate_policies = {asn1::Oid{2, 23, 140, 1, 2, 1}};
+  ext.precert_poison = true;
+  ext.sct_log_ids = {42, 1729};
+  EXPECT_EQ(round_trip(ext), ext);
+}
+
+TEST(ExtensionsTest, UnknownExtensionsSurvive) {
+  Extensions ext;
+  Extensions::RawExtension raw;
+  raw.oid = asn1::Oid{1, 3, 6, 1, 4, 1, 99999, 1};
+  raw.critical = true;
+  raw.der = {0x04, 0x02, 0xde, 0xad};
+  ext.unknown.push_back(raw);
+  EXPECT_EQ(round_trip(ext), ext);
+}
+
+TEST(ExtensionsTest, FullKitchenSink) {
+  Extensions ext;
+  ext.subject_alt_names = {"kitchen.example.com", "*.kitchen.example.com"};
+  ext.subject_key_id = crypto::Sha256::hash("s");
+  ext.authority_key_id = crypto::Sha256::hash("a");
+  ext.basic_constraints_ca = false;
+  ext.key_usage = KeyUsage::kDigitalSignature | KeyUsage::kKeyAgreement;
+  ext.ext_key_usage = {ExtendedKeyUsage::kServerAuth};
+  ext.crl_distribution_points = {"http://crl.example/x.crl"};
+  ext.ocsp_urls = {"http://ocsp.example"};
+  ext.certificate_policies = {asn1::Oid{2, 23, 140, 1, 2, 1},
+                              asn1::Oid{1, 3, 6, 1, 4, 1, 44947, 1, 1, 1}};
+  ext.sct_log_ids = {7};
+  EXPECT_EQ(round_trip(ext), ext);
+}
+
+TEST(ExtendedKeyUsageTest, Names) {
+  EXPECT_EQ(to_string(ExtendedKeyUsage::kServerAuth), "serverAuth");
+  EXPECT_EQ(to_string(ExtendedKeyUsage::kCodeSigning), "codeSigning");
+  EXPECT_EQ(to_string(ExtendedKeyUsage::kEmailProtection), "emailProtection");
+}
+
+}  // namespace
+}  // namespace stalecert::x509

@@ -1,0 +1,102 @@
+// Property tests: randomized certificates must round-trip DER exactly, and
+// the decoder must never misbehave on mutated input (throw ParseError or
+// return a certificate — nothing else).
+#include <gtest/gtest.h>
+
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/rng.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::x509 {
+namespace {
+
+using util::Date;
+
+Certificate random_cert(util::Rng& rng) {
+  CertificateBuilder builder;
+  builder.serial(rng.next() | 1);
+  builder.issuer({"CA-" + rng.alpha_label(6), "Org-" + rng.alpha_label(4), "US"});
+  const std::string base = rng.alpha_label(8) + ".com";
+  builder.subject_cn(base);
+  const Date not_before = Date::parse("2015-01-01") +
+                          rng.between(0, 3000);
+  builder.validity(not_before, not_before + rng.between(1, 1200));
+  builder.key(crypto::KeyPair::derive(
+      rng.alpha_label(10),
+      static_cast<crypto::KeyAlgorithm>(rng.below(5))));
+
+  std::vector<std::string> names = {base};
+  const std::uint64_t extra = rng.below(5);
+  for (std::uint64_t i = 0; i < extra; ++i) {
+    names.push_back(rng.alpha_label(5) + "." + base);
+  }
+  if (rng.chance(0.4)) names.push_back("*." + base);
+  builder.dns_names(names);
+
+  if (rng.chance(0.8)) {
+    builder.authority_key_id(crypto::Sha256::hash(rng.alpha_label(8)));
+  }
+  if (rng.chance(0.7)) builder.server_auth_profile();
+  if (rng.chance(0.5)) builder.crl_url("http://crl." + base + "/a.crl");
+  if (rng.chance(0.5)) builder.ocsp_url("http://ocsp." + base);
+  if (rng.chance(0.3)) builder.policy(asn1::Oid{2, 23, 140, 1, 2, 1});
+  if (rng.chance(0.2)) builder.ocsp_must_staple();
+  if (rng.chance(0.15)) builder.precert_poison();
+  if (rng.chance(0.4)) {
+    builder.sct_log_ids({rng.next() % 100, rng.next() % 100});
+  }
+  return builder.build();
+}
+
+class RoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripSweep, RandomCertificatesRoundTripExactly) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Certificate original = random_cert(rng);
+    const asn1::Bytes der = original.to_der();
+    const Certificate parsed = Certificate::from_der(der);
+    ASSERT_EQ(parsed, original) << "seed=" << GetParam() << " i=" << i;
+    // Re-encoding is byte-identical (DER is canonical).
+    ASSERT_EQ(parsed.to_der(), der);
+    // Derived identities agree.
+    ASSERT_EQ(parsed.fingerprint(), original.fingerprint());
+    ASSERT_EQ(parsed.dedup_fingerprint(), original.dedup_fingerprint());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class MutationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationSweep, MutatedDerNeverMisbehaves) {
+  util::Rng rng(GetParam());
+  const Certificate cert = random_cert(rng);
+  const asn1::Bytes der = cert.to_der();
+  for (int trial = 0; trial < 300; ++trial) {
+    asn1::Bytes mutated = der;
+    // Flip 1-4 random bytes and/or truncate.
+    const std::uint64_t flips = 1 + rng.below(4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    if (rng.chance(0.3)) {
+      mutated.resize(rng.below(mutated.size()) + 1);
+    }
+    try {
+      const Certificate parsed = Certificate::from_der(mutated);
+      (void)parsed.dns_names();  // decoded objects must be usable
+    } catch (const stalecert::ParseError&) {
+      // expected for most mutations
+    } catch (const stalecert::Error&) {
+      // other structured errors acceptable (e.g. date range)
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep, ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace stalecert::x509
