@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dane.dir/ablation_dane.cpp.o"
+  "CMakeFiles/bench_ablation_dane.dir/ablation_dane.cpp.o.d"
+  "CMakeFiles/bench_ablation_dane.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_ablation_dane.dir/bench_world.cpp.o.d"
+  "bench_ablation_dane"
+  "bench_ablation_dane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

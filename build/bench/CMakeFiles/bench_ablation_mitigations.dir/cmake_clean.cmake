@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mitigations.dir/ablation_mitigations.cpp.o"
+  "CMakeFiles/bench_ablation_mitigations.dir/ablation_mitigations.cpp.o.d"
+  "CMakeFiles/bench_ablation_mitigations.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_ablation_mitigations.dir/bench_world.cpp.o.d"
+  "bench_ablation_mitigations"
+  "bench_ablation_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

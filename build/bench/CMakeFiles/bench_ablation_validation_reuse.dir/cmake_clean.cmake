@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_validation_reuse.dir/ablation_validation_reuse.cpp.o"
+  "CMakeFiles/bench_ablation_validation_reuse.dir/ablation_validation_reuse.cpp.o.d"
+  "CMakeFiles/bench_ablation_validation_reuse.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_ablation_validation_reuse.dir/bench_world.cpp.o.d"
+  "bench_ablation_validation_reuse"
+  "bench_ablation_validation_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_validation_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_key_compromise.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_fig4_key_compromise.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_fig4_key_compromise.dir/fig4_key_compromise.cpp.o"
+  "CMakeFiles/bench_fig4_key_compromise.dir/fig4_key_compromise.cpp.o.d"
+  "bench_fig4_key_compromise"
+  "bench_fig4_key_compromise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_key_compromise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

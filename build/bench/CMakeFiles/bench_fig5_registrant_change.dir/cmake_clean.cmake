@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_registrant_change.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_fig5_registrant_change.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_fig5_registrant_change.dir/fig5_registrant_change.cpp.o"
+  "CMakeFiles/bench_fig5_registrant_change.dir/fig5_registrant_change.cpp.o.d"
+  "bench_fig5_registrant_change"
+  "bench_fig5_registrant_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_registrant_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_staleness_cdf.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_fig6_staleness_cdf.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_fig6_staleness_cdf.dir/fig6_staleness_cdf.cpp.o"
+  "CMakeFiles/bench_fig6_staleness_cdf.dir/fig6_staleness_cdf.cpp.o.d"
+  "bench_fig6_staleness_cdf"
+  "bench_fig6_staleness_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_staleness_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

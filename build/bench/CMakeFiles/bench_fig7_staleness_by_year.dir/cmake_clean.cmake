@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_staleness_by_year.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_fig7_staleness_by_year.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_fig7_staleness_by_year.dir/fig7_staleness_by_year.cpp.o"
+  "CMakeFiles/bench_fig7_staleness_by_year.dir/fig7_staleness_by_year.cpp.o.d"
+  "bench_fig7_staleness_by_year"
+  "bench_fig7_staleness_by_year.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_staleness_by_year.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_staleness_by_year.
+# This may be replaced when dependencies are built.

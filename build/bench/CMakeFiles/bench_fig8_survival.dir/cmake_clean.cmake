@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_survival.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_fig8_survival.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_fig8_survival.dir/fig8_survival.cpp.o"
+  "CMakeFiles/bench_fig8_survival.dir/fig8_survival.cpp.o.d"
+  "bench_fig8_survival"
+  "bench_fig8_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_lifetime_caps.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_fig9_lifetime_caps.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_fig9_lifetime_caps.dir/fig9_lifetime_caps.cpp.o"
+  "CMakeFiles/bench_fig9_lifetime_caps.dir/fig9_lifetime_caps.cpp.o.d"
+  "bench_fig9_lifetime_caps"
+  "bench_fig9_lifetime_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_lifetime_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_stale_rates.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_table4_stale_rates.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_table4_stale_rates.dir/table4_stale_rates.cpp.o"
+  "CMakeFiles/bench_table4_stale_rates.dir/table4_stale_rates.cpp.o.d"
+  "bench_table4_stale_rates"
+  "bench_table4_stale_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_stale_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

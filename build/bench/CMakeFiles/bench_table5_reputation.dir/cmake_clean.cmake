@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_reputation.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_table5_reputation.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_table5_reputation.dir/table5_reputation.cpp.o"
+  "CMakeFiles/bench_table5_reputation.dir/table5_reputation.cpp.o.d"
+  "bench_table5_reputation"
+  "bench_table5_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

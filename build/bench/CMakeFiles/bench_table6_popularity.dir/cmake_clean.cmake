@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_popularity.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_table6_popularity.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_table6_popularity.dir/table6_popularity.cpp.o"
+  "CMakeFiles/bench_table6_popularity.dir/table6_popularity.cpp.o.d"
+  "bench_table6_popularity"
+  "bench_table6_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

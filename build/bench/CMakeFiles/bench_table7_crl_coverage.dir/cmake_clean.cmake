@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_crl_coverage.dir/bench_world.cpp.o"
+  "CMakeFiles/bench_table7_crl_coverage.dir/bench_world.cpp.o.d"
+  "CMakeFiles/bench_table7_crl_coverage.dir/table7_crl_coverage.cpp.o"
+  "CMakeFiles/bench_table7_crl_coverage.dir/table7_crl_coverage.cpp.o.d"
+  "bench_table7_crl_coverage"
+  "bench_table7_crl_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_crl_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

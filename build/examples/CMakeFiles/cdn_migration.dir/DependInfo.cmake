@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cdn_migration.cpp" "examples/CMakeFiles/cdn_migration.dir/cdn_migration.cpp.o" "gcc" "examples/CMakeFiles/cdn_migration.dir/cdn_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stalecert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stalecert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ca/CMakeFiles/stalecert_ca.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/stalecert_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/stalecert_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ct/CMakeFiles/stalecert_ct.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/stalecert_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/registrar/CMakeFiles/stalecert_registrar.dir/DependInfo.cmake"
+  "/root/repo/build/src/reputation/CMakeFiles/stalecert_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/popularity/CMakeFiles/stalecert_popularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/revocation/CMakeFiles/stalecert_revocation.dir/DependInfo.cmake"
+  "/root/repo/build/src/whois/CMakeFiles/stalecert_whois.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/stalecert_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/stalecert_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stalecert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stalecert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

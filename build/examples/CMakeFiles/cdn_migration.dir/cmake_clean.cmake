@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_migration.dir/cdn_migration.cpp.o"
+  "CMakeFiles/cdn_migration.dir/cdn_migration.cpp.o.d"
+  "cdn_migration"
+  "cdn_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

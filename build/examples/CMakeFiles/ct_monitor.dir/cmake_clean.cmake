@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_monitor.dir/ct_monitor.cpp.o"
+  "CMakeFiles/ct_monitor.dir/ct_monitor.cpp.o.d"
+  "ct_monitor"
+  "ct_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_survey.dir/full_survey.cpp.o"
+  "CMakeFiles/full_survey.dir/full_survey.cpp.o.d"
+  "full_survey"
+  "full_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

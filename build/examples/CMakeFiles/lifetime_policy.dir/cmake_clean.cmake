@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_policy.dir/lifetime_policy.cpp.o"
+  "CMakeFiles/lifetime_policy.dir/lifetime_policy.cpp.o.d"
+  "lifetime_policy"
+  "lifetime_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

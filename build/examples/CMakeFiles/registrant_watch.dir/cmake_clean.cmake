@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registrant_watch.dir/registrant_watch.cpp.o"
+  "CMakeFiles/registrant_watch.dir/registrant_watch.cpp.o.d"
+  "registrant_watch"
+  "registrant_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registrant_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

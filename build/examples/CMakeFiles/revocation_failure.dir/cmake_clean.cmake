@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation_failure.dir/revocation_failure.cpp.o"
+  "CMakeFiles/revocation_failure.dir/revocation_failure.cpp.o.d"
+  "revocation_failure"
+  "revocation_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("asn1")
+subdirs("x509")
+subdirs("ct")
+subdirs("dns")
+subdirs("whois")
+subdirs("registrar")
+subdirs("ca")
+subdirs("tls")
+subdirs("revocation")
+subdirs("cdn")
+subdirs("reputation")
+subdirs("popularity")
+subdirs("sim")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_asn1.dir/src/der.cpp.o"
+  "CMakeFiles/stalecert_asn1.dir/src/der.cpp.o.d"
+  "CMakeFiles/stalecert_asn1.dir/src/oid.cpp.o"
+  "CMakeFiles/stalecert_asn1.dir/src/oid.cpp.o.d"
+  "libstalecert_asn1.a"
+  "libstalecert_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ca/src/acme.cpp" "src/ca/CMakeFiles/stalecert_ca.dir/src/acme.cpp.o" "gcc" "src/ca/CMakeFiles/stalecert_ca.dir/src/acme.cpp.o.d"
+  "/root/repo/src/ca/src/authority.cpp" "src/ca/CMakeFiles/stalecert_ca.dir/src/authority.cpp.o" "gcc" "src/ca/CMakeFiles/stalecert_ca.dir/src/authority.cpp.o.d"
+  "/root/repo/src/ca/src/dv.cpp" "src/ca/CMakeFiles/stalecert_ca.dir/src/dv.cpp.o" "gcc" "src/ca/CMakeFiles/stalecert_ca.dir/src/dv.cpp.o.d"
+  "/root/repo/src/ca/src/star.cpp" "src/ca/CMakeFiles/stalecert_ca.dir/src/star.cpp.o" "gcc" "src/ca/CMakeFiles/stalecert_ca.dir/src/star.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ct/CMakeFiles/stalecert_ct.dir/DependInfo.cmake"
+  "/root/repo/build/src/revocation/CMakeFiles/stalecert_revocation.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/stalecert_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stalecert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stalecert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/stalecert_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_ca.dir/src/acme.cpp.o"
+  "CMakeFiles/stalecert_ca.dir/src/acme.cpp.o.d"
+  "CMakeFiles/stalecert_ca.dir/src/authority.cpp.o"
+  "CMakeFiles/stalecert_ca.dir/src/authority.cpp.o.d"
+  "CMakeFiles/stalecert_ca.dir/src/dv.cpp.o"
+  "CMakeFiles/stalecert_ca.dir/src/dv.cpp.o.d"
+  "CMakeFiles/stalecert_ca.dir/src/star.cpp.o"
+  "CMakeFiles/stalecert_ca.dir/src/star.cpp.o.d"
+  "libstalecert_ca.a"
+  "libstalecert_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_cdn.dir/src/provider.cpp.o"
+  "CMakeFiles/stalecert_cdn.dir/src/provider.cpp.o.d"
+  "libstalecert_cdn.a"
+  "libstalecert_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/analyzer.cpp" "src/core/CMakeFiles/stalecert_core.dir/src/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/stalecert_core.dir/src/analyzer.cpp.o.d"
+  "/root/repo/src/core/src/bygone.cpp" "src/core/CMakeFiles/stalecert_core.dir/src/bygone.cpp.o" "gcc" "src/core/CMakeFiles/stalecert_core.dir/src/bygone.cpp.o.d"
+  "/root/repo/src/core/src/corpus.cpp" "src/core/CMakeFiles/stalecert_core.dir/src/corpus.cpp.o" "gcc" "src/core/CMakeFiles/stalecert_core.dir/src/corpus.cpp.o.d"
+  "/root/repo/src/core/src/detectors.cpp" "src/core/CMakeFiles/stalecert_core.dir/src/detectors.cpp.o" "gcc" "src/core/CMakeFiles/stalecert_core.dir/src/detectors.cpp.o.d"
+  "/root/repo/src/core/src/lifetime.cpp" "src/core/CMakeFiles/stalecert_core.dir/src/lifetime.cpp.o" "gcc" "src/core/CMakeFiles/stalecert_core.dir/src/lifetime.cpp.o.d"
+  "/root/repo/src/core/src/pipeline.cpp" "src/core/CMakeFiles/stalecert_core.dir/src/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/stalecert_core.dir/src/pipeline.cpp.o.d"
+  "/root/repo/src/core/src/report.cpp" "src/core/CMakeFiles/stalecert_core.dir/src/report.cpp.o" "gcc" "src/core/CMakeFiles/stalecert_core.dir/src/report.cpp.o.d"
+  "/root/repo/src/core/src/taxonomy.cpp" "src/core/CMakeFiles/stalecert_core.dir/src/taxonomy.cpp.o" "gcc" "src/core/CMakeFiles/stalecert_core.dir/src/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ct/CMakeFiles/stalecert_ct.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/stalecert_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/stalecert_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/whois/CMakeFiles/stalecert_whois.dir/DependInfo.cmake"
+  "/root/repo/build/src/revocation/CMakeFiles/stalecert_revocation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stalecert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stalecert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/stalecert_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_core.dir/src/analyzer.cpp.o"
+  "CMakeFiles/stalecert_core.dir/src/analyzer.cpp.o.d"
+  "CMakeFiles/stalecert_core.dir/src/bygone.cpp.o"
+  "CMakeFiles/stalecert_core.dir/src/bygone.cpp.o.d"
+  "CMakeFiles/stalecert_core.dir/src/corpus.cpp.o"
+  "CMakeFiles/stalecert_core.dir/src/corpus.cpp.o.d"
+  "CMakeFiles/stalecert_core.dir/src/detectors.cpp.o"
+  "CMakeFiles/stalecert_core.dir/src/detectors.cpp.o.d"
+  "CMakeFiles/stalecert_core.dir/src/lifetime.cpp.o"
+  "CMakeFiles/stalecert_core.dir/src/lifetime.cpp.o.d"
+  "CMakeFiles/stalecert_core.dir/src/pipeline.cpp.o"
+  "CMakeFiles/stalecert_core.dir/src/pipeline.cpp.o.d"
+  "CMakeFiles/stalecert_core.dir/src/report.cpp.o"
+  "CMakeFiles/stalecert_core.dir/src/report.cpp.o.d"
+  "CMakeFiles/stalecert_core.dir/src/taxonomy.cpp.o"
+  "CMakeFiles/stalecert_core.dir/src/taxonomy.cpp.o.d"
+  "libstalecert_core.a"
+  "libstalecert_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_crypto.dir/src/keypair.cpp.o"
+  "CMakeFiles/stalecert_crypto.dir/src/keypair.cpp.o.d"
+  "CMakeFiles/stalecert_crypto.dir/src/sha256.cpp.o"
+  "CMakeFiles/stalecert_crypto.dir/src/sha256.cpp.o.d"
+  "libstalecert_crypto.a"
+  "libstalecert_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ct/src/log.cpp" "src/ct/CMakeFiles/stalecert_ct.dir/src/log.cpp.o" "gcc" "src/ct/CMakeFiles/stalecert_ct.dir/src/log.cpp.o.d"
+  "/root/repo/src/ct/src/logset.cpp" "src/ct/CMakeFiles/stalecert_ct.dir/src/logset.cpp.o" "gcc" "src/ct/CMakeFiles/stalecert_ct.dir/src/logset.cpp.o.d"
+  "/root/repo/src/ct/src/merkle.cpp" "src/ct/CMakeFiles/stalecert_ct.dir/src/merkle.cpp.o" "gcc" "src/ct/CMakeFiles/stalecert_ct.dir/src/merkle.cpp.o.d"
+  "/root/repo/src/ct/src/monitor.cpp" "src/ct/CMakeFiles/stalecert_ct.dir/src/monitor.cpp.o" "gcc" "src/ct/CMakeFiles/stalecert_ct.dir/src/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x509/CMakeFiles/stalecert_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stalecert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stalecert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/stalecert_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_ct.dir/src/log.cpp.o"
+  "CMakeFiles/stalecert_ct.dir/src/log.cpp.o.d"
+  "CMakeFiles/stalecert_ct.dir/src/logset.cpp.o"
+  "CMakeFiles/stalecert_ct.dir/src/logset.cpp.o.d"
+  "CMakeFiles/stalecert_ct.dir/src/merkle.cpp.o"
+  "CMakeFiles/stalecert_ct.dir/src/merkle.cpp.o.d"
+  "CMakeFiles/stalecert_ct.dir/src/monitor.cpp.o"
+  "CMakeFiles/stalecert_ct.dir/src/monitor.cpp.o.d"
+  "libstalecert_ct.a"
+  "libstalecert_ct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/src/dane.cpp" "src/dns/CMakeFiles/stalecert_dns.dir/src/dane.cpp.o" "gcc" "src/dns/CMakeFiles/stalecert_dns.dir/src/dane.cpp.o.d"
+  "/root/repo/src/dns/src/name.cpp" "src/dns/CMakeFiles/stalecert_dns.dir/src/name.cpp.o" "gcc" "src/dns/CMakeFiles/stalecert_dns.dir/src/name.cpp.o.d"
+  "/root/repo/src/dns/src/records.cpp" "src/dns/CMakeFiles/stalecert_dns.dir/src/records.cpp.o" "gcc" "src/dns/CMakeFiles/stalecert_dns.dir/src/records.cpp.o.d"
+  "/root/repo/src/dns/src/scan.cpp" "src/dns/CMakeFiles/stalecert_dns.dir/src/scan.cpp.o" "gcc" "src/dns/CMakeFiles/stalecert_dns.dir/src/scan.cpp.o.d"
+  "/root/repo/src/dns/src/zone.cpp" "src/dns/CMakeFiles/stalecert_dns.dir/src/zone.cpp.o" "gcc" "src/dns/CMakeFiles/stalecert_dns.dir/src/zone.cpp.o.d"
+  "/root/repo/src/dns/src/zonefile.cpp" "src/dns/CMakeFiles/stalecert_dns.dir/src/zonefile.cpp.o" "gcc" "src/dns/CMakeFiles/stalecert_dns.dir/src/zonefile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x509/CMakeFiles/stalecert_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stalecert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/stalecert_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stalecert_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_dns.dir/src/dane.cpp.o"
+  "CMakeFiles/stalecert_dns.dir/src/dane.cpp.o.d"
+  "CMakeFiles/stalecert_dns.dir/src/name.cpp.o"
+  "CMakeFiles/stalecert_dns.dir/src/name.cpp.o.d"
+  "CMakeFiles/stalecert_dns.dir/src/records.cpp.o"
+  "CMakeFiles/stalecert_dns.dir/src/records.cpp.o.d"
+  "CMakeFiles/stalecert_dns.dir/src/scan.cpp.o"
+  "CMakeFiles/stalecert_dns.dir/src/scan.cpp.o.d"
+  "CMakeFiles/stalecert_dns.dir/src/zone.cpp.o"
+  "CMakeFiles/stalecert_dns.dir/src/zone.cpp.o.d"
+  "CMakeFiles/stalecert_dns.dir/src/zonefile.cpp.o"
+  "CMakeFiles/stalecert_dns.dir/src/zonefile.cpp.o.d"
+  "libstalecert_dns.a"
+  "libstalecert_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

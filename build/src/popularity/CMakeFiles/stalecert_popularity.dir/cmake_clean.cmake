@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_popularity.dir/src/toplist.cpp.o"
+  "CMakeFiles/stalecert_popularity.dir/src/toplist.cpp.o.d"
+  "libstalecert_popularity.a"
+  "libstalecert_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_registrar.dir/src/lifecycle.cpp.o"
+  "CMakeFiles/stalecert_registrar.dir/src/lifecycle.cpp.o.d"
+  "libstalecert_registrar.a"
+  "libstalecert_registrar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_registrar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

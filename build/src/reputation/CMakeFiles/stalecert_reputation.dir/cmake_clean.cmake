@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_reputation.dir/src/service.cpp.o"
+  "CMakeFiles/stalecert_reputation.dir/src/service.cpp.o.d"
+  "libstalecert_reputation.a"
+  "libstalecert_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

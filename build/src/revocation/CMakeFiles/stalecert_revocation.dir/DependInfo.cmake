@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revocation/src/collector.cpp" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/collector.cpp.o" "gcc" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/collector.cpp.o.d"
+  "/root/repo/src/revocation/src/crl.cpp" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/crl.cpp.o" "gcc" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/crl.cpp.o.d"
+  "/root/repo/src/revocation/src/crlite.cpp" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/crlite.cpp.o" "gcc" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/crlite.cpp.o.d"
+  "/root/repo/src/revocation/src/join.cpp" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/join.cpp.o" "gcc" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/join.cpp.o.d"
+  "/root/repo/src/revocation/src/ocsp.cpp" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/ocsp.cpp.o" "gcc" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/ocsp.cpp.o.d"
+  "/root/repo/src/revocation/src/reasons.cpp" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/reasons.cpp.o" "gcc" "src/revocation/CMakeFiles/stalecert_revocation.dir/src/reasons.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x509/CMakeFiles/stalecert_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/stalecert_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stalecert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stalecert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

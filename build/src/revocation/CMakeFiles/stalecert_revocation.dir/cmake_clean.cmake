@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_revocation.dir/src/collector.cpp.o"
+  "CMakeFiles/stalecert_revocation.dir/src/collector.cpp.o.d"
+  "CMakeFiles/stalecert_revocation.dir/src/crl.cpp.o"
+  "CMakeFiles/stalecert_revocation.dir/src/crl.cpp.o.d"
+  "CMakeFiles/stalecert_revocation.dir/src/crlite.cpp.o"
+  "CMakeFiles/stalecert_revocation.dir/src/crlite.cpp.o.d"
+  "CMakeFiles/stalecert_revocation.dir/src/join.cpp.o"
+  "CMakeFiles/stalecert_revocation.dir/src/join.cpp.o.d"
+  "CMakeFiles/stalecert_revocation.dir/src/ocsp.cpp.o"
+  "CMakeFiles/stalecert_revocation.dir/src/ocsp.cpp.o.d"
+  "CMakeFiles/stalecert_revocation.dir/src/reasons.cpp.o"
+  "CMakeFiles/stalecert_revocation.dir/src/reasons.cpp.o.d"
+  "libstalecert_revocation.a"
+  "libstalecert_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stalecert_revocation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_sim.dir/src/config.cpp.o"
+  "CMakeFiles/stalecert_sim.dir/src/config.cpp.o.d"
+  "CMakeFiles/stalecert_sim.dir/src/world.cpp.o"
+  "CMakeFiles/stalecert_sim.dir/src/world.cpp.o.d"
+  "libstalecert_sim.a"
+  "libstalecert_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_tls.dir/src/client.cpp.o"
+  "CMakeFiles/stalecert_tls.dir/src/client.cpp.o.d"
+  "CMakeFiles/stalecert_tls.dir/src/interception.cpp.o"
+  "CMakeFiles/stalecert_tls.dir/src/interception.cpp.o.d"
+  "libstalecert_tls.a"
+  "libstalecert_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

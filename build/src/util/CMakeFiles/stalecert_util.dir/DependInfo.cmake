@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/date.cpp" "src/util/CMakeFiles/stalecert_util.dir/src/date.cpp.o" "gcc" "src/util/CMakeFiles/stalecert_util.dir/src/date.cpp.o.d"
+  "/root/repo/src/util/src/hex.cpp" "src/util/CMakeFiles/stalecert_util.dir/src/hex.cpp.o" "gcc" "src/util/CMakeFiles/stalecert_util.dir/src/hex.cpp.o.d"
+  "/root/repo/src/util/src/rng.cpp" "src/util/CMakeFiles/stalecert_util.dir/src/rng.cpp.o" "gcc" "src/util/CMakeFiles/stalecert_util.dir/src/rng.cpp.o.d"
+  "/root/repo/src/util/src/stats.cpp" "src/util/CMakeFiles/stalecert_util.dir/src/stats.cpp.o" "gcc" "src/util/CMakeFiles/stalecert_util.dir/src/stats.cpp.o.d"
+  "/root/repo/src/util/src/strings.cpp" "src/util/CMakeFiles/stalecert_util.dir/src/strings.cpp.o" "gcc" "src/util/CMakeFiles/stalecert_util.dir/src/strings.cpp.o.d"
+  "/root/repo/src/util/src/table.cpp" "src/util/CMakeFiles/stalecert_util.dir/src/table.cpp.o" "gcc" "src/util/CMakeFiles/stalecert_util.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

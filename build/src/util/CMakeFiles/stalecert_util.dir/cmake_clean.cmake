@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_util.dir/src/date.cpp.o"
+  "CMakeFiles/stalecert_util.dir/src/date.cpp.o.d"
+  "CMakeFiles/stalecert_util.dir/src/hex.cpp.o"
+  "CMakeFiles/stalecert_util.dir/src/hex.cpp.o.d"
+  "CMakeFiles/stalecert_util.dir/src/rng.cpp.o"
+  "CMakeFiles/stalecert_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/stalecert_util.dir/src/stats.cpp.o"
+  "CMakeFiles/stalecert_util.dir/src/stats.cpp.o.d"
+  "CMakeFiles/stalecert_util.dir/src/strings.cpp.o"
+  "CMakeFiles/stalecert_util.dir/src/strings.cpp.o.d"
+  "CMakeFiles/stalecert_util.dir/src/table.cpp.o"
+  "CMakeFiles/stalecert_util.dir/src/table.cpp.o.d"
+  "libstalecert_util.a"
+  "libstalecert_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

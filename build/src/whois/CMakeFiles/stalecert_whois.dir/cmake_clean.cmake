@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_whois.dir/src/database.cpp.o"
+  "CMakeFiles/stalecert_whois.dir/src/database.cpp.o.d"
+  "CMakeFiles/stalecert_whois.dir/src/record.cpp.o"
+  "CMakeFiles/stalecert_whois.dir/src/record.cpp.o.d"
+  "libstalecert_whois.a"
+  "libstalecert_whois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_whois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

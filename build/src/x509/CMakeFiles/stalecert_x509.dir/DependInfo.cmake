@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x509/src/certificate.cpp" "src/x509/CMakeFiles/stalecert_x509.dir/src/certificate.cpp.o" "gcc" "src/x509/CMakeFiles/stalecert_x509.dir/src/certificate.cpp.o.d"
+  "/root/repo/src/x509/src/extensions.cpp" "src/x509/CMakeFiles/stalecert_x509.dir/src/extensions.cpp.o" "gcc" "src/x509/CMakeFiles/stalecert_x509.dir/src/extensions.cpp.o.d"
+  "/root/repo/src/x509/src/name.cpp" "src/x509/CMakeFiles/stalecert_x509.dir/src/name.cpp.o" "gcc" "src/x509/CMakeFiles/stalecert_x509.dir/src/name.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asn1/CMakeFiles/stalecert_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stalecert_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stalecert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stalecert_x509.dir/src/certificate.cpp.o"
+  "CMakeFiles/stalecert_x509.dir/src/certificate.cpp.o.d"
+  "CMakeFiles/stalecert_x509.dir/src/extensions.cpp.o"
+  "CMakeFiles/stalecert_x509.dir/src/extensions.cpp.o.d"
+  "CMakeFiles/stalecert_x509.dir/src/name.cpp.o"
+  "CMakeFiles/stalecert_x509.dir/src/name.cpp.o.d"
+  "libstalecert_x509.a"
+  "libstalecert_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stalecert_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asn1.dir/asn1/der_test.cpp.o"
+  "CMakeFiles/test_asn1.dir/asn1/der_test.cpp.o.d"
+  "CMakeFiles/test_asn1.dir/asn1/oid_test.cpp.o"
+  "CMakeFiles/test_asn1.dir/asn1/oid_test.cpp.o.d"
+  "test_asn1"
+  "test_asn1.pdb"
+  "test_asn1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ca.dir/ca/acme_test.cpp.o"
+  "CMakeFiles/test_ca.dir/ca/acme_test.cpp.o.d"
+  "CMakeFiles/test_ca.dir/ca/authority_test.cpp.o"
+  "CMakeFiles/test_ca.dir/ca/authority_test.cpp.o.d"
+  "CMakeFiles/test_ca.dir/ca/dv_test.cpp.o"
+  "CMakeFiles/test_ca.dir/ca/dv_test.cpp.o.d"
+  "CMakeFiles/test_ca.dir/ca/star_test.cpp.o"
+  "CMakeFiles/test_ca.dir/ca/star_test.cpp.o.d"
+  "test_ca"
+  "test_ca.pdb"
+  "test_ca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/analyzer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/analyzer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/bygone_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/bygone_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/corpus_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/corpus_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/detectors_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/detectors_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/lifetime_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/lifetime_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pipeline_api_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pipeline_api_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/taxonomy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/taxonomy_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ct.dir/ct/log_test.cpp.o"
+  "CMakeFiles/test_ct.dir/ct/log_test.cpp.o.d"
+  "CMakeFiles/test_ct.dir/ct/merkle_test.cpp.o"
+  "CMakeFiles/test_ct.dir/ct/merkle_test.cpp.o.d"
+  "CMakeFiles/test_ct.dir/ct/monitor_test.cpp.o"
+  "CMakeFiles/test_ct.dir/ct/monitor_test.cpp.o.d"
+  "test_ct"
+  "test_ct.pdb"
+  "test_ct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns.dir/dns/dane_test.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/dane_test.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/name_test.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/name_test.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/scan_test.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/scan_test.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/zone_test.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/zone_test.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/zonefile_test.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/zonefile_test.cpp.o.d"
+  "test_dns"
+  "test_dns.pdb"
+  "test_dns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

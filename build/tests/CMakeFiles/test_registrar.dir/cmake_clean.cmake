@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registrar.dir/registrar/lifecycle_property_test.cpp.o"
+  "CMakeFiles/test_registrar.dir/registrar/lifecycle_property_test.cpp.o.d"
+  "CMakeFiles/test_registrar.dir/registrar/lifecycle_test.cpp.o"
+  "CMakeFiles/test_registrar.dir/registrar/lifecycle_test.cpp.o.d"
+  "test_registrar"
+  "test_registrar.pdb"
+  "test_registrar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registrar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tls.dir/tls/client_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/client_test.cpp.o.d"
+  "CMakeFiles/test_tls.dir/tls/crlite_client_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/crlite_client_test.cpp.o.d"
+  "CMakeFiles/test_tls.dir/tls/interception_test.cpp.o"
+  "CMakeFiles/test_tls.dir/tls/interception_test.cpp.o.d"
+  "test_tls"
+  "test_tls.pdb"
+  "test_tls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

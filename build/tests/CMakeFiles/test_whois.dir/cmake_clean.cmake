@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whois.dir/whois/database_test.cpp.o"
+  "CMakeFiles/test_whois.dir/whois/database_test.cpp.o.d"
+  "CMakeFiles/test_whois.dir/whois/record_test.cpp.o"
+  "CMakeFiles/test_whois.dir/whois/record_test.cpp.o.d"
+  "CMakeFiles/test_whois.dir/whois/roundtrip_property_test.cpp.o"
+  "CMakeFiles/test_whois.dir/whois/roundtrip_property_test.cpp.o.d"
+  "test_whois"
+  "test_whois.pdb"
+  "test_whois[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

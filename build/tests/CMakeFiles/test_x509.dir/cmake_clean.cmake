@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x509.dir/x509/certificate_test.cpp.o"
+  "CMakeFiles/test_x509.dir/x509/certificate_test.cpp.o.d"
+  "CMakeFiles/test_x509.dir/x509/extensions_test.cpp.o"
+  "CMakeFiles/test_x509.dir/x509/extensions_test.cpp.o.d"
+  "CMakeFiles/test_x509.dir/x509/roundtrip_property_test.cpp.o"
+  "CMakeFiles/test_x509.dir/x509/roundtrip_property_test.cpp.o.d"
+  "test_x509"
+  "test_x509.pdb"
+  "test_x509[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

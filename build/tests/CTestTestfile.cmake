@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_asn1[1]_include.cmake")
+include("/root/repo/build/tests/test_x509[1]_include.cmake")
+include("/root/repo/build/tests/test_ct[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_whois[1]_include.cmake")
+include("/root/repo/build/tests/test_registrar[1]_include.cmake")
+include("/root/repo/build/tests/test_ca[1]_include.cmake")
+include("/root/repo/build/tests/test_revocation[1]_include.cmake")
+include("/root/repo/build/tests/test_tls[1]_include.cmake")
+include("/root/repo/build/tests/test_cdn[1]_include.cmake")
+include("/root/repo/build/tests/test_reputation[1]_include.cmake")
+include("/root/repo/build/tests/test_popularity[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
