@@ -2,7 +2,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+
+#include "stalecert/obs/observer.hpp"
 
 namespace stalecert::bench {
 
@@ -22,27 +26,31 @@ sim::WorldConfig bench_config() {
 const BenchWorld& bench_world() {
   static const BenchWorld instance = [] {
     const auto t0 = std::chrono::steady_clock::now();
+    obs::MetricsPipelineObserver telemetry;
     BenchWorld bw;
     const sim::WorldConfig config = bench_config();
     bw.world = std::make_unique<sim::World>(config);
+    bw.world->set_observer(&telemetry);
     bw.world->run();
+    bw.world->set_observer(nullptr);  // telemetry outlives this scope only
 
     ct::CollectStats collect_stats;
-    bw.corpus = core::CertificateCorpus(bw.world->ct_logs().collect({}, &collect_stats));
+    bw.corpus = core::CertificateCorpus(
+        bw.world->ct_logs().collect({}, &collect_stats, &telemetry));
 
     revocation::JoinFilters filters;
     filters.min_revocation_date = config.revocation_cutoff;
     bw.revocations = core::analyze_revocations(
-        bw.corpus, bw.world->crl_collection().store(), filters);
+        bw.corpus, bw.world->crl_collection().store(), filters, &telemetry);
 
     bw.registrant_change = core::detect_registrant_change(
-        bw.corpus, bw.world->whois().re_registrations());
+        bw.corpus, bw.world->whois().re_registrations(), {}, &telemetry);
 
     core::ManagedTlsOptions options;
     options.delegation_patterns = bw.world->cloudflare_delegation_patterns();
     options.managed_san_pattern = bw.world->cloudflare_san_pattern();
-    bw.managed_departure =
-        core::detect_managed_tls_departure(bw.corpus, bw.world->adns(), options);
+    bw.managed_departure = core::detect_managed_tls_departure(
+        bw.corpus, bw.world->adns(), options, &telemetry);
 
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - t0);
@@ -53,7 +61,20 @@ const BenchWorld& bench_world() {
               << " (keyCompromise=" << bw.revocations.key_compromise.size() << ")"
               << " | registrant-change stale=" << bw.registrant_change.size()
               << " | managed-TLS stale=" << bw.managed_departure.size() << " | "
-              << elapsed.count() << " ms\n\n";
+              << elapsed.count() << " ms\n";
+    // Per-stage perf trajectory: always dumped to stderr; set
+    // STALECERT_METRICS_JSON=<path> to also write the full JSON snapshot.
+    std::cerr << "[bench-world] stage trace:\n" << telemetry.trace().render();
+    if (const char* path = std::getenv("STALECERT_METRICS_JSON")) {
+      std::ofstream out(path);
+      if (out) {
+        out << telemetry.report_json() << '\n';
+        std::cerr << "[bench-world] metrics JSON written to " << path << "\n";
+      } else {
+        std::cerr << "[bench-world] cannot write metrics JSON to " << path << "\n";
+      }
+    }
+    std::cout << "\n";
     return bw;
   }();
   return instance;

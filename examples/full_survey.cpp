@@ -3,27 +3,74 @@
 // detection (Table 4), staleness (Fig. 6), survival (Fig. 8), lifetime
 // caps (Fig. 9) and the mitigation outlook (§7.2).
 //
-//   $ ./full_survey [seed]
+//   $ ./full_survey [seed] [--metrics-json <path|->] [--metrics-prom <path>]
+//
+// --metrics-json writes the observability snapshot (per-stage durations,
+// funnel counters, span trace) as JSON to <path>, or to stderr for "-".
+// --metrics-prom writes the same registry in Prometheus text format.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "stalecert/core/pipeline.hpp"
+#include "stalecert/obs/exposition.hpp"
+#include "stalecert/obs/observer.hpp"
 #include "stalecert/sim/world.hpp"
 #include "stalecert/util/strings.hpp"
 #include "stalecert/util/table.hpp"
 
 using namespace stalecert;
 
+namespace {
+
+bool write_text(const std::string& path, const std::string& text,
+                const char* what) {
+  if (path == "-") {
+    std::cerr << text << '\n';
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << what << " to " << path << "\n";
+    return false;
+  }
+  out << text << '\n';
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   sim::WorldConfig config = sim::small_test_config();
-  if (argc > 1) config.seed = static_cast<std::uint64_t>(std::atoll(argv[1]));
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-json" || arg == "--metrics-prom") {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: full_survey [seed] [--metrics-json <path|->]"
+                     " [--metrics-prom <path|->]\n"
+                  << arg << " requires a path argument\n";
+        return 2;
+      }
+      (arg == "--metrics-json" ? metrics_json_path : metrics_prom_path) =
+          argv[++i];
+    } else {
+      config.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str()));
+    }
+  }
+  const bool want_metrics = !metrics_json_path.empty() || !metrics_prom_path.empty();
 
+  obs::MetricsPipelineObserver telemetry;
   sim::World world(config);
+  if (want_metrics) world.set_observer(&telemetry);
   world.run();
 
   core::PipelineConfig pipeline_config;
   pipeline_config.delegation_patterns = world.cloudflare_delegation_patterns();
   pipeline_config.managed_san_pattern = world.cloudflare_san_pattern();
+  if (want_metrics) pipeline_config.observer = &telemetry;
   const auto result = core::run_pipeline(
       world.ct_logs(), world.crl_collection().store(),
       world.whois().re_registrations(), world.adns(), pipeline_config);
@@ -36,9 +83,7 @@ int main(int argc, char** argv) {
 
   util::TextTable detection({"Class", "Stale certs", "e2LDs", "Median staleness",
                              "S(90d)"});
-  for (const auto cls :
-       {core::StaleClass::kKeyCompromise, core::StaleClass::kRegistrantChange,
-        core::StaleClass::kManagedTlsDeparture}) {
+  for (const auto cls : core::kAllStaleClasses) {
     const auto& stale = result.of(cls);
     core::StalenessAnalyzer analyzer(result.corpus, stale);
     const auto dist = analyzer.staleness_distribution();
@@ -69,5 +114,15 @@ int main(int argc, char** argv) {
       "  Keyless SSL: removes managed-TLS key custody entirely\n"
       "  STAR / 7d:   caps any staleness at days (see the 7d row above)\n"
       "  DANE:        hours-scale TTLs replace month-scale lifetimes\n";
-  return 0;
+
+  bool ok = true;
+  if (!metrics_json_path.empty()) {
+    ok &= write_text(metrics_json_path, telemetry.report_json(), "metrics JSON");
+  }
+  if (!metrics_prom_path.empty()) {
+    ok &= write_text(metrics_prom_path,
+                     obs::to_prometheus(telemetry.registry().snapshot()),
+                     "Prometheus metrics");
+  }
+  return ok ? 0 : 1;
 }

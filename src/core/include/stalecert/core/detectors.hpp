@@ -11,6 +11,10 @@
 #include "stalecert/util/interval.hpp"
 #include "stalecert/whois/database.hpp"
 
+namespace stalecert::obs {
+class PipelineObserver;
+}
+
 namespace stalecert::core {
 
 /// A detected third-party stale certificate: a still-valid certificate
@@ -39,9 +43,12 @@ struct RevocationAnalysisResult {
 /// outlier filters, and splits out the key-compromise subset. Staleness is
 /// conservatively measured from the revocation timestamp (the paper
 /// assumes revocation is issued as soon as the event occurs).
+/// A non-null `observer` receives the join funnel (matched vs. each
+/// JoinFilters drop reason) under the stage name "revocation_join".
 RevocationAnalysisResult analyze_revocations(
     const CertificateCorpus& corpus, const revocation::RevocationStore& store,
-    const revocation::JoinFilters& filters);
+    const revocation::JoinFilters& filters,
+    obs::PipelineObserver* observer = nullptr);
 
 /// ---------- Domain registrant change (§4.2 / §5.2) ----------
 
@@ -55,10 +62,14 @@ struct RegistrantChangeOptions {
 /// For each WHOIS re-registration, finds certificates for that e2LD whose
 /// validity spans the new registry creation date:
 /// notBefore < creationDate < notAfter.
+/// A non-null `observer` receives the candidate funnel (events rejected by
+/// the conservative posture, certificates outside the validity window)
+/// under the stage name "registrant_change".
 std::vector<StaleCertificate> detect_registrant_change(
     const CertificateCorpus& corpus,
     const std::vector<whois::NewRegistration>& registrations,
-    const RegistrantChangeOptions& options = {});
+    const RegistrantChangeOptions& options = {},
+    obs::PipelineObserver* observer = nullptr);
 
 /// ---------- Managed TLS departure (§4.3 / §5.3) ----------
 
@@ -85,9 +96,13 @@ std::vector<DepartureEvent> detect_departures(const dns::SnapshotStore& snapshot
 /// Joins departure events against the corpus: managed certificates
 /// (matching the SAN pattern) covering the departed domain and valid on
 /// the departure date.
+/// A non-null `observer` receives the candidate funnel (expired, name
+/// mismatch, unmanaged, duplicate) under the stage name
+/// "managed_departure".
 std::vector<StaleCertificate> detect_managed_tls_departure(
     const CertificateCorpus& corpus, const dns::SnapshotStore& snapshots,
-    const ManagedTlsOptions& options);
+    const ManagedTlsOptions& options,
+    obs::PipelineObserver* observer = nullptr);
 
 /// ---------- First-party staleness: key rotation (§3.1, Table 2) ----------
 

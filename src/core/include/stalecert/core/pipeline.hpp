@@ -9,6 +9,10 @@
 #include "stalecert/core/lifetime.hpp"
 #include "stalecert/ct/logset.hpp"
 
+namespace stalecert::obs {
+class PipelineObserver;
+}
+
 namespace stalecert::core {
 
 /// Configuration for the end-to-end measurement pipeline (§4).
@@ -24,6 +28,10 @@ struct PipelineConfig {
   /// Managed-TLS provider identification.
   std::vector<std::string> delegation_patterns;
   std::string managed_san_pattern;
+  /// Optional telemetry sink (e.g. obs::MetricsPipelineObserver). Every
+  /// stage reports funnel counters and wall-clock through it; nullptr (the
+  /// default) runs the pipeline unobserved with no behavioral difference.
+  obs::PipelineObserver* observer = nullptr;
 };
 
 /// Everything the pipeline produces in one pass.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -49,10 +50,20 @@ SecurityImplication classify(InvalidationEvent event);
 InfoCategory category_of(InvalidationEvent event);
 
 /// The three third-party stale certificate classes the paper measures.
+/// When adding a value, bump kStaleClassCount and extend kAllStaleClasses —
+/// exhaustive switches static_assert against them, so omissions fail at
+/// compile time instead of throwing at runtime.
 enum class StaleClass : std::uint8_t {
   kKeyCompromise,
   kRegistrantChange,
   kManagedTlsDeparture,
+};
+
+inline constexpr std::size_t kStaleClassCount = 3;
+inline constexpr std::array<StaleClass, kStaleClassCount> kAllStaleClasses = {
+    StaleClass::kKeyCompromise,
+    StaleClass::kRegistrantChange,
+    StaleClass::kManagedTlsDeparture,
 };
 
 std::string to_string(StaleClass cls);

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "stalecert/dns/name.hpp"
+#include "stalecert/obs/observer.hpp"
 #include "stalecert/util/strings.hpp"
 
 namespace stalecert::core {
@@ -22,7 +23,8 @@ std::string primary_e2ld(const x509::Certificate& cert) {
 
 RevocationAnalysisResult analyze_revocations(
     const CertificateCorpus& corpus, const revocation::RevocationStore& store,
-    const revocation::JoinFilters& filters) {
+    const revocation::JoinFilters& filters, obs::PipelineObserver* observer) {
+  const obs::StageScope scope(observer, "revocation_join");
   RevocationAnalysisResult result;
   // Re-run the join per corpus index so StaleCertificate can reference the
   // corpus rather than copying certificates.
@@ -64,23 +66,41 @@ RevocationAnalysisResult analyze_revocations(
     result.all_revoked.push_back(std::move(stale));
   }
   result.join_stats = stats;
+  if (scope.enabled()) {
+    // Funnel identity: matched == kept + dropped_before_valid +
+    //                  dropped_after_expiry + dropped_before_cutoff.
+    scope.count("corpus_certs", stats.corpus_size);
+    scope.count("matched", stats.matched);
+    scope.count("dropped_before_valid", stats.dropped_before_valid);
+    scope.count("dropped_after_expiry", stats.dropped_after_expiry);
+    scope.count("dropped_before_cutoff", stats.dropped_before_cutoff);
+    scope.count("kept", stats.kept);
+    scope.count("stale_key_compromise", result.key_compromise.size());
+  }
   return result;
 }
 
 std::vector<StaleCertificate> detect_registrant_change(
     const CertificateCorpus& corpus,
     const std::vector<whois::NewRegistration>& registrations,
-    const RegistrantChangeOptions& options) {
+    const RegistrantChangeOptions& options, obs::PipelineObserver* observer) {
+  const obs::StageScope scope(observer, "registrant_change");
+  std::uint64_t rejected_no_previous = 0;
+  std::uint64_t candidate_certs = 0;
+  std::uint64_t rejected_outside_validity = 0;
   std::vector<StaleCertificate> out;
   for (const auto& event : registrations) {
     if (options.require_previous_observation && !event.previous_creation_date) {
+      ++rejected_no_previous;
       continue;
     }
     for (const std::size_t index : corpus.by_e2ld(event.domain)) {
       const auto& cert = corpus.at(index);
+      ++candidate_certs;
       // notBefore < creationDate < notAfter (strict, per §4.2).
       if (!(cert.not_before() < event.creation_date &&
             event.creation_date < cert.not_after())) {
+        ++rejected_outside_validity;
         continue;
       }
       StaleCertificate stale;
@@ -91,6 +111,15 @@ std::vector<StaleCertificate> detect_registrant_change(
       stale.trigger_domain = event.domain;
       out.push_back(std::move(stale));
     }
+  }
+  if (scope.enabled()) {
+    // Funnel identity: candidate_certs == stale_found +
+    //                  rejected_outside_validity.
+    scope.count("events", registrations.size());
+    scope.count("rejected_no_previous_observation", rejected_no_previous);
+    scope.count("candidate_certs", candidate_certs);
+    scope.count("rejected_outside_validity", rejected_outside_validity);
+    scope.count("stale_found", out.size());
   }
   return out;
 }
@@ -120,25 +149,44 @@ std::vector<DepartureEvent> detect_departures(const dns::SnapshotStore& snapshot
 
 std::vector<StaleCertificate> detect_managed_tls_departure(
     const CertificateCorpus& corpus, const dns::SnapshotStore& snapshots,
-    const ManagedTlsOptions& options) {
+    const ManagedTlsOptions& options, obs::PipelineObserver* observer) {
+  const obs::StageScope scope(observer, "managed_departure");
   const std::vector<DepartureEvent> departures =
       detect_departures(snapshots, options);
 
+  std::uint64_t candidate_certs = 0;
+  std::uint64_t rejected_expired = 0;
+  std::uint64_t rejected_name_mismatch = 0;
+  std::uint64_t rejected_unmanaged = 0;
+  std::uint64_t rejected_duplicate = 0;
   std::vector<StaleCertificate> out;
   std::set<std::pair<std::size_t, std::string>> reported;  // (cert, domain) dedup
   for (const auto& event : departures) {
     const auto e2 = dns::e2ld(event.domain);
     for (const std::size_t index : corpus.by_e2ld(e2.value_or(event.domain))) {
       const auto& cert = corpus.at(index);
-      if (!cert.valid_at(event.date)) continue;
-      if (!cert.matches_domain(event.domain)) continue;
+      ++candidate_certs;
+      if (!cert.valid_at(event.date)) {
+        ++rejected_expired;
+        continue;
+      }
+      if (!cert.matches_domain(event.domain)) {
+        ++rejected_name_mismatch;
+        continue;
+      }
       // Managed certificate check: the provider's SAN marker is present.
       const auto names = cert.dns_names();
       const bool managed = std::any_of(names.begin(), names.end(), [&](const auto& n) {
         return util::wildcard_match(options.managed_san_pattern, n);
       });
-      if (!managed) continue;
-      if (!reported.insert({index, event.domain}).second) continue;
+      if (!managed) {
+        ++rejected_unmanaged;
+        continue;
+      }
+      if (!reported.insert({index, event.domain}).second) {
+        ++rejected_duplicate;
+        continue;
+      }
 
       StaleCertificate stale;
       stale.corpus_index = index;
@@ -148,6 +196,16 @@ std::vector<StaleCertificate> detect_managed_tls_departure(
       stale.trigger_domain = e2.value_or(event.domain);
       out.push_back(std::move(stale));
     }
+  }
+  if (scope.enabled()) {
+    // Funnel identity: candidate_certs == stale_found + every rejected_*.
+    scope.count("departure_events", departures.size());
+    scope.count("candidate_certs", candidate_certs);
+    scope.count("rejected_expired", rejected_expired);
+    scope.count("rejected_name_mismatch", rejected_name_mismatch);
+    scope.count("rejected_unmanaged", rejected_unmanaged);
+    scope.count("rejected_duplicate", rejected_duplicate);
+    scope.count("stale_found", out.size());
   }
   return out;
 }

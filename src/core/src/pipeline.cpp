@@ -1,6 +1,8 @@
 #include "stalecert/core/pipeline.hpp"
 
-#include "stalecert/util/error.hpp"
+#include <cstdlib>
+
+#include "stalecert/obs/observer.hpp"
 
 namespace stalecert::core {
 
@@ -16,12 +18,17 @@ std::vector<StaleCertificate> PipelineResult::all_third_party() const {
 }
 
 const std::vector<StaleCertificate>& PipelineResult::of(StaleClass cls) const {
+  // Exhaustive: the switch covers every StaleClass (-Wswitch flags a
+  // missing case) and the static_assert pins the expected cardinality, so a
+  // new class fails the build here instead of throwing at runtime.
+  static_assert(kStaleClassCount == 3,
+                "new StaleClass: add a case to PipelineResult::of");
   switch (cls) {
     case StaleClass::kKeyCompromise: return revocations.key_compromise;
     case StaleClass::kRegistrantChange: return registrant_change;
     case StaleClass::kManagedTlsDeparture: return managed_departure;
   }
-  throw LogicError("PipelineResult::of: unknown class");
+  std::abort();  // unreachable: all enumerators handled above
 }
 
 PipelineResult run_pipeline(const ct::LogSet& logs,
@@ -29,28 +36,41 @@ PipelineResult run_pipeline(const ct::LogSet& logs,
                             const std::vector<whois::NewRegistration>& registrations,
                             const dns::SnapshotStore& adns,
                             const PipelineConfig& config) {
+  obs::PipelineObserver* observer = config.observer;
+  const obs::StageScope scope(observer, "pipeline");
   PipelineResult result;
 
   ct::CollectOptions collect;
   collect.max_certs_per_fqdn = config.max_certs_per_fqdn;
-  result.corpus =
-      CertificateCorpus(logs.collect(collect, &result.collect_stats));
+  result.corpus = CertificateCorpus(
+      logs.collect(collect, &result.collect_stats, observer));
 
   revocation::JoinFilters filters;
   filters.min_revocation_date = config.revocation_cutoff;
-  result.revocations = analyze_revocations(result.corpus, revocations, filters);
+  result.revocations =
+      analyze_revocations(result.corpus, revocations, filters, observer);
 
   RegistrantChangeOptions posture;
   posture.require_previous_observation = config.require_previous_whois_observation;
   result.registrant_change =
-      detect_registrant_change(result.corpus, registrations, posture);
+      detect_registrant_change(result.corpus, registrations, posture, observer);
 
   if (!config.delegation_patterns.empty() && !config.managed_san_pattern.empty()) {
     ManagedTlsOptions options;
     options.delegation_patterns = config.delegation_patterns;
     options.managed_san_pattern = config.managed_san_pattern;
     result.managed_departure =
-        detect_managed_tls_departure(result.corpus, adns, options);
+        detect_managed_tls_departure(result.corpus, adns, options, observer);
+  }
+
+  if (scope.enabled()) {
+    scope.count("stale_key_compromise", result.revocations.key_compromise.size());
+    scope.count("stale_registrant_change", result.registrant_change.size());
+    scope.count("stale_managed_departure", result.managed_departure.size());
+    scope.count("stale_total", result.revocations.key_compromise.size() +
+                                   result.registrant_change.size() +
+                                   result.managed_departure.size());
+    scope.gauge("corpus_certs", static_cast<double>(result.corpus.size()));
   }
   return result;
 }

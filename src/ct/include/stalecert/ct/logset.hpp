@@ -7,6 +7,10 @@
 
 #include "stalecert/ct/log.hpp"
 
+namespace stalecert::obs {
+class PipelineObserver;
+}
+
 namespace stalecert::ct {
 
 /// Options for the monitor-side certificate collection (Section 4 of the
@@ -45,9 +49,12 @@ class LogSet {
                                                  util::Date now);
 
   /// Monitor-side aggregate download: all entries across logs, precert/cert
-  /// deduplicated, anomalous FQDNs removed.
+  /// deduplicated, anomalous FQDNs removed. When `observer` is non-null the
+  /// stage reports its funnel (raw entries -> deduped -> anomaly-filtered)
+  /// and wall-clock under the stage name "ct_collect".
   [[nodiscard]] std::vector<x509::Certificate> collect(
-      const CollectOptions& options = {}, CollectStats* stats = nullptr) const;
+      const CollectOptions& options = {}, CollectStats* stats = nullptr,
+      obs::PipelineObserver* observer = nullptr) const;
 
   /// Total number of raw entries across all logs.
   [[nodiscard]] std::uint64_t total_entries() const;

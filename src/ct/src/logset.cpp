@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "stalecert/obs/observer.hpp"
 #include "stalecert/util/error.hpp"
 
 namespace stalecert::ct {
@@ -52,7 +53,9 @@ std::uint64_t LogSet::total_entries() const {
 }
 
 std::vector<x509::Certificate> LogSet::collect(const CollectOptions& options,
-                                               CollectStats* stats) const {
+                                               CollectStats* stats,
+                                               obs::PipelineObserver* observer) const {
+  const obs::StageScope scope(observer, "ct_collect");
   CollectStats local;
   // Deduplicate on the non-CT fingerprint. When both a precertificate and
   // the corresponding issued certificate are logged, keep the issued one
@@ -99,6 +102,15 @@ std::vector<x509::Certificate> LogSet::collect(const CollectOptions& options,
     out.push_back(std::move(cert));
   }
   if (stats) *stats = local;
+  if (scope.enabled()) {
+    // Funnel identity: entries_raw == corpus + dropped_duplicates +
+    //                  dropped_anomalous.
+    scope.count("entries_raw", local.raw_entries);
+    scope.count("dropped_duplicates", local.raw_entries - local.after_dedup);
+    scope.count("dropped_anomalous", local.dropped_certificates);
+    scope.count("anomalous_fqdns", local.dropped_anomalous_fqdns);
+    scope.count("corpus", out.size());
+  }
   return out;
 }
 

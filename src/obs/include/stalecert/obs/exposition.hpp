@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "stalecert/obs/metrics.hpp"
+
+namespace stalecert::obs {
+
+/// Serializes a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` comments followed by sample lines,
+/// histogram buckets rendered cumulatively with `le` labels plus `_sum` and
+/// `_count` series.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Serializes a snapshot as a JSON object:
+///   {"counters": [{"name": ..., "labels": {...}, "value": N}, ...],
+///    "gauges": [...],
+///    "histograms": [{"name": ..., "labels": {...},
+///                    "buckets": [{"le": 1.0, "count": N}, ...,
+///                                {"le": "+Inf", "count": N}],
+///                    "sum": S, "count": N}, ...]}
+/// Bucket counts are per-bucket (non-cumulative).
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace stalecert::obs

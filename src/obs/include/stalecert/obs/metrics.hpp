@@ -1,0 +1,164 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stalecert::obs {
+
+/// Label set attached to a metric, e.g. {{"stage", "ct_collect"}}. Order is
+/// preserved as registered (it becomes part of the registry key), so always
+/// pass labels in a consistent order for a given metric name.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter. The hot path is one relaxed atomic
+/// add: obtain the handle once (registration takes a mutex), then call
+/// inc() from any thread.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous value that can go up and down (pool sizes, progress).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` (less-or-equal) semantics:
+/// bucket i counts observations <= upper_bounds[i]; one implicit +Inf
+/// bucket catches the rest. Bounds are fixed at registration, so observe()
+/// is a binary search plus two relaxed atomic updates — safe from any
+/// thread.
+class HistogramMetric {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit HistogramMetric(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  /// Finite bucket upper bounds (excludes the implicit +Inf bucket).
+  [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+/// RAII timer: records elapsed wall-clock seconds into a histogram when it
+/// goes out of scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramMetric& histogram);
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+ private:
+  HistogramMetric* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// --- Snapshot types -------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  Labels labels;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  Labels labels;
+  std::string help;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  std::string help;
+  std::vector<double> upper_bounds;          // finite bounds
+  std::vector<std::uint64_t> bucket_counts;  // per-bucket, +Inf last
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Point-in-time copy of every metric in a registry. Snapshots are plain
+/// values: serialize them (exposition.hpp) or diff them without holding any
+/// lock, and later registry updates never show through.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Thread-safe registry of named metrics. Registration (counter()/gauge()/
+/// histogram()) takes a mutex and returns a stable handle; all subsequent
+/// updates through the handle are lock-free atomics. Re-registering the
+/// same (name, labels) returns the existing handle.
+///
+/// Naming convention (see src/obs/README.md):
+///   stalecert_<subsystem>_<name>[_total|_seconds]
+/// Names must match [a-zA-Z_:][a-zA-Z0-9_:]*; anything else throws.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  /// Throws if re-registered with different bounds.
+  HistogramMetric& histogram(const std::string& name,
+                             std::vector<double> upper_bounds,
+                             const Labels& labels = {},
+                             const std::string& help = "");
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  template <typename Metric>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    std::unique_ptr<Metric> metric;
+  };
+
+  mutable std::mutex mutex_;
+  // Keyed by name + rendered labels; std::map keeps exposition output in
+  // deterministic sorted order.
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<HistogramMetric>> histograms_;
+};
+
+}  // namespace stalecert::obs

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "stalecert/obs/metrics.hpp"
+#include "stalecert/obs/span.hpp"
+
+namespace stalecert::obs {
+
+/// Hook interface the measurement pipeline reports into. Every stage
+/// (ct::LogSet::collect, core::analyze_revocations, the WHOIS and aDNS
+/// detectors, core::run_pipeline, sim::World::run) accepts an optional
+/// `PipelineObserver*`; a nullptr (the default everywhere) disables
+/// instrumentation entirely — call sites pay one pointer test and nothing
+/// else. The core libraries only depend on this in-memory interface; all
+/// I/O (serialization, file output) lives with the caller.
+///
+/// Stages emit aggregate counter deltas once per stage, not per item, so an
+/// active observer costs one virtual call + one atomic add per counter per
+/// stage.
+class PipelineObserver {
+ public:
+  virtual ~PipelineObserver() = default;
+
+  /// A stage began. Stages nest stack-wise (run_pipeline wraps the
+  /// per-stage detectors).
+  virtual void on_stage_start(std::string_view stage) { (void)stage; }
+  /// The matching stage ended after `elapsed` wall-clock time.
+  virtual void on_stage_end(std::string_view stage,
+                            std::chrono::nanoseconds elapsed) {
+    (void)stage;
+    (void)elapsed;
+  }
+  /// A funnel counter delta for the innermost open stage.
+  virtual void on_count(std::string_view stage, std::string_view counter,
+                        std::uint64_t delta) {
+    (void)stage;
+    (void)counter;
+    (void)delta;
+  }
+  /// An instantaneous value (pool sizes, coverage rates).
+  virtual void on_gauge(std::string_view stage, std::string_view gauge,
+                        double value) {
+    (void)stage;
+    (void)gauge;
+    (void)value;
+  }
+};
+
+/// Shared no-op observer for callers that want a non-null reference.
+PipelineObserver& null_observer();
+
+/// RAII stage guard: emits on_stage_start at construction and
+/// on_stage_end with measured wall-clock at destruction. Null-safe — with
+/// observer == nullptr it does nothing, not even read the clock.
+class StageScope {
+ public:
+  StageScope(PipelineObserver* observer, std::string_view stage);
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+  ~StageScope();
+
+  /// Forwards a counter delta for this stage (no-op when disabled).
+  void count(std::string_view counter, std::uint64_t delta) const;
+  /// Forwards a gauge value for this stage (no-op when disabled).
+  void gauge(std::string_view name, double value) const;
+  [[nodiscard]] bool enabled() const { return observer_ != nullptr; }
+
+ private:
+  PipelineObserver* observer_;
+  std::string stage_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// The standard observer: materializes stage reports into a MetricsRegistry
+/// and a hierarchical Trace.
+///
+///   - on_count  -> counter `stalecert_<stage>_<counter>_total`, and the
+///                  delta is attached to the innermost open span
+///   - on_gauge  -> gauge `stalecert_<stage>_<gauge>`
+///   - stage end -> histogram `stalecert_stage_duration_seconds{stage=...}`
+///                  plus the span's duration in the trace
+///
+/// Handles are resolved once per (stage, counter) pair and cached, so
+/// repeated reports pay a hash lookup + atomic add.
+class MetricsPipelineObserver final : public PipelineObserver {
+ public:
+  MetricsPipelineObserver();
+
+  void on_stage_start(std::string_view stage) override;
+  void on_stage_end(std::string_view stage,
+                    std::chrono::nanoseconds elapsed) override;
+  void on_count(std::string_view stage, std::string_view counter,
+                std::uint64_t delta) override;
+  void on_gauge(std::string_view stage, std::string_view gauge,
+                double value) override;
+
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+  /// Full run report as one JSON object: {"metrics": ..., "trace": ...}.
+  [[nodiscard]] std::string report_json() const;
+
+ private:
+  MetricsRegistry registry_;
+  Trace trace_;
+  mutable std::mutex mutex_;  // guards trace_ and the handle caches
+  std::unordered_map<std::string, Counter*> counter_handles_;
+  std::unordered_map<std::string, Gauge*> gauge_handles_;
+  std::unordered_map<std::string, HistogramMetric*> duration_handles_;
+};
+
+}  // namespace stalecert::obs

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stalecert::obs {
+
+/// One node of a hierarchical pipeline trace: a named stage, its wall-clock
+/// duration, and the funnel counters attributed to it while it was the
+/// innermost open span.
+struct SpanRecord {
+  std::string name;
+  std::size_t parent = SIZE_MAX;  // index into Trace::spans(); SIZE_MAX = root
+  std::size_t depth = 0;
+  std::chrono::nanoseconds duration{0};
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  bool closed = false;
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(duration).count();
+  }
+};
+
+/// An append-only tree of spans describing one pipeline run. Spans open and
+/// close stack-wise (begin_span/end_span), building parent/child structure;
+/// counters recorded in between attach to the innermost open span. Not
+/// thread-safe: use one Trace per pipeline thread.
+class Trace {
+ public:
+  static constexpr std::size_t npos = SIZE_MAX;
+
+  /// Opens a child of the current span (or a root span) and returns its index.
+  std::size_t begin_span(std::string name);
+  /// Closes the innermost open span, recording its duration. Throws if no
+  /// span is open.
+  void end_span(std::chrono::nanoseconds duration);
+  /// Attaches a counter delta to the innermost open span. Merges repeated
+  /// names. No-op when no span is open.
+  void count(const std::string& counter, std::uint64_t delta);
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  [[nodiscard]] bool empty() const { return spans_.empty(); }
+  /// Number of currently open (unclosed) spans.
+  [[nodiscard]] std::size_t open_depth() const { return stack_.size(); }
+
+  /// Human-readable indented tree with millisecond durations and counters.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::vector<std::size_t> stack_;
+};
+
+/// Serializes a trace to a JSON array of span objects:
+///   [{"name": ..., "depth": 0, "parent": null, "duration_seconds": ...,
+///     "counters": {...}}, ...]
+[[nodiscard]] std::string to_json(const Trace& trace);
+
+}  // namespace stalecert::obs

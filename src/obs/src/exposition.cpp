@@ -1,0 +1,195 @@
+#include "stalecert/obs/exposition.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace stalecert::obs {
+namespace {
+
+/// Shortest double representation that round-trips; Prometheus and JSON
+/// both accept plain decimal/exponent notation.
+std::string format_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, value);
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == value) return shorter;
+  }
+  return buf;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k1="v1",k2="v2"}`, with `extra` appended last (used for the
+/// histogram `le` label). Empty label sets render as "".
+std::string render_labels(const Labels& labels,
+                          const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && !extra) return "";
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + escape_label_value(value) + '"';
+  };
+  for (const auto& [key, value] : labels) append(key, value);
+  if (extra) append(extra->first, extra->second);
+  out += '}';
+  return out;
+}
+
+/// Emits HELP/TYPE header lines once per metric family name.
+void emit_header(std::string& out, std::set<std::string>& seen,
+                 const std::string& name, const std::string& help,
+                 const char* type) {
+  if (!seen.insert(name).second) return;
+  if (!help.empty()) out += "# HELP " + name + ' ' + help + '\n';
+  out += "# TYPE " + name + ' ' + type + '\n';
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_labels(std::string& out, const Labels& labels) {
+  out += "\"labels\":{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, key);
+    out += ':';
+    append_json_string(out, value);
+  }
+  out += '}';
+}
+
+/// JSON numbers may not be Inf/NaN; emit those as strings.
+std::string json_number(double value) {
+  if (std::isnan(value) || std::isinf(value)) {
+    return '"' + format_double(value) + '"';
+  }
+  return format_double(value);
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::set<std::string> seen;
+  for (const auto& sample : snapshot.counters) {
+    emit_header(out, seen, sample.name, sample.help, "counter");
+    out += sample.name + render_labels(sample.labels, nullptr) + ' ' +
+           std::to_string(sample.value) + '\n';
+  }
+  for (const auto& sample : snapshot.gauges) {
+    emit_header(out, seen, sample.name, sample.help, "gauge");
+    out += sample.name + render_labels(sample.labels, nullptr) + ' ' +
+           format_double(sample.value) + '\n';
+  }
+  for (const auto& sample : snapshot.histograms) {
+    emit_header(out, seen, sample.name, sample.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < sample.bucket_counts.size(); ++i) {
+      cumulative += sample.bucket_counts[i];
+      const std::pair<std::string, std::string> le{
+          "le", i < sample.upper_bounds.size()
+                    ? format_double(sample.upper_bounds[i])
+                    : "+Inf"};
+      out += sample.name + "_bucket" + render_labels(sample.labels, &le) + ' ' +
+             std::to_string(cumulative) + '\n';
+    }
+    out += sample.name + "_sum" + render_labels(sample.labels, nullptr) + ' ' +
+           format_double(sample.sum) + '\n';
+    out += sample.name + "_count" + render_labels(sample.labels, nullptr) + ' ' +
+           std::to_string(sample.count) + '\n';
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& sample : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, sample.name);
+    out += ',';
+    append_json_labels(out, sample.labels);
+    out += ",\"value\":" + std::to_string(sample.value) + '}';
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& sample : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, sample.name);
+    out += ',';
+    append_json_labels(out, sample.labels);
+    out += ",\"value\":" + json_number(sample.value) + '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& sample : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, sample.name);
+    out += ',';
+    append_json_labels(out, sample.labels);
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < sample.bucket_counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"le\":";
+      out += i < sample.upper_bounds.size()
+                 ? json_number(sample.upper_bounds[i])
+                 : std::string("\"+Inf\"");
+      out += ",\"count\":" + std::to_string(sample.bucket_counts[i]) + '}';
+    }
+    out += "],\"sum\":" + json_number(sample.sum);
+    out += ",\"count\":" + std::to_string(sample.count) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace stalecert::obs

@@ -1,0 +1,157 @@
+#include "stalecert/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::obs {
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+/// Registry key: name plus rendered labels, unique per (name, labels).
+std::string metric_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';  // unit separator: cannot appear in a valid name
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+void check_name(const std::string& name) {
+  if (!valid_metric_name(name)) {
+    throw LogicError("MetricsRegistry: invalid metric name '" + name + "'");
+  }
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::add(double delta) { atomic_add_double(value_, delta); }
+
+HistogramMetric::HistogramMetric(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) throw LogicError("HistogramMetric: no buckets");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw LogicError("HistogramMetric: bounds must be strictly increasing");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void HistogramMetric::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+}
+
+std::vector<std::uint64_t> HistogramMetric::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t HistogramMetric::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double HistogramMetric::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ScopedTimer::ScopedTimer(HistogramMetric& histogram)
+    : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  histogram_->observe(elapsed.count());
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
+                                  const std::string& help) {
+  check_name(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = counters_.try_emplace(metric_key(name, labels));
+  if (inserted) {
+    it->second = {name, labels, help, std::make_unique<Counter>()};
+  }
+  return *it->second.metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  check_name(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = gauges_.try_emplace(metric_key(name, labels));
+  if (inserted) {
+    it->second = {name, labels, help, std::make_unique<Gauge>()};
+  }
+  return *it->second.metric;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            std::vector<double> upper_bounds,
+                                            const Labels& labels,
+                                            const std::string& help) {
+  check_name(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = histograms_.try_emplace(metric_key(name, labels));
+  if (inserted) {
+    it->second = {name, labels, help,
+                  std::make_unique<HistogramMetric>(std::move(upper_bounds))};
+  } else if (it->second.metric->upper_bounds() != upper_bounds) {
+    throw LogicError("MetricsRegistry: histogram '" + name +
+                     "' re-registered with different buckets");
+  }
+  return *it->second.metric;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, entry] : counters_) {
+    snap.counters.push_back(
+        {entry.name, entry.labels, entry.help, entry.metric->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, entry] : gauges_) {
+    snap.gauges.push_back(
+        {entry.name, entry.labels, entry.help, entry.metric->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, entry] : histograms_) {
+    snap.histograms.push_back({entry.name, entry.labels, entry.help,
+                               entry.metric->upper_bounds(),
+                               entry.metric->bucket_counts(),
+                               entry.metric->sum(), entry.metric->count()});
+  }
+  return snap;
+}
+
+}  // namespace stalecert::obs

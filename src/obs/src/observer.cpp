@@ -1,0 +1,136 @@
+#include "stalecert/obs/observer.hpp"
+
+#include "stalecert/obs/exposition.hpp"
+
+namespace stalecert::obs {
+namespace {
+
+/// Default latency buckets for stage durations: 100us .. 60s.
+std::vector<double> duration_buckets() {
+  return {0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0};
+}
+
+std::string sanitized(std::string_view part) {
+  std::string out(part);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+PipelineObserver& null_observer() {
+  static PipelineObserver instance;
+  return instance;
+}
+
+StageScope::StageScope(PipelineObserver* observer, std::string_view stage)
+    : observer_(observer) {
+  if (observer_ == nullptr) return;
+  stage_ = stage;
+  observer_->on_stage_start(stage_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+StageScope::~StageScope() {
+  if (observer_ == nullptr) return;
+  observer_->on_stage_end(stage_, std::chrono::steady_clock::now() - start_);
+}
+
+void StageScope::count(std::string_view counter, std::uint64_t delta) const {
+  if (observer_ != nullptr) observer_->on_count(stage_, counter, delta);
+}
+
+void StageScope::gauge(std::string_view name, double value) const {
+  if (observer_ != nullptr) observer_->on_gauge(stage_, name, value);
+}
+
+MetricsPipelineObserver::MetricsPipelineObserver() = default;
+
+void MetricsPipelineObserver::on_stage_start(std::string_view stage) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trace_.begin_span(std::string(stage));
+}
+
+void MetricsPipelineObserver::on_stage_end(std::string_view stage,
+                                           std::chrono::nanoseconds elapsed) {
+  HistogramMetric* histogram = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    trace_.end_span(elapsed);
+    const std::string key(stage);
+    const auto it = duration_handles_.find(key);
+    if (it != duration_handles_.end()) {
+      histogram = it->second;
+    } else {
+      histogram = &registry_.histogram(
+          "stalecert_stage_duration_seconds", duration_buckets(),
+          {{"stage", sanitized(stage)}}, "Wall-clock time spent per stage");
+      duration_handles_.emplace(key, histogram);
+    }
+  }
+  histogram->observe(std::chrono::duration<double>(elapsed).count());
+}
+
+void MetricsPipelineObserver::on_count(std::string_view stage,
+                                       std::string_view counter,
+                                       std::uint64_t delta) {
+  Counter* handle = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string key;
+    key.reserve(stage.size() + counter.size() + 1);
+    key.append(stage);
+    key += '\x1f';
+    key.append(counter);
+    const auto it = counter_handles_.find(key);
+    if (it != counter_handles_.end()) {
+      handle = it->second;
+    } else {
+      std::string name =
+          "stalecert_" + sanitized(stage) + '_' + sanitized(counter);
+      if (!name.ends_with("_total")) name += "_total";
+      handle = &registry_.counter(name);
+      counter_handles_.emplace(std::move(key), handle);
+    }
+    trace_.count(std::string(counter), delta);
+  }
+  handle->inc(delta);
+}
+
+void MetricsPipelineObserver::on_gauge(std::string_view stage,
+                                       std::string_view gauge, double value) {
+  Gauge* handle = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string key;
+    key.reserve(stage.size() + gauge.size() + 1);
+    key.append(stage);
+    key += '\x1f';
+    key.append(gauge);
+    const auto it = gauge_handles_.find(key);
+    if (it != gauge_handles_.end()) {
+      handle = it->second;
+    } else {
+      handle = &registry_.gauge("stalecert_" + sanitized(stage) + '_' +
+                                sanitized(gauge));
+      gauge_handles_.emplace(std::move(key), handle);
+    }
+  }
+  handle->set(value);
+}
+
+std::string MetricsPipelineObserver::report_json() const {
+  const MetricsSnapshot snap = registry_.snapshot();
+  std::string trace_json;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    trace_json = to_json(trace_);
+  }
+  return "{\"metrics\":" + to_json(snap) + ",\"trace\":" + trace_json + '}';
+}
+
+}  // namespace stalecert::obs

@@ -1,0 +1,113 @@
+#include "stalecert/obs/span.hpp"
+
+#include <cstdio>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::obs {
+
+std::size_t Trace::begin_span(std::string name) {
+  SpanRecord span;
+  span.name = std::move(name);
+  span.parent = stack_.empty() ? npos : stack_.back();
+  span.depth = stack_.size();
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.size() - 1);
+  return spans_.size() - 1;
+}
+
+void Trace::end_span(std::chrono::nanoseconds duration) {
+  if (stack_.empty()) throw LogicError("Trace: end_span with no open span");
+  SpanRecord& span = spans_[stack_.back()];
+  span.duration = duration;
+  span.closed = true;
+  stack_.pop_back();
+}
+
+void Trace::count(const std::string& counter, std::uint64_t delta) {
+  if (stack_.empty()) return;
+  auto& counters = spans_[stack_.back()].counters;
+  for (auto& [name, value] : counters) {
+    if (name == counter) {
+      value += delta;
+      return;
+    }
+  }
+  counters.emplace_back(counter, delta);
+}
+
+std::string Trace::render() const {
+  std::string out;
+  for (const auto& span : spans_) {
+    out.append(span.depth * 2, ' ');
+    out += span.name;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "  %.3f ms", span.seconds() * 1e3);
+    out += buf;
+    for (const auto& [name, value] : span.counters) {
+      out += "  ";
+      out += name;
+      out += '=';
+      out += std::to_string(value);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json(const Trace& trace) {
+  std::string out = "[";
+  bool first_span = true;
+  for (const auto& span : trace.spans()) {
+    if (!first_span) out += ',';
+    first_span = false;
+    out += "{\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"depth\":" + std::to_string(span.depth);
+    out += ",\"parent\":";
+    out += span.parent == Trace::npos ? "null" : std::to_string(span.parent);
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9f", span.seconds());
+    out += ",\"duration_seconds\":";
+    out += buf;
+    out += ",\"counters\":{";
+    bool first_counter = true;
+    for (const auto& [name, value] : span.counters) {
+      if (!first_counter) out += ',';
+      first_counter = false;
+      append_json_string(out, name);
+      out += ':' + std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace stalecert::obs

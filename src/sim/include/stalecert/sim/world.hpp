@@ -18,6 +18,10 @@
 #include "stalecert/util/rng.hpp"
 #include "stalecert/whois/database.hpp"
 
+namespace stalecert::obs {
+class PipelineObserver;
+}
+
 namespace stalecert::sim {
 
 /// The synthetic web-PKI world: domains, registrants, CAs, CT logs, a
@@ -37,6 +41,11 @@ class World : public ca::ValidationEnvironment {
   /// Advances a single day (exposed for incremental tests).
   void step();
   [[nodiscard]] util::Date today() const { return today_; }
+
+  /// Optional telemetry sink: run() reports generator counters (domains,
+  /// issuances, revocations, CDN churn) and wall-clock under the stage
+  /// name "sim_run". nullptr (the default) disables reporting.
+  void set_observer(obs::PipelineObserver* observer) { observer_ = observer; }
 
   // --- Dataset accessors (Table 3) ---
   [[nodiscard]] ct::LogSet& ct_logs() { return ct_logs_; }
@@ -121,6 +130,7 @@ class World : public ca::ValidationEnvironment {
   WorldConfig config_;
   util::Rng rng_;
   util::Date today_;
+  obs::PipelineObserver* observer_ = nullptr;
   registrar::RegistrantId next_registrant_ = 1;
   std::uint64_t name_counter_ = 0;
 

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "stalecert/dns/name.hpp"
+#include "stalecert/obs/observer.hpp"
 #include "stalecert/util/error.hpp"
 
 namespace stalecert::sim {
@@ -593,7 +594,31 @@ void World::step() {
 }
 
 void World::run() {
+  const obs::StageScope scope(observer_, "sim_run");
+  const Stats before = stats_;
+  const util::Date first = today_;
   while (today_ <= config_.end) step();
+  if (scope.enabled()) {
+    scope.count("days_simulated", static_cast<std::uint64_t>(today_ - first));
+    scope.count("domains_registered",
+                stats_.domains_registered - before.domains_registered);
+    scope.count("domains_reregistered",
+                stats_.domains_reregistered - before.domains_reregistered);
+    scope.count("domains_transferred",
+                stats_.domains_transferred - before.domains_transferred);
+    scope.count("certificates_issued",
+                stats_.certificates_issued - before.certificates_issued);
+    scope.count("cdn_enrollments", stats_.cdn_enrollments - before.cdn_enrollments);
+    scope.count("cdn_departures", stats_.cdn_departures - before.cdn_departures);
+    scope.count("key_compromises", stats_.key_compromises - before.key_compromises);
+    scope.count("other_revocations",
+                stats_.other_revocations - before.other_revocations);
+    scope.count("refund_abuses", stats_.refund_abuses - before.refund_abuses);
+    scope.count("ct_entries", ct_logs_.total_entries());
+    scope.gauge("active_sites", static_cast<double>(sites_.size()));
+    scope.gauge("revocable_pool", static_cast<double>(revocable_.size()));
+    scope.gauge("adns_snapshot_days", static_cast<double>(adns_.days()));
+  }
 }
 
 std::vector<std::string> World::domain_universe() const { return universe_; }

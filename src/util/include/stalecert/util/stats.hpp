@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,7 +14,13 @@ namespace stalecert::util {
 class EmpiricalDistribution {
  public:
   void add(double value) { values_.push_back(value); sorted_ = false; }
-  void add_all(const std::vector<double>& values);
+  /// Bulk insert; reserves up front so large batches (Fig. 6/7/8 series,
+  /// obs histogram dumps) don't reallocate per element. Accepts any
+  /// contiguous range of doubles.
+  void add_all(std::span<const double> values);
+  /// Bulk insert from an rvalue vector; adopts the buffer outright when
+  /// the distribution is empty.
+  void add_all(std::vector<double>&& values);
 
   [[nodiscard]] std::size_t count() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return values_.empty(); }

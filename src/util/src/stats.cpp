@@ -8,8 +8,19 @@
 
 namespace stalecert::util {
 
-void EmpiricalDistribution::add_all(const std::vector<double>& values) {
+void EmpiricalDistribution::add_all(std::span<const double> values) {
+  values_.reserve(values_.size() + values.size());
   values_.insert(values_.end(), values.begin(), values.end());
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::add_all(std::vector<double>&& values) {
+  if (values_.empty()) {
+    values_ = std::move(values);
+  } else {
+    values_.reserve(values_.size() + values.size());
+    values_.insert(values_.end(), values.begin(), values.end());
+  }
   sorted_ = false;
 }
 

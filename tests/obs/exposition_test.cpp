@@ -1,0 +1,267 @@
+#include "stalecert/obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "stalecert/obs/observer.hpp"
+
+namespace stalecert::obs {
+namespace {
+
+// --- Minimal JSON syntax checker (no external deps) ----------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* expected) {
+    const std::string_view word(expected);
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Every non-comment Prometheus line must be `name{labels} value` or
+/// `name value` with a parseable value.
+bool valid_prometheus(const std::string& text) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) return false;  // must end with newline
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) return false;
+    if (line[0] == '#') {
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0) {
+        return false;
+      }
+      continue;
+    }
+    // Split the sample into metric part and value part at the LAST space
+    // (label values may themselves contain escaped content, but never an
+    // unescaped space outside quotes in our serializer's output).
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) return false;
+    const std::string metric = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    // Metric: name plus optional {..} block.
+    const std::size_t brace = metric.find('{');
+    const std::string name = metric.substr(0, brace);
+    if (name.empty()) return false;
+    for (const char c : name) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')) {
+        return false;
+      }
+    }
+    if (brace != std::string::npos && metric.back() != '}') return false;
+    if (value.empty()) return false;
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      char* parse_end = nullptr;
+      std::strtod(value.c_str(), &parse_end);
+      if (parse_end == nullptr || *parse_end != '\0') return false;
+    }
+  }
+  return true;
+}
+
+MetricsRegistry& populated_registry(MetricsRegistry& registry) {
+  registry.counter("stalecert_ct_collect_entries_raw_total", {}, "raw CT entries")
+      .inc(1000);
+  registry.counter("stalecert_ct_collect_corpus_total").inc(800);
+  registry
+      .counter("stalecert_stage_events_total", {{"stage", "registrant_change"}})
+      .inc(5);
+  registry.gauge("stalecert_pipeline_corpus_certs", {}, "corpus size").set(800.0);
+  auto& h = registry.histogram("stalecert_stage_duration_seconds",
+                               {0.001, 0.01, 0.1, 1.0},
+                               {{"stage", "ct_collect"}}, "stage wall-clock");
+  h.observe(0.0005);
+  h.observe(0.05);
+  h.observe(2.0);
+  return registry;
+}
+
+TEST(PrometheusExpositionTest, EmitsValidTextFormat) {
+  MetricsRegistry registry;
+  const std::string text = to_prometheus(populated_registry(registry).snapshot());
+  EXPECT_TRUE(valid_prometheus(text)) << text;
+  EXPECT_NE(text.find("# TYPE stalecert_ct_collect_entries_raw_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP stalecert_ct_collect_entries_raw_total raw CT entries"),
+            std::string::npos);
+  EXPECT_NE(text.find("stalecert_ct_collect_entries_raw_total 1000"),
+            std::string::npos);
+  EXPECT_NE(text.find("stalecert_stage_events_total{stage=\"registrant_change\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE stalecert_pipeline_corpus_certs gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE stalecert_stage_duration_seconds histogram"),
+            std::string::npos);
+}
+
+TEST(PrometheusExpositionTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  const std::string text = to_prometheus(populated_registry(registry).snapshot());
+  EXPECT_NE(
+      text.find(
+          "stalecert_stage_duration_seconds_bucket{stage=\"ct_collect\",le=\"0.001\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "stalecert_stage_duration_seconds_bucket{stage=\"ct_collect\",le=\"0.1\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "stalecert_stage_duration_seconds_bucket{stage=\"ct_collect\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("stalecert_stage_duration_seconds_count{stage=\"ct_collect\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("stalecert_stage_duration_seconds_sum{stage=\"ct_collect\"}"),
+            std::string::npos);
+}
+
+TEST(PrometheusExpositionTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("stalecert_esc_total", {{"stage", "a\"b\\c\nd"}}).inc();
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find(R"(stage="a\"b\\c\nd")"), std::string::npos);
+  EXPECT_TRUE(valid_prometheus(text)) << text;
+}
+
+TEST(JsonExpositionTest, EmitsValidJson) {
+  MetricsRegistry registry;
+  const std::string json = to_json(populated_registry(registry).snapshot());
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"name\":\"stalecert_ct_collect_entries_raw_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"stage\":\"registrant_change\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+}
+
+TEST(JsonExpositionTest, EmptySnapshotIsValid) {
+  MetricsRegistry registry;
+  const std::string json = to_json(registry.snapshot());
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_EQ(json, "{\"counters\":[],\"gauges\":[],\"histograms\":[]}");
+}
+
+TEST(JsonExpositionTest, ObserverReportJsonIsValid) {
+  MetricsPipelineObserver observer;
+  {
+    const StageScope outer(&observer, "pipeline");
+    const StageScope inner(&observer, "ct_collect");
+    inner.count("corpus", 3);
+  }
+  const std::string json = observer.report_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ct_collect\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stalecert::obs

@@ -1,0 +1,207 @@
+#include "stalecert/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("stalecert_test_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("stalecert_test_total");
+  Counter& b = registry.counter("stalecert_test_total");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(CounterTest, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("stalecert_stage_total", {{"stage", "a"}});
+  Counter& b = registry.counter("stalecert_stage_total", {{"stage", "b"}});
+  EXPECT_NE(&a, &b);
+  a.inc(1);
+  b.inc(2);
+  EXPECT_EQ(a.value(), 1u);
+  EXPECT_EQ(b.value(), 2u);
+}
+
+TEST(CounterTest, InvalidNamesThrow) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), LogicError);
+  EXPECT_THROW(registry.counter("1starts_with_digit"), LogicError);
+  EXPECT_THROW(registry.counter("has space"), LogicError);
+  EXPECT_THROW(registry.counter("has-dash"), LogicError);
+  EXPECT_NO_THROW(registry.counter("ok_name:with_colon_9"));
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("stalecert_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(CounterTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 200; ++i) {
+        registry.counter("stalecert_shared_total").inc();
+        registry.counter("stalecert_per_" + std::to_string(i) + "_total").inc();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("stalecert_shared_total").value(),
+            static_cast<std::uint64_t>(kThreads) * 200);
+  EXPECT_EQ(registry.counter("stalecert_per_0_total").value(),
+            static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("stalecert_pool_size");
+  g.set(10.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreExact) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("stalecert_concurrent_gauge");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kAdds; ++i) g.add(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kAdds);
+}
+
+TEST(HistogramTest, BucketBoundariesUseLeSemantics) {
+  MetricsRegistry registry;
+  HistogramMetric& h =
+      registry.histogram("stalecert_days_seconds", {1.0, 2.0, 5.0});
+  h.observe(0.5);   // le=1
+  h.observe(1.0);   // le=1 (boundary counts in its own bucket)
+  h.observe(1.001); // le=2
+  h.observe(2.0);   // le=2
+  h.observe(4.9);   // le=5
+  h.observe(5.0);   // le=5
+  h.observe(7.0);   // +Inf
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 4.9 + 5.0 + 7.0);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(HistogramMetric({}), LogicError);
+  EXPECT_THROW(HistogramMetric({2.0, 1.0}), LogicError);
+  EXPECT_THROW(HistogramMetric({1.0, 1.0}), LogicError);
+}
+
+TEST(HistogramTest, ReregisterWithDifferentBucketsThrows) {
+  MetricsRegistry registry;
+  registry.histogram("stalecert_h_seconds", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.histogram("stalecert_h_seconds", {1.0, 2.0}));
+  EXPECT_THROW(registry.histogram("stalecert_h_seconds", {1.0, 3.0}), LogicError);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  MetricsRegistry registry;
+  HistogramMetric& h = registry.histogram("stalecert_c_seconds", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kObs = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObs; ++i) h.observe(t % 2 == 0 ? 0.25 : 0.75);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kObs);
+  const auto counts = h.bucket_counts();
+  EXPECT_EQ(counts[0], static_cast<std::uint64_t>(kThreads) / 2 * kObs);
+  EXPECT_EQ(counts[1], static_cast<std::uint64_t>(kThreads) / 2 * kObs);
+}
+
+TEST(SnapshotTest, SnapshotIsIsolatedFromLaterUpdates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("stalecert_iso_total");
+  Gauge& g = registry.gauge("stalecert_iso_gauge");
+  HistogramMetric& h = registry.histogram("stalecert_iso_seconds", {1.0});
+  c.inc(5);
+  g.set(3.0);
+  h.observe(0.5);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  c.inc(100);
+  g.set(-1.0);
+  h.observe(2.0);
+
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 5u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 3.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 0.5);
+  EXPECT_EQ(snap.histograms[0].bucket_counts, (std::vector<std::uint64_t>{1, 0}));
+}
+
+TEST(SnapshotTest, CapturesNamesLabelsAndHelp) {
+  MetricsRegistry registry;
+  registry.counter("stalecert_x_total", {{"stage", "collect"}}, "certs seen");
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "stalecert_x_total");
+  ASSERT_EQ(snap.counters[0].labels.size(), 1u);
+  EXPECT_EQ(snap.counters[0].labels[0].first, "stage");
+  EXPECT_EQ(snap.counters[0].labels[0].second, "collect");
+  EXPECT_EQ(snap.counters[0].help, "certs seen");
+}
+
+TEST(ScopedTimerTest, RecordsOneObservation) {
+  MetricsRegistry registry;
+  HistogramMetric& h = registry.histogram("stalecert_t_seconds", {10.0});
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  EXPECT_LT(h.sum(), 10.0);  // well under the 10s bound
+}
+
+}  // namespace
+}  // namespace stalecert::obs

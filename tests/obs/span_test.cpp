@@ -1,0 +1,158 @@
+#include "stalecert/obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stalecert/obs/observer.hpp"
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::obs {
+namespace {
+
+using std::chrono::nanoseconds;
+
+TEST(TraceTest, BuildsParentChildStructure) {
+  Trace trace;
+  const std::size_t root = trace.begin_span("pipeline");
+  const std::size_t child_a = trace.begin_span("ct_collect");
+  trace.end_span(nanoseconds(1000));
+  const std::size_t child_b = trace.begin_span("revocation_join");
+  const std::size_t grandchild = trace.begin_span("crl_fetch");
+  trace.end_span(nanoseconds(10));
+  trace.end_span(nanoseconds(500));
+  trace.end_span(nanoseconds(2000));
+
+  const auto& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[root].parent, Trace::npos);
+  EXPECT_EQ(spans[root].depth, 0u);
+  EXPECT_EQ(spans[child_a].parent, root);
+  EXPECT_EQ(spans[child_a].depth, 1u);
+  EXPECT_EQ(spans[child_b].parent, root);
+  EXPECT_EQ(spans[grandchild].parent, child_b);
+  EXPECT_EQ(spans[grandchild].depth, 2u);
+  for (const auto& span : spans) EXPECT_TRUE(span.closed);
+  EXPECT_EQ(spans[root].duration, nanoseconds(2000));
+  EXPECT_EQ(trace.open_depth(), 0u);
+}
+
+TEST(TraceTest, CountersAttachToInnermostOpenSpan) {
+  Trace trace;
+  trace.begin_span("outer");
+  trace.count("outer_things", 1);
+  trace.begin_span("inner");
+  trace.count("inner_things", 2);
+  trace.count("inner_things", 3);  // merges
+  trace.end_span(nanoseconds(1));
+  trace.count("outer_things", 4);
+  trace.end_span(nanoseconds(2));
+
+  const auto& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  ASSERT_EQ(spans[0].counters.size(), 1u);
+  EXPECT_EQ(spans[0].counters[0].first, "outer_things");
+  EXPECT_EQ(spans[0].counters[0].second, 5u);
+  ASSERT_EQ(spans[1].counters.size(), 1u);
+  EXPECT_EQ(spans[1].counters[0].first, "inner_things");
+  EXPECT_EQ(spans[1].counters[0].second, 5u);
+}
+
+TEST(TraceTest, EndWithoutOpenSpanThrows) {
+  Trace trace;
+  EXPECT_THROW(trace.end_span(nanoseconds(1)), LogicError);
+}
+
+TEST(TraceTest, RenderShowsHierarchyAndCounters) {
+  Trace trace;
+  trace.begin_span("pipeline");
+  trace.begin_span("ct_collect");
+  trace.count("corpus", 7);
+  trace.end_span(nanoseconds(1500000));  // 1.5 ms
+  trace.end_span(nanoseconds(3000000));
+
+  const std::string rendered = trace.render();
+  EXPECT_NE(rendered.find("pipeline"), std::string::npos);
+  EXPECT_NE(rendered.find("  ct_collect"), std::string::npos);  // indented
+  EXPECT_NE(rendered.find("corpus=7"), std::string::npos);
+  EXPECT_NE(rendered.find("1.500 ms"), std::string::npos);
+}
+
+TEST(TraceTest, ToJsonContainsSpansAndCounters) {
+  Trace trace;
+  trace.begin_span("pipeline");
+  trace.count("stale_total", 3);
+  trace.end_span(nanoseconds(1000000));
+
+  const std::string json = to_json(trace);
+  EXPECT_NE(json.find("\"name\":\"pipeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"stale_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_seconds\":0.001"), std::string::npos);
+}
+
+TEST(StageScopeTest, NullObserverIsNoop) {
+  // Must not crash nor allocate observer state.
+  const StageScope scope(nullptr, "stage");
+  scope.count("things", 1);
+  scope.gauge("level", 2.0);
+  EXPECT_FALSE(scope.enabled());
+}
+
+TEST(StageScopeTest, NullObserverSingletonIgnoresEverything) {
+  PipelineObserver& null_obs = null_observer();
+  null_obs.on_stage_start("x");
+  null_obs.on_count("x", "c", 1);
+  null_obs.on_gauge("x", "g", 1.0);
+  null_obs.on_stage_end("x", nanoseconds(1));
+}
+
+TEST(StageScopeTest, DrivesMetricsPipelineObserver) {
+  MetricsPipelineObserver observer;
+  {
+    const StageScope outer(&observer, "pipeline");
+    {
+      const StageScope inner(&observer, "ct_collect");
+      inner.count("corpus", 11);
+    }
+    outer.count("stale_total", 2);
+    outer.gauge("corpus_certs", 11.0);
+  }
+
+  const auto& spans = observer.trace().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "pipeline");
+  EXPECT_EQ(spans[1].name, "ct_collect");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_GT(spans[0].duration.count(), 0);
+  // Outer span duration covers the inner span.
+  EXPECT_GE(spans[0].duration, spans[1].duration);
+
+  // Counters materialized under the naming convention.
+  const MetricsSnapshot snap = observer.registry().snapshot();
+  bool found_corpus = false;
+  bool found_stale = false;
+  for (const auto& counter : snap.counters) {
+    if (counter.name == "stalecert_ct_collect_corpus_total") {
+      found_corpus = true;
+      EXPECT_EQ(counter.value, 11u);
+    }
+    if (counter.name == "stalecert_pipeline_stale_total") {
+      found_stale = true;
+      EXPECT_EQ(counter.value, 2u);
+    }
+  }
+  EXPECT_TRUE(found_corpus);
+  EXPECT_TRUE(found_stale);
+
+  // Stage durations recorded into the labeled histogram family.
+  std::size_t duration_series = 0;
+  for (const auto& histogram : snap.histograms) {
+    if (histogram.name == "stalecert_stage_duration_seconds") {
+      ++duration_series;
+      EXPECT_EQ(histogram.count, 1u);
+    }
+  }
+  EXPECT_EQ(duration_series, 2u);  // one per stage label
+}
+
+}  // namespace
+}  // namespace stalecert::obs

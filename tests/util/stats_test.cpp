@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <utility>
+#include <vector>
+
 #include "stalecert/util/error.hpp"
 
 namespace stalecert::util {
@@ -44,6 +48,30 @@ TEST(EmpiricalDistributionTest, SummaryStats) {
   EXPECT_DOUBLE_EQ(dist.min(), 2.0);
   EXPECT_DOUBLE_EQ(dist.max(), 6.0);
   EXPECT_EQ(dist.count(), 3u);
+}
+
+TEST(EmpiricalDistributionTest, AddAllAcceptsSpansAndArrays) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const double raw[] = {4.0, 5.0};
+  EmpiricalDistribution dist;
+  dist.add_all(values);  // lvalue vector -> span overload
+  dist.add_all(raw);     // C array -> span overload
+  dist.add_all(std::span<const double>(values).subspan(0, 1));
+  EXPECT_EQ(dist.count(), 6u);
+  EXPECT_DOUBLE_EQ(dist.sum(), 16.0);
+  EXPECT_EQ(values.size(), 3u);  // untouched
+}
+
+TEST(EmpiricalDistributionTest, AddAllMovesIntoEmptyDistribution) {
+  std::vector<double> values{3.0, 1.0, 2.0};
+  EmpiricalDistribution dist;
+  dist.add_all(std::move(values));
+  EXPECT_EQ(dist.count(), 3u);
+  EXPECT_DOUBLE_EQ(dist.median(), 2.0);
+  // Moving into a non-empty distribution appends.
+  dist.add_all(std::vector<double>{10.0});
+  EXPECT_EQ(dist.count(), 4u);
+  EXPECT_DOUBLE_EQ(dist.max(), 10.0);
 }
 
 TEST(EmpiricalDistributionTest, CdfSeriesMonotone) {
