@@ -1,0 +1,172 @@
+// Benchmarks for the stalecert::store archive layer: how fast a simulated
+// world saves to and loads from a .scw archive, and — the number that
+// motivates the subsystem — how load-and-analyze compares with regenerating
+// the world from scratch for every analysis run (generate-once /
+// analyze-many, amortizing the expensive simulation).
+//
+// Save/load stages report through an obs::MetricsPipelineObserver that
+// accumulates across all iterations; the snapshot is printed at exit and
+// written as JSON when STALECERT_METRICS_JSON=<path> is set (same contract
+// as the other benches).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "stalecert/core/pipeline.hpp"
+#include "stalecert/obs/observer.hpp"
+#include "stalecert/sim/world.hpp"
+#include "stalecert/store/archive.hpp"
+
+namespace {
+
+using namespace stalecert;
+
+obs::MetricsPipelineObserver& telemetry() {
+  static obs::MetricsPipelineObserver instance;
+  return instance;
+}
+
+sim::WorldConfig store_bench_config() {
+  sim::WorldConfig config = sim::small_test_config();
+  config.seed = 20230512;
+  return config;
+}
+
+const sim::World& bench_world() {
+  static sim::World* world = [] {
+    auto* w = new sim::World(store_bench_config());
+    w->run();
+    return w;
+  }();
+  return *world;
+}
+
+const std::string& archive_path() {
+  static const std::string path = [] {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string p = (tmp != nullptr ? std::string(tmp) : std::string("/tmp"));
+    if (!p.empty() && p.back() != '/') p += '/';
+    p += "stalecert_bench_store.scw";
+    store::save_world(bench_world(), p);
+    return p;
+  }();
+  return path;
+}
+
+core::PipelineConfig pipeline_config(const std::vector<std::string>& patterns,
+                                     const std::string& san) {
+  core::PipelineConfig config;
+  config.delegation_patterns = patterns;
+  config.managed_san_pattern = san;
+  return config;
+}
+
+/// The baseline the archive competes against: simulate the world from
+/// nothing (what every analysis run pays without an archive).
+void BM_ColdGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::World world(store_bench_config());
+    world.run();
+    benchmark::DoNotOptimize(world.stats().certificates_issued);
+  }
+}
+BENCHMARK(BM_ColdGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_SaveWorld(benchmark::State& state) {
+  const sim::World& world = bench_world();
+  const std::string path = archive_path() + ".save";
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    bytes = store::save_world(world, path, &telemetry());
+    benchmark::DoNotOptimize(bytes);
+  }
+  std::remove(path.c_str());
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_SaveWorld)->Unit(benchmark::kMillisecond);
+
+void BM_LoadWorld(benchmark::State& state) {
+  const std::string& path = archive_path();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const store::LoadedWorld loaded = store::load_world(path, &telemetry());
+    bytes = store::ArchiveReader(path).file_size();
+    benchmark::DoNotOptimize(loaded.registrations.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_LoadWorld)->Unit(benchmark::kMillisecond);
+
+/// Out-of-core cursor over the biggest segment, no materialization: the
+/// per-entry decode cost an archive-larger-than-RAM consumer would pay.
+void BM_StreamCtEntries(benchmark::State& state) {
+  const std::string& path = archive_path();
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    const store::ArchiveReader reader(path);
+    auto stream = reader.ct_entries();
+    entries = 0;
+    while (stream.next_log()) {
+      while (const auto entry = stream.next_entry()) {
+        benchmark::DoNotOptimize(entry->certificate.serial());
+        ++entries;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(entries) * state.iterations());
+}
+BENCHMARK(BM_StreamCtEntries)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateAndPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::World world(store_bench_config());
+    world.run();
+    const auto result = core::run_pipeline(
+        world.ct_logs(), world.crl_collection().store(),
+        world.whois().re_registrations(), world.adns(),
+        pipeline_config(world.cloudflare_delegation_patterns(),
+                        world.cloudflare_san_pattern()));
+    benchmark::DoNotOptimize(result.all_third_party().size());
+  }
+}
+BENCHMARK(BM_GenerateAndPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_LoadAndPipeline(benchmark::State& state) {
+  const std::string& path = archive_path();
+  for (auto _ : state) {
+    const store::LoadedWorld loaded = store::load_world(path, &telemetry());
+    const auto result = core::run_pipeline(
+        loaded.ct_logs, loaded.revocations, loaded.re_registrations(),
+        loaded.adns,
+        pipeline_config(loaded.meta.delegation_patterns,
+                        loaded.meta.managed_san_pattern));
+    benchmark::DoNotOptimize(result.all_third_party().size());
+  }
+}
+BENCHMARK(BM_LoadAndPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Accumulated store_save / store_load telemetry across all iterations.
+  std::cerr << "[bench-store] stage trace:\n" << telemetry().trace().render();
+  if (const char* path = std::getenv("STALECERT_METRICS_JSON")) {
+    std::ofstream out(path);
+    if (out) {
+      out << telemetry().report_json() << '\n';
+      std::cerr << "[bench-store] metrics JSON written to " << path << "\n";
+    } else {
+      std::cerr << "[bench-store] cannot write metrics JSON to " << path << "\n";
+    }
+  }
+  std::remove(archive_path().c_str());
+  return 0;
+}

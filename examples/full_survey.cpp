@@ -4,10 +4,14 @@
 // caps (Fig. 9) and the mitigation outlook (§7.2).
 //
 //   $ ./full_survey [seed] [--metrics-json <path|->] [--metrics-prom <path>]
+//                   [--save-world <path>] [--load-world <path>]
 //
 // --metrics-json writes the observability snapshot (per-stage durations,
 // funnel counters, span trace) as JSON to <path>, or to stderr for "-".
 // --metrics-prom writes the same registry in Prometheus text format.
+// --save-world archives the simulated world's datasets as a .scw file
+// (see src/store/README.md); --load-world skips the simulation and
+// analyzes a previously saved archive instead.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -17,6 +21,7 @@
 #include "stalecert/obs/exposition.hpp"
 #include "stalecert/obs/observer.hpp"
 #include "stalecert/sim/world.hpp"
+#include "stalecert/store/archive.hpp"
 #include "stalecert/util/strings.hpp"
 #include "stalecert/util/table.hpp"
 
@@ -45,37 +50,75 @@ int main(int argc, char** argv) {
   sim::WorldConfig config = sim::small_test_config();
   std::string metrics_json_path;
   std::string metrics_prom_path;
+  std::string save_world_path;
+  std::string load_world_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--metrics-json" || arg == "--metrics-prom") {
+    if (arg == "--metrics-json" || arg == "--metrics-prom" ||
+        arg == "--save-world" || arg == "--load-world") {
       if (i + 1 >= argc) {
         std::cerr << "usage: full_survey [seed] [--metrics-json <path|->]"
-                     " [--metrics-prom <path|->]\n"
+                     " [--metrics-prom <path|->] [--save-world <path>]"
+                     " [--load-world <path>]\n"
                   << arg << " requires a path argument\n";
         return 2;
       }
-      (arg == "--metrics-json" ? metrics_json_path : metrics_prom_path) =
-          argv[++i];
+      const std::string value = argv[++i];
+      if (arg == "--metrics-json") {
+        metrics_json_path = value;
+      } else if (arg == "--metrics-prom") {
+        metrics_prom_path = value;
+      } else if (arg == "--save-world") {
+        save_world_path = value;
+      } else {
+        load_world_path = value;
+      }
     } else {
       config.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str()));
     }
   }
+  if (!save_world_path.empty() && !load_world_path.empty()) {
+    std::cerr << "--save-world and --load-world cannot be combined\n";
+    return 2;
+  }
   const bool want_metrics = !metrics_json_path.empty() || !metrics_prom_path.empty();
 
   obs::MetricsPipelineObserver telemetry;
-  sim::World world(config);
-  if (want_metrics) world.set_observer(&telemetry);
-  world.run();
+  obs::PipelineObserver* observer = want_metrics ? &telemetry : nullptr;
 
   core::PipelineConfig pipeline_config;
-  pipeline_config.delegation_patterns = world.cloudflare_delegation_patterns();
-  pipeline_config.managed_san_pattern = world.cloudflare_san_pattern();
-  if (want_metrics) pipeline_config.observer = &telemetry;
-  const auto result = core::run_pipeline(
-      world.ct_logs(), world.crl_collection().store(),
-      world.whois().re_registrations(), world.adns(), pipeline_config);
+  pipeline_config.observer = observer;
 
-  std::cout << "=== stalecert survey (seed " << config.seed << ") ===\n";
+  std::uint64_t seed = config.seed;
+  core::PipelineResult result;
+  try {
+    if (!load_world_path.empty()) {
+      const store::LoadedWorld loaded = store::load_world(load_world_path, observer);
+      seed = loaded.meta.seed;
+      pipeline_config.delegation_patterns = loaded.meta.delegation_patterns;
+      pipeline_config.managed_san_pattern = loaded.meta.managed_san_pattern;
+      result = core::run_pipeline(loaded.ct_logs, loaded.revocations,
+                                  loaded.re_registrations(), loaded.adns,
+                                  pipeline_config);
+    } else {
+      sim::World world(config);
+      world.set_observer(observer);
+      world.run();
+      if (!save_world_path.empty()) {
+        store::save_world(world, save_world_path, observer, "small");
+      }
+      pipeline_config.delegation_patterns = world.cloudflare_delegation_patterns();
+      pipeline_config.managed_san_pattern = world.cloudflare_san_pattern();
+      result = core::run_pipeline(
+          world.ct_logs(), world.crl_collection().store(),
+          world.whois().re_registrations(), world.adns(), pipeline_config);
+    }
+  } catch (const stalecert::Error& e) {
+    std::cerr << "full_survey: " << e.what() << '\n';
+    return 1;
+  }
+
+  std::cout << "=== stalecert survey (seed " << seed << ") ===\n";
   std::cout << "corpus: " << result.corpus.size() << " certificates ("
             << result.collect_stats.raw_entries << " raw CT entries, "
             << result.collect_stats.dropped_anomalous_fqdns

@@ -64,6 +64,14 @@ class CtLog {
   std::optional<SignedCertificateTimestamp> submit(const x509::Certificate& cert,
                                                    util::Date now);
 
+  /// Re-appends an archived entry (stalecert::store restore path): no shard
+  /// check — the entry was accepted when originally submitted — and the
+  /// original timestamp is preserved, so the rebuilt log is bit-identical
+  /// to the one that was saved. Throws LogicError if `index` is not the
+  /// next index (archives store entries in order).
+  void restore_entry(std::uint64_t index, util::Date timestamp,
+                     const x509::Certificate& cert);
+
   [[nodiscard]] std::uint64_t size() const { return tree_.size(); }
   [[nodiscard]] SignedTreeHead sth(util::Date now) const;
   [[nodiscard]] SignedTreeHead sth_at(std::uint64_t tree_size, util::Date now) const;

@@ -27,6 +27,17 @@ std::optional<SignedCertificateTimestamp> CtLog::submit(
   return SignedCertificateTimestamp{id_, index, now};
 }
 
+void CtLog::restore_entry(std::uint64_t index, util::Date timestamp,
+                          const x509::Certificate& cert) {
+  if (index != entries_.size()) {
+    throw LogicError("CtLog::restore_entry: index " + std::to_string(index) +
+                     " is not the next index " + std::to_string(entries_.size()));
+  }
+  const asn1::Bytes der = cert.to_der();
+  tree_.append(der);
+  entries_.push_back({index, timestamp, cert});
+}
+
 SignedTreeHead CtLog::sth(util::Date now) const { return sth_at(tree_.size(), now); }
 
 SignedTreeHead CtLog::sth_at(std::uint64_t tree_size, util::Date now) const {

@@ -42,12 +42,25 @@ class RevocationStore {
     ReasonCode reason = ReasonCode::kUnspecified;
   };
 
+  /// One observation with its join key — the export unit for archival
+  /// (stalecert::store) and debugging.
+  struct Entry {
+    crypto::Digest authority_key_id{};
+    asn1::Bytes serial;
+    Observation observation;
+  };
+
   void add(const crypto::Digest& authority_key_id, const asn1::Bytes& serial,
            const Observation& obs);
 
   [[nodiscard]] const Observation* lookup(const crypto::Digest& authority_key_id,
                                           const asn1::Bytes& serial) const;
   [[nodiscard]] std::size_t size() const { return observations_.size(); }
+
+  /// Every observation with its decomposed join key, in deterministic
+  /// (key-sorted) order. Re-add()ing them into an empty store rebuilds an
+  /// identical store — the archive round-trip property.
+  [[nodiscard]] std::vector<Entry> entries() const;
 
  private:
   static std::string key(const crypto::Digest& aki, const asn1::Bytes& serial);

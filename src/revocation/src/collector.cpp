@@ -1,5 +1,7 @@
 #include "stalecert/revocation/collector.hpp"
 
+#include <algorithm>
+
 #include "stalecert/util/error.hpp"
 #include "stalecert/util/hex.hpp"
 
@@ -16,6 +18,25 @@ void RevocationStore::add(const crypto::Digest& authority_key_id,
   if (it == observations_.end() || obs.revocation_date < it->second.revocation_date) {
     observations_[k] = obs;
   }
+}
+
+std::vector<RevocationStore::Entry> RevocationStore::entries() const {
+  std::vector<Entry> out;
+  out.reserve(observations_.size());
+  for (const auto& [key, observation] : observations_) {
+    Entry entry;
+    const auto sep = key.find(':');
+    if (sep == std::string::npos) throw LogicError("RevocationStore: malformed key");
+    const auto aki_bytes = util::hex_decode(std::string_view(key).substr(0, sep));
+    if (aki_bytes.size() != entry.authority_key_id.size()) {
+      throw LogicError("RevocationStore: malformed authority key id");
+    }
+    std::copy(aki_bytes.begin(), aki_bytes.end(), entry.authority_key_id.begin());
+    entry.serial = util::hex_decode(std::string_view(key).substr(sep + 1));
+    entry.observation = observation;
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 const RevocationStore::Observation* RevocationStore::lookup(

@@ -41,6 +41,8 @@ class World : public ca::ValidationEnvironment {
   /// Advances a single day (exposed for incremental tests).
   void step();
   [[nodiscard]] util::Date today() const { return today_; }
+  /// The configuration this world was built from (archival provenance).
+  [[nodiscard]] const WorldConfig& config() const { return config_; }
 
   /// Optional telemetry sink: run() reports generator counters (domains,
   /// issuances, revocations, CDN churn) and wall-clock under the stage

@@ -1,0 +1,285 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/ct/logset.hpp"
+#include "stalecert/dns/scan.hpp"
+#include "stalecert/revocation/collector.hpp"
+#include "stalecert/sim/world.hpp"
+#include "stalecert/store/format.hpp"
+#include "stalecert/store/intern.hpp"
+#include "stalecert/store/wire.hpp"
+#include "stalecert/whois/database.hpp"
+
+namespace stalecert::obs {
+class PipelineObserver;
+}
+
+namespace stalecert::store {
+
+namespace detail {
+
+/// Buffered, CRC-accumulating ByteSource over one segment extent of an
+/// archive file. Each stream owns one, so several streams can walk the same
+/// archive concurrently out-of-core.
+class FileSegmentSource final : public ByteSource {
+ public:
+  FileSegmentSource(const std::string& path, std::uint64_t offset,
+                    std::uint64_t length, std::uint32_t expected_crc,
+                    std::string segment_name);
+
+  void read(std::span<std::uint8_t> out) override;
+  [[nodiscard]] std::uint64_t remaining() const override {
+    return length_ - consumed_;
+  }
+
+  /// Once the payload is fully consumed, checks the running CRC32 against
+  /// the segment trailer; throws ArchiveCorruptError on mismatch.
+  void verify();
+
+ private:
+  void refill();
+
+  std::ifstream file_;
+  std::string segment_name_;
+  std::uint64_t length_;
+  std::uint64_t consumed_ = 0;
+  std::uint32_t expected_crc_;
+  std::uint32_t crc_ = 0;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t buffer_pos_ = 0;
+  std::size_t buffer_end_ = 0;
+  bool verified_ = false;
+};
+
+}  // namespace detail
+
+// --- Streaming cursors ----------------------------------------------------
+//
+// Every stream is a pull-based cursor over one segment: next() decodes one
+// record at a time from a bounded file window, so analysis can run
+// out-of-core on archives larger than RAM (only the shared string table is
+// fully resident). When a stream is exhausted it verifies the segment CRC;
+// corruption therefore surfaces as a typed error no later than the last
+// record.
+
+/// One CT log's identity as stored in the archive, ahead of its entries.
+struct CtLogHeader {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string log_operator;
+  ct::TrustFlags trust;
+  std::optional<util::DateInterval> expiry_shard;
+  std::uint64_t entry_count = 0;
+};
+
+/// Cursor over the kCtLogs segment: alternate next_log() with next_entry()
+/// until each returns nullopt.
+class CtEntryStream {
+ public:
+  /// Advances to the next log header; nullopt when all logs are read (the
+  /// segment CRC is verified at that point).
+  std::optional<CtLogHeader> next_log();
+  /// Next entry of the current log; nullopt at the end of the log.
+  std::optional<ct::LogEntry> next_entry();
+
+  [[nodiscard]] std::uint64_t log_count() const { return log_count_; }
+
+ private:
+  friend class ArchiveReader;
+  CtEntryStream(std::unique_ptr<detail::FileSegmentSource> source,
+                std::shared_ptr<const StringTable> strings);
+
+  std::unique_ptr<detail::FileSegmentSource> source_;
+  std::shared_ptr<const StringTable> strings_;
+  WireReader reader_;
+  std::uint64_t log_count_ = 0;
+  std::uint64_t logs_read_ = 0;
+  std::uint64_t entries_left_ = 0;   // in the current log
+  std::uint64_t next_index_ = 0;     // per-log entry index
+  util::Date previous_timestamp_{0};  // delta base within the current log
+};
+
+/// One aggregated revocation observation, keyed like the CT join (§4.1).
+struct RevocationRecord {
+  crypto::Digest authority_key_id{};
+  asn1::Bytes serial;
+  revocation::RevocationStore::Observation observation;
+};
+
+class RevocationStream {
+ public:
+  std::optional<RevocationRecord> next();
+  [[nodiscard]] std::uint64_t size() const { return count_; }
+
+ private:
+  friend class ArchiveReader;
+  explicit RevocationStream(std::unique_ptr<detail::FileSegmentSource> source);
+
+  std::unique_ptr<detail::FileSegmentSource> source_;
+  WireReader reader_;
+  std::vector<crypto::Digest> authority_key_ids_;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+class RegistrationStream {
+ public:
+  std::optional<whois::NewRegistration> next();
+  [[nodiscard]] std::uint64_t size() const { return count_; }
+
+ private:
+  friend class ArchiveReader;
+  RegistrationStream(std::unique_ptr<detail::FileSegmentSource> source,
+                     std::shared_ptr<const StringTable> strings);
+
+  std::unique_ptr<detail::FileSegmentSource> source_;
+  std::shared_ptr<const StringTable> strings_;
+  WireReader reader_;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+/// Cursor over the kDns segment. Snapshots are stored as day-over-day
+/// diffs; the stream materializes one full DailySnapshot at a time by
+/// applying each diff to its running state (the out-of-core unit is one
+/// day, not the whole scan campaign).
+class SnapshotStream {
+ public:
+  std::optional<dns::DailySnapshot> next();
+  [[nodiscard]] std::uint64_t size() const { return count_; }
+
+ private:
+  friend class ArchiveReader;
+  SnapshotStream(std::unique_ptr<detail::FileSegmentSource> source,
+                 std::shared_ptr<const StringTable> strings);
+
+  std::unique_ptr<detail::FileSegmentSource> source_;
+  std::shared_ptr<const StringTable> strings_;
+  WireReader reader_;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+  util::Date previous_date_{0};
+  std::map<std::string, dns::DomainRecords> state_;
+};
+
+// --- Whole-world load -----------------------------------------------------
+
+/// Everything run_pipeline needs, materialized from one archive.
+struct LoadedWorld {
+  ArchiveMeta meta;
+  ct::LogSet ct_logs;
+  revocation::RevocationStore revocations;
+  /// Full new-registration event stream, first sightings included.
+  std::vector<whois::NewRegistration> registrations;
+  dns::SnapshotStore adns;
+  sim::World::Stats stats;
+
+  /// The conservative subset with an observed previous creation date —
+  /// what the paper's detector (and full_survey) consumes.
+  [[nodiscard]] std::vector<whois::NewRegistration> re_registrations() const;
+};
+
+// --- Writer ---------------------------------------------------------------
+
+/// Assembles one .scw archive from individually supplied datasets. All
+/// datasets are optional (absent ones are written empty); the referenced
+/// objects must outlive write(). For the common case, see save_world().
+class ArchiveWriter {
+ public:
+  explicit ArchiveWriter(ArchiveMeta meta) : meta_(std::move(meta)) {}
+
+  ArchiveWriter& ct_logs(const ct::LogSet& logs);
+  ArchiveWriter& revocations(const revocation::RevocationStore& store);
+  ArchiveWriter& registrations(const std::vector<whois::NewRegistration>& events);
+  ArchiveWriter& adns(const dns::SnapshotStore& snapshots);
+  ArchiveWriter& stats(const sim::World::Stats& ground_truth);
+
+  /// Encodes every segment and writes the archive. Returns total bytes
+  /// written. Reports bytes / records / wall-clock under the stage name
+  /// "store_save" when `observer` is non-null.
+  std::uint64_t write(const std::string& path,
+                      obs::PipelineObserver* observer = nullptr);
+
+ private:
+  ArchiveMeta meta_;
+  const ct::LogSet* logs_ = nullptr;
+  const revocation::RevocationStore* revocations_ = nullptr;
+  const std::vector<whois::NewRegistration>* registrations_ = nullptr;
+  const dns::SnapshotStore* adns_ = nullptr;
+  sim::World::Stats stats_{};
+};
+
+// --- Reader ---------------------------------------------------------------
+
+/// Opens an archive: validates magic and version, scans the segment table,
+/// and eagerly decodes the meta + string segments (everything else is read
+/// on demand). Unknown segment ids are skipped — additions are the
+/// backward-compatible kind of format change; everything else bumps
+/// kFormatVersion.
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(std::string path,
+                         obs::PipelineObserver* observer = nullptr);
+
+  [[nodiscard]] const ArchiveMeta& meta() const { return meta_; }
+  [[nodiscard]] std::uint64_t file_size() const { return file_size_; }
+  [[nodiscard]] bool has_segment(SegmentId id) const;
+  /// Payload bytes of a segment, 0 when absent.
+  [[nodiscard]] std::uint64_t segment_bytes(SegmentId id) const;
+
+  // Streaming access (out-of-core).
+  [[nodiscard]] CtEntryStream ct_entries() const;
+  [[nodiscard]] RevocationStream revocations() const;
+  [[nodiscard]] RegistrationStream registrations() const;
+  [[nodiscard]] SnapshotStream snapshots() const;
+  [[nodiscard]] sim::World::Stats stats() const;
+
+  /// Materializes the whole archive. Reports bytes / records / wall-clock
+  /// under the stage name "store_load" through the observer given at
+  /// construction.
+  [[nodiscard]] LoadedWorld load_world() const;
+
+ private:
+  struct Extent {
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    std::uint32_t crc = 0;
+  };
+
+  [[nodiscard]] const Extent& require(SegmentId id) const;
+  [[nodiscard]] std::unique_ptr<detail::FileSegmentSource> open_segment(
+      SegmentId id) const;
+  /// Reads a whole segment into memory with the CRC verified up front.
+  [[nodiscard]] std::vector<std::uint8_t> read_segment(SegmentId id) const;
+
+  std::string path_;
+  obs::PipelineObserver* observer_;
+  std::uint64_t file_size_ = 0;
+  std::map<SegmentId, Extent> toc_;
+  ArchiveMeta meta_;
+  std::shared_ptr<const StringTable> strings_;
+};
+
+// --- Convenience ----------------------------------------------------------
+
+/// Saves a simulated world's Table-3 datasets (CT, CRL observations, WHOIS
+/// stream, aDNS snapshots) plus ground-truth stats and pipeline parameters.
+/// Returns total bytes written. `profile` names the WorldConfig recipe used
+/// to build `world` ("small", "default") so analyze-side tools can offer an
+/// in-memory regeneration; pass "custom" when no named profile applies.
+std::uint64_t save_world(const sim::World& world, const std::string& path,
+                         obs::PipelineObserver* observer = nullptr,
+                         const std::string& profile = "custom");
+
+/// One-call load: open + materialize.
+LoadedWorld load_world(const std::string& path,
+                       obs::PipelineObserver* observer = nullptr);
+
+}  // namespace stalecert::store

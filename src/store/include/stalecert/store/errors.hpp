@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::store {
+
+/// Base class for every world-archive failure. Corruption is always
+/// reported through one of these typed errors — never undefined behavior,
+/// never a crash — so callers can distinguish "bad file" from "bad code".
+class ArchiveError : public Error {
+ public:
+  explicit ArchiveError(const std::string& what) : Error("archive: " + what) {}
+};
+
+/// The file ends before the declared structure does: short magic, a
+/// segment whose declared length runs past EOF, or a record cut mid-field.
+class ArchiveTruncatedError : public ArchiveError {
+ public:
+  explicit ArchiveTruncatedError(const std::string& what)
+      : ArchiveError("truncated: " + what) {}
+};
+
+/// The bytes are structurally invalid: bad magic, CRC mismatch, overlong
+/// varint, out-of-bounds length, empty segment, duplicate segment, or a
+/// field value outside its legal range.
+class ArchiveCorruptError : public ArchiveError {
+ public:
+  explicit ArchiveCorruptError(const std::string& what)
+      : ArchiveError("corrupt: " + what) {}
+};
+
+/// The archive declares a format version this reader does not speak.
+/// Version bumps are deliberate (see src/store/README.md); refusing to
+/// guess is the whole point.
+class ArchiveVersionError : public ArchiveError {
+ public:
+  explicit ArchiveVersionError(const std::string& what)
+      : ArchiveError("version: " + what) {}
+};
+
+}  // namespace stalecert::store

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::store {
+
+/// First 8 bytes of every .scw file.
+inline constexpr std::array<std::uint8_t, 8> kMagic = {'S', 'C', 'W', 'A',
+                                                       'R', 'C', 'H', 0};
+
+/// Format version, bumped on ANY byte-level change (see src/store/README.md
+/// for the versioning policy). Readers refuse versions they do not speak.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Segment identifiers. One segment per Table-3 dataset plus the two
+/// bookkeeping segments (meta, string table). Ids are stable forever; new
+/// segment kinds get new ids and readers skip ids they do not know.
+enum class SegmentId : std::uint8_t {
+  kMeta = 1,         // archive provenance + pipeline parameters
+  kStrings = 2,      // interned string table (FQDNs, registrants, values)
+  kCtLogs = 3,       // CT log definitions + entries (Table 3: CT)
+  kRevocations = 4,  // aggregated CRL observations (Table 3: CRLs)
+  kWhois = 5,        // new-registration event stream (Table 3: WHOIS)
+  kDns = 6,          // daily snapshot diffs (Table 3: active DNS)
+  kStats = 7,        // simulator ground-truth counters
+};
+
+std::string to_string(SegmentId id);
+
+/// Provenance and pipeline parameters stored in the kMeta segment: enough
+/// to (a) re-run the analysis with the same posture the generator used and
+/// (b) regenerate the world from scratch when the config profile is known.
+struct ArchiveMeta {
+  /// Named WorldConfig profile the generator used ("small", "default") or
+  /// "custom" when the config is not reproducible from a name.
+  std::string profile = "custom";
+  std::uint64_t seed = 0;
+  util::Date start;
+  util::Date end;
+  /// Paper §4.1 revocation cutoff the generator's config carried.
+  std::optional<util::Date> revocation_cutoff;
+  /// Managed-TLS provider identification for the departure detector.
+  std::vector<std::string> delegation_patterns;
+  std::string managed_san_pattern;
+
+  bool operator==(const ArchiveMeta&) const = default;
+};
+
+}  // namespace stalecert::store

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stalecert/store/wire.hpp"
+
+namespace stalecert::store {
+
+/// Write-side string interner: every FQDN / registrar / record value is
+/// stored once in the kStrings segment and referenced by varint index
+/// everywhere else. Index 0 is reserved for the empty string so "no value"
+/// encodes in one byte.
+class StringInterner {
+ public:
+  StringInterner() { intern(""); }
+
+  /// Returns the stable index for `s`, inserting it on first sight.
+  std::uint64_t intern(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+  /// Encodes the table as the kStrings segment payload.
+  void encode(ByteSink& sink) const;
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint64_t> index_;
+};
+
+/// Read-side interned table, decoded from the kStrings segment. Lookup
+/// validates the index, so a corrupt reference is a typed error.
+class StringTable {
+ public:
+  static StringTable decode(WireReader& reader);
+
+  [[nodiscard]] const std::string& at(std::uint64_t index) const;
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+};
+
+}  // namespace stalecert::store

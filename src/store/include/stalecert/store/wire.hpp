@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stalecert/store/errors.hpp"
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::store {
+
+// --- CRC32 (IEEE 802.3 / zlib polynomial, reflected) ----------------------
+
+/// Incremental update: feed segments in order, starting from crc = 0.
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::uint8_t> data);
+
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_update(0, data);
+}
+
+// --- Zigzag ---------------------------------------------------------------
+
+/// Maps signed to unsigned so small-magnitude values (dates near an epoch,
+/// deltas) get short varints: 0,-1,1,-2,... -> 0,1,2,3,...
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+// --- Write side -----------------------------------------------------------
+
+/// Growable byte buffer with the archive's primitive encoders. Segments are
+/// built in memory through a ByteSink, then framed (id + length + CRC) when
+/// the file is assembled.
+class ByteSink {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32le(std::uint32_t v);
+  /// LEB128 base-128 varint, low bits first.
+  void varint(std::uint64_t v);
+  void zigzag(std::int64_t v) { varint(zigzag_encode(v)); }
+  void date(util::Date d) { zigzag(d.days_since_epoch()); }
+  void bytes(std::span<const std::uint8_t> data);
+  /// varint length + raw bytes.
+  void str(std::string_view s);
+  void blob(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// --- Read side ------------------------------------------------------------
+
+/// Pull-based byte source a decoder reads from. Implementations exist over
+/// an in-memory buffer (SpanSource) and over one file-backed segment extent
+/// (ArchiveReader's streaming path); both enforce exact bounds so corrupt
+/// lengths surface as typed errors, never out-of-bounds reads.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Copies exactly out.size() bytes; throws ArchiveTruncatedError if
+  /// fewer remain.
+  virtual void read(std::span<std::uint8_t> out) = 0;
+  /// Bytes left in this source.
+  [[nodiscard]] virtual std::uint64_t remaining() const = 0;
+};
+
+/// ByteSource over a caller-owned in-memory buffer.
+class SpanSource final : public ByteSource {
+ public:
+  explicit SpanSource(std::span<const std::uint8_t> data) : data_(data) {}
+  void read(std::span<std::uint8_t> out) override;
+  [[nodiscard]] std::uint64_t remaining() const override {
+    return data_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Typed decoder over a ByteSource. Every length read from the wire is
+/// checked against the source's remaining size before any allocation, so a
+/// corrupt length cannot cause an over-allocation or over-read.
+class WireReader {
+ public:
+  explicit WireReader(ByteSource& source) : source_(&source) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32le();
+  /// Throws ArchiveCorruptError on overlong (>10 byte) varints and
+  /// ArchiveTruncatedError when the source ends mid-varint.
+  std::uint64_t varint();
+  std::int64_t zigzag() { return zigzag_decode(varint()); }
+  util::Date date() { return util::Date{zigzag()}; }
+  /// varint length + raw bytes, bounds-checked.
+  std::vector<std::uint8_t> blob();
+  std::string str();
+  /// varint count, bounds-checked against `min_record_bytes` per record so
+  /// a corrupt count cannot drive a huge reserve().
+  std::uint64_t count(std::uint64_t min_record_bytes = 1);
+
+  [[nodiscard]] std::uint64_t remaining() const { return source_->remaining(); }
+
+ private:
+  ByteSource* source_;
+};
+
+}  // namespace stalecert::store

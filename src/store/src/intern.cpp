@@ -1,0 +1,39 @@
+#include "stalecert/store/intern.hpp"
+
+namespace stalecert::store {
+
+std::uint64_t StringInterner::intern(std::string_view s) {
+  const auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  const std::uint64_t idx = strings_.size();
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), idx);
+  return idx;
+}
+
+void StringInterner::encode(ByteSink& sink) const {
+  sink.varint(strings_.size());
+  for (const auto& s : strings_) sink.str(s);
+}
+
+StringTable StringTable::decode(WireReader& reader) {
+  StringTable table;
+  const std::uint64_t n = reader.count();
+  table.strings_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) table.strings_.push_back(reader.str());
+  if (table.strings_.empty() || !table.strings_.front().empty()) {
+    throw ArchiveCorruptError("string table must start with the empty string");
+  }
+  return table;
+}
+
+const std::string& StringTable::at(std::uint64_t index) const {
+  if (index >= strings_.size()) {
+    throw ArchiveCorruptError("string index " + std::to_string(index) +
+                              " out of range (table has " +
+                              std::to_string(strings_.size()) + ")");
+  }
+  return strings_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace stalecert::store

@@ -1,0 +1,549 @@
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "stalecert/obs/observer.hpp"
+#include "stalecert/store/archive.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::store {
+
+namespace detail {
+
+namespace {
+constexpr std::size_t kChunkBytes = 64 * 1024;
+}
+
+FileSegmentSource::FileSegmentSource(const std::string& path,
+                                     std::uint64_t offset, std::uint64_t length,
+                                     std::uint32_t expected_crc,
+                                     std::string segment_name)
+    : file_(path, std::ios::binary),
+      segment_name_(std::move(segment_name)),
+      length_(length),
+      expected_crc_(expected_crc) {
+  if (!file_) throw ArchiveError("cannot reopen " + path);
+  file_.seekg(static_cast<std::streamoff>(offset));
+  if (!file_) {
+    throw ArchiveTruncatedError("segment " + segment_name_ + " offset past EOF");
+  }
+}
+
+void FileSegmentSource::refill() {
+  const std::uint64_t buffered = buffer_end_ - buffer_pos_;
+  const std::uint64_t file_read = consumed_ + buffered;
+  const std::uint64_t want =
+      std::min<std::uint64_t>(kChunkBytes, length_ - file_read);
+  buffer_.resize(static_cast<std::size_t>(want));
+  buffer_pos_ = 0;
+  buffer_end_ = 0;
+  file_.read(reinterpret_cast<char*>(buffer_.data()),
+             static_cast<std::streamsize>(want));
+  if (static_cast<std::uint64_t>(file_.gcount()) != want) {
+    throw ArchiveTruncatedError("segment " + segment_name_ +
+                                " ends before its declared length");
+  }
+  buffer_end_ = static_cast<std::size_t>(want);
+  crc_ = crc32_update(crc_, std::span(buffer_.data(), buffer_end_));
+}
+
+void FileSegmentSource::read(std::span<std::uint8_t> out) {
+  if (out.size() > remaining()) {
+    throw ArchiveTruncatedError("segment " + segment_name_ + " read of " +
+                                std::to_string(out.size()) + " bytes with " +
+                                std::to_string(remaining()) + " remaining");
+  }
+  std::size_t done = 0;
+  while (done < out.size()) {
+    if (buffer_pos_ == buffer_end_) refill();
+    const std::size_t take =
+        std::min(out.size() - done, buffer_end_ - buffer_pos_);
+    std::memcpy(out.data() + done, buffer_.data() + buffer_pos_, take);
+    buffer_pos_ += take;
+    consumed_ += take;
+    done += take;
+  }
+}
+
+void FileSegmentSource::verify() {
+  if (verified_) return;
+  if (remaining() != 0) {
+    throw ArchiveCorruptError("segment " + segment_name_ + " has " +
+                              std::to_string(remaining()) +
+                              " undecoded trailing bytes");
+  }
+  if (crc_ != expected_crc_) {
+    throw ArchiveCorruptError("segment " + segment_name_ + " CRC32 mismatch");
+  }
+  verified_ = true;
+}
+
+}  // namespace detail
+
+namespace {
+
+revocation::ReasonCode decode_reason(std::uint64_t raw) {
+  switch (raw) {
+    case 0: return revocation::ReasonCode::kUnspecified;
+    case 1: return revocation::ReasonCode::kKeyCompromise;
+    case 2: return revocation::ReasonCode::kCaCompromise;
+    case 3: return revocation::ReasonCode::kAffiliationChanged;
+    case 4: return revocation::ReasonCode::kSuperseded;
+    case 5: return revocation::ReasonCode::kCessationOfOperation;
+    case 6: return revocation::ReasonCode::kCertificateHold;
+    case 8: return revocation::ReasonCode::kRemoveFromCrl;
+    case 9: return revocation::ReasonCode::kPrivilegeWithdrawn;
+    case 10: return revocation::ReasonCode::kAaCompromise;
+    default:
+      throw ArchiveCorruptError("unknown CRL reason code " + std::to_string(raw));
+  }
+}
+
+bool decode_flag(WireReader& reader, const char* what) {
+  const std::uint8_t flag = reader.u8();
+  if (flag > 1) {
+    throw ArchiveCorruptError(std::string(what) + " flag byte " +
+                              std::to_string(flag) + " is not 0/1");
+  }
+  return flag == 1;
+}
+
+}  // namespace
+
+// --- CtEntryStream --------------------------------------------------------
+
+CtEntryStream::CtEntryStream(std::unique_ptr<detail::FileSegmentSource> source,
+                             std::shared_ptr<const StringTable> strings)
+    : source_(std::move(source)),
+      strings_(std::move(strings)),
+      reader_(*source_) {
+  log_count_ = reader_.count();
+}
+
+std::optional<CtLogHeader> CtEntryStream::next_log() {
+  while (entries_left_ > 0) next_entry();  // drain a partially-read log
+  if (logs_read_ == log_count_) {
+    source_->verify();
+    return std::nullopt;
+  }
+  ++logs_read_;
+  CtLogHeader header;
+  header.id = reader_.varint();
+  header.name = strings_->at(reader_.varint());
+  header.log_operator = strings_->at(reader_.varint());
+  const std::uint8_t trust = reader_.u8();
+  if (trust > 3) {
+    throw ArchiveCorruptError("trust flag byte " + std::to_string(trust) +
+                              " has unknown bits set");
+  }
+  header.trust = {.chrome = (trust & 1u) != 0, .apple = (trust & 2u) != 0};
+  if (decode_flag(reader_, "expiry shard")) {
+    const util::Date begin = reader_.date();
+    const util::Date end = reader_.date();
+    if (end < begin) throw ArchiveCorruptError("expiry shard end before begin");
+    header.expiry_shard = util::DateInterval{begin, end};
+  }
+  header.entry_count = reader_.count();
+  entries_left_ = header.entry_count;
+  next_index_ = 0;
+  previous_timestamp_ = util::Date{0};
+  return header;
+}
+
+std::optional<ct::LogEntry> CtEntryStream::next_entry() {
+  if (entries_left_ == 0) return std::nullopt;
+  --entries_left_;
+  ct::LogEntry entry;
+  entry.index = next_index_++;
+  entry.timestamp = previous_timestamp_ + reader_.zigzag();
+  previous_timestamp_ = entry.timestamp;
+  const auto der = reader_.blob();
+  try {
+    entry.certificate = x509::Certificate::from_der(der);
+  } catch (const ParseError& e) {
+    throw ArchiveCorruptError(std::string("undecodable certificate DER: ") +
+                              e.what());
+  }
+  return entry;
+}
+
+// --- RevocationStream -----------------------------------------------------
+
+RevocationStream::RevocationStream(
+    std::unique_ptr<detail::FileSegmentSource> source)
+    : source_(std::move(source)), reader_(*source_) {
+  const std::uint64_t aki_count = reader_.count(sizeof(crypto::Digest));
+  authority_key_ids_.resize(static_cast<std::size_t>(aki_count));
+  for (auto& aki : authority_key_ids_) source_->read(aki);
+  count_ = reader_.count();
+}
+
+std::optional<RevocationRecord> RevocationStream::next() {
+  if (read_ == count_) {
+    source_->verify();
+    return std::nullopt;
+  }
+  ++read_;
+  RevocationRecord record;
+  const std::uint64_t aki_index = reader_.varint();
+  if (aki_index >= authority_key_ids_.size()) {
+    throw ArchiveCorruptError("authority key id index " +
+                              std::to_string(aki_index) + " out of range");
+  }
+  record.authority_key_id = authority_key_ids_[static_cast<std::size_t>(aki_index)];
+  record.serial = reader_.blob();
+  record.observation.revocation_date = reader_.date();
+  record.observation.reason = decode_reason(reader_.varint());
+  return record;
+}
+
+// --- RegistrationStream ---------------------------------------------------
+
+RegistrationStream::RegistrationStream(
+    std::unique_ptr<detail::FileSegmentSource> source,
+    std::shared_ptr<const StringTable> strings)
+    : source_(std::move(source)),
+      strings_(std::move(strings)),
+      reader_(*source_) {
+  count_ = reader_.count(3);
+}
+
+std::optional<whois::NewRegistration> RegistrationStream::next() {
+  if (read_ == count_) {
+    source_->verify();
+    return std::nullopt;
+  }
+  ++read_;
+  whois::NewRegistration event;
+  event.domain = strings_->at(reader_.varint());
+  event.creation_date = reader_.date();
+  if (decode_flag(reader_, "previous creation date")) {
+    event.previous_creation_date = reader_.date();
+  }
+  return event;
+}
+
+// --- SnapshotStream -------------------------------------------------------
+
+SnapshotStream::SnapshotStream(std::unique_ptr<detail::FileSegmentSource> source,
+                               std::shared_ptr<const StringTable> strings)
+    : source_(std::move(source)),
+      strings_(std::move(strings)),
+      reader_(*source_) {
+  count_ = reader_.count();
+}
+
+std::optional<dns::DailySnapshot> SnapshotStream::next() {
+  if (read_ == count_) {
+    source_->verify();
+    return std::nullopt;
+  }
+  ++read_;
+  dns::DailySnapshot snapshot;
+  snapshot.date = previous_date_ + reader_.zigzag();
+  previous_date_ = snapshot.date;
+
+  const std::uint64_t removed = reader_.count();
+  for (std::uint64_t i = 0; i < removed; ++i) {
+    const std::string& domain = strings_->at(reader_.varint());
+    if (state_.erase(domain) == 0) {
+      throw ArchiveCorruptError("snapshot diff removes unknown domain " + domain);
+    }
+  }
+  const std::uint64_t upserts = reader_.count(2);
+  for (std::uint64_t i = 0; i < upserts; ++i) {
+    const std::string& domain = strings_->at(reader_.varint());
+    dns::DomainRecords records;
+    for (auto* list : {&records.a, &records.aaaa, &records.ns, &records.cname}) {
+      const std::uint64_t n = reader_.count();
+      list->reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t j = 0; j < n; ++j) {
+        list->push_back(strings_->at(reader_.varint()));
+      }
+    }
+    state_[domain] = std::move(records);
+  }
+  snapshot.records = state_;
+  return snapshot;
+}
+
+// --- ArchiveReader --------------------------------------------------------
+
+namespace {
+
+std::uint64_t read_file_varint(std::ifstream& in) {
+  std::uint64_t value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const int raw = in.get();
+    if (raw == std::char_traits<char>::eof()) {
+      throw ArchiveTruncatedError("file ends mid segment header");
+    }
+    const auto byte = static_cast<std::uint8_t>(raw);
+    value |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      if (shift == 63 && byte > 1) {
+        throw ArchiveCorruptError("segment length varint overflows 64 bits");
+      }
+      return value;
+    }
+  }
+  throw ArchiveCorruptError("segment length varint longer than 10 bytes");
+}
+
+bool known_segment(std::uint8_t id) {
+  return id >= static_cast<std::uint8_t>(SegmentId::kMeta) &&
+         id <= static_cast<std::uint8_t>(SegmentId::kStats);
+}
+
+ArchiveMeta decode_meta(WireReader& reader) {
+  ArchiveMeta meta;
+  (void)reader.varint();  // reserved flags
+  meta.profile = reader.str();
+  meta.seed = reader.varint();
+  meta.start = reader.date();
+  meta.end = reader.date();
+  if (decode_flag(reader, "revocation cutoff")) {
+    meta.revocation_cutoff = reader.date();
+  }
+  const std::uint64_t patterns = reader.count(2);
+  meta.delegation_patterns.reserve(static_cast<std::size_t>(patterns));
+  for (std::uint64_t i = 0; i < patterns; ++i) {
+    meta.delegation_patterns.push_back(reader.str());
+  }
+  meta.managed_san_pattern = reader.str();
+  return meta;
+}
+
+}  // namespace
+
+ArchiveReader::ArchiveReader(std::string path, obs::PipelineObserver* observer)
+    : path_(std::move(path)), observer_(observer) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw ArchiveError("cannot open " + path_);
+  in.seekg(0, std::ios::end);
+  file_size_ = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+
+  std::array<std::uint8_t, kMagic.size()> magic{};
+  in.read(reinterpret_cast<char*>(magic.data()), magic.size());
+  if (static_cast<std::size_t>(in.gcount()) != magic.size()) {
+    throw ArchiveTruncatedError("file shorter than the 8-byte magic");
+  }
+  if (magic != kMagic) {
+    throw ArchiveCorruptError(path_ + " is not a .scw world archive (bad magic)");
+  }
+  std::array<std::uint8_t, 4> version_bytes{};
+  in.read(reinterpret_cast<char*>(version_bytes.data()), version_bytes.size());
+  if (static_cast<std::size_t>(in.gcount()) != version_bytes.size()) {
+    throw ArchiveTruncatedError("file ends inside the format version field");
+  }
+  const std::uint32_t version = static_cast<std::uint32_t>(version_bytes[0]) |
+                                (static_cast<std::uint32_t>(version_bytes[1]) << 8) |
+                                (static_cast<std::uint32_t>(version_bytes[2]) << 16) |
+                                (static_cast<std::uint32_t>(version_bytes[3]) << 24);
+  if (version != kFormatVersion) {
+    throw ArchiveVersionError("archive declares format version " +
+                              std::to_string(version) + ", this reader speaks " +
+                              std::to_string(kFormatVersion));
+  }
+
+  // Scan the segment table: id + length now, payload verified when read.
+  while (true) {
+    const int raw_id = in.get();
+    if (raw_id == std::char_traits<char>::eof()) break;
+    const std::uint64_t length = read_file_varint(in);
+    const auto offset = static_cast<std::uint64_t>(in.tellg());
+    if (file_size_ - offset < 4 || length > file_size_ - offset - 4) {
+      throw ArchiveTruncatedError(
+          "segment at offset " + std::to_string(offset) + " declares " +
+          std::to_string(length) + " payload bytes but only " +
+          std::to_string(file_size_ - offset) + " remain");
+    }
+    in.seekg(static_cast<std::streamoff>(offset + length));
+    std::array<std::uint8_t, 4> crc_bytes{};
+    in.read(reinterpret_cast<char*>(crc_bytes.data()), crc_bytes.size());
+    if (static_cast<std::size_t>(in.gcount()) != crc_bytes.size()) {
+      throw ArchiveTruncatedError("file ends inside a segment CRC trailer");
+    }
+    const std::uint32_t crc = static_cast<std::uint32_t>(crc_bytes[0]) |
+                              (static_cast<std::uint32_t>(crc_bytes[1]) << 8) |
+                              (static_cast<std::uint32_t>(crc_bytes[2]) << 16) |
+                              (static_cast<std::uint32_t>(crc_bytes[3]) << 24);
+    const auto id_byte = static_cast<std::uint8_t>(raw_id);
+    if (!known_segment(id_byte)) continue;  // forward-compatible skip
+    const auto id = static_cast<SegmentId>(id_byte);
+    if (length == 0) {
+      throw ArchiveCorruptError("segment " + to_string(id) +
+                                " is empty (every dataset segment carries at "
+                                "least its record count)");
+    }
+    if (!toc_.emplace(id, Extent{offset, length, crc}).second) {
+      throw ArchiveCorruptError("duplicate segment " + to_string(id));
+    }
+  }
+
+  {
+    const auto bytes = read_segment(SegmentId::kMeta);
+    SpanSource source(bytes);
+    WireReader reader(source);
+    meta_ = decode_meta(reader);
+  }
+  {
+    const auto bytes = read_segment(SegmentId::kStrings);
+    SpanSource source(bytes);
+    WireReader reader(source);
+    strings_ = std::make_shared<const StringTable>(StringTable::decode(reader));
+  }
+}
+
+bool ArchiveReader::has_segment(SegmentId id) const {
+  return toc_.find(id) != toc_.end();
+}
+
+std::uint64_t ArchiveReader::segment_bytes(SegmentId id) const {
+  const auto it = toc_.find(id);
+  return it == toc_.end() ? 0 : it->second.length;
+}
+
+const ArchiveReader::Extent& ArchiveReader::require(SegmentId id) const {
+  const auto it = toc_.find(id);
+  if (it == toc_.end()) {
+    throw ArchiveCorruptError("missing segment " + to_string(id));
+  }
+  return it->second;
+}
+
+std::unique_ptr<detail::FileSegmentSource> ArchiveReader::open_segment(
+    SegmentId id) const {
+  const Extent& extent = require(id);
+  return std::make_unique<detail::FileSegmentSource>(
+      path_, extent.offset, extent.length, extent.crc, to_string(id));
+}
+
+std::vector<std::uint8_t> ArchiveReader::read_segment(SegmentId id) const {
+  const Extent& extent = require(id);
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw ArchiveError("cannot reopen " + path_);
+  in.seekg(static_cast<std::streamoff>(extent.offset));
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(extent.length));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (static_cast<std::uint64_t>(in.gcount()) != extent.length) {
+    throw ArchiveTruncatedError("segment " + to_string(id) +
+                                " ends before its declared length");
+  }
+  if (crc32(bytes) != extent.crc) {
+    throw ArchiveCorruptError("segment " + to_string(id) + " CRC32 mismatch");
+  }
+  return bytes;
+}
+
+CtEntryStream ArchiveReader::ct_entries() const {
+  return CtEntryStream(open_segment(SegmentId::kCtLogs), strings_);
+}
+
+RevocationStream ArchiveReader::revocations() const {
+  return RevocationStream(open_segment(SegmentId::kRevocations));
+}
+
+RegistrationStream ArchiveReader::registrations() const {
+  return RegistrationStream(open_segment(SegmentId::kWhois), strings_);
+}
+
+SnapshotStream ArchiveReader::snapshots() const {
+  return SnapshotStream(open_segment(SegmentId::kDns), strings_);
+}
+
+sim::World::Stats ArchiveReader::stats() const {
+  const auto bytes = read_segment(SegmentId::kStats);
+  SpanSource source(bytes);
+  WireReader reader(source);
+  const std::uint64_t fields = reader.count();
+  if (fields < 9) {
+    throw ArchiveCorruptError("stats segment has " + std::to_string(fields) +
+                              " fields, expected at least 9");
+  }
+  sim::World::Stats stats;
+  stats.domains_registered = reader.varint();
+  stats.domains_reregistered = reader.varint();
+  stats.domains_transferred = reader.varint();
+  stats.certificates_issued = reader.varint();
+  stats.cdn_enrollments = reader.varint();
+  stats.cdn_departures = reader.varint();
+  stats.key_compromises = reader.varint();
+  stats.other_revocations = reader.varint();
+  stats.refund_abuses = reader.varint();
+  // Trailing fields from a later minor revision are tolerated and ignored.
+  for (std::uint64_t i = 9; i < fields; ++i) (void)reader.varint();
+  return stats;
+}
+
+LoadedWorld ArchiveReader::load_world() const {
+  const obs::StageScope scope(observer_, "store_load");
+  LoadedWorld world;
+  world.meta = meta_;
+
+  std::uint64_t ct_entries_total = 0;
+  {
+    auto stream = ct_entries();
+    while (const auto header = stream.next_log()) {
+      const std::size_t index = world.ct_logs.add_log(
+          ct::CtLog(header->id, header->name, header->log_operator,
+                    header->trust, header->expiry_shard));
+      ct::CtLog& log = world.ct_logs.log(index);
+      while (const auto entry = stream.next_entry()) {
+        log.restore_entry(entry->index, entry->timestamp, entry->certificate);
+        ++ct_entries_total;
+      }
+    }
+  }
+  std::uint64_t revocation_total = 0;
+  {
+    auto stream = revocations();
+    while (const auto record = stream.next()) {
+      world.revocations.add(record->authority_key_id, record->serial,
+                            record->observation);
+      ++revocation_total;
+    }
+  }
+  {
+    auto stream = registrations();
+    world.registrations.reserve(static_cast<std::size_t>(stream.size()));
+    while (auto event = stream.next()) {
+      world.registrations.push_back(std::move(*event));
+    }
+  }
+  std::uint64_t snapshot_total = 0;
+  {
+    auto stream = snapshots();
+    while (auto snapshot = stream.next()) {
+      world.adns.add(std::move(*snapshot));
+      ++snapshot_total;
+    }
+  }
+  world.stats = stats();
+
+  if (scope.enabled()) {
+    scope.count("bytes_read", file_size_);
+    scope.count("ct_entries", ct_entries_total);
+    scope.count("revocations", revocation_total);
+    scope.count("registrations", world.registrations.size());
+    scope.count("dns_snapshots", snapshot_total);
+    scope.gauge("archive_bytes", static_cast<double>(file_size_));
+  }
+  return world;
+}
+
+std::vector<whois::NewRegistration> LoadedWorld::re_registrations() const {
+  std::vector<whois::NewRegistration> out;
+  for (const auto& event : registrations) {
+    if (event.previous_creation_date) out.push_back(event);
+  }
+  return out;
+}
+
+LoadedWorld load_world(const std::string& path, obs::PipelineObserver* observer) {
+  return ArchiveReader(path, observer).load_world();
+}
+
+}  // namespace stalecert::store

@@ -1,0 +1,145 @@
+#include "stalecert/store/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace stalecert::store {
+
+namespace {
+
+/// Table-driven CRC32 (reflected 0xEDB88320). The table is computed once,
+/// at first use, from the polynomial — no 1 KiB literal to mistype.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  const auto& table = crc_table();
+  crc = ~crc;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// --- ByteSink -------------------------------------------------------------
+
+void ByteSink::u32le(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void ByteSink::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteSink::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteSink::str(std::string_view s) {
+  varint(s.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  buf_.insert(buf_.end(), p, p + s.size());
+}
+
+void ByteSink::blob(std::span<const std::uint8_t> data) {
+  varint(data.size());
+  bytes(data);
+}
+
+// --- SpanSource -----------------------------------------------------------
+
+void SpanSource::read(std::span<std::uint8_t> out) {
+  if (out.size() > data_.size() - pos_) {
+    throw ArchiveTruncatedError("read past end of buffer");
+  }
+  if (out.empty()) return;  // empty span's data() may be null; memcpy forbids it
+  std::memcpy(out.data(), data_.data() + pos_, out.size());
+  pos_ += out.size();
+}
+
+// --- WireReader -----------------------------------------------------------
+
+std::uint8_t WireReader::u8() {
+  std::uint8_t b = 0;
+  source_->read({&b, 1});
+  return b;
+}
+
+std::uint32_t WireReader::u32le() {
+  std::array<std::uint8_t, 4> b{};
+  source_->read(b);
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t WireReader::varint() {
+  std::uint64_t value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    std::uint8_t byte = 0;
+    try {
+      source_->read({&byte, 1});
+    } catch (const ArchiveTruncatedError&) {
+      throw ArchiveTruncatedError("source ended mid-varint");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      // The 10th byte may only carry the top bit of a 64-bit value.
+      if (shift == 63 && byte > 1) {
+        throw ArchiveCorruptError("varint overflows 64 bits");
+      }
+      return value;
+    }
+  }
+  throw ArchiveCorruptError("varint longer than 10 bytes");
+}
+
+std::vector<std::uint8_t> WireReader::blob() {
+  const std::uint64_t len = varint();
+  if (len > source_->remaining()) {
+    throw ArchiveTruncatedError("blob length " + std::to_string(len) +
+                                " exceeds remaining " +
+                                std::to_string(source_->remaining()) + " bytes");
+  }
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(len));
+  source_->read(out);
+  return out;
+}
+
+std::string WireReader::str() {
+  const auto raw = blob();
+  return std::string(raw.begin(), raw.end());
+}
+
+std::uint64_t WireReader::count(std::uint64_t min_record_bytes) {
+  const std::uint64_t n = varint();
+  if (min_record_bytes != 0 && n > source_->remaining() / min_record_bytes) {
+    throw ArchiveCorruptError("record count " + std::to_string(n) +
+                              " impossible for remaining " +
+                              std::to_string(source_->remaining()) + " bytes");
+  }
+  return n;
+}
+
+}  // namespace stalecert::store

@@ -1,0 +1,286 @@
+#include <fstream>
+
+#include "stalecert/obs/observer.hpp"
+#include "stalecert/store/archive.hpp"
+
+namespace stalecert::store {
+
+std::string to_string(SegmentId id) {
+  switch (id) {
+    case SegmentId::kMeta: return "meta";
+    case SegmentId::kStrings: return "strings";
+    case SegmentId::kCtLogs: return "ct_logs";
+    case SegmentId::kRevocations: return "revocations";
+    case SegmentId::kWhois: return "whois";
+    case SegmentId::kDns: return "dns";
+    case SegmentId::kStats: return "stats";
+  }
+  return "segment#" + std::to_string(static_cast<unsigned>(id));
+}
+
+namespace {
+
+void encode_meta(const ArchiveMeta& meta, ByteSink& sink) {
+  sink.varint(0);  // reserved flags
+  sink.str(meta.profile);
+  sink.varint(meta.seed);
+  sink.date(meta.start);
+  sink.date(meta.end);
+  sink.u8(meta.revocation_cutoff ? 1 : 0);
+  if (meta.revocation_cutoff) sink.date(*meta.revocation_cutoff);
+  sink.varint(meta.delegation_patterns.size());
+  for (const auto& pattern : meta.delegation_patterns) sink.str(pattern);
+  sink.str(meta.managed_san_pattern);
+}
+
+std::uint64_t encode_ct(const ct::LogSet* logs, StringInterner& interner,
+                        ByteSink& sink) {
+  std::uint64_t total_entries = 0;
+  if (logs == nullptr) {
+    sink.varint(0);
+    return 0;
+  }
+  sink.varint(logs->log_count());
+  for (const auto& log : logs->logs()) {
+    sink.varint(log.id());
+    sink.varint(interner.intern(log.name()));
+    sink.varint(interner.intern(log.log_operator()));
+    sink.u8(static_cast<std::uint8_t>((log.trust().chrome ? 1u : 0u) |
+                                      (log.trust().apple ? 2u : 0u)));
+    const auto& shard = log.expiry_shard();
+    sink.u8(shard ? 1 : 0);
+    if (shard) {
+      sink.date(shard->begin());
+      sink.date(shard->end());
+    }
+    sink.varint(log.entries().size());
+    util::Date previous{0};  // timestamps are non-decreasing: deltas stay tiny
+    for (const auto& entry : log.entries()) {
+      sink.zigzag(entry.timestamp - previous);
+      previous = entry.timestamp;
+      sink.blob(entry.certificate.to_der());
+      ++total_entries;
+    }
+  }
+  return total_entries;
+}
+
+std::uint64_t encode_revocations(const revocation::RevocationStore* store,
+                                 ByteSink& sink) {
+  if (store == nullptr) {
+    sink.varint(0);
+    sink.varint(0);
+    return 0;
+  }
+  const auto entries = store->entries();
+  // Authority key ids repeat heavily (one per issuing CA key): dedup into a
+  // local table, first-seen order.
+  std::vector<crypto::Digest> akis;
+  std::map<crypto::Digest, std::uint64_t> aki_index;
+  for (const auto& entry : entries) {
+    if (aki_index.emplace(entry.authority_key_id, akis.size()).second) {
+      akis.push_back(entry.authority_key_id);
+    }
+  }
+  sink.varint(akis.size());
+  for (const auto& aki : akis) sink.bytes(aki);
+  sink.varint(entries.size());
+  for (const auto& entry : entries) {
+    sink.varint(aki_index.at(entry.authority_key_id));
+    sink.blob(entry.serial);
+    sink.date(entry.observation.revocation_date);
+    sink.varint(static_cast<std::uint64_t>(entry.observation.reason));
+  }
+  return entries.size();
+}
+
+std::uint64_t encode_whois(const std::vector<whois::NewRegistration>* events,
+                           StringInterner& interner, ByteSink& sink) {
+  if (events == nullptr) {
+    sink.varint(0);
+    return 0;
+  }
+  sink.varint(events->size());
+  for (const auto& event : *events) {
+    sink.varint(interner.intern(event.domain));
+    sink.date(event.creation_date);
+    sink.u8(event.previous_creation_date ? 1 : 0);
+    if (event.previous_creation_date) sink.date(*event.previous_creation_date);
+  }
+  return events->size();
+}
+
+void encode_records(const dns::DomainRecords& records, StringInterner& interner,
+                    ByteSink& sink) {
+  for (const auto* list : {&records.a, &records.aaaa, &records.ns, &records.cname}) {
+    sink.varint(list->size());
+    for (const auto& value : *list) sink.varint(interner.intern(value));
+  }
+}
+
+std::uint64_t encode_dns(const dns::SnapshotStore* snapshots,
+                         StringInterner& interner, ByteSink& sink) {
+  if (snapshots == nullptr) {
+    sink.varint(0);
+    return 0;
+  }
+  sink.varint(snapshots->days());
+  util::Date previous_date{0};
+  const std::map<std::string, dns::DomainRecords> empty;
+  const std::map<std::string, dns::DomainRecords>* previous = &empty;
+  for (const auto& snapshot : snapshots->all()) {
+    sink.zigzag(snapshot.date - previous_date);
+    previous_date = snapshot.date;
+    // Day-over-day diff: domains that disappeared, then upserts (new or
+    // changed record sets). Consecutive scans of a slowly-churning zone
+    // make this the dominant compression win of the format.
+    std::vector<std::uint64_t> removed;
+    for (const auto& [domain, records] : *previous) {
+      if (snapshot.records.find(domain) == snapshot.records.end()) {
+        removed.push_back(interner.intern(domain));
+      }
+    }
+    sink.varint(removed.size());
+    for (const std::uint64_t idx : removed) sink.varint(idx);
+
+    std::vector<const std::pair<const std::string, dns::DomainRecords>*> upserts;
+    for (const auto& item : snapshot.records) {
+      const auto it = previous->find(item.first);
+      if (it == previous->end() || !(it->second == item.second)) {
+        upserts.push_back(&item);
+      }
+    }
+    sink.varint(upserts.size());
+    for (const auto* item : upserts) {
+      sink.varint(interner.intern(item->first));
+      encode_records(item->second, interner, sink);
+    }
+    previous = &snapshot.records;
+  }
+  return snapshots->days();
+}
+
+void encode_stats(const sim::World::Stats& stats, ByteSink& sink) {
+  // Field-count prefix: readers tolerate (ignore) trailing fields added in
+  // later minor revisions of the same format version.
+  sink.varint(9);
+  sink.varint(stats.domains_registered);
+  sink.varint(stats.domains_reregistered);
+  sink.varint(stats.domains_transferred);
+  sink.varint(stats.certificates_issued);
+  sink.varint(stats.cdn_enrollments);
+  sink.varint(stats.cdn_departures);
+  sink.varint(stats.key_compromises);
+  sink.varint(stats.other_revocations);
+  sink.varint(stats.refund_abuses);
+}
+
+void frame_segment(SegmentId id, const ByteSink& payload, ByteSink& out) {
+  out.u8(static_cast<std::uint8_t>(id));
+  out.varint(payload.size());
+  out.bytes(payload.data());
+  out.u32le(crc32(payload.data()));
+}
+
+}  // namespace
+
+ArchiveWriter& ArchiveWriter::ct_logs(const ct::LogSet& logs) {
+  logs_ = &logs;
+  return *this;
+}
+
+ArchiveWriter& ArchiveWriter::revocations(const revocation::RevocationStore& store) {
+  revocations_ = &store;
+  return *this;
+}
+
+ArchiveWriter& ArchiveWriter::registrations(
+    const std::vector<whois::NewRegistration>& events) {
+  registrations_ = &events;
+  return *this;
+}
+
+ArchiveWriter& ArchiveWriter::adns(const dns::SnapshotStore& snapshots) {
+  adns_ = &snapshots;
+  return *this;
+}
+
+ArchiveWriter& ArchiveWriter::stats(const sim::World::Stats& ground_truth) {
+  stats_ = ground_truth;
+  return *this;
+}
+
+std::uint64_t ArchiveWriter::write(const std::string& path,
+                                   obs::PipelineObserver* observer) {
+  const obs::StageScope scope(observer, "store_save");
+  StringInterner interner;
+
+  // Data segments are encoded first (interning as they go); the string
+  // table is complete by the time it is framed, and precedes every segment
+  // that references it in the file.
+  ByteSink ct_payload, revocation_payload, whois_payload, dns_payload,
+      stats_payload, meta_payload, strings_payload;
+  const std::uint64_t ct_entries = encode_ct(logs_, interner, ct_payload);
+  const std::uint64_t revocation_count =
+      encode_revocations(revocations_, revocation_payload);
+  const std::uint64_t registration_count =
+      encode_whois(registrations_, interner, whois_payload);
+  const std::uint64_t snapshot_count = encode_dns(adns_, interner, dns_payload);
+  encode_stats(stats_, stats_payload);
+  encode_meta(meta_, meta_payload);
+  interner.encode(strings_payload);
+
+  ByteSink file;
+  file.bytes(kMagic);
+  file.u32le(kFormatVersion);
+  frame_segment(SegmentId::kMeta, meta_payload, file);
+  frame_segment(SegmentId::kStrings, strings_payload, file);
+  frame_segment(SegmentId::kCtLogs, ct_payload, file);
+  frame_segment(SegmentId::kRevocations, revocation_payload, file);
+  frame_segment(SegmentId::kWhois, whois_payload, file);
+  frame_segment(SegmentId::kDns, dns_payload, file);
+  frame_segment(SegmentId::kStats, stats_payload, file);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw ArchiveError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(file.data().data()),
+            static_cast<std::streamsize>(file.size()));
+  out.flush();
+  if (!out) throw ArchiveError("short write to " + path);
+
+  if (scope.enabled()) {
+    scope.count("bytes_written", file.size());
+    scope.count("ct_entries", ct_entries);
+    scope.count("revocations", revocation_count);
+    scope.count("registrations", registration_count);
+    scope.count("dns_snapshots", snapshot_count);
+    scope.count("strings_interned", interner.size());
+    scope.gauge("archive_bytes", static_cast<double>(file.size()));
+  }
+  return file.size();
+}
+
+std::uint64_t save_world(const sim::World& world, const std::string& path,
+                         obs::PipelineObserver* observer,
+                         const std::string& profile) {
+  const sim::WorldConfig& config = world.config();
+  ArchiveMeta meta;
+  meta.profile = profile;
+  meta.seed = config.seed;
+  meta.start = config.start;
+  meta.end = config.end;
+  meta.revocation_cutoff = config.revocation_cutoff;
+  meta.delegation_patterns = world.cloudflare_delegation_patterns();
+  meta.managed_san_pattern = world.cloudflare_san_pattern();
+
+  const auto registrations = world.whois().new_registrations();
+  return ArchiveWriter(std::move(meta))
+      .ct_logs(world.ct_logs())
+      .revocations(world.crl_collection().store())
+      .registrations(registrations)
+      .adns(world.adns())
+      .stats(world.stats())
+      .write(path, observer);
+}
+
+}  // namespace stalecert::store

@@ -18,6 +18,8 @@ struct NewRegistration {
   /// Creation date of the previous registration of the same name, if we
   /// observed one (i.e., this is a re-registration, not a first sighting).
   std::optional<util::Date> previous_creation_date;
+
+  bool operator==(const NewRegistration&) const = default;
 };
 
 /// Bulk historical WHOIS collection: ingests ThinRecords over time (as an

@@ -11,6 +11,7 @@
 #include "stalecert/obs/exposition.hpp"
 #include "stalecert/obs/observer.hpp"
 #include "stalecert/sim/world.hpp"
+#include "stalecert/store/archive.hpp"
 
 namespace stalecert {
 namespace {
@@ -163,6 +164,55 @@ TEST(ObserverPipelineTest, NullObserverProducesIdenticalResults) {
       EXPECT_EQ(a[i].staleness_days(), b[i].staleness_days());
     }
   }
+}
+
+TEST(ObserverPipelineTest, ArchiveRoundTripPreservesStaleSetsAndFunnels) {
+  // Generate-once / analyze-many must be invisible to the measurement: the
+  // pipeline over a reloaded .scw archive produces the same stale sets and
+  // reports the same funnel counters as the pipeline over the live world.
+  const sim::WorldConfig config = sim::small_test_config();
+  const std::string path = ::testing::TempDir() + "observer_roundtrip.scw";
+
+  obs::MetricsPipelineObserver live_telemetry;
+  sim::World world(config);
+  world.run();
+  store::save_world(world, path, nullptr, "small");
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.revocation_cutoff = config.revocation_cutoff;
+  pipeline_config.delegation_patterns = world.cloudflare_delegation_patterns();
+  pipeline_config.managed_san_pattern = world.cloudflare_san_pattern();
+  pipeline_config.observer = &live_telemetry;
+  const auto live = core::run_pipeline(
+      world.ct_logs(), world.crl_collection().store(),
+      world.whois().re_registrations(), world.adns(), pipeline_config);
+
+  obs::MetricsPipelineObserver loaded_telemetry;
+  const store::LoadedWorld loaded = store::load_world(path);
+  pipeline_config.observer = &loaded_telemetry;
+  const auto replayed = core::run_pipeline(loaded.ct_logs, loaded.revocations,
+                                           loaded.re_registrations(),
+                                           loaded.adns, pipeline_config);
+
+  // Identical stale sets, member by member.
+  for (const auto cls : core::kAllStaleClasses) {
+    const auto& a = live.of(cls);
+    const auto& b = replayed.of(cls);
+    ASSERT_EQ(b.size(), a.size()) << to_string(cls);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(b[i].corpus_index, a[i].corpus_index);
+      EXPECT_EQ(b[i].event_date, a[i].event_date);
+      EXPECT_EQ(b[i].trigger_domain, a[i].trigger_domain);
+    }
+  }
+
+  // Identical pipeline funnel counters. Both registries hold only pipeline
+  // stages here (sim_run was unobserved, store_load reported elsewhere), so
+  // the counter maps must match exactly.
+  const auto live_counters = counters_by_name(live_telemetry.registry().snapshot());
+  const auto loaded_counters =
+      counters_by_name(loaded_telemetry.registry().snapshot());
+  EXPECT_EQ(live_counters, loaded_counters);
 }
 
 TEST(ObserverPipelineTest, RegistrySerializesToBothFormats) {

@@ -1,0 +1,158 @@
+// Unit tests for the archive wire primitives: varint / zigzag / CRC32
+// round-trips, plus the bounds and overlong-encoding checks that keep a
+// corrupt file from turning into an over-read or a giant allocation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "stalecert/store/errors.hpp"
+#include "stalecert/store/intern.hpp"
+#include "stalecert/store/wire.hpp"
+
+namespace stalecert::store {
+namespace {
+
+TEST(WireTest, VarintRoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  (1ull << 63),
+                                  std::numeric_limits<std::uint64_t>::max()};
+  ByteSink sink;
+  for (const auto v : values) sink.varint(v);
+  SpanSource source(sink.data());
+  WireReader reader(source);
+  for (const auto v : values) EXPECT_EQ(reader.varint(), v);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(WireTest, VarintEncodingIsMinimalLength) {
+  ByteSink one, two;
+  one.varint(127);
+  two.varint(128);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(two.size(), 2u);
+}
+
+TEST(WireTest, ZigzagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  const std::int64_t values[] = {0, -1, 1, 365, -365,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (const auto v : values) EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+}
+
+TEST(WireTest, DateRoundTripsThroughZigzag) {
+  ByteSink sink;
+  const util::Date dates[] = {util::Date{0}, util::Date::from_ymd(2023, 5, 12),
+                              util::Date::from_ymd(1969, 12, 31)};
+  for (const auto d : dates) sink.date(d);
+  SpanSource source(sink.data());
+  WireReader reader(source);
+  for (const auto d : dates) EXPECT_EQ(reader.date(), d);
+}
+
+TEST(WireTest, OverlongVarintIsCorruptNotAccepted) {
+  // 11 continuation bytes: no valid encoding is ever this long.
+  const std::vector<std::uint8_t> overlong(11, 0x80);
+  SpanSource source(overlong);
+  WireReader reader(source);
+  EXPECT_THROW((void)reader.varint(), ArchiveCorruptError);
+}
+
+TEST(WireTest, TruncatedVarintIsTruncatedError) {
+  const std::vector<std::uint8_t> cut = {0x80, 0x80};  // continuation, then EOF
+  SpanSource source(cut);
+  WireReader reader(source);
+  EXPECT_THROW((void)reader.varint(), ArchiveTruncatedError);
+}
+
+TEST(WireTest, BlobLengthIsBoundsCheckedBeforeAllocation) {
+  ByteSink sink;
+  sink.varint(1ull << 40);  // claims a terabyte follows
+  sink.u8(0);
+  SpanSource source(sink.data());
+  WireReader reader(source);
+  EXPECT_THROW((void)reader.blob(), ArchiveTruncatedError);
+}
+
+TEST(WireTest, CountRejectsMoreRecordsThanBytesRemain) {
+  ByteSink sink;
+  sink.varint(1000);  // 1000 records claimed, 0 payload bytes follow
+  SpanSource source(sink.data());
+  WireReader reader(source);
+  EXPECT_THROW((void)reader.count(), ArchiveCorruptError);
+}
+
+TEST(WireTest, StrRoundTripsEmbeddedNulAndUtf8) {
+  ByteSink sink;
+  const std::string s1("a\0b", 3);
+  const std::string s2 = "d\xC3\xA9j\xC3\xA0.example";
+  sink.str(s1);
+  sink.str(s2);
+  sink.str("");
+  SpanSource source(sink.data());
+  WireReader reader(source);
+  EXPECT_EQ(reader.str(), s1);
+  EXPECT_EQ(reader.str(), s2);
+  EXPECT_EQ(reader.str(), "");
+}
+
+TEST(WireTest, Crc32MatchesKnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  // Incremental application over split input matches one-shot.
+  const auto head = std::span(check).first(4);
+  const auto tail = std::span(check).subspan(4);
+  EXPECT_EQ(crc32_update(crc32_update(0, head), tail), 0xCBF43926u);
+}
+
+TEST(WireTest, U32leRoundTrips) {
+  ByteSink sink;
+  sink.u32le(0xDEADBEEFu);
+  ASSERT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.data()[0], 0xEFu);  // little-endian on every platform
+  SpanSource source(sink.data());
+  WireReader reader(source);
+  EXPECT_EQ(reader.u32le(), 0xDEADBEEFu);
+}
+
+TEST(InternTest, IndexZeroIsTheEmptyString) {
+  StringInterner interner;
+  EXPECT_EQ(interner.intern(""), 0u);
+  const auto a = interner.intern("a.example.com");
+  EXPECT_EQ(interner.intern("a.example.com"), a);
+  EXPECT_NE(interner.intern("b.example.com"), a);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(InternTest, TableRoundTripsAndValidatesIndices) {
+  StringInterner interner;
+  const auto a = interner.intern("stale.example.com");
+  const auto b = interner.intern("registrant-b");
+  ByteSink sink;
+  interner.encode(sink);
+
+  SpanSource source(sink.data());
+  WireReader reader(source);
+  const StringTable table = StringTable::decode(reader);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.at(0), "");
+  EXPECT_EQ(table.at(a), "stale.example.com");
+  EXPECT_EQ(table.at(b), "registrant-b");
+  EXPECT_THROW((void)table.at(3), ArchiveCorruptError);
+}
+
+}  // namespace
+}  // namespace stalecert::store

@@ -1,0 +1,160 @@
+// world_analyze: load a .scw world archive written by world_gen (or
+// full_survey --save-world) and run the full measurement pipeline over it —
+// the analyze side of generate-once / analyze-many.
+//
+//   $ ./world_analyze [--in-memory] [--metrics-json <path|->] <archive.scw>
+//
+// The printed report is deterministic. --in-memory ignores the archived
+// datasets and regenerates the world from the archive's stored profile +
+// seed instead; because archives are faithful, the two modes print
+// byte-identical reports (CI diffs them). --metrics-json writes the
+// observability snapshot (store_load + pipeline stages) as JSON.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "stalecert/core/pipeline.hpp"
+#include "stalecert/obs/observer.hpp"
+#include "stalecert/sim/world.hpp"
+#include "stalecert/store/archive.hpp"
+#include "stalecert/util/strings.hpp"
+#include "stalecert/util/table.hpp"
+
+using namespace stalecert;
+
+namespace {
+
+int usage(const std::string& detail) {
+  std::cerr << "usage: world_analyze [--in-memory] [--metrics-json <path|->]"
+               " <archive.scw>\n";
+  if (!detail.empty()) std::cerr << detail << '\n';
+  return 2;
+}
+
+void print_report(const store::ArchiveMeta& meta,
+                  const core::PipelineResult& result, std::ostream& os) {
+  os << "=== stalecert analysis (profile " << meta.profile << ", seed "
+     << meta.seed << ") ===\n";
+  os << "world: " << meta.start.to_string() << " .. " << meta.end.to_string()
+     << "\n";
+  os << "corpus: " << result.corpus.size() << " certificates ("
+     << result.collect_stats.raw_entries << " raw CT entries, "
+     << result.collect_stats.dropped_anomalous_fqdns
+     << " anomalous FQDNs dropped)\n\n";
+
+  util::TextTable detection(
+      {"Class", "Stale certs", "e2LDs", "Median staleness", "S(90d)"});
+  for (const auto cls : core::kAllStaleClasses) {
+    const auto& stale = result.of(cls);
+    core::StalenessAnalyzer analyzer(result.corpus, stale);
+    const auto dist = analyzer.staleness_distribution();
+    detection.add_row(
+        {to_string(cls), std::to_string(stale.size()),
+         std::to_string(analyzer.affected_e2lds().size()),
+         stale.empty() ? "-"
+                       : std::to_string(static_cast<int>(dist.median())) + "d",
+         util::percent(core::elimination_upper_bound(result.corpus, stale, 90),
+                       1)});
+  }
+  detection.print(os);
+
+  const auto all = result.all_third_party();
+  os << "\nlifetime-cap sweep over all " << all.size()
+     << " third-party stale certificates:\n";
+  util::TextTable caps({"Cap", "Still stale", "Staleness-days cut"});
+  for (const auto& cap :
+       core::simulate_caps(result.corpus, all, {7, 45, 90, 215, 398})) {
+    caps.add_row({std::to_string(cap.cap_days) + "d",
+                  std::to_string(cap.surviving_count) + " / " +
+                      std::to_string(cap.original_count),
+                  util::percent(cap.staleness_days_reduction(), 1)});
+  }
+  caps.print(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool in_memory = false;
+  std::string metrics_json_path;
+  std::string archive_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--in-memory") {
+      in_memory = true;
+    } else if (arg == "--metrics-json") {
+      if (i + 1 >= argc) return usage(arg + " requires a path argument");
+      metrics_json_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage("unknown flag " + arg);
+    } else if (archive_path.empty()) {
+      archive_path = arg;
+    } else {
+      return usage("multiple archive paths given");
+    }
+  }
+  if (archive_path.empty()) return usage("missing archive path");
+
+  obs::MetricsPipelineObserver telemetry;
+  obs::PipelineObserver* observer =
+      metrics_json_path.empty() ? nullptr : &telemetry;
+
+  try {
+    store::ArchiveReader reader(archive_path, observer);
+    const store::ArchiveMeta& meta = reader.meta();
+
+    core::PipelineConfig pipeline_config;
+    pipeline_config.revocation_cutoff = meta.revocation_cutoff;
+    pipeline_config.delegation_patterns = meta.delegation_patterns;
+    pipeline_config.managed_san_pattern = meta.managed_san_pattern;
+    pipeline_config.observer = observer;
+
+    core::PipelineResult result;
+    if (in_memory) {
+      // Regenerate the identical world from the archived recipe: the
+      // cross-check CI diffs this report against the archive-backed one.
+      sim::WorldConfig config;
+      if (meta.profile == "small") {
+        config = sim::small_test_config();
+      } else if (meta.profile == "default") {
+        config = sim::WorldConfig{};
+      } else {
+        std::cerr << "archive profile \"" << meta.profile
+                  << "\" names no known recipe; --in-memory needs small or "
+                     "default\n";
+        return 1;
+      }
+      config.seed = meta.seed;
+      sim::World world(config);
+      world.set_observer(observer);
+      world.run();
+      result = core::run_pipeline(world.ct_logs(),
+                                  world.crl_collection().store(),
+                                  world.whois().re_registrations(),
+                                  world.adns(), pipeline_config);
+    } else {
+      const store::LoadedWorld world = reader.load_world();
+      result = core::run_pipeline(world.ct_logs, world.revocations,
+                                  world.re_registrations(), world.adns,
+                                  pipeline_config);
+    }
+    print_report(meta, result, std::cout);
+  } catch (const stalecert::Error& e) {
+    std::cerr << "world_analyze: " << e.what() << '\n';
+    return 1;
+  }
+
+  if (!metrics_json_path.empty()) {
+    if (metrics_json_path == "-") {
+      std::cerr << telemetry.report_json() << '\n';
+    } else {
+      std::ofstream out(metrics_json_path);
+      if (!out) {
+        std::cerr << "cannot write metrics JSON to " << metrics_json_path << '\n';
+        return 1;
+      }
+      out << telemetry.report_json() << '\n';
+    }
+  }
+  return 0;
+}

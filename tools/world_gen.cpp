@@ -1,0 +1,109 @@
+// world_gen: simulate a synthetic web-PKI world once and archive its
+// Table-3 datasets as a .scw file — the generate side of the
+// generate-once / analyze-many workflow (analyze side: world_analyze).
+//
+//   $ ./world_gen [--profile small|default] [--seed N]
+//                 [--metrics-json <path|->] <output.scw>
+//
+// The profile names the WorldConfig recipe and is stored in the archive, so
+// world_analyze --in-memory can regenerate the identical world for
+// cross-checking. --metrics-json writes the observability snapshot
+// (sim_run + store_save stages) as JSON to <path>, or stderr for "-".
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "stalecert/obs/observer.hpp"
+#include "stalecert/sim/world.hpp"
+#include "stalecert/store/archive.hpp"
+
+using namespace stalecert;
+
+namespace {
+
+int usage(const std::string& detail) {
+  std::cerr << "usage: world_gen [--profile small|default] [--seed N]"
+               " [--metrics-json <path|->] <output.scw>\n";
+  if (!detail.empty()) std::cerr << detail << '\n';
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string profile = "small";
+  std::string metrics_json_path;
+  std::string output_path;
+  std::optional<std::uint64_t> seed;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profile" || arg == "--seed" || arg == "--metrics-json") {
+      if (i + 1 >= argc) return usage(arg + " requires an argument");
+      const std::string value = argv[++i];
+      if (arg == "--profile") {
+        profile = value;
+      } else if (arg == "--seed") {
+        seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      } else {
+        metrics_json_path = value;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage("unknown flag " + arg);
+    } else if (output_path.empty()) {
+      output_path = arg;
+    } else {
+      return usage("multiple output paths given");
+    }
+  }
+  if (output_path.empty()) return usage("missing output path");
+
+  sim::WorldConfig config;
+  if (profile == "small") {
+    config = sim::small_test_config();
+  } else if (profile == "default") {
+    config = sim::WorldConfig{};
+  } else {
+    std::cerr << "unknown profile " << profile << " (want small or default)\n";
+    return 2;
+  }
+  if (seed) config.seed = *seed;
+
+  obs::MetricsPipelineObserver telemetry;
+  obs::PipelineObserver* observer =
+      metrics_json_path.empty() ? nullptr : &telemetry;
+
+  sim::World world(config);
+  world.set_observer(observer);
+  world.run();
+
+  try {
+    const std::uint64_t bytes =
+        store::save_world(world, output_path, observer, profile);
+    std::cout << "wrote " << output_path << ": " << bytes << " bytes, profile "
+              << profile << ", seed " << config.seed << "\n"
+              << "  ct entries:     " << world.ct_logs().total_entries() << "\n"
+              << "  revocations:    " << world.crl_collection().store().size()
+              << "\n"
+              << "  whois events:   " << world.whois().new_registrations().size()
+              << "\n"
+              << "  adns snapshots: " << world.adns().days() << "\n";
+  } catch (const stalecert::Error& e) {
+    std::cerr << "world_gen: " << e.what() << '\n';
+    return 1;
+  }
+
+  if (!metrics_json_path.empty()) {
+    if (metrics_json_path == "-") {
+      std::cerr << telemetry.report_json() << '\n';
+    } else {
+      std::ofstream out(metrics_json_path);
+      if (!out) {
+        std::cerr << "cannot write metrics JSON to " << metrics_json_path << '\n';
+        return 1;
+      }
+      out << telemetry.report_json() << '\n';
+    }
+  }
+  return 0;
+}
