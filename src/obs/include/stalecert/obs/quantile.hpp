@@ -1,0 +1,33 @@
+#pragma once
+
+#include "stalecert/obs/metrics.hpp"
+
+namespace stalecert::obs {
+
+/// Estimates the q-quantile (q in [0, 1]) of a histogram sample with
+/// Prometheus histogram_quantile() semantics: find the bucket where the
+/// cumulative count crosses rank q*count, then interpolate linearly inside
+/// it. The lowest bucket interpolates from 0; an answer landing in the
+/// +Inf bucket is clamped to the largest finite bound. Returns 0 for an
+/// empty histogram; throws LogicError for q outside [0, 1].
+[[nodiscard]] double histogram_quantile(const HistogramSample& sample, double q);
+
+/// Compact latency summary derived from one histogram — what the staled
+/// summary endpoint and the bench reports print.
+struct QuantileSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+[[nodiscard]] QuantileSummary summarize_histogram(const HistogramSample& sample);
+/// Snapshot + summarize a live metric in one call.
+[[nodiscard]] QuantileSummary summarize_histogram(const HistogramMetric& metric);
+
+}  // namespace stalecert::obs

@@ -1,0 +1,57 @@
+#include "stalecert/obs/quantile.hpp"
+
+#include <algorithm>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::obs {
+
+double histogram_quantile(const HistogramSample& sample, double q) {
+  if (q < 0.0 || q > 1.0) throw LogicError("histogram_quantile: q outside [0, 1]");
+  if (sample.count == 0) return 0.0;
+
+  const double rank = q * static_cast<double>(sample.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < sample.bucket_counts.size(); ++i) {
+    const std::uint64_t in_bucket = sample.bucket_counts[i];
+    if (in_bucket == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+
+    if (i >= sample.upper_bounds.size()) {
+      // +Inf bucket: no upper edge to interpolate toward; report the
+      // largest finite bound (Prometheus does the same).
+      return sample.upper_bounds.empty() ? 0.0 : sample.upper_bounds.back();
+    }
+    const double hi = sample.upper_bounds[i];
+    const double lo = i == 0 ? 0.0 : sample.upper_bounds[i - 1];
+    const double fraction =
+        (rank - below) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, fraction));
+  }
+  return sample.upper_bounds.empty() ? 0.0 : sample.upper_bounds.back();
+}
+
+QuantileSummary summarize_histogram(const HistogramSample& sample) {
+  QuantileSummary summary;
+  summary.count = sample.count;
+  summary.sum = sample.sum;
+  if (sample.count > 0) {
+    summary.p50 = histogram_quantile(sample, 0.50);
+    summary.p90 = histogram_quantile(sample, 0.90);
+    summary.p99 = histogram_quantile(sample, 0.99);
+  }
+  return summary;
+}
+
+QuantileSummary summarize_histogram(const HistogramMetric& metric) {
+  HistogramSample sample;
+  sample.upper_bounds = metric.upper_bounds();
+  sample.bucket_counts = metric.bucket_counts();
+  sample.sum = metric.sum();
+  sample.count = metric.count();
+  return summarize_histogram(sample);
+}
+
+}  // namespace stalecert::obs

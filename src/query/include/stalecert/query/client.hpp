@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "stalecert/query/http.hpp"
+
+namespace stalecert::query {
+
+/// A blocking HTTP/1.1 client connection with keep-alive: one TCP
+/// connection, sequential GETs. Used by the stalecert_query CLI, the
+/// serving tests, and bench_query's closed-loop load threads (one client
+/// per thread).
+class HttpClient {
+ public:
+  /// Connects immediately; throws QueryError when the server is
+  /// unreachable.
+  HttpClient(const std::string& host, std::uint16_t port);
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  ~HttpClient();
+
+  struct Result {
+    int status = 0;
+    std::string content_type;
+    std::string body;
+  };
+
+  /// Issues one GET for `target` (path + optional query string, already
+  /// encoded). Reconnects transparently if the server closed the
+  /// connection between requests; throws QueryError when the exchange
+  /// cannot be completed at all.
+  Result get(const std::string& target);
+  /// Same exchange with an arbitrary method. HEAD responses carry a
+  /// Content-Length but no body and are handled accordingly.
+  Result request(const std::string& method, const std::string& target);
+  Result head(const std::string& target) { return request("HEAD", target); }
+
+ private:
+  void connect();
+  void close();
+  std::optional<Result> try_request(const std::string& method,
+                                    const std::string& target);
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+};
+
+/// One-shot convenience: connect, GET, disconnect.
+HttpClient::Result http_get(const std::string& host, std::uint16_t port,
+                            const std::string& target);
+
+}  // namespace stalecert::query

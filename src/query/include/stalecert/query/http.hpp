@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::query {
+
+/// Failures of the serving layer itself (socket setup, bind, malformed
+/// client usage). Protocol-level problems from clients never throw — they
+/// become 4xx responses.
+class QueryError : public Error {
+ public:
+  explicit QueryError(const std::string& what) : Error("query: " + what) {}
+};
+
+/// A parsed HTTP/1.1 request head. The serving subset is deliberately
+/// minimal: GET/HEAD, no body, no chunked encoding, no multi-line headers.
+struct HttpRequest {
+  std::string method;                       // "GET", "HEAD", ...
+  std::string target;                       // raw request target
+  std::string path;                         // percent-decoded path component
+  std::map<std::string, std::string> query; // decoded query parameters
+  std::map<std::string, std::string> headers;  // lowercased field names
+  std::string version;                      // "HTTP/1.1"
+
+  /// Query parameter by name; nullopt when absent.
+  [[nodiscard]] std::optional<std::string> param(const std::string& name) const;
+  /// Connection persistence per RFC 9112: HTTP/1.1 defaults to keep-alive
+  /// unless "Connection: close"; anything else defaults to close.
+  [[nodiscard]] bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Percent-decodes a URL component ('+' is NOT treated as space — targets
+/// here are paths and RFC 3986 query values). Malformed escapes are kept
+/// verbatim rather than rejected.
+std::string percent_decode(std::string_view text);
+
+/// Parses one request head (everything through the blank line; `raw` must
+/// not include a body). Returns nullopt on any syntax violation.
+std::optional<HttpRequest> parse_request(std::string_view raw);
+
+/// Serializes a response with Content-Length and Connection headers.
+/// `head_only` (HEAD requests) omits the body but keeps its length.
+std::string serialize_response(const HttpResponse& response, bool keep_alive,
+                               bool head_only = false);
+
+/// Reason phrase for the handful of status codes the service emits.
+std::string_view status_text(int status);
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view text);
+
+}  // namespace stalecert::query

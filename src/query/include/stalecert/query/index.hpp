@@ -1,0 +1,176 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stalecert/core/pipeline.hpp"
+#include "stalecert/query/interval_index.hpp"
+#include "stalecert/store/format.hpp"
+
+namespace stalecert::obs {
+class PipelineObserver;
+}
+
+namespace stalecert::query {
+
+/// One detected stale certificate, denormalized for serving: the
+/// StaleCertificate fields plus the identifiers a caller needs without
+/// chasing the corpus (serial, SPKI).
+struct StaleRecord {
+  std::uint32_t cert_index = 0;  // into StalenessIndex::corpus()
+  core::StaleClass cls = core::StaleClass::kKeyCompromise;
+  util::Date event_date;
+  util::DateInterval staleness;  // [event, notAfter)
+  std::string trigger_domain;
+  std::optional<revocation::ReasonCode> reason;
+};
+
+/// Answer to revocation_status(serial): the earliest joined revocation of
+/// the certificate carrying that serial (ties broken by lower cert index).
+struct RevocationStatus {
+  std::uint32_t cert_index = 0;
+  util::Date revocation_date;
+  revocation::ReasonCode reason = revocation::ReasonCode::kUnspecified;
+
+  [[nodiscard]] bool key_compromise() const {
+    return reason == revocation::ReasonCode::kKeyCompromise;
+  }
+};
+
+/// Per-domain aggregate over every stale record endangering that domain.
+struct DomainSummary {
+  std::string domain;  // normalized (lowercased, wildcard stripped)
+  /// Corpus certificates whose SAN/CN set names the domain exactly.
+  std::uint64_t certificates = 0;
+  std::array<std::uint64_t, core::kStaleClassCount> stale_by_class{};
+  std::optional<util::Date> earliest_event;
+  /// Exclusive end of the last staleness window touching the domain.
+  std::optional<util::Date> latest_staleness_end;
+
+  [[nodiscard]] std::uint64_t stale_total() const {
+    std::uint64_t total = 0;
+    for (const auto n : stale_by_class) total += n;
+    return total;
+  }
+};
+
+/// Immutable, fully indexed snapshot of one pipeline run, built for
+/// point-lookup serving: hash indexes FQDN -> certificates and SPKI ->
+/// certificates, a sorted interval index over staleness windows for
+/// point-in-time and date-range queries, per-StaleClass views, and a
+/// serial -> revocation join. Every query answers without scanning the
+/// corpus; the differential test (tests/query/differential_test.cpp) pins
+/// each one against a naive linear scan.
+///
+/// Instances are immutable after construction, so a std::shared_ptr<const
+/// StalenessIndex> can be shared across serving threads and hot-swapped
+/// atomically (see SnapshotCell in service.hpp).
+class StalenessIndex {
+ public:
+  /// Builds every index from a finished pipeline run. `meta` carries the
+  /// provenance (profile, seed, window) the summary endpoints report. A
+  /// non-null observer receives record/entry counts and wall-clock under
+  /// the stage name "query_index_build".
+  StalenessIndex(core::PipelineResult result, store::ArchiveMeta meta,
+                 obs::PipelineObserver* observer = nullptr);
+
+  /// One-call serving snapshot from a .scw archive: load, run the pipeline
+  /// with the archive's own posture (cutoff, delegation patterns), index.
+  [[nodiscard]] static std::shared_ptr<const StalenessIndex> from_archive(
+      const std::string& path, obs::PipelineObserver* observer = nullptr);
+
+  [[nodiscard]] const store::ArchiveMeta& meta() const { return meta_; }
+  [[nodiscard]] const core::CertificateCorpus& corpus() const {
+    return result_.corpus;
+  }
+  [[nodiscard]] const std::vector<StaleRecord>& stale_records() const {
+    return records_;
+  }
+  [[nodiscard]] const StaleRecord& record(std::uint32_t index) const;
+  /// Record indices of one stale class, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& of_class(
+      core::StaleClass cls) const;
+
+  // --- Point lookups (all O(1) hash probes or O(log n + k)) ---
+
+  /// Corpus indices of certificates naming the FQDN exactly (after
+  /// lowercasing and wildcard stripping), ascending.
+  [[nodiscard]] std::vector<std::uint32_t> certs_for_fqdn(
+      const std::string& fqdn) const;
+  /// Corpus indices of certificates embedding the key with this SPKI
+  /// SHA-256 fingerprint (lowercase hex), ascending. The custody question:
+  /// every certificate here shares one private key.
+  [[nodiscard]] std::vector<std::uint32_t> certs_for_key(
+      const std::string& spki_hex) const;
+
+  /// Stale records endangering `domain` whose staleness window contains
+  /// `date`. A record endangers a domain when the domain is one of the
+  /// certificate's at-risk names (every name for key compromise; the names
+  /// under the trigger e2LD otherwise) or the trigger domain itself.
+  [[nodiscard]] std::vector<std::uint32_t> stale_records_for(
+      const std::string& domain, util::Date date) const;
+  /// Same, for any overlap with a half-open date range.
+  [[nodiscard]] std::vector<std::uint32_t> stale_records_for_range(
+      const std::string& domain, const util::DateInterval& range) const;
+  [[nodiscard]] bool is_stale(const std::string& domain, util::Date date) const {
+    return !stale_records_for(domain, date).empty();
+  }
+
+  /// Record indices of every staleness window containing `date`,
+  /// optionally restricted to one class — the corpus-wide stabbing query.
+  [[nodiscard]] std::vector<std::uint32_t> stale_at(
+      util::Date date, std::optional<core::StaleClass> cls = {}) const;
+
+  /// Per-domain aggregate (all dates).
+  [[nodiscard]] DomainSummary stale_summary(const std::string& domain) const;
+
+  /// Earliest joined revocation of the certificate with this serial
+  /// (lowercase hex, no 0x). nullopt when the serial never joined.
+  [[nodiscard]] std::optional<RevocationStatus> revocation_status(
+      const std::string& serial_hex) const;
+
+  /// Corpus certificates valid on `date` (two binary searches).
+  [[nodiscard]] std::size_t valid_cert_count(util::Date date) const;
+
+  struct Stats {
+    std::uint64_t certificates = 0;
+    std::uint64_t stale_records = 0;
+    std::array<std::uint64_t, core::kStaleClassCount> by_class{};
+    std::uint64_t distinct_keys = 0;
+    std::uint64_t distinct_domains = 0;  // at-risk domain index entries
+    std::uint64_t revoked_serials = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  core::PipelineResult result_;
+  store::ArchiveMeta meta_;
+  std::vector<StaleRecord> records_;
+  std::array<std::vector<std::uint32_t>, core::kStaleClassCount> by_class_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> key_to_certs_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> domain_to_records_;
+  std::unordered_map<std::string, RevocationStatus> serial_to_revocation_;
+  IntervalIndex staleness_intervals_;       // payload = record index
+  std::vector<std::int64_t> validity_begins_;  // sorted days-since-epoch
+  std::vector<std::int64_t> validity_ends_;
+  Stats stats_;
+};
+
+/// The at-risk names of one stale certificate (shared with the analyzer's
+/// semantics): every SAN/CN name for key compromise, otherwise only the
+/// names under the trigger e2LD — plus the trigger domain itself, so e2LD
+/// queries hit even when the certificate only names subdomains.
+std::vector<std::string> at_risk_domains(const core::CertificateCorpus& corpus,
+                                         std::uint32_t cert_index,
+                                         core::StaleClass cls,
+                                         const std::string& trigger_domain);
+
+/// Serving-side domain normalization: lowercase + single wildcard strip.
+std::string normalize_domain(const std::string& domain);
+
+}  // namespace stalecert::query

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stalecert/util/interval.hpp"
+
+namespace stalecert::query {
+
+/// Static interval-stabbing index over half-open day intervals. Built once
+/// from a batch of (interval, payload) pairs and immutable afterwards —
+/// the serving-side answer to "which staleness windows cover this date?"
+/// without scanning every record.
+///
+/// Layout: entries sorted by interval begin, with an implicit balanced BST
+/// over that order where every node is annotated with the maximum interval
+/// end in its subtree. Both query kinds prune on that annotation, giving
+/// O(log n + k) for k reported payloads. Empty intervals are dropped at
+/// build time (they can never contain a date).
+class IntervalIndex {
+ public:
+  struct Entry {
+    util::DateInterval interval;
+    std::uint32_t payload = 0;
+  };
+
+  IntervalIndex() = default;
+  explicit IntervalIndex(std::vector<Entry> entries);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Payloads of every interval containing `date` (begin <= date < end),
+  /// in ascending payload order.
+  [[nodiscard]] std::vector<std::uint32_t> stabbing(util::Date date) const;
+  /// Number of intervals containing `date` without materializing payloads.
+  [[nodiscard]] std::size_t stabbing_count(util::Date date) const;
+
+  /// Payloads of every interval overlapping the half-open `range`, in
+  /// ascending payload order. An empty range overlaps nothing.
+  [[nodiscard]] std::vector<std::uint32_t> overlapping(
+      const util::DateInterval& range) const;
+
+ private:
+  void stab(std::size_t lo, std::size_t hi, util::Date date,
+            std::vector<std::uint32_t>* out, std::size_t* count) const;
+  void overlap(std::size_t lo, std::size_t hi, const util::DateInterval& range,
+               std::vector<std::uint32_t>* out) const;
+
+  std::vector<Entry> entries_;   // sorted by (begin, end, payload)
+  std::vector<util::Date> max_end_;  // subtree max end, implicit BST on [lo,hi)
+};
+
+}  // namespace stalecert::query

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "stalecert/obs/metrics.hpp"
+#include "stalecert/query/http.hpp"
+#include "stalecert/query/index.hpp"
+
+namespace stalecert::query {
+
+/// Thread-safe holder of the current serving snapshot. Readers take a
+/// shared_ptr copy (the snapshot stays alive for the whole request even if
+/// a reload swaps underneath them); writers publish a fully built
+/// replacement with one pointer swap. The mutex is held only for the
+/// pointer copy, never while an index is built or queried.
+class SnapshotCell {
+ public:
+  [[nodiscard]] std::shared_ptr<const StalenessIndex> get() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshot_;
+  }
+
+  void set(std::shared_ptr<const StalenessIndex> snapshot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_ = std::move(snapshot);
+    generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Number of successful publishes (0 until the first set()).
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const StalenessIndex> snapshot_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// The staled request handler: routes the endpoint set over the current
+/// SnapshotCell snapshot and records per-endpoint request counters and
+/// latency histograms into its MetricsRegistry (served back at /metrics).
+///
+/// Endpoints:
+///   GET /v1/stale?domain=D&date=YYYY-MM-DD   point-in-time staleness
+///   GET /v1/key/<spki-hex>                   certificates sharing a key
+///   GET /v1/summary[?domain=D]               global or per-domain summary
+///   GET /v1/revocation?serial=<hex>          joined revocation status
+///   GET /healthz                             liveness (503 until loaded)
+///   GET /metrics                             Prometheus exposition
+class StaledService {
+ public:
+  explicit StaledService(std::string archive_path);
+
+  /// Builds the initial snapshot from the archive. Throws (store/pipeline
+  /// error taxonomy) when the archive is unusable.
+  void load();
+
+  /// Rebuilds from the same archive path and atomically swaps the
+  /// snapshot in. On failure the previous snapshot keeps serving and the
+  /// reload error counter is bumped; returns false in that case. Safe to
+  /// call concurrently with in-flight requests (SIGHUP hot reload).
+  bool reload();
+
+  /// Thread-safe request entry point (the HttpServer handler).
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request);
+
+  [[nodiscard]] std::shared_ptr<const StalenessIndex> snapshot() const {
+    return cell_.get();
+  }
+  [[nodiscard]] std::uint64_t generation() const { return cell_.generation(); }
+  [[nodiscard]] const std::string& archive_path() const { return archive_path_; }
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+
+ private:
+  HttpResponse dispatch(const HttpRequest& request, std::string* endpoint,
+                        const std::shared_ptr<const StalenessIndex>& index);
+  HttpResponse handle_stale(const HttpRequest& request,
+                            const StalenessIndex& index) const;
+  HttpResponse handle_key(const std::string& spki_hex,
+                          const StalenessIndex& index) const;
+  HttpResponse handle_summary(const HttpRequest& request,
+                              const StalenessIndex& index);
+  HttpResponse handle_revocation(const HttpRequest& request,
+                                 const StalenessIndex& index) const;
+
+  std::string archive_path_;
+  SnapshotCell cell_;
+  obs::MetricsRegistry registry_;
+};
+
+}  // namespace stalecert::query

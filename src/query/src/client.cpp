@@ -1,0 +1,157 @@
+#include "stalecert/query/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::query {
+
+namespace {
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(const std::string& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  connect();
+}
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)), port_(other.port_), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::connect() {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw QueryError(std::string("socket: ") + std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw QueryError("bad host address " + host_ + " (want an IPv4 literal)");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string detail = std::strerror(errno);
+    close();
+    throw QueryError("connect " + host_ + ":" + std::to_string(port_) + ": " +
+                     detail);
+  }
+}
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<HttpClient::Result> HttpClient::try_request(
+    const std::string& method, const std::string& target) {
+  const std::string request = method + " " + target + " HTTP/1.1\r\nHost: " +
+                              host_ + "\r\nConnection: keep-alive\r\n\r\n";
+  if (!send_all(fd_, request)) return std::nullopt;
+
+  // Read the head, then exactly Content-Length body bytes.
+  std::string buffer;
+  std::size_t head_end = std::string::npos;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  const std::string head = buffer.substr(0, head_end);
+  Result result;
+  std::size_t content_length = 0;
+  bool server_closes = false;
+  const auto lines = util::split(head, '\n');
+  if (lines.empty()) return std::nullopt;
+  {
+    // Status line: "HTTP/1.1 200 OK".
+    const auto parts = util::split(std::string(util::trim(lines[0])), ' ');
+    if (parts.size() < 2) return std::nullopt;
+    result.status = std::atoi(parts[1].c_str());
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string line(util::trim(lines[i]));
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = util::to_lower(line.substr(0, colon));
+    const std::string value(util::trim(line.substr(colon + 1)));
+    if (name == "content-length") {
+      content_length = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (name == "content-type") {
+      result.content_type = value;
+    } else if (name == "connection" && util::to_lower(value) == "close") {
+      server_closes = true;
+    }
+  }
+
+  // HEAD responses advertise a Content-Length but carry no body.
+  if (method == "HEAD") content_length = 0;
+  std::string body = buffer.substr(head_end + 4);
+  while (body.size() < content_length) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    body.append(chunk, static_cast<std::size_t>(n));
+  }
+  result.body = body.substr(0, content_length);
+  if (server_closes) close();
+  return result;
+}
+
+HttpClient::Result HttpClient::get(const std::string& target) {
+  return request("GET", target);
+}
+
+HttpClient::Result HttpClient::request(const std::string& method,
+                                       const std::string& target) {
+  if (fd_ < 0) connect();
+  if (auto result = try_request(method, target)) return *std::move(result);
+  // The server may have closed an idle keep-alive connection; retry once
+  // on a fresh connection before giving up.
+  connect();
+  if (auto result = try_request(method, target)) return *std::move(result);
+  throw QueryError(method + " " + target + " failed after reconnect");
+}
+
+HttpClient::Result http_get(const std::string& host, std::uint16_t port,
+                            const std::string& target) {
+  HttpClient client(host, port);
+  return client.get(target);
+}
+
+}  // namespace stalecert::query

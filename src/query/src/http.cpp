@@ -1,0 +1,163 @@
+#include "stalecert/query/http.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::query {
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::param(const std::string& name) const {
+  const auto it = query.find(name);
+  if (it == query.end()) return std::nullopt;
+  return it->second;
+}
+
+bool HttpRequest::keep_alive() const {
+  const auto it = headers.find("connection");
+  if (it != headers.end()) {
+    const std::string value = util::to_lower(it->second);
+    if (value == "close") return false;
+    if (value == "keep-alive") return true;
+  }
+  return version == "HTTP/1.1";
+}
+
+std::string percent_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const int hi = hex_value(text[i + 1]);
+      const int lo = hex_value(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+  }
+  return out;
+}
+
+std::optional<HttpRequest> parse_request(std::string_view raw) {
+  HttpRequest request;
+
+  const auto line_end = raw.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  const std::string_view request_line = raw.substr(0, line_end);
+
+  const auto method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos) return std::nullopt;
+  const auto target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos) return std::nullopt;
+  request.method = std::string(request_line.substr(0, method_end));
+  request.target =
+      std::string(request_line.substr(method_end + 1, target_end - method_end - 1));
+  request.version = std::string(request_line.substr(target_end + 1));
+  if (request.method.empty() || request.target.empty() ||
+      !util::starts_with(request.version, "HTTP/")) {
+    return std::nullopt;
+  }
+
+  // Split the target into path and query string.
+  std::string_view target = request.target;
+  std::string_view query_string;
+  if (const auto q = target.find('?'); q != std::string_view::npos) {
+    query_string = target.substr(q + 1);
+    target = target.substr(0, q);
+  }
+  request.path = percent_decode(target);
+  if (!util::starts_with(request.path, "/")) return std::nullopt;
+  if (!query_string.empty()) {
+    for (const auto& pair : util::split(query_string, '&')) {
+      if (pair.empty()) continue;
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) {
+        request.query[percent_decode(pair)] = "";
+      } else {
+        request.query[percent_decode(pair.substr(0, eq))] =
+            percent_decode(pair.substr(eq + 1));
+      }
+    }
+  }
+
+  // Header fields, one per line, until the blank line.
+  std::size_t pos = line_end + 2;
+  while (pos < raw.size()) {
+    const auto next = raw.find("\r\n", pos);
+    if (next == std::string_view::npos) return std::nullopt;
+    const std::string_view line = raw.substr(pos, next - pos);
+    pos = next + 2;
+    if (line.empty()) break;  // end of head
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+    const std::string name = util::to_lower(line.substr(0, colon));
+    request.headers[name] = std::string(util::trim(line.substr(colon + 1)));
+  }
+  return request;
+}
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response, bool keep_alive,
+                               bool head_only) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << ' ' << status_text(response.status)
+      << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n"
+      << "\r\n";
+  if (!head_only) out << response.body;
+  return out.str();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace stalecert::query

@@ -1,0 +1,250 @@
+#include "stalecert/query/index.hpp"
+
+#include <algorithm>
+
+#include "stalecert/dns/name.hpp"
+#include "stalecert/obs/observer.hpp"
+#include "stalecert/store/archive.hpp"
+#include "stalecert/util/error.hpp"
+#include "stalecert/util/hex.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::query {
+
+namespace {
+
+void sort_unique(std::vector<std::uint32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// True when `candidate` should replace `current` as the reported
+/// revocation status: earlier revocation wins, ties to the lower index.
+bool better_status(const RevocationStatus& candidate,
+                   const RevocationStatus& current) {
+  if (candidate.revocation_date != current.revocation_date)
+    return candidate.revocation_date < current.revocation_date;
+  return candidate.cert_index < current.cert_index;
+}
+
+}  // namespace
+
+std::string normalize_domain(const std::string& domain) {
+  return core::strip_wildcard(util::to_lower(domain));
+}
+
+std::vector<std::string> at_risk_domains(const core::CertificateCorpus& corpus,
+                                         std::uint32_t cert_index,
+                                         core::StaleClass cls,
+                                         const std::string& trigger_domain) {
+  std::vector<std::string> out;
+  for (const auto& raw : corpus.at(cert_index).dns_names()) {
+    const std::string name = normalize_domain(raw);
+    if (cls == core::StaleClass::kKeyCompromise) {
+      out.push_back(name);
+      continue;
+    }
+    const auto e2 = dns::e2ld(name);
+    if (e2 && *e2 == trigger_domain) out.push_back(name);
+  }
+  out.push_back(normalize_domain(trigger_domain));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+StalenessIndex::StalenessIndex(core::PipelineResult result,
+                               store::ArchiveMeta meta,
+                               obs::PipelineObserver* observer)
+    : result_(std::move(result)), meta_(std::move(meta)) {
+  const obs::StageScope scope(observer, "query_index_build");
+
+  // Denormalize the stale records in deterministic class-major order.
+  for (const auto cls : core::kAllStaleClasses) {
+    for (const auto& stale : result_.of(cls)) {
+      StaleRecord record;
+      record.cert_index = static_cast<std::uint32_t>(stale.corpus_index);
+      record.cls = cls;
+      record.event_date = stale.event_date;
+      record.staleness = stale.staleness;
+      record.trigger_domain = normalize_domain(stale.trigger_domain);
+      record.reason = stale.reason;
+      by_class_[static_cast<std::size_t>(cls)].push_back(
+          static_cast<std::uint32_t>(records_.size()));
+      records_.push_back(std::move(record));
+    }
+  }
+
+  const auto& corpus = result_.corpus;
+  std::vector<IntervalIndex::Entry> windows;
+  windows.reserve(records_.size());
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    const StaleRecord& record = records_[i];
+    for (const auto& name : at_risk_domains(corpus, record.cert_index,
+                                            record.cls,
+                                            record.trigger_domain)) {
+      domain_to_records_[name].push_back(i);
+    }
+    windows.push_back({record.staleness, i});
+    stats_.by_class[static_cast<std::size_t>(record.cls)]++;
+  }
+  staleness_intervals_ = IntervalIndex(std::move(windows));
+  for (auto& [domain, indices] : domain_to_records_) sort_unique(indices);
+
+  // SPKI custody index + validity endpoint arrays over the whole corpus.
+  validity_begins_.reserve(corpus.size());
+  validity_ends_.reserve(corpus.size());
+  for (std::uint32_t i = 0; i < corpus.size(); ++i) {
+    const auto& cert = corpus.at(i);
+    key_to_certs_[cert.subject_key().fingerprint_hex()].push_back(i);
+    validity_begins_.push_back(cert.not_before().days_since_epoch());
+    validity_ends_.push_back(cert.not_after().days_since_epoch());
+  }
+  std::sort(validity_begins_.begin(), validity_begins_.end());
+  std::sort(validity_ends_.begin(), validity_ends_.end());
+
+  // Serial join from the revocation analysis (all reasons, not only key
+  // compromise), keeping the earliest revocation per serial.
+  for (const auto& revoked : result_.revocations.all_revoked) {
+    const auto& cert = corpus.at(revoked.corpus_index);
+    RevocationStatus status;
+    status.cert_index = static_cast<std::uint32_t>(revoked.corpus_index);
+    status.revocation_date = revoked.event_date;
+    status.reason = revoked.reason.value_or(revocation::ReasonCode::kUnspecified);
+    const std::string serial = util::to_lower(cert.serial_hex());
+    const auto [it, inserted] = serial_to_revocation_.emplace(serial, status);
+    if (!inserted && better_status(status, it->second)) it->second = status;
+  }
+
+  stats_.certificates = corpus.size();
+  stats_.stale_records = records_.size();
+  stats_.distinct_keys = key_to_certs_.size();
+  stats_.distinct_domains = domain_to_records_.size();
+  stats_.revoked_serials = serial_to_revocation_.size();
+
+  if (scope.enabled()) {
+    scope.count("certificates", stats_.certificates);
+    scope.count("stale_records", stats_.stale_records);
+    scope.count("indexed_domains", stats_.distinct_domains);
+    scope.count("indexed_keys", stats_.distinct_keys);
+    scope.count("revoked_serials", stats_.revoked_serials);
+  }
+}
+
+std::shared_ptr<const StalenessIndex> StalenessIndex::from_archive(
+    const std::string& path, obs::PipelineObserver* observer) {
+  const store::LoadedWorld world = store::load_world(path, observer);
+
+  core::PipelineConfig config;
+  config.revocation_cutoff = world.meta.revocation_cutoff;
+  config.delegation_patterns = world.meta.delegation_patterns;
+  config.managed_san_pattern = world.meta.managed_san_pattern;
+  config.observer = observer;
+
+  core::PipelineResult result =
+      core::run_pipeline(world.ct_logs, world.revocations,
+                         world.re_registrations(), world.adns, config);
+  return std::make_shared<const StalenessIndex>(std::move(result), world.meta,
+                                                observer);
+}
+
+const StaleRecord& StalenessIndex::record(std::uint32_t index) const {
+  if (index >= records_.size()) {
+    throw LogicError("StalenessIndex: record index out of range");
+  }
+  return records_[index];
+}
+
+const std::vector<std::uint32_t>& StalenessIndex::of_class(
+    core::StaleClass cls) const {
+  return by_class_[static_cast<std::size_t>(cls)];
+}
+
+std::vector<std::uint32_t> StalenessIndex::certs_for_fqdn(
+    const std::string& fqdn) const {
+  const auto indices = result_.corpus.by_fqdn(normalize_domain(fqdn));
+  std::vector<std::uint32_t> out;
+  out.reserve(indices.size());
+  for (const auto i : indices) out.push_back(static_cast<std::uint32_t>(i));
+  sort_unique(out);
+  return out;
+}
+
+std::vector<std::uint32_t> StalenessIndex::certs_for_key(
+    const std::string& spki_hex) const {
+  const auto it = key_to_certs_.find(util::to_lower(spki_hex));
+  return it == key_to_certs_.end() ? std::vector<std::uint32_t>{} : it->second;
+}
+
+std::vector<std::uint32_t> StalenessIndex::stale_records_for(
+    const std::string& domain, util::Date date) const {
+  std::vector<std::uint32_t> out;
+  const auto it = domain_to_records_.find(normalize_domain(domain));
+  if (it == domain_to_records_.end()) return out;
+  for (const auto i : it->second) {
+    if (records_[i].staleness.contains(date)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> StalenessIndex::stale_records_for_range(
+    const std::string& domain, const util::DateInterval& range) const {
+  std::vector<std::uint32_t> out;
+  const auto it = domain_to_records_.find(normalize_domain(domain));
+  if (it == domain_to_records_.end()) return out;
+  for (const auto i : it->second) {
+    if (records_[i].staleness.overlaps(range)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> StalenessIndex::stale_at(
+    util::Date date, std::optional<core::StaleClass> cls) const {
+  std::vector<std::uint32_t> hits = staleness_intervals_.stabbing(date);
+  if (cls) {
+    std::erase_if(hits,
+                  [&](std::uint32_t i) { return records_[i].cls != *cls; });
+  }
+  return hits;
+}
+
+DomainSummary StalenessIndex::stale_summary(const std::string& domain) const {
+  DomainSummary summary;
+  summary.domain = normalize_domain(domain);
+  summary.certificates = certs_for_fqdn(summary.domain).size();
+  const auto it = domain_to_records_.find(summary.domain);
+  if (it == domain_to_records_.end()) return summary;
+  for (const auto i : it->second) {
+    const StaleRecord& record = records_[i];
+    summary.stale_by_class[static_cast<std::size_t>(record.cls)]++;
+    if (!summary.earliest_event || record.event_date < *summary.earliest_event) {
+      summary.earliest_event = record.event_date;
+    }
+    if (!summary.latest_staleness_end ||
+        *summary.latest_staleness_end < record.staleness.end()) {
+      summary.latest_staleness_end = record.staleness.end();
+    }
+  }
+  return summary;
+}
+
+std::optional<RevocationStatus> StalenessIndex::revocation_status(
+    const std::string& serial_hex) const {
+  const auto it = serial_to_revocation_.find(util::to_lower(serial_hex));
+  if (it == serial_to_revocation_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t StalenessIndex::valid_cert_count(util::Date date) const {
+  const std::int64_t d = date.days_since_epoch();
+  // contains(d) = begin <= d < end, so count = #(begin <= d) - #(end <= d).
+  const auto begun = std::upper_bound(validity_begins_.begin(),
+                                      validity_begins_.end(), d) -
+                     validity_begins_.begin();
+  const auto ended =
+      std::upper_bound(validity_ends_.begin(), validity_ends_.end(), d) -
+      validity_ends_.begin();
+  return static_cast<std::size_t>(begun - ended);
+}
+
+}  // namespace stalecert::query

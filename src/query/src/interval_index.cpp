@@ -1,0 +1,97 @@
+#include "stalecert/query/interval_index.hpp"
+
+#include <algorithm>
+
+namespace stalecert::query {
+
+namespace {
+
+bool entry_less(const IntervalIndex::Entry& a, const IntervalIndex::Entry& b) {
+  if (a.interval.begin() != b.interval.begin())
+    return a.interval.begin() < b.interval.begin();
+  if (a.interval.end() != b.interval.end())
+    return a.interval.end() < b.interval.end();
+  return a.payload < b.payload;
+}
+
+}  // namespace
+
+IntervalIndex::IntervalIndex(std::vector<Entry> entries) {
+  entries_ = std::move(entries);
+  std::erase_if(entries_, [](const Entry& e) { return e.interval.empty(); });
+  std::sort(entries_.begin(), entries_.end(), entry_less);
+
+  // max_end_[mid of [lo, hi)] = max interval end within [lo, hi). Computed
+  // bottom-up over the same implicit tree the queries descend.
+  max_end_.resize(entries_.size());
+  struct Frame {
+    std::size_t lo, hi;
+  };
+  // Recursive lambda without std::function to keep the build allocation-light.
+  auto fill = [this](auto&& self, std::size_t lo, std::size_t hi) -> util::Date {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    util::Date max = entries_[mid].interval.end();
+    if (lo < mid) max = std::max(max, self(self, lo, mid));
+    if (mid + 1 < hi) max = std::max(max, self(self, mid + 1, hi));
+    max_end_[mid] = max;
+    return max;
+  };
+  if (!entries_.empty()) fill(fill, 0, entries_.size());
+}
+
+void IntervalIndex::stab(std::size_t lo, std::size_t hi, util::Date date,
+                         std::vector<std::uint32_t>* out,
+                         std::size_t* count) const {
+  if (lo >= hi) return;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  // Subtree holds nothing ending after `date` -> no interval contains it
+  // (half-open: containment needs end > date).
+  if (!(date < max_end_[mid])) return;
+  stab(lo, mid, date, out, count);
+  const Entry& e = entries_[mid];
+  if (e.interval.contains(date)) {
+    if (out != nullptr) out->push_back(e.payload);
+    if (count != nullptr) ++*count;
+  }
+  // Everything right of mid begins at or after e.begin; once begins exceed
+  // `date` no right-subtree interval can contain it.
+  if (!(date < e.interval.begin())) stab(mid + 1, hi, date, out, count);
+}
+
+std::vector<std::uint32_t> IntervalIndex::stabbing(util::Date date) const {
+  std::vector<std::uint32_t> out;
+  stab(0, entries_.size(), date, &out, nullptr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t IntervalIndex::stabbing_count(util::Date date) const {
+  std::size_t count = 0;
+  stab(0, entries_.size(), date, nullptr, &count);
+  return count;
+}
+
+void IntervalIndex::overlap(std::size_t lo, std::size_t hi,
+                            const util::DateInterval& range,
+                            std::vector<std::uint32_t>* out) const {
+  if (lo >= hi) return;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  // Overlap needs an entry end strictly after range.begin.
+  if (!(range.begin() < max_end_[mid])) return;
+  overlap(lo, mid, range, out);
+  const Entry& e = entries_[mid];
+  if (e.interval.overlaps(range)) out->push_back(e.payload);
+  // Right subtree begins >= e.begin; overlap needs begin < range.end.
+  if (e.interval.begin() < range.end()) overlap(mid + 1, hi, range, out);
+}
+
+std::vector<std::uint32_t> IntervalIndex::overlapping(
+    const util::DateInterval& range) const {
+  std::vector<std::uint32_t> out;
+  if (range.empty()) return out;
+  overlap(0, entries_.size(), range, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace stalecert::query

@@ -1,0 +1,197 @@
+#include "stalecert/query/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace stalecert::query {
+
+namespace {
+
+/// Sends the whole buffer, tolerating partial writes; MSG_NOSIGNAL keeps a
+/// client that hung up from killing the process with SIGPIPE.
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.load()) throw QueryError("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw QueryError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw QueryError("bad bind address " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw QueryError("bind " + options_.bind_address + ":" +
+                     std::to_string(options_.port) + ": " + detail);
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw QueryError("listen: " + detail);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  stopping_.store(false);
+  running_.store(true);
+  const unsigned threads = options_.threads == 0 ? 1 : options_.threads;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void HttpServer::worker_loop() {
+  // accept(2) on a shared listening socket is thread-safe; the kernel hands
+  // each connection to exactly one blocked worker.
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      // EBADF / EINVAL after stop() shut the listener down: drain and exit.
+      break;
+    }
+    serve_connection(client);
+  }
+}
+
+void HttpServer::track_connection(int client_fd) {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_.insert(client_fd);
+}
+
+void HttpServer::untrack_and_close(int client_fd) {
+  // Erase under the lock BEFORE closing: stop() shuts tracked fds down under
+  // the same lock, so it can never touch a number the kernel has reused.
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_.erase(client_fd);
+  ::close(client_fd);
+}
+
+void HttpServer::serve_connection(int client_fd) {
+  track_connection(client_fd);
+  std::string buffer;
+  bool keep_open = true;
+  while (keep_open && !stopping_.load(std::memory_order_acquire)) {
+    // Read until the end of the request head (no bodies in this subset).
+    std::size_t head_end = buffer.find("\r\n\r\n");
+    while (head_end == std::string::npos &&
+           buffer.size() <= options_.max_request_bytes) {
+      char chunk[4096];
+      const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        untrack_and_close(client_fd);
+        return;  // client hung up (or error) between requests
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      head_end = buffer.find("\r\n\r\n");
+    }
+    // Too large whether the terminator never came or the head that did
+    // arrive (possibly in a single read) blows the limit.
+    if (head_end == std::string::npos ||
+        head_end + 4 > options_.max_request_bytes) {
+      send_all(client_fd,
+               serialize_response({400, "text/plain", "request too large\n"},
+                                  /*keep_alive=*/false));
+      break;
+    }
+
+    const auto request = parse_request(buffer.substr(0, head_end + 4));
+    buffer.erase(0, head_end + 4);
+    if (!request) {
+      send_all(client_fd,
+               serialize_response({400, "text/plain", "malformed request\n"},
+                                  /*keep_alive=*/false));
+      break;
+    }
+
+    HttpResponse response;
+    if (request->method != "GET" && request->method != "HEAD") {
+      response = {405, "text/plain", "method not allowed\n"};
+    } else {
+      try {
+        response = handler_(*request);
+      } catch (const std::exception& e) {
+        response = {500, "text/plain", std::string("internal error: ") +
+                                           e.what() + "\n"};
+      }
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+    keep_open = request->keep_alive();
+    if (!send_all(client_fd,
+                  serialize_response(response, keep_open,
+                                     request->method == "HEAD"))) {
+      break;
+    }
+  }
+  untrack_and_close(client_fd);
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake every worker blocked in accept(); in-flight connections finish
+  // their current request before the loop re-checks stopping_.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    // Workers parked in recv() between keep-alive requests see EOF; SHUT_RD
+    // leaves the write side alone so an in-flight response still goes out.
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const int fd : connections_) ::shutdown(fd, SHUT_RD);
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace stalecert::query

@@ -1,0 +1,278 @@
+#include "stalecert/query/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "stalecert/obs/exposition.hpp"
+#include "stalecert/obs/quantile.hpp"
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::query {
+
+namespace {
+
+/// Latency buckets: 1µs .. 1s, roughly ×4 steps — point lookups sit at the
+/// bottom, archive-sized summaries near the middle.
+std::vector<double> latency_bounds() {
+  return {1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 0.25, 1.0};
+}
+
+std::string date_json(util::Date d) { return "\"" + d.to_string() + "\""; }
+
+HttpResponse bad_request(const std::string& detail) {
+  return {400, "application/json",
+          "{\"error\":\"" + json_escape(detail) + "\"}\n"};
+}
+
+void append_record_json(std::ostringstream& out, const StalenessIndex& index,
+                        std::uint32_t record_index) {
+  const StaleRecord& record = index.record(record_index);
+  const auto& cert = index.corpus().at(record.cert_index);
+  out << "{\"class\":\"" << json_escape(core::to_string(record.cls))
+      << "\",\"event_date\":" << date_json(record.event_date)
+      << ",\"staleness_begin\":" << date_json(record.staleness.begin())
+      << ",\"staleness_end\":" << date_json(record.staleness.end())
+      << ",\"staleness_days\":" << record.staleness.days()
+      << ",\"trigger_domain\":\"" << json_escape(record.trigger_domain)
+      << "\",\"serial\":\"" << json_escape(cert.serial_hex())
+      << "\",\"spki\":\"" << json_escape(cert.subject_key().fingerprint_hex())
+      << "\"";
+  if (record.reason) {
+    out << ",\"reason\":\"" << json_escape(revocation::to_string(*record.reason))
+        << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+StaledService::StaledService(std::string archive_path)
+    : archive_path_(std::move(archive_path)) {
+  // Pre-register the reload counters so /metrics shows them at zero.
+  registry_.counter("stalecert_staled_reloads_total", {{"result", "ok"}},
+                    "Successful snapshot reloads");
+  registry_.counter("stalecert_staled_reloads_total", {{"result", "error"}},
+                    "Failed snapshot reloads (previous snapshot kept)");
+}
+
+void StaledService::load() {
+  auto index = StalenessIndex::from_archive(archive_path_);
+  registry_
+      .gauge("stalecert_staled_index_stale_records", {},
+             "Stale records in the serving snapshot")
+      .set(static_cast<double>(index->stats().stale_records));
+  registry_
+      .gauge("stalecert_staled_index_certificates", {},
+             "Corpus certificates in the serving snapshot")
+      .set(static_cast<double>(index->stats().certificates));
+  cell_.set(std::move(index));
+  registry_
+      .gauge("stalecert_staled_index_generation", {},
+             "Monotonic serving snapshot generation")
+      .set(static_cast<double>(cell_.generation()));
+}
+
+bool StaledService::reload() {
+  try {
+    load();
+    registry_.counter("stalecert_staled_reloads_total", {{"result", "ok"}}).inc();
+    return true;
+  } catch (const std::exception&) {
+    registry_.counter("stalecert_staled_reloads_total", {{"result", "error"}})
+        .inc();
+    return false;
+  }
+}
+
+HttpResponse StaledService::handle(const HttpRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  std::string endpoint = "other";
+  const auto index = cell_.get();
+  const HttpResponse response = dispatch(request, &endpoint, index);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  registry_
+      .counter("stalecert_staled_requests_total",
+               {{"endpoint", endpoint},
+                {"code", std::to_string(response.status)}},
+               "Requests served by endpoint and status code")
+      .inc();
+  registry_
+      .histogram("stalecert_staled_request_duration_seconds", latency_bounds(),
+                 {{"endpoint", endpoint}}, "Request latency by endpoint")
+      .observe(elapsed.count());
+  return response;
+}
+
+HttpResponse StaledService::dispatch(
+    const HttpRequest& request, std::string* endpoint,
+    const std::shared_ptr<const StalenessIndex>& index) {
+  const std::string& path = request.path;
+
+  if (path == "/healthz") {
+    *endpoint = "healthz";
+    if (index == nullptr) return {503, "text/plain", "loading\n"};
+    return {200, "text/plain", "ok\n"};
+  }
+  if (path == "/metrics") {
+    *endpoint = "metrics";
+    return {200, "text/plain; version=0.0.4",
+            obs::to_prometheus(registry_.snapshot())};
+  }
+
+  if (index == nullptr) {
+    return {503, "application/json", "{\"error\":\"index not loaded\"}\n"};
+  }
+  if (path == "/v1/stale") {
+    *endpoint = "stale";
+    return handle_stale(request, *index);
+  }
+  if (util::starts_with(path, "/v1/key/")) {
+    *endpoint = "key";
+    return handle_key(path.substr(std::string("/v1/key/").size()), *index);
+  }
+  if (path == "/v1/summary") {
+    *endpoint = "summary";
+    return handle_summary(request, *index);
+  }
+  if (path == "/v1/revocation") {
+    *endpoint = "revocation";
+    return handle_revocation(request, *index);
+  }
+  return {404, "application/json", "{\"error\":\"no such endpoint\"}\n"};
+}
+
+HttpResponse StaledService::handle_stale(const HttpRequest& request,
+                                         const StalenessIndex& index) const {
+  const auto domain = request.param("domain");
+  const auto date_text = request.param("date");
+  if (!domain || domain->empty()) return bad_request("missing domain parameter");
+  if (!date_text || date_text->empty()) return bad_request("missing date parameter");
+  util::Date date;
+  try {
+    date = util::Date::parse(*date_text);
+  } catch (const ParseError&) {
+    return bad_request("bad date (want YYYY-MM-DD): " + *date_text);
+  }
+
+  const auto matches = index.stale_records_for(*domain, date);
+  std::ostringstream out;
+  out << "{\"domain\":\"" << json_escape(normalize_domain(*domain))
+      << "\",\"date\":" << date_json(date) << ",\"stale\":"
+      << (matches.empty() ? "false" : "true") << ",\"matches\":[";
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    if (i > 0) out << ",";
+    append_record_json(out, index, matches[i]);
+  }
+  out << "]}\n";
+  return {200, "application/json", out.str()};
+}
+
+HttpResponse StaledService::handle_key(const std::string& spki_hex,
+                                       const StalenessIndex& index) const {
+  if (spki_hex.empty()) return bad_request("missing SPKI fingerprint");
+  const auto certs = index.certs_for_key(spki_hex);
+  std::ostringstream out;
+  out << "{\"spki\":\"" << json_escape(util::to_lower(spki_hex))
+      << "\",\"certificates\":[";
+  for (std::size_t i = 0; i < certs.size(); ++i) {
+    const auto& cert = index.corpus().at(certs[i]);
+    if (i > 0) out << ",";
+    out << "{\"index\":" << certs[i] << ",\"serial\":\""
+        << json_escape(cert.serial_hex()) << "\",\"not_before\":"
+        << date_json(cert.not_before()) << ",\"not_after\":"
+        << date_json(cert.not_after()) << ",\"names\":[";
+    const auto names = cert.dns_names();
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      if (j > 0) out << ",";
+      out << "\"" << json_escape(names[j]) << "\"";
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+  return {200, "application/json", out.str()};
+}
+
+HttpResponse StaledService::handle_summary(const HttpRequest& request,
+                                           const StalenessIndex& index) {
+  std::ostringstream out;
+  if (const auto domain = request.param("domain"); domain && !domain->empty()) {
+    const DomainSummary summary = index.stale_summary(*domain);
+    out << "{\"domain\":\"" << json_escape(summary.domain)
+        << "\",\"certificates\":" << summary.certificates
+        << ",\"stale_total\":" << summary.stale_total() << ",\"by_class\":{";
+    for (std::size_t i = 0; i < core::kAllStaleClasses.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << json_escape(core::to_string(core::kAllStaleClasses[i]))
+          << "\":" << summary.stale_by_class[i];
+    }
+    out << "}";
+    if (summary.earliest_event) {
+      out << ",\"earliest_event\":" << date_json(*summary.earliest_event);
+    }
+    if (summary.latest_staleness_end) {
+      out << ",\"latest_staleness_end\":"
+          << date_json(*summary.latest_staleness_end);
+    }
+    out << "}\n";
+    return {200, "application/json", out.str()};
+  }
+
+  const auto& stats = index.stats();
+  const auto& meta = index.meta();
+  out << "{\"profile\":\"" << json_escape(meta.profile)
+      << "\",\"seed\":" << meta.seed << ",\"window\":{\"start\":"
+      << date_json(meta.start) << ",\"end\":" << date_json(meta.end)
+      << "},\"generation\":" << cell_.generation()
+      << ",\"certificates\":" << stats.certificates
+      << ",\"stale_records\":" << stats.stale_records << ",\"by_class\":{";
+  for (std::size_t i = 0; i < core::kAllStaleClasses.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(core::to_string(core::kAllStaleClasses[i]))
+        << "\":" << stats.by_class[i];
+  }
+  out << "},\"distinct_keys\":" << stats.distinct_keys
+      << ",\"revoked_serials\":" << stats.revoked_serials;
+
+  // Request latency summary across all endpoints so far — the obs
+  // quantile helper applied to this registry's own histograms.
+  std::uint64_t requests = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  for (const auto& histogram : registry_.snapshot().histograms) {
+    if (histogram.name != "stalecert_staled_request_duration_seconds") continue;
+    const auto summary = obs::summarize_histogram(histogram);
+    if (summary.count == 0) continue;
+    requests += summary.count;
+    p50 = std::max(p50, summary.p50);
+    p99 = std::max(p99, summary.p99);
+  }
+  out << ",\"requests\":{\"count\":" << requests << ",\"p50_seconds\":" << p50
+      << ",\"p99_seconds\":" << p99 << "}}\n";
+  return {200, "application/json", out.str()};
+}
+
+HttpResponse StaledService::handle_revocation(const HttpRequest& request,
+                                              const StalenessIndex& index) const {
+  const auto serial = request.param("serial");
+  if (!serial || serial->empty()) return bad_request("missing serial parameter");
+  const auto status = index.revocation_status(*serial);
+  std::ostringstream out;
+  out << "{\"serial\":\"" << json_escape(util::to_lower(*serial)) << "\"";
+  if (status) {
+    out << ",\"revoked\":true,\"revocation_date\":"
+        << date_json(status->revocation_date) << ",\"reason\":\""
+        << json_escape(revocation::to_string(status->reason))
+        << "\",\"key_compromise\":"
+        << (status->key_compromise() ? "true" : "false")
+        << ",\"cert_index\":" << status->cert_index;
+  } else {
+    out << ",\"revoked\":false";
+  }
+  out << "}\n";
+  return {200, "application/json", out.str()};
+}
+
+}  // namespace stalecert::query

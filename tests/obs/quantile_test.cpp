@@ -1,0 +1,84 @@
+// histogram_quantile / summarize_histogram: Prometheus-style quantile
+// estimation over bucketed samples.
+#include <gtest/gtest.h>
+
+#include "stalecert/obs/quantile.hpp"
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::obs {
+namespace {
+
+HistogramSample make_sample(std::vector<double> bounds,
+                            std::vector<std::uint64_t> counts, double sum = 0.0) {
+  HistogramSample sample;
+  sample.upper_bounds = std::move(bounds);
+  sample.bucket_counts = std::move(counts);
+  for (const auto c : sample.bucket_counts) sample.count += c;
+  sample.sum = sum;
+  return sample;
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
+  EXPECT_EQ(histogram_quantile(make_sample({1.0, 2.0}, {0, 0, 0}), 0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, RejectsOutOfRangeQuantiles) {
+  const auto sample = make_sample({1.0}, {1, 0});
+  EXPECT_THROW(histogram_quantile(sample, -0.1), LogicError);
+  EXPECT_THROW(histogram_quantile(sample, 1.1), LogicError);
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinTheCrossingBucket) {
+  // 10 observations in (1, 2]: the median interpolates to the middle.
+  const auto sample = make_sample({1.0, 2.0}, {0, 10, 0});
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 1.0), 2.0);
+}
+
+TEST(HistogramQuantileTest, LowestBucketInterpolatesFromZero) {
+  const auto sample = make_sample({4.0}, {8, 0});
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.5), 2.0);
+}
+
+TEST(HistogramQuantileTest, SpansBucketsAtTheRightRanks) {
+  // 5 in (0,1], 5 in (1,2]: p50 lands exactly on the first bucket edge.
+  const auto sample = make_sample({1.0, 2.0}, {5, 5, 0});
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.75), 1.5);
+}
+
+TEST(HistogramQuantileTest, InfBucketClampsToLargestFiniteBound) {
+  const auto sample = make_sample({1.0, 2.0}, {1, 1, 8});
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.99), 2.0);
+}
+
+TEST(SummarizeHistogramTest, SummaryCarriesCountSumAndQuantiles) {
+  const auto summary = summarize_histogram(make_sample({1.0, 2.0}, {0, 10, 0}, 15.0));
+  EXPECT_EQ(summary.count, 10u);
+  EXPECT_DOUBLE_EQ(summary.sum, 15.0);
+  EXPECT_DOUBLE_EQ(summary.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(summary.p50, 1.5);
+  EXPECT_DOUBLE_EQ(summary.p90, 1.9);
+  EXPECT_DOUBLE_EQ(summary.p99, 1.99);
+}
+
+TEST(SummarizeHistogramTest, LiveMetricSnapshotMatchesManualSample) {
+  HistogramMetric metric({1.0, 2.0, 4.0});
+  for (int i = 0; i < 4; ++i) metric.observe(0.5);
+  for (int i = 0; i < 4; ++i) metric.observe(1.5);
+  const auto summary = summarize_histogram(metric);
+  EXPECT_EQ(summary.count, 8u);
+  EXPECT_DOUBLE_EQ(summary.p50, 1.0);
+  EXPECT_GT(summary.p99, 1.0);
+}
+
+TEST(SummarizeHistogramTest, EmptyMetricSummarizesToZeros) {
+  const HistogramMetric metric({1.0});
+  const auto summary = summarize_histogram(metric);
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.p50, 0.0);
+  EXPECT_EQ(summary.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace stalecert::obs

@@ -1,0 +1,222 @@
+// StalenessIndex unit tests over a small hand-built PipelineResult:
+// exercise every lookup surface with known answers (the differential test
+// covers the same surfaces statistically over generated worlds).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stalecert/query/index.hpp"
+#include "stalecert/util/error.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::query {
+namespace {
+
+using core::StaleClass;
+using util::Date;
+using util::DateInterval;
+
+x509::Certificate make_cert(std::uint64_t serial,
+                            const std::vector<std::string>& names,
+                            Date not_before, std::int64_t lifetime_days,
+                            const std::string& key_label) {
+  const auto key =
+      crypto::KeyPair::derive(key_label, crypto::KeyAlgorithm::kEcdsaP256);
+  auto builder = x509::CertificateBuilder()
+                     .serial(serial)
+                     .subject_cn(names.front())
+                     .validity(not_before, not_before + lifetime_days)
+                     .key(key)
+                     .authority_key_id(
+                         crypto::KeyPair::derive("idx-ca",
+                                                 crypto::KeyAlgorithm::kEcdsaP256)
+                             .key_id())
+                     .server_auth_profile();
+  for (const auto& name : names) builder.add_dns_name(name);
+  return builder.build();
+}
+
+/// Corpus:
+///   0: alpha.test.example + www.alpha.test.example  key A  2022 x 90d
+///   1: *.Beta.Example                               key B  2022 x 365d
+///   2: gamma.example                                key A  2021 x 398d (shares A)
+core::PipelineResult build_result() {
+  const Date d2022 = Date::from_ymd(2022, 1, 1);
+  const Date d2021 = Date::from_ymd(2021, 6, 1);
+  std::vector<x509::Certificate> certs;
+  certs.push_back(make_cert(1, {"alpha.test.example", "www.alpha.test.example"},
+                            d2022, 90, "key-a"));
+  certs.push_back(make_cert(2, {"*.Beta.Example"}, d2022, 365, "key-b"));
+  certs.push_back(make_cert(3, {"gamma.example"}, d2021, 398, "key-a"));
+
+  core::PipelineResult result;
+  result.corpus = core::CertificateCorpus(std::move(certs));
+
+  // Key compromise of cert 0, 30 days in: every name is at risk.
+  core::StaleCertificate kc;
+  kc.corpus_index = 0;
+  kc.cls = StaleClass::kKeyCompromise;
+  kc.event_date = d2022 + 30;
+  kc.staleness = DateInterval{d2022 + 30, d2022 + 90};
+  kc.trigger_domain = "test.example";
+  kc.reason = revocation::ReasonCode::kKeyCompromise;
+  result.revocations.key_compromise.push_back(kc);
+  result.revocations.all_revoked.push_back(kc);
+
+  // A later, unrelated revocation of the same serial: the earlier one must
+  // win revocation_status().
+  core::StaleCertificate late = kc;
+  late.event_date = d2022 + 45;
+  late.staleness = DateInterval{d2022 + 45, d2022 + 90};
+  late.reason = revocation::ReasonCode::kSuperseded;
+  result.revocations.all_revoked.push_back(late);
+
+  // Registrant change of beta.example 100 days in: only names under that
+  // e2LD are at risk.
+  core::StaleCertificate rc;
+  rc.corpus_index = 1;
+  rc.cls = StaleClass::kRegistrantChange;
+  rc.event_date = d2022 + 100;
+  rc.staleness = DateInterval{d2022 + 100, d2022 + 365};
+  rc.trigger_domain = "beta.example";
+  result.registrant_change.push_back(rc);
+  return result;
+}
+
+store::ArchiveMeta make_meta() {
+  store::ArchiveMeta meta;
+  meta.profile = "unit";
+  meta.seed = 7;
+  meta.start = Date::from_ymd(2021, 1, 1);
+  meta.end = Date::from_ymd(2022, 12, 31);
+  return meta;
+}
+
+TEST(StalenessIndexTest, StatsCountEverythingOnce) {
+  const StalenessIndex index(build_result(), make_meta());
+  EXPECT_EQ(index.stats().certificates, 3u);
+  EXPECT_EQ(index.stats().stale_records, 2u);
+  EXPECT_EQ(index.stats().by_class[0], 1u);  // key compromise
+  EXPECT_EQ(index.stats().by_class[1], 1u);  // registrant change
+  EXPECT_EQ(index.stats().by_class[2], 0u);
+  EXPECT_EQ(index.stats().distinct_keys, 2u);  // certs 0 and 2 share key A
+  EXPECT_EQ(index.stats().revoked_serials, 1u);
+}
+
+TEST(StalenessIndexTest, CertsForKeyGroupsSharedCustody) {
+  const StalenessIndex index(build_result(), make_meta());
+  const auto& corpus = index.corpus();
+  const std::string spki_a = corpus.at(0).subject_key().fingerprint_hex();
+  EXPECT_EQ(index.certs_for_key(spki_a), (std::vector<std::uint32_t>{0, 2}));
+  // Lookup is case-insensitive on the hex fingerprint.
+  std::string upper = spki_a;
+  for (auto& c : upper) c = static_cast<char>(std::toupper(c));
+  EXPECT_EQ(index.certs_for_key(upper), (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_TRUE(index.certs_for_key("00ff").empty());
+}
+
+TEST(StalenessIndexTest, CertsForFqdnNormalizesCaseAndWildcards) {
+  const StalenessIndex index(build_result(), make_meta());
+  EXPECT_EQ(index.certs_for_fqdn("ALPHA.test.example"),
+            (std::vector<std::uint32_t>{0}));
+  // The wildcard cert is indexed under its stripped base name, and the
+  // query side strips a leading wildcard too.
+  EXPECT_EQ(index.certs_for_fqdn("beta.example"), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(index.certs_for_fqdn("*.beta.example"),
+            (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(index.certs_for_fqdn("nope.example").empty());
+}
+
+TEST(StalenessIndexTest, IsStaleHonorsAtRiskNamesAndWindow) {
+  const StalenessIndex index(build_result(), make_meta());
+  const Date d2022 = Date::from_ymd(2022, 1, 1);
+
+  // Key compromise endangers every stripped name plus the trigger e2LD.
+  EXPECT_TRUE(index.is_stale("alpha.test.example", d2022 + 30));
+  EXPECT_TRUE(index.is_stale("www.alpha.test.example", d2022 + 89));
+  EXPECT_TRUE(index.is_stale("test.example", d2022 + 50));
+  // Outside the staleness window (half-open on both operations).
+  EXPECT_FALSE(index.is_stale("alpha.test.example", d2022 + 29));
+  EXPECT_FALSE(index.is_stale("alpha.test.example", d2022 + 90));
+
+  // Registrant change endangers the trigger e2LD's names only.
+  EXPECT_TRUE(index.is_stale("beta.example", d2022 + 100));
+  EXPECT_FALSE(index.is_stale("beta.example", d2022 + 99));
+  // Unrelated name, never stale.
+  EXPECT_FALSE(index.is_stale("gamma.example", d2022 + 50));
+}
+
+TEST(StalenessIndexTest, RangeQueriesUseOverlapSemantics) {
+  const StalenessIndex index(build_result(), make_meta());
+  const Date d2022 = Date::from_ymd(2022, 1, 1);
+  // [0,100) does not reach the event at +100.
+  EXPECT_TRUE(index.stale_records_for_range("beta.example", {d2022, d2022 + 100})
+                  .empty());
+  EXPECT_EQ(
+      index.stale_records_for_range("beta.example", {d2022, d2022 + 101}).size(),
+      1u);
+  EXPECT_TRUE(index
+                  .stale_records_for_range("beta.example",
+                                           {d2022 + 100, d2022 + 100})
+                  .empty());  // empty range overlaps nothing
+}
+
+TEST(StalenessIndexTest, StaleAtFiltersOnClass) {
+  const StalenessIndex index(build_result(), make_meta());
+  const Date d2022 = Date::from_ymd(2022, 1, 1);
+  // The two windows are disjoint: KC covers [+30,+90), RC covers [+100,+365).
+  const Date in_kc = d2022 + 50;
+  EXPECT_EQ(index.stale_at(in_kc).size(), 1u);
+  EXPECT_EQ(index.stale_at(in_kc, StaleClass::kKeyCompromise).size(), 1u);
+  EXPECT_EQ(index.stale_at(in_kc, StaleClass::kRegistrantChange).size(), 0u);
+  const Date in_rc = d2022 + 120;
+  EXPECT_EQ(index.stale_at(in_rc).size(), 1u);
+  EXPECT_EQ(index.stale_at(in_rc, StaleClass::kRegistrantChange).size(), 1u);
+  EXPECT_EQ(index.stale_at(in_rc, StaleClass::kKeyCompromise).size(), 0u);
+  EXPECT_EQ(index.stale_at(in_rc, StaleClass::kManagedTlsDeparture).size(), 0u);
+  // Outside every window.
+  EXPECT_TRUE(index.stale_at(d2022 + 95).empty());
+}
+
+TEST(StalenessIndexTest, RevocationStatusKeepsTheEarliestEvent) {
+  const StalenessIndex index(build_result(), make_meta());
+  const std::string serial = index.corpus().at(0).serial_hex();
+  const auto status = index.revocation_status(serial);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->cert_index, 0u);
+  EXPECT_EQ(status->revocation_date, Date::from_ymd(2022, 1, 1) + 30);
+  EXPECT_TRUE(status->key_compromise());
+  EXPECT_EQ(index.revocation_status("ffff"), std::nullopt);
+}
+
+TEST(StalenessIndexTest, ValidCertCountMatchesCalendar) {
+  const StalenessIndex index(build_result(), make_meta());
+  EXPECT_EQ(index.valid_cert_count(Date::from_ymd(2020, 1, 1)), 0u);
+  EXPECT_EQ(index.valid_cert_count(Date::from_ymd(2021, 7, 1)), 1u);  // gamma
+  EXPECT_EQ(index.valid_cert_count(Date::from_ymd(2022, 1, 15)), 3u);
+  EXPECT_EQ(index.valid_cert_count(Date::from_ymd(2022, 12, 1)), 1u);  // beta
+}
+
+TEST(StalenessIndexTest, StaleSummaryAggregatesPerDomain) {
+  const StalenessIndex index(build_result(), make_meta());
+  const Date d2022 = Date::from_ymd(2022, 1, 1);
+  const auto summary = index.stale_summary("Alpha.test.example");
+  EXPECT_EQ(summary.domain, "alpha.test.example");
+  EXPECT_EQ(summary.certificates, 1u);
+  EXPECT_EQ(summary.stale_total(), 1u);
+  EXPECT_EQ(summary.earliest_event, d2022 + 30);
+  EXPECT_EQ(summary.latest_staleness_end, d2022 + 90);
+
+  const auto empty = index.stale_summary("unknown.example");
+  EXPECT_EQ(empty.stale_total(), 0u);
+  EXPECT_EQ(empty.earliest_event, std::nullopt);
+}
+
+TEST(StalenessIndexTest, RecordAccessorBoundsChecks) {
+  const StalenessIndex index(build_result(), make_meta());
+  EXPECT_EQ(index.record(0).cls, StaleClass::kKeyCompromise);
+  EXPECT_THROW(index.record(99), LogicError);
+}
+
+}  // namespace
+}  // namespace stalecert::query

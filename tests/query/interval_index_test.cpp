@@ -1,0 +1,134 @@
+// IntervalIndex differential tests: every stabbing/overlap query must
+// return exactly what a naive linear scan over the same entries returns,
+// across randomized workloads. The index is the serving hot path, so the
+// linear scan is the executable specification.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "stalecert/query/interval_index.hpp"
+
+namespace stalecert::query {
+namespace {
+
+using util::Date;
+using util::DateInterval;
+
+std::vector<std::uint32_t> naive_stabbing(
+    const std::vector<IntervalIndex::Entry>& entries, Date date) {
+  std::vector<std::uint32_t> out;
+  for (const auto& e : entries) {
+    if (e.interval.contains(date)) out.push_back(e.payload);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> naive_overlapping(
+    const std::vector<IntervalIndex::Entry>& entries, const DateInterval& range) {
+  std::vector<std::uint32_t> out;
+  // Mirror the index contract: empty entries never match, and an empty query
+  // range overlaps nothing. (DateInterval::overlaps alone would report an
+  // empty interval strictly inside a range as overlapping.)
+  if (range.empty()) return out;
+  for (const auto& e : entries) {
+    if (!e.interval.empty() && e.interval.overlaps(range)) out.push_back(e.payload);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(IntervalIndexTest, EmptyIndexAnswersEverythingWithNothing) {
+  const IntervalIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_TRUE(index.stabbing(Date{100}).empty());
+  EXPECT_EQ(index.stabbing_count(Date{100}), 0u);
+  EXPECT_TRUE(index.overlapping({Date{0}, Date{1000}}).empty());
+}
+
+TEST(IntervalIndexTest, EmptyIntervalsAreDroppedAtBuild) {
+  std::vector<IntervalIndex::Entry> entries;
+  entries.push_back({{Date{10}, Date{10}}, 0});  // empty
+  entries.push_back({{Date{10}, Date{11}}, 1});
+  const IntervalIndex index(std::move(entries));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.stabbing(Date{10}), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(IntervalIndexTest, StabbingIsHalfOpen) {
+  const IntervalIndex index({{{Date{5}, Date{8}}, 7}});
+  EXPECT_TRUE(index.stabbing(Date{4}).empty());
+  EXPECT_EQ(index.stabbing_count(Date{5}), 1u);
+  EXPECT_EQ(index.stabbing_count(Date{7}), 1u);
+  EXPECT_TRUE(index.stabbing(Date{8}).empty());
+}
+
+TEST(IntervalIndexTest, OverlappingIgnoresEmptyQueryRange) {
+  const IntervalIndex index({{{Date{0}, Date{100}}, 3}});
+  EXPECT_TRUE(index.overlapping({Date{50}, Date{50}}).empty());
+  EXPECT_EQ(index.overlapping({Date{99}, Date{100}}),
+            (std::vector<std::uint32_t>{3}));
+  EXPECT_TRUE(index.overlapping({Date{100}, Date{200}}).empty());
+}
+
+TEST(IntervalIndexTest, PayloadsComeBackAscending) {
+  // Same interval registered under shuffled payloads.
+  std::vector<IntervalIndex::Entry> entries;
+  for (const std::uint32_t p : {9u, 2u, 5u, 0u, 7u}) {
+    entries.push_back({{Date{1}, Date{2}}, p});
+  }
+  const IntervalIndex index(std::move(entries));
+  EXPECT_EQ(index.stabbing(Date{1}), (std::vector<std::uint32_t>{0, 2, 5, 7, 9}));
+}
+
+TEST(IntervalIndexTest, RandomizedStabbingMatchesLinearScan) {
+  for (const unsigned seed : {1u, 7u, 42u}) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::int64_t> begin_dist(0, 2000);
+    std::uniform_int_distribution<std::int64_t> len_dist(0, 120);  // incl. empty
+
+    std::vector<IntervalIndex::Entry> entries;
+    for (std::uint32_t i = 0; i < 500; ++i) {
+      const Date begin{begin_dist(rng)};
+      entries.push_back({{begin, begin + len_dist(rng)}, i});
+    }
+    const IntervalIndex index(entries);
+
+    std::uniform_int_distribution<std::int64_t> probe(-10, 2130);
+    for (int i = 0; i < 400; ++i) {
+      const Date date{probe(rng)};
+      const auto expected = naive_stabbing(entries, date);
+      EXPECT_EQ(index.stabbing(date), expected) << "seed " << seed << " date "
+                                                << date.days_since_epoch();
+      EXPECT_EQ(index.stabbing_count(date), expected.size());
+    }
+  }
+}
+
+TEST(IntervalIndexTest, RandomizedOverlapMatchesLinearScan) {
+  for (const unsigned seed : {3u, 11u}) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::int64_t> begin_dist(0, 1500);
+    std::uniform_int_distribution<std::int64_t> len_dist(0, 90);
+
+    std::vector<IntervalIndex::Entry> entries;
+    for (std::uint32_t i = 0; i < 300; ++i) {
+      const Date begin{begin_dist(rng)};
+      entries.push_back({{begin, begin + len_dist(rng)}, i});
+    }
+    const IntervalIndex index(entries);
+
+    for (int i = 0; i < 300; ++i) {
+      const Date begin{begin_dist(rng)};
+      const DateInterval range{begin, begin + len_dist(rng)};
+      EXPECT_EQ(index.overlapping(range), naive_overlapping(entries, range))
+          << "seed " << seed << " range [" << range.begin().days_since_epoch()
+          << "," << range.end().days_since_epoch() << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stalecert::query

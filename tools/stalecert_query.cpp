@@ -1,0 +1,130 @@
+// stalecert_query: CLI client for a running staled daemon.
+//
+//   $ ./stalecert_query [--host A] [--port N] stale --domain D --date YYYY-MM-DD
+//   $ ./stalecert_query key <spki-hex>
+//   $ ./stalecert_query summary [--domain D]
+//   $ ./stalecert_query revocation --serial <hex>
+//   $ ./stalecert_query healthz | metrics | get <raw-target>
+//
+// Prints the response body to stdout and the HTTP status to stderr.
+// Exit codes: 0 on HTTP 200, 1 on any other status, 2 on usage errors,
+// 3 when the daemon is unreachable.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stalecert/query/client.hpp"
+
+using namespace stalecert;
+
+namespace {
+
+int usage(const std::string& detail) {
+  std::cerr
+      << "usage: stalecert_query [--host ADDR] [--port N] <command> [args]\n"
+         "commands:\n"
+         "  stale --domain D --date YYYY-MM-DD   point-in-time staleness\n"
+         "  key <spki-hex>                       certificates sharing a key\n"
+         "  summary [--domain D]                 global or per-domain summary\n"
+         "  revocation --serial <hex>            joined revocation status\n"
+         "  healthz                              daemon liveness\n"
+         "  metrics                              Prometheus metrics\n"
+         "  get <target>                         raw GET (e.g. /v1/summary)\n";
+  if (!detail.empty()) std::cerr << detail << '\n';
+  return 2;
+}
+
+/// Percent-encodes a query-string value (unreserved characters pass).
+std::string encode(const std::string& value) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  for (const unsigned char c : value) {
+    const bool unreserved = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                            c == '_' || c == '~';
+    if (unreserved) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xf]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 8080;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" || arg == "--port") {
+      if (i + 1 >= argc) return usage(arg + " requires an argument");
+      const std::string value = argv[++i];
+      if (arg == "--host") {
+        host = value;
+      } else {
+        port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+      }
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) return usage("missing command");
+
+  // Named options after the command (--domain, --date, --serial).
+  const std::string command = args[0];
+  std::map<std::string, std::string> named;
+  std::vector<std::string> positional;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i].size() > 2 && args[i][0] == '-' && args[i][1] == '-') {
+      if (i + 1 >= args.size()) return usage(args[i] + " requires a value");
+      const std::string key = args[i].substr(2);
+      named[key] = args[++i];
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+
+  std::string target;
+  if (command == "stale") {
+    if (named.count("domain") == 0 || named.count("date") == 0) {
+      return usage("stale requires --domain and --date");
+    }
+    target = "/v1/stale?domain=" + encode(named["domain"]) +
+             "&date=" + encode(named["date"]);
+  } else if (command == "key") {
+    if (positional.size() != 1) return usage("key requires one SPKI argument");
+    target = "/v1/key/" + encode(positional[0]);
+  } else if (command == "summary") {
+    target = "/v1/summary";
+    if (named.count("domain") != 0) target += "?domain=" + encode(named["domain"]);
+  } else if (command == "revocation") {
+    if (named.count("serial") == 0) return usage("revocation requires --serial");
+    target = "/v1/revocation?serial=" + encode(named["serial"]);
+  } else if (command == "healthz") {
+    target = "/healthz";
+  } else if (command == "metrics") {
+    target = "/metrics";
+  } else if (command == "get") {
+    if (positional.size() != 1) return usage("get requires one target argument");
+    target = positional[0];
+  } else {
+    return usage("unknown command " + command);
+  }
+
+  try {
+    const auto result = query::http_get(host, port, target);
+    std::cerr << "HTTP " << result.status << " " << target << '\n';
+    std::cout << result.body;
+    return result.status == 200 ? 0 : 1;
+  } catch (const stalecert::Error& e) {
+    std::cerr << "stalecert_query: " << e.what() << '\n';
+    return 3;
+  }
+}

@@ -1,0 +1,124 @@
+// staled: the staleness serving daemon. Loads a .scw world archive, runs
+// the measurement pipeline once, indexes the result (query::StalenessIndex)
+// and serves point lookups over a minimal HTTP/1.1 subset:
+//
+//   $ ./staled [--port N] [--bind ADDR] [--threads N] <archive.scw>
+//   staled: listening on 127.0.0.1:8080 (...)
+//
+// Endpoints: /v1/stale?domain=&date=, /v1/key/<spki>, /v1/summary[?domain=],
+// /v1/revocation?serial=, /healthz, /metrics (Prometheus).
+//
+// SIGHUP hot-reloads the archive: the replacement index is built off the
+// serving path and swapped in atomically; on failure the old snapshot keeps
+// serving. SIGINT/SIGTERM drain gracefully: no new connections, in-flight
+// requests finish, exit 0. --port 0 binds an ephemeral port and prints the
+// outcome, which is how the CI smoke test finds it.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "stalecert/query/server.hpp"
+#include "stalecert/query/service.hpp"
+#include "stalecert/store/errors.hpp"
+
+using namespace stalecert;
+
+namespace {
+
+int usage(const std::string& detail) {
+  std::cerr << "usage: staled [--port N] [--bind ADDR] [--threads N]"
+               " <archive.scw>\n";
+  if (!detail.empty()) std::cerr << detail << '\n';
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  query::HttpServer::Options options;
+  options.port = 8080;
+  std::string archive_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" || arg == "--bind" || arg == "--threads") {
+      if (i + 1 >= argc) return usage(arg + " requires an argument");
+      const std::string value = argv[++i];
+      if (arg == "--port") {
+        options.port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+      } else if (arg == "--bind") {
+        options.bind_address = value;
+      } else {
+        options.threads = static_cast<unsigned>(std::atoi(value.c_str()));
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage("unknown flag " + arg);
+    } else if (archive_path.empty()) {
+      archive_path = arg;
+    } else {
+      return usage("multiple archive paths given");
+    }
+  }
+  if (archive_path.empty()) return usage("missing archive path");
+
+  // Block the control signals before any thread exists so the worker pool
+  // inherits the mask and sigwait() below is the only consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGHUP);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  query::StaledService service(archive_path);
+  service.load();
+  const auto snapshot = service.snapshot();
+  std::cerr << "staled: indexed " << snapshot->stats().certificates
+            << " certificates, " << snapshot->stats().stale_records
+            << " stale records from " << archive_path << '\n';
+
+  query::HttpServer server(options, [&service](const query::HttpRequest& r) {
+    return service.handle(r);
+  });
+  server.start();
+  std::cout << "staled: listening on " << options.bind_address << ":"
+            << server.port() << " (" << (options.threads == 0 ? 1u : options.threads)
+            << " workers)" << std::endl;
+
+  for (;;) {
+    int signal = 0;
+    if (sigwait(&signals, &signal) != 0) continue;
+    if (signal == SIGHUP) {
+      std::cerr << "staled: SIGHUP — reloading " << archive_path << '\n';
+      if (service.reload()) {
+        std::cerr << "staled: snapshot generation " << service.generation()
+                  << " serving\n";
+      } else {
+        std::cerr << "staled: reload failed, previous snapshot kept\n";
+      }
+      continue;
+    }
+    std::cerr << "staled: signal " << signal << " — draining\n";
+    break;
+  }
+
+  server.stop();
+  std::cerr << "staled: drained after " << server.requests_served()
+            << " requests, bye\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const store::ArchiveError& e) {
+    std::cerr << "staled: cannot serve archive: " << e.what() << '\n';
+    return 1;
+  } catch (const stalecert::Error& e) {
+    std::cerr << "staled: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "staled: unexpected error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -17,6 +17,7 @@
 #include "stalecert/obs/observer.hpp"
 #include "stalecert/sim/world.hpp"
 #include "stalecert/store/archive.hpp"
+#include "stalecert/store/errors.hpp"
 #include "stalecert/util/strings.hpp"
 #include "stalecert/util/table.hpp"
 
@@ -72,9 +73,7 @@ void print_report(const store::ArchiveMeta& meta,
   caps.print(os);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   bool in_memory = false;
   std::string metrics_json_path;
   std::string archive_path;
@@ -99,50 +98,45 @@ int main(int argc, char** argv) {
   obs::PipelineObserver* observer =
       metrics_json_path.empty() ? nullptr : &telemetry;
 
-  try {
-    store::ArchiveReader reader(archive_path, observer);
-    const store::ArchiveMeta& meta = reader.meta();
+  store::ArchiveReader reader(archive_path, observer);
+  const store::ArchiveMeta& meta = reader.meta();
 
-    core::PipelineConfig pipeline_config;
-    pipeline_config.revocation_cutoff = meta.revocation_cutoff;
-    pipeline_config.delegation_patterns = meta.delegation_patterns;
-    pipeline_config.managed_san_pattern = meta.managed_san_pattern;
-    pipeline_config.observer = observer;
+  core::PipelineConfig pipeline_config;
+  pipeline_config.revocation_cutoff = meta.revocation_cutoff;
+  pipeline_config.delegation_patterns = meta.delegation_patterns;
+  pipeline_config.managed_san_pattern = meta.managed_san_pattern;
+  pipeline_config.observer = observer;
 
-    core::PipelineResult result;
-    if (in_memory) {
-      // Regenerate the identical world from the archived recipe: the
-      // cross-check CI diffs this report against the archive-backed one.
-      sim::WorldConfig config;
-      if (meta.profile == "small") {
-        config = sim::small_test_config();
-      } else if (meta.profile == "default") {
-        config = sim::WorldConfig{};
-      } else {
-        std::cerr << "archive profile \"" << meta.profile
-                  << "\" names no known recipe; --in-memory needs small or "
-                     "default\n";
-        return 1;
-      }
-      config.seed = meta.seed;
-      sim::World world(config);
-      world.set_observer(observer);
-      world.run();
-      result = core::run_pipeline(world.ct_logs(),
-                                  world.crl_collection().store(),
-                                  world.whois().re_registrations(),
-                                  world.adns(), pipeline_config);
+  core::PipelineResult result;
+  if (in_memory) {
+    // Regenerate the identical world from the archived recipe: the
+    // cross-check CI diffs this report against the archive-backed one.
+    sim::WorldConfig config;
+    if (meta.profile == "small") {
+      config = sim::small_test_config();
+    } else if (meta.profile == "default") {
+      config = sim::WorldConfig{};
     } else {
-      const store::LoadedWorld world = reader.load_world();
-      result = core::run_pipeline(world.ct_logs, world.revocations,
-                                  world.re_registrations(), world.adns,
-                                  pipeline_config);
+      std::cerr << "archive profile \"" << meta.profile
+                << "\" names no known recipe; --in-memory needs small or "
+                   "default\n";
+      return 1;
     }
-    print_report(meta, result, std::cout);
-  } catch (const stalecert::Error& e) {
-    std::cerr << "world_analyze: " << e.what() << '\n';
-    return 1;
+    config.seed = meta.seed;
+    sim::World world(config);
+    world.set_observer(observer);
+    world.run();
+    result = core::run_pipeline(world.ct_logs(),
+                                world.crl_collection().store(),
+                                world.whois().re_registrations(),
+                                world.adns(), pipeline_config);
+  } else {
+    const store::LoadedWorld world = reader.load_world();
+    result = core::run_pipeline(world.ct_logs, world.revocations,
+                                world.re_registrations(), world.adns,
+                                pipeline_config);
   }
+  print_report(meta, result, std::cout);
 
   if (!metrics_json_path.empty()) {
     if (metrics_json_path == "-") {
@@ -157,4 +151,24 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Layered catch over the store error taxonomy: every failure mode exits
+  // nonzero with a one-line diagnostic instead of an unhandled-exception
+  // abort (std::terminate would print a stack-free "terminate called").
+  try {
+    return run(argc, argv);
+  } catch (const store::ArchiveError& e) {
+    std::cerr << "world_analyze: cannot read archive: " << e.what() << '\n';
+    return 1;
+  } catch (const stalecert::Error& e) {
+    std::cerr << "world_analyze: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "world_analyze: unexpected error: " << e.what() << '\n';
+    return 1;
+  }
 }

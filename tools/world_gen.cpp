@@ -17,6 +17,7 @@
 #include "stalecert/obs/observer.hpp"
 #include "stalecert/sim/world.hpp"
 #include "stalecert/store/archive.hpp"
+#include "stalecert/store/errors.hpp"
 
 using namespace stalecert;
 
@@ -29,9 +30,7 @@ int usage(const std::string& detail) {
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   std::string profile = "small";
   std::string metrics_json_path;
   std::string output_path;
@@ -77,21 +76,16 @@ int main(int argc, char** argv) {
   world.set_observer(observer);
   world.run();
 
-  try {
-    const std::uint64_t bytes =
-        store::save_world(world, output_path, observer, profile);
-    std::cout << "wrote " << output_path << ": " << bytes << " bytes, profile "
-              << profile << ", seed " << config.seed << "\n"
-              << "  ct entries:     " << world.ct_logs().total_entries() << "\n"
-              << "  revocations:    " << world.crl_collection().store().size()
-              << "\n"
-              << "  whois events:   " << world.whois().new_registrations().size()
-              << "\n"
-              << "  adns snapshots: " << world.adns().days() << "\n";
-  } catch (const stalecert::Error& e) {
-    std::cerr << "world_gen: " << e.what() << '\n';
-    return 1;
-  }
+  const std::uint64_t bytes =
+      store::save_world(world, output_path, observer, profile);
+  std::cout << "wrote " << output_path << ": " << bytes << " bytes, profile "
+            << profile << ", seed " << config.seed << "\n"
+            << "  ct entries:     " << world.ct_logs().total_entries() << "\n"
+            << "  revocations:    " << world.crl_collection().store().size()
+            << "\n"
+            << "  whois events:   " << world.whois().new_registrations().size()
+            << "\n"
+            << "  adns snapshots: " << world.adns().days() << "\n";
 
   if (!metrics_json_path.empty()) {
     if (metrics_json_path == "-") {
@@ -106,4 +100,25 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Layered catch over the store error taxonomy: every failure mode exits
+  // nonzero with a one-line diagnostic instead of an unhandled-exception
+  // abort. The simulation itself runs inside the try block too — it was
+  // previously outside any handler.
+  try {
+    return run(argc, argv);
+  } catch (const store::ArchiveError& e) {
+    std::cerr << "world_gen: cannot write archive: " << e.what() << '\n';
+    return 1;
+  } catch (const stalecert::Error& e) {
+    std::cerr << "world_gen: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "world_gen: unexpected error: " << e.what() << '\n';
+    return 1;
+  }
 }
