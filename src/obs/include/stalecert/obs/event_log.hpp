@@ -1,0 +1,136 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace stalecert::obs {
+
+/// Event severity, ordered so a numeric comparison implements level
+/// filtering (debug < info < warn < error).
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+/// Parses "debug" / "info" / "warn" / "error" (case-insensitive; "warning"
+/// is accepted for "warn"). nullopt for anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Structured key/value payload attached to an event. Order is preserved
+/// in every rendering.
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+/// One structured log event. `since_start` is a monotonic offset from the
+/// owning EventLog's construction (steady clock, so reload/suspend-proof);
+/// `sequence` totally orders events across threads.
+struct LogEvent {
+  LogLevel level = LogLevel::kInfo;
+  std::chrono::nanoseconds since_start{0};
+  std::uint64_t sequence = 0;
+  std::string message;
+  LogFields fields;
+};
+
+/// Renders one event as a single JSON object line (JSONL record):
+///   {"ts_seconds":1.234,"level":"info","message":"...","fields":{...}}
+[[nodiscard]] std::string to_jsonl(const LogEvent& event);
+/// Renders one event for humans: `[   1.234s] INFO  message key=value`.
+[[nodiscard]] std::string to_human(const LogEvent& event);
+
+/// Structured event log with per-thread ring-buffer retention and pluggable
+/// sinks. Replaces ad-hoc std::cerr diagnostics in the daemons/tools.
+///
+/// Design:
+///   - Each logging thread owns a private ring of the most recent events,
+///     so writers never contend with one another; the tiny per-ring mutex
+///     only synchronizes a writer with tail() snapshot readers (uncontended
+///     in steady state, since snapshots are rare /statusz reads).
+///   - Level filtering is one relaxed atomic load; suppressed events cost
+///     nothing else.
+///   - Sinks (human-readable stderr, JSONL file) are serialized by a sink
+///     mutex; events are rare (startup, reload, slow requests), so this is
+///     never on a request fast path.
+///
+/// tail(n) merges the per-thread rings by sequence number into the n most
+/// recent events — what /statusz shows.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t ring_capacity = 256);
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+  ~EventLog();
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+
+  /// Human-readable sink on stderr; enabled by default.
+  void enable_stderr(bool enabled);
+  /// Opens (truncates) a JSONL sink at `path`. Returns false and leaves the
+  /// previous sink (if any) untouched when the file cannot be opened.
+  bool open_jsonl(const std::string& path);
+
+  void log(LogLevel level, std::string_view message, LogFields fields = {});
+  void debug(std::string_view message, LogFields fields = {}) {
+    log(LogLevel::kDebug, message, std::move(fields));
+  }
+  void info(std::string_view message, LogFields fields = {}) {
+    log(LogLevel::kInfo, message, std::move(fields));
+  }
+  void warn(std::string_view message, LogFields fields = {}) {
+    log(LogLevel::kWarn, message, std::move(fields));
+  }
+  void error(std::string_view message, LogFields fields = {}) {
+    log(LogLevel::kError, message, std::move(fields));
+  }
+
+  /// The most recent `n` retained events across all threads, oldest first.
+  [[nodiscard]] std::vector<LogEvent> tail(std::size_t n) const;
+  /// Events accepted (post level filter) over the log's lifetime.
+  [[nodiscard]] std::uint64_t total_events() const {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ring {
+    mutable std::mutex mutex;
+    std::vector<LogEvent> slots;  // capacity fixed at construction
+    std::size_t next = 0;         // next slot to overwrite
+    std::uint64_t written = 0;    // events ever written to this ring
+  };
+
+  Ring& thread_ring();
+  void emit(const LogEvent& event);
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t id_;  // process-unique; keys the thread-local ring cache
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<std::uint64_t> sequence_{0};
+
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+
+  std::mutex sink_mutex_;
+  bool stderr_enabled_ = true;
+  std::ofstream jsonl_;
+};
+
+/// STALECERT_LOG_LEVEL=debug|info|warn|error environment fallback:
+/// returns the parsed value of `env_value` (pass getenv(...)), or
+/// `fallback` when unset/unparsable.
+[[nodiscard]] LogLevel log_level_from_env(const char* env_value,
+                                          LogLevel fallback);
+
+}  // namespace stalecert::obs

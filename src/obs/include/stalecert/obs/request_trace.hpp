@@ -1,0 +1,81 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stalecert::obs {
+
+/// One traced request: a trace id, the routed endpoint, and a flat ordered
+/// list of sub-span durations (parse -> route -> lookup -> serialize ->
+/// write for the serving path). `total` is the end-to-end latency the
+/// caller measured; the span breakdown should account for (nearly) all of
+/// it.
+struct RequestTrace {
+  std::uint64_t id = 0;
+  std::uint64_t sequence = 0;  // admission order; recency for the ring
+  std::string endpoint;
+  std::string target;  // raw request target, for display
+  int status = 0;
+  std::chrono::nanoseconds total{0};
+  std::vector<std::pair<std::string, std::chrono::nanoseconds>> spans;
+
+  /// Adds `duration` to the named span, merging repeats in place.
+  void add_span(std::string_view name, std::chrono::nanoseconds duration);
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(total).count();
+  }
+  [[nodiscard]] std::chrono::nanoseconds span_sum() const;
+};
+
+/// Renders a trace as a JSON object (the /statusz slow-trace entries).
+[[nodiscard]] std::string to_json(const RequestTrace& trace);
+
+/// Bounded retention of the N slowest recent request traces.
+///
+/// "Recent" is enforced by admission order: whenever a retained trace is
+/// older than `recency_window` admissions ago it is evicted, so one ancient
+/// outlier cannot pin a slot forever under live traffic. offer() is called
+/// for every request; the fast path (ring full, request faster than the
+/// slowest retained floor) is a single relaxed atomic load and no lock.
+class SlowTraceRing {
+ public:
+  explicit SlowTraceRing(std::size_t capacity = 16,
+                         std::uint64_t recency_window = 65536);
+
+  /// Considers a finished trace for retention. Assigns trace.sequence.
+  /// Returns true when the trace was retained.
+  bool offer(RequestTrace trace);
+
+  /// Appends a late span (the server's post-handler write time) to the
+  /// retained trace with this id, if it is still in the ring.
+  void add_late_span(std::uint64_t trace_id, std::string_view name,
+                     std::chrono::nanoseconds duration);
+
+  /// Retained traces, slowest first.
+  [[nodiscard]] std::vector<RequestTrace> snapshot() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t offered() const {
+    return next_sequence_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void evict_stale_locked(std::uint64_t now_sequence);
+  void refresh_floor_locked();
+
+  const std::size_t capacity_;
+  const std::uint64_t recency_window_;
+  std::atomic<std::uint64_t> next_sequence_{0};
+  /// Fastest retained total when the ring is full; below it, offer() skips
+  /// the lock entirely. 0 while the ring has room.
+  std::atomic<std::int64_t> floor_ns_{0};
+  mutable std::mutex mutex_;
+  std::vector<RequestTrace> traces_;  // sorted slowest-first
+};
+
+}  // namespace stalecert::obs

@@ -15,6 +15,9 @@ struct SpanRecord {
   std::string name;
   std::size_t parent = SIZE_MAX;  // index into Trace::spans(); SIZE_MAX = root
   std::size_t depth = 0;
+  /// Wall-clock offset of begin_span from the trace's first span (zero for
+  /// the first); lets exporters place spans on a shared timeline.
+  std::chrono::nanoseconds start_offset{0};
   std::chrono::nanoseconds duration{0};
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   bool closed = false;
@@ -52,6 +55,7 @@ class Trace {
  private:
   std::vector<SpanRecord> spans_;
   std::vector<std::size_t> stack_;
+  std::chrono::steady_clock::time_point epoch_{};  // set by the first span
 };
 
 /// Serializes a trace to a JSON array of span objects:

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "stalecert/obs/span.hpp"
+
+namespace stalecert::obs {
+
+/// Serializes a pipeline Trace in the Chrome trace-event (catapult) JSON
+/// format, loadable in chrome://tracing and Perfetto:
+///   {"traceEvents":[{"name":"ct_collect","ph":"X","ts":0.0,"dur":12.5,
+///                    "pid":1,"tid":1,"args":{"entries_raw":1000}},...],
+///    "displayTimeUnit":"ms"}
+/// One complete ("ph":"X") event per span; ts/dur are microseconds relative
+/// to the first span. Span counters become event args.
+[[nodiscard]] std::string to_chrome_trace(const Trace& trace);
+
+}  // namespace stalecert::obs

@@ -1,0 +1,193 @@
+#include "stalecert/obs/event_log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "stalecert/util/strings.hpp"
+
+namespace stalecert::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> next_log_id{1};
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  const std::string lowered = util::to_lower(text);
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+LogLevel log_level_from_env(const char* env_value, LogLevel fallback) {
+  if (env_value == nullptr) return fallback;
+  return parse_log_level(env_value).value_or(fallback);
+}
+
+std::string to_jsonl(const LogEvent& event) {
+  std::string out = "{\"ts_seconds\":";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f",
+                std::chrono::duration<double>(event.since_start).count());
+  out += buf;
+  out += ",\"seq\":" + std::to_string(event.sequence);
+  out += ",\"level\":\"";
+  out += to_string(event.level);
+  out += "\",\"message\":";
+  append_json_string(out, event.message);
+  out += ",\"fields\":{";
+  bool first = true;
+  for (const auto& [key, value] : event.fields) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, key);
+    out += ':';
+    append_json_string(out, value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_human(const LogEvent& event) {
+  char head[48];
+  static constexpr const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  std::snprintf(head, sizeof head, "[%9.3fs] %s ",
+                std::chrono::duration<double>(event.since_start).count(),
+                kNames[static_cast<int>(event.level)]);
+  std::string out = head;
+  out += event.message;
+  for (const auto& [key, value] : event.fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+EventLog::EventLog(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      id_(next_log_id.fetch_add(1, std::memory_order_relaxed)),
+      start_(std::chrono::steady_clock::now()) {}
+
+EventLog::~EventLog() = default;
+
+void EventLog::enable_stderr(bool enabled) {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  stderr_enabled_ = enabled;
+}
+
+bool EventLog::open_jsonl(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  jsonl_ = std::move(out);
+  return true;
+}
+
+EventLog::Ring& EventLog::thread_ring() {
+  // Cache keyed by the log's process-unique id, not its address: ids are
+  // never reused, so an entry left behind by a destroyed log can never be
+  // mistaken for this one.
+  thread_local std::unordered_map<std::uint64_t, Ring*> cache;
+  if (const auto it = cache.find(id_); it != cache.end()) return *it->second;
+  auto ring = std::make_unique<Ring>();
+  ring->slots.reserve(ring_capacity_);
+  Ring* raw = ring.get();
+  {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings_.push_back(std::move(ring));
+  }
+  cache.emplace(id_, raw);
+  return *raw;
+}
+
+void EventLog::log(LogLevel level, std::string_view message, LogFields fields) {
+  if (static_cast<int>(level) < level_.load(std::memory_order_relaxed)) return;
+
+  LogEvent event;
+  event.level = level;
+  event.since_start = std::chrono::steady_clock::now() - start_;
+  event.sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  event.message = std::string(message);
+  event.fields = std::move(fields);
+
+  emit(event);
+
+  Ring& ring = thread_ring();
+  const std::lock_guard<std::mutex> lock(ring.mutex);
+  if (ring.slots.size() < ring_capacity_) {
+    ring.slots.push_back(std::move(event));
+  } else {
+    ring.slots[ring.next] = std::move(event);
+  }
+  ring.next = (ring.next + 1) % ring_capacity_;
+  ++ring.written;
+}
+
+void EventLog::emit(const LogEvent& event) {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (stderr_enabled_) {
+    // One preassembled write so concurrent threads never interleave lines.
+    std::cerr << to_human(event) + "\n";
+  }
+  if (jsonl_.is_open()) {
+    jsonl_ << to_jsonl(event) << '\n';
+    jsonl_.flush();
+  }
+}
+
+std::vector<LogEvent> EventLog::tail(std::size_t n) const {
+  std::vector<LogEvent> merged;
+  {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    for (const auto& ring : rings_) {
+      const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      merged.insert(merged.end(), ring->slots.begin(), ring->slots.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const LogEvent& a, const LogEvent& b) {
+              return a.sequence < b.sequence;
+            });
+  if (merged.size() > n) merged.erase(merged.begin(), merged.end() - n);
+  return merged;
+}
+
+}  // namespace stalecert::obs

@@ -1,0 +1,145 @@
+#include "stalecert/obs/request_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stalecert::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_micros(std::string& out, std::chrono::nanoseconds duration) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                static_cast<double>(duration.count()) / 1e3);
+  out += buf;
+}
+
+}  // namespace
+
+void RequestTrace::add_span(std::string_view name,
+                            std::chrono::nanoseconds duration) {
+  for (auto& [existing, total_duration] : spans) {
+    if (existing == name) {
+      total_duration += duration;
+      return;
+    }
+  }
+  spans.emplace_back(std::string(name), duration);
+}
+
+std::chrono::nanoseconds RequestTrace::span_sum() const {
+  std::chrono::nanoseconds sum{0};
+  for (const auto& [name, duration] : spans) sum += duration;
+  return sum;
+}
+
+std::string to_json(const RequestTrace& trace) {
+  std::string out = "{\"id\":" + std::to_string(trace.id);
+  out += ",\"endpoint\":";
+  append_json_string(out, trace.endpoint);
+  out += ",\"target\":";
+  append_json_string(out, trace.target);
+  out += ",\"status\":" + std::to_string(trace.status);
+  out += ",\"total_us\":";
+  append_micros(out, trace.total);
+  out += ",\"spans\":{";
+  bool first = true;
+  for (const auto& [name, duration] : trace.spans) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_micros(out, duration);
+  }
+  out += "}}";
+  return out;
+}
+
+SlowTraceRing::SlowTraceRing(std::size_t capacity, std::uint64_t recency_window)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      recency_window_(recency_window == 0 ? 1 : recency_window) {}
+
+void SlowTraceRing::evict_stale_locked(std::uint64_t now_sequence) {
+  traces_.erase(std::remove_if(traces_.begin(), traces_.end(),
+                               [&](const RequestTrace& t) {
+                                 return now_sequence - t.sequence >
+                                        recency_window_;
+                               }),
+                traces_.end());
+}
+
+void SlowTraceRing::refresh_floor_locked() {
+  floor_ns_.store(traces_.size() < capacity_ ? 0 : traces_.back().total.count(),
+                  std::memory_order_relaxed);
+}
+
+bool SlowTraceRing::offer(RequestTrace trace) {
+  const std::uint64_t sequence =
+      next_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace.sequence = sequence;
+
+  // Fast path: the ring is full of fresh, slower traces — no lock needed.
+  // floor_ns_ is 0 while the ring has room (or holds possibly-stale
+  // entries), which forces the locked path.
+  const std::int64_t floor = floor_ns_.load(std::memory_order_relaxed);
+  if (floor > 0 && trace.total.count() <= floor &&
+      sequence % (recency_window_ / 4 + 1) != 0) {
+    return false;
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  evict_stale_locked(sequence);
+  const bool admit =
+      traces_.size() < capacity_ || trace.total > traces_.back().total;
+  if (admit) {
+    const auto pos = std::upper_bound(
+        traces_.begin(), traces_.end(), trace,
+        [](const RequestTrace& a, const RequestTrace& b) {
+          return a.total > b.total;
+        });
+    traces_.insert(pos, std::move(trace));
+    if (traces_.size() > capacity_) traces_.pop_back();
+  }
+  refresh_floor_locked();
+  return admit;
+}
+
+void SlowTraceRing::add_late_span(std::uint64_t trace_id, std::string_view name,
+                                  std::chrono::nanoseconds duration) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (RequestTrace& trace : traces_) {
+    if (trace.id != trace_id) continue;
+    trace.add_span(name, duration);
+    trace.total += duration;
+    return;
+  }
+}
+
+std::vector<RequestTrace> SlowTraceRing::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return traces_;
+}
+
+}  // namespace stalecert::obs

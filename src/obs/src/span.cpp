@@ -7,10 +7,13 @@
 namespace stalecert::obs {
 
 std::size_t Trace::begin_span(std::string name) {
+  const auto now = std::chrono::steady_clock::now();
+  if (spans_.empty()) epoch_ = now;
   SpanRecord span;
   span.name = std::move(name);
   span.parent = stack_.empty() ? npos : stack_.back();
   span.depth = stack_.size();
+  span.start_offset = now - epoch_;
   spans_.push_back(std::move(span));
   stack_.push_back(spans_.size() - 1);
   return spans_.size() - 1;

@@ -1,0 +1,66 @@
+#include "stalecert/obs/trace_export.hpp"
+
+#include <cstdio>
+
+namespace stalecert::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_micros(std::string& out, std::chrono::nanoseconds duration) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                static_cast<double>(duration.count()) / 1e3);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Trace& trace) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : trace.spans()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":";
+    append_micros(out, span.start_offset);
+    out += ",\"dur\":";
+    append_micros(out, span.duration);
+    out += ",\"pid\":1,\"tid\":1,\"args\":{";
+    bool first_arg = true;
+    for (const auto& [name, value] : span.counters) {
+      if (!first_arg) out += ',';
+      first_arg = false;
+      append_json_string(out, name);
+      out += ':' + std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace stalecert::obs

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -26,6 +28,9 @@ struct HttpRequest {
   std::map<std::string, std::string> query; // decoded query parameters
   std::map<std::string, std::string> headers;  // lowercased field names
   std::string version;                      // "HTTP/1.1"
+  /// Wall-clock the server spent parsing this head (zero when the request
+  /// was constructed directly, e.g. in tests). Feeds the request trace.
+  std::chrono::nanoseconds parse_duration{0};
 
   /// Query parameter by name; nullopt when absent.
   [[nodiscard]] std::optional<std::string> param(const std::string& name) const;
@@ -38,6 +43,10 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Id of the request trace this response belongs to (0 = untraced). Set
+  /// by StaledService so the server's post-write hook can attribute the
+  /// socket write time back to the retained trace. Never serialized.
+  std::uint64_t trace_id = 0;
 };
 
 /// Percent-decodes a URL component ('+' is NOT treated as space — targets

@@ -25,6 +25,11 @@ namespace stalecert::query {
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  /// Optional post-write observability hook: invoked on the worker thread
+  /// after the response bytes went out, with the wall-clock the socket
+  /// write took. Must be thread-safe.
+  using RequestHook = std::function<void(
+      const HttpRequest&, const HttpResponse&, std::chrono::nanoseconds)>;
 
   struct Options {
     std::string bind_address = "127.0.0.1";
@@ -44,6 +49,10 @@ class HttpServer {
   /// Binds, listens, and spawns the worker pool. Throws QueryError when
   /// the address cannot be bound.
   void start();
+
+  /// Installs the post-write hook. Call before start(); the hook runs
+  /// concurrently on every worker thread.
+  void set_request_hook(RequestHook hook) { request_hook_ = std::move(hook); }
 
   /// The bound port (useful with Options::port == 0). Valid after start().
   [[nodiscard]] std::uint16_t port() const { return port_; }
@@ -66,6 +75,7 @@ class HttpServer {
 
   Options options_;
   Handler handler_;
+  RequestHook request_hook_;
   int listen_fd_ = -1;
   /// Live client connections; stop() shuts their read side down so workers
   /// parked in recv() between keep-alive requests wake with EOF.

@@ -1,12 +1,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "stalecert/obs/event_log.hpp"
 #include "stalecert/obs/metrics.hpp"
+#include "stalecert/obs/quantile.hpp"
+#include "stalecert/obs/request_trace.hpp"
+#include "stalecert/obs/window.hpp"
 #include "stalecert/query/http.hpp"
 #include "stalecert/query/index.hpp"
 
@@ -41,9 +47,29 @@ class SnapshotCell {
   std::atomic<std::uint64_t> generation_{0};
 };
 
+/// Tunables for the serving-path observability layer (obs v2).
+struct ServiceOptions {
+  /// Requests at least this slow emit a warn event with their span
+  /// breakdown (the slow-trace ring is independent: it always retains the
+  /// N slowest recent requests).
+  std::chrono::nanoseconds slow_threshold{std::chrono::milliseconds(1)};
+  std::size_t slow_trace_capacity = 16;
+  /// Availability SLO: target fraction of non-5xx responses.
+  double availability_slo = 0.999;
+  /// Latency SLO: `latency_slo_fraction` of requests must finish within
+  /// `latency_slo_seconds` (aligned with a latency bucket bound so burn
+  /// accounting is exact).
+  double latency_slo_seconds = 4e-3;
+  double latency_slo_fraction = 0.99;
+  /// Free-form build/version string surfaced on /statusz.
+  std::string build_info = "stalecert-staled/dev";
+};
+
 /// The staled request handler: routes the endpoint set over the current
-/// SnapshotCell snapshot and records per-endpoint request counters and
-/// latency histograms into its MetricsRegistry (served back at /metrics).
+/// SnapshotCell snapshot, and observes itself end to end — per-endpoint
+/// lifetime counters/histograms (served at /metrics), sliding 1m/5m
+/// windowed rates and latency quantiles, SLO burn-rate gauges, a ring of
+/// the slowest recent request traces, and a structured event log.
 ///
 /// Endpoints:
 ///   GET /v1/stale?domain=D&date=YYYY-MM-DD   point-in-time staleness
@@ -52,9 +78,10 @@ class SnapshotCell {
 ///   GET /v1/revocation?serial=<hex>          joined revocation status
 ///   GET /healthz                             liveness (503 until loaded)
 ///   GET /metrics                             Prometheus exposition
+///   GET /statusz[?format=html]               operational status (JSON/HTML)
 class StaledService {
  public:
-  explicit StaledService(std::string archive_path);
+  explicit StaledService(std::string archive_path, ServiceOptions options = {});
 
   /// Builds the initial snapshot from the archive. Throws (store/pipeline
   /// error taxonomy) when the archive is unusable.
@@ -69,28 +96,85 @@ class StaledService {
   /// Thread-safe request entry point (the HttpServer handler).
   [[nodiscard]] HttpResponse handle(const HttpRequest& request);
 
+  /// Post-write hook body: attributes the socket write time back to the
+  /// request's retained trace. Wire as
+  ///   server.set_request_hook([&](const auto&, const auto& resp, auto d) {
+  ///     service.on_response_written(resp, d); });
+  void on_response_written(const HttpResponse& response,
+                           std::chrono::nanoseconds write_duration);
+
   [[nodiscard]] std::shared_ptr<const StalenessIndex> snapshot() const {
     return cell_.get();
   }
   [[nodiscard]] std::uint64_t generation() const { return cell_.generation(); }
   [[nodiscard]] const std::string& archive_path() const { return archive_path_; }
   [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  /// The service's structured event log; configure sinks/level before
+  /// load() (staled wires --log-file / --log-level here).
+  [[nodiscard]] obs::EventLog& log() { return log_; }
+  [[nodiscard]] const obs::SlowTraceRing& slow_traces() const {
+    return slow_ring_;
+  }
+
+  /// Windowed latency summary / request rate for one endpoint (e.g.
+  /// "stale") over the trailing window, clamped to the 5m horizon.
+  [[nodiscard]] obs::QuantileSummary windowed_latency(
+      const std::string& endpoint, std::chrono::seconds window) const;
+  [[nodiscard]] double windowed_qps(const std::string& endpoint,
+                                    std::chrono::seconds window) const;
 
  private:
+  struct EndpointWindow {
+    EndpointWindow();
+    obs::WindowedCounter requests;
+    obs::WindowedCounter errors;  // 5xx responses
+    obs::WindowedCounter slow;    // over the latency SLO bound
+    obs::WindowedHistogram latency;
+  };
+
   HttpResponse dispatch(const HttpRequest& request, std::string* endpoint,
-                        const std::shared_ptr<const StalenessIndex>& index);
+                        const std::shared_ptr<const StalenessIndex>& index,
+                        obs::RequestTrace* trace);
   HttpResponse handle_stale(const HttpRequest& request,
-                            const StalenessIndex& index) const;
+                            const StalenessIndex& index,
+                            obs::RequestTrace* trace) const;
   HttpResponse handle_key(const std::string& spki_hex,
-                          const StalenessIndex& index) const;
+                          const StalenessIndex& index,
+                          obs::RequestTrace* trace) const;
   HttpResponse handle_summary(const HttpRequest& request,
-                              const StalenessIndex& index);
+                              const StalenessIndex& index,
+                              obs::RequestTrace* trace);
   HttpResponse handle_revocation(const HttpRequest& request,
-                                 const StalenessIndex& index) const;
+                                 const StalenessIndex& index,
+                                 obs::RequestTrace* trace) const;
+  HttpResponse handle_metrics(obs::RequestTrace* trace);
+  HttpResponse handle_statusz(const HttpRequest& request,
+                              const std::shared_ptr<const StalenessIndex>& index,
+                              obs::RequestTrace* trace);
+
+  /// Folds the sliding windows into registry gauges (qps, quantiles, SLO
+  /// burn rates) so /metrics exposes them; called at scrape time.
+  void export_window_gauges();
+  [[nodiscard]] std::string statusz_json(
+      const std::shared_ptr<const StalenessIndex>& index);
+  void finish_request(const HttpRequest& request, HttpResponse* response,
+                      obs::RequestTrace trace, const std::string& endpoint,
+                      std::chrono::nanoseconds elapsed);
 
   std::string archive_path_;
+  ServiceOptions options_;
   SnapshotCell cell_;
   obs::MetricsRegistry registry_;
+  obs::EventLog log_;
+  obs::SlowTraceRing slow_ring_;
+  std::atomic<std::uint64_t> next_trace_id_{0};
+  std::chrono::steady_clock::time_point started_;
+  /// steady-clock offset (ns since started_) of the last successful load;
+  /// -1 until the first one. Drives the /statusz snapshot age.
+  std::atomic<std::int64_t> last_load_offset_ns_{-1};
+  /// Fixed endpoint set, built in the constructor and never mutated, so
+  /// concurrent request threads read it lock-free.
+  std::map<std::string, EndpointWindow> windows_;
 };
 
 }  // namespace stalecert::query

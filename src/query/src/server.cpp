@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -140,7 +141,11 @@ void HttpServer::serve_connection(int client_fd) {
       break;
     }
 
-    const auto request = parse_request(buffer.substr(0, head_end + 4));
+    const auto parse_start = std::chrono::steady_clock::now();
+    auto request = parse_request(buffer.substr(0, head_end + 4));
+    if (request) {
+      request->parse_duration = std::chrono::steady_clock::now() - parse_start;
+    }
     buffer.erase(0, head_end + 4);
     if (!request) {
       send_all(client_fd,
@@ -163,11 +168,15 @@ void HttpServer::serve_connection(int client_fd) {
     requests_served_.fetch_add(1, std::memory_order_relaxed);
 
     keep_open = request->keep_alive();
-    if (!send_all(client_fd,
-                  serialize_response(response, keep_open,
-                                     request->method == "HEAD"))) {
-      break;
+    const auto write_start = std::chrono::steady_clock::now();
+    const bool sent =
+        send_all(client_fd, serialize_response(response, keep_open,
+                                               request->method == "HEAD"));
+    if (request_hook_) {
+      request_hook_(*request, response,
+                    std::chrono::steady_clock::now() - write_start);
     }
+    if (!sent) break;
   }
   untrack_and_close(client_fd);
 }

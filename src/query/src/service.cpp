@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 #include "stalecert/obs/exposition.hpp"
@@ -12,13 +13,40 @@ namespace stalecert::query {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 /// Latency buckets: 1µs .. 1s, roughly ×4 steps — point lookups sit at the
-/// bottom, archive-sized summaries near the middle.
+/// bottom, archive-sized summaries near the middle. The windowed histograms
+/// share these bounds so lifetime and windowed quantiles are comparable.
 std::vector<double> latency_bounds() {
   return {1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 0.25, 1.0};
 }
 
+/// The fixed endpoint label set; windows_ is keyed by exactly these.
+constexpr const char* kEndpoints[] = {"stale",   "key",     "summary",
+                                      "revocation", "healthz", "metrics",
+                                      "statusz", "other"};
+
+constexpr std::chrono::seconds kWindows[] = {std::chrono::seconds(60),
+                                             std::chrono::seconds(300)};
+
+const char* window_label(std::chrono::seconds window) {
+  return window == std::chrono::seconds(60) ? "1m" : "5m";
+}
+
 std::string date_json(util::Date d) { return "\"" + d.to_string() + "\""; }
+
+std::string format_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+std::string micros_fixed(std::chrono::nanoseconds d) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.1f", static_cast<double>(d.count()) / 1e3);
+  return buf;
+}
 
 HttpResponse bad_request(const std::string& detail) {
   return {400, "application/json",
@@ -45,18 +73,54 @@ void append_record_json(std::ostringstream& out, const StalenessIndex& index,
   out << "}";
 }
 
+/// Error-budget burn rate: observed bad fraction over the allowed bad
+/// fraction. 1.0 means burning budget exactly as fast as the SLO allows.
+double burn_rate(std::uint64_t bad, std::uint64_t total, double allowed) {
+  if (total == 0 || allowed <= 0.0) return 0.0;
+  return (static_cast<double>(bad) / static_cast<double>(total)) / allowed;
+}
+
+/// RAII span timer against a RequestTrace (null-safe).
+class TraceSpan {
+ public:
+  TraceSpan(obs::RequestTrace* trace, const char* name)
+      : trace_(trace), name_(name), start_(Clock::now()) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (trace_ != nullptr) trace_->add_span(name_, Clock::now() - start_);
+  }
+
+ private:
+  obs::RequestTrace* trace_;
+  const char* name_;
+  Clock::time_point start_;
+};
+
 }  // namespace
 
-StaledService::StaledService(std::string archive_path)
-    : archive_path_(std::move(archive_path)) {
+StaledService::EndpointWindow::EndpointWindow()
+    : requests(std::chrono::seconds(300), std::chrono::seconds(5)),
+      errors(std::chrono::seconds(300), std::chrono::seconds(5)),
+      slow(std::chrono::seconds(300), std::chrono::seconds(5)),
+      latency(latency_bounds(), std::chrono::seconds(300),
+              std::chrono::seconds(5)) {}
+
+StaledService::StaledService(std::string archive_path, ServiceOptions options)
+    : archive_path_(std::move(archive_path)),
+      options_(std::move(options)),
+      slow_ring_(options_.slow_trace_capacity),
+      started_(Clock::now()) {
   // Pre-register the reload counters so /metrics shows them at zero.
   registry_.counter("stalecert_staled_reloads_total", {{"result", "ok"}},
                     "Successful snapshot reloads");
   registry_.counter("stalecert_staled_reloads_total", {{"result", "error"}},
                     "Failed snapshot reloads (previous snapshot kept)");
+  for (const char* endpoint : kEndpoints) windows_.try_emplace(endpoint);
 }
 
 void StaledService::load() {
+  const auto build_start = Clock::now();
   auto index = StalenessIndex::from_archive(archive_path_);
   registry_
       .gauge("stalecert_staled_index_stale_records", {},
@@ -66,86 +130,177 @@ void StaledService::load() {
       .gauge("stalecert_staled_index_certificates", {},
              "Corpus certificates in the serving snapshot")
       .set(static_cast<double>(index->stats().certificates));
+  const std::uint64_t certificates = index->stats().certificates;
+  const std::uint64_t stale_records = index->stats().stale_records;
   cell_.set(std::move(index));
   registry_
       .gauge("stalecert_staled_index_generation", {},
              "Monotonic serving snapshot generation")
       .set(static_cast<double>(cell_.generation()));
+  const auto now = Clock::now();
+  last_load_offset_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - started_)
+          .count(),
+      std::memory_order_relaxed);
+  log_.info("snapshot loaded",
+            {{"archive", archive_path_},
+             {"generation", std::to_string(cell_.generation())},
+             {"certificates", std::to_string(certificates)},
+             {"stale_records", std::to_string(stale_records)},
+             {"build_ms",
+              std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 now - build_start)
+                                 .count())}});
 }
 
 bool StaledService::reload() {
+  const auto start = Clock::now();
   try {
     load();
     registry_.counter("stalecert_staled_reloads_total", {{"result", "ok"}}).inc();
+    log_.info("reload ok",
+              {{"generation", std::to_string(cell_.generation())},
+               {"rebuild_ms",
+                std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   Clock::now() - start)
+                                   .count())}});
     return true;
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     registry_.counter("stalecert_staled_reloads_total", {{"result", "error"}})
         .inc();
+    log_.error("reload failed, previous snapshot kept",
+               {{"archive", archive_path_}, {"error", e.what()}});
     return false;
   }
 }
 
 HttpResponse StaledService::handle(const HttpRequest& request) {
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
+  obs::RequestTrace trace;
+  trace.id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace.target = request.target.empty() ? request.path : request.target;
+  if (request.parse_duration.count() > 0) {
+    trace.add_span("parse", request.parse_duration);
+  }
+
   std::string endpoint = "other";
   const auto index = cell_.get();
-  const HttpResponse response = dispatch(request, &endpoint, index);
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
+  HttpResponse response = dispatch(request, &endpoint, index, &trace);
+  response.trace_id = trace.id;
+
+  finish_request(request, &response, std::move(trace), endpoint,
+                 Clock::now() - start);
+  return response;
+}
+
+void StaledService::finish_request(const HttpRequest& request,
+                                   HttpResponse* response,
+                                   obs::RequestTrace trace,
+                                   const std::string& endpoint,
+                                   std::chrono::nanoseconds elapsed) {
+  trace.endpoint = endpoint;
+  trace.status = response->status;
+  trace.total = elapsed + request.parse_duration;
+
+  const double seconds = std::chrono::duration<double>(trace.total).count();
 
   registry_
       .counter("stalecert_staled_requests_total",
                {{"endpoint", endpoint},
-                {"code", std::to_string(response.status)}},
+                {"code", std::to_string(response->status)}},
                "Requests served by endpoint and status code")
       .inc();
   registry_
       .histogram("stalecert_staled_request_duration_seconds", latency_bounds(),
                  {{"endpoint", endpoint}}, "Request latency by endpoint")
-      .observe(elapsed.count());
-  return response;
+      .observe(seconds);
+
+  EndpointWindow& window = windows_.at(endpoint);
+  const auto now = Clock::now();
+  window.requests.add(1, now);
+  if (response->status >= 500) window.errors.add(1, now);
+  if (seconds > options_.latency_slo_seconds) window.slow.add(1, now);
+  window.latency.observe(seconds, now);
+
+  if (trace.total >= options_.slow_threshold) {
+    obs::LogFields fields = {{"endpoint", endpoint},
+                             {"target", trace.target},
+                             {"status", std::to_string(trace.status)},
+                             {"trace_id", std::to_string(trace.id)},
+                             {"total_us", micros_fixed(trace.total)}};
+    for (const auto& [name, duration] : trace.spans) {
+      fields.emplace_back(std::string(name) + "_us", micros_fixed(duration));
+    }
+    log_.warn("slow request", std::move(fields));
+  }
+  slow_ring_.offer(std::move(trace));
+}
+
+void StaledService::on_response_written(const HttpResponse& response,
+                                        std::chrono::nanoseconds write_duration) {
+  if (response.trace_id != 0) {
+    slow_ring_.add_late_span(response.trace_id, "write", write_duration);
+  }
+  registry_
+      .histogram("stalecert_staled_response_write_seconds", latency_bounds(), {},
+                 "Socket write time per response")
+      .observe(std::chrono::duration<double>(write_duration).count());
 }
 
 HttpResponse StaledService::dispatch(
     const HttpRequest& request, std::string* endpoint,
-    const std::shared_ptr<const StalenessIndex>& index) {
+    const std::shared_ptr<const StalenessIndex>& index,
+    obs::RequestTrace* trace) {
+  const auto route_start = Clock::now();
   const std::string& path = request.path;
+  const auto routed = [&](const char* name) {
+    *endpoint = name;
+    trace->add_span("route", Clock::now() - route_start);
+  };
 
   if (path == "/healthz") {
-    *endpoint = "healthz";
+    routed("healthz");
+    const TraceSpan serialize(trace, "serialize");
     if (index == nullptr) return {503, "text/plain", "loading\n"};
     return {200, "text/plain", "ok\n"};
   }
   if (path == "/metrics") {
-    *endpoint = "metrics";
-    return {200, "text/plain; version=0.0.4",
-            obs::to_prometheus(registry_.snapshot())};
+    routed("metrics");
+    return handle_metrics(trace);
+  }
+  if (path == "/statusz") {
+    routed("statusz");
+    return handle_statusz(request, index, trace);
   }
 
   if (index == nullptr) {
+    trace->add_span("route", Clock::now() - route_start);
     return {503, "application/json", "{\"error\":\"index not loaded\"}\n"};
   }
   if (path == "/v1/stale") {
-    *endpoint = "stale";
-    return handle_stale(request, *index);
+    routed("stale");
+    return handle_stale(request, *index, trace);
   }
   if (util::starts_with(path, "/v1/key/")) {
-    *endpoint = "key";
-    return handle_key(path.substr(std::string("/v1/key/").size()), *index);
+    routed("key");
+    return handle_key(path.substr(std::string("/v1/key/").size()), *index,
+                      trace);
   }
   if (path == "/v1/summary") {
-    *endpoint = "summary";
-    return handle_summary(request, *index);
+    routed("summary");
+    return handle_summary(request, *index, trace);
   }
   if (path == "/v1/revocation") {
-    *endpoint = "revocation";
-    return handle_revocation(request, *index);
+    routed("revocation");
+    return handle_revocation(request, *index, trace);
   }
+  trace->add_span("route", Clock::now() - route_start);
   return {404, "application/json", "{\"error\":\"no such endpoint\"}\n"};
 }
 
 HttpResponse StaledService::handle_stale(const HttpRequest& request,
-                                         const StalenessIndex& index) const {
+                                         const StalenessIndex& index,
+                                         obs::RequestTrace* trace) const {
   const auto domain = request.param("domain");
   const auto date_text = request.param("date");
   if (!domain || domain->empty()) return bad_request("missing domain parameter");
@@ -157,7 +312,11 @@ HttpResponse StaledService::handle_stale(const HttpRequest& request,
     return bad_request("bad date (want YYYY-MM-DD): " + *date_text);
   }
 
+  const auto lookup_start = Clock::now();
   const auto matches = index.stale_records_for(*domain, date);
+  trace->add_span("lookup", Clock::now() - lookup_start);
+
+  const TraceSpan serialize(trace, "serialize");
   std::ostringstream out;
   out << "{\"domain\":\"" << json_escape(normalize_domain(*domain))
       << "\",\"date\":" << date_json(date) << ",\"stale\":"
@@ -171,9 +330,14 @@ HttpResponse StaledService::handle_stale(const HttpRequest& request,
 }
 
 HttpResponse StaledService::handle_key(const std::string& spki_hex,
-                                       const StalenessIndex& index) const {
+                                       const StalenessIndex& index,
+                                       obs::RequestTrace* trace) const {
   if (spki_hex.empty()) return bad_request("missing SPKI fingerprint");
+  const auto lookup_start = Clock::now();
   const auto certs = index.certs_for_key(spki_hex);
+  trace->add_span("lookup", Clock::now() - lookup_start);
+
+  const TraceSpan serialize(trace, "serialize");
   std::ostringstream out;
   out << "{\"spki\":\"" << json_escape(util::to_lower(spki_hex))
       << "\",\"certificates\":[";
@@ -196,10 +360,15 @@ HttpResponse StaledService::handle_key(const std::string& spki_hex,
 }
 
 HttpResponse StaledService::handle_summary(const HttpRequest& request,
-                                           const StalenessIndex& index) {
+                                           const StalenessIndex& index,
+                                           obs::RequestTrace* trace) {
   std::ostringstream out;
   if (const auto domain = request.param("domain"); domain && !domain->empty()) {
+    const auto lookup_start = Clock::now();
     const DomainSummary summary = index.stale_summary(*domain);
+    trace->add_span("lookup", Clock::now() - lookup_start);
+
+    const TraceSpan serialize(trace, "serialize");
     out << "{\"domain\":\"" << json_escape(summary.domain)
         << "\",\"certificates\":" << summary.certificates
         << ",\"stale_total\":" << summary.stale_total() << ",\"by_class\":{";
@@ -220,6 +389,7 @@ HttpResponse StaledService::handle_summary(const HttpRequest& request,
     return {200, "application/json", out.str()};
   }
 
+  const TraceSpan serialize(trace, "serialize");
   const auto& stats = index.stats();
   const auto& meta = index.meta();
   out << "{\"profile\":\"" << json_escape(meta.profile)
@@ -255,10 +425,15 @@ HttpResponse StaledService::handle_summary(const HttpRequest& request,
 }
 
 HttpResponse StaledService::handle_revocation(const HttpRequest& request,
-                                              const StalenessIndex& index) const {
+                                              const StalenessIndex& index,
+                                              obs::RequestTrace* trace) const {
   const auto serial = request.param("serial");
   if (!serial || serial->empty()) return bad_request("missing serial parameter");
+  const auto lookup_start = Clock::now();
   const auto status = index.revocation_status(*serial);
+  trace->add_span("lookup", Clock::now() - lookup_start);
+
+  const TraceSpan serialize(trace, "serialize");
   std::ostringstream out;
   out << "{\"serial\":\"" << json_escape(util::to_lower(*serial)) << "\"";
   if (status) {
@@ -273,6 +448,205 @@ HttpResponse StaledService::handle_revocation(const HttpRequest& request,
   }
   out << "}\n";
   return {200, "application/json", out.str()};
+}
+
+HttpResponse StaledService::handle_metrics(obs::RequestTrace* trace) {
+  const TraceSpan serialize(trace, "serialize");
+  export_window_gauges();
+  return {200, "text/plain; version=0.0.4",
+          obs::to_prometheus(registry_.snapshot())};
+}
+
+void StaledService::export_window_gauges() {
+  const auto now = Clock::now();
+  for (const auto window : kWindows) {
+    const char* label = window_label(window);
+    std::uint64_t total = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t slow = 0;
+    for (const auto& [endpoint, ew] : windows_) {
+      const std::uint64_t requests = ew.requests.sum(window, now);
+      total += requests;
+      errors += ew.errors.sum(window, now);
+      slow += ew.slow.sum(window, now);
+      registry_
+          .gauge("stalecert_staled_window_qps",
+                 {{"endpoint", endpoint}, {"window", label}},
+                 "Requests per second over the trailing window")
+          .set(ew.requests.rate_per_second(window, now));
+      const auto sample = ew.latency.snapshot(window, now);
+      const auto summary = obs::summarize_histogram(sample);
+      registry_
+          .gauge("stalecert_staled_window_latency_seconds",
+                 {{"endpoint", endpoint}, {"window", label}, {"quantile", "0.5"}},
+                 "Windowed request latency quantile")
+          .set(summary.p50);
+      registry_
+          .gauge(
+              "stalecert_staled_window_latency_seconds",
+              {{"endpoint", endpoint}, {"window", label}, {"quantile", "0.99"}},
+              "Windowed request latency quantile")
+          .set(summary.p99);
+    }
+    registry_
+        .gauge("stalecert_staled_slo_burn_rate",
+               {{"slo", "availability"}, {"window", label}},
+               "Error-budget burn rate (1.0 = burning exactly at the SLO)")
+        .set(burn_rate(errors, total, 1.0 - options_.availability_slo));
+    registry_
+        .gauge("stalecert_staled_slo_burn_rate",
+               {{"slo", "latency"}, {"window", label}},
+               "Error-budget burn rate (1.0 = burning exactly at the SLO)")
+        .set(burn_rate(slow, total, 1.0 - options_.latency_slo_fraction));
+  }
+}
+
+std::string StaledService::statusz_json(
+    const std::shared_ptr<const StalenessIndex>& index) {
+  const auto now = Clock::now();
+  const double uptime = std::chrono::duration<double>(now - started_).count();
+
+  std::ostringstream out;
+  out << "{\"build\":\"" << json_escape(options_.build_info)
+      << "\",\"uptime_seconds\":" << format_double(uptime);
+
+  out << ",\"snapshot\":{\"loaded\":" << (index != nullptr ? "true" : "false")
+      << ",\"generation\":" << cell_.generation() << ",\"archive\":\""
+      << json_escape(archive_path_) << "\"";
+  const std::int64_t load_offset =
+      last_load_offset_ns_.load(std::memory_order_relaxed);
+  if (load_offset >= 0) {
+    const double age =
+        std::chrono::duration<double>(now - started_).count() -
+        static_cast<double>(load_offset) / 1e9;
+    out << ",\"age_seconds\":" << format_double(std::max(age, 0.0));
+  }
+  if (index != nullptr) {
+    out << ",\"certificates\":" << index->stats().certificates
+        << ",\"stale_records\":" << index->stats().stale_records;
+  }
+  out << "}";
+
+  out << ",\"windows\":{";
+  bool first_endpoint = true;
+  for (const auto& [endpoint, window] : windows_) {
+    if (!first_endpoint) out << ",";
+    first_endpoint = false;
+    out << "\"" << endpoint << "\":{";
+    bool first_window = true;
+    for (const auto span : kWindows) {
+      if (!first_window) out << ",";
+      first_window = false;
+      const auto summary = obs::summarize_histogram(window.latency.snapshot(span, now));
+      out << "\"" << window_label(span) << "\":{\"requests\":"
+          << window.requests.sum(span, now) << ",\"qps\":"
+          << format_double(window.requests.rate_per_second(span, now))
+          << ",\"p50_us\":" << format_double(summary.p50 * 1e6)
+          << ",\"p90_us\":" << format_double(summary.p90 * 1e6)
+          << ",\"p99_us\":" << format_double(summary.p99 * 1e6) << "}";
+    }
+    out << "}";
+  }
+  out << "}";
+
+  out << ",\"slo\":{";
+  for (std::size_t i = 0; i < 2; ++i) {
+    const bool availability = i == 0;
+    out << (i > 0 ? "," : "") << "\""
+        << (availability ? "availability" : "latency") << "\":{";
+    if (availability) {
+      out << "\"target\":" << format_double(options_.availability_slo);
+    } else {
+      out << "\"target_seconds\":" << format_double(options_.latency_slo_seconds)
+          << ",\"fraction\":" << format_double(options_.latency_slo_fraction);
+    }
+    for (const auto span : kWindows) {
+      std::uint64_t total = 0;
+      std::uint64_t bad = 0;
+      for (const auto& [endpoint, window] : windows_) {
+        total += window.requests.sum(span, now);
+        bad += availability ? window.errors.sum(span, now)
+                            : window.slow.sum(span, now);
+      }
+      const double allowed = availability ? 1.0 - options_.availability_slo
+                                          : 1.0 - options_.latency_slo_fraction;
+      out << ",\"burn_rate_" << window_label(span)
+          << "\":" << format_double(burn_rate(bad, total, allowed));
+    }
+    out << "}";
+  }
+  out << "}";
+
+  out << ",\"slow_traces\":[";
+  const auto traces = slow_ring_.snapshot();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) out << ",";
+    out << obs::to_json(traces[i]);
+  }
+  out << "]";
+
+  out << ",\"events\":[";
+  const auto events = log_.tail(32);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out << ",";
+    out << obs::to_jsonl(events[i]);
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+HttpResponse StaledService::handle_statusz(
+    const HttpRequest& request,
+    const std::shared_ptr<const StalenessIndex>& index,
+    obs::RequestTrace* trace) {
+  const TraceSpan serialize(trace, "serialize");
+  const auto format = request.param("format");
+  if (!format || *format != "html") {
+    return {200, "application/json", statusz_json(index)};
+  }
+
+  const auto now = Clock::now();
+  std::ostringstream out;
+  out << "<!DOCTYPE html><html><head><title>staled /statusz</title></head>"
+         "<body><h1>staled</h1><p>"
+      << json_escape(options_.build_info) << " &middot; uptime "
+      << format_double(std::chrono::duration<double>(now - started_).count())
+      << "s &middot; snapshot generation " << cell_.generation() << "</p>"
+      << "<h2>windows (last 1m)</h2><pre>";
+  for (const auto& [endpoint, window] : windows_) {
+    const auto span = std::chrono::seconds(60);
+    const auto summary = obs::summarize_histogram(window.latency.snapshot(span, now));
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%-11s %8.1f qps  p50 %9.1fus  p99 %9.1fus\n",
+                  endpoint.c_str(), window.requests.rate_per_second(span, now),
+                  summary.p50 * 1e6, summary.p99 * 1e6);
+    out << line;
+  }
+  out << "</pre><h2>slowest recent requests</h2><pre>";
+  for (const auto& slow_trace : slow_ring_.snapshot()) {
+    out << json_escape(obs::to_json(slow_trace)) << "\n";
+  }
+  out << "</pre><h2>recent events</h2><pre>";
+  for (const auto& event : log_.tail(32)) {
+    out << json_escape(obs::to_human(event)) << "\n";
+  }
+  out << "</pre></body></html>\n";
+  return {200, "text/html; charset=utf-8", out.str()};
+}
+
+obs::QuantileSummary StaledService::windowed_latency(
+    const std::string& endpoint, std::chrono::seconds window) const {
+  const auto it = windows_.find(endpoint);
+  if (it == windows_.end()) return {};
+  return obs::summarize_histogram(it->second.latency.snapshot(window));
+}
+
+double StaledService::windowed_qps(const std::string& endpoint,
+                                   std::chrono::seconds window) const {
+  const auto it = windows_.find(endpoint);
+  if (it == windows_.end()) return 0.0;
+  return it->second.requests.rate_per_second(window);
 }
 
 }  // namespace stalecert::query

@@ -1,0 +1,81 @@
+#include "stalecert/query/staled_options.hpp"
+
+#include <cstdlib>
+
+namespace stalecert::query {
+
+namespace {
+
+StaledOptionsResult fail(std::string message) {
+  return {std::nullopt, std::move(message)};
+}
+
+bool parse_unsigned(const std::string& text, unsigned long* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string staled_usage_line() {
+  return "staled [--port N] [--bind ADDR] [--threads N]"
+         " [--log-file PATH] [--log-level debug|info|warn|error]"
+         " <archive.scw>";
+}
+
+StaledOptionsResult parse_staled_options(const std::vector<std::string>& args,
+                                         const char* env_log_level) {
+  StaledOptions options;
+  options.server.port = 8080;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--port" || arg == "--bind" || arg == "--threads" ||
+        arg == "--log-file" || arg == "--log-level") {
+      if (i + 1 >= args.size()) return fail(arg + " requires an argument");
+      const std::string& value = args[++i];
+      if (arg == "--port") {
+        unsigned long port = 0;
+        if (!parse_unsigned(value, &port) || port > 65535) {
+          return fail("bad --port value: " + value);
+        }
+        options.server.port = static_cast<std::uint16_t>(port);
+      } else if (arg == "--bind") {
+        options.server.bind_address = value;
+      } else if (arg == "--threads") {
+        unsigned long threads = 0;
+        if (!parse_unsigned(value, &threads) || threads == 0 ||
+            threads > 1024) {
+          return fail("bad --threads value: " + value);
+        }
+        options.server.threads = static_cast<unsigned>(threads);
+      } else if (arg == "--log-file") {
+        options.log_file = value;
+      } else {
+        const auto level = obs::parse_log_level(value);
+        if (!level) return fail("bad --log-level value: " + value);
+        options.log_level = *level;
+        options.log_level_from_flag = true;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return fail("unknown flag " + arg);
+    } else if (options.archive_path.empty()) {
+      options.archive_path = arg;
+    } else {
+      return fail("multiple archive paths given");
+    }
+  }
+  if (options.archive_path.empty()) return fail("missing archive path");
+
+  if (!options.log_level_from_flag) {
+    options.log_level =
+        obs::log_level_from_env(env_log_level, obs::LogLevel::kInfo);
+  }
+  return {std::move(options), ""};
+}
+
+}  // namespace stalecert::query

@@ -1,0 +1,130 @@
+#include "stalecert/obs/request_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stalecert::obs {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::nanoseconds;
+
+RequestTrace make_trace(std::uint64_t id, nanoseconds total,
+                        const std::string& endpoint = "stale") {
+  RequestTrace trace;
+  trace.id = id;
+  trace.endpoint = endpoint;
+  trace.target = "/v1/" + endpoint;
+  trace.status = 200;
+  trace.total = total;
+  return trace;
+}
+
+TEST(RequestTraceTest, AddSpanMergesRepeats) {
+  RequestTrace trace;
+  trace.add_span("lookup", microseconds(10));
+  trace.add_span("serialize", microseconds(5));
+  trace.add_span("lookup", microseconds(3));
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[0].first, "lookup");
+  EXPECT_EQ(trace.spans[0].second, microseconds(13));
+  EXPECT_EQ(trace.span_sum(), microseconds(18));
+}
+
+TEST(RequestTraceTest, JsonHasSpanBreakdown) {
+  RequestTrace trace = make_trace(42, microseconds(1500));
+  trace.add_span("parse", microseconds(100));
+  trace.add_span("lookup", microseconds(1200));
+  const std::string json = to_json(trace);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"endpoint\":\"stale\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":200"), std::string::npos);
+  EXPECT_NE(json.find("\"total_us\":1500"), std::string::npos);
+  EXPECT_NE(json.find("\"parse\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"lookup\":1200"), std::string::npos);
+}
+
+TEST(SlowTraceRingTest, RetainsSlowestWhenFull) {
+  SlowTraceRing ring(3);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    ring.offer(make_trace(i, microseconds(i * 100)));
+  }
+  const auto kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].id, 10u);
+  EXPECT_EQ(kept[1].id, 9u);
+  EXPECT_EQ(kept[2].id, 8u);
+}
+
+TEST(SlowTraceRingTest, FastRequestRejectedOnceFull) {
+  SlowTraceRing ring(2);
+  EXPECT_TRUE(ring.offer(make_trace(1, microseconds(500))));
+  EXPECT_TRUE(ring.offer(make_trace(2, microseconds(400))));
+  EXPECT_FALSE(ring.offer(make_trace(3, microseconds(100))));
+  EXPECT_TRUE(ring.offer(make_trace(4, microseconds(600))));
+  const auto kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].id, 4u);
+  EXPECT_EQ(kept[1].id, 1u);
+}
+
+TEST(SlowTraceRingTest, AddLateSpanExtendsRetainedTrace) {
+  SlowTraceRing ring(2);
+  ring.offer(make_trace(7, microseconds(500)));
+  ring.add_late_span(7, "write", microseconds(50));
+  const auto kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].total, microseconds(550));
+  ASSERT_EQ(kept[0].spans.size(), 1u);
+  EXPECT_EQ(kept[0].spans[0].first, "write");
+  // Unknown id: silently ignored.
+  ring.add_late_span(999, "write", microseconds(1));
+}
+
+TEST(SlowTraceRingTest, StaleEntriesEvictedByRecency) {
+  // Tiny recency window: after 8 admissions an old trace must be gone even
+  // though nothing slower ever arrived.
+  SlowTraceRing ring(2, 8);
+  ring.offer(make_trace(1, std::chrono::seconds(10)));  // ancient outlier
+  for (std::uint64_t i = 2; i <= 40; ++i) {
+    ring.offer(make_trace(i, microseconds(10)));
+  }
+  const auto kept = ring.snapshot();
+  for (const auto& trace : kept) EXPECT_NE(trace.id, 1u);
+}
+
+TEST(SlowTraceRingTest, OfferedCountsEveryRequest) {
+  SlowTraceRing ring(1);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ring.offer(make_trace(i + 1, microseconds(10)));
+  }
+  EXPECT_EQ(ring.offered(), 5u);
+}
+
+// TSan-targeted: many threads offering while a reader snapshots.
+TEST(SlowTraceRingConcurrencyTest, ConcurrentOffers) {
+  SlowTraceRing ring(8);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        ring.offer(make_trace(static_cast<std::uint64_t>(t) * 10000 + i,
+                              nanoseconds((i % 100) * 1000)));
+      }
+    });
+  }
+  std::thread reader([&ring] {
+    for (int i = 0; i < 100; ++i) (void)ring.snapshot();
+  });
+  for (auto& worker : workers) worker.join();
+  reader.join();
+  EXPECT_EQ(ring.offered(), 8u * 1000u);
+  EXPECT_LE(ring.snapshot().size(), 8u);
+}
+
+}  // namespace
+}  // namespace stalecert::obs

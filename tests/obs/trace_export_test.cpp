@@ -1,0 +1,59 @@
+#include "stalecert/obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "stalecert/obs/span.hpp"
+
+namespace stalecert::obs {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(ChromeTraceTest, EmptyTrace) {
+  Trace trace;
+  EXPECT_EQ(to_chrome_trace(trace),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(ChromeTraceTest, CompleteEventsWithCounters) {
+  Trace trace;
+  trace.begin_span("pipeline");
+  trace.count("certificates", 120);
+  trace.begin_span("collect");
+  trace.end_span(milliseconds(10));
+  trace.end_span(milliseconds(30));
+
+  const std::string json = to_chrome_trace(trace);
+  EXPECT_NE(json.find("\"name\":\"pipeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"collect\""), std::string::npos);
+  // Complete ("X") events with microsecond durations.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":30000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":10000.000"), std::string::npos);
+  // Counters ride along in args.
+  EXPECT_NE(json.find("\"certificates\":120"), std::string::npos);
+  // Valid top-level envelope for chrome://tracing / Perfetto.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, SpanStartOffsetsAreOnSharedTimeline) {
+  Trace trace;
+  trace.begin_span("first");
+  trace.end_span(milliseconds(1));
+  trace.begin_span("second");
+  trace.end_span(milliseconds(1));
+
+  const auto& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // The first span anchors the timeline at zero; later spans start after it.
+  EXPECT_EQ(spans[0].start_offset.count(), 0);
+  EXPECT_GE(spans[1].start_offset.count(), 0);
+  EXPECT_NE(to_chrome_trace(trace).find("\"ts\":0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stalecert::obs

@@ -1,0 +1,85 @@
+#include "stalecert/query/staled_options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stalecert::query {
+namespace {
+
+using obs::LogLevel;
+
+TEST(StaledOptionsTest, DefaultsWithArchiveOnly) {
+  const auto result = parse_staled_options({"world.scw"}, nullptr);
+  ASSERT_TRUE(result.ok());
+  const auto& options = *result.options;
+  EXPECT_EQ(options.archive_path, "world.scw");
+  EXPECT_EQ(options.server.port, 8080);
+  EXPECT_EQ(options.server.bind_address, "127.0.0.1");
+  EXPECT_EQ(options.server.threads, 4u);
+  EXPECT_TRUE(options.log_file.empty());
+  EXPECT_EQ(options.log_level, LogLevel::kInfo);
+  EXPECT_FALSE(options.log_level_from_flag);
+}
+
+TEST(StaledOptionsTest, ParsesServerFlags) {
+  const auto result = parse_staled_options(
+      {"--port", "0", "--bind", "0.0.0.0", "--threads", "8", "w.scw"}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.options->server.port, 0);
+  EXPECT_EQ(result.options->server.bind_address, "0.0.0.0");
+  EXPECT_EQ(result.options->server.threads, 8u);
+}
+
+TEST(StaledOptionsTest, ParsesLogFlags) {
+  const auto result = parse_staled_options(
+      {"--log-file", "/tmp/staled.jsonl", "--log-level", "debug", "w.scw"},
+      nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.options->log_file, "/tmp/staled.jsonl");
+  EXPECT_EQ(result.options->log_level, LogLevel::kDebug);
+  EXPECT_TRUE(result.options->log_level_from_flag);
+}
+
+TEST(StaledOptionsTest, LogLevelIsCaseInsensitive) {
+  const auto result =
+      parse_staled_options({"--log-level", "WARN", "w.scw"}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.options->log_level, LogLevel::kWarn);
+}
+
+TEST(StaledOptionsTest, EnvFallbackAppliesWhenNoFlag) {
+  const auto result = parse_staled_options({"w.scw"}, "error");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.options->log_level, LogLevel::kError);
+  EXPECT_FALSE(result.options->log_level_from_flag);
+}
+
+TEST(StaledOptionsTest, FlagBeatsEnv) {
+  const auto result =
+      parse_staled_options({"--log-level", "debug", "w.scw"}, "error");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.options->log_level, LogLevel::kDebug);
+}
+
+TEST(StaledOptionsTest, BadEnvFallsBackToInfo) {
+  const auto result = parse_staled_options({"w.scw"}, "shouty");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.options->log_level, LogLevel::kInfo);
+}
+
+TEST(StaledOptionsTest, RejectsBadInput) {
+  EXPECT_FALSE(parse_staled_options({}, nullptr).ok());
+  EXPECT_FALSE(parse_staled_options({"--port"}, nullptr).ok());
+  EXPECT_FALSE(parse_staled_options({"--port", "banana", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(parse_staled_options({"--port", "70000", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(parse_staled_options({"--threads", "0", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(
+      parse_staled_options({"--log-level", "loud", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(parse_staled_options({"--wat", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(parse_staled_options({"a.scw", "b.scw"}, nullptr).ok());
+  const auto result = parse_staled_options({"--log-level", "loud", "w.scw"},
+                                           nullptr);
+  EXPECT_FALSE(result.error.empty());
+}
+
+}  // namespace
+}  // namespace stalecert::query

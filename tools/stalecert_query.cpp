@@ -4,7 +4,7 @@
 //   $ ./stalecert_query key <spki-hex>
 //   $ ./stalecert_query summary [--domain D]
 //   $ ./stalecert_query revocation --serial <hex>
-//   $ ./stalecert_query healthz | metrics | get <raw-target>
+//   $ ./stalecert_query healthz | metrics | statusz | get <raw-target>
 //
 // Prints the response body to stdout and the HTTP status to stderr.
 // Exit codes: 0 on HTTP 200, 1 on any other status, 2 on usage errors,
@@ -31,6 +31,7 @@ int usage(const std::string& detail) {
          "  revocation --serial <hex>            joined revocation status\n"
          "  healthz                              daemon liveness\n"
          "  metrics                              Prometheus metrics\n"
+         "  statusz [--format html]              operational status page\n"
          "  get <target>                         raw GET (e.g. /v1/summary)\n";
   if (!detail.empty()) std::cerr << detail << '\n';
   return 2;
@@ -111,6 +112,9 @@ int main(int argc, char** argv) {
     target = "/healthz";
   } else if (command == "metrics") {
     target = "/metrics";
+  } else if (command == "statusz") {
+    target = "/statusz";
+    if (named.count("format") != 0) target += "?format=" + encode(named["format"]);
   } else if (command == "get") {
     if (positional.size() != 1) return usage("get requires one target argument");
     target = positional[0];

@@ -2,11 +2,17 @@
 // the measurement pipeline once, indexes the result (query::StalenessIndex)
 // and serves point lookups over a minimal HTTP/1.1 subset:
 //
-//   $ ./staled [--port N] [--bind ADDR] [--threads N] <archive.scw>
+//   $ ./staled [--port N] [--bind ADDR] [--threads N] \
+//              [--log-file PATH] [--log-level LEVEL] <archive.scw>
 //   staled: listening on 127.0.0.1:8080 (...)
 //
 // Endpoints: /v1/stale?domain=&date=, /v1/key/<spki>, /v1/summary[?domain=],
-// /v1/revocation?serial=, /healthz, /metrics (Prometheus).
+// /v1/revocation?serial=, /healthz, /metrics (Prometheus), /statusz
+// (JSON or ?format=html operational status).
+//
+// Diagnostics go through the service's obs::EventLog: human-readable on
+// stderr, optionally mirrored as JSONL with --log-file. --log-level (or the
+// STALECERT_LOG_LEVEL environment variable) filters severity.
 //
 // SIGHUP hot-reloads the archive: the replacement index is built off the
 // serving path and swapped in atomically; on failure the old snapshot keeps
@@ -17,9 +23,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "stalecert/query/server.hpp"
 #include "stalecert/query/service.hpp"
+#include "stalecert/query/staled_options.hpp"
 #include "stalecert/store/errors.hpp"
 
 using namespace stalecert;
@@ -27,37 +35,17 @@ using namespace stalecert;
 namespace {
 
 int usage(const std::string& detail) {
-  std::cerr << "usage: staled [--port N] [--bind ADDR] [--threads N]"
-               " <archive.scw>\n";
+  std::cerr << "usage: " << query::staled_usage_line() << '\n';
   if (!detail.empty()) std::cerr << detail << '\n';
   return 2;
 }
 
 int run(int argc, char** argv) {
-  query::HttpServer::Options options;
-  options.port = 8080;
-  std::string archive_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--port" || arg == "--bind" || arg == "--threads") {
-      if (i + 1 >= argc) return usage(arg + " requires an argument");
-      const std::string value = argv[++i];
-      if (arg == "--port") {
-        options.port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
-      } else if (arg == "--bind") {
-        options.bind_address = value;
-      } else {
-        options.threads = static_cast<unsigned>(std::atoi(value.c_str()));
-      }
-    } else if (!arg.empty() && arg[0] == '-') {
-      return usage("unknown flag " + arg);
-    } else if (archive_path.empty()) {
-      archive_path = arg;
-    } else {
-      return usage("multiple archive paths given");
-    }
-  }
-  if (archive_path.empty()) return usage("missing archive path");
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const auto parsed =
+      query::parse_staled_options(args, std::getenv("STALECERT_LOG_LEVEL"));
+  if (!parsed.ok()) return usage(parsed.error);
+  const query::StaledOptions& options = *parsed.options;
 
   // Block the control signals before any thread exists so the worker pool
   // inherits the mask and sigwait() below is the only consumer.
@@ -68,41 +56,58 @@ int run(int argc, char** argv) {
   sigaddset(&signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
-  query::StaledService service(archive_path);
+  query::ServiceOptions service_options;
+  service_options.build_info = "stalecert-staled/1 (obs v2)";
+  query::StaledService service(options.archive_path, service_options);
+  service.log().set_level(options.log_level);
+  if (!options.log_file.empty() && !service.log().open_jsonl(options.log_file)) {
+    std::cerr << "staled: cannot open --log-file " << options.log_file << '\n';
+    return 2;
+  }
   service.load();
-  const auto snapshot = service.snapshot();
-  std::cerr << "staled: indexed " << snapshot->stats().certificates
-            << " certificates, " << snapshot->stats().stale_records
-            << " stale records from " << archive_path << '\n';
 
-  query::HttpServer server(options, [&service](const query::HttpRequest& r) {
-    return service.handle(r);
+  query::HttpServer server(options.server,
+                           [&service](const query::HttpRequest& r) {
+                             return service.handle(r);
+                           });
+  server.set_request_hook([&service](const query::HttpRequest&,
+                                     const query::HttpResponse& response,
+                                     std::chrono::nanoseconds write_duration) {
+    service.on_response_written(response, write_duration);
   });
   server.start();
-  std::cout << "staled: listening on " << options.bind_address << ":"
-            << server.port() << " (" << (options.threads == 0 ? 1u : options.threads)
-            << " workers)" << std::endl;
+  // Kept on stdout, and in exactly this shape: scripts (CI smoke, local
+  // tooling) discover an ephemeral --port 0 by parsing this line.
+  const unsigned workers =
+      options.server.threads == 0 ? 1u : options.server.threads;
+  std::cout << "staled: listening on " << options.server.bind_address << ":"
+            << server.port() << " (" << workers << " workers)" << std::endl;
+  service.log().info("listening",
+                     {{"bind", options.server.bind_address},
+                      {"port", std::to_string(server.port())},
+                      {"workers", std::to_string(workers)}});
 
   for (;;) {
     int signal = 0;
     if (sigwait(&signals, &signal) != 0) continue;
     if (signal == SIGHUP) {
-      std::cerr << "staled: SIGHUP — reloading " << archive_path << '\n';
-      if (service.reload()) {
-        std::cerr << "staled: snapshot generation " << service.generation()
-                  << " serving\n";
-      } else {
-        std::cerr << "staled: reload failed, previous snapshot kept\n";
-      }
+      service.log().info("SIGHUP received, reloading",
+                         {{"archive", options.archive_path}});
+      service.reload();  // outcome (ok/failed) is logged by the service
       continue;
     }
-    std::cerr << "staled: signal " << signal << " — draining\n";
+    service.log().info("signal received, draining",
+                       {{"signal", std::to_string(signal)}});
     break;
   }
 
   server.stop();
-  std::cerr << "staled: drained after " << server.requests_served()
-            << " requests, bye\n";
+  // The "drained after" phrasing is part of the smoke-test contract.
+  service.log().info(
+      "drained after " + std::to_string(server.requests_served()) +
+          " requests, bye",
+      {{"slow_traces_retained",
+        std::to_string(service.slow_traces().snapshot().size())}});
   return 0;
 }
 

@@ -2,19 +2,26 @@
 // full_survey --save-world) and run the full measurement pipeline over it —
 // the analyze side of generate-once / analyze-many.
 //
-//   $ ./world_analyze [--in-memory] [--metrics-json <path|->] <archive.scw>
+//   $ ./world_analyze [--in-memory] [--metrics-json <path|->]
+//                     [--trace-json <path>] <archive.scw>
 //
 // The printed report is deterministic. --in-memory ignores the archived
 // datasets and regenerates the world from the archive's stored profile +
 // seed instead; because archives are faithful, the two modes print
 // byte-identical reports (CI diffs them). --metrics-json writes the
 // observability snapshot (store_load + pipeline stages) as JSON.
+// --trace-json writes the stage tree in Chrome trace-event format — load it
+// in chrome://tracing or https://ui.perfetto.dev to see the pipeline
+// timeline. Diagnostics go through obs::EventLog (human-readable stderr).
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "stalecert/core/pipeline.hpp"
+#include "stalecert/obs/event_log.hpp"
 #include "stalecert/obs/observer.hpp"
+#include "stalecert/obs/trace_export.hpp"
 #include "stalecert/sim/world.hpp"
 #include "stalecert/store/archive.hpp"
 #include "stalecert/store/errors.hpp"
@@ -27,7 +34,7 @@ namespace {
 
 int usage(const std::string& detail) {
   std::cerr << "usage: world_analyze [--in-memory] [--metrics-json <path|->]"
-               " <archive.scw>\n";
+               " [--trace-json <path>] <archive.scw>\n";
   if (!detail.empty()) std::cerr << detail << '\n';
   return 2;
 }
@@ -76,14 +83,16 @@ void print_report(const store::ArchiveMeta& meta,
 int run(int argc, char** argv) {
   bool in_memory = false;
   std::string metrics_json_path;
+  std::string trace_json_path;
   std::string archive_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--in-memory") {
       in_memory = true;
-    } else if (arg == "--metrics-json") {
+    } else if (arg == "--metrics-json" || arg == "--trace-json") {
       if (i + 1 >= argc) return usage(arg + " requires a path argument");
-      metrics_json_path = argv[++i];
+      (arg == "--metrics-json" ? metrics_json_path : trace_json_path) =
+          argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage("unknown flag " + arg);
     } else if (archive_path.empty()) {
@@ -94,12 +103,21 @@ int run(int argc, char** argv) {
   }
   if (archive_path.empty()) return usage("missing archive path");
 
+  obs::EventLog log;
+  log.set_level(obs::log_level_from_env(std::getenv("STALECERT_LOG_LEVEL"),
+                                        obs::LogLevel::kWarn));
+
   obs::MetricsPipelineObserver telemetry;
-  obs::PipelineObserver* observer =
-      metrics_json_path.empty() ? nullptr : &telemetry;
+  const bool want_telemetry =
+      !metrics_json_path.empty() || !trace_json_path.empty();
+  obs::PipelineObserver* observer = want_telemetry ? &telemetry : nullptr;
 
   store::ArchiveReader reader(archive_path, observer);
   const store::ArchiveMeta& meta = reader.meta();
+  log.info("archive opened",
+           {{"archive", archive_path},
+            {"profile", meta.profile},
+            {"seed", std::to_string(meta.seed)}});
 
   core::PipelineConfig pipeline_config;
   pipeline_config.revocation_cutoff = meta.revocation_cutoff;
@@ -117,9 +135,9 @@ int run(int argc, char** argv) {
     } else if (meta.profile == "default") {
       config = sim::WorldConfig{};
     } else {
-      std::cerr << "archive profile \"" << meta.profile
-                << "\" names no known recipe; --in-memory needs small or "
-                   "default\n";
+      log.error("archive profile names no known recipe; --in-memory needs "
+                "small or default",
+                {{"profile", meta.profile}});
       return 1;
     }
     config.seed = meta.seed;
@@ -144,11 +162,22 @@ int run(int argc, char** argv) {
     } else {
       std::ofstream out(metrics_json_path);
       if (!out) {
-        std::cerr << "cannot write metrics JSON to " << metrics_json_path << '\n';
+        log.error("cannot write metrics JSON", {{"path", metrics_json_path}});
         return 1;
       }
       out << telemetry.report_json() << '\n';
     }
+  }
+  if (!trace_json_path.empty()) {
+    std::ofstream out(trace_json_path);
+    if (!out) {
+      log.error("cannot write trace JSON", {{"path", trace_json_path}});
+      return 1;
+    }
+    out << obs::to_chrome_trace(telemetry.trace()) << '\n';
+    log.info("wrote Chrome trace (open in chrome://tracing or Perfetto)",
+             {{"path", trace_json_path},
+              {"spans", std::to_string(telemetry.trace().spans().size())}});
   }
   return 0;
 }

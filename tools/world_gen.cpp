@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "stalecert/obs/event_log.hpp"
 #include "stalecert/obs/observer.hpp"
 #include "stalecert/sim/world.hpp"
 #include "stalecert/store/archive.hpp"
@@ -57,13 +58,18 @@ int run(int argc, char** argv) {
   }
   if (output_path.empty()) return usage("missing output path");
 
+  obs::EventLog log;
+  log.set_level(obs::log_level_from_env(std::getenv("STALECERT_LOG_LEVEL"),
+                                        obs::LogLevel::kWarn));
+
   sim::WorldConfig config;
   if (profile == "small") {
     config = sim::small_test_config();
   } else if (profile == "default") {
     config = sim::WorldConfig{};
   } else {
-    std::cerr << "unknown profile " << profile << " (want small or default)\n";
+    log.error("unknown profile (want small or default)",
+              {{"profile", profile}});
     return 2;
   }
   if (seed) config.seed = *seed;
@@ -93,7 +99,7 @@ int run(int argc, char** argv) {
     } else {
       std::ofstream out(metrics_json_path);
       if (!out) {
-        std::cerr << "cannot write metrics JSON to " << metrics_json_path << '\n';
+        log.error("cannot write metrics JSON", {{"path", metrics_json_path}});
         return 1;
       }
       out << telemetry.report_json() << '\n';
