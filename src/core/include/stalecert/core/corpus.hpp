@@ -16,6 +16,12 @@ class CertificateCorpus {
  public:
   CertificateCorpus() = default;
   explicit CertificateCorpus(std::vector<x509::Certificate> certificates);
+  /// Extension build: copies `base` (certificates AND both inverted
+  /// indexes) and appends `appended`, indexing only the new range. The
+  /// result is identical to rebuilding from the concatenated certificate
+  /// list — the incremental-ingest path (stalecert::feed) relies on that.
+  CertificateCorpus(const CertificateCorpus& base,
+                    std::vector<x509::Certificate> appended);
 
   [[nodiscard]] std::size_t size() const { return certificates_.size(); }
   [[nodiscard]] const std::vector<x509::Certificate>& certificates() const {
@@ -44,6 +50,9 @@ class CertificateCorpus {
   [[nodiscard]] OverlapStats overlap_stats(const std::string& e2ld) const;
 
  private:
+  /// Indexes certificates_[first..) into both inverted indexes.
+  void index_range(std::size_t first);
+
   std::vector<x509::Certificate> certificates_;
   std::unordered_map<std::string, std::vector<std::size_t>> e2ld_index_;
   std::unordered_map<std::string, std::vector<std::size_t>> fqdn_index_;

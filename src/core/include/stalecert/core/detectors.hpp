@@ -31,6 +31,10 @@ struct StaleCertificate {
   [[nodiscard]] std::int64_t staleness_days() const { return staleness.days(); }
 };
 
+/// First e2LD found among a certificate's names (the attribution label
+/// every detector stamps into trigger_domain for revocation-class records).
+std::string primary_e2ld(const x509::Certificate& cert);
+
 /// ---------- Key compromise via revocation (§4.1 / §5.1) ----------
 
 struct RevocationAnalysisResult {
@@ -49,6 +53,26 @@ RevocationAnalysisResult analyze_revocations(
     const CertificateCorpus& corpus, const revocation::RevocationStore& store,
     const revocation::JoinFilters& filters,
     obs::PipelineObserver* observer = nullptr);
+
+/// Why one (certificate, revocation observation) pair did or did not
+/// produce a stale record — the single source of truth shared by the
+/// full-corpus join above and the incremental join in stalecert::feed.
+enum class RevocationJoinOutcome : std::uint8_t {
+  kKept,
+  kBeforeValid,   // revoked before notBefore (outlier filter)
+  kAfterExpiry,   // revoked at/after notAfter (nothing left to be stale)
+  kBeforeCutoff,  // earlier than the study's min_revocation_date
+};
+
+RevocationJoinOutcome classify_revocation_match(
+    const x509::Certificate& cert,
+    const revocation::RevocationStore::Observation& observation,
+    const revocation::JoinFilters& filters);
+
+/// The kKeyCompromise-class record for a kept match.
+StaleCertificate make_revoked_stale(
+    std::size_t corpus_index, const x509::Certificate& cert,
+    const revocation::RevocationStore::Observation& observation);
 
 /// ---------- Domain registrant change (§4.2 / §5.2) ----------
 
@@ -71,6 +95,15 @@ std::vector<StaleCertificate> detect_registrant_change(
     const RegistrantChangeOptions& options = {},
     obs::PipelineObserver* observer = nullptr);
 
+/// The §4.2 window predicate: notBefore < creationDate < notAfter (strict).
+bool registrant_change_hits(const x509::Certificate& cert,
+                            util::Date creation_date);
+
+/// The kRegistrantChange-class record for a hit.
+StaleCertificate make_registrant_stale(std::size_t corpus_index,
+                                       const whois::NewRegistration& event,
+                                       const x509::Certificate& cert);
+
 /// ---------- Managed TLS departure (§4.3 / §5.3) ----------
 
 struct ManagedTlsOptions {
@@ -92,6 +125,31 @@ struct DepartureEvent {
 /// present one day and absent the next.
 std::vector<DepartureEvent> detect_departures(const dns::SnapshotStore& snapshots,
                                               const ManagedTlsOptions& options);
+
+/// Departures between ONE consecutive snapshot pair — the unit
+/// detect_departures loops over, exposed so stalecert::feed can diff a
+/// delta day against the last archived day without holding both stores.
+std::vector<DepartureEvent> departures_between(const dns::DailySnapshot& prev,
+                                               const dns::DailySnapshot& curr,
+                                               const ManagedTlsOptions& options);
+
+/// Why one (certificate, departure event) pair did or did not produce a
+/// stale record. The stateful (cert, domain) dedup stays with the caller.
+enum class DepartureJoinOutcome : std::uint8_t {
+  kKept,
+  kExpired,       // not valid on the departure date
+  kNameMismatch,  // certificate does not cover the departed FQDN
+  kUnmanaged,     // no provider SAN marker: not a managed certificate
+};
+
+DepartureJoinOutcome classify_departure_match(const x509::Certificate& cert,
+                                              const DepartureEvent& event,
+                                              const ManagedTlsOptions& options);
+
+/// The kManagedTlsDeparture-class record for a kept match.
+StaleCertificate make_departure_stale(std::size_t corpus_index,
+                                      const DepartureEvent& event,
+                                      const x509::Certificate& cert);
 
 /// Joins departure events against the corpus: managed certificates
 /// (matching the SAN pattern) covering the departed domain and valid on

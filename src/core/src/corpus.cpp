@@ -14,7 +14,22 @@ std::string strip_wildcard(const std::string& name) {
 
 CertificateCorpus::CertificateCorpus(std::vector<x509::Certificate> certificates)
     : certificates_(std::move(certificates)) {
-  for (std::size_t i = 0; i < certificates_.size(); ++i) {
+  index_range(0);
+}
+
+CertificateCorpus::CertificateCorpus(const CertificateCorpus& base,
+                                     std::vector<x509::Certificate> appended)
+    : certificates_(base.certificates_),
+      e2ld_index_(base.e2ld_index_),
+      fqdn_index_(base.fqdn_index_) {
+  const std::size_t first = certificates_.size();
+  certificates_.reserve(first + appended.size());
+  for (auto& cert : appended) certificates_.push_back(std::move(cert));
+  index_range(first);
+}
+
+void CertificateCorpus::index_range(std::size_t first) {
+  for (std::size_t i = first; i < certificates_.size(); ++i) {
     std::vector<std::string> seen_e2lds;
     for (const auto& raw : certificates_[i].dns_names()) {
       const std::string name = strip_wildcard(raw);

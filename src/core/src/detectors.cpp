@@ -9,9 +9,7 @@
 #include "stalecert/util/strings.hpp"
 
 namespace stalecert::core {
-namespace {
 
-/// First e2LD found among a certificate's names (attribution label).
 std::string primary_e2ld(const x509::Certificate& cert) {
   for (const auto& name : cert.dns_names()) {
     if (const auto e2 = dns::e2ld(strip_wildcard(name))) return *e2;
@@ -19,7 +17,36 @@ std::string primary_e2ld(const x509::Certificate& cert) {
   return cert.dns_names().empty() ? std::string{} : cert.dns_names().front();
 }
 
-}  // namespace
+RevocationJoinOutcome classify_revocation_match(
+    const x509::Certificate& cert,
+    const revocation::RevocationStore::Observation& observation,
+    const revocation::JoinFilters& filters) {
+  if (observation.revocation_date < cert.not_before()) {
+    return RevocationJoinOutcome::kBeforeValid;
+  }
+  if (observation.revocation_date >= cert.not_after()) {
+    return RevocationJoinOutcome::kAfterExpiry;
+  }
+  if (filters.min_revocation_date &&
+      observation.revocation_date < *filters.min_revocation_date) {
+    return RevocationJoinOutcome::kBeforeCutoff;
+  }
+  return RevocationJoinOutcome::kKept;
+}
+
+StaleCertificate make_revoked_stale(
+    std::size_t corpus_index, const x509::Certificate& cert,
+    const revocation::RevocationStore::Observation& observation) {
+  StaleCertificate stale;
+  stale.corpus_index = corpus_index;
+  stale.cls = StaleClass::kKeyCompromise;
+  stale.event_date = observation.revocation_date;
+  stale.staleness =
+      util::DateInterval{observation.revocation_date, cert.not_after()};
+  stale.trigger_domain = primary_e2ld(cert);
+  stale.reason = observation.reason;
+  return stale;
+}
 
 RevocationAnalysisResult analyze_revocations(
     const CertificateCorpus& corpus, const revocation::RevocationStore& store,
@@ -38,28 +65,22 @@ RevocationAnalysisResult analyze_revocations(
         store.lookup(issuer_serial->authority_key_id, issuer_serial->serial);
     if (!obs) continue;
     ++stats.matched;
-    if (obs->revocation_date < cert.not_before()) {
-      ++stats.dropped_before_valid;
-      continue;
-    }
-    if (obs->revocation_date >= cert.not_after()) {
-      ++stats.dropped_after_expiry;
-      continue;
-    }
-    if (filters.min_revocation_date &&
-        obs->revocation_date < *filters.min_revocation_date) {
-      ++stats.dropped_before_cutoff;
-      continue;
+    switch (classify_revocation_match(cert, *obs, filters)) {
+      case RevocationJoinOutcome::kBeforeValid:
+        ++stats.dropped_before_valid;
+        continue;
+      case RevocationJoinOutcome::kAfterExpiry:
+        ++stats.dropped_after_expiry;
+        continue;
+      case RevocationJoinOutcome::kBeforeCutoff:
+        ++stats.dropped_before_cutoff;
+        continue;
+      case RevocationJoinOutcome::kKept:
+        break;
     }
     ++stats.kept;
 
-    StaleCertificate stale;
-    stale.corpus_index = i;
-    stale.cls = StaleClass::kKeyCompromise;
-    stale.event_date = obs->revocation_date;
-    stale.staleness = util::DateInterval{obs->revocation_date, cert.not_after()};
-    stale.trigger_domain = primary_e2ld(cert);
-    stale.reason = obs->reason;
+    StaleCertificate stale = make_revoked_stale(i, cert, *obs);
     if (obs->reason == revocation::ReasonCode::kKeyCompromise) {
       result.key_compromise.push_back(stale);
     }
@@ -80,6 +101,25 @@ RevocationAnalysisResult analyze_revocations(
   return result;
 }
 
+bool registrant_change_hits(const x509::Certificate& cert,
+                            util::Date creation_date) {
+  // notBefore < creationDate < notAfter (strict, per §4.2).
+  return cert.not_before() < creation_date && creation_date < cert.not_after();
+}
+
+StaleCertificate make_registrant_stale(std::size_t corpus_index,
+                                       const whois::NewRegistration& event,
+                                       const x509::Certificate& cert) {
+  StaleCertificate stale;
+  stale.corpus_index = corpus_index;
+  stale.cls = StaleClass::kRegistrantChange;
+  stale.event_date = event.creation_date;
+  stale.staleness =
+      util::DateInterval{event.creation_date, cert.not_after()};
+  stale.trigger_domain = event.domain;
+  return stale;
+}
+
 std::vector<StaleCertificate> detect_registrant_change(
     const CertificateCorpus& corpus,
     const std::vector<whois::NewRegistration>& registrations,
@@ -97,19 +137,11 @@ std::vector<StaleCertificate> detect_registrant_change(
     for (const std::size_t index : corpus.by_e2ld(event.domain)) {
       const auto& cert = corpus.at(index);
       ++candidate_certs;
-      // notBefore < creationDate < notAfter (strict, per §4.2).
-      if (!(cert.not_before() < event.creation_date &&
-            event.creation_date < cert.not_after())) {
+      if (!registrant_change_hits(cert, event.creation_date)) {
         ++rejected_outside_validity;
         continue;
       }
-      StaleCertificate stale;
-      stale.corpus_index = index;
-      stale.cls = StaleClass::kRegistrantChange;
-      stale.event_date = event.creation_date;
-      stale.staleness = util::DateInterval{event.creation_date, cert.not_after()};
-      stale.trigger_domain = event.domain;
-      out.push_back(std::move(stale));
+      out.push_back(make_registrant_stale(index, event, cert));
     }
   }
   if (scope.enabled()) {
@@ -124,8 +156,9 @@ std::vector<StaleCertificate> detect_registrant_change(
   return out;
 }
 
-std::vector<DepartureEvent> detect_departures(const dns::SnapshotStore& snapshots,
-                                              const ManagedTlsOptions& options) {
+std::vector<DepartureEvent> departures_between(const dns::DailySnapshot& prev,
+                                               const dns::DailySnapshot& curr,
+                                               const ManagedTlsOptions& options) {
   std::vector<DepartureEvent> events;
   auto delegated = [&](const dns::DomainRecords& records) {
     return std::any_of(options.delegation_patterns.begin(),
@@ -134,17 +167,50 @@ std::vector<DepartureEvent> detect_departures(const dns::SnapshotStore& snapshot
                          return records.delegates_to(pattern);
                        });
   };
-  for (std::size_t day = 1; day < snapshots.days(); ++day) {
-    const auto& prev = snapshots.day(day - 1);
-    const auto& curr = snapshots.day(day);
-    for (const auto& [domain, prev_records] : prev.records) {
-      if (!delegated(prev_records)) continue;
-      const dns::DomainRecords* curr_records = curr.find(domain);
-      if (curr_records && delegated(*curr_records)) continue;
-      events.push_back({domain, curr.date});
-    }
+  for (const auto& [domain, prev_records] : prev.records) {
+    if (!delegated(prev_records)) continue;
+    const dns::DomainRecords* curr_records = curr.find(domain);
+    if (curr_records && delegated(*curr_records)) continue;
+    events.push_back({domain, curr.date});
   }
   return events;
+}
+
+std::vector<DepartureEvent> detect_departures(const dns::SnapshotStore& snapshots,
+                                              const ManagedTlsOptions& options) {
+  std::vector<DepartureEvent> events;
+  for (std::size_t day = 1; day < snapshots.days(); ++day) {
+    auto pair_events =
+        departures_between(snapshots.day(day - 1), snapshots.day(day), options);
+    events.insert(events.end(), pair_events.begin(), pair_events.end());
+  }
+  return events;
+}
+
+DepartureJoinOutcome classify_departure_match(const x509::Certificate& cert,
+                                              const DepartureEvent& event,
+                                              const ManagedTlsOptions& options) {
+  if (!cert.valid_at(event.date)) return DepartureJoinOutcome::kExpired;
+  if (!cert.matches_domain(event.domain)) {
+    return DepartureJoinOutcome::kNameMismatch;
+  }
+  const auto names = cert.dns_names();
+  const bool managed = std::any_of(names.begin(), names.end(), [&](const auto& n) {
+    return util::wildcard_match(options.managed_san_pattern, n);
+  });
+  return managed ? DepartureJoinOutcome::kKept : DepartureJoinOutcome::kUnmanaged;
+}
+
+StaleCertificate make_departure_stale(std::size_t corpus_index,
+                                      const DepartureEvent& event,
+                                      const x509::Certificate& cert) {
+  StaleCertificate stale;
+  stale.corpus_index = corpus_index;
+  stale.cls = StaleClass::kManagedTlsDeparture;
+  stale.event_date = event.date;
+  stale.staleness = util::DateInterval{event.date, cert.not_after()};
+  stale.trigger_domain = dns::e2ld(event.domain).value_or(event.domain);
+  return stale;
 }
 
 std::vector<StaleCertificate> detect_managed_tls_departure(
@@ -166,35 +232,24 @@ std::vector<StaleCertificate> detect_managed_tls_departure(
     for (const std::size_t index : corpus.by_e2ld(e2.value_or(event.domain))) {
       const auto& cert = corpus.at(index);
       ++candidate_certs;
-      if (!cert.valid_at(event.date)) {
-        ++rejected_expired;
-        continue;
-      }
-      if (!cert.matches_domain(event.domain)) {
-        ++rejected_name_mismatch;
-        continue;
-      }
-      // Managed certificate check: the provider's SAN marker is present.
-      const auto names = cert.dns_names();
-      const bool managed = std::any_of(names.begin(), names.end(), [&](const auto& n) {
-        return util::wildcard_match(options.managed_san_pattern, n);
-      });
-      if (!managed) {
-        ++rejected_unmanaged;
-        continue;
+      switch (classify_departure_match(cert, event, options)) {
+        case DepartureJoinOutcome::kExpired:
+          ++rejected_expired;
+          continue;
+        case DepartureJoinOutcome::kNameMismatch:
+          ++rejected_name_mismatch;
+          continue;
+        case DepartureJoinOutcome::kUnmanaged:
+          ++rejected_unmanaged;
+          continue;
+        case DepartureJoinOutcome::kKept:
+          break;
       }
       if (!reported.insert({index, event.domain}).second) {
         ++rejected_duplicate;
         continue;
       }
-
-      StaleCertificate stale;
-      stale.corpus_index = index;
-      stale.cls = StaleClass::kManagedTlsDeparture;
-      stale.event_date = event.date;
-      stale.staleness = util::DateInterval{event.date, cert.not_after()};
-      stale.trigger_domain = e2.value_or(event.domain);
-      out.push_back(std::move(stale));
+      out.push_back(make_departure_stale(index, event, cert));
     }
   }
   if (scope.enabled()) {

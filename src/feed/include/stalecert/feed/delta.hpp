@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stalecert/ct/log.hpp"
+#include "stalecert/dns/scan.hpp"
+#include "stalecert/feed/format.hpp"
+#include "stalecert/revocation/collector.hpp"
+#include "stalecert/sim/world.hpp"
+#include "stalecert/whois/database.hpp"
+
+namespace stalecert::obs {
+class PipelineObserver;
+}
+
+namespace stalecert::feed {
+
+/// New entries appended to one CT log during the delta window. Entry
+/// indices are base-relative: entry i lands at log index
+/// base_entry_count + i, and apply refuses the delta when the live log's
+/// length is not exactly base_entry_count (sequence error).
+struct CtLogDelta {
+  std::uint64_t log_id = 0;
+  std::uint64_t base_entry_count = 0;
+  std::vector<ct::LogEntry> entries;
+};
+
+/// One decoded .scwd delta: everything the world gained over the covered
+/// days, self-contained (DNS diffs in the file chain from empty state, and
+/// the decoder hands back fully materialized snapshots).
+struct WorldDelta {
+  DeltaMeta meta;
+  std::vector<CtLogDelta> ct;
+  /// Newly observed revocations: (AKI, serial) keys absent from the base
+  /// store. Re-observations of base revocations are never emitted (the
+  /// store keeps the earliest observation; nothing would change).
+  std::vector<revocation::RevocationStore::Entry> revocations;
+  /// New WHOIS registration events, first sightings included (the same
+  /// stream shape the base archive stores).
+  std::vector<whois::NewRegistration> registrations;
+  /// One materialized snapshot per newly scanned day, date-ascending.
+  std::vector<dns::DailySnapshot> adns;
+  /// CUMULATIVE simulator ground truth as of to_day (replaces, not adds).
+  sim::World::Stats stats;
+
+  [[nodiscard]] std::uint64_t ct_entry_count() const {
+    std::uint64_t n = 0;
+    for (const auto& log : ct) n += log.entries.size();
+    return n;
+  }
+};
+
+/// Encodes a delta into .scwd bytes (same framing as .scw: magic, version,
+/// then id + varint length + payload + CRC32 per segment).
+std::vector<std::uint8_t> write_delta_bytes(const WorldDelta& delta);
+
+/// Encodes and writes one .scwd file. Returns bytes written. Reports under
+/// the obs stage name "feed_delta_save" when `observer` is non-null.
+std::uint64_t write_delta(const WorldDelta& delta, const std::string& path,
+                          obs::PipelineObserver* observer = nullptr);
+
+/// Decodes .scwd bytes. Container problems throw the store error taxonomy
+/// (ArchiveTruncatedError / ArchiveCorruptError / ArchiveVersionError);
+/// semantic problems (from_day > to_day, unsorted DNS days) throw
+/// ArchiveCorruptError too — the bytes cannot have come from a writer.
+WorldDelta read_delta_bytes(std::span<const std::uint8_t> data);
+
+/// Reads and decodes one .scwd file (deltas are small: the whole file is
+/// slurped, unlike the streaming .scw reader). Reports under the obs stage
+/// name "feed_delta_load" when `observer` is non-null.
+WorldDelta read_delta(const std::string& path,
+                      obs::PipelineObserver* observer = nullptr);
+
+}  // namespace stalecert::feed

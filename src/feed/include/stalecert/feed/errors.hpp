@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "stalecert/util/error.hpp"
+
+namespace stalecert::feed {
+
+/// Base class for every incremental-ingest failure that is about delta
+/// SEMANTICS rather than container bytes. Byte-level problems (truncation,
+/// CRC mismatch, bad magic, future version) reuse the store error taxonomy
+/// (store::ArchiveTruncatedError & co), so one catch handles "bad file"
+/// across both archive kinds; these errors mean "valid file, wrong world".
+class FeedError : public Error {
+ public:
+  explicit FeedError(const std::string& what) : Error("feed: " + what) {}
+};
+
+/// The delta was produced for a different base world: base_world_id (the
+/// fingerprint of the base archive's recipe) does not match, or the delta
+/// references a CT log the base world does not have.
+class DeltaMismatchError : public FeedError {
+ public:
+  explicit DeltaMismatchError(const std::string& what)
+      : FeedError("mismatch: " + what) {}
+};
+
+/// The delta is for the right world but the wrong position in the
+/// sequence: already applied (double-apply / out-of-order), a day gap
+/// since the current horizon, or a per-log entry count that does not line
+/// up with the log's current length.
+class DeltaSequenceError : public FeedError {
+ public:
+  explicit DeltaSequenceError(const std::string& what)
+      : FeedError("sequence: " + what) {}
+};
+
+}  // namespace stalecert::feed

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stalecert/feed/delta.hpp"
+#include "stalecert/sim/config.hpp"
+#include "stalecert/store/format.hpp"
+
+namespace stalecert::obs {
+class PipelineObserver;
+}
+
+namespace stalecert::feed {
+
+/// Resolves a named WorldConfig recipe ("small", "default") with the given
+/// seed; nullopt for unknown names (incl. "custom" — not regenerable).
+std::optional<sim::WorldConfig> config_for_profile(const std::string& profile,
+                                                   std::uint64_t seed);
+
+/// Advances the simulated world described by `base_meta` past its horizon
+/// and captures what each slice added as one WorldDelta. The world is
+/// regenerated from the profile + seed (so base_meta.profile must name a
+/// known recipe — FeedError otherwise), run to base_meta.end, then extended
+/// `days` further in `slice_days` chunks (the last slice may be shorter).
+/// Determinism of World::extend makes this reproducible: generating
+/// 7 one-day deltas and one 7-day delta yields worlds with identical data.
+/// Throws DeltaMismatchError when the regenerated world's posture does not
+/// match base_meta (the archive was not produced by this recipe).
+/// A non-null observer receives per-slice record counts under the obs
+/// stage name "feed_extend".
+std::vector<WorldDelta> extend_world(const store::ArchiveMeta& base_meta,
+                                     std::int64_t days,
+                                     std::int64_t slice_days = 1,
+                                     obs::PipelineObserver* observer = nullptr);
+
+/// Conventional file name for a delta: "delta-<from>-<to>.scwd" with ISO
+/// dates, so a lexicographic directory sort IS sequence order.
+std::string delta_file_name(const DeltaMeta& meta);
+
+}  // namespace stalecert::feed

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "stalecert/store/format.hpp"
+#include "stalecert/util/date.hpp"
+
+namespace stalecert::feed {
+
+/// First 8 bytes of every .scwd delta file.
+inline constexpr std::array<std::uint8_t, 8> kDeltaMagic = {'S', 'C', 'W', 'D',
+                                                            'E', 'L', 'T', 0};
+
+/// Delta format version, bumped on ANY byte-level change (the versioning
+/// policy is the store's, restated in src/feed/README.md). Readers refuse
+/// versions they do not speak.
+inline constexpr std::uint32_t kDeltaFormatVersion = 1;
+
+/// Segment identifiers, mirroring the .scw layout: one segment per Table-3
+/// dataset plus meta and the string table. Ids are stable forever; new
+/// segment kinds get new ids and readers skip ids they do not know.
+enum class DeltaSegmentId : std::uint8_t {
+  kMeta = 1,         // base binding + covered day range
+  kStrings = 2,      // interned string table
+  kCtLogs = 3,       // per-log appended entries
+  kRevocations = 4,  // newly observed revocations
+  kWhois = 5,        // new registration events
+  kDns = 6,          // daily snapshot diffs for the covered days
+  kStats = 7,        // cumulative simulator counters at to_day
+};
+
+std::string to_string(DeltaSegmentId id);
+
+/// Binding and coverage of one delta: which base world it extends and the
+/// inclusive day range it appends. A delta applies cleanly only when
+/// base_world_id matches the live world's lineage id and from_day is
+/// exactly one past the current horizon.
+struct DeltaMeta {
+  /// world_id() of the base archive's recipe (see below).
+  std::uint64_t base_world_id = 0;
+  /// Profile + seed restated for error messages; the id is authoritative.
+  std::string profile = "custom";
+  std::uint64_t seed = 0;
+  util::Date from_day;
+  util::Date to_day;
+
+  bool operator==(const DeltaMeta&) const = default;
+};
+
+/// Lineage fingerprint of an archive's recipe: FNV-1a 64 over a canonical
+/// serialization of every ArchiveMeta field EXCEPT `end`. Two archives of
+/// the same world at different horizons share the id (that is the point: a
+/// delta binds to the world, and the day-range check handles position),
+/// while any change to profile, seed, start, posture or patterns yields a
+/// different id and a DeltaMismatchError at apply time.
+std::uint64_t world_id(const store::ArchiveMeta& meta);
+
+}  // namespace stalecert::feed

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stalecert/feed/applier.hpp"
+#include "stalecert/query/service.hpp"
+
+namespace stalecert::feed {
+
+/// The staled-side feed backend: owns the accumulated world + DeltaApplier
+/// and adapts them to the query::IngestHandler seam. One FeedRuntime per
+/// serving process; install with
+///   service.set_ingest_handler(runtime.handler());
+///
+/// ingest() never throws: every failure — unreadable bytes, wrong world,
+/// out-of-sequence day — is mapped to an IngestOutcome with an HTTP-ish
+/// status (400 container errors, 409 mismatch/sequence, 500 unexpected),
+/// so the daemon keeps serving its current snapshot no matter what arrives.
+class FeedRuntime {
+ public:
+  /// Loads the base archive and builds the base snapshot (same pipeline
+  /// posture as StalenessIndex::from_archive). Throws the store/pipeline
+  /// error taxonomy when the archive itself is unusable.
+  explicit FeedRuntime(const std::string& archive_path,
+                       obs::PipelineObserver* observer = nullptr);
+
+  /// Applies one delta from a file or raw bytes. Serialized internally.
+  query::IngestOutcome ingest(const query::IngestSource& source);
+
+  /// An IngestHandler bound to this runtime (which must outlive the
+  /// service it is installed into).
+  [[nodiscard]] query::IngestHandler handler() {
+    return [this](const query::IngestSource& source) { return ingest(source); };
+  }
+
+  /// Sorted paths of .scwd files in `dir` still ahead of the horizon:
+  /// readable, bound to this world, to_day past the applied data. Files
+  /// that fail to parse are skipped this round — a half-written file being
+  /// copied in simply stays pending until it parses. ISO dates in
+  /// delta_file_name() make lexicographic order the apply order.
+  [[nodiscard]] std::vector<std::string> pending_deltas(
+      const std::string& dir);
+
+  /// Convenience sweep for startup/SIGHUP/tests: ingest every pending
+  /// delta in order, stopping at the first failure. Returns applied count.
+  std::size_t apply_directory(const std::string& dir,
+                              const std::string& origin = "startup");
+
+  /// SIGHUP semantics: reload the base archive from disk and rebuild the
+  /// base snapshot, discarding all applied deltas (the caller re-applies
+  /// the feed directory afterwards). Throws on a broken archive, leaving
+  /// the current state untouched.
+  void reload();
+
+  [[nodiscard]] std::shared_ptr<const query::StalenessIndex> index() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return applier_.index();
+  }
+  [[nodiscard]] util::Date horizon() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return applier_.horizon();
+  }
+  [[nodiscard]] std::uint64_t deltas_applied() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return applier_.deltas_applied();
+  }
+  [[nodiscard]] std::uint64_t rebuilds() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return applier_.rebuilds();
+  }
+
+ private:
+  std::string archive_path_;
+  obs::PipelineObserver* observer_;
+  std::mutex mutex_;
+  DeltaApplier applier_;
+};
+
+}  // namespace stalecert::feed

@@ -1,0 +1,559 @@
+#include "stalecert/feed/delta.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "stalecert/obs/observer.hpp"
+#include "stalecert/store/errors.hpp"
+#include "stalecert/store/intern.hpp"
+#include "stalecert/store/wire.hpp"
+
+namespace stalecert::feed {
+
+using store::ArchiveCorruptError;
+using store::ArchiveError;
+using store::ArchiveTruncatedError;
+using store::ArchiveVersionError;
+
+namespace {
+
+// --- Encoders (store idiom: payloads built in memory, framed with CRC) ---
+
+void encode_meta(const DeltaMeta& meta, store::ByteSink& sink) {
+  sink.varint(0);  // reserved flags
+  sink.varint(meta.base_world_id);
+  sink.str(meta.profile);
+  sink.varint(meta.seed);
+  sink.date(meta.from_day);
+  sink.date(meta.to_day);
+}
+
+std::uint64_t encode_ct(const std::vector<CtLogDelta>& logs,
+                        store::ByteSink& sink) {
+  std::uint64_t total_entries = 0;
+  sink.varint(logs.size());
+  for (const auto& log : logs) {
+    sink.varint(log.log_id);
+    sink.varint(log.base_entry_count);
+    sink.varint(log.entries.size());
+    util::Date previous{0};  // timestamps are non-decreasing: deltas stay tiny
+    for (const auto& entry : log.entries) {
+      sink.zigzag(entry.timestamp - previous);
+      previous = entry.timestamp;
+      sink.blob(entry.certificate.to_der());
+      ++total_entries;
+    }
+  }
+  return total_entries;
+}
+
+void encode_revocations(
+    const std::vector<revocation::RevocationStore::Entry>& entries,
+    store::ByteSink& sink) {
+  // Authority key ids repeat heavily: dedup into a local table, first-seen
+  // order (the same layout as the .scw kRevocations segment).
+  std::vector<crypto::Digest> akis;
+  std::map<crypto::Digest, std::uint64_t> aki_index;
+  for (const auto& entry : entries) {
+    if (aki_index.emplace(entry.authority_key_id, akis.size()).second) {
+      akis.push_back(entry.authority_key_id);
+    }
+  }
+  sink.varint(akis.size());
+  for (const auto& aki : akis) sink.bytes(aki);
+  sink.varint(entries.size());
+  for (const auto& entry : entries) {
+    sink.varint(aki_index.at(entry.authority_key_id));
+    sink.blob(entry.serial);
+    sink.date(entry.observation.revocation_date);
+    sink.varint(static_cast<std::uint64_t>(entry.observation.reason));
+  }
+}
+
+void encode_whois(const std::vector<whois::NewRegistration>& events,
+                  store::StringInterner& interner, store::ByteSink& sink) {
+  sink.varint(events.size());
+  for (const auto& event : events) {
+    sink.varint(interner.intern(event.domain));
+    sink.date(event.creation_date);
+    sink.u8(event.previous_creation_date ? 1 : 0);
+    if (event.previous_creation_date) sink.date(*event.previous_creation_date);
+  }
+}
+
+void encode_records(const dns::DomainRecords& records,
+                    store::StringInterner& interner, store::ByteSink& sink) {
+  for (const auto* list :
+       {&records.a, &records.aaaa, &records.ns, &records.cname}) {
+    sink.varint(list->size());
+    for (const auto& value : *list) sink.varint(interner.intern(value));
+  }
+}
+
+void encode_dns(const std::vector<dns::DailySnapshot>& snapshots,
+                store::StringInterner& interner, store::ByteSink& sink) {
+  // Same diff chain as the .scw kDns segment, but seeded from EMPTY state:
+  // a delta is self-contained, so its first day is one full upsert batch
+  // and later days diff against the previous delta day.
+  sink.varint(snapshots.size());
+  util::Date previous_date{0};
+  const std::map<std::string, dns::DomainRecords> empty;
+  const std::map<std::string, dns::DomainRecords>* previous = &empty;
+  for (const auto& snapshot : snapshots) {
+    sink.zigzag(snapshot.date - previous_date);
+    previous_date = snapshot.date;
+    std::vector<std::uint64_t> removed;
+    for (const auto& [domain, records] : *previous) {
+      if (snapshot.records.find(domain) == snapshot.records.end()) {
+        removed.push_back(interner.intern(domain));
+      }
+    }
+    sink.varint(removed.size());
+    for (const std::uint64_t idx : removed) sink.varint(idx);
+
+    std::vector<const std::pair<const std::string, dns::DomainRecords>*> upserts;
+    for (const auto& item : snapshot.records) {
+      const auto it = previous->find(item.first);
+      if (it == previous->end() || !(it->second == item.second)) {
+        upserts.push_back(&item);
+      }
+    }
+    sink.varint(upserts.size());
+    for (const auto* item : upserts) {
+      sink.varint(interner.intern(item->first));
+      encode_records(item->second, interner, sink);
+    }
+    previous = &snapshot.records;
+  }
+}
+
+void encode_stats(const sim::World::Stats& stats, store::ByteSink& sink) {
+  sink.varint(9);
+  sink.varint(stats.domains_registered);
+  sink.varint(stats.domains_reregistered);
+  sink.varint(stats.domains_transferred);
+  sink.varint(stats.certificates_issued);
+  sink.varint(stats.cdn_enrollments);
+  sink.varint(stats.cdn_departures);
+  sink.varint(stats.key_compromises);
+  sink.varint(stats.other_revocations);
+  sink.varint(stats.refund_abuses);
+}
+
+void frame_segment(DeltaSegmentId id, const store::ByteSink& payload,
+                   store::ByteSink& out) {
+  out.u8(static_cast<std::uint8_t>(id));
+  out.varint(payload.size());
+  out.bytes(payload.data());
+  out.u32le(store::crc32(payload.data()));
+}
+
+// --- Decoders -------------------------------------------------------------
+
+revocation::ReasonCode decode_reason(std::uint64_t raw) {
+  switch (raw) {
+    case 0: return revocation::ReasonCode::kUnspecified;
+    case 1: return revocation::ReasonCode::kKeyCompromise;
+    case 2: return revocation::ReasonCode::kCaCompromise;
+    case 3: return revocation::ReasonCode::kAffiliationChanged;
+    case 4: return revocation::ReasonCode::kSuperseded;
+    case 5: return revocation::ReasonCode::kCessationOfOperation;
+    case 6: return revocation::ReasonCode::kCertificateHold;
+    case 8: return revocation::ReasonCode::kRemoveFromCrl;
+    case 9: return revocation::ReasonCode::kPrivilegeWithdrawn;
+    case 10: return revocation::ReasonCode::kAaCompromise;
+    default:
+      throw ArchiveCorruptError("unknown CRL reason code " + std::to_string(raw));
+  }
+}
+
+bool decode_flag(store::WireReader& reader, const char* what) {
+  const std::uint8_t flag = reader.u8();
+  if (flag > 1) {
+    throw ArchiveCorruptError(std::string(what) + " flag byte " +
+                              std::to_string(flag) + " is not 0/1");
+  }
+  return flag == 1;
+}
+
+std::uint64_t read_span_varint(std::span<const std::uint8_t> data,
+                               std::size_t& pos) {
+  std::uint64_t value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos == data.size()) {
+      throw ArchiveTruncatedError("file ends mid segment header");
+    }
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      if (shift == 63 && byte > 1) {
+        throw ArchiveCorruptError("segment length varint overflows 64 bits");
+      }
+      return value;
+    }
+  }
+  throw ArchiveCorruptError("segment length varint longer than 10 bytes");
+}
+
+bool known_segment(std::uint8_t id) {
+  return id >= static_cast<std::uint8_t>(DeltaSegmentId::kMeta) &&
+         id <= static_cast<std::uint8_t>(DeltaSegmentId::kStats);
+}
+
+/// Decoded-segment cursor: SpanSource + WireReader over one payload, with
+/// the stream readers' "no undecoded trailing bytes" check on finish().
+struct SegmentCursor {
+  SegmentCursor(std::span<const std::uint8_t> payload, DeltaSegmentId id)
+      : source(payload), reader(source), name(to_string(id)) {}
+
+  void finish() {
+    if (source.remaining() != 0) {
+      throw ArchiveCorruptError("segment " + name + " has " +
+                                std::to_string(source.remaining()) +
+                                " undecoded trailing bytes");
+    }
+  }
+
+  store::SpanSource source;
+  store::WireReader reader;
+  std::string name;
+};
+
+DeltaMeta decode_meta(store::WireReader& reader) {
+  DeltaMeta meta;
+  (void)reader.varint();  // reserved flags
+  meta.base_world_id = reader.varint();
+  meta.profile = reader.str();
+  meta.seed = reader.varint();
+  meta.from_day = reader.date();
+  meta.to_day = reader.date();
+  if (meta.to_day < meta.from_day) {
+    throw ArchiveCorruptError("delta covers to_day before from_day");
+  }
+  return meta;
+}
+
+std::vector<CtLogDelta> decode_ct(SegmentCursor& cursor) {
+  store::WireReader& reader = cursor.reader;
+  std::vector<CtLogDelta> logs;
+  const std::uint64_t log_count = reader.count(3);
+  logs.reserve(static_cast<std::size_t>(log_count));
+  for (std::uint64_t i = 0; i < log_count; ++i) {
+    CtLogDelta log;
+    log.log_id = reader.varint();
+    log.base_entry_count = reader.varint();
+    const std::uint64_t entries = reader.count(2);
+    log.entries.reserve(static_cast<std::size_t>(entries));
+    util::Date previous{0};
+    for (std::uint64_t j = 0; j < entries; ++j) {
+      ct::LogEntry entry;
+      entry.index = log.base_entry_count + j;
+      entry.timestamp = previous + reader.zigzag();
+      previous = entry.timestamp;
+      const auto der = reader.blob();
+      try {
+        entry.certificate = x509::Certificate::from_der(der);
+      } catch (const ParseError& e) {
+        throw ArchiveCorruptError(std::string("undecodable certificate DER: ") +
+                                  e.what());
+      }
+      log.entries.push_back(std::move(entry));
+    }
+    logs.push_back(std::move(log));
+  }
+  cursor.finish();
+  return logs;
+}
+
+std::vector<revocation::RevocationStore::Entry> decode_revocations(
+    SegmentCursor& cursor) {
+  store::WireReader& reader = cursor.reader;
+  const std::uint64_t aki_count = reader.count(sizeof(crypto::Digest));
+  std::vector<crypto::Digest> akis(static_cast<std::size_t>(aki_count));
+  for (auto& aki : akis) cursor.source.read(aki);
+  const std::uint64_t count = reader.count();
+  std::vector<revocation::RevocationStore::Entry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    revocation::RevocationStore::Entry entry;
+    const std::uint64_t aki_index = reader.varint();
+    if (aki_index >= akis.size()) {
+      throw ArchiveCorruptError("authority key id index " +
+                                std::to_string(aki_index) + " out of range");
+    }
+    entry.authority_key_id = akis[static_cast<std::size_t>(aki_index)];
+    entry.serial = reader.blob();
+    entry.observation.revocation_date = reader.date();
+    entry.observation.reason = decode_reason(reader.varint());
+    entries.push_back(std::move(entry));
+  }
+  cursor.finish();
+  return entries;
+}
+
+std::vector<whois::NewRegistration> decode_whois(
+    SegmentCursor& cursor, const store::StringTable& strings) {
+  store::WireReader& reader = cursor.reader;
+  const std::uint64_t count = reader.count(3);
+  std::vector<whois::NewRegistration> events;
+  events.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    whois::NewRegistration event;
+    event.domain = strings.at(reader.varint());
+    event.creation_date = reader.date();
+    if (decode_flag(reader, "previous creation date")) {
+      event.previous_creation_date = reader.date();
+    }
+    events.push_back(std::move(event));
+  }
+  cursor.finish();
+  return events;
+}
+
+std::vector<dns::DailySnapshot> decode_dns(SegmentCursor& cursor,
+                                           const store::StringTable& strings) {
+  store::WireReader& reader = cursor.reader;
+  const std::uint64_t days = reader.count();
+  std::vector<dns::DailySnapshot> snapshots;
+  snapshots.reserve(static_cast<std::size_t>(days));
+  util::Date previous_date{0};
+  std::map<std::string, dns::DomainRecords> state;
+  for (std::uint64_t i = 0; i < days; ++i) {
+    dns::DailySnapshot snapshot;
+    snapshot.date = previous_date + reader.zigzag();
+    if (i > 0 && snapshot.date <= previous_date) {
+      throw ArchiveCorruptError("dns snapshots out of date order");
+    }
+    previous_date = snapshot.date;
+
+    const std::uint64_t removed = reader.count();
+    for (std::uint64_t j = 0; j < removed; ++j) {
+      const std::string& domain = strings.at(reader.varint());
+      if (state.erase(domain) == 0) {
+        throw ArchiveCorruptError("snapshot diff removes unknown domain " +
+                                  domain);
+      }
+    }
+    const std::uint64_t upserts = reader.count(2);
+    for (std::uint64_t j = 0; j < upserts; ++j) {
+      const std::string& domain = strings.at(reader.varint());
+      dns::DomainRecords records;
+      for (auto* list :
+           {&records.a, &records.aaaa, &records.ns, &records.cname}) {
+        const std::uint64_t n = reader.count();
+        list->reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t k = 0; k < n; ++k) {
+          list->push_back(strings.at(reader.varint()));
+        }
+      }
+      state[domain] = std::move(records);
+    }
+    snapshot.records = state;
+    snapshots.push_back(std::move(snapshot));
+  }
+  cursor.finish();
+  return snapshots;
+}
+
+sim::World::Stats decode_stats(SegmentCursor& cursor) {
+  store::WireReader& reader = cursor.reader;
+  const std::uint64_t fields = reader.count();
+  if (fields < 9) {
+    throw ArchiveCorruptError("stats segment has " + std::to_string(fields) +
+                              " fields, expected at least 9");
+  }
+  sim::World::Stats stats;
+  stats.domains_registered = reader.varint();
+  stats.domains_reregistered = reader.varint();
+  stats.domains_transferred = reader.varint();
+  stats.certificates_issued = reader.varint();
+  stats.cdn_enrollments = reader.varint();
+  stats.cdn_departures = reader.varint();
+  stats.key_compromises = reader.varint();
+  stats.other_revocations = reader.varint();
+  stats.refund_abuses = reader.varint();
+  // Trailing fields from a later minor revision are tolerated and ignored.
+  for (std::uint64_t i = 9; i < fields; ++i) (void)reader.varint();
+  return stats;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_delta_bytes(const WorldDelta& delta) {
+  store::StringInterner interner;
+
+  // Data segments first (interning as they go) so the string table is
+  // complete before it is framed; file order puts strings ahead of every
+  // segment that references it, mirroring the .scw layout.
+  store::ByteSink ct_payload, revocation_payload, whois_payload, dns_payload,
+      stats_payload, meta_payload, strings_payload;
+  encode_ct(delta.ct, ct_payload);
+  encode_revocations(delta.revocations, revocation_payload);
+  encode_whois(delta.registrations, interner, whois_payload);
+  encode_dns(delta.adns, interner, dns_payload);
+  encode_stats(delta.stats, stats_payload);
+  encode_meta(delta.meta, meta_payload);
+  interner.encode(strings_payload);
+
+  store::ByteSink file;
+  file.bytes(kDeltaMagic);
+  file.u32le(kDeltaFormatVersion);
+  frame_segment(DeltaSegmentId::kMeta, meta_payload, file);
+  frame_segment(DeltaSegmentId::kStrings, strings_payload, file);
+  frame_segment(DeltaSegmentId::kCtLogs, ct_payload, file);
+  frame_segment(DeltaSegmentId::kRevocations, revocation_payload, file);
+  frame_segment(DeltaSegmentId::kWhois, whois_payload, file);
+  frame_segment(DeltaSegmentId::kDns, dns_payload, file);
+  frame_segment(DeltaSegmentId::kStats, stats_payload, file);
+  return file.data();
+}
+
+std::uint64_t write_delta(const WorldDelta& delta, const std::string& path,
+                          obs::PipelineObserver* observer) {
+  const obs::StageScope scope(observer, "feed_delta_save");
+  const std::vector<std::uint8_t> bytes = write_delta_bytes(delta);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw ArchiveError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw ArchiveError("short write to " + path);
+  if (scope.enabled()) {
+    scope.count("bytes_written", bytes.size());
+    scope.count("ct_entries", delta.ct_entry_count());
+    scope.count("revocations", delta.revocations.size());
+    scope.count("registrations", delta.registrations.size());
+    scope.count("dns_snapshots", delta.adns.size());
+  }
+  return bytes.size();
+}
+
+WorldDelta read_delta_bytes(std::span<const std::uint8_t> data) {
+  if (data.size() < kDeltaMagic.size()) {
+    throw ArchiveTruncatedError("file shorter than the 8-byte magic");
+  }
+  if (!std::equal(kDeltaMagic.begin(), kDeltaMagic.end(), data.begin())) {
+    throw ArchiveCorruptError("not a .scwd world delta (bad magic)");
+  }
+  std::size_t pos = kDeltaMagic.size();
+  if (data.size() - pos < 4) {
+    throw ArchiveTruncatedError("file ends inside the format version field");
+  }
+  const std::uint32_t version = static_cast<std::uint32_t>(data[pos]) |
+                                (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+                                (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+                                (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+  pos += 4;
+  if (version != kDeltaFormatVersion) {
+    throw ArchiveVersionError("delta declares format version " +
+                              std::to_string(version) + ", this reader speaks " +
+                              std::to_string(kDeltaFormatVersion));
+  }
+
+  // Segment scan: whole-payload slices (deltas are small enough to hold in
+  // memory, unlike .scw archives, which stream).
+  std::map<DeltaSegmentId, std::span<const std::uint8_t>> segments;
+  while (pos < data.size()) {
+    const std::uint8_t id_byte = data[pos++];
+    const std::uint64_t length = read_span_varint(data, pos);
+    if (data.size() - pos < 4 || length > data.size() - pos - 4) {
+      throw ArchiveTruncatedError(
+          "segment at offset " + std::to_string(pos) + " declares " +
+          std::to_string(length) + " payload bytes but only " +
+          std::to_string(data.size() - pos) + " remain");
+    }
+    const auto payload = data.subspan(pos, static_cast<std::size_t>(length));
+    pos += static_cast<std::size_t>(length);
+    const std::uint32_t crc = static_cast<std::uint32_t>(data[pos]) |
+                              (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+                              (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+                              (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+    pos += 4;
+    if (!known_segment(id_byte)) continue;  // forward-compatible skip
+    const auto id = static_cast<DeltaSegmentId>(id_byte);
+    if (store::crc32(payload) != crc) {
+      throw ArchiveCorruptError("segment " + to_string(id) + " CRC32 mismatch");
+    }
+    if (length == 0) {
+      throw ArchiveCorruptError("segment " + to_string(id) +
+                                " is empty (every dataset segment carries at "
+                                "least its record count)");
+    }
+    if (!segments.emplace(id, payload).second) {
+      throw ArchiveCorruptError("duplicate segment " + to_string(id));
+    }
+  }
+  const auto require = [&](DeltaSegmentId id) {
+    const auto it = segments.find(id);
+    if (it == segments.end()) {
+      throw ArchiveCorruptError("missing segment " + to_string(id));
+    }
+    return it->second;
+  };
+
+  WorldDelta delta;
+  {
+    SegmentCursor cursor(require(DeltaSegmentId::kMeta), DeltaSegmentId::kMeta);
+    delta.meta = decode_meta(cursor.reader);
+  }
+  store::StringTable strings;
+  {
+    SegmentCursor cursor(require(DeltaSegmentId::kStrings),
+                         DeltaSegmentId::kStrings);
+    strings = store::StringTable::decode(cursor.reader);
+  }
+  {
+    SegmentCursor cursor(require(DeltaSegmentId::kCtLogs),
+                         DeltaSegmentId::kCtLogs);
+    delta.ct = decode_ct(cursor);
+  }
+  {
+    SegmentCursor cursor(require(DeltaSegmentId::kRevocations),
+                         DeltaSegmentId::kRevocations);
+    delta.revocations = decode_revocations(cursor);
+  }
+  {
+    SegmentCursor cursor(require(DeltaSegmentId::kWhois),
+                         DeltaSegmentId::kWhois);
+    delta.registrations = decode_whois(cursor, strings);
+  }
+  {
+    SegmentCursor cursor(require(DeltaSegmentId::kDns), DeltaSegmentId::kDns);
+    delta.adns = decode_dns(cursor, strings);
+  }
+  {
+    SegmentCursor cursor(require(DeltaSegmentId::kStats),
+                         DeltaSegmentId::kStats);
+    delta.stats = decode_stats(cursor);
+  }
+  return delta;
+}
+
+WorldDelta read_delta(const std::string& path,
+                      obs::PipelineObserver* observer) {
+  const obs::StageScope scope(observer, "feed_delta_load");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ArchiveError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (static_cast<std::uint64_t>(in.gcount()) != size) {
+    throw ArchiveTruncatedError(path + " ends before its reported size");
+  }
+  WorldDelta delta = read_delta_bytes(bytes);
+  if (scope.enabled()) {
+    scope.count("bytes_read", size);
+    scope.count("ct_entries", delta.ct_entry_count());
+    scope.count("revocations", delta.revocations.size());
+    scope.count("registrations", delta.registrations.size());
+    scope.count("dns_snapshots", delta.adns.size());
+  }
+  return delta;
+}
+
+}  // namespace stalecert::feed

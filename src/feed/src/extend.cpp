@@ -1,0 +1,183 @@
+#include "stalecert/feed/extend.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stalecert/feed/errors.hpp"
+#include "stalecert/obs/observer.hpp"
+#include "stalecert/sim/world.hpp"
+
+namespace stalecert::feed {
+
+namespace {
+
+/// Key a revocation entry for set membership: fixed-width AKI then serial,
+/// so no two distinct (AKI, serial) pairs share bytes.
+std::string revocation_key(const revocation::RevocationStore::Entry& entry) {
+  std::string key(entry.authority_key_id.begin(), entry.authority_key_id.end());
+  key.append(entry.serial.begin(), entry.serial.end());
+  return key;
+}
+
+std::string registration_key(const whois::NewRegistration& event) {
+  std::string key = event.domain;
+  key.push_back('|');
+  key += std::to_string(event.creation_date.days_since_epoch());
+  key.push_back('|');
+  key += event.previous_creation_date
+             ? std::to_string(event.previous_creation_date->days_since_epoch())
+             : std::string("-");
+  return key;
+}
+
+store::ArchiveMeta meta_of(const sim::World& world, const std::string& profile) {
+  const sim::WorldConfig& config = world.config();
+  store::ArchiveMeta meta;
+  meta.profile = profile;
+  meta.seed = config.seed;
+  meta.start = config.start;
+  meta.end = world.horizon();
+  meta.revocation_cutoff = config.revocation_cutoff;
+  meta.delegation_patterns = world.cloudflare_delegation_patterns();
+  meta.managed_san_pattern = world.cloudflare_san_pattern();
+  return meta;
+}
+
+}  // namespace
+
+std::optional<sim::WorldConfig> config_for_profile(const std::string& profile,
+                                                   std::uint64_t seed) {
+  sim::WorldConfig config;
+  if (profile == "small") {
+    config = sim::small_test_config();
+  } else if (profile != "default") {
+    return std::nullopt;
+  }
+  config.seed = seed;
+  return config;
+}
+
+std::string delta_file_name(const DeltaMeta& meta) {
+  return "delta-" + meta.from_day.to_string() + "-" + meta.to_day.to_string() +
+         ".scwd";
+}
+
+std::vector<WorldDelta> extend_world(const store::ArchiveMeta& base_meta,
+                                     std::int64_t days,
+                                     std::int64_t slice_days,
+                                     obs::PipelineObserver* observer) {
+  const obs::StageScope scope(observer, "feed_extend");
+  if (days <= 0) throw FeedError("extend_world: day count must be positive");
+  if (slice_days <= 0) {
+    throw FeedError("extend_world: slice length must be positive");
+  }
+  const auto config = config_for_profile(base_meta.profile, base_meta.seed);
+  if (!config) {
+    throw FeedError("profile \"" + base_meta.profile +
+                    "\" names no known recipe; deltas can only be generated "
+                    "for regenerable archives (small, default)");
+  }
+  if (base_meta.end < config->end) {
+    throw DeltaMismatchError(
+        "base archive ends " + base_meta.end.to_string() +
+        ", before the profile's configured horizon " + config->end.to_string());
+  }
+
+  sim::World world(*config);
+  world.run();
+  // Catch up to the base archive's horizon first: the base may itself have
+  // been produced by an earlier extension round.
+  if (base_meta.end > config->end) world.extend(base_meta.end - config->end);
+
+  // The regenerated world must BE the base world; world_id covers every
+  // lineage field (posture, patterns), so one comparison suffices.
+  const std::uint64_t id = world_id(base_meta);
+  if (world_id(meta_of(world, base_meta.profile)) != id) {
+    throw DeltaMismatchError(
+        "regenerating profile \"" + base_meta.profile + "\" seed " +
+        std::to_string(base_meta.seed) +
+        " does not reproduce the base archive's recipe");
+  }
+
+  // Watermarks: everything the base world already contains.
+  std::unordered_map<std::uint64_t, std::size_t> log_sizes;
+  for (const auto& log : world.ct_logs().logs()) {
+    log_sizes[log.id()] = log.entries().size();
+  }
+  std::unordered_set<std::string> revocation_keys;
+  for (const auto& entry : world.crl_collection().store().entries()) {
+    revocation_keys.insert(revocation_key(entry));
+  }
+  std::unordered_set<std::string> registration_keys;
+  for (const auto& event : world.whois().new_registrations()) {
+    registration_keys.insert(registration_key(event));
+  }
+  std::size_t adns_days = world.adns().days();
+
+  std::vector<WorldDelta> deltas;
+  std::uint64_t ct_total = 0, revocation_total = 0, registration_total = 0,
+                snapshot_total = 0;
+  for (std::int64_t done = 0; done < days;) {
+    const std::int64_t step = std::min(slice_days, days - done);
+    const util::Date prev_horizon = world.horizon();
+    world.extend(step);
+    done += step;
+
+    WorldDelta delta;
+    delta.meta.base_world_id = id;
+    delta.meta.profile = base_meta.profile;
+    delta.meta.seed = base_meta.seed;
+    delta.meta.from_day = prev_horizon + 1;
+    delta.meta.to_day = world.horizon();
+
+    for (const auto& log : world.ct_logs().logs()) {
+      std::size_t& seen = log_sizes[log.id()];
+      const auto& entries = log.entries();
+      if (entries.size() == seen) continue;  // quiet logs are omitted
+      CtLogDelta log_delta;
+      log_delta.log_id = log.id();
+      log_delta.base_entry_count = seen;
+      log_delta.entries.assign(
+          entries.begin() + static_cast<std::ptrdiff_t>(seen), entries.end());
+      seen = entries.size();
+      ct_total += log_delta.entries.size();
+      delta.ct.push_back(std::move(log_delta));
+    }
+    for (const auto& entry : world.crl_collection().store().entries()) {
+      if (revocation_keys.insert(revocation_key(entry)).second) {
+        delta.revocations.push_back(entry);
+      }
+    }
+    // new_registrations() is recomputed domain-sorted; the watermark set
+    // (not an offset) extracts the additions. WHOIS history is append-only
+    // per domain, so base events never mutate or disappear.
+    for (const auto& event : world.whois().new_registrations()) {
+      if (registration_keys.insert(registration_key(event)).second) {
+        delta.registrations.push_back(event);
+      }
+    }
+    for (std::size_t day = adns_days; day < world.adns().days(); ++day) {
+      delta.adns.push_back(world.adns().day(day));
+    }
+    adns_days = world.adns().days();
+    delta.stats = world.stats();
+
+    revocation_total += delta.revocations.size();
+    registration_total += delta.registrations.size();
+    snapshot_total += delta.adns.size();
+    deltas.push_back(std::move(delta));
+  }
+
+  if (scope.enabled()) {
+    scope.count("slices", deltas.size());
+    scope.count("ct_entries", ct_total);
+    scope.count("revocations", revocation_total);
+    scope.count("registrations", registration_total);
+    scope.count("dns_snapshots", snapshot_total);
+  }
+  return deltas;
+}
+
+}  // namespace stalecert::feed

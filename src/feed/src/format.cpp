@@ -1,0 +1,44 @@
+#include "stalecert/feed/format.hpp"
+
+#include "stalecert/store/wire.hpp"
+
+namespace stalecert::feed {
+
+std::string to_string(DeltaSegmentId id) {
+  switch (id) {
+    case DeltaSegmentId::kMeta: return "meta";
+    case DeltaSegmentId::kStrings: return "strings";
+    case DeltaSegmentId::kCtLogs: return "ct_logs";
+    case DeltaSegmentId::kRevocations: return "revocations";
+    case DeltaSegmentId::kWhois: return "whois";
+    case DeltaSegmentId::kDns: return "dns";
+    case DeltaSegmentId::kStats: return "stats";
+  }
+  return "segment#" + std::to_string(static_cast<unsigned>(id));
+}
+
+std::uint64_t world_id(const store::ArchiveMeta& meta) {
+  // Canonical serialization of the lineage fields. `end` is deliberately
+  // absent: extending a world moves its horizon, not its identity. The
+  // encoding is length-prefixed throughout (ByteSink::str), so no two
+  // distinct field tuples share bytes.
+  store::ByteSink sink;
+  sink.str(meta.profile);
+  sink.varint(meta.seed);
+  sink.date(meta.start);
+  sink.u8(meta.revocation_cutoff ? 1 : 0);
+  if (meta.revocation_cutoff) sink.date(*meta.revocation_cutoff);
+  sink.varint(meta.delegation_patterns.size());
+  for (const auto& pattern : meta.delegation_patterns) sink.str(pattern);
+  sink.str(meta.managed_san_pattern);
+
+  // FNV-1a 64.
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const std::uint8_t byte : sink.data()) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace stalecert::feed

@@ -33,16 +33,25 @@ class HttpClient {
   /// connection between requests; throws QueryError when the exchange
   /// cannot be completed at all.
   Result get(const std::string& target);
-  /// Same exchange with an arbitrary method. HEAD responses carry a
-  /// Content-Length but no body and are handled accordingly.
-  Result request(const std::string& method, const std::string& target);
+  /// Same exchange with an arbitrary method and optional request body
+  /// (sent with a Content-Length header when non-empty). HEAD responses
+  /// carry a Content-Length but no body and are handled accordingly.
+  Result request(const std::string& method, const std::string& target,
+                 const std::string& body = {},
+                 const std::string& content_type = "text/plain");
   Result head(const std::string& target) { return request("HEAD", target); }
+  Result post(const std::string& target, const std::string& body,
+              const std::string& content_type = "text/plain") {
+    return request("POST", target, body, content_type);
+  }
 
  private:
   void connect();
   void close();
   std::optional<Result> try_request(const std::string& method,
-                                    const std::string& target);
+                                    const std::string& target,
+                                    const std::string& body,
+                                    const std::string& content_type);
 
   std::string host_;
   std::uint16_t port_;

@@ -19,15 +19,20 @@ class QueryError : public Error {
   explicit QueryError(const std::string& what) : Error("query: " + what) {}
 };
 
-/// A parsed HTTP/1.1 request head. The serving subset is deliberately
-/// minimal: GET/HEAD, no body, no chunked encoding, no multi-line headers.
+/// A parsed HTTP/1.1 request. The serving subset is deliberately minimal:
+/// GET/HEAD/POST, bodies sized by Content-Length only (no chunked
+/// encoding), no multi-line headers.
 struct HttpRequest {
-  std::string method;                       // "GET", "HEAD", ...
+  std::string method;                       // "GET", "HEAD", "POST", ...
   std::string target;                       // raw request target
   std::string path;                         // percent-decoded path component
   std::map<std::string, std::string> query; // decoded query parameters
   std::map<std::string, std::string> headers;  // lowercased field names
   std::string version;                      // "HTTP/1.1"
+  /// Request body, exactly Content-Length bytes (empty when absent). The
+  /// server always drains the body — even for requests it rejects —
+  /// so a keep-alive connection never reads stale bytes as the next head.
+  std::string body;
   /// Wall-clock the server spent parsing this head (zero when the request
   /// was constructed directly, e.g. in tests). Feeds the request trace.
   std::chrono::nanoseconds parse_duration{0};

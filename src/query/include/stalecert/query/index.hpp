@@ -59,6 +59,32 @@ struct DomainSummary {
   }
 };
 
+/// The incremental-ingest unit produced by feed::DeltaApplier: the fully
+/// extended corpus plus ONLY the stale records and revocation joins the
+/// delta introduced. StalenessIndex::with_patch() folds one of these into
+/// a base snapshot, producing a new immutable snapshot whose query answers
+/// match a from-scratch pipeline run over the extended world.
+struct IndexPatch {
+  /// The extended corpus (base certificates in base order, delta
+  /// certificates appended) — built via the CertificateCorpus extension
+  /// constructor so the base inverted indexes are reused.
+  core::CertificateCorpus corpus;
+  /// Size of the base corpus this patch extends; with_patch() refuses a
+  /// patch built against a different base.
+  std::size_t base_certificates = 0;
+  /// Cumulative CT collection funnel over the extended world.
+  ct::CollectStats collect_stats;
+  /// Cumulative revocation-join funnel over the extended world.
+  revocation::JoinStats join_stats;
+  /// New serial-join matches (all revocation reasons). The kKeyCompromise
+  /// subset becomes new kKeyCompromise-class stale records.
+  std::vector<core::StaleCertificate> new_all_revoked;
+  std::vector<core::StaleCertificate> new_registrant_change;
+  std::vector<core::StaleCertificate> new_managed_departure;
+  /// Last day the delta covers: becomes meta().end of the new snapshot.
+  util::Date new_end;
+};
+
 /// Immutable, fully indexed snapshot of one pipeline run, built for
 /// point-lookup serving: hash indexes FQDN -> certificates and SPKI ->
 /// certificates, a sorted interval index over staleness windows for
@@ -84,7 +110,28 @@ class StalenessIndex {
   [[nodiscard]] static std::shared_ptr<const StalenessIndex> from_archive(
       const std::string& path, obs::PipelineObserver* observer = nullptr);
 
+  /// Builds the successor snapshot for one applied delta. Structural
+  /// updates only: base indexes are copied and extended in place — new
+  /// certificates touch only their own SPKI buckets and the two validity
+  /// arrays, new stale records touch only their at-risk domain buckets —
+  /// and the interval index is rebuilt over all windows (records are few
+  /// relative to certificates). The base snapshot is untouched; in-flight
+  /// queries keep their shared_ptr. Reports under the obs stage name
+  /// "query_index_patch". Throws LogicError if the patch was built against
+  /// a different base corpus.
+  [[nodiscard]] std::shared_ptr<const StalenessIndex> with_patch(
+      IndexPatch patch, obs::PipelineObserver* observer = nullptr) const;
+
+  /// How many deltas were folded in since the from-scratch build (0 for a
+  /// freshly constructed or from_archive snapshot).
+  [[nodiscard]] std::uint64_t patch_generation() const {
+    return patch_generation_;
+  }
+
   [[nodiscard]] const store::ArchiveMeta& meta() const { return meta_; }
+  /// The (merged) pipeline result this snapshot serves — the feed layer
+  /// reads the base detector output through this when building patches.
+  [[nodiscard]] const core::PipelineResult& result() const { return result_; }
   [[nodiscard]] const core::CertificateCorpus& corpus() const {
     return result_.corpus;
   }
@@ -148,8 +195,14 @@ class StalenessIndex {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  /// Patch build: copies `base` and folds in one delta's worth of new
+  /// certificates and stale records (see with_patch).
+  StalenessIndex(const StalenessIndex& base, IndexPatch patch,
+                 obs::PipelineObserver* observer);
+
   core::PipelineResult result_;
   store::ArchiveMeta meta_;
+  std::uint64_t patch_generation_ = 0;
   std::vector<StaleRecord> records_;
   std::array<std::vector<std::uint32_t>, core::kStaleClassCount> by_class_;
   std::unordered_map<std::string, std::vector<std::uint32_t>> key_to_certs_;

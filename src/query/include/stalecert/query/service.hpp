@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -63,7 +64,43 @@ struct ServiceOptions {
   double latency_slo_fraction = 0.99;
   /// Free-form build/version string surfaced on /statusz.
   std::string build_info = "stalecert-staled/dev";
+  /// Directory staled polls for .scwd deltas (display only at this layer:
+  /// the poll loop lives in the binary, the apply logic in the ingest
+  /// handler). Empty = feed mode off.
+  std::string feed_dir;
 };
+
+/// Where one delta ingest came from: a .scwd file on disk (path set) or
+/// raw container bytes (e.g. a POST /ingest body). `origin` labels logs
+/// and events ("http", "poll", "startup", "sighup").
+struct IngestSource {
+  std::string path;
+  std::string bytes;
+  std::string origin = "http";
+};
+
+/// What one ingest attempt produced. `status` is the HTTP status POST
+/// /ingest relays: 200 applied, 400 unreadable delta, 409 wrong world or
+/// out-of-sequence, 500 unexpected. On failure the service keeps serving
+/// its previous snapshot.
+struct IngestOutcome {
+  bool ok = false;
+  int status = 500;
+  std::string message;
+  std::shared_ptr<const StalenessIndex> index;  // successor snapshot when ok
+  std::uint64_t new_certificates = 0;
+  std::uint64_t new_stale_records = 0;
+  bool rebuilt = false;
+  /// Deltas folded in since the base snapshot (applier generation).
+  std::uint64_t feed_generation = 0;
+  /// Last day covered after the apply, ISO "YYYY-MM-DD".
+  std::string horizon;
+};
+
+/// Pluggable delta-apply backend (feed::FeedRuntime implements this; the
+/// indirection keeps stalecert_query free of a stalecert_feed dependency).
+/// Must be callable from multiple threads or do its own serialization.
+using IngestHandler = std::function<IngestOutcome(const IngestSource&)>;
 
 /// The staled request handler: routes the endpoint set over the current
 /// SnapshotCell snapshot, and observes itself end to end — per-endpoint
@@ -79,6 +116,7 @@ struct ServiceOptions {
 ///   GET /healthz                             liveness (503 until loaded)
 ///   GET /metrics                             Prometheus exposition
 ///   GET /statusz[?format=html]               operational status (JSON/HTML)
+///   POST /ingest[?path=F]                    apply one .scwd delta (feed mode)
 class StaledService {
  public:
   explicit StaledService(std::string archive_path, ServiceOptions options = {});
@@ -93,8 +131,27 @@ class StaledService {
   /// call concurrently with in-flight requests (SIGHUP hot reload).
   bool reload();
 
+  /// Atomically publishes an externally built snapshot (feed mode: the
+  /// FeedRuntime's base build at startup, or the rebuilt base on SIGHUP
+  /// before deltas are re-applied). Updates the same gauges as load().
+  void publish(std::shared_ptr<const StalenessIndex> index,
+               const std::string& source);
+
   /// Thread-safe request entry point (the HttpServer handler).
   [[nodiscard]] HttpResponse handle(const HttpRequest& request);
+
+  /// Enables feed mode: installs the delta-apply backend and registers the
+  /// ingest metrics. Call before start of serving; POST /ingest answers
+  /// 404 until a handler is installed.
+  void set_ingest_handler(IngestHandler handler);
+  [[nodiscard]] bool feed_enabled() const { return ingest_handler_ != nullptr; }
+
+  /// Applies one delta through the installed handler (serialized on an
+  /// internal mutex) and, on success, atomically publishes the successor
+  /// snapshot. On failure the previous snapshot keeps serving, the error
+  /// counter is bumped, and a warn event is logged. Used by POST /ingest,
+  /// the --feed-dir poll loop, and the SIGHUP re-apply path.
+  IngestOutcome ingest(const IngestSource& source);
 
   /// Post-write hook body: attributes the socket write time back to the
   /// request's retained trace. Wire as
@@ -151,6 +208,8 @@ class StaledService {
   HttpResponse handle_statusz(const HttpRequest& request,
                               const std::shared_ptr<const StalenessIndex>& index,
                               obs::RequestTrace* trace);
+  HttpResponse handle_ingest(const HttpRequest& request,
+                             obs::RequestTrace* trace);
 
   /// Folds the sliding windows into registry gauges (qps, quantiles, SLO
   /// burn rates) so /metrics exposes them; called at scrape time.
@@ -175,6 +234,22 @@ class StaledService {
   /// Fixed endpoint set, built in the constructor and never mutated, so
   /// concurrent request threads read it lock-free.
   std::map<std::string, EndpointWindow> windows_;
+
+  // --- Feed mode (live delta ingestion) ---
+  IngestHandler ingest_handler_;
+  /// Serializes delta application (the handler mutates applier state; the
+  /// published snapshots themselves are immutable and lock-free to read).
+  std::mutex ingest_mutex_;
+  std::atomic<std::uint64_t> deltas_applied_{0};
+  std::atomic<std::uint64_t> ingest_errors_{0};
+  std::atomic<std::uint64_t> ingest_rebuilds_{0};
+  std::atomic<std::uint64_t> feed_generation_{0};
+  /// Horizon (days since epoch) after the last successful ingest;
+  /// INT64_MIN until one happens.
+  std::atomic<std::int64_t> feed_horizon_days_{INT64_MIN};
+  /// steady-clock offset of the last successful ingest (ns since
+  /// started_); -1 until one happens. Drives the /statusz ingest lag.
+  std::atomic<std::int64_t> last_ingest_offset_ns_{-1};
 };
 
 }  // namespace stalecert::query

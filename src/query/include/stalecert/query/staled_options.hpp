@@ -21,6 +21,11 @@ struct StaledOptions {
   /// True when the level came from an explicit --log-level flag (the env
   /// fallback is skipped in that case).
   bool log_level_from_flag = false;
+  /// --feed-dir PATH: enable feed mode — apply .scwd deltas found here at
+  /// startup, then poll for new ones. Empty = feed mode off.
+  std::string feed_dir;
+  /// --feed-poll-ms N: delta poll interval in feed mode.
+  unsigned feed_poll_ms = 1000;
 };
 
 /// Outcome of parsing: either options or a usage error message.

@@ -71,9 +71,16 @@ void HttpClient::close() {
 }
 
 std::optional<HttpClient::Result> HttpClient::try_request(
-    const std::string& method, const std::string& target) {
-  const std::string request = method + " " + target + " HTTP/1.1\r\nHost: " +
-                              host_ + "\r\nConnection: keep-alive\r\n\r\n";
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& content_type) {
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\nConnection: keep-alive\r\n";
+  if (!body.empty()) {
+    request += "Content-Type: " + content_type +
+               "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
   if (!send_all(fd_, request)) return std::nullopt;
 
   // Read the head, then exactly Content-Length body bytes.
@@ -118,17 +125,17 @@ std::optional<HttpClient::Result> HttpClient::try_request(
 
   // HEAD responses advertise a Content-Length but carry no body.
   if (method == "HEAD") content_length = 0;
-  std::string body = buffer.substr(head_end + 4);
-  while (body.size() < content_length) {
+  std::string response_body = buffer.substr(head_end + 4);
+  while (response_body.size() < content_length) {
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return std::nullopt;
     }
-    body.append(chunk, static_cast<std::size_t>(n));
+    response_body.append(chunk, static_cast<std::size_t>(n));
   }
-  result.body = body.substr(0, content_length);
+  result.body = response_body.substr(0, content_length);
   if (server_closes) close();
   return result;
 }
@@ -138,13 +145,19 @@ HttpClient::Result HttpClient::get(const std::string& target) {
 }
 
 HttpClient::Result HttpClient::request(const std::string& method,
-                                       const std::string& target) {
+                                       const std::string& target,
+                                       const std::string& body,
+                                       const std::string& content_type) {
   if (fd_ < 0) connect();
-  if (auto result = try_request(method, target)) return *std::move(result);
+  if (auto result = try_request(method, target, body, content_type)) {
+    return *std::move(result);
+  }
   // The server may have closed an idle keep-alive connection; retry once
   // on a fresh connection before giving up.
   connect();
-  if (auto result = try_request(method, target)) return *std::move(result);
+  if (auto result = try_request(method, target, body, content_type)) {
+    return *std::move(result);
+  }
   throw QueryError(method + " " + target + " failed after reconnect");
 }
 

@@ -131,6 +131,142 @@ StalenessIndex::StalenessIndex(core::PipelineResult result,
   }
 }
 
+StalenessIndex::StalenessIndex(const StalenessIndex& base, IndexPatch patch,
+                               obs::PipelineObserver* observer)
+    : meta_(base.meta_),
+      patch_generation_(base.patch_generation_ + 1),
+      records_(base.records_),
+      by_class_(base.by_class_),
+      key_to_certs_(base.key_to_certs_),
+      domain_to_records_(base.domain_to_records_),
+      serial_to_revocation_(base.serial_to_revocation_),
+      validity_begins_(base.validity_begins_),
+      validity_ends_(base.validity_ends_),
+      stats_(base.stats_) {
+  const obs::StageScope scope(observer, "query_index_patch");
+  if (patch.base_certificates != base.result_.corpus.size()) {
+    throw LogicError(
+        "StalenessIndex::with_patch: patch extends a corpus of " +
+        std::to_string(patch.base_certificates) + " certificates, base has " +
+        std::to_string(base.result_.corpus.size()));
+  }
+  if (patch.corpus.size() < patch.base_certificates) {
+    throw LogicError("StalenessIndex::with_patch: patched corpus shrank");
+  }
+
+  // Merge the pipeline result: base detector output plus the delta's new
+  // records, over the extended corpus.
+  result_.corpus = std::move(patch.corpus);
+  result_.collect_stats = patch.collect_stats;
+  result_.revocations.join_stats = patch.join_stats;
+  result_.revocations.all_revoked = base.result_.revocations.all_revoked;
+  result_.revocations.key_compromise = base.result_.revocations.key_compromise;
+  result_.registrant_change = base.result_.registrant_change;
+  result_.managed_departure = base.result_.managed_departure;
+  std::vector<core::StaleCertificate> new_key_compromise;
+  for (const auto& stale : patch.new_all_revoked) {
+    if (stale.reason == revocation::ReasonCode::kKeyCompromise) {
+      new_key_compromise.push_back(stale);
+      result_.revocations.key_compromise.push_back(stale);
+    }
+    result_.revocations.all_revoked.push_back(stale);
+  }
+  result_.registrant_change.insert(result_.registrant_change.end(),
+                                   patch.new_registrant_change.begin(),
+                                   patch.new_registrant_change.end());
+  result_.managed_departure.insert(result_.managed_departure.end(),
+                                   patch.new_managed_departure.begin(),
+                                   patch.new_managed_departure.end());
+
+  const auto& corpus = result_.corpus;
+
+  // New stale records: appended per class. New record indices are strictly
+  // larger than every base index, so the per-class lists and the per-domain
+  // buckets stay sorted and unique without a re-sort — only the touched
+  // domain buckets change at all.
+  auto append_records = [&](core::StaleClass cls,
+                            const std::vector<core::StaleCertificate>& fresh) {
+    for (const auto& stale : fresh) {
+      StaleRecord record;
+      record.cert_index = static_cast<std::uint32_t>(stale.corpus_index);
+      record.cls = cls;
+      record.event_date = stale.event_date;
+      record.staleness = stale.staleness;
+      record.trigger_domain = normalize_domain(stale.trigger_domain);
+      record.reason = stale.reason;
+      const auto index = static_cast<std::uint32_t>(records_.size());
+      by_class_[static_cast<std::size_t>(cls)].push_back(index);
+      for (const auto& name : at_risk_domains(corpus, record.cert_index, cls,
+                                              record.trigger_domain)) {
+        domain_to_records_[name].push_back(index);
+      }
+      stats_.by_class[static_cast<std::size_t>(cls)]++;
+      records_.push_back(std::move(record));
+    }
+  };
+  append_records(core::StaleClass::kKeyCompromise, new_key_compromise);
+  append_records(core::StaleClass::kRegistrantChange,
+                 patch.new_registrant_change);
+  append_records(core::StaleClass::kManagedTlsDeparture,
+                 patch.new_managed_departure);
+
+  // The interval index is rebuilt over all windows: records are orders of
+  // magnitude fewer than certificates, and the implicit-BST layout has no
+  // cheap single insertion.
+  std::vector<IntervalIndex::Entry> windows;
+  windows.reserve(records_.size());
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    windows.push_back({records_[i].staleness, i});
+  }
+  staleness_intervals_ = IntervalIndex(std::move(windows));
+
+  // New certificates: SPKI buckets (appended indices keep them ascending)
+  // and the two validity arrays (append + re-sort).
+  for (std::uint32_t i = static_cast<std::uint32_t>(patch.base_certificates);
+       i < corpus.size(); ++i) {
+    const auto& cert = corpus.at(i);
+    key_to_certs_[cert.subject_key().fingerprint_hex()].push_back(i);
+    validity_begins_.push_back(cert.not_before().days_since_epoch());
+    validity_ends_.push_back(cert.not_after().days_since_epoch());
+  }
+  std::sort(validity_begins_.begin(), validity_begins_.end());
+  std::sort(validity_ends_.begin(), validity_ends_.end());
+
+  // Serial join merge: earliest revocation still wins per serial.
+  for (const auto& revoked : patch.new_all_revoked) {
+    const auto& cert = corpus.at(revoked.corpus_index);
+    RevocationStatus status;
+    status.cert_index = static_cast<std::uint32_t>(revoked.corpus_index);
+    status.revocation_date = revoked.event_date;
+    status.reason = revoked.reason.value_or(revocation::ReasonCode::kUnspecified);
+    const std::string serial = util::to_lower(cert.serial_hex());
+    const auto [it, inserted] = serial_to_revocation_.emplace(serial, status);
+    if (!inserted && better_status(status, it->second)) it->second = status;
+  }
+
+  meta_.end = patch.new_end;
+  stats_.certificates = corpus.size();
+  stats_.stale_records = records_.size();
+  stats_.distinct_keys = key_to_certs_.size();
+  stats_.distinct_domains = domain_to_records_.size();
+  stats_.revoked_serials = serial_to_revocation_.size();
+
+  if (scope.enabled()) {
+    scope.count("new_certificates",
+                corpus.size() - patch.base_certificates);
+    scope.count("new_stale_records", records_.size() - base.records_.size());
+    scope.count("certificates", stats_.certificates);
+    scope.count("stale_records", stats_.stale_records);
+    scope.gauge("patch_generation", static_cast<double>(patch_generation_));
+  }
+}
+
+std::shared_ptr<const StalenessIndex> StalenessIndex::with_patch(
+    IndexPatch patch, obs::PipelineObserver* observer) const {
+  return std::shared_ptr<const StalenessIndex>(
+      new StalenessIndex(*this, std::move(patch), observer));
+}
+
 std::shared_ptr<const StalenessIndex> StalenessIndex::from_archive(
     const std::string& path, obs::PipelineObserver* observer) {
   const store::LoadedWorld world = store::load_world(path, observer);

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -117,7 +118,7 @@ void HttpServer::serve_connection(int client_fd) {
   std::string buffer;
   bool keep_open = true;
   while (keep_open && !stopping_.load(std::memory_order_acquire)) {
-    // Read until the end of the request head (no bodies in this subset).
+    // Read until the end of the request head; the body follows separately.
     std::size_t head_end = buffer.find("\r\n\r\n");
     while (head_end == std::string::npos &&
            buffer.size() <= options_.max_request_bytes) {
@@ -154,8 +155,45 @@ void HttpServer::serve_connection(int client_fd) {
       break;
     }
 
+    // Drain the body (Content-Length framing only) regardless of whether
+    // the method is served: leftover body bytes would otherwise be parsed
+    // as the next request head on this keep-alive connection.
+    std::size_t content_length = 0;
+    if (const auto it = request->headers.find("content-length");
+        it != request->headers.end()) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(it->second.c_str(), &end, 10);
+      if (end == it->second.c_str() || *end != '\0' ||
+          parsed > options_.max_request_bytes) {
+        send_all(client_fd,
+                 serialize_response(
+                     {400, "text/plain", "bad or oversized content-length\n"},
+                     /*keep_alive=*/false));
+        break;
+      }
+      content_length = static_cast<std::size_t>(parsed);
+    }
+    bool body_ok = true;
+    while (buffer.size() < content_length) {
+      char chunk[4096];
+      const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        body_ok = false;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (!body_ok) {
+      untrack_and_close(client_fd);
+      return;  // client hung up mid-body
+    }
+    request->body = buffer.substr(0, content_length);
+    buffer.erase(0, content_length);
+
     HttpResponse response;
-    if (request->method != "GET" && request->method != "HEAD") {
+    if (request->method != "GET" && request->method != "HEAD" &&
+        request->method != "POST") {
       response = {405, "text/plain", "method not allowed\n"};
     } else {
       try {

@@ -25,7 +25,7 @@ std::vector<double> latency_bounds() {
 /// The fixed endpoint label set; windows_ is keyed by exactly these.
 constexpr const char* kEndpoints[] = {"stale",   "key",     "summary",
                                       "revocation", "healthz", "metrics",
-                                      "statusz", "other"};
+                                      "statusz", "ingest",  "other"};
 
 constexpr std::chrono::seconds kWindows[] = {std::chrono::seconds(60),
                                              std::chrono::seconds(300)};
@@ -153,6 +153,39 @@ void StaledService::load() {
                                  .count())}});
 }
 
+void StaledService::publish(std::shared_ptr<const StalenessIndex> index,
+                            const std::string& source) {
+  if (!index) return;
+  registry_
+      .gauge("stalecert_staled_index_stale_records", {},
+             "Stale records in the serving snapshot")
+      .set(static_cast<double>(index->stats().stale_records));
+  registry_
+      .gauge("stalecert_staled_index_certificates", {},
+             "Corpus certificates in the serving snapshot")
+      .set(static_cast<double>(index->stats().certificates));
+  const std::uint64_t certificates = index->stats().certificates;
+  const std::uint64_t stale_records = index->stats().stale_records;
+  cell_.set(std::move(index));
+  registry_
+      .gauge("stalecert_staled_index_generation", {},
+             "Monotonic serving snapshot generation")
+      .set(static_cast<double>(cell_.generation()));
+  last_ingest_offset_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           started_)
+          .count(),
+      std::memory_order_relaxed);
+  last_load_offset_ns_.store(
+      last_ingest_offset_ns_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  log_.info("snapshot published",
+            {{"source", source},
+             {"generation", std::to_string(cell_.generation())},
+             {"certificates", std::to_string(certificates)},
+             {"stale_records", std::to_string(stale_records)}});
+}
+
 bool StaledService::reload() {
   const auto start = Clock::now();
   try {
@@ -172,6 +205,136 @@ bool StaledService::reload() {
                {{"archive", archive_path_}, {"error", e.what()}});
     return false;
   }
+}
+
+void StaledService::set_ingest_handler(IngestHandler handler) {
+  ingest_handler_ = std::move(handler);
+  if (!ingest_handler_) return;
+  // Pre-register the ingest metrics so /metrics shows them at zero.
+  registry_.counter("stalecert_staled_ingest_total", {{"result", "ok"}},
+                    "Deltas applied to the serving snapshot");
+  registry_.counter("stalecert_staled_ingest_total", {{"result", "error"}},
+                    "Rejected deltas (previous snapshot kept)");
+  registry_.counter("stalecert_staled_ingest_rebuilds_total", {},
+                    "Deltas that fell back to a full pipeline rebuild");
+  registry_.gauge("stalecert_staled_feed_generation", {},
+                  "Deltas folded in since the base snapshot");
+  registry_.gauge("stalecert_staled_feed_horizon_days", {},
+                  "Last day covered by applied data, days since epoch");
+}
+
+IngestOutcome StaledService::ingest(const IngestSource& source) {
+  if (!ingest_handler_) {
+    return {.ok = false, .status = 404, .message = "feed mode disabled"};
+  }
+  const auto start = Clock::now();
+  IngestOutcome outcome;
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    outcome = ingest_handler_(source);
+    if (outcome.ok && outcome.index) cell_.set(outcome.index);
+  }
+  const auto now = Clock::now();
+  const double seconds = std::chrono::duration<double>(now - start).count();
+  registry_
+      .histogram("stalecert_staled_ingest_apply_seconds", latency_bounds(), {},
+                 "Wall-clock per delta apply (including failures)")
+      .observe(seconds);
+
+  const std::string origin_label =
+      source.path.empty() ? source.origin : source.origin + " " + source.path;
+  if (outcome.ok) {
+    deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+    if (outcome.rebuilt) {
+      ingest_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+      registry_.counter("stalecert_staled_ingest_rebuilds_total", {}).inc();
+    }
+    feed_generation_.store(outcome.feed_generation, std::memory_order_relaxed);
+    registry_.counter("stalecert_staled_ingest_total", {{"result", "ok"}}).inc();
+    registry_.gauge("stalecert_staled_feed_generation", {})
+        .set(static_cast<double>(outcome.feed_generation));
+    registry_.gauge("stalecert_staled_index_generation", {},
+                    "Monotonic serving snapshot generation")
+        .set(static_cast<double>(cell_.generation()));
+    if (outcome.index) {
+      registry_.gauge("stalecert_staled_index_stale_records", {})
+          .set(static_cast<double>(outcome.index->stats().stale_records));
+      registry_.gauge("stalecert_staled_index_certificates", {})
+          .set(static_cast<double>(outcome.index->stats().certificates));
+    }
+    try {
+      const util::Date horizon = util::Date::parse(outcome.horizon);
+      feed_horizon_days_.store(horizon.days_since_epoch(),
+                               std::memory_order_relaxed);
+      registry_.gauge("stalecert_staled_feed_horizon_days", {})
+          .set(static_cast<double>(horizon.days_since_epoch()));
+    } catch (const ParseError&) {
+      // Handler did not report a horizon; gauges keep their last value.
+    }
+    last_ingest_offset_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - started_)
+            .count(),
+        std::memory_order_relaxed);
+    log_.info("delta applied",
+              {{"source", origin_label},
+               {"generation", std::to_string(outcome.feed_generation)},
+               {"horizon", outcome.horizon},
+               {"new_certificates", std::to_string(outcome.new_certificates)},
+               {"new_stale_records", std::to_string(outcome.new_stale_records)},
+               {"rebuilt", outcome.rebuilt ? "true" : "false"},
+               {"apply_ms", format_double(seconds * 1e3)}});
+  } else {
+    ingest_errors_.fetch_add(1, std::memory_order_relaxed);
+    registry_.counter("stalecert_staled_ingest_total", {{"result", "error"}})
+        .inc();
+    log_.warn("delta rejected, previous snapshot kept",
+              {{"source", origin_label},
+               {"status", std::to_string(outcome.status)},
+               {"error", outcome.message}});
+  }
+  return outcome;
+}
+
+HttpResponse StaledService::handle_ingest(const HttpRequest& request,
+                                          obs::RequestTrace* trace) {
+  if (!ingest_handler_) {
+    return {404, "application/json",
+            "{\"error\":\"feed mode disabled (start staled with "
+            "--feed-dir or install an ingest handler)\"}\n"};
+  }
+  if (request.method != "POST") {
+    return {405, "application/json",
+            "{\"error\":\"POST a .scwd delta (raw body) or POST "
+            "/ingest?path=<file>\"}\n"};
+  }
+  IngestSource source;
+  source.origin = "http";
+  if (const auto path = request.param("path"); path && !path->empty()) {
+    source.path = *path;
+  } else if (!request.body.empty()) {
+    source.bytes = request.body;
+  } else {
+    return bad_request("empty ingest: send the .scwd bytes or ?path=");
+  }
+
+  const auto apply_start = Clock::now();
+  const IngestOutcome outcome = ingest(source);
+  trace->add_span("apply", Clock::now() - apply_start);
+
+  const TraceSpan serialize(trace, "serialize");
+  std::ostringstream out;
+  if (!outcome.ok) {
+    out << "{\"applied\":false,\"error\":\"" << json_escape(outcome.message)
+        << "\"}\n";
+    return {outcome.status, "application/json", out.str()};
+  }
+  out << "{\"applied\":true,\"generation\":" << outcome.feed_generation
+      << ",\"snapshot_generation\":" << cell_.generation()
+      << ",\"horizon\":\"" << json_escape(outcome.horizon)
+      << "\",\"new_certificates\":" << outcome.new_certificates
+      << ",\"new_stale_records\":" << outcome.new_stale_records
+      << ",\"rebuilt\":" << (outcome.rebuilt ? "true" : "false") << "}\n";
+  return {200, "application/json", out.str()};
 }
 
 HttpResponse StaledService::handle(const HttpRequest& request) {
@@ -258,6 +421,13 @@ HttpResponse StaledService::dispatch(
     trace->add_span("route", Clock::now() - route_start);
   };
 
+  // The server lets POST through for /ingest's sake; every other endpoint
+  // is read-only.
+  if (request.method == "POST" && path != "/ingest") {
+    trace->add_span("route", Clock::now() - route_start);
+    return {405, "text/plain", "method not allowed\n"};
+  }
+
   if (path == "/healthz") {
     routed("healthz");
     const TraceSpan serialize(trace, "serialize");
@@ -271,6 +441,10 @@ HttpResponse StaledService::dispatch(
   if (path == "/statusz") {
     routed("statusz");
     return handle_statusz(request, index, trace);
+  }
+  if (path == "/ingest") {
+    routed("ingest");
+    return handle_ingest(request, trace);
   }
 
   if (index == nullptr) {
@@ -523,7 +697,36 @@ std::string StaledService::statusz_json(
   }
   if (index != nullptr) {
     out << ",\"certificates\":" << index->stats().certificates
-        << ",\"stale_records\":" << index->stats().stale_records;
+        << ",\"stale_records\":" << index->stats().stale_records
+        << ",\"patch_generation\":" << index->patch_generation();
+  }
+  out << "}";
+
+  out << ",\"feed\":{\"enabled\":" << (feed_enabled() ? "true" : "false");
+  if (feed_enabled()) {
+    if (!options_.feed_dir.empty()) {
+      out << ",\"dir\":\"" << json_escape(options_.feed_dir) << "\"";
+    }
+    out << ",\"generation\":" << feed_generation_.load(std::memory_order_relaxed)
+        << ",\"deltas_applied\":"
+        << deltas_applied_.load(std::memory_order_relaxed)
+        << ",\"rebuilds\":" << ingest_rebuilds_.load(std::memory_order_relaxed)
+        << ",\"errors\":" << ingest_errors_.load(std::memory_order_relaxed);
+    const std::int64_t horizon_days =
+        feed_horizon_days_.load(std::memory_order_relaxed);
+    if (horizon_days != INT64_MIN) {
+      out << ",\"horizon\":" << date_json(util::Date(horizon_days));
+    }
+    const std::int64_t ingest_offset =
+        last_ingest_offset_ns_.load(std::memory_order_relaxed);
+    if (ingest_offset >= 0) {
+      // Ingest lag: how stale the feed is, seconds since the last applied
+      // delta.
+      const double lag =
+          std::chrono::duration<double>(now - started_).count() -
+          static_cast<double>(ingest_offset) / 1e9;
+      out << ",\"ingest_lag_seconds\":" << format_double(std::max(lag, 0.0));
+    }
   }
   out << "}";
 

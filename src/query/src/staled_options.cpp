@@ -24,6 +24,7 @@ bool parse_unsigned(const std::string& text, unsigned long* out) {
 std::string staled_usage_line() {
   return "staled [--port N] [--bind ADDR] [--threads N]"
          " [--log-file PATH] [--log-level debug|info|warn|error]"
+         " [--feed-dir DIR] [--feed-poll-ms N]"
          " <archive.scw>";
 }
 
@@ -35,7 +36,8 @@ StaledOptionsResult parse_staled_options(const std::vector<std::string>& args,
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--port" || arg == "--bind" || arg == "--threads" ||
-        arg == "--log-file" || arg == "--log-level") {
+        arg == "--log-file" || arg == "--log-level" || arg == "--feed-dir" ||
+        arg == "--feed-poll-ms") {
       if (i + 1 >= args.size()) return fail(arg + " requires an argument");
       const std::string& value = args[++i];
       if (arg == "--port") {
@@ -55,6 +57,15 @@ StaledOptionsResult parse_staled_options(const std::vector<std::string>& args,
         options.server.threads = static_cast<unsigned>(threads);
       } else if (arg == "--log-file") {
         options.log_file = value;
+      } else if (arg == "--feed-dir") {
+        options.feed_dir = value;
+      } else if (arg == "--feed-poll-ms") {
+        unsigned long poll_ms = 0;
+        if (!parse_unsigned(value, &poll_ms) || poll_ms == 0 ||
+            poll_ms > 3600000) {
+          return fail("bad --feed-poll-ms value: " + value);
+        }
+        options.feed_poll_ms = static_cast<unsigned>(poll_ms);
       } else {
         const auto level = obs::parse_log_level(value);
         if (!level) return fail("bad --log-level value: " + value);

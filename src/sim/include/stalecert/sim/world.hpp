@@ -40,7 +40,20 @@ class World : public ca::ValidationEnvironment {
   void run();
   /// Advances a single day (exposed for incremental tests).
   void step();
+  /// Continues the simulation `days` past the configured horizon (run()
+  /// must have completed first). Tail days run in "live" mode: the WHOIS,
+  /// aDNS and CRL collection windows are treated as open-ended, because a
+  /// live measurement pipeline never stops collecting. Deterministic: the
+  /// RNG stream simply continues, so extend(1) seven times produces the
+  /// same world as extend(7), and the base period is untouched — interp()
+  /// and the compromise ramp clamp at the configured end, so tail days
+  /// hold the final rates rather than extrapolating.
+  void extend(std::int64_t days);
   [[nodiscard]] util::Date today() const { return today_; }
+  /// Last simulated day: config.end for a run() world, later if extended.
+  [[nodiscard]] util::Date horizon() const {
+    return today_ > config_.end ? today_ - 1 : config_.end;
+  }
   /// The configuration this world was built from (archival provenance).
   [[nodiscard]] const WorldConfig& config() const { return config_; }
 
@@ -132,6 +145,9 @@ class World : public ca::ValidationEnvironment {
   WorldConfig config_;
   util::Rng rng_;
   util::Date today_;
+  /// Set by extend(): collection windows are held open past their
+  /// configured ends so the tail behaves like a live feed.
+  bool live_tail_ = false;
   obs::PipelineObserver* observer_ = nullptr;
   registrar::RegistrantId next_registrant_ = 1;
   std::uint64_t name_counter_ = 0;

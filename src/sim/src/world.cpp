@@ -223,7 +223,8 @@ void World::issue_self_managed(const std::string& domain, Site& site,
 }
 
 void World::record_whois(const std::string& domain, util::Date date) {
-  if (date < config_.whois_start || date > config_.whois_end) return;
+  if (date < config_.whois_start) return;
+  if (date > config_.whois_end && !live_tail_) return;
   const auto* reg = registry_.find(domain);
   if (!reg) return;
   whois::ThinRecord record;
@@ -548,8 +549,10 @@ void World::step() {
   inject_other_revocations(date);
   run_godaddy_breach(date);
 
-  // 5. Measurement pipelines.
-  if (date >= config_.adns_start && date <= config_.adns_end) {
+  // 5. Measurement pipelines. In live-tail mode (extend()) the collection
+  //    windows stay open: a deployed pipeline keeps scanning and fetching
+  //    past any planned study end date.
+  if (date >= config_.adns_start && (date <= config_.adns_end || live_tail_)) {
     dns::ScanEngine engine(dns_);
     dns::DailySnapshot full = engine.scan(date);
     // Retain the Cloudflare-relevant slice (the detectors' working set).
@@ -565,7 +568,7 @@ void World::step() {
     }
     adns_.add(slice);
   }
-  if (date >= config_.crl_start && date <= config_.crl_end) {
+  if (date >= config_.crl_start && (date <= config_.crl_end || live_tail_)) {
     if (crl_collector_->coverage().empty()) {
       // First collection day: build the CCADB-style disclosure list.
       for (const auto& ca : cas_) {
@@ -619,6 +622,16 @@ void World::run() {
     scope.gauge("revocable_pool", static_cast<double>(revocable_.size()));
     scope.gauge("adns_snapshot_days", static_cast<double>(adns_.days()));
   }
+}
+
+void World::extend(std::int64_t days) {
+  if (days < 0) throw LogicError("World::extend: negative day count");
+  if (today_ <= config_.end) {
+    throw LogicError("World::extend: run() the world to its horizon first");
+  }
+  live_tail_ = true;
+  const util::Date stop = today_ + days;
+  while (today_ < stop) step();
 }
 
 std::vector<std::string> World::domain_universe() const { return universe_; }

@@ -268,7 +268,11 @@ std::uint64_t save_world(const sim::World& world, const std::string& path,
   meta.profile = profile;
   meta.seed = config.seed;
   meta.start = config.start;
-  meta.end = config.end;
+  // An extended world (World::extend) reaches past its configured end; the
+  // archive records the actually-simulated horizon so readers see the true
+  // data window. For a plain run() world this is exactly config.end, which
+  // keeps existing archives (incl. the golden fixture) byte-identical.
+  meta.end = world.horizon();
   meta.revocation_cutoff = config.revocation_cutoff;
   meta.delegation_patterns = world.cloudflare_delegation_patterns();
   meta.managed_san_pattern = world.cloudflare_san_pattern();

@@ -66,6 +66,35 @@ TEST(StaledOptionsTest, BadEnvFallsBackToInfo) {
   EXPECT_EQ(result.options->log_level, LogLevel::kInfo);
 }
 
+TEST(StaledOptionsTest, FeedFlagsDefaultOff) {
+  const auto result = parse_staled_options({"world.scw"}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.options->feed_dir.empty());
+  EXPECT_EQ(result.options->feed_poll_ms, 1000);
+}
+
+TEST(StaledOptionsTest, ParsesFeedFlags) {
+  const auto result = parse_staled_options(
+      {"--feed-dir", "/var/feed", "--feed-poll-ms", "250", "w.scw"}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.options->feed_dir, "/var/feed");
+  EXPECT_EQ(result.options->feed_poll_ms, 250);
+}
+
+TEST(StaledOptionsTest, RejectsBadFeedPollValues) {
+  EXPECT_FALSE(parse_staled_options({"--feed-dir"}, nullptr).ok());
+  EXPECT_FALSE(
+      parse_staled_options({"--feed-poll-ms", "0", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(
+      parse_staled_options({"--feed-poll-ms", "-5", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(parse_staled_options({"--feed-poll-ms", "notanumber", "w.scw"},
+                                    nullptr)
+                   .ok());
+  EXPECT_FALSE(
+      parse_staled_options({"--feed-poll-ms", "9999999", "w.scw"}, nullptr)
+          .ok());
+}
+
 TEST(StaledOptionsTest, RejectsBadInput) {
   EXPECT_FALSE(parse_staled_options({}, nullptr).ok());
   EXPECT_FALSE(parse_staled_options({"--port"}, nullptr).ok());

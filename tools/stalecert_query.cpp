@@ -4,12 +4,16 @@
 //   $ ./stalecert_query key <spki-hex>
 //   $ ./stalecert_query summary [--domain D]
 //   $ ./stalecert_query revocation --serial <hex>
+//   $ ./stalecert_query ingest <delta.scwd>
 //   $ ./stalecert_query healthz | metrics | statusz | get <raw-target>
 //
-// Prints the response body to stdout and the HTTP status to stderr.
+// `ingest` POSTs the .scwd bytes to /ingest on a feed-mode staled (see
+// src/feed/README.md); everything else is a GET. Prints the response body
+// to stdout and the HTTP status to stderr.
 // Exit codes: 0 on HTTP 200, 1 on any other status, 2 on usage errors,
 // 3 when the daemon is unreachable.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -29,6 +33,7 @@ int usage(const std::string& detail) {
          "  key <spki-hex>                       certificates sharing a key\n"
          "  summary [--domain D]                 global or per-domain summary\n"
          "  revocation --serial <hex>            joined revocation status\n"
+         "  ingest <delta.scwd>                  POST a delta to /ingest\n"
          "  healthz                              daemon liveness\n"
          "  metrics                              Prometheus metrics\n"
          "  statusz [--format html]              operational status page\n"
@@ -93,6 +98,8 @@ int main(int argc, char** argv) {
   }
 
   std::string target;
+  std::string post_body;
+  bool is_post = false;
   if (command == "stale") {
     if (named.count("domain") == 0 || named.count("date") == 0) {
       return usage("stale requires --domain and --date");
@@ -108,6 +115,17 @@ int main(int argc, char** argv) {
   } else if (command == "revocation") {
     if (named.count("serial") == 0) return usage("revocation requires --serial");
     target = "/v1/revocation?serial=" + encode(named["serial"]);
+  } else if (command == "ingest") {
+    if (positional.size() != 1) return usage("ingest requires one .scwd path");
+    std::ifstream in(positional[0], std::ios::binary);
+    if (!in) {
+      std::cerr << "stalecert_query: cannot read " << positional[0] << '\n';
+      return 2;
+    }
+    post_body.assign((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    target = "/ingest";
+    is_post = true;
   } else if (command == "healthz") {
     target = "/healthz";
   } else if (command == "metrics") {
@@ -123,7 +141,10 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto result = query::http_get(host, port, target);
+    const auto result =
+        is_post ? query::HttpClient(host, port).post(
+                      target, post_body, "application/octet-stream")
+                : query::http_get(host, port, target);
     std::cerr << "HTTP " << result.status << " " << target << '\n';
     std::cout << result.body;
     return result.status == 200 ? 0 : 1;

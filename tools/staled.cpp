@@ -14,17 +14,32 @@
 // stderr, optionally mirrored as JSONL with --log-file. --log-level (or the
 // STALECERT_LOG_LEVEL environment variable) filters severity.
 //
+// Feed mode (--feed-dir DIR): the accumulated world is kept in memory, the
+// directory's .scwd deltas are applied at startup and then polled every
+// --feed-poll-ms, and POST /ingest applies a delta on demand — each apply
+// runs only the delta records through the staleness detectors and swaps a
+// patched snapshot in, so the daemon stays fresh without re-running the
+// pipeline (see src/feed/README.md).
+//
 // SIGHUP hot-reloads the archive: the replacement index is built off the
 // serving path and swapped in atomically; on failure the old snapshot keeps
-// serving. SIGINT/SIGTERM drain gracefully: no new connections, in-flight
-// requests finish, exit 0. --port 0 binds an ephemeral port and prints the
-// outcome, which is how the CI smoke test finds it.
+// serving. In feed mode the reload also re-applies every delta in
+// --feed-dir on top of the rebuilt base. SIGINT/SIGTERM drain gracefully:
+// no new connections, in-flight requests finish, exit 0. --port 0 binds an
+// ephemeral port and prints the outcome, which is how the CI smoke test
+// finds it.
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "stalecert/feed/runtime.hpp"
 #include "stalecert/query/server.hpp"
 #include "stalecert/query/service.hpp"
 #include "stalecert/query/staled_options.hpp"
@@ -58,13 +73,40 @@ int run(int argc, char** argv) {
 
   query::ServiceOptions service_options;
   service_options.build_info = "stalecert-staled/1 (obs v2)";
+  service_options.feed_dir = options.feed_dir;
   query::StaledService service(options.archive_path, service_options);
   service.log().set_level(options.log_level);
   if (!options.log_file.empty() && !service.log().open_jsonl(options.log_file)) {
     std::cerr << "staled: cannot open --log-file " << options.log_file << '\n';
     return 2;
   }
-  service.load();
+
+  const bool feed_mode = !options.feed_dir.empty();
+  std::unique_ptr<feed::FeedRuntime> runtime;
+  // One sweep: ingest every pending delta through the service (which
+  // publishes each successor snapshot and keeps the metrics honest), then
+  // refresh the pending-deltas gauge.
+  const auto sweep_feed_dir = [&](const std::string& origin) {
+    for (const auto& path : runtime->pending_deltas(options.feed_dir)) {
+      if (!service.ingest({.path = path, .origin = origin}).ok) break;
+    }
+    service
+        .registry()
+        .gauge("stalecert_staled_feed_pending_deltas", {},
+               "Readable .scwd files in --feed-dir still ahead of the horizon")
+        .set(static_cast<double>(
+            runtime->pending_deltas(options.feed_dir).size()));
+  };
+  if (feed_mode) {
+    // The runtime's base build replaces service.load(): same pipeline, but
+    // it keeps the world in memory for incremental applies.
+    runtime = std::make_unique<feed::FeedRuntime>(options.archive_path);
+    service.set_ingest_handler(runtime->handler());
+    service.publish(runtime->index(), "feed base " + options.archive_path);
+    sweep_feed_dir("startup");
+  } else {
+    service.load();
+  }
 
   query::HttpServer server(options.server,
                            [&service](const query::HttpRequest& r) {
@@ -87,13 +129,51 @@ int run(int argc, char** argv) {
                       {"port", std::to_string(server.port())},
                       {"workers", std::to_string(workers)}});
 
+  // Feed poll loop: condition-variable timed wait so shutdown is instant.
+  std::mutex poll_mutex;
+  std::condition_variable poll_cv;
+  bool poll_stop = false;
+  std::thread poller;
+  if (feed_mode) {
+    service.log().info("feed mode on",
+                       {{"dir", options.feed_dir},
+                        {"poll_ms", std::to_string(options.feed_poll_ms)}});
+    poller = std::thread([&] {
+      std::unique_lock<std::mutex> lock(poll_mutex);
+      while (!poll_stop) {
+        lock.unlock();
+        sweep_feed_dir("poll");
+        lock.lock();
+        poll_cv.wait_for(lock,
+                         std::chrono::milliseconds(options.feed_poll_ms),
+                         [&] { return poll_stop; });
+      }
+    });
+  }
+
   for (;;) {
     int signal = 0;
     if (sigwait(&signals, &signal) != 0) continue;
     if (signal == SIGHUP) {
       service.log().info("SIGHUP received, reloading",
                          {{"archive", options.archive_path}});
-      service.reload();  // outcome (ok/failed) is logged by the service
+      if (feed_mode) {
+        // Rebuild the base from disk, publish it, then re-apply every
+        // delta in --feed-dir on top. On a broken archive the runtime
+        // keeps its current state and the old snapshot keeps serving.
+        try {
+          runtime->reload();
+          service.publish(runtime->index(),
+                          "sighup base " + options.archive_path);
+          sweep_feed_dir("sighup");
+        } catch (const std::exception& e) {
+          service.log().error("reload failed, previous snapshot kept",
+                              {{"archive", options.archive_path},
+                               {"error", e.what()}});
+        }
+      } else {
+        service.reload();  // outcome (ok/failed) is logged by the service
+      }
       continue;
     }
     service.log().info("signal received, draining",
@@ -101,6 +181,14 @@ int run(int argc, char** argv) {
     break;
   }
 
+  if (poller.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(poll_mutex);
+      poll_stop = true;
+    }
+    poll_cv.notify_all();
+    poller.join();
+  }
   server.stop();
   // The "drained after" phrasing is part of the smoke-test contract.
   service.log().info(

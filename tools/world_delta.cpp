@@ -1,0 +1,171 @@
+// world_delta: inspect, validate, and compare .scwd incremental world
+// deltas (the files world_gen --extend-days emits and staled --feed-dir
+// ingests).
+//
+//   $ ./world_delta info <delta.scwd>
+//   $ ./world_delta verify <delta.scwd> [--base <world.scw>]
+//   $ ./world_delta diff <a.scwd> <b.scwd>
+//
+// info prints the delta's binding (base world id, profile, seed, covered
+// days) and per-dataset record counts. verify fully decodes the container
+// (magic, version, per-segment CRCs, record structure) and, with --base,
+// additionally checks the delta binds to that archive and follows directly
+// after its horizon — the same checks staled applies before ingesting.
+// diff compares two deltas field by field: binding, coverage, and record
+// counts. Exit status: 0 ok, 1 validation/diff failure, 2 usage.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stalecert/feed/delta.hpp"
+#include "stalecert/feed/errors.hpp"
+#include "stalecert/feed/extend.hpp"
+#include "stalecert/feed/format.hpp"
+#include "stalecert/store/archive.hpp"
+#include "stalecert/store/errors.hpp"
+
+using namespace stalecert;
+
+namespace {
+
+int usage(const std::string& detail) {
+  std::cerr << "usage: world_delta info <delta.scwd>\n"
+               "       world_delta verify <delta.scwd> [--base <world.scw>]\n"
+               "       world_delta diff <a.scwd> <b.scwd>\n";
+  if (!detail.empty()) std::cerr << detail << '\n';
+  return 2;
+}
+
+void print_info(const std::string& path, const feed::WorldDelta& delta) {
+  std::cout << path << ":\n"
+            << "  base world id:  " << delta.meta.base_world_id << "\n"
+            << "  profile:        " << delta.meta.profile << " (seed "
+            << delta.meta.seed << ")\n"
+            << "  covers:         " << delta.meta.from_day.to_string() << " .. "
+            << delta.meta.to_day.to_string() << " ("
+            << (delta.meta.to_day - delta.meta.from_day + 1) << " days)\n"
+            << "  ct entries:     " << delta.ct_entry_count() << " across "
+            << delta.ct.size() << " logs\n"
+            << "  revocations:    " << delta.revocations.size() << "\n"
+            << "  whois events:   " << delta.registrations.size() << "\n"
+            << "  adns snapshots: " << delta.adns.size() << "\n";
+}
+
+int run_info(const std::string& path) {
+  print_info(path, feed::read_delta(path));
+  return 0;
+}
+
+int run_verify(const std::string& path, const std::string& base_path) {
+  const feed::WorldDelta delta = feed::read_delta(path);  // throws if broken
+  std::cout << path << ": container ok (" << delta.ct_entry_count()
+            << " ct entries, " << delta.revocations.size() << " revocations, "
+            << delta.registrations.size() << " whois events, "
+            << delta.adns.size() << " adns snapshots)\n";
+  if (base_path.empty()) return 0;
+
+  const store::ArchiveReader reader(base_path);
+  const std::uint64_t base_id = feed::world_id(reader.meta());
+  if (delta.meta.base_world_id != base_id) {
+    std::cerr << "world_delta: " << path << " binds to world id "
+              << delta.meta.base_world_id << ", but " << base_path
+              << " has world id " << base_id << '\n';
+    return 1;
+  }
+  const util::Date horizon = reader.meta().end;
+  if (delta.meta.from_day != horizon + 1) {
+    std::cerr << "world_delta: " << path << " starts "
+              << delta.meta.from_day.to_string() << " but " << base_path
+              << " ends " << horizon.to_string()
+              << " (expected a delta starting " << (horizon + 1).to_string()
+              << ")\n";
+    return 1;
+  }
+  std::cout << path << ": binds to " << base_path << " and follows its horizon"
+            << '\n';
+  return 0;
+}
+
+int run_diff(const std::string& a_path, const std::string& b_path) {
+  const feed::WorldDelta a = feed::read_delta(a_path);
+  const feed::WorldDelta b = feed::read_delta(b_path);
+  std::size_t differences = 0;
+  const auto compare = [&](const std::string& field, const std::string& lhs,
+                           const std::string& rhs) {
+    if (lhs == rhs) return;
+    ++differences;
+    std::cout << "  " << field << ": " << lhs << " != " << rhs << '\n';
+  };
+  std::cout << "diff " << a_path << " " << b_path << ":\n";
+  compare("base world id", std::to_string(a.meta.base_world_id),
+          std::to_string(b.meta.base_world_id));
+  compare("profile", a.meta.profile, b.meta.profile);
+  compare("seed", std::to_string(a.meta.seed), std::to_string(b.meta.seed));
+  compare("from_day", a.meta.from_day.to_string(), b.meta.from_day.to_string());
+  compare("to_day", a.meta.to_day.to_string(), b.meta.to_day.to_string());
+  compare("ct entries", std::to_string(a.ct_entry_count()),
+          std::to_string(b.ct_entry_count()));
+  compare("ct logs touched", std::to_string(a.ct.size()),
+          std::to_string(b.ct.size()));
+  compare("revocations", std::to_string(a.revocations.size()),
+          std::to_string(b.revocations.size()));
+  compare("whois events", std::to_string(a.registrations.size()),
+          std::to_string(b.registrations.size()));
+  compare("adns snapshots", std::to_string(a.adns.size()),
+          std::to_string(b.adns.size()));
+  if (differences == 0) {
+    std::cout << "  identical metadata and record counts\n";
+    return 0;
+  }
+  return 1;
+}
+
+int run(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage("missing command");
+  const std::string& command = args[0];
+  if (command == "info") {
+    if (args.size() != 2) return usage("info takes exactly one delta path");
+    return run_info(args[1]);
+  }
+  if (command == "verify") {
+    std::string path;
+    std::string base;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--base") {
+        if (i + 1 >= args.size()) return usage("--base requires an argument");
+        base = args[++i];
+      } else if (!args[i].empty() && args[i][0] == '-') {
+        return usage("unknown flag " + args[i]);
+      } else if (path.empty()) {
+        path = args[i];
+      } else {
+        return usage("multiple delta paths given");
+      }
+    }
+    if (path.empty()) return usage("missing delta path");
+    return run_verify(path, base);
+  }
+  if (command == "diff") {
+    if (args.size() != 3) return usage("diff takes exactly two delta paths");
+    return run_diff(args[1], args[2]);
+  }
+  return usage("unknown command " + command);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const store::ArchiveError& e) {
+    std::cerr << "world_delta: unreadable file: " << e.what() << '\n';
+    return 1;
+  } catch (const stalecert::Error& e) {
+    std::cerr << "world_delta: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "world_delta: unexpected error: " << e.what() << '\n';
+    return 1;
+  }
+}

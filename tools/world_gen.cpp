@@ -9,11 +9,26 @@
 // world_analyze --in-memory can regenerate the identical world for
 // cross-checking. --metrics-json writes the observability snapshot
 // (sim_run + store_save stages) as JSON to <path>, or stderr for "-".
+//
+// Extension mode emits incremental .scwd deltas instead of a new archive:
+//
+//   $ ./world_gen --extend-days N [--slice-days M] [--out-dir DIR] \
+//                 --base <world.scw>
+//   wrote DIR/delta-<from>-<to>.scwd: ... (one per slice)
+//
+// The base archive's profile + seed regenerate the identical world, which
+// is run past its horizon; each slice's new records are diffed out and
+// written as a delta bound to the base's world id. Deterministic: the same
+// base and flags always produce byte-identical .scwd files.
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "stalecert/feed/delta.hpp"
+#include "stalecert/feed/errors.hpp"
+#include "stalecert/feed/extend.hpp"
 #include "stalecert/obs/event_log.hpp"
 #include "stalecert/obs/observer.hpp"
 #include "stalecert/sim/world.hpp"
@@ -26,25 +41,85 @@ namespace {
 
 int usage(const std::string& detail) {
   std::cerr << "usage: world_gen [--profile small|default] [--seed N]"
-               " [--metrics-json <path|->] <output.scw>\n";
+               " [--metrics-json <path|->] <output.scw>\n"
+               "       world_gen --extend-days N [--slice-days M]"
+               " [--out-dir DIR] --base <world.scw>\n";
   if (!detail.empty()) std::cerr << detail << '\n';
   return 2;
+}
+
+/// --extend-days mode: regenerate the base world, run it N days past its
+/// horizon, and write one .scwd delta per slice into --out-dir.
+int run_extend(const std::string& base_path, std::int64_t days,
+               std::int64_t slice_days, const std::string& out_dir,
+               const std::string& metrics_json_path) {
+  obs::MetricsPipelineObserver telemetry;
+  obs::PipelineObserver* observer =
+      metrics_json_path.empty() ? nullptr : &telemetry;
+
+  const store::ArchiveReader reader(base_path);
+  const auto deltas =
+      feed::extend_world(reader.meta(), days, slice_days, observer);
+
+  std::filesystem::create_directories(out_dir);
+  for (const auto& delta : deltas) {
+    const std::string path =
+        (std::filesystem::path(out_dir) / feed::delta_file_name(delta.meta))
+            .string();
+    const std::uint64_t bytes = feed::write_delta(delta, path, observer);
+    std::cout << "wrote " << path << ": " << bytes << " bytes, "
+              << delta.ct_entry_count() << " ct entries, "
+              << delta.revocations.size() << " revocations, "
+              << delta.registrations.size() << " whois events, "
+              << delta.adns.size() << " adns snapshots\n";
+  }
+
+  if (!metrics_json_path.empty()) {
+    if (metrics_json_path == "-") {
+      std::cerr << telemetry.report_json() << '\n';
+    } else {
+      std::ofstream out(metrics_json_path);
+      if (!out) {
+        std::cerr << "world_gen: cannot write metrics JSON to "
+                  << metrics_json_path << '\n';
+        return 1;
+      }
+      out << telemetry.report_json() << '\n';
+    }
+  }
+  return 0;
 }
 
 int run(int argc, char** argv) {
   std::string profile = "small";
   std::string metrics_json_path;
   std::string output_path;
+  std::string base_path;
+  std::string out_dir = ".";
   std::optional<std::uint64_t> seed;
+  std::int64_t extend_days = 0;
+  std::int64_t slice_days = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--profile" || arg == "--seed" || arg == "--metrics-json") {
+    if (arg == "--profile" || arg == "--seed" || arg == "--metrics-json" ||
+        arg == "--extend-days" || arg == "--slice-days" || arg == "--base" ||
+        arg == "--out-dir") {
       if (i + 1 >= argc) return usage(arg + " requires an argument");
       const std::string value = argv[++i];
       if (arg == "--profile") {
         profile = value;
       } else if (arg == "--seed") {
         seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      } else if (arg == "--extend-days") {
+        extend_days = std::atoll(value.c_str());
+        if (extend_days <= 0) return usage("bad --extend-days value: " + value);
+      } else if (arg == "--slice-days") {
+        slice_days = std::atoll(value.c_str());
+        if (slice_days <= 0) return usage("bad --slice-days value: " + value);
+      } else if (arg == "--base") {
+        base_path = value;
+      } else if (arg == "--out-dir") {
+        out_dir = value;
       } else {
         metrics_json_path = value;
       }
@@ -56,6 +131,15 @@ int run(int argc, char** argv) {
       return usage("multiple output paths given");
     }
   }
+  if (extend_days > 0) {
+    if (base_path.empty()) return usage("--extend-days requires --base");
+    if (!output_path.empty()) {
+      return usage("--extend-days writes into --out-dir, not a positional path");
+    }
+    return run_extend(base_path, extend_days, slice_days, out_dir,
+                      metrics_json_path);
+  }
+  if (!base_path.empty()) return usage("--base requires --extend-days");
   if (output_path.empty()) return usage("missing output path");
 
   obs::EventLog log;
