@@ -1,12 +1,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "stalecert/feed/applier.hpp"
 #include "stalecert/query/service.hpp"
+#include "stalecert/util/mutex.hpp"
 
 namespace stalecert::feed {
 
@@ -56,27 +56,27 @@ class FeedRuntime {
   void reload();
 
   [[nodiscard]] std::shared_ptr<const query::StalenessIndex> index() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return applier_.index();
   }
   [[nodiscard]] util::Date horizon() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return applier_.horizon();
   }
   [[nodiscard]] std::uint64_t deltas_applied() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return applier_.deltas_applied();
   }
   [[nodiscard]] std::uint64_t rebuilds() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return applier_.rebuilds();
   }
 
  private:
   std::string archive_path_;
   obs::PipelineObserver* observer_;
-  std::mutex mutex_;
-  DeltaApplier applier_;
+  util::Mutex mutex_;
+  DeltaApplier applier_ GUARDED_BY(mutex_);
 };
 
 }  // namespace stalecert::feed

@@ -44,7 +44,7 @@ void FeedRuntime::reload() {
   // either lands on the old state (and is discarded with it) or on the
   // fresh one.
   DeltaApplier fresh = make_applier(archive_path_, observer_);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   applier_ = std::move(fresh);
 }
 
@@ -57,7 +57,7 @@ query::IngestOutcome FeedRuntime::ingest(const query::IngestSource& source) {
                   reinterpret_cast<const std::uint8_t*>(source.bytes.data()),
                   source.bytes.size()))
             : read_delta(source.path, observer_);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const DeltaApplier::ApplyResult applied = applier_.apply(delta);
     outcome.ok = true;
     outcome.status = 200;
@@ -95,7 +95,7 @@ std::vector<std::string> FeedRuntime::pending_deltas(const std::string& dir) {
 
   const util::Date horizon = this->horizon();
   const std::uint64_t world = [this] {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return applier_.base_world_id();
   }();
   std::vector<std::string> pending;

@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "stalecert/util/mutex.hpp"
 
 namespace stalecert::obs {
 
@@ -104,10 +105,12 @@ class EventLog {
 
  private:
   struct Ring {
-    mutable std::mutex mutex;
-    std::vector<LogEvent> slots;  // capacity fixed at construction
-    std::size_t next = 0;         // next slot to overwrite
-    std::uint64_t written = 0;    // events ever written to this ring
+    mutable util::Mutex mutex;
+    // Slot capacity is fixed at construction; `next` is the next slot to
+    // overwrite, `written` counts events ever written to this ring.
+    std::vector<LogEvent> slots GUARDED_BY(mutex);
+    std::size_t next GUARDED_BY(mutex) = 0;
+    std::uint64_t written GUARDED_BY(mutex) = 0;
   };
 
   Ring& thread_ring();
@@ -119,12 +122,12 @@ class EventLog {
   std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
   std::atomic<std::uint64_t> sequence_{0};
 
-  mutable std::mutex rings_mutex_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable util::Mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(rings_mutex_);
 
-  std::mutex sink_mutex_;
-  bool stderr_enabled_ = true;
-  std::ofstream jsonl_;
+  util::Mutex sink_mutex_;
+  bool stderr_enabled_ GUARDED_BY(sink_mutex_) = true;
+  std::ofstream jsonl_ GUARDED_BY(sink_mutex_);
 };
 
 /// STALECERT_LOG_LEVEL=debug|info|warn|error environment fallback:

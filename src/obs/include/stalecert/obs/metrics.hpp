@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "stalecert/util/mutex.hpp"
 
 namespace stalecert::obs {
 
@@ -153,12 +154,12 @@ class MetricsRegistry {
     std::unique_ptr<Metric> metric;
   };
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   // Keyed by name + rendered labels; std::map keeps exposition output in
   // deterministic sorted order.
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<HistogramMetric>> histograms_;
+  std::map<std::string, Entry<Counter>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, Entry<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, Entry<HistogramMetric>> histograms_ GUARDED_BY(mutex_);
 };
 
 }  // namespace stalecert::obs

@@ -1,13 +1,13 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "stalecert/obs/metrics.hpp"
 #include "stalecert/obs/span.hpp"
+#include "stalecert/util/mutex.hpp"
 
 namespace stalecert::obs {
 
@@ -101,18 +101,25 @@ class MetricsPipelineObserver final : public PipelineObserver {
 
   [[nodiscard]] MetricsRegistry& registry() { return registry_; }
   [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
-  [[nodiscard]] const Trace& trace() const { return trace_; }
+  // Unchecked read of trace_: valid only after the observed run finished
+  // (single-threaded result inspection — how every caller uses it).
+  // Concurrent use during a run would be racy by contract; report_json()
+  // is the locked alternative.
+  [[nodiscard]] const Trace& trace() const NO_THREAD_SAFETY_ANALYSIS {
+    return trace_;
+  }
 
   /// Full run report as one JSON object: {"metrics": ..., "trace": ...}.
   [[nodiscard]] std::string report_json() const;
 
  private:
   MetricsRegistry registry_;
-  Trace trace_;
-  mutable std::mutex mutex_;  // guards trace_ and the handle caches
-  std::unordered_map<std::string, Counter*> counter_handles_;
-  std::unordered_map<std::string, Gauge*> gauge_handles_;
-  std::unordered_map<std::string, HistogramMetric*> duration_handles_;
+  mutable util::Mutex mutex_;
+  Trace trace_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, Counter*> counter_handles_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, Gauge*> gauge_handles_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, HistogramMetric*> duration_handles_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace stalecert::obs

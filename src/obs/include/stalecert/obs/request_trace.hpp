@@ -3,10 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "stalecert/util/mutex.hpp"
 
 namespace stalecert::obs {
 
@@ -65,8 +66,8 @@ class SlowTraceRing {
   }
 
  private:
-  void evict_stale_locked(std::uint64_t now_sequence);
-  void refresh_floor_locked();
+  void evict_stale_locked(std::uint64_t now_sequence) REQUIRES(mutex_);
+  void refresh_floor_locked() REQUIRES(mutex_);
 
   const std::size_t capacity_;
   const std::uint64_t recency_window_;
@@ -74,8 +75,8 @@ class SlowTraceRing {
   /// Fastest retained total when the ring is full; below it, offer() skips
   /// the lock entirely. 0 while the ring has room.
   std::atomic<std::int64_t> floor_ns_{0};
-  mutable std::mutex mutex_;
-  std::vector<RequestTrace> traces_;  // sorted slowest-first
+  mutable util::Mutex mutex_;
+  std::vector<RequestTrace> traces_ GUARDED_BY(mutex_);  // sorted slowest-first
 };
 
 }  // namespace stalecert::obs

@@ -109,14 +109,14 @@ EventLog::EventLog(std::size_t ring_capacity)
 EventLog::~EventLog() = default;
 
 void EventLog::enable_stderr(bool enabled) {
-  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  const util::MutexLock lock(sink_mutex_);
   stderr_enabled_ = enabled;
 }
 
 bool EventLog::open_jsonl(const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
-  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  const util::MutexLock lock(sink_mutex_);
   jsonl_ = std::move(out);
   return true;
 }
@@ -131,7 +131,7 @@ EventLog::Ring& EventLog::thread_ring() {
   ring->slots.reserve(ring_capacity_);
   Ring* raw = ring.get();
   {
-    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    const util::MutexLock lock(rings_mutex_);
     rings_.push_back(std::move(ring));
   }
   cache.emplace(id_, raw);
@@ -151,7 +151,7 @@ void EventLog::log(LogLevel level, std::string_view message, LogFields fields) {
   emit(event);
 
   Ring& ring = thread_ring();
-  const std::lock_guard<std::mutex> lock(ring.mutex);
+  const util::MutexLock lock(ring.mutex);
   if (ring.slots.size() < ring_capacity_) {
     ring.slots.push_back(std::move(event));
   } else {
@@ -162,7 +162,7 @@ void EventLog::log(LogLevel level, std::string_view message, LogFields fields) {
 }
 
 void EventLog::emit(const LogEvent& event) {
-  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  const util::MutexLock lock(sink_mutex_);
   if (stderr_enabled_) {
     // One preassembled write so concurrent threads never interleave lines.
     std::cerr << to_human(event) + "\n";
@@ -176,9 +176,9 @@ void EventLog::emit(const LogEvent& event) {
 std::vector<LogEvent> EventLog::tail(std::size_t n) const {
   std::vector<LogEvent> merged;
   {
-    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    const util::MutexLock lock(rings_mutex_);
     for (const auto& ring : rings_) {
-      const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      const util::MutexLock ring_lock(ring->mutex);
       merged.insert(merged.end(), ring->slots.begin(), ring->slots.end());
     }
   }

@@ -95,7 +95,7 @@ ScopedTimer::~ScopedTimer() {
 Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
                                   const std::string& help) {
   check_name(name);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto [it, inserted] = counters_.try_emplace(metric_key(name, labels));
   if (inserted) {
     it->second = {name, labels, help, std::make_unique<Counter>()};
@@ -106,7 +106,7 @@ Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
                               const std::string& help) {
   check_name(name);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto [it, inserted] = gauges_.try_emplace(metric_key(name, labels));
   if (inserted) {
     it->second = {name, labels, help, std::make_unique<Gauge>()};
@@ -119,7 +119,7 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
                                             const Labels& labels,
                                             const std::string& help) {
   check_name(name);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto [it, inserted] = histograms_.try_emplace(metric_key(name, labels));
   if (inserted) {
     it->second = {name, labels, help,
@@ -132,7 +132,7 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [key, entry] : counters_) {

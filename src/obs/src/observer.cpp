@@ -51,7 +51,7 @@ void StageScope::gauge(std::string_view name, double value) const {
 MetricsPipelineObserver::MetricsPipelineObserver() = default;
 
 void MetricsPipelineObserver::on_stage_start(std::string_view stage) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   trace_.begin_span(std::string(stage));
 }
 
@@ -59,7 +59,7 @@ void MetricsPipelineObserver::on_stage_end(std::string_view stage,
                                            std::chrono::nanoseconds elapsed) {
   HistogramMetric* histogram = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     trace_.end_span(elapsed);
     const std::string key(stage);
     const auto it = duration_handles_.find(key);
@@ -80,7 +80,7 @@ void MetricsPipelineObserver::on_count(std::string_view stage,
                                        std::uint64_t delta) {
   Counter* handle = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     std::string key;
     key.reserve(stage.size() + counter.size() + 1);
     key.append(stage);
@@ -105,7 +105,7 @@ void MetricsPipelineObserver::on_gauge(std::string_view stage,
                                        std::string_view gauge, double value) {
   Gauge* handle = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     std::string key;
     key.reserve(stage.size() + gauge.size() + 1);
     key.append(stage);
@@ -127,7 +127,7 @@ std::string MetricsPipelineObserver::report_json() const {
   const MetricsSnapshot snap = registry_.snapshot();
   std::string trace_json;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     trace_json = to_json(trace_);
   }
   return "{\"metrics\":" + to_json(snap) + ",\"trace\":" + trace_json + '}';

@@ -109,7 +109,7 @@ bool SlowTraceRing::offer(RequestTrace trace) {
     return false;
   }
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   evict_stale_locked(sequence);
   const bool admit =
       traces_.size() < capacity_ || trace.total > traces_.back().total;
@@ -128,7 +128,7 @@ bool SlowTraceRing::offer(RequestTrace trace) {
 
 void SlowTraceRing::add_late_span(std::uint64_t trace_id, std::string_view name,
                                   std::chrono::nanoseconds duration) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (RequestTrace& trace : traces_) {
     if (trace.id != trace_id) continue;
     trace.add_span(name, duration);
@@ -138,7 +138,7 @@ void SlowTraceRing::add_late_span(std::uint64_t trace_id, std::string_view name,
 }
 
 std::vector<RequestTrace> SlowTraceRing::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return traces_;
 }
 

@@ -3,13 +3,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "stalecert/query/http.hpp"
+#include "stalecert/util/mutex.hpp"
 
 namespace stalecert::query {
 
@@ -79,8 +79,8 @@ class HttpServer {
   int listen_fd_ = -1;
   /// Live client connections; stop() shuts their read side down so workers
   /// parked in recv() between keep-alive requests wake with EOF.
-  std::mutex connections_mutex_;
-  std::unordered_set<int> connections_;
+  util::Mutex connections_mutex_;
+  std::unordered_set<int> connections_ GUARDED_BY(connections_mutex_);
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

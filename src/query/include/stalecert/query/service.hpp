@@ -6,7 +6,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "stalecert/obs/event_log.hpp"
@@ -16,6 +15,7 @@
 #include "stalecert/obs/window.hpp"
 #include "stalecert/query/http.hpp"
 #include "stalecert/query/index.hpp"
+#include "stalecert/util/mutex.hpp"
 
 namespace stalecert::query {
 
@@ -27,12 +27,12 @@ namespace stalecert::query {
 class SnapshotCell {
  public:
   [[nodiscard]] std::shared_ptr<const StalenessIndex> get() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return snapshot_;
   }
 
   void set(std::shared_ptr<const StalenessIndex> snapshot) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     snapshot_ = std::move(snapshot);
     generation_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -43,8 +43,8 @@ class SnapshotCell {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const StalenessIndex> snapshot_;
+  mutable util::Mutex mutex_;
+  std::shared_ptr<const StalenessIndex> snapshot_ GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> generation_{0};
 };
 
@@ -239,7 +239,9 @@ class StaledService {
   IngestHandler ingest_handler_;
   /// Serializes delta application (the handler mutates applier state; the
   /// published snapshots themselves are immutable and lock-free to read).
-  std::mutex ingest_mutex_;
+  /// No field is tagged GUARDED_BY it: the handler's state lives behind
+  /// the FeedRuntime's own annotated mutex.
+  util::Mutex ingest_mutex_;
   std::atomic<std::uint64_t> deltas_applied_{0};
   std::atomic<std::uint64_t> ingest_errors_{0};
   std::atomic<std::uint64_t> ingest_rebuilds_{0};

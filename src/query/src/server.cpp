@@ -101,14 +101,14 @@ void HttpServer::worker_loop() {
 }
 
 void HttpServer::track_connection(int client_fd) {
-  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  const util::MutexLock lock(connections_mutex_);
   connections_.insert(client_fd);
 }
 
 void HttpServer::untrack_and_close(int client_fd) {
   // Erase under the lock BEFORE closing: stop() shuts tracked fds down under
   // the same lock, so it can never touch a number the kernel has reused.
-  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  const util::MutexLock lock(connections_mutex_);
   connections_.erase(client_fd);
   ::close(client_fd);
 }
@@ -228,7 +228,7 @@ void HttpServer::stop() {
   {
     // Workers parked in recv() between keep-alive requests see EOF; SHUT_RD
     // leaves the write side alone so an in-flight response still goes out.
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const util::MutexLock lock(connections_mutex_);
     for (const int fd : connections_) ::shutdown(fd, SHUT_RD);
   }
   for (auto& worker : workers_) {

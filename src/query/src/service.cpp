@@ -230,7 +230,7 @@ IngestOutcome StaledService::ingest(const IngestSource& source) {
   const auto start = Clock::now();
   IngestOutcome outcome;
   {
-    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    const util::MutexLock lock(ingest_mutex_);
     outcome = ingest_handler_(source);
     if (outcome.ok && outcome.index) cell_.set(outcome.index);
   }

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "stalecert/util/thread_annotations.hpp"
+
+namespace stalecert::util {
+
+/// The project's mutex: a std::mutex annotated as a Clang Thread Safety
+/// Analysis capability, so fields tagged GUARDED_BY(mu) and functions
+/// tagged REQUIRES(mu) are checked at compile time (see
+/// thread_annotations.hpp). stalecert_lint's raw-mutex rule bans
+/// std::mutex outside src/util, making this wrapper the only way
+/// concurrent subsystems take locks.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { inner_.lock(); }
+  void unlock() RELEASE() { inner_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return inner_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex inner_;
+};
+
+/// RAII lock for util::Mutex — the annotated equivalent of
+/// std::lock_guard. The analysis treats the guarded scope as holding the
+/// mutex, so `const MutexLock lock(mu);` unlocks GUARDED_BY(mu) fields
+/// for the rest of the block.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with util::Mutex. wait_for() must be called
+/// with the mutex held (enforced by REQUIRES under Clang), matching the
+/// std::condition_variable contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  /// Waits until `predicate` is true or `timeout` elapses, releasing the
+  /// mutex while parked and re-holding it on return. Returns the final
+  /// predicate value. The predicate runs with the mutex held and must not
+  /// throw (a throw would double-unlock).
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mutex, std::chrono::duration<Rep, Period> timeout,
+                Predicate predicate) REQUIRES(mutex) {
+    // Adopt the already-held lock for the wait, then release the
+    // unique_lock's ownership so the caller's MutexLock stays the sole
+    // unlocker.
+    std::unique_lock<std::mutex> lock(mutex.inner_, std::adopt_lock);
+    const bool result = cv_.wait_for(lock, timeout, std::move(predicate));
+    lock.release();
+    return result;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace stalecert::util

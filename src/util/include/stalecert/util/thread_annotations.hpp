@@ -1,0 +1,71 @@
+#pragma once
+
+// Clang Thread Safety Analysis annotations (-Wthread-safety). Under Clang
+// these expand to the `thread_safety` attribute family, letting the
+// compiler prove lock discipline at compile time: every field tagged
+// GUARDED_BY(mu) may only be touched while `mu` is held, functions tagged
+// REQUIRES(mu) may only be called with `mu` held, and so on. Under any
+// other compiler every macro expands to nothing, so GCC builds are
+// unaffected (the CI static-analysis job builds with Clang and
+// -Werror=thread-safety, which is where violations become build breaks).
+//
+// Convention (see DESIGN.md "Lock annotations"):
+//   - Never use std::mutex directly outside src/util — use util::Mutex and
+//     util::MutexLock from stalecert/util/mutex.hpp (stalecert_lint's
+//     raw-mutex rule enforces this).
+//   - Tag every field a mutex protects with GUARDED_BY(that_mutex).
+//   - Tag *_locked() helpers with REQUIRES(that_mutex).
+//   - Any deliberate escape (NO_THREAD_SAFETY_ANALYSIS) carries an inline
+//     comment explaining why it is sound.
+
+#if defined(__clang__) && !defined(SWIG)
+#define STALECERT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define STALECERT_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in
+/// diagnostics).
+#define CAPABILITY(x) STALECERT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (util::MutexLock).
+#define SCOPED_CAPABILITY STALECERT_THREAD_ANNOTATION(scoped_lockable)
+
+/// The field may only be read or written while holding `x`.
+#define GUARDED_BY(x) STALECERT_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is protected by `x`.
+#define PT_GUARDED_BY(x) STALECERT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding every listed capability;
+/// it neither acquires nor releases them.
+#define REQUIRES(...) \
+  STALECERT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define ACQUIRE(...) STALECERT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held on entry).
+#define RELEASE(...) STALECERT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function attempts to acquire; the first argument is the return
+/// value that signals success.
+#define TRY_ACQUIRE(...) \
+  STALECERT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (the function acquires
+/// them itself; holding them on entry would self-deadlock).
+#define EXCLUDES(...) STALECERT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held; teaches the analysis
+/// the fact without an acquire.
+#define ASSERT_CAPABILITY(x) STALECERT_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) STALECERT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts one function out of the analysis entirely. Every use must carry an
+/// inline comment explaining why the unchecked access is sound.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  STALECERT_THREAD_ANNOTATION(no_thread_safety_analysis)

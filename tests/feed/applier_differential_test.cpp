@@ -13,6 +13,7 @@
 //  - "fresh": a different seed extended live via extend_world, so the
 //    comparison does not fossilize one lucky world.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <map>
@@ -96,13 +97,21 @@ struct Fixture {
   std::vector<Date> dates;
 };
 
+// gtest_discover_tests runs every test of this suite as its own process,
+// and ctest runs them in parallel — a bare tag would make two processes
+// race on the same archive path (observed as "truncated segment" flakes).
+std::string unique_tag(const std::string& tag) {
+  return tag + "_" + std::to_string(::getpid());
+}
+
 std::shared_ptr<const StalenessIndex> build_scratch(
     const sim::WorldConfig& config, std::int64_t extra_days,
     const std::string& tag) {
   sim::World world(config);
   world.run();
   world.extend(extra_days);
-  const std::string path = ::testing::TempDir() + tag + "_scratch.scw";
+  const std::string path =
+      ::testing::TempDir() + unique_tag(tag) + "_scratch.scw";
   store::save_world(world, path, nullptr, "small");
   return StalenessIndex::from_archive(path);
 }
@@ -116,7 +125,8 @@ Fixture build_fixture(std::uint64_t seed, std::int64_t extra_days,
   // Delta side: archive the base world, feed the deltas through the real
   // serving runtime (decode + validate + apply + with_patch).
   Fixture f;
-  const std::string base_path = ::testing::TempDir() + tag + "_base.scw";
+  const std::string base_path =
+      ::testing::TempDir() + unique_tag(tag) + "_base.scw";
   {
     sim::World world(config);
     world.run();
@@ -128,8 +138,8 @@ Fixture build_fixture(std::uint64_t seed, std::int64_t extra_days,
     const auto deltas =
         extend_world(store::ArchiveReader(base_path).meta(), extra_days);
     for (const auto& delta : deltas) {
-      const std::string path =
-          ::testing::TempDir() + tag + "_" + delta_file_name(delta.meta);
+      const std::string path = ::testing::TempDir() + unique_tag(tag) + "_" +
+                               delta_file_name(delta.meta);
       write_delta(delta, path);
       paths.push_back(path);
     }

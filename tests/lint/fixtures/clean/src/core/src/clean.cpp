@@ -1,0 +1,16 @@
+// Fixture: a well-behaved core translation unit. Every rule passes:
+// allowed includes only, EventLog-style logging left to callers, the
+// annotated mutex wrapper, and no switches over enforced enums.
+#include "stalecert/obs/event_log.hpp"
+#include "stalecert/util/mutex.hpp"
+
+namespace stalecert::core {
+
+int answer() {
+  // "std::cerr in a comment" and "std::mutex in a string" must not trip
+  // the scanner: only code positions count.
+  const char* text = "std::mutex std::cerr printf(";
+  return text[0] == 's' ? 42 : 0;
+}
+
+}  // namespace stalecert::core

@@ -1,0 +1,10 @@
+// Fixture: core reaching UP into query — a layering violation, and since
+// query legitimately depends on core, also an include cycle.
+#include "stalecert/query/service.hpp"
+#include "stalecert/util/mutex.hpp"
+
+namespace stalecert::core {
+
+int use_query() { return 1; }
+
+}  // namespace stalecert::core

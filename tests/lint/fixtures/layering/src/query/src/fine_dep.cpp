@@ -1,0 +1,9 @@
+// Fixture: query depending on core is the allowed direction; this edge
+// exists so the core -> query edge in bad_dep.cpp closes a cycle.
+#include "stalecert/core/taxonomy.hpp"
+
+namespace stalecert::query {
+
+int use_core() { return 2; }
+
+}  // namespace stalecert::query

@@ -1,0 +1,21 @@
+// Fixture: raw diagnostics in library code — both the stream and the
+// stdio spellings must be flagged; the bounded snprintf must not be.
+#include <cstdio>
+#include <iostream>
+
+namespace stalecert::query {
+
+void noisy(int code) {
+  std::cerr << "something went wrong: " << code << '\n';
+  printf("also wrong: %d\n", code);
+  fprintf(stderr, "still wrong: %d\n", code);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "fine: %d", code);  // not logging
+}
+
+void quiet(int code) {
+  // lint:allow(raw-logging): fixture exercising the suppression marker.
+  std::cerr << "deliberately allowed: " << code << '\n';
+}
+
+}  // namespace stalecert::query

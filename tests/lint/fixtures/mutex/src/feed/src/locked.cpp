@@ -1,0 +1,14 @@
+// Fixture: raw std::mutex outside src/util — thread-safety analysis
+// cannot see these locks, so the wrapper is mandatory.
+#include <mutex>
+
+namespace stalecert::feed {
+
+std::mutex g_mutex;
+
+int locked_read(const int& value) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return value;
+}
+
+}  // namespace stalecert::feed

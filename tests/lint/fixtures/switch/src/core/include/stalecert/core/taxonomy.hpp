@@ -1,0 +1,13 @@
+// Fixture copy of the StaleClass shape (three enumerators) so the switch
+// rule can resolve the enum without scanning the real tree.
+#pragma once
+
+namespace stalecert::core {
+
+enum class StaleClass {
+  kKeyCompromise,
+  kRegistrantChange,
+  kManagedTlsDeparture,
+};
+
+}  // namespace stalecert::core

@@ -1,0 +1,43 @@
+// Fixture: two broken switches over an enforced enum — one missing an
+// enumerator, one hiding future enumerators behind a default — plus a
+// correct exhaustive switch that must stay silent.
+#include "stalecert/core/taxonomy.hpp"
+
+namespace stalecert::core {
+
+int missing_case(StaleClass c) {
+  switch (c) {
+    case StaleClass::kKeyCompromise:
+      return 1;
+    case StaleClass::kRegistrantChange:
+      return 2;
+  }
+  return 0;
+}
+
+int default_hides_growth(StaleClass c) {
+  switch (c) {
+    case StaleClass::kKeyCompromise:
+      return 1;
+    case StaleClass::kRegistrantChange:
+      return 2;
+    case StaleClass::kManagedTlsDeparture:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+int exhaustive(StaleClass c) {
+  switch (c) {
+    case StaleClass::kKeyCompromise:
+      return 1;
+    case StaleClass::kRegistrantChange:
+      return 2;
+    case StaleClass::kManagedTlsDeparture:
+      return 3;
+  }
+  return 0;
+}
+
+}  // namespace stalecert::core

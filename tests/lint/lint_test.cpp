@@ -1,0 +1,132 @@
+// stalecert_lint: end-to-end tests. Each fixture under tests/lint/fixtures
+// is a miniature repo tree; the suite spawns the real binary against it and
+// asserts on exit status and diagnostics, then runs the linter over this
+// repository itself — the committed tree must always lint clean.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string command =
+      std::string(STALECERT_LINT_BINARY) + " " + args + " 2>&1";
+  LintRun run;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buffer{};
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    run.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(STALECERT_LINT_FIXTURES_DIR) + "/" + name;
+}
+
+TEST(LintTest, CleanFixturePasses) {
+  const LintRun run = run_lint(fixture("clean"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(LintTest, LayeringViolationAndCycleAreReported) {
+  const LintRun run = run_lint(fixture("layering"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/core/src/bad_dep.cpp:3: [layering] "
+                            "module 'core' must not depend on 'query'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("include cycle between modules: "
+                            "core -> query -> core"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, RawLoggingIsReportedButSnprintfAndAllowMarkerAreNot) {
+  const LintRun run = run_lint(fixture("logging"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("noisy.cpp:9: [raw-logging] raw 'std::cerr'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("noisy.cpp:10: [raw-logging] raw 'printf'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("noisy.cpp:11: [raw-logging] raw 'fprintf'"),
+            std::string::npos)
+      << run.output;
+  // std::snprintf is bounded formatting, not logging; and line 18 carries
+  // a lint:allow(raw-logging) marker.
+  EXPECT_EQ(run.output.find("snprintf"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("noisy.cpp:18"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("3 violations"), std::string::npos) << run.output;
+}
+
+TEST(LintTest, RawMutexOutsideUtilIsReported) {
+  const LintRun run = run_lint(fixture("mutex"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("locked.cpp:7: [raw-mutex] raw 'std::mutex'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("locked.cpp:10: [raw-mutex] raw 'std::lock_guard'"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, PartialAndDefaultedSwitchesAreReported) {
+  const LintRun run = run_lint(fixture("switch"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("partial.cpp:9: [partial-switch] switch over "
+                            "StaleClass is missing: kManagedTlsDeparture"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("partial.cpp:19: [partial-switch] switch over "
+                            "StaleClass has a default label"),
+            std::string::npos)
+      << run.output;
+  // The exhaustive switch further down must stay silent.
+  EXPECT_EQ(run.output.find("partial.cpp:29"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, RuleFilterRunsOnlyTheNamedRule) {
+  // The logging fixture has raw-logging violations but no raw-mutex ones,
+  // so filtering to raw-mutex turns it clean.
+  const LintRun run = run_lint("--rule raw-mutex " + fixture("logging"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintTest, ListRules) {
+  const LintRun run = run_lint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "layering\nraw-logging\nraw-mutex\npartial-switch\n");
+}
+
+TEST(LintTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_lint("").exit_code, 2);
+  EXPECT_EQ(run_lint("--bogus-flag .").exit_code, 2);
+  EXPECT_EQ(run_lint(fixture("no-such-fixture")).exit_code, 2);
+}
+
+// The gate that matters: this repository's own tree must lint clean. A
+// failure here means a change introduced a layering break, raw logging,
+// a raw mutex, or a partial switch — fix the code (or, deliberately and
+// with a written reason, add a lint:allow marker), don't relax the test.
+TEST(LintTest, RealTreeIsClean) {
+  const LintRun run = run_lint(std::string(STALECERT_LINT_REPO_ROOT));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+}  // namespace

@@ -24,8 +24,9 @@ TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
 
 TEST(HistogramQuantileTest, RejectsOutOfRangeQuantiles) {
   const auto sample = make_sample({1.0}, {1, 0});
-  EXPECT_THROW(histogram_quantile(sample, -0.1), LogicError);
-  EXPECT_THROW(histogram_quantile(sample, 1.1), LogicError);
+  // void-cast: the [[nodiscard]] result is irrelevant when asserting throws.
+  EXPECT_THROW((void)histogram_quantile(sample, -0.1), LogicError);
+  EXPECT_THROW((void)histogram_quantile(sample, 1.1), LogicError);
 }
 
 TEST(HistogramQuantileTest, InterpolatesWithinTheCrossingBucket) {

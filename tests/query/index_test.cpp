@@ -215,7 +215,8 @@ TEST(StalenessIndexTest, StaleSummaryAggregatesPerDomain) {
 TEST(StalenessIndexTest, RecordAccessorBoundsChecks) {
   const StalenessIndex index(build_result(), make_meta());
   EXPECT_EQ(index.record(0).cls, StaleClass::kKeyCompromise);
-  EXPECT_THROW(index.record(99), LogicError);
+  // void-cast: the [[nodiscard]] result is irrelevant when asserting throws.
+  EXPECT_THROW((void)index.record(99), LogicError);
 }
 
 }  // namespace

@@ -1,0 +1,654 @@
+// stalecert_lint: project-invariant linter for the stalecert source tree.
+//
+//   $ ./stalecert_lint [--rule NAME]... [--list-rules] <repo-root>
+//
+// Scans src/, tools/, and examples/ under the given root and enforces the
+// invariants the compiler cannot (see tools/lint/README.md for the full
+// rule descriptions):
+//
+//   layering        src/<module> may only #include "stalecert/<dep>/..."
+//                   for deps in the module layering table, and the observed
+//                   include graph must stay acyclic.
+//   raw-logging     no std::cerr / printf / fprintf diagnostics in src/
+//                   outside src/obs (EventLog is the logging seam).
+//   raw-mutex       no std::mutex & friends outside src/util — concurrent
+//                   code must use the annotated util::Mutex wrapper.
+//   partial-switch  switches over the enforced enum list (StaleClass and
+//                   friends) must cover every enumerator and carry no
+//                   default label, so -Wswitch keeps guarding growth.
+//
+// Violations print "path:line: [rule] message" and exit 1; a clean tree
+// exits 0; usage or I/O problems exit 2. A line may opt out of one rule
+// with a trailing comment containing "lint:allow(<rule>)" and a reason.
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// --- The module layering table -------------------------------------------
+//
+// Every src/<module> and the modules it may depend on. Keep edges tight:
+// this table *is* the architecture — a new legitimate dependency is a
+// one-line diff here, reviewed as such. "util" is the bottom layer;
+// "feed" is the top. tools/, examples/, tests/, and bench/ sit above the
+// whole tree and may include anything.
+const std::map<std::string, std::set<std::string>>& layering_table() {
+  static const std::map<std::string, std::set<std::string>> table = {
+      {"util", {}},
+      {"crypto", {"util"}},
+      {"asn1", {"util"}},
+      {"x509", {"asn1", "crypto", "util"}},
+      {"dns", {"util", "x509"}},
+      {"whois", {"util"}},
+      {"registrar", {"util"}},
+      {"reputation", {"util"}},
+      {"popularity", {"util"}},
+      {"obs", {"util"}},
+      {"revocation", {"asn1", "crypto", "util", "x509"}},
+      {"tls", {"revocation", "util", "x509"}},
+      {"ct", {"crypto", "obs", "util", "x509"}},
+      {"ca", {"ct", "revocation", "util", "x509"}},
+      {"cdn", {"ca", "dns", "util", "x509"}},
+      {"core", {"ct", "dns", "obs", "revocation", "util", "whois", "x509"}},
+      {"sim", {"ca", "cdn", "ct", "dns", "obs", "registrar", "reputation",
+               "revocation", "util", "whois"}},
+      {"store", {"ct", "dns", "obs", "revocation", "sim", "util", "whois",
+                 "x509"}},
+      {"query", {"core", "dns", "obs", "store", "util"}},
+      {"feed", {"core", "ct", "dns", "obs", "query", "revocation", "sim",
+                "store", "util", "whois"}},
+  };
+  return table;
+}
+
+/// Enums whose switches must stay exhaustive: adding an enumerator must
+/// fail lint (and -Wswitch) at every switch until the new case is handled.
+/// Enumerator lists are parsed from the tree itself, so this stays in sync
+/// with the headers automatically.
+const std::set<std::string>& enforced_enums() {
+  static const std::set<std::string> enums = {
+      "StaleClass",       "InfoCategory",
+      "InvalidationEvent", "LogLevel",
+      "RevocationJoinOutcome", "DepartureJoinOutcome",
+  };
+  return enums;
+}
+
+struct Diagnostic {
+  std::string file;  // root-relative path
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  fs::path path;
+  std::string rel;        // root-relative, '/'-separated
+  std::string module;     // "<mod>" when under src/<mod>/, else empty
+  std::string raw;        // original bytes
+  std::string sanitized;  // comments and string/char literals blanked
+};
+
+bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+/// Blanks comments, string literals (including raw strings), and char
+/// literals with spaces, preserving newlines so offsets map to the same
+/// line numbers as the original text.
+std::string sanitize(const std::string& text) {
+  std::string out = text;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  const auto blank = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < n; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      end = (end == std::string::npos) ? n : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+               (i == 0 || !is_ident_char(text[i - 1]))) {
+      // Raw string literal: R"delim( ... )delim"
+      const std::size_t open = text.find('(', i + 2);
+      if (open == std::string::npos) break;
+      const std::string close =
+          ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+      std::size_t end = text.find(close, open + 1);
+      end = (end == std::string::npos) ? n : end + close.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\') ++j;
+        if (j < n) ++j;
+      }
+      const std::size_t end = (j < n) ? j + 1 : n;
+      blank(i + 1, end > i + 1 ? end - 1 : i + 1);  // keep the quotes
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(
+                                                             std::min(offset, text.size())),
+                            '\n'));
+}
+
+std::string line_text(const std::string& text, std::size_t line) {
+  std::istringstream in(text);
+  std::string current;
+  for (std::size_t k = 0; k < line && std::getline(in, current); ++k) {
+  }
+  return current;
+}
+
+/// True when the offending line — or the line above it, for markers that
+/// do not fit as a trailing comment — carries "lint:allow(<rule>)".
+bool line_allows(const SourceFile& file, std::size_t line,
+                 const std::string& rule) {
+  const std::string marker = "lint:allow(" + rule + ")";
+  if (line_text(file.raw, line).find(marker) != std::string::npos) return true;
+  return line > 1 &&
+         line_text(file.raw, line - 1).find(marker) != std::string::npos;
+}
+
+/// Finds `token` as a whole word starting at or after `from`; npos when
+/// absent. Boundaries: the char before the match and after it must not be
+/// identifier characters (':' also blocks, so "std::mutex" never matches
+/// inside a longer qualified name).
+std::size_t find_token(const std::string& text, const std::string& token,
+                       std::size_t from) {
+  std::size_t pos = text.find(token, from);
+  while (pos != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || (!is_ident_char(text[pos - 1]) && text[pos - 1] != ':');
+    const std::size_t after = pos + token.size();
+    const bool right_ok = after >= text.size() ||
+                          (!is_ident_char(text[after]) && text[after] != ':');
+    if (left_ok && right_ok) return pos;
+    pos = text.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+/// Offset just past the bracket that matches text[open] (which must be one
+/// of ( { [ ); npos when unbalanced.
+std::size_t match_bracket(const std::string& text, std::size_t open) {
+  const char open_c = text[open];
+  const char close_c = open_c == '(' ? ')' : (open_c == '{' ? '}' : ']');
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_c) ++depth;
+    if (text[i] == close_c && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+// --- Rule: layering -------------------------------------------------------
+
+struct IncludeEdge {
+  std::string from_module;
+  std::string to_module;
+  std::string file;
+  std::size_t line;
+};
+
+void check_layering(const std::vector<SourceFile>& files,
+                    std::vector<Diagnostic>* diagnostics) {
+  const auto& table = layering_table();
+  std::vector<IncludeEdge> edges;
+
+  for (const SourceFile& file : files) {
+    if (file.module.empty()) continue;  // tools/examples: unrestricted
+    if (table.find(file.module) == table.end()) {
+      diagnostics->push_back(
+          {file.rel, 1, "layering",
+           "module '" + file.module +
+               "' is not in the layering table; add it (with its allowed "
+               "dependencies) to layering_table() in stalecert_lint"});
+      continue;
+    }
+    std::istringstream in(file.raw);
+    std::string text_line;
+    for (std::size_t line = 1; std::getline(in, text_line); ++line) {
+      const std::size_t hash = text_line.find_first_not_of(" \t");
+      if (hash == std::string::npos || text_line[hash] != '#') continue;
+      static const std::string kPrefix = "#include \"stalecert/";
+      const std::size_t inc = text_line.find(kPrefix, hash);
+      if (inc == std::string::npos) continue;
+      const std::size_t start = inc + kPrefix.size();
+      const std::size_t slash = text_line.find('/', start);
+      if (slash == std::string::npos) continue;
+      const std::string dep = text_line.substr(start, slash - start);
+      if (dep == file.module) continue;
+      edges.push_back({file.module, dep, file.rel, line});
+      if (table.find(dep) == table.end()) {
+        if (line_allows(file, line, "layering")) continue;
+        diagnostics->push_back(
+            {file.rel, line, "layering",
+             "include of unknown module '" + dep +
+                 "'; add it to layering_table() in stalecert_lint"});
+        continue;
+      }
+      const std::set<std::string>& allowed = table.at(file.module);
+      if (allowed.find(dep) == allowed.end()) {
+        if (line_allows(file, line, "layering")) continue;
+        diagnostics->push_back(
+            {file.rel, line, "layering",
+             "module '" + file.module + "' must not depend on '" + dep +
+                 "' (allowed: " +
+                 [&allowed] {
+                   std::string joined;
+                   for (const auto& a : allowed)
+                     joined += (joined.empty() ? "" : ", ") + a;
+                   return joined.empty() ? std::string("none") : joined;
+                 }() +
+                 ")"});
+      }
+    }
+  }
+
+  // Cycle detection over the *observed* graph (valid and violating edges
+  // alike): a cycle means the layering premise itself is broken, which is
+  // worth its own diagnostic even when every edge is individually flagged.
+  std::map<std::string, std::set<std::string>> graph;
+  for (const IncludeEdge& edge : edges) {
+    graph[edge.from_module].insert(edge.to_module);
+  }
+  std::set<std::string> done;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  bool cycle_reported = false;
+
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& module) {
+        if (cycle_reported || done.count(module) != 0) return;
+        stack.push_back(module);
+        on_stack.insert(module);
+        const auto it = graph.find(module);
+        if (it != graph.end()) {
+          for (const std::string& dep : it->second) {
+            if (cycle_reported) break;
+            if (on_stack.count(dep) != 0) {
+              // Rebuild the cycle path module -> ... -> dep -> module.
+              std::string path;
+              bool in_cycle = false;
+              for (const std::string& m : stack) {
+                if (m == dep) in_cycle = true;
+                if (in_cycle) path += m + " -> ";
+              }
+              path += dep;
+              // Anchor the report at the edge closing the cycle.
+              for (const IncludeEdge& edge : edges) {
+                if (edge.from_module == module && edge.to_module == dep) {
+                  diagnostics->push_back(
+                      {edge.file, edge.line, "layering",
+                       "include cycle between modules: " + path});
+                  break;
+                }
+              }
+              cycle_reported = true;
+              break;
+            }
+            visit(dep);
+          }
+        }
+        on_stack.erase(module);
+        stack.pop_back();
+        done.insert(module);
+      };
+  for (const auto& [module, deps] : graph) {
+    (void)deps;
+    visit(module);
+  }
+}
+
+// --- Rule: raw-logging ----------------------------------------------------
+
+void check_raw_logging(const std::vector<SourceFile>& files,
+                       std::vector<Diagnostic>* diagnostics) {
+  // snprintf/vsnprintf are fine (bounded formatting into buffers, not
+  // logging); find_token's boundary check keeps them from matching.
+  static const std::vector<std::string> kBanned = {"std::cerr", "printf",
+                                                   "fprintf"};
+  for (const SourceFile& file : files) {
+    if (file.module.empty() || file.module == "obs") continue;
+    for (const std::string& token : kBanned) {
+      for (std::size_t pos = find_token(file.sanitized, token, 0);
+           pos != std::string::npos;
+           pos = find_token(file.sanitized, token, pos + 1)) {
+        const std::size_t line = line_of(file.sanitized, pos);
+        if (line_allows(file, line, "raw-logging")) continue;
+        diagnostics->push_back(
+            {file.rel, line, "raw-logging",
+             "raw '" + token +
+                 "' diagnostic in library code; route it through "
+                 "obs::EventLog (src/obs) instead"});
+      }
+    }
+  }
+}
+
+// --- Rule: raw-mutex ------------------------------------------------------
+
+void check_raw_mutex(const std::vector<SourceFile>& files,
+                     std::vector<Diagnostic>* diagnostics) {
+  static const std::vector<std::string> kBanned = {
+      "std::mutex",          "std::timed_mutex",
+      "std::recursive_mutex", "std::shared_mutex",
+      "std::lock_guard",     "std::unique_lock",
+      "std::scoped_lock",    "std::shared_lock",
+      "std::condition_variable", "std::condition_variable_any",
+  };
+  for (const SourceFile& file : files) {
+    if (file.module == "util") continue;  // the wrapper itself
+    for (const std::string& token : kBanned) {
+      for (std::size_t pos = find_token(file.sanitized, token, 0);
+           pos != std::string::npos;
+           pos = find_token(file.sanitized, token, pos + 1)) {
+        const std::size_t line = line_of(file.sanitized, pos);
+        if (line_allows(file, line, "raw-mutex")) continue;
+        diagnostics->push_back(
+            {file.rel, line, "raw-mutex",
+             "raw '" + token +
+                 "' outside src/util; use util::Mutex / util::MutexLock / "
+                 "util::CondVar (stalecert/util/mutex.hpp) so Clang "
+                 "thread-safety analysis sees the lock"});
+      }
+    }
+  }
+}
+
+// --- Rule: partial-switch -------------------------------------------------
+
+/// Parses every `enum class Name ... { ... }` in the sanitized text.
+void collect_enums(const SourceFile& file,
+                   std::map<std::string, std::vector<std::string>>* enums) {
+  const std::string& text = file.sanitized;
+  for (std::size_t pos = find_token(text, "enum", 0); pos != std::string::npos;
+       pos = find_token(text, "enum", pos + 1)) {
+    std::size_t i = pos + 4;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (text.compare(i, 5, "class") == 0 || text.compare(i, 6, "struct") == 0) {
+      i += (text[i] == 'c') ? 5 : 6;
+    } else {
+      continue;  // unscoped enum: none of the enforced ones
+    }
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    std::size_t name_end = i;
+    while (name_end < text.size() && is_ident_char(text[name_end])) ++name_end;
+    if (name_end == i) continue;
+    const std::string name = text.substr(i, name_end - i);
+    const std::size_t brace = text.find_first_of("{;", name_end);
+    if (brace == std::string::npos || text[brace] == ';') continue;
+    const std::size_t end = match_bracket(text, brace);
+    if (end == std::string::npos) continue;
+
+    std::vector<std::string> values;
+    std::size_t k = brace + 1;
+    while (k < end - 1) {
+      while (k < end - 1 &&
+             !is_ident_char(text[k])) {
+        ++k;
+      }
+      std::size_t v_end = k;
+      while (v_end < end - 1 && is_ident_char(text[v_end])) ++v_end;
+      if (v_end > k) values.push_back(text.substr(k, v_end - k));
+      // Skip to the next top-level comma (past any "= expr").
+      int depth = 0;
+      k = v_end;
+      while (k < end - 1 && (text[k] != ',' || depth > 0)) {
+        if (text[k] == '(' || text[k] == '{' || text[k] == '<') ++depth;
+        if (text[k] == ')' || text[k] == '}' || text[k] == '>') --depth;
+        ++k;
+      }
+      ++k;
+    }
+    if (!values.empty()) (*enums)[name] = values;
+  }
+}
+
+void check_switches(const std::vector<SourceFile>& files,
+                    std::vector<Diagnostic>* diagnostics) {
+  std::map<std::string, std::vector<std::string>> enums;
+  for (const SourceFile& file : files) collect_enums(file, &enums);
+
+  for (const SourceFile& file : files) {
+    const std::string& text = file.sanitized;
+    for (std::size_t pos = find_token(text, "switch", 0);
+         pos != std::string::npos; pos = find_token(text, "switch", pos + 1)) {
+      const std::size_t paren = text.find('(', pos);
+      if (paren == std::string::npos) continue;
+      const std::size_t paren_end = match_bracket(text, paren);
+      if (paren_end == std::string::npos) continue;
+      const std::size_t brace = text.find('{', paren_end);
+      if (brace == std::string::npos) continue;
+      const std::size_t body_end = match_bracket(text, brace);
+      if (body_end == std::string::npos) continue;
+
+      // Collect "case Enum::Value" labels and default labels in the body.
+      std::map<std::string, std::set<std::string>> seen;  // enum -> values
+      bool has_default = false;
+      for (std::size_t c = find_token(text, "case", brace);
+           c != std::string::npos && c < body_end;
+           c = find_token(text, "case", c + 1)) {
+        const std::size_t colon = [&] {
+          std::size_t k = c + 4;
+          while (k + 1 < body_end) {
+            if (text[k] == ':' && text[k + 1] != ':' && text[k - 1] != ':')
+              return k;
+            ++k;
+          }
+          return std::string::npos;
+        }();
+        if (colon == std::string::npos) continue;
+        const std::string label = text.substr(c + 4, colon - (c + 4));
+        // Last "Name::Value" pair in the label (handles ns::Enum::Value).
+        const std::size_t sep = label.rfind("::");
+        if (sep == std::string::npos || sep == 0) continue;
+        std::size_t name_start = sep;
+        while (name_start > 0 && is_ident_char(label[name_start - 1]))
+          --name_start;
+        std::size_t value_start = sep + 2;
+        std::size_t value_end = value_start;
+        while (value_end < label.size() && is_ident_char(label[value_end]))
+          ++value_end;
+        const std::string enum_name =
+            label.substr(name_start, sep - name_start);
+        const std::string value =
+            label.substr(value_start, value_end - value_start);
+        if (!enum_name.empty() && !value.empty())
+          seen[enum_name].insert(value);
+      }
+      // find_token() would reject "default:" (trailing ':' looks like a
+      // qualified name), so scan with explicit boundaries here.
+      for (std::size_t d = text.find("default", brace);
+           d != std::string::npos && d < body_end;
+           d = text.find("default", d + 1)) {
+        if (d > 0 && is_ident_char(text[d - 1])) continue;
+        std::size_t k = d + 7;
+        while (k < body_end &&
+               std::isspace(static_cast<unsigned char>(text[k]))) {
+          ++k;
+        }
+        if (k < body_end && text[k] == ':' &&
+            (k + 1 >= text.size() || text[k + 1] != ':')) {
+          has_default = true;
+        }
+      }
+
+      const std::size_t line = line_of(text, pos);
+      for (const auto& [enum_name, values] : seen) {
+        if (enforced_enums().count(enum_name) == 0) continue;
+        const auto def = enums.find(enum_name);
+        if (def == enums.end()) continue;  // definition not in scanned tree
+        if (line_allows(file, line, "partial-switch")) continue;
+        std::string missing;
+        for (const std::string& v : def->second) {
+          if (values.count(v) == 0) missing += (missing.empty() ? "" : ", ") + v;
+        }
+        if (!missing.empty()) {
+          diagnostics->push_back(
+              {file.rel, line, "partial-switch",
+               "switch over " + enum_name + " is missing: " + missing});
+        }
+        if (has_default) {
+          diagnostics->push_back(
+              {file.rel, line, "partial-switch",
+               "switch over " + enum_name +
+                   " has a default label, which silences -Wswitch when an "
+                   "enumerator is added; handle every case explicitly"});
+        }
+      }
+    }
+  }
+}
+
+// --- Driver ---------------------------------------------------------------
+
+bool has_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> rules;
+  std::string root;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rule" && i + 1 < argc) {
+      rules.emplace_back(argv[++i]);
+    } else if (arg == "--list-rules") {
+      std::cout << "layering\nraw-logging\nraw-mutex\npartial-switch\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "stalecert_lint: unknown flag " << arg << '\n';
+      return 2;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      std::cerr << "stalecert_lint: more than one root given\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "usage: stalecert_lint [--rule NAME]... [--list-rules] "
+                 "<repo-root>\n";
+    return 2;
+  }
+  const auto enabled = [&rules](const std::string& rule) {
+    return rules.empty() ||
+           std::find(rules.begin(), rules.end(), rule) != rules.end();
+  };
+
+  const fs::path root_path(root);
+  if (!fs::is_directory(root_path)) {
+    std::cerr << "stalecert_lint: not a directory: " << root << '\n';
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  for (const char* top : {"src", "tools", "examples"}) {
+    const fs::path dir = root_path / top;
+    if (!fs::is_directory(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        if (name == ".git" || name.rfind("build", 0) == 0 || name == "data") {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (!it->is_regular_file() || !has_extension(it->path())) continue;
+      SourceFile file;
+      file.path = it->path();
+      file.rel = fs::relative(file.path, root_path).generic_string();
+      if (file.rel.rfind("src/", 0) == 0) {
+        const std::size_t slash = file.rel.find('/', 4);
+        if (slash != std::string::npos)
+          file.module = file.rel.substr(4, slash - 4);
+      }
+      std::ifstream in(file.path, std::ios::binary);
+      if (!in) {
+        std::cerr << "stalecert_lint: cannot read " << file.rel << '\n';
+        return 2;
+      }
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      file.raw = contents.str();
+      file.sanitized = sanitize(file.raw);
+      files.push_back(std::move(file));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+
+  std::vector<Diagnostic> diagnostics;
+  if (enabled("layering")) check_layering(files, &diagnostics);
+  if (enabled("raw-logging")) check_raw_logging(files, &diagnostics);
+  if (enabled("raw-mutex")) check_raw_mutex(files, &diagnostics);
+  if (enabled("partial-switch")) check_switches(files, &diagnostics);
+
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  for (const Diagnostic& d : diagnostics) {
+    std::cout << d.file << ':' << d.line << ": [" << d.rule << "] "
+              << d.message << '\n';
+  }
+  if (!diagnostics.empty()) {
+    std::cout << diagnostics.size() << " violation"
+              << (diagnostics.size() == 1 ? "" : "s") << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "stalecert_lint: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -2,7 +2,7 @@
 // the measurement pipeline once, indexes the result (query::StalenessIndex)
 // and serves point lookups over a minimal HTTP/1.1 subset:
 //
-//   $ ./staled [--port N] [--bind ADDR] [--threads N] \
+//   $ ./staled [--port N] [--bind ADDR] [--threads N]
 //              [--log-file PATH] [--log-level LEVEL] <archive.scw>
 //   staled: listening on 127.0.0.1:8080 (...)
 //
@@ -29,12 +29,10 @@
 // ephemeral port and prints the outcome, which is how the CI smoke test
 // finds it.
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +42,7 @@
 #include "stalecert/query/service.hpp"
 #include "stalecert/query/staled_options.hpp"
 #include "stalecert/store/errors.hpp"
+#include "stalecert/util/mutex.hpp"
 
 using namespace stalecert;
 
@@ -130,23 +129,23 @@ int run(int argc, char** argv) {
                       {"workers", std::to_string(workers)}});
 
   // Feed poll loop: condition-variable timed wait so shutdown is instant.
-  std::mutex poll_mutex;
-  std::condition_variable poll_cv;
-  bool poll_stop = false;
+  util::Mutex poll_mutex;
+  util::CondVar poll_cv;
+  bool poll_stop = false;  // guarded by poll_mutex
   std::thread poller;
   if (feed_mode) {
     service.log().info("feed mode on",
                        {{"dir", options.feed_dir},
                         {"poll_ms", std::to_string(options.feed_poll_ms)}});
     poller = std::thread([&] {
-      std::unique_lock<std::mutex> lock(poll_mutex);
-      while (!poll_stop) {
-        lock.unlock();
+      for (;;) {
         sweep_feed_dir("poll");
-        lock.lock();
-        poll_cv.wait_for(lock,
-                         std::chrono::milliseconds(options.feed_poll_ms),
-                         [&] { return poll_stop; });
+        const util::MutexLock lock(poll_mutex);
+        if (poll_cv.wait_for(poll_mutex,
+                             std::chrono::milliseconds(options.feed_poll_ms),
+                             [&] { return poll_stop; })) {
+          return;
+        }
       }
     });
   }
@@ -183,7 +182,7 @@ int run(int argc, char** argv) {
 
   if (poller.joinable()) {
     {
-      const std::lock_guard<std::mutex> lock(poll_mutex);
+      const util::MutexLock lock(poll_mutex);
       poll_stop = true;
     }
     poll_cv.notify_all();

@@ -12,8 +12,8 @@
 //
 // Extension mode emits incremental .scwd deltas instead of a new archive:
 //
-//   $ ./world_gen --extend-days N [--slice-days M] [--out-dir DIR] \
-//                 --base <world.scw>
+//   $ ./world_gen --extend-days N [--slice-days M] [--out-dir DIR]
+//                 --base <world.scw>            (one shell line)
 //   wrote DIR/delta-<from>-<to>.scwd: ... (one per slice)
 //
 // The base archive's profile + seed regenerate the identical world, which
