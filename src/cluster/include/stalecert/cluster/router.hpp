@@ -1,0 +1,158 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stalecert/cluster/shard.hpp"
+#include "stalecert/obs/event_log.hpp"
+#include "stalecert/obs/metrics.hpp"
+#include "stalecert/query/client.hpp"
+#include "stalecert/query/http.hpp"
+#include "stalecert/util/mutex.hpp"
+
+namespace stalecert::cluster {
+
+/// One shard backend the router talks to. Position in RouterOptions::shards
+/// IS the shard number: endpoint k must serve shard k/N of the same world.
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct RouterOptions {
+  /// Shard backends in shard order; size() fixes N.
+  std::vector<ShardEndpoint> shards;
+  /// Per-shard request deadline: bounds connect and every socket exchange
+  /// of one forwarded request (scatter legs each get the full deadline).
+  std::chrono::milliseconds timeout{500};
+  /// Background health-probe period; 0 disables the probe thread.
+  std::chrono::milliseconds health_interval{1000};
+  std::string build_info = "stalecert-staled-router/dev";
+};
+
+// --- Merge helpers (pure; unit-tested directly) ---------------------------
+
+/// Splits the top-level elements of a rendered JSON array (the text between
+/// its outer brackets) into one string per element. Only understands the
+/// subset our serializers emit: objects/arrays nest, strings may contain
+/// escaped quotes, commas separate at depth zero.
+std::vector<std::string> split_json_array(std::string_view array_text);
+
+/// Reads the integer immediately after `"<key>":`; nullopt when absent.
+std::optional<std::uint64_t> extract_json_uint(std::string_view body,
+                                               std::string_view key);
+
+/// Merges per-shard GET /v1/summary bodies (owned-slice numbers) into the
+/// single-node body: counts sum, generation is the minimum, the profile
+/// drops its "#shard-K/N" tag. `missing` lists shards that did not answer
+/// before the gather deadline; non-empty appends `"partial":true` and the
+/// shard list instead of silently under-counting.
+std::string merge_summary_bodies(const std::vector<std::string>& bodies,
+                                 const std::vector<unsigned>& missing);
+
+/// Merges per-shard GET /v1/key/<spki> bodies: union of the certificate
+/// objects, sorted and deduplicated — replicas of one certificate render
+/// identically on every shard, so the union collapses to the single-node
+/// list byte for byte.
+std::string merge_key_bodies(const std::vector<std::string>& bodies);
+
+/// Merges per-shard GET /v1/revocation bodies: the earliest revocation
+/// wins (ties broken by the rendered body, lexicographically); with no
+/// revoked answer the first body (all "revoked":false bodies are
+/// identical) passes through.
+std::string merge_revocation_bodies(const std::vector<std::string>& bodies);
+
+// --- The router -----------------------------------------------------------
+
+/// staled-router's request handler: the scatter-gather front tier over N
+/// shard staleds. Point lookups (/v1/stale, /v1/summary?domain=) forward to
+/// the owning shard by routing-domain hash with one retry on a fresh
+/// connection, then 503. Aggregates (/v1/key, /v1/revocation, global
+/// /v1/summary) scatter to every shard under a per-shard deadline and
+/// merge; a missing shard fails key/revocation closed (503 — the missing
+/// shard may own the answer) and degrades the global summary to a
+/// partial-flagged body. /ingest is 404 here: deltas go directly to their
+/// shard's staled. /healthz, /metrics and /statusz describe the router
+/// itself, including per-shard health.
+///
+/// Health: a background probe (start()) GETs each shard's /healthz every
+/// health_interval; request-path failures also mark a shard down
+/// immediately. Transitions emit event-log entries and flip the per-shard
+/// health gauge; a down shard is still attempted on the request path (the
+/// probe may lag a recovery) — health state feeds /healthz, /statusz and
+/// the metrics, not request suppression.
+class RouterService {
+ public:
+  explicit RouterService(RouterOptions options);
+  RouterService(const RouterService&) = delete;
+  RouterService& operator=(const RouterService&) = delete;
+  ~RouterService();
+
+  /// Starts the background health probe (no-op when health_interval is 0).
+  void start();
+  /// Stops the probe thread. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Thread-safe request entry point (the HttpServer handler).
+  [[nodiscard]] query::HttpResponse handle(const query::HttpRequest& request);
+
+  [[nodiscard]] unsigned shard_count() const {
+    return static_cast<unsigned>(options_.shards.size());
+  }
+  [[nodiscard]] bool shard_healthy(unsigned shard) const {
+    return states_[shard]->healthy.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] obs::EventLog& log() { return log_; }
+
+ private:
+  struct ShardState {
+    std::atomic<bool> healthy{true};
+    /// Idle keep-alive connections to this shard, reused across requests;
+    /// a failed exchange discards its connection instead of returning it.
+    util::Mutex pool_mutex;
+    std::vector<std::unique_ptr<query::HttpClient>> idle
+        GUARDED_BY(pool_mutex);
+  };
+
+  /// One GET against shard `shard` under the configured deadline, with one
+  /// retry on a fresh connection. nullopt after the retry also fails (the
+  /// shard is marked down).
+  std::optional<query::HttpClient::Result> fetch(unsigned shard,
+                                                 const std::string& target);
+  /// Scatters `target` to every shard concurrently; results[k] is nullopt
+  /// for shards that failed or missed the deadline.
+  std::vector<std::optional<query::HttpClient::Result>> scatter(
+      const std::string& target);
+
+  query::HttpResponse forward_point(unsigned shard,
+                                    const query::HttpRequest& request);
+  query::HttpResponse gather_summary();
+  query::HttpResponse gather_key(const std::string& target);
+  query::HttpResponse gather_revocation(const std::string& target);
+  query::HttpResponse statusz();
+
+  void mark_shard(unsigned shard, bool healthy, const std::string& origin);
+  void probe_loop();
+  void observe_request(const char* endpoint, int status,
+                       std::chrono::steady_clock::time_point start,
+                       unsigned fanout);
+
+  RouterOptions options_;
+  /// unique_ptr per shard: ShardState holds a mutex and atomics, neither
+  /// movable, and the vector is sized once in the constructor.
+  std::vector<std::unique_ptr<ShardState>> states_;
+  ShardPlan plan_;
+  obs::MetricsRegistry registry_;
+  obs::EventLog log_;
+  std::chrono::steady_clock::time_point started_;
+  std::atomic<bool> stopping_{false};
+  std::thread probe_;
+};
+
+}  // namespace stalecert::cluster

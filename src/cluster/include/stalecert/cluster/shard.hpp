@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stalecert/asn1/der.hpp"
+#include "stalecert/query/shard.hpp"
+
+namespace stalecert::cluster {
+
+/// FNV-1a 64 over arbitrary bytes — the cluster's one hash. Stable across
+/// platforms and releases: shard archives written by one build must route
+/// identically in every other, so this must never change.
+std::uint64_t fnv1a64(std::string_view text);
+
+/// One shard's identity within an N-way partition, parsed from and
+/// formatted as "K/N" (K counts from 0). The same syntax staled's --shard
+/// flag and the shard archive profile suffix use.
+struct ShardRef {
+  unsigned index = 0;
+  unsigned count = 1;
+
+  /// Parses "K/N"; nullopt unless K < N and 1 <= N <= 1024.
+  static std::optional<ShardRef> parse(const std::string& text);
+  [[nodiscard]] std::string label() const {
+    return std::to_string(index) + "/" + std::to_string(count);
+  }
+};
+
+/// The deterministic partition policy: which shard of N owns each routing
+/// domain (see query::routing_domain — names reduce to their e2LD first).
+/// Everything else in the cluster layer derives from this one mapping:
+///
+///   - a CERTIFICATE is replicated onto every shard owning any of its
+///     names' routing domains (so every per-domain join stays local);
+///   - WHOIS and DNS rows live only on their domain's home shard;
+///   - a REVOCATION follows its certificate(s); one matching no
+///     certificate at all is routed by a hash of its serial bytes;
+///   - for global statistics each entity is ATTRIBUTED to exactly one
+///     shard (StalenessIndex::owned_stats), so shard summaries sum to the
+///     single-node numbers despite replication.
+class ShardPlan {
+ public:
+  /// `shard_count` must be in [1, 1024]; throws std::invalid_argument
+  /// otherwise.
+  explicit ShardPlan(unsigned shard_count);
+
+  [[nodiscard]] unsigned count() const { return count_; }
+
+  /// Home shard of an already-reduced routing key (a routing_domain).
+  [[nodiscard]] unsigned shard_for_key(std::string_view routing_key) const {
+    return static_cast<unsigned>(fnv1a64(routing_key) % count_);
+  }
+
+  /// Home shard of a raw DNS name (reduces to the routing domain first).
+  [[nodiscard]] unsigned shard_for_domain(const std::string& name) const;
+
+  /// Every shard a certificate with these names is replicated onto,
+  /// sorted, deduplicated. Empty name list routes like the empty name.
+  [[nodiscard]] std::vector<unsigned> shards_for_names(
+      const std::vector<std::string>& names) const;
+
+  /// Every shard this certificate is replicated onto: its names' home
+  /// shards PLUS the home shards of its lowercase serial hex and SPKI
+  /// fingerprint hex. The extra two are what make the cluster's distinct
+  /// counts exact: every certificate sharing a serial (cross-CA collision)
+  /// or an SPKI co-locates on that key's home shard, so the home shard
+  /// alone attributes the key (see StalenessIndex::owned_stats). A pure
+  /// function of the certificate, so feed routing needs no global state.
+  [[nodiscard]] std::vector<unsigned> shards_for_certificate(
+      const x509::Certificate& cert) const;
+
+  /// Routing for a revocation that matches no certificate anywhere: by a
+  /// hash of the raw serial bytes, so every orphan lands on exactly one
+  /// shard and merged revoked-serial counts stay exact.
+  [[nodiscard]] unsigned shard_for_serial(const asn1::Bytes& serial) const;
+
+  /// The full shard binding handed to query::apply_shard_filter and
+  /// StalenessIndex::set_ownership for shard `index` of this plan.
+  [[nodiscard]] query::ShardScope scope_for(unsigned index) const;
+
+  /// Canonical shard archive file name: "shard-K-of-N.scw".
+  [[nodiscard]] static std::string archive_name(unsigned index,
+                                                unsigned count);
+  /// Canonical per-shard feed subdirectory name ("shard-K-of-N"): shard K's
+  /// staled polls <feed-root>/shard-K-of-N/ for its routed .scwd deltas,
+  /// which keep the regular feed::delta_file_name inside it.
+  [[nodiscard]] static std::string shard_dir_name(unsigned index,
+                                                  unsigned count);
+
+ private:
+  unsigned count_;
+};
+
+}  // namespace stalecert::cluster

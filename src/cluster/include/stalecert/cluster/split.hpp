@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stalecert/cluster/shard.hpp"
+#include "stalecert/feed/delta.hpp"
+#include "stalecert/store/archive.hpp"
+
+namespace stalecert::obs {
+class PipelineObserver;
+}
+
+namespace stalecert::cluster {
+
+/// One shard's slice of a world: query::apply_shard_filter under the
+/// plan's scope — certificates replicated by name, per-domain rows on
+/// their home shard, profile tagged "#shard-K/N".
+store::LoadedWorld shard_world(const store::LoadedWorld& world,
+                               const ShardPlan& plan, unsigned index);
+
+/// Splits `world` into the plan's N shard archives inside `dir`
+/// (ShardPlan::archive_name each). Returns the written paths, shard order.
+std::vector<std::string> write_shard_archives(
+    const store::LoadedWorld& world, const ShardPlan& plan,
+    const std::string& dir, obs::PipelineObserver* observer = nullptr);
+
+/// Routes full-world .scwd deltas into per-shard deltas that apply cleanly
+/// to the plan's shard archives. Stateful: per-shard CT entry counts (a
+/// shard delta's base_entry_count and entry indices are SHARD-local) and
+/// the certificate location map advance with every split, so one splitter
+/// must see a world's deltas in feed order.
+///
+/// Routing mirrors the static split: CT entries replicate to every shard
+/// owning one of the certificate's names; revocations follow their
+/// certificate (base or any previously split delta — a later cert for an
+/// already-routed orphan cannot occur in feed order, since nothing revokes
+/// before issuance); globally-orphaned revocations land on the serial-hash
+/// shard; registrations go to the domain's home shard; every shard gets
+/// every DNS day (filtered, possibly empty) so day chains stay contiguous;
+/// cumulative stats replicate verbatim.
+class DeltaSplitter {
+ public:
+  /// `base` is the FULL base world the incoming deltas extend (the same
+  /// archive the shard archives were split from).
+  DeltaSplitter(const store::LoadedWorld& base, const ShardPlan& plan);
+
+  /// Splits one full-world delta into `plan.count()` shard deltas (shard
+  /// order) and advances the splitter's state.
+  std::vector<feed::WorldDelta> split(const feed::WorldDelta& delta);
+
+ private:
+  ShardPlan plan_;
+  /// Per-shard delta meta template: shard-tagged profile and the SHARD
+  /// archive's world id (so shard deltas never apply to the full world or
+  /// to the wrong shard).
+  std::vector<feed::DeltaMeta> shard_meta_;
+  /// Per shard: CT log id -> current entry count on that shard.
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> log_sizes_;
+  /// Binary (AKI || serial) join key -> shards holding a matching
+  /// certificate's log entry.
+  std::unordered_map<std::string, std::vector<unsigned>> cert_shards_;
+};
+
+}  // namespace stalecert::cluster

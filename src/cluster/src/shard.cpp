@@ -1,0 +1,129 @@
+#include "stalecert/cluster/shard.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "stalecert/util/strings.hpp"
+#include "stalecert/x509/certificate.hpp"
+
+namespace stalecert::cluster {
+
+namespace {
+
+constexpr unsigned kMaxShards = 1024;
+
+bool parse_component(const std::string& text, unsigned long* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::optional<ShardRef> ShardRef::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  unsigned long index = 0;
+  unsigned long count = 0;
+  if (!parse_component(text.substr(0, slash), &index) ||
+      !parse_component(text.substr(slash + 1), &count)) {
+    return std::nullopt;
+  }
+  if (count == 0 || count > kMaxShards || index >= count) return std::nullopt;
+  return ShardRef{static_cast<unsigned>(index), static_cast<unsigned>(count)};
+}
+
+ShardPlan::ShardPlan(unsigned shard_count) : count_(shard_count) {
+  if (shard_count == 0 || shard_count > kMaxShards) {
+    throw std::invalid_argument("ShardPlan: shard count " +
+                                std::to_string(shard_count) +
+                                " out of range [1, " +
+                                std::to_string(kMaxShards) + "]");
+  }
+}
+
+unsigned ShardPlan::shard_for_domain(const std::string& name) const {
+  return shard_for_key(query::routing_domain(name));
+}
+
+std::vector<unsigned> ShardPlan::shards_for_names(
+    const std::vector<std::string>& names) const {
+  std::vector<unsigned> shards;
+  if (names.empty()) {
+    shards.push_back(shard_for_domain(std::string{}));
+    return shards;
+  }
+  shards.reserve(names.size());
+  for (const auto& name : names) shards.push_back(shard_for_domain(name));
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+unsigned ShardPlan::shard_for_serial(const asn1::Bytes& serial) const {
+  return shard_for_key(std::string_view(
+      reinterpret_cast<const char*>(serial.data()), serial.size()));
+}
+
+std::vector<unsigned> ShardPlan::shards_for_certificate(
+    const x509::Certificate& cert) const {
+  std::vector<unsigned> shards = shards_for_names(cert.dns_names());
+  shards.push_back(shard_for_key(util::to_lower(cert.serial_hex())));
+  shards.push_back(shard_for_key(cert.subject_key().fingerprint_hex()));
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+query::ShardScope ShardPlan::scope_for(unsigned index) const {
+  if (index >= count_) {
+    throw std::invalid_argument("ShardPlan: shard " + std::to_string(index) +
+                                " out of range for " + std::to_string(count_) +
+                                " shards");
+  }
+  query::ShardScope scope;
+  const unsigned count = count_;
+  scope.filter.keep_domain = [index, count](const std::string& name) {
+    return fnv1a64(query::routing_domain(name)) % count == index;
+  };
+  scope.filter.keep_certificate_extra =
+      [index, count](const x509::Certificate& cert) {
+        return fnv1a64(util::to_lower(cert.serial_hex())) % count == index ||
+               fnv1a64(cert.subject_key().fingerprint_hex()) % count == index;
+      };
+  scope.filter.keep_unmatched_revocation =
+      [index, count](const crypto::Digest&, const asn1::Bytes& serial) {
+        const std::string_view bytes(
+            reinterpret_cast<const char*>(serial.data()), serial.size());
+        return fnv1a64(bytes) % count == index;
+      };
+  scope.owns = [index, count](const std::string& routing_key) {
+    return fnv1a64(routing_key) % count == index;
+  };
+  scope.label = ShardRef{index, count}.label();
+  return scope;
+}
+
+std::string ShardPlan::archive_name(unsigned index, unsigned count) {
+  return "shard-" + std::to_string(index) + "-of-" + std::to_string(count) +
+         ".scw";
+}
+
+std::string ShardPlan::shard_dir_name(unsigned index, unsigned count) {
+  return "shard-" + std::to_string(index) + "-of-" + std::to_string(count);
+}
+
+}  // namespace stalecert::cluster

@@ -1,0 +1,161 @@
+#include "stalecert/cluster/split.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "stalecert/feed/format.hpp"
+#include "stalecert/query/shard.hpp"
+#include "stalecert/store/filter.hpp"
+
+namespace stalecert::cluster {
+
+namespace {
+
+/// Binary (authority key id || serial) join key — the same composition
+/// store::filter_world and the RevocationStore use.
+std::string join_key(const crypto::Digest& aki, const asn1::Bytes& serial) {
+  std::string key;
+  key.reserve(aki.size() + serial.size());
+  key.append(reinterpret_cast<const char*>(aki.data()), aki.size());
+  key.append(reinterpret_cast<const char*>(serial.data()), serial.size());
+  return key;
+}
+
+}  // namespace
+
+store::LoadedWorld shard_world(const store::LoadedWorld& world,
+                               const ShardPlan& plan, unsigned index) {
+  return query::apply_shard_filter(world, plan.scope_for(index));
+}
+
+std::vector<std::string> write_shard_archives(const store::LoadedWorld& world,
+                                              const ShardPlan& plan,
+                                              const std::string& dir,
+                                              obs::PipelineObserver* observer) {
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  paths.reserve(plan.count());
+  for (unsigned k = 0; k < plan.count(); ++k) {
+    const std::string path =
+        (std::filesystem::path(dir) /
+         ShardPlan::archive_name(k, plan.count()))
+            .string();
+    store::save_world(shard_world(world, plan, k), path, observer);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+DeltaSplitter::DeltaSplitter(const store::LoadedWorld& base,
+                             const ShardPlan& plan)
+    : plan_(plan) {
+  shard_meta_.reserve(plan_.count());
+  log_sizes_.resize(plan_.count());
+  for (unsigned k = 0; k < plan_.count(); ++k) {
+    store::ArchiveMeta meta = base.meta;
+    meta.profile += "#shard-" + ShardRef{k, plan_.count()}.label();
+    feed::DeltaMeta delta_meta;
+    delta_meta.base_world_id = feed::world_id(meta);
+    delta_meta.profile = meta.profile;
+    delta_meta.seed = meta.seed;
+    shard_meta_.push_back(std::move(delta_meta));
+  }
+  // Replay the static split's routing to seed the per-shard log sizes and
+  // the certificate location map without materializing N filtered worlds.
+  for (const auto& log : base.ct_logs.logs()) {
+    for (auto& sizes : log_sizes_) sizes.emplace(log.id(), 0);
+    for (const auto& entry : log.entries()) {
+      const auto shards = plan_.shards_for_certificate(entry.certificate);
+      for (const unsigned k : shards) ++log_sizes_[k][log.id()];
+      if (const auto issuer_serial = entry.certificate.issuer_serial()) {
+        auto& holders = cert_shards_[join_key(issuer_serial->authority_key_id,
+                                              issuer_serial->serial)];
+        for (const unsigned k : shards) {
+          if (std::find(holders.begin(), holders.end(), k) == holders.end()) {
+            holders.push_back(k);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<feed::WorldDelta> DeltaSplitter::split(
+    const feed::WorldDelta& delta) {
+  std::vector<feed::WorldDelta> out(plan_.count());
+  for (unsigned k = 0; k < plan_.count(); ++k) {
+    out[k].meta = shard_meta_[k];
+    out[k].meta.from_day = delta.meta.from_day;
+    out[k].meta.to_day = delta.meta.to_day;
+    out[k].stats = delta.stats;
+  }
+
+  // CT first: revocation routing below consults the location map, and a
+  // cert and its revocation may share a delta.
+  for (const auto& log_delta : delta.ct) {
+    std::vector<feed::CtLogDelta> per_shard(plan_.count());
+    for (unsigned k = 0; k < plan_.count(); ++k) {
+      per_shard[k].log_id = log_delta.log_id;
+      per_shard[k].base_entry_count = log_sizes_[k][log_delta.log_id];
+    }
+    for (const auto& entry : log_delta.entries) {
+      const auto shards = plan_.shards_for_certificate(entry.certificate);
+      for (const unsigned k : shards) {
+        ct::LogEntry routed = entry;
+        // Shard-local dense index: this shard's log length so far.
+        routed.index =
+            per_shard[k].base_entry_count + per_shard[k].entries.size();
+        per_shard[k].entries.push_back(std::move(routed));
+      }
+      if (const auto issuer_serial = entry.certificate.issuer_serial()) {
+        auto& holders = cert_shards_[join_key(issuer_serial->authority_key_id,
+                                              issuer_serial->serial)];
+        for (const unsigned k : shards) {
+          if (std::find(holders.begin(), holders.end(), k) == holders.end()) {
+            holders.push_back(k);
+          }
+        }
+      }
+    }
+    for (unsigned k = 0; k < plan_.count(); ++k) {
+      log_sizes_[k][log_delta.log_id] += per_shard[k].entries.size();
+      if (!per_shard[k].entries.empty()) {
+        out[k].ct.push_back(std::move(per_shard[k]));
+      }
+    }
+  }
+
+  for (const auto& entry : delta.revocations) {
+    const auto it = cert_shards_.find(join_key(entry.authority_key_id,
+                                               entry.serial));
+    if (it != cert_shards_.end()) {
+      for (const unsigned k : it->second) out[k].revocations.push_back(entry);
+    } else {
+      out[plan_.shard_for_serial(entry.serial)].revocations.push_back(entry);
+    }
+  }
+
+  for (const auto& event : delta.registrations) {
+    out[plan_.shard_for_domain(event.domain)].registrations.push_back(event);
+  }
+
+  // Every shard gets every day, filtered: the departure detector diffs
+  // consecutive days and the applier enforces a contiguous day chain.
+  for (const auto& day : delta.adns) {
+    for (unsigned k = 0; k < plan_.count(); ++k) {
+      dns::DailySnapshot snapshot;
+      snapshot.date = day.date;
+      for (const auto& [domain, records] : day.records) {
+        if (plan_.shard_for_domain(domain) == k) {
+          snapshot.records.emplace(domain, records);
+        }
+      }
+      out[k].adns.push_back(std::move(snapshot));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace stalecert::cluster

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "stalecert/feed/applier.hpp"
 #include "stalecert/query/service.hpp"
+#include "stalecert/query/shard.hpp"
 #include "stalecert/util/mutex.hpp"
 
 namespace stalecert::feed {
@@ -24,8 +26,15 @@ class FeedRuntime {
   /// Loads the base archive and builds the base snapshot (same pipeline
   /// posture as StalenessIndex::from_archive). Throws the store/pipeline
   /// error taxonomy when the archive itself is unusable.
+  ///
+  /// With a `scope` (staled --shard) the world is reduced to the shard's
+  /// slice first — a pre-split shard archive passes through after a label
+  /// check — and every snapshot carries the scope's ownership predicate,
+  /// so only deltas bound to the SHARD's world id (profile tagged
+  /// "#shard-K/N") apply; full-world deltas are rejected with 409.
   explicit FeedRuntime(const std::string& archive_path,
-                       obs::PipelineObserver* observer = nullptr);
+                       obs::PipelineObserver* observer = nullptr,
+                       std::optional<query::ShardScope> scope = std::nullopt);
 
   /// Applies one delta from a file or raw bytes. Serialized internally.
   query::IngestOutcome ingest(const query::IngestSource& source);
@@ -74,6 +83,7 @@ class FeedRuntime {
 
  private:
   std::string archive_path_;
+  std::optional<query::ShardScope> scope_;
   obs::PipelineObserver* observer_;
   util::Mutex mutex_;
   DeltaApplier applier_ GUARDED_BY(mutex_);

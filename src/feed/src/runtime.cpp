@@ -13,8 +13,10 @@ namespace stalecert::feed {
 namespace {
 
 DeltaApplier make_applier(const std::string& archive_path,
-                          obs::PipelineObserver* observer) {
+                          obs::PipelineObserver* observer,
+                          const std::optional<query::ShardScope>& scope) {
   store::LoadedWorld world = store::load_world(archive_path, observer);
+  if (scope) world = query::apply_shard_filter(std::move(world), *scope);
   // Same posture as StalenessIndex::from_archive — the archive's own
   // cutoff and provider patterns — but keeping the LoadedWorld, which the
   // applier needs for its join state.
@@ -26,24 +28,29 @@ DeltaApplier make_applier(const std::string& archive_path,
   core::PipelineResult result =
       core::run_pipeline(world.ct_logs, world.revocations,
                          world.re_registrations(), world.adns, config);
-  auto index = std::make_shared<const query::StalenessIndex>(
-      std::move(result), world.meta, observer);
-  return DeltaApplier(std::move(world), std::move(index), observer);
+  auto index = std::make_shared<query::StalenessIndex>(std::move(result),
+                                                       world.meta, observer);
+  if (scope) index->set_ownership(scope->owns);
+  return DeltaApplier(std::move(world),
+                      std::shared_ptr<const query::StalenessIndex>(index),
+                      observer);
 }
 
 }  // namespace
 
 FeedRuntime::FeedRuntime(const std::string& archive_path,
-                         obs::PipelineObserver* observer)
+                         obs::PipelineObserver* observer,
+                         std::optional<query::ShardScope> scope)
     : archive_path_(archive_path),
+      scope_(std::move(scope)),
       observer_(observer),
-      applier_(make_applier(archive_path, observer)) {}
+      applier_(make_applier(archive_path, observer, scope_)) {}
 
 void FeedRuntime::reload() {
   // Build the replacement fully off-lock, then swap: a concurrent ingest
   // either lands on the old state (and is discarded with it) or on the
   // fresh one.
-  DeltaApplier fresh = make_applier(archive_path_, observer_);
+  DeltaApplier fresh = make_applier(archive_path_, observer_, scope_);
   const util::MutexLock lock(mutex_);
   applier_ = std::move(fresh);
 }

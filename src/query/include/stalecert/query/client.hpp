@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -15,8 +16,13 @@ namespace stalecert::query {
 class HttpClient {
  public:
   /// Connects immediately; throws QueryError when the server is
-  /// unreachable.
-  HttpClient(const std::string& host, std::uint16_t port);
+  /// unreachable. A non-zero `timeout` bounds the connect AND every
+  /// subsequent socket send/recv; crossing it throws QueryTimeoutError
+  /// (which deliberately bypasses the reconnect retry in request() — a
+  /// slow server is not a closed keep-alive connection). Zero = block
+  /// indefinitely, the pre-cluster behavior.
+  HttpClient(const std::string& host, std::uint16_t port,
+             std::chrono::milliseconds timeout = std::chrono::milliseconds(0));
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
   HttpClient(HttpClient&& other) noexcept;
@@ -55,6 +61,7 @@ class HttpClient {
 
   std::string host_;
   std::uint16_t port_;
+  std::chrono::milliseconds timeout_{0};
   int fd_ = -1;
 };
 

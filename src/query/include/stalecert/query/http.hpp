@@ -19,6 +19,17 @@ class QueryError : public Error {
   explicit QueryError(const std::string& what) : Error("query: " + what) {}
 };
 
+/// A client-side deadline expired (connect, send, or read — see
+/// HttpClient's timeout parameter). Distinct from QueryError so callers
+/// can tell "down" (refused, reset) from "slow" (alive but over deadline):
+/// stalecert_query exits 3 for the former, 4 for the latter, and
+/// staled-router counts the two against a shard differently.
+class QueryTimeoutError : public QueryError {
+ public:
+  explicit QueryTimeoutError(const std::string& what)
+      : QueryError("timeout: " + what) {}
+};
+
 /// A parsed HTTP/1.1 request. The serving subset is deliberately minimal:
 /// GET/HEAD/POST, bodies sized by Content-Length only (no chunked
 /// encoding), no multi-line headers.
@@ -48,6 +59,10 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (e.g. Retry-After on 503), serialized after
+  /// the standard Content-Type/Content-Length/Connection set. Names are
+  /// emitted as stored; values must already be legal header text.
+  std::map<std::string, std::string> headers;
   /// Id of the request trace this response belongs to (0 = untraced). Set
   /// by StaledService so the server's post-write hook can attribute the
   /// socket write time back to the retained trace. Never serialized.

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,6 +18,8 @@ class PipelineObserver;
 }
 
 namespace stalecert::query {
+
+struct ShardScope;
 
 /// One detected stale certificate, denormalized for serving: the
 /// StaleCertificate fields plus the identifiers a caller needs without
@@ -110,6 +113,14 @@ class StalenessIndex {
   [[nodiscard]] static std::shared_ptr<const StalenessIndex> from_archive(
       const std::string& path, obs::PipelineObserver* observer = nullptr);
 
+  /// Shard-scoped variant: the loaded world is narrowed through
+  /// apply_shard_filter (no-op on a pre-split shard archive) before the
+  /// pipeline runs, and the scope's ownership predicate is installed so
+  /// owned_stats() attributes each global statistic to exactly one shard.
+  [[nodiscard]] static std::shared_ptr<const StalenessIndex> from_archive(
+      const std::string& path, const ShardScope& scope,
+      obs::PipelineObserver* observer = nullptr);
+
   /// Builds the successor snapshot for one applied delta. Structural
   /// updates only: base indexes are copied and extended in place — new
   /// certificates touch only their own SPKI buckets and the two validity
@@ -194,11 +205,42 @@ class StalenessIndex {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Installs a shard ownership predicate (owns(routing_key) == "this
+  /// shard is the key's home") and recomputes owned_stats(). Must be
+  /// called before the snapshot is shared across threads — from_archive's
+  /// shard overload and the feed runtime do so during construction.
+  /// Attribution rules (what string is handed to owns()):
+  ///   certificate   -> routing_domain of its first SAN/CN name
+  ///   stale record  -> routing_domain of its trigger domain
+  ///   distinct key  -> the SPKI hex string itself
+  ///   revoked serial-> the serial hex string itself
+  ///   domain        -> routing_domain of itself
+  /// Certificates replicated onto several shards share a first name, and
+  /// the shard plan replicates each certificate onto its SPKI's and
+  /// serial's home shards, so exactly one shard owns each entity; summing
+  /// owned_stats() across a full shard set reproduces the single-node
+  /// stats() (differential-tested).
+  void set_ownership(std::function<bool(const std::string&)> owns);
+
+  /// Whether set_ownership installed a predicate (i.e. this is one shard
+  /// of a partition rather than a whole-world snapshot).
+  [[nodiscard]] bool sharded() const { return owns_ != nullptr; }
+
+  /// The slice of stats() this shard is the owner of; equal to stats()
+  /// when unsharded. Global summaries sum these across shards without
+  /// double-counting replicated certificates.
+  [[nodiscard]] const Stats& owned_stats() const { return owned_stats_; }
+
  private:
   /// Patch build: copies `base` and folds in one delta's worth of new
   /// certificates and stale records (see with_patch).
   StalenessIndex(const StalenessIndex& base, IndexPatch patch,
                  obs::PipelineObserver* observer);
+
+  /// True iff this shard owns the certificate (first-name attribution).
+  [[nodiscard]] bool owns_certificate(std::uint32_t cert_index) const;
+  /// Recomputes owned_stats_ from owns_ (identity copy when unsharded).
+  void recompute_owned_stats();
 
   core::PipelineResult result_;
   store::ArchiveMeta meta_;
@@ -212,6 +254,8 @@ class StalenessIndex {
   std::vector<std::int64_t> validity_begins_;  // sorted days-since-epoch
   std::vector<std::int64_t> validity_ends_;
   Stats stats_;
+  std::function<bool(const std::string&)> owns_;  // null when unsharded
+  Stats owned_stats_;
 };
 
 /// The at-risk names of one stale certificate (shared with the analyzer's

@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "stalecert/obs/event_log.hpp"
@@ -68,6 +69,15 @@ struct ServiceOptions {
   /// the poll loop lives in the binary, the apply logic in the ingest
   /// handler). Empty = feed mode off.
   std::string feed_dir;
+  /// Injected snapshot factory used by load()/reload() in place of
+  /// StalenessIndex::from_archive(path). staled --shard installs a
+  /// shard-scoped builder here so the service never learns cluster policy.
+  std::function<std::shared_ptr<const StalenessIndex>(const std::string&)>
+      snapshot_builder;
+  /// Shard identity surfaced on /statusz and /metrics. shard_count == 0
+  /// means this process serves a whole world (the default).
+  unsigned shard_index = 0;
+  unsigned shard_count = 0;
 };
 
 /// Where one delta ingest came from: a .scwd file on disk (path set) or
@@ -153,6 +163,12 @@ class StaledService {
   /// the --feed-dir poll loop, and the SIGHUP re-apply path.
   IngestOutcome ingest(const IngestSource& source);
 
+  /// Non-blocking variant: nullopt when another apply currently holds the
+  /// ingest path (the caller should answer 503 + Retry-After rather than
+  /// queue). POST /ingest uses this; the poll loop and SIGHUP re-apply
+  /// keep the blocking ingest() since they must not drop deltas.
+  std::optional<IngestOutcome> try_ingest(const IngestSource& source);
+
   /// Post-write hook body: attributes the socket write time back to the
   /// request's retained trace. Wire as
   ///   server.set_request_hook([&](const auto&, const auto& resp, auto d) {
@@ -210,6 +226,16 @@ class StaledService {
                               obs::RequestTrace* trace);
   HttpResponse handle_ingest(const HttpRequest& request,
                              obs::RequestTrace* trace);
+
+  /// The serialized section of an ingest: runs the handler and publishes
+  /// the successor snapshot. Must not throw — the try_ingest path releases
+  /// the mutex manually after it returns (handler failures come back as
+  /// statuses, never exceptions).
+  IngestOutcome apply_ingest_locked(const IngestSource& source)
+      REQUIRES(ingest_mutex_);
+  /// The unserialized tail of an ingest: metrics, gauges, event log.
+  void record_ingest(const IngestOutcome& outcome, const IngestSource& source,
+                     std::chrono::steady_clock::time_point start);
 
   /// Folds the sliding windows into registry gauges (qps, quantiles, SLO
   /// burn rates) so /metrics exposes them; called at scrape time.

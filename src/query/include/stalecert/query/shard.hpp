@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "stalecert/store/filter.hpp"
+
+namespace stalecert::query {
+
+/// Binds a snapshot to one shard of a cluster partition: the store-level
+/// record filter that carves out the shard's slice, plus the ownership
+/// predicate used to attribute global statistics to exactly one shard (a
+/// certificate replicated onto several shards must be counted once).
+///
+/// The policy (FNV-1a over e2LDs, replication rules) lives in
+/// stalecert::cluster; query only consumes the closed-over predicates, so
+/// the serving layer stays ignorant of cluster topology.
+struct ShardScope {
+  /// Record filter handed to store::filter_world.
+  store::WorldFilter filter;
+  /// owns(routing_key) — true iff this shard is the key's home shard. The
+  /// key is a routing domain for domain-grained stats, a lowercase SPKI or
+  /// serial hex for key-grained ones; the predicate hashes the string
+  /// either way, so query code never learns the policy.
+  std::function<bool(const std::string&)> owns;
+  /// Human-readable shard id ("0/4"); suffixed onto the archive profile as
+  /// "#shard-<label>" so shard archives and shard feed deltas bind to each
+  /// other (feed::world_id covers the profile) and never to the full world.
+  std::string label;
+};
+
+/// The unit a domain name is routed by: normalize, then reduce to the
+/// registered domain (e2LD); names without a recognizable e2LD (bare TLDs,
+/// empty) route by themselves. Shards, ownership and at-risk joins all key
+/// on this, which is what makes e2LD-grained partitioning lossless: every
+/// join the detectors perform stays within one routing domain.
+std::string routing_domain(const std::string& name);
+
+/// Filters a loaded world down to one shard's slice and tags the profile
+/// with the scope's shard label. A world already tagged with the same label
+/// (a pre-split shard archive) passes through unchanged; one tagged with a
+/// DIFFERENT label is a deployment error and throws store::ArchiveError.
+store::LoadedWorld apply_shard_filter(store::LoadedWorld world,
+                                      const ShardScope& scope);
+
+}  // namespace stalecert::query

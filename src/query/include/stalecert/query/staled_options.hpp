@@ -26,6 +26,10 @@ struct StaledOptions {
   std::string feed_dir;
   /// --feed-poll-ms N: delta poll interval in feed mode.
   unsigned feed_poll_ms = 1000;
+  /// --shard k/N: serve shard k of an N-way cluster partition (k counts
+  /// from 0). shard_count == 0 means unsharded, the default.
+  unsigned shard_index = 0;
+  unsigned shard_count = 0;
 };
 
 /// Outcome of parsing: either options or a usage error message.

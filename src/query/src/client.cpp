@@ -1,7 +1,9 @@
 #include "stalecert/query/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,29 +17,39 @@ namespace stalecert::query {
 
 namespace {
 
-bool send_all(int fd, std::string_view data) {
+enum class IoResult { kOk, kClosed, kTimedOut };
+
+IoResult send_all(int fd, std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return false;
+      // EAGAIN from a blocking socket means SO_SNDTIMEO expired.
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return IoResult::kTimedOut;
+      }
+      return IoResult::kClosed;
     }
     sent += static_cast<std::size_t>(n);
   }
-  return true;
+  return IoResult::kOk;
 }
 
 }  // namespace
 
-HttpClient::HttpClient(const std::string& host, std::uint16_t port)
-    : host_(host), port_(port) {
+HttpClient::HttpClient(const std::string& host, std::uint16_t port,
+                       std::chrono::milliseconds timeout)
+    : host_(host), port_(port), timeout_(timeout) {
   connect();
 }
 
 HttpClient::HttpClient(HttpClient&& other) noexcept
-    : host_(std::move(other.host_)), port_(other.port_), fd_(other.fd_) {
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_(other.timeout_),
+      fd_(other.fd_) {
   other.fd_ = -1;
 }
 
@@ -55,12 +67,54 @@ void HttpClient::connect() {
     close();
     throw QueryError("bad host address " + host_ + " (want an IPv4 literal)");
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string detail = std::strerror(errno);
-    close();
-    throw QueryError("connect " + host_ + ":" + std::to_string(port_) + ": " +
-                     detail);
+  const std::string peer = host_ + ":" + std::to_string(port_);
+  if (timeout_.count() <= 0) {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const std::string detail = std::strerror(errno);
+      close();
+      throw QueryError("connect " + peer + ": " + detail);
+    }
+    return;
   }
+
+  // Deadline-bounded connect: non-blocking connect + poll, then restore
+  // blocking mode with SO_RCVTIMEO/SO_SNDTIMEO bounding every exchange.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      const std::string detail = std::strerror(errno);
+      close();
+      throw QueryError("connect " + peer + ": " + detail);
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_.count()));
+    if (ready == 0) {
+      close();
+      throw QueryTimeoutError("connect " + peer + " after " +
+                              std::to_string(timeout_.count()) + "ms");
+    }
+    if (ready < 0) {
+      const std::string detail = std::strerror(errno);
+      close();
+      throw QueryError("poll " + peer + ": " + detail);
+    }
+    int error = 0;
+    socklen_t len = sizeof error;
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error, &len);
+    if (error != 0) {
+      close();
+      throw QueryError("connect " + peer + ": " + std::strerror(error));
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 void HttpClient::close() {
@@ -81,7 +135,20 @@ std::optional<HttpClient::Result> HttpClient::try_request(
   }
   request += "\r\n";
   request += body;
-  if (!send_all(fd_, request)) return std::nullopt;
+  // Timeouts THROW instead of returning nullopt: nullopt triggers the
+  // reconnect-retry in request(), which is right for a closed keep-alive
+  // connection but wrong for a slow server (retrying doubles the wait and
+  // masks the condition the caller asked to detect).
+  const auto timed_out = [&](const char* op) {
+    return QueryTimeoutError(std::string(op) + " " + host_ + ":" +
+                             std::to_string(port_) + " after " +
+                             std::to_string(timeout_.count()) + "ms");
+  };
+  switch (send_all(fd_, request)) {
+    case IoResult::kOk: break;
+    case IoResult::kTimedOut: throw timed_out("send");
+    case IoResult::kClosed: return std::nullopt;
+  }
 
   // Read the head, then exactly Content-Length body bytes.
   std::string buffer;
@@ -91,6 +158,10 @@ std::optional<HttpClient::Result> HttpClient::try_request(
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+          timeout_.count() > 0) {
+        throw timed_out("recv");
+      }
       return std::nullopt;
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
@@ -131,6 +202,10 @@ std::optional<HttpClient::Result> HttpClient::try_request(
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+          timeout_.count() > 0) {
+        throw timed_out("recv");
+      }
       return std::nullopt;
     }
     response_body.append(chunk, static_cast<std::size_t>(n));

@@ -131,8 +131,11 @@ std::string serialize_response(const HttpResponse& response, bool keep_alive,
       << "\r\n"
       << "Content-Type: " << response.content_type << "\r\n"
       << "Content-Length: " << response.body.size() << "\r\n"
-      << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n"
-      << "\r\n";
+      << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "\r\n";
   if (!head_only) out << response.body;
   return out.str();
 }

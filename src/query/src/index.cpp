@@ -4,6 +4,7 @@
 
 #include "stalecert/dns/name.hpp"
 #include "stalecert/obs/observer.hpp"
+#include "stalecert/query/shard.hpp"
 #include "stalecert/store/archive.hpp"
 #include "stalecert/util/error.hpp"
 #include "stalecert/util/hex.hpp"
@@ -121,6 +122,7 @@ StalenessIndex::StalenessIndex(core::PipelineResult result,
   stats_.distinct_keys = key_to_certs_.size();
   stats_.distinct_domains = domain_to_records_.size();
   stats_.revoked_serials = serial_to_revocation_.size();
+  owned_stats_ = stats_;
 
   if (scope.enabled()) {
     scope.count("certificates", stats_.certificates);
@@ -129,6 +131,49 @@ StalenessIndex::StalenessIndex(core::PipelineResult result,
     scope.count("indexed_keys", stats_.distinct_keys);
     scope.count("revoked_serials", stats_.revoked_serials);
   }
+}
+
+bool StalenessIndex::owns_certificate(std::uint32_t cert_index) const {
+  const auto& names = result_.corpus.at(cert_index).dns_names();
+  const std::string first = names.empty() ? std::string{} : names.front();
+  return owns_(routing_domain(first));
+}
+
+void StalenessIndex::recompute_owned_stats() {
+  if (!owns_) {
+    owned_stats_ = stats_;
+    return;
+  }
+  Stats owned;
+  for (std::uint32_t i = 0; i < result_.corpus.size(); ++i) {
+    if (owns_certificate(i)) owned.certificates++;
+  }
+  for (const StaleRecord& record : records_) {
+    if (!owns_(routing_domain(record.trigger_domain))) continue;
+    owned.stale_records++;
+    owned.by_class[static_cast<std::size_t>(record.cls)]++;
+  }
+  // Keys and serials are attributed by hashing the key STRING itself: the
+  // shard plan replicates every certificate onto the home shards of its
+  // SPKI and serial hex (ShardPlan::shards_for_certificate), so the home
+  // shard provably holds the key's full membership and counts it exactly
+  // once — a member-certificate anchor would double count whenever a
+  // bucket straddles shards (cross-CA serial collisions, shared keys).
+  for (const auto& [key, certs] : key_to_certs_) {
+    if (owns_(key)) owned.distinct_keys++;
+  }
+  for (const auto& [domain, records] : domain_to_records_) {
+    if (owns_(routing_domain(domain))) owned.distinct_domains++;
+  }
+  for (const auto& [serial, status] : serial_to_revocation_) {
+    if (owns_(serial)) owned.revoked_serials++;
+  }
+  owned_stats_ = owned;
+}
+
+void StalenessIndex::set_ownership(std::function<bool(const std::string&)> owns) {
+  owns_ = std::move(owns);
+  recompute_owned_stats();
 }
 
 StalenessIndex::StalenessIndex(const StalenessIndex& base, IndexPatch patch,
@@ -142,7 +187,8 @@ StalenessIndex::StalenessIndex(const StalenessIndex& base, IndexPatch patch,
       serial_to_revocation_(base.serial_to_revocation_),
       validity_begins_(base.validity_begins_),
       validity_ends_(base.validity_ends_),
-      stats_(base.stats_) {
+      stats_(base.stats_),
+      owns_(base.owns_) {
   const obs::StageScope scope(observer, "query_index_patch");
   if (patch.base_certificates != base.result_.corpus.size()) {
     throw LogicError(
@@ -250,6 +296,7 @@ StalenessIndex::StalenessIndex(const StalenessIndex& base, IndexPatch patch,
   stats_.distinct_keys = key_to_certs_.size();
   stats_.distinct_domains = domain_to_records_.size();
   stats_.revoked_serials = serial_to_revocation_.size();
+  recompute_owned_stats();
 
   if (scope.enabled()) {
     scope.count("new_certificates",
@@ -267,10 +314,10 @@ std::shared_ptr<const StalenessIndex> StalenessIndex::with_patch(
       new StalenessIndex(*this, std::move(patch), observer));
 }
 
-std::shared_ptr<const StalenessIndex> StalenessIndex::from_archive(
-    const std::string& path, obs::PipelineObserver* observer) {
-  const store::LoadedWorld world = store::load_world(path, observer);
+namespace {
 
+std::shared_ptr<StalenessIndex> index_from_world(
+    const store::LoadedWorld& world, obs::PipelineObserver* observer) {
   core::PipelineConfig config;
   config.revocation_cutoff = world.meta.revocation_cutoff;
   config.delegation_patterns = world.meta.delegation_patterns;
@@ -280,8 +327,25 @@ std::shared_ptr<const StalenessIndex> StalenessIndex::from_archive(
   core::PipelineResult result =
       core::run_pipeline(world.ct_logs, world.revocations,
                          world.re_registrations(), world.adns, config);
-  return std::make_shared<const StalenessIndex>(std::move(result), world.meta,
-                                                observer);
+  return std::make_shared<StalenessIndex>(std::move(result), world.meta,
+                                          observer);
+}
+
+}  // namespace
+
+std::shared_ptr<const StalenessIndex> StalenessIndex::from_archive(
+    const std::string& path, obs::PipelineObserver* observer) {
+  return index_from_world(store::load_world(path, observer), observer);
+}
+
+std::shared_ptr<const StalenessIndex> StalenessIndex::from_archive(
+    const std::string& path, const ShardScope& scope,
+    obs::PipelineObserver* observer) {
+  const store::LoadedWorld world =
+      apply_shard_filter(store::load_world(path, observer), scope);
+  std::shared_ptr<StalenessIndex> index = index_from_world(world, observer);
+  index->set_ownership(scope.owns);
+  return index;
 }
 
 const StaleRecord& StalenessIndex::record(std::uint32_t index) const {

@@ -116,12 +116,24 @@ StaledService::StaledService(std::string archive_path, ServiceOptions options)
                     "Successful snapshot reloads");
   registry_.counter("stalecert_staled_reloads_total", {{"result", "error"}},
                     "Failed snapshot reloads (previous snapshot kept)");
+  if (options_.shard_count > 0) {
+    registry_
+        .gauge("stalecert_staled_shard_index", {},
+               "This process's shard number within the cluster partition")
+        .set(static_cast<double>(options_.shard_index));
+    registry_
+        .gauge("stalecert_staled_shard_count", {},
+               "Total shards in the cluster partition (0 = unsharded)")
+        .set(static_cast<double>(options_.shard_count));
+  }
   for (const char* endpoint : kEndpoints) windows_.try_emplace(endpoint);
 }
 
 void StaledService::load() {
   const auto build_start = Clock::now();
-  auto index = StalenessIndex::from_archive(archive_path_);
+  auto index = options_.snapshot_builder
+                   ? options_.snapshot_builder(archive_path_)
+                   : StalenessIndex::from_archive(archive_path_);
   registry_
       .gauge("stalecert_staled_index_stale_records", {},
              "Stale records in the serving snapshot")
@@ -221,6 +233,8 @@ void StaledService::set_ingest_handler(IngestHandler handler) {
                   "Deltas folded in since the base snapshot");
   registry_.gauge("stalecert_staled_feed_horizon_days", {},
                   "Last day covered by applied data, days since epoch");
+  registry_.counter("stalecert_staled_ingest_busy_total", {},
+                    "POST /ingest answered 503 because an apply was in flight");
 }
 
 IngestOutcome StaledService::ingest(const IngestSource& source) {
@@ -231,9 +245,35 @@ IngestOutcome StaledService::ingest(const IngestSource& source) {
   IngestOutcome outcome;
   {
     const util::MutexLock lock(ingest_mutex_);
-    outcome = ingest_handler_(source);
-    if (outcome.ok && outcome.index) cell_.set(outcome.index);
+    outcome = apply_ingest_locked(source);
   }
+  record_ingest(outcome, source, start);
+  return outcome;
+}
+
+std::optional<IngestOutcome> StaledService::try_ingest(
+    const IngestSource& source) {
+  if (!ingest_handler_) {
+    return IngestOutcome{
+        .ok = false, .status = 404, .message = "feed mode disabled"};
+  }
+  const auto start = Clock::now();
+  if (!ingest_mutex_.try_lock()) return std::nullopt;
+  const IngestOutcome outcome = apply_ingest_locked(source);
+  ingest_mutex_.unlock();
+  record_ingest(outcome, source, start);
+  return outcome;
+}
+
+IngestOutcome StaledService::apply_ingest_locked(const IngestSource& source) {
+  IngestOutcome outcome = ingest_handler_(source);
+  if (outcome.ok && outcome.index) cell_.set(outcome.index);
+  return outcome;
+}
+
+void StaledService::record_ingest(const IngestOutcome& outcome,
+                                  const IngestSource& source,
+                                  Clock::time_point start) {
   const auto now = Clock::now();
   const double seconds = std::chrono::duration<double>(now - start).count();
   registry_
@@ -292,7 +332,6 @@ IngestOutcome StaledService::ingest(const IngestSource& source) {
                {"status", std::to_string(outcome.status)},
                {"error", outcome.message}});
   }
-  return outcome;
 }
 
 HttpResponse StaledService::handle_ingest(const HttpRequest& request,
@@ -318,10 +357,22 @@ HttpResponse StaledService::handle_ingest(const HttpRequest& request,
   }
 
   const auto apply_start = Clock::now();
-  const IngestOutcome outcome = ingest(source);
+  const std::optional<IngestOutcome> applied = try_ingest(source);
   trace->add_span("apply", Clock::now() - apply_start);
 
   const TraceSpan serialize(trace, "serialize");
+  if (!applied) {
+    // Another delta apply holds the ingest mutex. Answer immediately so the
+    // feeder can back off and retry instead of queueing requests behind a
+    // rebuild; the poll loop and SIGHUP reload still use the blocking path.
+    registry_.counter("stalecert_staled_ingest_busy_total", {}).inc();
+    HttpResponse busy{503, "application/json",
+                      "{\"applied\":false,\"error\":\"ingest busy: another "
+                      "delta apply is in flight\"}\n"};
+    busy.headers["Retry-After"] = "1";
+    return busy;
+  }
+  const IngestOutcome& outcome = *applied;
   std::ostringstream out;
   if (!outcome.ok) {
     out << "{\"applied\":false,\"error\":\"" << json_escape(outcome.message)
@@ -512,22 +563,36 @@ HttpResponse StaledService::handle_key(const std::string& spki_hex,
   trace->add_span("lookup", Clock::now() - lookup_start);
 
   const TraceSpan serialize(trace, "serialize");
+  // Render each certificate to its JSON object, then sort and dedup the
+  // rendered strings. This makes the payload a pure function of the
+  // certificate set: single-node and a scatter-gathered cluster (where a
+  // cert whose names straddle shards is replicated) agree byte for byte.
+  std::vector<std::string> rendered;
+  rendered.reserve(certs.size());
+  for (const std::uint32_t cert_index : certs) {
+    const auto& cert = index.corpus().at(cert_index);
+    std::ostringstream item;
+    item << "{\"serial\":\"" << json_escape(cert.serial_hex())
+         << "\",\"not_before\":" << date_json(cert.not_before())
+         << ",\"not_after\":" << date_json(cert.not_after()) << ",\"names\":[";
+    const auto names = cert.dns_names();
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      if (j > 0) item << ",";
+      item << "\"" << json_escape(names[j]) << "\"";
+    }
+    item << "]}";
+    rendered.push_back(item.str());
+  }
+  std::sort(rendered.begin(), rendered.end());
+  rendered.erase(std::unique(rendered.begin(), rendered.end()),
+                 rendered.end());
+
   std::ostringstream out;
   out << "{\"spki\":\"" << json_escape(util::to_lower(spki_hex))
       << "\",\"certificates\":[";
-  for (std::size_t i = 0; i < certs.size(); ++i) {
-    const auto& cert = index.corpus().at(certs[i]);
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
     if (i > 0) out << ",";
-    out << "{\"index\":" << certs[i] << ",\"serial\":\""
-        << json_escape(cert.serial_hex()) << "\",\"not_before\":"
-        << date_json(cert.not_before()) << ",\"not_after\":"
-        << date_json(cert.not_after()) << ",\"names\":[";
-    const auto names = cert.dns_names();
-    for (std::size_t j = 0; j < names.size(); ++j) {
-      if (j > 0) out << ",";
-      out << "\"" << json_escape(names[j]) << "\"";
-    }
-    out << "]}";
+    out << rendered[i];
   }
   out << "]}\n";
   return {200, "application/json", out.str()};
@@ -564,7 +629,12 @@ HttpResponse StaledService::handle_summary(const HttpRequest& request,
   }
 
   const TraceSpan serialize(trace, "serialize");
-  const auto& stats = index.stats();
+  // A sharded node reports its OWNED slice (each entity attributed to
+  // exactly one shard) so the router can sum shard summaries into the
+  // exact single-node numbers. Traffic-dependent request quantiles live on
+  // /statusz, not here: the body must be a pure function of the data so
+  // merged cluster summaries can be byte-compared against single-node.
+  const auto& stats = index.sharded() ? index.owned_stats() : index.stats();
   const auto& meta = index.meta();
   out << "{\"profile\":\"" << json_escape(meta.profile)
       << "\",\"seed\":" << meta.seed << ",\"window\":{\"start\":"
@@ -578,23 +648,7 @@ HttpResponse StaledService::handle_summary(const HttpRequest& request,
         << "\":" << stats.by_class[i];
   }
   out << "},\"distinct_keys\":" << stats.distinct_keys
-      << ",\"revoked_serials\":" << stats.revoked_serials;
-
-  // Request latency summary across all endpoints so far — the obs
-  // quantile helper applied to this registry's own histograms.
-  std::uint64_t requests = 0;
-  double p50 = 0.0;
-  double p99 = 0.0;
-  for (const auto& histogram : registry_.snapshot().histograms) {
-    if (histogram.name != "stalecert_staled_request_duration_seconds") continue;
-    const auto summary = obs::summarize_histogram(histogram);
-    if (summary.count == 0) continue;
-    requests += summary.count;
-    p50 = std::max(p50, summary.p50);
-    p99 = std::max(p99, summary.p99);
-  }
-  out << ",\"requests\":{\"count\":" << requests << ",\"p50_seconds\":" << p50
-      << ",\"p99_seconds\":" << p99 << "}}\n";
+      << ",\"revoked_serials\":" << stats.revoked_serials << "}\n";
   return {200, "application/json", out.str()};
 }
 
@@ -615,8 +669,7 @@ HttpResponse StaledService::handle_revocation(const HttpRequest& request,
         << date_json(status->revocation_date) << ",\"reason\":\""
         << json_escape(revocation::to_string(status->reason))
         << "\",\"key_compromise\":"
-        << (status->key_compromise() ? "true" : "false")
-        << ",\"cert_index\":" << status->cert_index;
+        << (status->key_compromise() ? "true" : "false");
   } else {
     out << ",\"revoked\":false";
   }
@@ -683,6 +736,11 @@ std::string StaledService::statusz_json(
   std::ostringstream out;
   out << "{\"build\":\"" << json_escape(options_.build_info)
       << "\",\"uptime_seconds\":" << format_double(uptime);
+
+  if (options_.shard_count > 0) {
+    out << ",\"shard\":{\"index\":" << options_.shard_index
+        << ",\"count\":" << options_.shard_count << "}";
+  }
 
   out << ",\"snapshot\":{\"loaded\":" << (index != nullptr ? "true" : "false")
       << ",\"generation\":" << cell_.generation() << ",\"archive\":\""

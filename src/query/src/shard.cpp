@@ -1,0 +1,34 @@
+#include "stalecert/query/shard.hpp"
+
+#include <utility>
+
+#include "stalecert/dns/name.hpp"
+#include "stalecert/query/index.hpp"
+#include "stalecert/store/errors.hpp"
+
+namespace stalecert::query {
+
+std::string routing_domain(const std::string& name) {
+  const std::string normalized = normalize_domain(name);
+  const auto e2 = dns::e2ld(normalized);
+  return e2 ? *e2 : normalized;
+}
+
+store::LoadedWorld apply_shard_filter(store::LoadedWorld world,
+                                      const ShardScope& scope) {
+  const std::string tag = "#shard-" + scope.label;
+  const auto pos = world.meta.profile.find("#shard-");
+  if (pos != std::string::npos) {
+    if (world.meta.profile.substr(pos) != tag) {
+      throw store::ArchiveError(
+          "archive is pre-split for shard '" + world.meta.profile.substr(pos) +
+          "' but this process serves '" + tag + "'");
+    }
+    return world;  // pre-split shard archive: already filtered and tagged
+  }
+  store::LoadedWorld filtered = store::filter_world(world, scope.filter);
+  filtered.meta.profile += tag;
+  return filtered;
+}
+
+}  // namespace stalecert::query

@@ -24,7 +24,7 @@ bool parse_unsigned(const std::string& text, unsigned long* out) {
 std::string staled_usage_line() {
   return "staled [--port N] [--bind ADDR] [--threads N]"
          " [--log-file PATH] [--log-level debug|info|warn|error]"
-         " [--feed-dir DIR] [--feed-poll-ms N]"
+         " [--feed-dir DIR] [--feed-poll-ms N] [--shard K/N]"
          " <archive.scw>";
 }
 
@@ -37,7 +37,7 @@ StaledOptionsResult parse_staled_options(const std::vector<std::string>& args,
     const std::string& arg = args[i];
     if (arg == "--port" || arg == "--bind" || arg == "--threads" ||
         arg == "--log-file" || arg == "--log-level" || arg == "--feed-dir" ||
-        arg == "--feed-poll-ms") {
+        arg == "--feed-poll-ms" || arg == "--shard") {
       if (i + 1 >= args.size()) return fail(arg + " requires an argument");
       const std::string& value = args[++i];
       if (arg == "--port") {
@@ -66,6 +66,19 @@ StaledOptionsResult parse_staled_options(const std::vector<std::string>& args,
           return fail("bad --feed-poll-ms value: " + value);
         }
         options.feed_poll_ms = static_cast<unsigned>(poll_ms);
+      } else if (arg == "--shard") {
+        const auto slash = value.find('/');
+        unsigned long index = 0;
+        unsigned long count = 0;
+        if (slash == std::string::npos ||
+            !parse_unsigned(value.substr(0, slash), &index) ||
+            !parse_unsigned(value.substr(slash + 1), &count) || count == 0 ||
+            count > 1024 || index >= count) {
+          return fail("bad --shard value (want K/N with K < N <= 1024): " +
+                      value);
+        }
+        options.shard_index = static_cast<unsigned>(index);
+        options.shard_count = static_cast<unsigned>(count);
       } else {
         const auto level = obs::parse_log_level(value);
         if (!level) return fail("bad --log-level value: " + value);

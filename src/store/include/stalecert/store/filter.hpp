@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "stalecert/store/archive.hpp"
+
+namespace stalecert::store {
+
+/// Record-level predicate set for carving a sub-world out of a LoadedWorld.
+/// The store layer is deliberately policy-free: it applies whatever
+/// predicates it is handed (the shard routing policy lives in
+/// stalecert::cluster) and only owns the mechanics — rebuilding CT logs
+/// with dense entry indices, keeping the revocation join consistent, and
+/// preserving the aDNS day chain.
+struct WorldFilter {
+  /// Keep records mentioning this domain name? Applied to raw names as they
+  /// appear in the datasets (certificate SANs, WHOIS domains, aDNS rows).
+  /// Certificates are kept when ANY of their names passes; a certificate
+  /// with no names is consulted as keep_domain(""). Null keeps everything.
+  std::function<bool(const std::string&)> keep_domain;
+
+  /// Additional OR'd certificate predicate, consulted after keep_domain
+  /// misses on every name. A shard plan uses it to ALSO replicate each
+  /// certificate onto the home shards of its serial and SPKI routing keys,
+  /// which is what makes per-shard distinct-key and revoked-serial counts
+  /// sum exactly to the single-node numbers (each key string has one home
+  /// shard, and that shard provably holds every member). Null adds nothing.
+  std::function<bool(const x509::Certificate&)> keep_certificate_extra;
+
+  /// Revocations join CT on (authority key id, serial). An observation whose
+  /// key matches a KEPT certificate is always kept; one matching only
+  /// DROPPED certificates is always dropped (it belongs to whichever
+  /// sub-world kept the certificate). Observations matching NO certificate
+  /// in the INPUT world are routed through this predicate so a shard plan
+  /// can assign each orphan to exactly one shard. Null keeps all orphans.
+  std::function<bool(const crypto::Digest&, const asn1::Bytes&)>
+      keep_unmatched_revocation;
+};
+
+/// Applies the filter to every dataset: CT logs are rebuilt per log with
+/// entries renumbered densely (original timestamps preserved), revocations
+/// follow their certificates, WHOIS events and aDNS rows are kept iff their
+/// domain passes. Every aDNS day survives (possibly with zero rows) so the
+/// day-over-day diff chain keeps its length. `meta` and `stats` are copied
+/// unchanged — stats remain the FULL world's ground truth, which keeps a
+/// union of shard archives self-describing about their origin.
+LoadedWorld filter_world(const LoadedWorld& world, const WorldFilter& filter);
+
+/// Archives an already-materialized world — the save path for filtered
+/// sub-worlds, which have no sim::World behind them. Returns total bytes
+/// written.
+std::uint64_t save_world(const LoadedWorld& world, const std::string& path,
+                         obs::PipelineObserver* observer = nullptr);
+
+}  // namespace stalecert::store

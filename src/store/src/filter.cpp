@@ -1,0 +1,124 @@
+#include "stalecert/store/filter.hpp"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace stalecert::store {
+
+namespace {
+
+/// Binary (authority key id || serial) join key, the same composition the
+/// RevocationStore uses internally.
+std::string join_key(const crypto::Digest& aki, const asn1::Bytes& serial) {
+  std::string key;
+  key.reserve(aki.size() + serial.size());
+  key.append(reinterpret_cast<const char*>(aki.data()), aki.size());
+  key.append(reinterpret_cast<const char*>(serial.data()), serial.size());
+  return key;
+}
+
+bool keep_certificate(const x509::Certificate& cert, const WorldFilter& filter,
+                      const std::function<bool(const std::string&)>& keep) {
+  const auto& names = cert.dns_names();
+  if (names.empty() && keep(std::string{})) return true;
+  for (const auto& name : names) {
+    if (keep(name)) return true;
+  }
+  return filter.keep_certificate_extra && filter.keep_certificate_extra(cert);
+}
+
+}  // namespace
+
+LoadedWorld filter_world(const LoadedWorld& world, const WorldFilter& filter) {
+  // A null domain predicate still needs the matched-key scan below (the
+  // orphan-revocation predicate may drop records), so substitute accept-all
+  // rather than special-casing.
+  const std::function<bool(const std::string&)> keep_domain =
+      filter.keep_domain ? filter.keep_domain
+                         : [](const std::string&) { return true; };
+
+  LoadedWorld out;
+  out.meta = world.meta;
+  out.stats = world.stats;
+
+  // CT logs: rebuild each log with its archived identity, re-appending only
+  // the kept entries. restore_entry() requires dense sequential indices, so
+  // entries are renumbered 0..n in original order (relative order — which
+  // the collect() dedup funnel depends on — is preserved). While walking,
+  // record which revocation join keys are matched by kept vs. any input
+  // certificates, to decide each observation's fate below.
+  std::unordered_set<std::string> matched_any;
+  std::unordered_set<std::string> matched_kept;
+  for (const auto& log : world.ct_logs.logs()) {
+    ct::CtLog rebuilt(log.id(), log.name(), log.log_operator(), log.trust(),
+                      log.expiry_shard());
+    std::uint64_t next_index = 0;
+    for (const auto& entry : log.entries()) {
+      const auto issuer_serial = entry.certificate.issuer_serial();
+      const bool kept = keep_certificate(entry.certificate, filter, keep_domain);
+      if (issuer_serial) {
+        std::string key =
+            join_key(issuer_serial->authority_key_id, issuer_serial->serial);
+        if (kept) matched_kept.insert(key);
+        matched_any.insert(std::move(key));
+      }
+      if (!kept) continue;
+      rebuilt.restore_entry(next_index++, entry.timestamp, entry.certificate);
+    }
+    out.ct_logs.add_log(std::move(rebuilt));
+  }
+
+  // Revocations: follow the certificates. Matched-by-kept stays; matched
+  // only by dropped certificates leaves with them; a key matching no input
+  // certificate at all is an orphan the caller's predicate places.
+  for (const auto& entry : world.revocations.entries()) {
+    const std::string key = join_key(entry.authority_key_id, entry.serial);
+    bool keep = false;
+    if (matched_kept.contains(key)) {
+      keep = true;
+    } else if (matched_any.contains(key)) {
+      keep = false;
+    } else {
+      keep = !filter.keep_unmatched_revocation ||
+             filter.keep_unmatched_revocation(entry.authority_key_id,
+                                              entry.serial);
+    }
+    if (keep) {
+      out.revocations.add(entry.authority_key_id, entry.serial,
+                          entry.observation);
+    }
+  }
+
+  out.registrations.reserve(world.registrations.size());
+  for (const auto& event : world.registrations) {
+    if (keep_domain(event.domain)) out.registrations.push_back(event);
+  }
+
+  // Every day survives, possibly empty: the departure detector diffs
+  // consecutive days, so the chain's length and dates are load-bearing.
+  for (const auto& day : world.adns.all()) {
+    dns::DailySnapshot snapshot;
+    snapshot.date = day.date;
+    for (const auto& [domain, records] : day.records) {
+      if (keep_domain(domain)) snapshot.records.emplace(domain, records);
+    }
+    out.adns.add(std::move(snapshot));
+  }
+
+  return out;
+}
+
+std::uint64_t save_world(const LoadedWorld& world, const std::string& path,
+                         obs::PipelineObserver* observer) {
+  return ArchiveWriter(world.meta)
+      .ct_logs(world.ct_logs)
+      .revocations(world.revocations)
+      .registrations(world.registrations)
+      .adns(world.adns)
+      .stats(world.stats)
+      .write(path, observer);
+}
+
+}  // namespace stalecert::store

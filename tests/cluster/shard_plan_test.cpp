@@ -1,0 +1,154 @@
+// The partition policy in isolation: the hash, shard-ref parsing, routing
+// determinism, and the scope predicates every other cluster piece closes
+// over. Nothing here touches an archive — see split_test.cpp and
+// cluster_differential_test.cpp for the data-bearing layers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stalecert/cluster/shard.hpp"
+#include "stalecert/query/shard.hpp"
+
+namespace stalecert::cluster {
+namespace {
+
+TEST(Fnv1a64Test, MatchesPublishedVectors) {
+  // Offset basis and the classic FNV-1a reference values: the routing hash
+  // may NEVER change, or existing shard archives stop routing correctly.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(ShardRefTest, ParsesValidRefs) {
+  const auto ref = ShardRef::parse("2/4");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->index, 2u);
+  EXPECT_EQ(ref->count, 4u);
+  EXPECT_EQ(ref->label(), "2/4");
+
+  EXPECT_TRUE(ShardRef::parse("0/1").has_value());
+  EXPECT_TRUE(ShardRef::parse("1023/1024").has_value());
+}
+
+TEST(ShardRefTest, RejectsMalformedRefs) {
+  EXPECT_FALSE(ShardRef::parse("").has_value());
+  EXPECT_FALSE(ShardRef::parse("3").has_value());          // no slash
+  EXPECT_FALSE(ShardRef::parse("4/4").has_value());        // index == count
+  EXPECT_FALSE(ShardRef::parse("5/4").has_value());        // index > count
+  EXPECT_FALSE(ShardRef::parse("0/0").has_value());        // zero shards
+  EXPECT_FALSE(ShardRef::parse("0/1025").has_value());     // over the cap
+  EXPECT_FALSE(ShardRef::parse("a/4").has_value());
+  EXPECT_FALSE(ShardRef::parse("1/b").has_value());
+  EXPECT_FALSE(ShardRef::parse("1/4x").has_value());
+  EXPECT_FALSE(ShardRef::parse("/4").has_value());
+  EXPECT_FALSE(ShardRef::parse("1/").has_value());
+}
+
+TEST(ShardPlanTest, ConstructorEnforcesCountRange) {
+  EXPECT_NO_THROW(ShardPlan(1));
+  EXPECT_NO_THROW(ShardPlan(1024));
+  EXPECT_THROW(ShardPlan(0), std::invalid_argument);
+  EXPECT_THROW(ShardPlan(1025), std::invalid_argument);
+}
+
+TEST(ShardPlanTest, NamesRouteByRegisteredDomain) {
+  const ShardPlan plan(7);
+  // Every name under one e2LD lands on that e2LD's home shard — the
+  // invariant that keeps per-domain joins shard-local.
+  const unsigned home = plan.shard_for_key(query::routing_domain("example.com"));
+  EXPECT_EQ(plan.shard_for_domain("example.com"), home);
+  EXPECT_EQ(plan.shard_for_domain("www.example.com"), home);
+  EXPECT_EQ(plan.shard_for_domain("a.b.c.example.com"), home);
+  EXPECT_EQ(plan.shard_for_domain("WWW.EXAMPLE.COM"), home);
+  EXPECT_EQ(plan.shard_for_domain("*.example.com"), home);
+}
+
+TEST(ShardPlanTest, RoutingIsDeterministicAndInRange) {
+  const ShardPlan plan(4);
+  const ShardPlan same(4);
+  const std::vector<std::string> names = {
+      "example.com", "foo.org", "bar.co.uk", "deep.sub.baz.net", "",
+      "localhost", "9a3f", "x"};
+  for (const auto& name : names) {
+    const unsigned shard = plan.shard_for_domain(name);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(same.shard_for_domain(name), shard) << name;
+  }
+}
+
+TEST(ShardPlanTest, ShardsForNamesSortedDeduplicated) {
+  const ShardPlan plan(4);
+  const std::vector<std::string> names = {
+      "a.example.com", "b.example.com",  // same e2LD -> one shard
+      "other.org", "third.net", "fourth.io", "fifth.dev"};
+  const auto shards = plan.shards_for_names(names);
+  ASSERT_FALSE(shards.empty());
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    EXPECT_LT(shards[i - 1], shards[i]);  // strictly ascending = deduped
+  }
+  // The duplicate e2LD must not add a shard beyond the distinct domains.
+  std::set<unsigned> expected;
+  for (const auto& name : names) expected.insert(plan.shard_for_domain(name));
+  EXPECT_EQ(shards.size(), expected.size());
+}
+
+TEST(ShardPlanTest, EmptyNameListRoutesLikeTheEmptyName) {
+  const ShardPlan plan(5);
+  const auto shards = plan.shards_for_names({});
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0], plan.shard_for_domain(std::string{}));
+}
+
+TEST(ShardPlanTest, ScopePredicatesPartitionEveryKey) {
+  // Exactly one shard owns each routing key, and the domain filter agrees
+  // with the ownership predicate on routing domains — the property that
+  // makes summed owned_stats exact.
+  const unsigned kShards = 4;
+  const ShardPlan plan(kShards);
+  std::vector<query::ShardScope> scopes;
+  for (unsigned k = 0; k < kShards; ++k) scopes.push_back(plan.scope_for(k));
+
+  const std::vector<std::string> keys = {
+      "example.com", "other.org", "deadbeef00",  // serial-hex-like
+      "9b1c2d3e4f5a6b7c8d9e0f1a2b3c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e",
+      ""};
+  for (const auto& key : keys) {
+    unsigned owners = 0;
+    for (unsigned k = 0; k < kShards; ++k) {
+      if (scopes[k].owns(key)) ++owners;
+    }
+    EXPECT_EQ(owners, 1u) << key;
+  }
+
+  const std::vector<std::string> names = {"www.example.com", "a.other.org",
+                                          "plain.net"};
+  for (const auto& name : names) {
+    unsigned keepers = 0;
+    for (unsigned k = 0; k < kShards; ++k) {
+      const bool kept = scopes[k].filter.keep_domain(name);
+      EXPECT_EQ(kept, scopes[k].owns(query::routing_domain(name))) << name;
+      if (kept) ++keepers;
+    }
+    EXPECT_EQ(keepers, 1u) << name;
+  }
+}
+
+TEST(ShardPlanTest, ScopeLabelAndBounds) {
+  const ShardPlan plan(4);
+  EXPECT_EQ(plan.scope_for(0).label, "0/4");
+  EXPECT_EQ(plan.scope_for(3).label, "3/4");
+  EXPECT_THROW(plan.scope_for(4), std::invalid_argument);
+}
+
+TEST(ShardPlanTest, CanonicalFileAndDirectoryNames) {
+  EXPECT_EQ(ShardPlan::archive_name(0, 4), "shard-0-of-4.scw");
+  EXPECT_EQ(ShardPlan::archive_name(3, 4), "shard-3-of-4.scw");
+  EXPECT_EQ(ShardPlan::shard_dir_name(2, 8), "shard-2-of-8");
+}
+
+}  // namespace
+}  // namespace stalecert::cluster

@@ -221,6 +221,52 @@ TEST(FeedConcurrencyTest, IngestWhileServing) {
   EXPECT_GT(served.load(), 0u);
 }
 
+TEST(FeedConcurrencyTest, IngestWhileBusyAnswers503WithRetryAfter) {
+  // POST /ingest must never queue behind a slow apply: the second request
+  // gets an immediate 503 + Retry-After (try_ingest), the poster retries.
+  // A handler parked on a latch makes the overlap deterministic.
+  query::StaledService service(feed_world().base_path);
+  service.log().set_level(obs::LogLevel::kError);
+  service.load();
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  service.set_ingest_handler([&](const query::IngestSource&) {
+    entered.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    query::IngestOutcome outcome;
+    outcome.ok = false;
+    outcome.status = 400;
+    outcome.message = "test handler";
+    return outcome;
+  });
+
+  query::HttpRequest post;
+  post.method = "POST";
+  post.version = "HTTP/1.1";
+  post.path = "/ingest";
+  post.body = "whatever";
+
+  std::thread first([&] { (void)service.handle(post); });
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto busy = service.handle(post);
+  EXPECT_EQ(busy.status, 503);
+  EXPECT_NE(busy.body.find("busy"), std::string::npos);
+  ASSERT_TRUE(busy.headers.contains("Retry-After"));
+  EXPECT_EQ(busy.headers.at("Retry-After"), "1");
+
+  release.store(true);
+  first.join();
+
+  // With the apply path free again, the next POST reaches the handler.
+  const auto after = service.handle(post);
+  EXPECT_EQ(after.status, 400);
+}
+
 TEST(FeedConcurrencyTest, ConcurrentIngestAttemptsSerialize) {
   // Two threads race the same delta sequence; exactly one apply per day
   // must win, the loser getting a clean 409, never a torn snapshot.

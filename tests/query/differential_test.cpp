@@ -5,6 +5,7 @@
 // shared helper), so an indexing bug and a specification bug cannot cancel
 // out.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <map>
@@ -129,7 +130,11 @@ const Fixture& fresh_fixture() {
     config.seed = 20260806;
     sim::World world(config);
     world.run();
-    const std::string path = ::testing::TempDir() + "differential_fresh.scw";
+    // gtest_discover_tests runs sibling TESTs as concurrent processes
+    // sharing TempDir(): the archive path must be per-process or a
+    // writer can truncate the file under another process's reader.
+    const std::string path = ::testing::TempDir() + "differential_fresh_" +
+                             std::to_string(::getpid()) + ".scw";
     store::save_world(world, path, nullptr, "small");
     return build_fixture(path);
   }();

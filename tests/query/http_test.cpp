@@ -85,6 +85,22 @@ TEST(SerializeResponseTest, CarriesLengthTypeAndConnection) {
             "nope");
 }
 
+TEST(SerializeResponseTest, EmitsExtraHeadersAfterStandardSet) {
+  HttpResponse response;
+  response.status = 503;
+  response.content_type = "text/plain";
+  response.body = "busy";
+  response.headers.emplace("Retry-After", "1");
+  EXPECT_EQ(serialize_response(response, /*keep_alive=*/false),
+            "HTTP/1.1 503 Service Unavailable\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: 4\r\n"
+            "Connection: close\r\n"
+            "Retry-After: 1\r\n"
+            "\r\n"
+            "busy");
+}
+
 TEST(SerializeResponseTest, HeadOnlyKeepsLengthButOmitsBody) {
   HttpResponse response;
   response.body = "{\"ok\":true}";

@@ -95,6 +95,28 @@ TEST(StaledOptionsTest, RejectsBadFeedPollValues) {
           .ok());
 }
 
+TEST(StaledOptionsTest, ParsesShardFlag) {
+  const auto result =
+      parse_staled_options({"--shard", "2/4", "w.scw"}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.options->shard_index, 2u);
+  EXPECT_EQ(result.options->shard_count, 4u);
+}
+
+TEST(StaledOptionsTest, DefaultIsUnsharded) {
+  const auto result = parse_staled_options({"w.scw"}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.options->shard_count, 0u);
+}
+
+TEST(StaledOptionsTest, RejectsBadShardRefs) {
+  EXPECT_FALSE(parse_staled_options({"--shard", "4/4", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(parse_staled_options({"--shard", "2", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(
+      parse_staled_options({"--shard", "a/b", "w.scw"}, nullptr).ok());
+  EXPECT_FALSE(parse_staled_options({"--shard"}, nullptr).ok());
+}
+
 TEST(StaledOptionsTest, RejectsBadInput) {
   EXPECT_FALSE(parse_staled_options({}, nullptr).ok());
   EXPECT_FALSE(parse_staled_options({"--port"}, nullptr).ok());

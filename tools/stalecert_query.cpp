@@ -9,9 +9,12 @@
 //
 // `ingest` POSTs the .scwd bytes to /ingest on a feed-mode staled (see
 // src/feed/README.md); everything else is a GET. Prints the response body
-// to stdout and the HTTP status to stderr.
+// to stdout and the HTTP status to stderr. --timeout-ms bounds the whole
+// exchange (connect and every socket read/write); 0, the default, waits
+// indefinitely.
 // Exit codes: 0 on HTTP 200, 1 on any other status, 2 on usage errors,
-// 3 when the daemon is unreachable.
+// 3 when the daemon is unreachable, 4 when --timeout-ms expires.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -27,7 +30,8 @@ namespace {
 
 int usage(const std::string& detail) {
   std::cerr
-      << "usage: stalecert_query [--host ADDR] [--port N] <command> [args]\n"
+      << "usage: stalecert_query [--host ADDR] [--port N] [--timeout-ms N]"
+         " <command> [args]\n"
          "commands:\n"
          "  stale --domain D --date YYYY-MM-DD   point-in-time staleness\n"
          "  key <spki-hex>                       certificates sharing a key\n"
@@ -66,16 +70,21 @@ std::string encode(const std::string& value) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::uint16_t port = 8080;
+  std::chrono::milliseconds timeout{0};
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--host" || arg == "--port") {
+    if (arg == "--host" || arg == "--port" || arg == "--timeout-ms") {
       if (i + 1 >= argc) return usage(arg + " requires an argument");
       const std::string value = argv[++i];
       if (arg == "--host") {
         host = value;
-      } else {
+      } else if (arg == "--port") {
         port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+      } else {
+        const long long ms = std::atoll(value.c_str());
+        if (ms < 0) return usage("bad --timeout-ms value: " + value);
+        timeout = std::chrono::milliseconds(ms);
       }
     } else {
       args.push_back(arg);
@@ -141,13 +150,18 @@ int main(int argc, char** argv) {
   }
 
   try {
+    query::HttpClient client(host, port, timeout);
     const auto result =
-        is_post ? query::HttpClient(host, port).post(
-                      target, post_body, "application/octet-stream")
-                : query::http_get(host, port, target);
+        is_post ? client.post(target, post_body, "application/octet-stream")
+                : client.get(target);
     std::cerr << "HTTP " << result.status << " " << target << '\n';
     std::cout << result.body;
     return result.status == 200 ? 0 : 1;
+  } catch (const query::QueryTimeoutError& e) {
+    // Before stalecert::Error: a timeout IS a QueryError, but scripts need
+    // to tell "slow" (4, retry later) from "gone" (3, page someone).
+    std::cerr << "stalecert_query: " << e.what() << '\n';
+    return 4;
   } catch (const stalecert::Error& e) {
     std::cerr << "stalecert_query: " << e.what() << '\n';
     return 3;

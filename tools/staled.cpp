@@ -2,9 +2,15 @@
 // the measurement pipeline once, indexes the result (query::StalenessIndex)
 // and serves point lookups over a minimal HTTP/1.1 subset:
 //
-//   $ ./staled [--port N] [--bind ADDR] [--threads N]
+//   $ ./staled [--port N] [--bind ADDR] [--threads N] [--shard K/N]
 //              [--log-file PATH] [--log-level LEVEL] <archive.scw>
 //   staled: listening on 127.0.0.1:8080 (...)
+//
+// --shard K/N serves shard K of an N-way partition (see src/cluster): the
+// archive is narrowed to the shard's slice (instant on a pre-split
+// shard-K-of-N.scw), /statusz and /metrics carry the shard identity, and
+// /v1/summary reports the shard's OWNED slice so a front tier can sum
+// summaries across shards without double counting.
 //
 // Endpoints: /v1/stale?domain=&date=, /v1/key/<spki>, /v1/summary[?domain=],
 // /v1/revocation?serial=, /healthz, /metrics (Prometheus), /statusz
@@ -33,11 +39,14 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "stalecert/cluster/shard.hpp"
 #include "stalecert/feed/runtime.hpp"
+#include "stalecert/query/index.hpp"
 #include "stalecert/query/server.hpp"
 #include "stalecert/query/service.hpp"
 #include "stalecert/query/staled_options.hpp"
@@ -73,6 +82,20 @@ int run(int argc, char** argv) {
   query::ServiceOptions service_options;
   service_options.build_info = "stalecert-staled/1 (obs v2)";
   service_options.feed_dir = options.feed_dir;
+  // --shard K/N: serve one slice of a partitioned world. The scope narrows
+  // the archive to the shard (a no-op on a pre-split shard-K-of-N.scw) and
+  // installs the ownership predicate so /v1/summary reports this shard's
+  // owned slice; cluster policy stays out of the query layer.
+  std::optional<query::ShardScope> scope;
+  if (options.shard_count > 0) {
+    scope = cluster::ShardPlan(options.shard_count)
+                .scope_for(options.shard_index);
+    service_options.shard_index = options.shard_index;
+    service_options.shard_count = options.shard_count;
+    service_options.snapshot_builder = [s = *scope](const std::string& path) {
+      return query::StalenessIndex::from_archive(path, s);
+    };
+  }
   query::StaledService service(options.archive_path, service_options);
   service.log().set_level(options.log_level);
   if (!options.log_file.empty() && !service.log().open_jsonl(options.log_file)) {
@@ -99,7 +122,8 @@ int run(int argc, char** argv) {
   if (feed_mode) {
     // The runtime's base build replaces service.load(): same pipeline, but
     // it keeps the world in memory for incremental applies.
-    runtime = std::make_unique<feed::FeedRuntime>(options.archive_path);
+    runtime = std::make_unique<feed::FeedRuntime>(options.archive_path,
+                                                  nullptr, scope);
     service.set_ingest_handler(runtime->handler());
     service.publish(runtime->index(), "feed base " + options.archive_path);
     sweep_feed_dir("startup");

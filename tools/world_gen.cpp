@@ -2,13 +2,17 @@
 // Table-3 datasets as a .scw file — the generate side of the
 // generate-once / analyze-many workflow (analyze side: world_analyze).
 //
-//   $ ./world_gen [--profile small|default] [--seed N]
+//   $ ./world_gen [--profile small|default] [--seed N] [--shards N]
 //                 [--metrics-json <path|->] <output.scw>
 //
 // The profile names the WorldConfig recipe and is stored in the archive, so
 // world_analyze --in-memory can regenerate the identical world for
 // cross-checking. --metrics-json writes the observability snapshot
 // (sim_run + store_save stages) as JSON to <path>, or stderr for "-".
+//
+// --shards N additionally splits the world into shard-<k>-of-<N>.scw
+// archives next to the output (cluster::ShardPlan partition, src/cluster):
+// each is a self-contained slice that `staled --shard k/N` serves.
 //
 // Extension mode emits incremental .scwd deltas instead of a new archive:
 //
@@ -20,12 +24,20 @@
 // is run past its horizon; each slice's new records are diffed out and
 // written as a delta bound to the base's world id. Deterministic: the same
 // base and flags always produce byte-identical .scwd files.
+//
+// With --shards N, extension mode ALSO routes every delta through
+// cluster::DeltaSplitter and writes the per-shard copies into
+// DIR/shard-<k>-of-<N>/ (bound to the shard archives' world ids), which is
+// where each shard's `staled --feed-dir` polls.
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "stalecert/cluster/shard.hpp"
+#include "stalecert/cluster/split.hpp"
 #include "stalecert/feed/delta.hpp"
 #include "stalecert/feed/errors.hpp"
 #include "stalecert/feed/extend.hpp"
@@ -41,18 +53,36 @@ namespace {
 
 int usage(const std::string& detail) {
   std::cerr << "usage: world_gen [--profile small|default] [--seed N]"
-               " [--metrics-json <path|->] <output.scw>\n"
+               " [--shards N] [--metrics-json <path|->] <output.scw>\n"
                "       world_gen --extend-days N [--slice-days M]"
-               " [--out-dir DIR] --base <world.scw>\n";
+               " [--shards N] [--out-dir DIR] --base <world.scw>\n";
   if (!detail.empty()) std::cerr << detail << '\n';
   return 2;
+}
+
+/// --shards in generate mode: reload the archive just written and split it
+/// into shard-<k>-of-<N>.scw siblings.
+int write_shards(const std::string& archive_path, unsigned shards,
+                 obs::PipelineObserver* observer) {
+  const cluster::ShardPlan plan(shards);
+  const store::LoadedWorld world = store::load_world(archive_path, observer);
+  const std::string dir =
+      std::filesystem::path(archive_path).parent_path().string();
+  const auto paths =
+      cluster::write_shard_archives(world, plan, dir.empty() ? "." : dir,
+                                    observer);
+  for (const auto& path : paths) {
+    std::cout << "wrote " << path << ": shard slice of " << archive_path
+              << "\n";
+  }
+  return 0;
 }
 
 /// --extend-days mode: regenerate the base world, run it N days past its
 /// horizon, and write one .scwd delta per slice into --out-dir.
 int run_extend(const std::string& base_path, std::int64_t days,
                std::int64_t slice_days, const std::string& out_dir,
-               const std::string& metrics_json_path) {
+               unsigned shards, const std::string& metrics_json_path) {
   obs::MetricsPipelineObserver telemetry;
   obs::PipelineObserver* observer =
       metrics_json_path.empty() ? nullptr : &telemetry;
@@ -60,6 +90,15 @@ int run_extend(const std::string& base_path, std::int64_t days,
   const store::ArchiveReader reader(base_path);
   const auto deltas =
       feed::extend_world(reader.meta(), days, slice_days, observer);
+
+  // The splitter must see the deltas in feed order against the SAME base
+  // world the shard archives were split from.
+  std::optional<cluster::ShardPlan> plan;
+  std::optional<cluster::DeltaSplitter> splitter;
+  if (shards > 1) {
+    plan.emplace(shards);
+    splitter.emplace(reader.load_world(), *plan);
+  }
 
   std::filesystem::create_directories(out_dir);
   for (const auto& delta : deltas) {
@@ -72,6 +111,21 @@ int run_extend(const std::string& base_path, std::int64_t days,
               << delta.revocations.size() << " revocations, "
               << delta.registrations.size() << " whois events, "
               << delta.adns.size() << " adns snapshots\n";
+    if (!splitter) continue;
+    const auto routed = splitter->split(delta);
+    for (unsigned k = 0; k < plan->count(); ++k) {
+      const auto shard_dir = std::filesystem::path(out_dir) /
+                             cluster::ShardPlan::shard_dir_name(k,
+                                                               plan->count());
+      std::filesystem::create_directories(shard_dir);
+      const std::string shard_path =
+          (shard_dir / feed::delta_file_name(routed[k].meta)).string();
+      feed::write_delta(routed[k], shard_path, observer);
+      std::cout << "wrote " << shard_path << ": "
+                << routed[k].ct_entry_count() << " ct entries, "
+                << routed[k].revocations.size() << " revocations, "
+                << routed[k].registrations.size() << " whois events\n";
+    }
   }
 
   if (!metrics_json_path.empty()) {
@@ -99,11 +153,12 @@ int run(int argc, char** argv) {
   std::optional<std::uint64_t> seed;
   std::int64_t extend_days = 0;
   std::int64_t slice_days = 1;
+  unsigned shards = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--profile" || arg == "--seed" || arg == "--metrics-json" ||
         arg == "--extend-days" || arg == "--slice-days" || arg == "--base" ||
-        arg == "--out-dir") {
+        arg == "--out-dir" || arg == "--shards") {
       if (i + 1 >= argc) return usage(arg + " requires an argument");
       const std::string value = argv[++i];
       if (arg == "--profile") {
@@ -120,6 +175,12 @@ int run(int argc, char** argv) {
         base_path = value;
       } else if (arg == "--out-dir") {
         out_dir = value;
+      } else if (arg == "--shards") {
+        const long long parsed = std::atoll(value.c_str());
+        if (parsed < 2 || parsed > 1024) {
+          return usage("bad --shards value (want 2..1024): " + value);
+        }
+        shards = static_cast<unsigned>(parsed);
       } else {
         metrics_json_path = value;
       }
@@ -136,7 +197,7 @@ int run(int argc, char** argv) {
     if (!output_path.empty()) {
       return usage("--extend-days writes into --out-dir, not a positional path");
     }
-    return run_extend(base_path, extend_days, slice_days, out_dir,
+    return run_extend(base_path, extend_days, slice_days, out_dir, shards,
                       metrics_json_path);
   }
   if (!base_path.empty()) return usage("--base requires --extend-days");
@@ -176,6 +237,11 @@ int run(int argc, char** argv) {
             << "  whois events:   " << world.whois().new_registrations().size()
             << "\n"
             << "  adns snapshots: " << world.adns().days() << "\n";
+
+  if (shards > 1) {
+    const int rc = write_shards(output_path, shards, observer);
+    if (rc != 0) return rc;
+  }
 
   if (!metrics_json_path.empty()) {
     if (metrics_json_path == "-") {
