@@ -9,9 +9,9 @@
 #include <vector>
 
 #include "stalecert/cluster/shard.hpp"
+#include "stalecert/net/fetch.hpp"
 #include "stalecert/obs/event_log.hpp"
 #include "stalecert/obs/metrics.hpp"
-#include "stalecert/query/client.hpp"
 #include "stalecert/query/http.hpp"
 #include "stalecert/util/mutex.hpp"
 
@@ -113,21 +113,26 @@ class RouterService {
  private:
   struct ShardState {
     std::atomic<bool> healthy{true};
-    /// Idle keep-alive connections to this shard, reused across requests;
-    /// a failed exchange discards its connection instead of returning it.
+    /// Idle keep-alive sockets to this shard (owned fds from
+    /// net::fetch_all), reused across requests; a failed exchange
+    /// discards its connection instead of returning it.
     util::Mutex pool_mutex;
-    std::vector<std::unique_ptr<query::HttpClient>> idle
-        GUARDED_BY(pool_mutex);
+    std::vector<int> idle GUARDED_BY(pool_mutex);
   };
 
-  /// One GET against shard `shard` under the configured deadline, with one
-  /// retry on a fresh connection. nullopt after the retry also fails (the
-  /// shard is marked down).
-  std::optional<query::HttpClient::Result> fetch(unsigned shard,
-                                                 const std::string& target);
-  /// Scatters `target` to every shard concurrently; results[k] is nullopt
-  /// for shards that failed or missed the deadline.
-  std::vector<std::optional<query::HttpClient::Result>> scatter(
+  /// One concurrent net::fetch_all pass over `shards` for `target`:
+  /// pooled connections go out as reuse fds, survivors come back to the
+  /// pool, per-shard health and metrics are updated. results[i] answers
+  /// shards[i]; nullopt when that shard failed or missed the deadline
+  /// (after the fresh-connection retry — the shard is marked down).
+  std::vector<std::optional<net::FetchResult>> exchange(
+      const std::vector<unsigned>& shards, const std::string& target);
+  /// One GET against shard `shard` under the configured deadline.
+  std::optional<net::FetchResult> fetch(unsigned shard,
+                                        const std::string& target);
+  /// Scatters `target` to every shard concurrently — one event loop
+  /// issues all legs at once, each under the full deadline.
+  std::vector<std::optional<net::FetchResult>> scatter(
       const std::string& target);
 
   query::HttpResponse forward_point(unsigned shard,

@@ -1,5 +1,7 @@
 #include "stalecert/cluster/router.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <optional>
 #include <sstream>
@@ -13,7 +15,6 @@ namespace stalecert::cluster {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-using query::HttpClient;
 using query::HttpRequest;
 using query::HttpResponse;
 
@@ -296,7 +297,14 @@ RouterService::RouterService(RouterOptions options)
                       "Shards contacted per routed request");
 }
 
-RouterService::~RouterService() { stop(); }
+RouterService::~RouterService() {
+  stop();
+  for (auto& state : states_) {
+    const util::MutexLock lock(state->pool_mutex);
+    for (const int fd : state->idle) ::close(fd);
+    state->idle.clear();
+  }
+}
 
 void RouterService::start() {
   if (options_.health_interval.count() <= 0 || probe_.joinable()) return;
@@ -311,14 +319,14 @@ void RouterService::stop() {
 void RouterService::probe_loop() {
   while (!stopping_.load()) {
     for (unsigned k = 0; k < shard_count() && !stopping_.load(); ++k) {
-      bool up = false;
-      try {
-        HttpClient probe(options_.shards[k].host, options_.shards[k].port,
-                         options_.timeout);
-        up = probe.get("/healthz").status == 200;
-      } catch (const query::QueryError&) {
-        up = false;
-      }
+      // One fresh connection per probe (never pooled), single attempt.
+      const std::vector<net::FetchSpec> spec = {
+          {options_.shards[k].host, options_.shards[k].port, "/healthz", -1}};
+      auto results = net::fetch_all(spec, options_.timeout, /*attempts=*/1);
+      const bool up =
+          results[0].outcome == net::FetchResult::Outcome::kOk &&
+          results[0].status == 200;
+      if (results[0].keep_fd >= 0) ::close(results[0].keep_fd);
       mark_shard(k, up, "probe");
     }
     // Sleep in short slices so stop() is prompt.
@@ -352,63 +360,69 @@ void RouterService::mark_shard(unsigned shard, bool healthy,
   }
 }
 
-std::optional<HttpClient::Result> RouterService::fetch(
-    unsigned shard, const std::string& target) {
-  auto& state = *states_[shard];
-  const auto& endpoint = options_.shards[shard];
-  std::unique_ptr<HttpClient> client;
-  {
-    const util::MutexLock lock(state.pool_mutex);
-    if (!state.idle.empty()) {
-      client = std::move(state.idle.back());
-      state.idle.pop_back();
-    }
-  }
-  const auto start = Clock::now();
-  // Two attempts: a pooled (or fresh) connection, then one more on a brand
-  // new connection. HttpClient::get already absorbs the benign case of a
-  // server-closed keep-alive connection, so a second failure here means the
-  // shard really is unreachable or past the deadline.
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    try {
-      if (!client) {
-        client = std::make_unique<HttpClient>(endpoint.host, endpoint.port,
-                                              options_.timeout);
+std::vector<std::optional<net::FetchResult>> RouterService::exchange(
+    const std::vector<unsigned>& shards, const std::string& target) {
+  // Check a pooled keep-alive socket out per leg; net::fetch_all owns it
+  // from here (a failed attempt closes it and retries on a fresh
+  // connection — the benign server-closed-idle-connection case).
+  std::vector<net::FetchSpec> specs;
+  specs.reserve(shards.size());
+  for (const unsigned shard : shards) {
+    auto& state = *states_[shard];
+    int reuse = -1;
+    {
+      const util::MutexLock lock(state.pool_mutex);
+      if (!state.idle.empty()) {
+        reuse = state.idle.back();
+        state.idle.pop_back();
       }
-      HttpClient::Result result = client->get(target);
+    }
+    specs.push_back({options_.shards[shard].host, options_.shards[shard].port,
+                     target, reuse});
+  }
+
+  // Every leg flies at once on one event loop, each under the full
+  // per-shard deadline; the gather takes max(legs), not sum(legs).
+  auto raw = net::fetch_all(specs, options_.timeout, /*attempts=*/2);
+
+  std::vector<std::optional<net::FetchResult>> results(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const unsigned shard = shards[i];
+    auto& leg = raw[i];
+    if (leg.outcome == net::FetchResult::Outcome::kOk) {
       registry_
           .histogram("stalecert_router_shard_request_seconds",
                      latency_bounds(), {{"shard", std::to_string(shard)}})
-          .observe(std::chrono::duration<double>(Clock::now() - start).count());
-      {
+          .observe(std::chrono::duration<double>(leg.elapsed).count());
+      if (leg.keep_fd >= 0) {
+        auto& state = *states_[shard];
         const util::MutexLock lock(state.pool_mutex);
-        state.idle.push_back(std::move(client));
+        state.idle.push_back(leg.keep_fd);
+        leg.keep_fd = -1;
       }
       mark_shard(shard, true, "request");
-      return result;
-    } catch (const query::QueryError&) {
-      client.reset();  // next attempt (if any) connects fresh
+      results[i] = std::move(leg);
+    } else {
+      registry_
+          .counter("stalecert_router_shard_errors_total",
+                   {{"shard", std::to_string(shard)}})
+          .inc();
+      mark_shard(shard, false, "request");
     }
   }
-  registry_
-      .counter("stalecert_router_shard_errors_total",
-               {{"shard", std::to_string(shard)}})
-      .inc();
-  mark_shard(shard, false, "request");
-  return std::nullopt;
+  return results;
 }
 
-std::vector<std::optional<HttpClient::Result>> RouterService::scatter(
+std::optional<net::FetchResult> RouterService::fetch(
+    unsigned shard, const std::string& target) {
+  return std::move(exchange({shard}, target)[0]);
+}
+
+std::vector<std::optional<net::FetchResult>> RouterService::scatter(
     const std::string& target) {
-  std::vector<std::optional<HttpClient::Result>> results(shard_count());
-  std::vector<std::thread> legs;
-  legs.reserve(shard_count());
-  for (unsigned k = 0; k < shard_count(); ++k) {
-    legs.emplace_back(
-        [this, k, &target, &results] { results[k] = fetch(k, target); });
-  }
-  for (auto& leg : legs) leg.join();
-  return results;
+  std::vector<unsigned> all(shard_count());
+  for (unsigned k = 0; k < shard_count(); ++k) all[k] = k;
+  return exchange(all, target);
 }
 
 HttpResponse RouterService::forward_point(unsigned shard,

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "stalecert/net/http.hpp"
+
+namespace stalecert::net {
+
+/// A blocking HTTP/1.1 client connection with keep-alive: one TCP
+/// connection, sequential exchanges, responses parsed by the shared
+/// Http1ResponseCodec. Used by the stalecert_query CLI, the serving
+/// tests, and bench_query's closed-loop load threads (one client per
+/// thread). The router's concurrent fan-out uses net::fetch_all instead.
+class HttpClient {
+ public:
+  /// Connects immediately; throws NetError when the server is
+  /// unreachable. A non-zero `timeout` bounds the connect AND every
+  /// subsequent socket send/recv; crossing it throws NetTimeoutError
+  /// (which deliberately bypasses the reconnect retry in request() — a
+  /// slow server is not a closed keep-alive connection). Zero = block
+  /// indefinitely, the pre-cluster behavior.
+  HttpClient(const std::string& host, std::uint16_t port,
+             std::chrono::milliseconds timeout = std::chrono::milliseconds(0));
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  ~HttpClient();
+
+  struct Result {
+    int status = 0;
+    std::string content_type;
+    std::string body;
+  };
+
+  /// Issues one GET for `target` (path + optional query string, already
+  /// encoded). Reconnects transparently if the server closed the
+  /// connection between requests; throws NetError when the exchange
+  /// cannot be completed at all.
+  Result get(const std::string& target);
+  /// Same exchange with an arbitrary method and optional request body
+  /// (sent with a Content-Length header when non-empty). HEAD responses
+  /// carry a Content-Length but no body and are handled accordingly.
+  Result request(const std::string& method, const std::string& target,
+                 const std::string& body = {},
+                 const std::string& content_type = "text/plain");
+  Result head(const std::string& target) { return request("HEAD", target); }
+  Result post(const std::string& target, const std::string& body,
+              const std::string& content_type = "text/plain") {
+    return request("POST", target, body, content_type);
+  }
+
+ private:
+  void connect();
+  void close();
+  std::optional<Result> try_request(const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body,
+                                    const std::string& content_type);
+
+  std::string host_;
+  std::uint16_t port_;
+  std::chrono::milliseconds timeout_{0};
+  int fd_ = -1;
+};
+
+/// One-shot convenience: connect, GET, disconnect.
+HttpClient::Result http_get(const std::string& host, std::uint16_t port,
+                            const std::string& target);
+
+}  // namespace stalecert::net

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "stalecert/net/timer_wheel.hpp"
+#include "stalecert/util/mutex.hpp"
+
+namespace stalecert::net {
+
+/// A single-threaded epoll reactor: level-triggered fd callbacks,
+/// timer-wheel deadlines, and a thread-safe post() queue backed by an
+/// eventfd wakeup. Everything except post() and stop() must be called on
+/// the loop thread (the thread inside run()); connections owned by a loop
+/// are only ever touched there, which is what keeps the HTTP server
+/// lock-free on the request path.
+class EventLoop {
+ public:
+  /// Interest/event bits. Errors and hangups are folded into kReadable so
+  /// the callback's next read observes the EOF or ECONNRESET directly.
+  static constexpr std::uint32_t kReadable = 0x1;
+  static constexpr std::uint32_t kWritable = 0x2;
+
+  using IoCallback = std::function<void(std::uint32_t events)>;
+
+  /// Throws NetError when the kernel refuses the epoll or eventfd.
+  EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+  ~EventLoop();
+
+  /// Registers `fd` (level-triggered). The callback runs on the loop
+  /// thread and may remove or re-register any fd, including its own.
+  void add_fd(int fd, std::uint32_t interest, IoCallback callback);
+  void set_interest(int fd, std::uint32_t interest);
+  /// Deregisters without closing; the caller owns the fd.
+  void remove_fd(int fd);
+
+  /// One-shot timer `delay` from now; fires on the loop thread. Precision
+  /// is one wheel tick (a few ms). Returns an id for cancel_timer.
+  std::uint64_t add_timer(std::chrono::milliseconds delay,
+                          std::function<void()> callback);
+  void cancel_timer(std::uint64_t id);
+
+  /// Thread-safe: queues `task` to run on the loop thread and wakes it.
+  void post(std::function<void()> task);
+
+  /// Runs until stop(). The calling thread becomes the loop thread.
+  void run();
+  /// Thread-safe: run() returns after finishing the current dispatch round.
+  void stop();
+  [[nodiscard]] bool stopped() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void wake();
+  void update_epoll(int fd, std::uint32_t interest, bool add);
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  TimerWheel wheel_;
+  /// shared_ptr so a dispatch round survives a callback removing (or
+  /// replacing) the very entry being invoked.
+  std::unordered_map<int, std::shared_ptr<IoCallback>> callbacks_;
+  util::Mutex tasks_mutex_;
+  std::vector<std::function<void()>> tasks_ GUARDED_BY(tasks_mutex_);
+};
+
+}  // namespace stalecert::net

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stalecert::net {
+
+/// One leg of a scatter: a GET against host:port. An idle keep-alive fd
+/// from a previous fetch can be adopted via reuse_fd (ownership passes to
+/// fetch_all — on failure it is closed, and the retry connects fresh).
+struct FetchSpec {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string target;
+  int reuse_fd = -1;
+};
+
+struct FetchResult {
+  enum class Outcome {
+    kOk,       // exchange completed (any HTTP status)
+    kError,    // refused / reset / unparseable after every attempt
+    kTimeout,  // the per-leg deadline expired on the final attempt
+  };
+  Outcome outcome = Outcome::kError;
+  int status = 0;
+  std::string content_type;
+  std::string body;
+  /// On kOk with a keep-alive response: the still-connected fd, handed
+  /// back for pooling. -1 when the server closed (or on failure). The
+  /// caller owns it.
+  int keep_fd = -1;
+  /// Human-readable failure detail (kError / kTimeout).
+  std::string error;
+  /// Wall-clock from the leg's first attempt to its completion (all
+  /// attempts included) — feeds the router's per-shard latency histogram.
+  std::chrono::nanoseconds elapsed{0};
+};
+
+/// Scatters every spec concurrently on one private EventLoop owned by the
+/// calling thread: nonblocking connect, send, incremental response parse —
+/// all legs in flight at once, which is what lets the router contact N
+/// shards under one `timeout` instead of N of them. Each leg gets the
+/// full deadline (0 = none) and up to `attempts` tries; a retry abandons
+/// the leg's current connection (covering the benign stale-pooled-fd
+/// case) and starts a fresh connect under a fresh deadline. Blocks until
+/// every leg finished; results[i] answers specs[i].
+std::vector<FetchResult> fetch_all(const std::vector<FetchSpec>& specs,
+                                   std::chrono::milliseconds timeout,
+                                   int attempts = 2);
+
+}  // namespace stalecert::net

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stalecert/net/event_loop.hpp"
+
+namespace stalecert::net {
+
+/// Multi-reactor TCP accept engine: one blocking accept thread feeding N
+/// reactor threads (one EventLoop each) round-robin. start() binds,
+/// listens and spawns everything; unlisten() stops admitting connections
+/// (shutting the listen socket down wakes the accept thread) while the
+/// reactors keep running so in-flight connections can drain; join() then
+/// waits for every reactor loop to stop — the owner decides when by
+/// calling loop.stop() (typically once its last connection closed).
+class Listener {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port; read the outcome from port().
+    std::uint16_t port = 0;
+    /// Reactor thread count (0 is promoted to 1).
+    unsigned threads = 4;
+  };
+
+  /// Runs on the reactor thread that owns the new connection; `fd` is
+  /// already nonblocking with TCP_NODELAY set.
+  using AcceptHandler =
+      std::function<void(EventLoop& loop, unsigned loop_index, int fd)>;
+
+  Listener(Options options, AcceptHandler on_accept);
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  /// Force-stops the loops and joins if the owner did not.
+  ~Listener();
+
+  /// Binds, listens, spawns the reactors and the accept thread. Throws
+  /// NetError when the address cannot be bound.
+  void start();
+
+  /// The bound port (useful with Options::port == 0). Valid after start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] unsigned reactor_count() const {
+    return static_cast<unsigned>(reactors_.size());
+  }
+  [[nodiscard]] EventLoop& loop(unsigned index) { return reactors_[index]->loop; }
+
+  /// Stops admitting connections and joins the accept thread. Reactors
+  /// keep running. Idempotent.
+  void unlisten();
+  /// Joins the reactor threads; each loop must have been stopped (a
+  /// drained owner calls loop.stop(), or force_stop() does it wholesale).
+  void join();
+  /// unlisten() + stop every loop + join(): the non-graceful teardown.
+  void force_stop();
+
+ private:
+  struct Reactor {
+    EventLoop loop;
+    std::thread thread;
+  };
+
+  void accept_loop();
+
+  Options options_;
+  AcceptHandler on_accept_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::thread accept_thread_;
+};
+
+}  // namespace stalecert::net

@@ -1,4 +1,4 @@
-#include "stalecert/query/client.hpp"
+#include "stalecert/net/client.hpp"
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -8,12 +8,11 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstdlib>
 #include <cstring>
 
-#include "stalecert/util/strings.hpp"
+#include "stalecert/net/codec.hpp"
 
-namespace stalecert::query {
+namespace stalecert::net {
 
 namespace {
 
@@ -58,21 +57,21 @@ HttpClient::~HttpClient() { close(); }
 void HttpClient::connect() {
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw QueryError(std::string("socket: ") + std::strerror(errno));
+  if (fd_ < 0) throw NetError(std::string("socket: ") + std::strerror(errno));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port_);
   if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     close();
-    throw QueryError("bad host address " + host_ + " (want an IPv4 literal)");
+    throw NetError("bad host address " + host_ + " (want an IPv4 literal)");
   }
   const std::string peer = host_ + ":" + std::to_string(port_);
   if (timeout_.count() <= 0) {
     if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
       const std::string detail = std::strerror(errno);
       close();
-      throw QueryError("connect " + peer + ": " + detail);
+      throw NetError("connect " + peer + ": " + detail);
     }
     return;
   }
@@ -85,7 +84,7 @@ void HttpClient::connect() {
     if (errno != EINPROGRESS) {
       const std::string detail = std::strerror(errno);
       close();
-      throw QueryError("connect " + peer + ": " + detail);
+      throw NetError("connect " + peer + ": " + detail);
     }
     pollfd pfd{};
     pfd.fd = fd_;
@@ -93,20 +92,20 @@ void HttpClient::connect() {
     const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_.count()));
     if (ready == 0) {
       close();
-      throw QueryTimeoutError("connect " + peer + " after " +
-                              std::to_string(timeout_.count()) + "ms");
+      throw NetTimeoutError("connect " + peer + " after " +
+                            std::to_string(timeout_.count()) + "ms");
     }
     if (ready < 0) {
       const std::string detail = std::strerror(errno);
       close();
-      throw QueryError("poll " + peer + ": " + detail);
+      throw NetError("poll " + peer + ": " + detail);
     }
     int error = 0;
     socklen_t len = sizeof error;
     ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error, &len);
     if (error != 0) {
       close();
-      throw QueryError("connect " + peer + ": " + std::strerror(error));
+      throw NetError("connect " + peer + ": " + std::strerror(error));
     }
   }
   ::fcntl(fd_, F_SETFL, flags);
@@ -140,9 +139,9 @@ std::optional<HttpClient::Result> HttpClient::try_request(
   // connection but wrong for a slow server (retrying doubles the wait and
   // masks the condition the caller asked to detect).
   const auto timed_out = [&](const char* op) {
-    return QueryTimeoutError(std::string(op) + " " + host_ + ":" +
-                             std::to_string(port_) + " after " +
-                             std::to_string(timeout_.count()) + "ms");
+    return NetTimeoutError(std::string(op) + " " + host_ + ":" +
+                           std::to_string(port_) + " after " +
+                           std::to_string(timeout_.count()) + "ms");
   };
   switch (send_all(fd_, request)) {
     case IoResult::kOk: break;
@@ -150,10 +149,10 @@ std::optional<HttpClient::Result> HttpClient::try_request(
     case IoResult::kClosed: return std::nullopt;
   }
 
-  // Read the head, then exactly Content-Length body bytes.
-  std::string buffer;
-  std::size_t head_end = std::string::npos;
-  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+  // The shared response codec frames the reply: head, then exactly
+  // Content-Length body bytes (none after a HEAD).
+  Http1ResponseCodec codec(method == "HEAD");
+  while (codec.state() != Http1ResponseCodec::State::kComplete) {
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) {
@@ -164,54 +163,15 @@ std::optional<HttpClient::Result> HttpClient::try_request(
       }
       return std::nullopt;
     }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-  }
-
-  const std::string head = buffer.substr(0, head_end);
-  Result result;
-  std::size_t content_length = 0;
-  bool server_closes = false;
-  const auto lines = util::split(head, '\n');
-  if (lines.empty()) return std::nullopt;
-  {
-    // Status line: "HTTP/1.1 200 OK".
-    const auto parts = util::split(std::string(util::trim(lines[0])), ' ');
-    if (parts.size() < 2) return std::nullopt;
-    result.status = std::atoi(parts[1].c_str());
-  }
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string line(util::trim(lines[i]));
-    const auto colon = line.find(':');
-    if (colon == std::string::npos) continue;
-    const std::string name = util::to_lower(line.substr(0, colon));
-    const std::string value(util::trim(line.substr(colon + 1)));
-    if (name == "content-length") {
-      content_length = static_cast<std::size_t>(std::atoll(value.c_str()));
-    } else if (name == "content-type") {
-      result.content_type = value;
-    } else if (name == "connection" && util::to_lower(value) == "close") {
-      server_closes = true;
+    if (codec.consume(std::string_view(chunk, static_cast<std::size_t>(n))) ==
+        Http1ResponseCodec::State::kError) {
+      return std::nullopt;  // unparseable head: treat like a dead connection
     }
   }
 
-  // HEAD responses advertise a Content-Length but carry no body.
-  if (method == "HEAD") content_length = 0;
-  std::string response_body = buffer.substr(head_end + 4);
-  while (response_body.size() < content_length) {
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
-          timeout_.count() > 0) {
-        throw timed_out("recv");
-      }
-      return std::nullopt;
-    }
-    response_body.append(chunk, static_cast<std::size_t>(n));
-  }
-  result.body = response_body.substr(0, content_length);
-  if (server_closes) close();
+  const auto response = codec.take_response();
+  Result result{response.status, response.content_type, response.body};
+  if (response.close) close();
   return result;
 }
 
@@ -233,7 +193,7 @@ HttpClient::Result HttpClient::request(const std::string& method,
   if (auto result = try_request(method, target, body, content_type)) {
     return *std::move(result);
   }
-  throw QueryError(method + " " + target + " failed after reconnect");
+  throw NetError(method + " " + target + " failed after reconnect");
 }
 
 HttpClient::Result http_get(const std::string& host, std::uint16_t port,
@@ -242,4 +202,4 @@ HttpClient::Result http_get(const std::string& host, std::uint16_t port,
   return client.get(target);
 }
 
-}  // namespace stalecert::query
+}  // namespace stalecert::net

@@ -1,0 +1,161 @@
+#include "stalecert/net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "stalecert/net/http.hpp"
+
+namespace stalecert::net {
+
+namespace {
+
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t events = 0;
+  if (interest & EventLoop::kReadable) events |= EPOLLIN;
+  if (interest & EventLoop::kWritable) events |= EPOLLOUT;
+  return events;
+}
+
+std::uint32_t from_epoll(std::uint32_t events) {
+  std::uint32_t out = 0;
+  // Errors and hangups surface as readability: the callback's recv() sees
+  // the EOF or the errno and owns the close decision.
+  if (events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP)) {
+    out |= EventLoop::kReadable;
+  }
+  if (events & EPOLLOUT) out |= EventLoop::kWritable;
+  // EPOLLERR can arrive on a write-only interest (e.g. a failing connect);
+  // make sure the callback still runs.
+  if (out == 0 && (events & EPOLLERR) != 0) out |= EventLoop::kWritable;
+  return out;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : wheel_(TimerWheel::Clock::now()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw NetError(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw NetError("eventfd: " + detail);
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::update_epoll(int fd, std::uint32_t interest, bool add) {
+  epoll_event event{};
+  event.events = to_epoll(interest) | EPOLLRDHUP;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, add ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd,
+                  &event) < 0) {
+    throw NetError(std::string(add ? "epoll_ctl add: " : "epoll_ctl mod: ") +
+                   std::strerror(errno));
+  }
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t interest, IoCallback callback) {
+  update_epoll(fd, interest, /*add=*/true);
+  callbacks_[fd] = std::make_shared<IoCallback>(std::move(callback));
+}
+
+void EventLoop::set_interest(int fd, std::uint32_t interest) {
+  update_epoll(fd, interest, /*add=*/false);
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+std::uint64_t EventLoop::add_timer(std::chrono::milliseconds delay,
+                                   std::function<void()> callback) {
+  return wheel_.add(TimerWheel::Clock::now() + delay, std::move(callback));
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) { wheel_.cancel(id); }
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    const util::MutexLock lock(tasks_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; the value is irrelevant.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::run() {
+  stop_.store(false, std::memory_order_release);
+  std::vector<epoll_event> events(64);
+  std::vector<std::function<void()>> ready;
+  while (!stop_.load(std::memory_order_acquire)) {
+    int timeout_ms = -1;  // nothing pending: block until an event or wake()
+    {
+      const util::MutexLock lock(tasks_mutex_);
+      if (!tasks_.empty()) timeout_ms = 0;
+    }
+    if (timeout_ms != 0) {
+      if (const auto sleep = wheel_.max_sleep(TimerWheel::Clock::now())) {
+        timeout_ms = static_cast<int>(sleep->count());
+      }
+    }
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+
+    // Posted tasks first: they carry new connections and drain orders.
+    ready.clear();
+    {
+      const util::MutexLock lock(tasks_mutex_);
+      ready.swap(tasks_);
+    }
+    for (auto& task : ready) task();
+
+    wheel_.advance(TimerWheel::Clock::now());
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      // Look the callback up per event: an earlier callback in this round
+      // may have removed this fd (deferred close).
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      const std::shared_ptr<IoCallback> callback = it->second;
+      (*callback)(from_epoll(events[i].events));
+    }
+  }
+}
+
+}  // namespace stalecert::net

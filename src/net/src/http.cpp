@@ -1,4 +1,4 @@
-#include "stalecert/query/http.hpp"
+#include "stalecert/net/http.hpp"
 
 #include <cctype>
 #include <cstdio>
@@ -6,7 +6,7 @@
 
 #include "stalecert/util/strings.hpp"
 
-namespace stalecert::query {
+namespace stalecert::net {
 
 namespace {
 
@@ -118,6 +118,7 @@ std::string_view status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
@@ -163,4 +164,4 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
-}  // namespace stalecert::query
+}  // namespace stalecert::net

@@ -1,0 +1,122 @@
+#include "stalecert/net/listener.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "stalecert/net/http.hpp"
+
+namespace stalecert::net {
+
+Listener::Listener(Options options, AcceptHandler on_accept)
+    : options_(std::move(options)), on_accept_(std::move(on_accept)) {}
+
+Listener::~Listener() { force_stop(); }
+
+void Listener::start() {
+  if (listen_fd_ >= 0 || !reactors_.empty()) {
+    throw NetError("listener already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw NetError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw NetError("bad bind address " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw NetError("bind " + options_.bind_address + ":" +
+                   std::to_string(options_.port) + ": " + detail);
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw NetError("listen: " + detail);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  const unsigned threads = options_.threads == 0 ? 1 : options_.threads;
+  reactors_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>());
+  }
+  for (auto& reactor : reactors_) {
+    reactor->thread = std::thread([loop = &reactor->loop] { loop->run(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Listener::accept_loop() {
+  unsigned next = 0;
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // EBADF / EINVAL after unlisten() shut the socket down: exit.
+      break;
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+    const unsigned index = next;
+    next = (next + 1) % reactors_.size();
+    EventLoop& loop = reactors_[index]->loop;
+    loop.post([this, &loop, index, fd] { on_accept_(loop, index, fd); });
+  }
+}
+
+void Listener::unlisten() {
+  if (accept_thread_.joinable()) {
+    // Waking the blocked accept(2) with shutdown is the proven drain
+    // pattern; close() alone would leave the thread parked.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Listener::join() {
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+  }
+  reactors_.clear();
+}
+
+void Listener::force_stop() {
+  unlisten();
+  for (auto& reactor : reactors_) reactor->loop.stop();
+  join();
+}
+
+}  // namespace stalecert::net

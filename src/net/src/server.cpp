@@ -1,0 +1,346 @@
+#include "stalecert/net/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "stalecert/net/codec.hpp"
+
+namespace stalecert::net {
+
+namespace {
+
+enum class DeadlineKind { kNone, kIdle, kHeader };
+
+}  // namespace
+
+/// Per-connection state machine; lives in its reactor's table and is only
+/// ever touched on that loop thread.
+struct HttpServer::Connection {
+  Connection(int fd_in, std::size_t max_request_bytes)
+      : fd(fd_in), codec(max_request_bytes) {}
+
+  int fd;
+  Http1RequestCodec codec;
+  std::string out;            // serialized response bytes still to write
+  std::size_t out_offset = 0;
+  bool writing = false;       // partial write parked on EPOLLOUT
+  bool close_after_write = false;
+  /// The exchange the post-write hook reports once `out` flushed; protocol
+  /// error responses (400/408) have no parsed request and set no exchange.
+  bool have_exchange = false;
+  HttpRequest request;
+  HttpResponse response;
+  std::chrono::steady_clock::time_point write_start;
+  std::uint64_t timer = 0;  // active wheel timer (0 = none)
+  DeadlineKind deadline = DeadlineKind::kNone;
+};
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.load()) throw NetError("server already started");
+
+  draining_.store(false, std::memory_order_release);
+  const unsigned threads = options_.threads == 0 ? 1 : options_.threads;
+  reactors_.clear();
+  for (unsigned i = 0; i < threads; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>());
+  }
+  listener_ = std::make_unique<Listener>(
+      Listener::Options{options_.bind_address, options_.port, threads},
+      [this](EventLoop& loop, unsigned index, int fd) {
+        on_accept(loop, index, fd);
+      });
+  try {
+    listener_->start();
+  } catch (...) {
+    listener_.reset();
+    reactors_.clear();
+    throw;
+  }
+  port_ = listener_->port();
+  running_.store(true);
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  draining_.store(true, std::memory_order_release);
+  // No new connections; the accept thread exits before the drain orders
+  // go out, so each reactor's order is the last task it receives.
+  listener_->unlisten();
+  for (unsigned k = 0; k < listener_->reactor_count(); ++k) {
+    EventLoop& loop = listener_->loop(k);
+    loop.post([this, &loop, k] { drain_reactor(loop, k); });
+  }
+  listener_->join();
+  listener_.reset();
+  reactors_.clear();
+}
+
+void HttpServer::on_accept(EventLoop& loop, unsigned loop_index, int fd) {
+  if (draining_.load(std::memory_order_acquire)) {
+    ::close(fd);
+    return;
+  }
+  auto connection =
+      std::make_unique<Connection>(fd, options_.max_request_bytes);
+  Connection& ref = *connection;
+  reactors_[loop_index]->connections.emplace(fd, std::move(connection));
+  loop.add_fd(fd, EventLoop::kReadable,
+              [this, &loop, loop_index, fd](std::uint32_t events) {
+                on_io(loop, loop_index, fd, events);
+              });
+  arm_read_deadline(loop, loop_index, ref);
+}
+
+void HttpServer::on_io(EventLoop& loop, unsigned loop_index, int fd,
+                       std::uint32_t events) {
+  auto& connections = reactors_[loop_index]->connections;
+  const auto it = connections.find(fd);
+  if (it == connections.end()) return;
+  Connection& connection = *it->second;
+  if ((events & EventLoop::kWritable) != 0 && connection.writing) {
+    if (!write_some(loop, loop_index, connection)) return;
+    // Flushed: pipelined requests already buffered in the codec are due.
+    if (!connection.writing) process(loop, loop_index, connection);
+    // process may have closed the connection; re-check before reading.
+    if (connections.find(fd) == connections.end()) return;
+  }
+  if ((events & EventLoop::kReadable) != 0) do_read(loop, loop_index, fd);
+}
+
+void HttpServer::do_read(EventLoop& loop, unsigned loop_index, int fd) {
+  auto& connections = reactors_[loop_index]->connections;
+  const auto it = connections.find(fd);
+  if (it == connections.end()) return;
+  Connection& connection = *it->second;
+  // While a response is pending the read interest is off; a stray
+  // readable event (error fold-in) waits until the write path settles.
+  if (connection.writing) return;
+
+  char chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      const auto state = connection.codec.consume(
+          std::string_view(chunk, static_cast<std::size_t>(n)));
+      // Stop pulling bytes once a full message (or a violation) is in
+      // hand: the response is served first, and level-triggered epoll
+      // re-delivers whatever is still queued in the kernel.
+      if (state == Http1RequestCodec::State::kComplete ||
+          state == Http1RequestCodec::State::kError) {
+        break;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or reset between requests (or mid-head/mid-body): no response
+    // owed; drop the connection.
+    close_connection(loop, loop_index, fd);
+    return;
+  }
+  process(loop, loop_index, connection);
+}
+
+void HttpServer::process(EventLoop& loop, unsigned loop_index,
+                         Connection& connection) {
+  // Serve every already-buffered request back to back (pipelining) until
+  // a partial write parks the connection or it closes.
+  while (!connection.writing) {
+    const auto state = connection.codec.state();
+    if (state == Http1RequestCodec::State::kComplete) {
+      HttpRequest request = connection.codec.take_request();
+      HttpResponse response;
+      if (request.method != "GET" && request.method != "HEAD" &&
+          request.method != "POST") {
+        response = {405, "text/plain", "method not allowed\n", {}, 0};
+      } else {
+        try {
+          response = handler_(request);
+        } catch (const std::exception& e) {
+          response = {500, "text/plain",
+                      std::string("internal error: ") + e.what() + "\n",
+                      {},
+                      0};
+        }
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+      const bool keep = request.keep_alive() &&
+                        !draining_.load(std::memory_order_acquire);
+      connection.close_after_write = !keep;
+      connection.out =
+          serialize_response(response, keep, request.method == "HEAD");
+      connection.out_offset = 0;
+      connection.request = std::move(request);
+      connection.response = std::move(response);
+      connection.have_exchange = true;
+      connection.write_start = std::chrono::steady_clock::now();
+      if (!write_some(loop, loop_index, connection)) return;
+      continue;
+    }
+    if (state == Http1RequestCodec::State::kError) {
+      connection.out = serialize_response(connection.codec.error_response(),
+                                          /*keep_alive=*/false);
+      connection.out_offset = 0;
+      connection.close_after_write = true;
+      connection.have_exchange = false;
+      write_some(loop, loop_index, connection);
+      return;
+    }
+    // kHead / kBody: more bytes needed; pick the matching deadline.
+    arm_read_deadline(loop, loop_index, connection);
+    return;
+  }
+}
+
+bool HttpServer::write_some(EventLoop& loop, unsigned loop_index,
+                            Connection& connection) {
+  while (connection.out_offset < connection.out.size()) {
+    const ssize_t n = ::send(connection.fd,
+                             connection.out.data() + connection.out_offset,
+                             connection.out.size() - connection.out_offset,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!connection.writing) {
+        connection.writing = true;
+        loop.set_interest(connection.fd, EventLoop::kWritable);
+      }
+      return true;
+    }
+    if (n <= 0) {
+      // Peer reset mid-response. The hook still runs — the blocking
+      // server invoked it after a failed send too.
+      finish_exchange(connection);
+      close_connection(loop, loop_index, connection.fd);
+      return false;
+    }
+    connection.out_offset += static_cast<std::size_t>(n);
+  }
+
+  finish_exchange(connection);
+  connection.out.clear();
+  connection.out_offset = 0;
+  if (connection.close_after_write) {
+    close_connection(loop, loop_index, connection.fd);
+    return false;
+  }
+  if (connection.writing) {
+    connection.writing = false;
+    loop.set_interest(connection.fd, EventLoop::kReadable);
+  }
+  return true;
+}
+
+void HttpServer::finish_exchange(Connection& connection) {
+  if (!connection.have_exchange) return;
+  connection.have_exchange = false;
+  if (request_hook_) {
+    request_hook_(connection.request, connection.response,
+                  std::chrono::steady_clock::now() - connection.write_start);
+  }
+}
+
+void HttpServer::arm_read_deadline(EventLoop& loop, unsigned loop_index,
+                                   Connection& connection) {
+  const int fd = connection.fd;
+  if (connection.codec.idle()) {
+    // Re-arming the idle deadline on each completed exchange is the
+    // intended reset; a live keep-alive client never hits it.
+    if (connection.timer != 0) loop.cancel_timer(connection.timer);
+    connection.timer = 0;
+    connection.deadline = DeadlineKind::kNone;
+    if (options_.idle_timeout.count() <= 0) return;
+    connection.deadline = DeadlineKind::kIdle;
+    connection.timer =
+        loop.add_timer(options_.idle_timeout, [this, &loop, loop_index, fd] {
+          on_idle_timeout(loop, loop_index, fd);
+        });
+    return;
+  }
+  // Partial request: the header deadline counts from the FIRST byte and is
+  // deliberately NOT reset by further bytes — trickling one byte per
+  // second (slowloris) must not push it out.
+  if (connection.deadline == DeadlineKind::kHeader) return;
+  if (connection.timer != 0) loop.cancel_timer(connection.timer);
+  connection.timer = 0;
+  connection.deadline = DeadlineKind::kNone;
+  if (options_.header_timeout.count() <= 0) return;
+  connection.deadline = DeadlineKind::kHeader;
+  connection.timer =
+      loop.add_timer(options_.header_timeout, [this, &loop, loop_index, fd] {
+        on_header_timeout(loop, loop_index, fd);
+      });
+}
+
+void HttpServer::on_header_timeout(EventLoop& loop, unsigned loop_index,
+                                   int fd) {
+  auto& connections = reactors_[loop_index]->connections;
+  const auto it = connections.find(fd);
+  if (it == connections.end()) return;
+  Connection& connection = *it->second;
+  connection.timer = 0;
+  connection.deadline = DeadlineKind::kNone;
+  if (connection.writing) return;  // a response is already on its way out
+  connection.out = serialize_response(
+      {408, "text/plain", "request header timeout\n", {}, 0},
+      /*keep_alive=*/false);
+  connection.out_offset = 0;
+  connection.close_after_write = true;
+  connection.have_exchange = false;
+  write_some(loop, loop_index, connection);
+}
+
+void HttpServer::on_idle_timeout(EventLoop& loop, unsigned loop_index,
+                                 int fd) {
+  auto& connections = reactors_[loop_index]->connections;
+  const auto it = connections.find(fd);
+  if (it == connections.end()) return;
+  it->second->timer = 0;
+  close_connection(loop, loop_index, fd);
+}
+
+void HttpServer::close_connection(EventLoop& loop, unsigned loop_index,
+                                  int fd) {
+  auto& connections = reactors_[loop_index]->connections;
+  const auto it = connections.find(fd);
+  if (it == connections.end()) return;
+  if (it->second->timer != 0) loop.cancel_timer(it->second->timer);
+  loop.remove_fd(fd);
+  ::close(fd);
+  connections.erase(it);
+  if (draining_.load(std::memory_order_acquire) && connections.empty()) {
+    loop.stop();
+  }
+}
+
+void HttpServer::drain_reactor(EventLoop& loop, unsigned loop_index) {
+  auto& connections = reactors_[loop_index]->connections;
+  std::vector<int> fds;
+  fds.reserve(connections.size());
+  for (const auto& [fd, connection] : connections) fds.push_back(fd);
+  for (const int fd : fds) {
+    const auto it = connections.find(fd);
+    if (it == connections.end()) continue;
+    Connection& connection = *it->second;
+    if (connection.writing) {
+      // Queued response bytes still flush; the close follows them out.
+      connection.close_after_write = true;
+      continue;
+    }
+    // Idle or mid-request: parity with the blocking server's SHUT_RD
+    // drain, where these connections ended without a response.
+    close_connection(loop, loop_index, fd);
+  }
+  if (connections.empty()) loop.stop();
+}
+
+}  // namespace stalecert::net

@@ -1,92 +1,25 @@
 #pragma once
 
-#include <chrono>
-#include <cstdint>
-#include <map>
-#include <optional>
-#include <string>
-#include <string_view>
+// The HTTP types and the error hierarchy moved to src/net (the shared
+// transport layer); these aliases keep the query-tier vocabulary — every
+// call site, test and tool keeps compiling and the exception contracts
+// (QueryTimeoutError = "slow", QueryError = "down") are unchanged because
+// they ARE the net types.
 
-#include "stalecert/util/error.hpp"
+#include "stalecert/net/http.hpp"
 
 namespace stalecert::query {
 
-/// Failures of the serving layer itself (socket setup, bind, malformed
-/// client usage). Protocol-level problems from clients never throw — they
-/// become 4xx responses.
-class QueryError : public Error {
- public:
-  explicit QueryError(const std::string& what) : Error("query: " + what) {}
-};
+using QueryError = net::NetError;
+using QueryTimeoutError = net::NetTimeoutError;
 
-/// A client-side deadline expired (connect, send, or read — see
-/// HttpClient's timeout parameter). Distinct from QueryError so callers
-/// can tell "down" (refused, reset) from "slow" (alive but over deadline):
-/// stalecert_query exits 3 for the former, 4 for the latter, and
-/// staled-router counts the two against a shard differently.
-class QueryTimeoutError : public QueryError {
- public:
-  explicit QueryTimeoutError(const std::string& what)
-      : QueryError("timeout: " + what) {}
-};
+using HttpRequest = net::HttpRequest;
+using HttpResponse = net::HttpResponse;
 
-/// A parsed HTTP/1.1 request. The serving subset is deliberately minimal:
-/// GET/HEAD/POST, bodies sized by Content-Length only (no chunked
-/// encoding), no multi-line headers.
-struct HttpRequest {
-  std::string method;                       // "GET", "HEAD", "POST", ...
-  std::string target;                       // raw request target
-  std::string path;                         // percent-decoded path component
-  std::map<std::string, std::string> query; // decoded query parameters
-  std::map<std::string, std::string> headers;  // lowercased field names
-  std::string version;                      // "HTTP/1.1"
-  /// Request body, exactly Content-Length bytes (empty when absent). The
-  /// server always drains the body — even for requests it rejects —
-  /// so a keep-alive connection never reads stale bytes as the next head.
-  std::string body;
-  /// Wall-clock the server spent parsing this head (zero when the request
-  /// was constructed directly, e.g. in tests). Feeds the request trace.
-  std::chrono::nanoseconds parse_duration{0};
-
-  /// Query parameter by name; nullopt when absent.
-  [[nodiscard]] std::optional<std::string> param(const std::string& name) const;
-  /// Connection persistence per RFC 9112: HTTP/1.1 defaults to keep-alive
-  /// unless "Connection: close"; anything else defaults to close.
-  [[nodiscard]] bool keep_alive() const;
-};
-
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "application/json";
-  std::string body;
-  /// Extra response headers (e.g. Retry-After on 503), serialized after
-  /// the standard Content-Type/Content-Length/Connection set. Names are
-  /// emitted as stored; values must already be legal header text.
-  std::map<std::string, std::string> headers;
-  /// Id of the request trace this response belongs to (0 = untraced). Set
-  /// by StaledService so the server's post-write hook can attribute the
-  /// socket write time back to the retained trace. Never serialized.
-  std::uint64_t trace_id = 0;
-};
-
-/// Percent-decodes a URL component ('+' is NOT treated as space — targets
-/// here are paths and RFC 3986 query values). Malformed escapes are kept
-/// verbatim rather than rejected.
-std::string percent_decode(std::string_view text);
-
-/// Parses one request head (everything through the blank line; `raw` must
-/// not include a body). Returns nullopt on any syntax violation.
-std::optional<HttpRequest> parse_request(std::string_view raw);
-
-/// Serializes a response with Content-Length and Connection headers.
-/// `head_only` (HEAD requests) omits the body but keeps its length.
-std::string serialize_response(const HttpResponse& response, bool keep_alive,
-                               bool head_only = false);
-
-/// Reason phrase for the handful of status codes the service emits.
-std::string_view status_text(int status);
-
-/// Minimal JSON string escaping (quotes, backslash, control characters).
-std::string json_escape(std::string_view text);
+using net::json_escape;
+using net::parse_request;
+using net::percent_decode;
+using net::serialize_response;
+using net::status_text;
 
 }  // namespace stalecert::query

@@ -1,91 +1,15 @@
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <thread>
-#include <unordered_set>
-#include <vector>
+// The serving transport moved to src/net: net::HttpServer is the epoll
+// reactor that replaced the blocking accept-pool server that used to live
+// here. The alias keeps query's public surface (StaledService plugs into
+// HttpServer::Handler) stable.
 
+#include "stalecert/net/server.hpp"
 #include "stalecert/query/http.hpp"
-#include "stalecert/util/mutex.hpp"
 
 namespace stalecert::query {
 
-/// Minimal HTTP/1.1 server over POSIX sockets: one listening socket, a
-/// fixed pool of worker threads that each loop accept -> read -> handle ->
-/// write, persistent connections (keep-alive) per RFC 9112 defaults, and
-/// graceful drain on stop(): the listener is shut down so no new
-/// connections are admitted, while in-flight requests run to completion
-/// before the workers join.
-///
-/// The handler runs concurrently on every worker thread, so it must be
-/// thread-safe; StaledService (service.hpp) is the intended handler.
-class HttpServer {
- public:
-  using Handler = std::function<HttpResponse(const HttpRequest&)>;
-  /// Optional post-write observability hook: invoked on the worker thread
-  /// after the response bytes went out, with the wall-clock the socket
-  /// write took. Must be thread-safe.
-  using RequestHook = std::function<void(
-      const HttpRequest&, const HttpResponse&, std::chrono::nanoseconds)>;
-
-  struct Options {
-    std::string bind_address = "127.0.0.1";
-    /// 0 picks an ephemeral port; read the outcome from port().
-    std::uint16_t port = 0;
-    unsigned threads = 4;
-    /// Upper bound on one request head; longer heads get 400 + close.
-    std::size_t max_request_bytes = 64 * 1024;
-  };
-
-  HttpServer(Options options, Handler handler);
-  HttpServer(const HttpServer&) = delete;
-  HttpServer& operator=(const HttpServer&) = delete;
-  /// Stops the server if still running.
-  ~HttpServer();
-
-  /// Binds, listens, and spawns the worker pool. Throws QueryError when
-  /// the address cannot be bound.
-  void start();
-
-  /// Installs the post-write hook. Call before start(); the hook runs
-  /// concurrently on every worker thread.
-  void set_request_hook(RequestHook hook) { request_hook_ = std::move(hook); }
-
-  /// The bound port (useful with Options::port == 0). Valid after start().
-  [[nodiscard]] std::uint16_t port() const { return port_; }
-  [[nodiscard]] bool running() const { return running_.load(); }
-
-  /// Total requests served so far (all workers).
-  [[nodiscard]] std::uint64_t requests_served() const {
-    return requests_served_.load();
-  }
-
-  /// Graceful drain: stop accepting, finish in-flight requests, join the
-  /// pool. Idempotent.
-  void stop();
-
- private:
-  void worker_loop();
-  void serve_connection(int client_fd);
-  void track_connection(int client_fd);
-  void untrack_and_close(int client_fd);
-
-  Options options_;
-  Handler handler_;
-  RequestHook request_hook_;
-  int listen_fd_ = -1;
-  /// Live client connections; stop() shuts their read side down so workers
-  /// parked in recv() between keep-alive requests wake with EOF.
-  util::Mutex connections_mutex_;
-  std::unordered_set<int> connections_ GUARDED_BY(connections_mutex_);
-  std::uint16_t port_ = 0;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> requests_served_{0};
-  std::vector<std::thread> workers_;
-};
+using HttpServer = net::HttpServer;
 
 }  // namespace stalecert::query

@@ -23,6 +23,7 @@ bool parse_unsigned(const std::string& text, unsigned long* out) {
 
 std::string staled_usage_line() {
   return "staled [--port N] [--bind ADDR] [--threads N]"
+         " [--header-timeout-ms N] [--idle-timeout-ms N]"
          " [--log-file PATH] [--log-level debug|info|warn|error]"
          " [--feed-dir DIR] [--feed-poll-ms N] [--shard K/N]"
          " <archive.scw>";
@@ -36,6 +37,7 @@ StaledOptionsResult parse_staled_options(const std::vector<std::string>& args,
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--port" || arg == "--bind" || arg == "--threads" ||
+        arg == "--header-timeout-ms" || arg == "--idle-timeout-ms" ||
         arg == "--log-file" || arg == "--log-level" || arg == "--feed-dir" ||
         arg == "--feed-poll-ms" || arg == "--shard") {
       if (i + 1 >= args.size()) return fail(arg + " requires an argument");
@@ -55,6 +57,19 @@ StaledOptionsResult parse_staled_options(const std::vector<std::string>& args,
           return fail("bad --threads value: " + value);
         }
         options.server.threads = static_cast<unsigned>(threads);
+      } else if (arg == "--header-timeout-ms") {
+        // 0 disables the slowloris guard (matching the server contract).
+        unsigned long ms = 0;
+        if (!parse_unsigned(value, &ms) || ms > 3600000) {
+          return fail("bad --header-timeout-ms value: " + value);
+        }
+        options.server.header_timeout = std::chrono::milliseconds(ms);
+      } else if (arg == "--idle-timeout-ms") {
+        unsigned long ms = 0;
+        if (!parse_unsigned(value, &ms) || ms > 86400000) {
+          return fail("bad --idle-timeout-ms value: " + value);
+        }
+        options.server.idle_timeout = std::chrono::milliseconds(ms);
       } else if (arg == "--log-file") {
         options.log_file = value;
       } else if (arg == "--feed-dir") {

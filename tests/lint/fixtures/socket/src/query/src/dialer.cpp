@@ -1,0 +1,29 @@
+// raw-socket fixture: a module outside src/net dialing a socket by hand.
+#include <sys/socket.h>
+
+namespace stalecert::query {
+
+struct Dialer {
+  int connect(int fd) { return fd; }  // a method named connect is fine
+};
+
+int open_raw() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // line 11: flagged
+  ::connect(fd, nullptr, 0);                         // line 12: flagged
+  const int peer = ::accept(fd, nullptr, nullptr);   // line 13: flagged
+  Dialer dialer;
+  dialer.connect(fd);  // member call: not flagged
+  // The escape hatch for the rare legitimate case:
+  ::socket(AF_INET, SOCK_DGRAM, 0);  // lint:allow(raw-socket) probe socket
+  return peer;
+}
+
+struct Redialer {
+  int connect(int fd);
+};
+
+// Qualified method definition — an identifier precedes the "::", so the
+// rule must not mistake it for the libc call.
+int Redialer::connect(int fd) { return fd; }
+
+}  // namespace stalecert::query

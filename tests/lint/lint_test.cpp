@@ -100,6 +100,26 @@ TEST(LintTest, PartialAndDefaultedSwitchesAreReported) {
       << run.output;
 }
 
+TEST(LintTest, RawSocketOutsideNetIsReported) {
+  const LintRun run = run_lint(fixture("socket"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("dialer.cpp:11: [raw-socket] raw '::socket'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("dialer.cpp:12: [raw-socket] raw '::connect'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("dialer.cpp:13: [raw-socket] raw '::accept'"),
+            std::string::npos)
+      << run.output;
+  // Methods named connect (declared or called) and the lint:allow escape
+  // must stay silent.
+  EXPECT_EQ(run.output.find("dialer.cpp:7"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("dialer.cpp:15"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("dialer.cpp:17"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("3 violations"), std::string::npos) << run.output;
+}
+
 TEST(LintTest, RuleFilterRunsOnlyTheNamedRule) {
   // The logging fixture has raw-logging violations but no raw-mutex ones,
   // so filtering to raw-mutex turns it clean.
@@ -110,7 +130,8 @@ TEST(LintTest, RuleFilterRunsOnlyTheNamedRule) {
 TEST(LintTest, ListRules) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0) << run.output;
-  EXPECT_EQ(run.output, "layering\nraw-logging\nraw-mutex\npartial-switch\n");
+  EXPECT_EQ(run.output,
+            "layering\nraw-logging\nraw-mutex\nraw-socket\npartial-switch\n");
 }
 
 TEST(LintTest, UsageErrorsExitTwo) {

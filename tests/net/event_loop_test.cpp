@@ -1,0 +1,167 @@
+// EventLoop: the reactor primitive. Tests drive it from a real thread with
+// real fds (pipes/socketpairs), since epoll semantics are the thing under
+// test; timers get generous margins so a loaded CI box does not flake.
+#include "stalecert/net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace stalecert::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(EventLoopTest, PostRunsTasksOnLoopThreadInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::thread::id loop_thread;
+  loop.post([&] {
+    loop_thread = std::this_thread::get_id();
+    order.push_back(1);
+  });
+  loop.post([&] { order.push_back(2); });
+  loop.post([&loop] { loop.stop(); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop_thread, std::this_thread::get_id());
+}
+
+TEST(EventLoopTest, PostFromAnotherThreadWakesTheLoop) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  std::thread poster([&] {
+    std::this_thread::sleep_for(50ms);
+    loop.post([&] {
+      ran.store(true);
+      loop.stop();
+    });
+  });
+  loop.run();  // blocks in epoll_wait until the eventfd wakes it
+  poster.join();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(EventLoopTest, TimerFiresOnceAfterDelay) {
+  EventLoop loop;
+  const auto start = std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point fired_at;
+  loop.post([&] {
+    loop.add_timer(50ms, [&] {
+      fired_at = std::chrono::steady_clock::now();
+      loop.stop();
+    });
+  });
+  loop.run();
+  EXPECT_GE(fired_at - start, 40ms);  // one 4ms tick of slack
+  EXPECT_LT(fired_at - start, 5s);
+}
+
+TEST(EventLoopTest, CancelledTimerNeverFires) {
+  EventLoop loop;
+  std::atomic<bool> cancelled_fired{false};
+  loop.post([&] {
+    const std::uint64_t id =
+        loop.add_timer(30ms, [&] { cancelled_fired.store(true); });
+    loop.cancel_timer(id);
+    loop.add_timer(120ms, [&] { loop.stop(); });
+  });
+  loop.run();
+  EXPECT_FALSE(cancelled_fired.load());
+}
+
+TEST(EventLoopTest, ReadableCallbackSeesBytesAndEof) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  EventLoop loop;
+  std::string received;
+  bool saw_eof = false;
+  loop.post([&] {
+    loop.add_fd(fds[0], EventLoop::kReadable, [&](std::uint32_t events) {
+      ASSERT_TRUE(events & EventLoop::kReadable);
+      char chunk[64];
+      const ssize_t n = ::read(fds[0], chunk, sizeof(chunk));
+      if (n > 0) {
+        received.append(chunk, static_cast<std::size_t>(n));
+        return;
+      }
+      saw_eof = true;  // peer closed: level-triggered read reports 0
+      loop.remove_fd(fds[0]);
+      loop.stop();
+    });
+  });
+  std::thread writer([&] {
+    ASSERT_EQ(::write(fds[1], "ping", 4), 4);
+    std::this_thread::sleep_for(20ms);
+    ::close(fds[1]);
+  });
+  loop.run();
+  writer.join();
+  ::close(fds[0]);
+  EXPECT_EQ(received, "ping");
+  EXPECT_TRUE(saw_eof);
+}
+
+TEST(EventLoopTest, SetInterestSwitchesBetweenReadAndWrite) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  EventLoop loop;
+  bool wrote = false;
+  std::string echoed;
+  loop.post([&] {
+    loop.add_fd(fds[0], EventLoop::kWritable, [&](std::uint32_t events) {
+      if (!wrote && (events & EventLoop::kWritable)) {
+        ASSERT_EQ(::write(fds[0], "hi", 2), 2);
+        wrote = true;
+        loop.set_interest(fds[0], EventLoop::kReadable);
+        return;
+      }
+      if (events & EventLoop::kReadable) {
+        char chunk[8];
+        const ssize_t n = ::read(fds[0], chunk, sizeof(chunk));
+        if (n > 0) echoed.append(chunk, static_cast<std::size_t>(n));
+        loop.remove_fd(fds[0]);
+        loop.stop();
+      }
+    });
+  });
+  std::thread echo([&] {
+    char chunk[8];
+    const ssize_t n = ::read(fds[1], chunk, sizeof(chunk));
+    ASSERT_EQ(n, 2);
+    ASSERT_EQ(::write(fds[1], chunk, static_cast<std::size_t>(n)), n);
+  });
+  loop.run();
+  echo.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_TRUE(wrote);
+  EXPECT_EQ(echoed, "hi");
+}
+
+TEST(EventLoopTest, CallbackMayRemoveItsOwnFd) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  EventLoop loop;
+  int calls = 0;
+  loop.post([&] {
+    loop.add_fd(fds[0], EventLoop::kReadable, [&](std::uint32_t) {
+      ++calls;
+      loop.remove_fd(fds[0]);  // self-removal mid-dispatch must be safe
+      loop.add_timer(50ms, [&] { loop.stop(); });
+    });
+  });
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  loop.run();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace stalecert::net

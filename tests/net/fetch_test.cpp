@@ -1,0 +1,155 @@
+// net::fetch_all: the router's scatter primitive. A real HttpServer plays
+// the shard; the interesting cases are concurrency (N legs under one
+// deadline), the per-leg deadline itself, refused connections, and the
+// keep-alive fd handoff.
+#include "stalecert/net/fetch.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "stalecert/net/server.hpp"
+
+namespace stalecert::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+HttpServer::Options shard_options() {
+  HttpServer::Options options;
+  options.port = 0;
+  options.threads = 1;
+  return options;
+}
+
+TEST(FetchAllTest, EmptySpecsReturnEmpty) {
+  EXPECT_TRUE(fetch_all({}, 100ms).empty());
+}
+
+TEST(FetchAllTest, SingleLegRoundTrip) {
+  HttpServer server(shard_options(), [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "hello " + request.path + "\n"};
+  });
+  server.start();
+  auto results = fetch_all({{"127.0.0.1", server.port(), "/a", -1}}, 2s);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome, FetchResult::Outcome::kOk);
+  EXPECT_EQ(results[0].status, 200);
+  EXPECT_EQ(results[0].body, "hello /a\n");
+  EXPECT_GT(results[0].elapsed.count(), 0);
+  if (results[0].keep_fd >= 0) ::close(results[0].keep_fd);
+  server.stop();
+}
+
+TEST(FetchAllTest, KeepAliveFdCanBeReusedForTheNextFetch) {
+  HttpServer server(shard_options(), [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", request.path + "\n"};
+  });
+  server.start();
+  auto first = fetch_all({{"127.0.0.1", server.port(), "/one", -1}}, 2s);
+  ASSERT_EQ(first[0].outcome, FetchResult::Outcome::kOk);
+  ASSERT_GE(first[0].keep_fd, 0);  // server answered keep-alive
+  auto second = fetch_all(
+      {{"127.0.0.1", server.port(), "/two", first[0].keep_fd}}, 2s);
+  ASSERT_EQ(second[0].outcome, FetchResult::Outcome::kOk);
+  EXPECT_EQ(second[0].body, "/two\n");
+  if (second[0].keep_fd >= 0) ::close(second[0].keep_fd);
+  server.stop();
+}
+
+TEST(FetchAllTest, StaleReuseFdFallsBackToAFreshConnection) {
+  HttpServer server(shard_options(), [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", request.path + "\n"};
+  });
+  server.start();
+  // A socketpair end whose peer is closed: writable, then immediate EOF —
+  // exactly what a pooled connection the server already dropped looks like.
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  ::close(pair[1]);
+  auto results = fetch_all(
+      {{"127.0.0.1", server.port(), "/retry", pair[0]}}, 2s, /*attempts=*/2);
+  ASSERT_EQ(results[0].outcome, FetchResult::Outcome::kOk) << results[0].error;
+  EXPECT_EQ(results[0].body, "/retry\n");
+  if (results[0].keep_fd >= 0) ::close(results[0].keep_fd);
+  server.stop();
+}
+
+TEST(FetchAllTest, RefusedConnectionIsErrorNotTimeout) {
+  // Grab an ephemeral port and release it so nothing listens there.
+  std::uint16_t dead_port = 0;
+  {
+    HttpServer probe(shard_options(),
+                     [](const HttpRequest&) { return HttpResponse{}; });
+    probe.start();
+    dead_port = probe.port();
+    probe.stop();
+  }
+  auto results = fetch_all({{"127.0.0.1", dead_port, "/x", -1}}, 2s,
+                           /*attempts=*/1);
+  EXPECT_EQ(results[0].outcome, FetchResult::Outcome::kError);
+  EXPECT_FALSE(results[0].error.empty());
+}
+
+TEST(FetchAllTest, SlowShardTimesOutWithoutStallingTheFastOne) {
+  std::atomic<bool> release{false};
+  HttpServer slow(shard_options(), [&](const HttpRequest&) {
+    while (!release.load()) std::this_thread::sleep_for(10ms);
+    return HttpResponse{200, "text/plain", "late\n"};
+  });
+  HttpServer fast(shard_options(), [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "fast\n"};
+  });
+  slow.start();
+  fast.start();
+  const auto start = std::chrono::steady_clock::now();
+  auto results = fetch_all({{"127.0.0.1", slow.port(), "/x", -1},
+                            {"127.0.0.1", fast.port(), "/x", -1}},
+                           300ms, /*attempts=*/1);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(results[0].outcome, FetchResult::Outcome::kTimeout);
+  EXPECT_EQ(results[1].outcome, FetchResult::Outcome::kOk);
+  EXPECT_EQ(results[1].body, "fast\n");
+  // The gather is one loop: total wall clock ~= the one deadline, not 2x.
+  EXPECT_LT(waited, 2s);
+  release.store(true);
+  if (results[1].keep_fd >= 0) ::close(results[1].keep_fd);
+  slow.stop();
+  fast.stop();
+}
+
+TEST(FetchAllTest, ManyLegsFlyConcurrently) {
+  // One server, N legs, a handler that parks each request ~100ms. Serial
+  // legs would take N*100ms; concurrent legs finish in roughly one delay
+  // (all reactor-side handlers run on one thread here, so allow the sum
+  // of handler time but require far less than serial round trips).
+  HttpServer::Options options = shard_options();
+  options.threads = 4;
+  HttpServer server(options, [](const HttpRequest& request) {
+    std::this_thread::sleep_for(50ms);
+    return HttpResponse{200, "text/plain", request.path + "\n"};
+  });
+  server.start();
+  constexpr int kLegs = 6;
+  std::vector<FetchSpec> specs;
+  for (int i = 0; i < kLegs; ++i) {
+    specs.push_back(
+        {"127.0.0.1", server.port(), "/leg" + std::to_string(i), -1});
+  }
+  auto results = fetch_all(specs, 5s);
+  for (int i = 0; i < kLegs; ++i) {
+    ASSERT_EQ(results[i].outcome, FetchResult::Outcome::kOk)
+        << results[i].error;
+    EXPECT_EQ(results[i].body, "/leg" + std::to_string(i) + "\n");
+    if (results[i].keep_fd >= 0) ::close(results[i].keep_fd);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace stalecert::net

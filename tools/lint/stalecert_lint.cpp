@@ -13,6 +13,9 @@
 //                   outside src/obs (EventLog is the logging seam).
 //   raw-mutex       no std::mutex & friends outside src/util — concurrent
 //                   code must use the annotated util::Mutex wrapper.
+//   raw-socket      no raw ::socket( / ::connect( / ::accept( calls outside
+//                   src/net — stalecert::net owns the one transport; new
+//                   socket owners must go through it.
 //   partial-switch  switches over the enforced enum list (StaleClass and
 //                   friends) must cover every enumerator and carry no
 //                   default label, so -Wswitch keeps guarding growth.
@@ -58,6 +61,7 @@ const std::map<std::string, std::set<std::string>>& layering_table() {
       {"reputation", {"util"}},
       {"popularity", {"util"}},
       {"obs", {"util"}},
+      {"net", {"obs", "util"}},
       {"revocation", {"asn1", "crypto", "util", "x509"}},
       {"tls", {"revocation", "util", "x509"}},
       {"ct", {"crypto", "obs", "util", "x509"}},
@@ -68,10 +72,10 @@ const std::map<std::string, std::set<std::string>>& layering_table() {
                "revocation", "util", "whois"}},
       {"store", {"ct", "dns", "obs", "revocation", "sim", "util", "whois",
                  "x509"}},
-      {"query", {"core", "dns", "obs", "store", "util"}},
+      {"query", {"core", "dns", "net", "obs", "store", "util"}},
       {"feed", {"core", "ct", "dns", "obs", "query", "revocation", "sim",
                 "store", "util", "whois"}},
-      {"cluster", {"asn1", "feed", "obs", "query", "store", "util",
+      {"cluster", {"asn1", "feed", "net", "obs", "query", "store", "util",
                    "x509"}},
   };
   return table;
@@ -393,6 +397,38 @@ void check_raw_mutex(const std::vector<SourceFile>& files,
   }
 }
 
+// --- Rule: raw-socket -----------------------------------------------------
+
+void check_raw_socket(const std::vector<SourceFile>& files,
+                      std::vector<Diagnostic>* diagnostics) {
+  // Only the global-qualified spellings are banned: "::connect(" with no
+  // identifier before the "::" is the libc call, while "client.connect("
+  // or a "TlsClient::connect(" definition is a method and stays legal.
+  static const std::vector<std::string> kBanned = {
+      "::socket(", "::connect(", "::accept(", "::accept4("};
+  for (const SourceFile& file : files) {
+    if (file.module.empty() || file.module == "net") continue;
+    const std::string& text = file.sanitized;
+    for (const std::string& token : kBanned) {
+      for (std::size_t pos = text.find(token); pos != std::string::npos;
+           pos = text.find(token, pos + 1)) {
+        if (pos > 0 &&
+            (is_ident_char(text[pos - 1]) || text[pos - 1] == ':')) {
+          continue;  // Type::connect( — qualified name, not the libc call
+        }
+        const std::size_t line = line_of(text, pos);
+        if (line_allows(file, line, "raw-socket")) continue;
+        diagnostics->push_back(
+            {file.rel, line, "raw-socket",
+             "raw '" + token.substr(0, token.size() - 1) +
+                 "' outside src/net; sockets belong to stalecert::net "
+                 "(EventLoop / Listener / HttpServer / HttpClient / "
+                 "fetch_all) so there is exactly one transport"});
+      }
+    }
+  }
+}
+
 // --- Rule: partial-switch -------------------------------------------------
 
 /// Parses every `enum class Name ... { ... }` in the sanitized text.
@@ -555,7 +591,8 @@ int run(int argc, char** argv) {
     if (arg == "--rule" && i + 1 < argc) {
       rules.emplace_back(argv[++i]);
     } else if (arg == "--list-rules") {
-      std::cout << "layering\nraw-logging\nraw-mutex\npartial-switch\n";
+      std::cout << "layering\nraw-logging\nraw-mutex\nraw-socket\n"
+                   "partial-switch\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "stalecert_lint: unknown flag " << arg << '\n';
@@ -626,6 +663,7 @@ int run(int argc, char** argv) {
   if (enabled("layering")) check_layering(files, &diagnostics);
   if (enabled("raw-logging")) check_raw_logging(files, &diagnostics);
   if (enabled("raw-mutex")) check_raw_mutex(files, &diagnostics);
+  if (enabled("raw-socket")) check_raw_socket(files, &diagnostics);
   if (enabled("partial-switch")) check_switches(files, &diagnostics);
 
   std::sort(diagnostics.begin(), diagnostics.end(),
